@@ -1,0 +1,48 @@
+//! A1 companion bench: cost of the write-behind path itself at
+//! different batch sizes (offer + flush of 10k updates over 1k hot
+//! keys). The throughput-level effect of batching is reported by the
+//! `fig3` binary; this bench shows the mechanism is cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oprc_simcore::{SimDuration, SimTime};
+use oprc_store::{PersistentDb, PersistentDbConfig, WriteBehindBuffer, WriteBehindConfig};
+use oprc_value::vjson;
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_write_behind_path");
+    for batch in [1usize, 10, 100, 500] {
+        group.bench_with_input(BenchmarkId::new("offer_flush_10k", batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let mut buf = WriteBehindBuffer::new(WriteBehindConfig {
+                    max_batch: batch,
+                    max_delay: SimDuration::from_millis(50),
+                });
+                let mut db = PersistentDb::new(PersistentDbConfig::default());
+                for i in 0..10_000u64 {
+                    let key = format!("obj-{}", i % 1_000);
+                    buf.offer(SimTime::ZERO, &key, vjson!({"n": (i as i64)}));
+                    while let Some(b) = buf.take_batch(SimTime::ZERO) {
+                        db.put_batch(SimTime::ZERO, b.records);
+                    }
+                }
+                let tail = buf.drain(usize::MAX);
+                db.put_batch(SimTime::ZERO, tail.records);
+                db.stats()
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("db_direct_put_10k", |b| {
+        b.iter(|| {
+            let mut db = PersistentDb::new(PersistentDbConfig::default());
+            for i in 0..10_000u64 {
+                db.put(SimTime::ZERO, &format!("obj-{}", i % 1_000), vjson!({"n": (i as i64)}));
+            }
+            db.stats()
+        })
+    });
+}
+
+criterion_group!(benches, bench_write_path);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! End-to-end embedded-platform benches, including the dataflow
+//! parallelism ablation (A3): a four-way fan-out dataflow against the
+//! equivalent manual function chain, with functions that cost real time.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oprc_core::invocation::TaskResult;
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_value::vjson;
+
+/// Per-step simulated work for the A3 comparison.
+const STEP_COST: Duration = Duration::from_millis(2);
+
+fn counter_platform() -> EmbeddedPlatform {
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/counter", |task| {
+        let n = task.state_in["count"].as_i64().unwrap_or(0) + 1;
+        Ok(TaskResult::output(n).with_patch(vjson!({ "count": n })))
+    });
+    p.deploy_yaml(
+        "classes:\n  - name: Counter\n    keySpecs: [count]\n    functions:\n      - name: incr\n        image: img/counter\n",
+    )
+    .expect("deploys");
+    p
+}
+
+fn fanout_platform() -> EmbeddedPlatform {
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/slow", |task| {
+        std::thread::sleep(STEP_COST);
+        Ok(TaskResult::output(task.args.first().cloned().unwrap_or_default()))
+    });
+    p.deploy_yaml(
+        r#"
+classes:
+  - name: Fan
+    functions:
+      - name: work
+        image: img/slow
+    dataflows:
+      - name: fanout
+        output: d
+        steps:
+          - id: a
+            function: work
+            inputs: [input]
+          - id: b
+            function: work
+            inputs: [input]
+          - id: c
+            function: work
+            inputs: [input]
+          - id: d
+            function: work
+            inputs: ["step:a"]
+"#,
+    )
+    .expect("deploys");
+    p
+}
+
+fn bench_invoke(c: &mut Criterion) {
+    let mut p = counter_platform();
+    let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+    c.bench_function("embedded_invoke_counter", |b| {
+        b.iter(|| p.invoke(id, "incr", vec![]).unwrap())
+    });
+    c.bench_function("embedded_create_object", |b| {
+        b.iter(|| p.create_object("Counter", vjson!({"count": 0})).unwrap())
+    });
+}
+
+fn bench_dataflow_vs_manual(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_dataflow_vs_manual_chain");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(6));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    // Dataflow: stage {a, b, c} runs in parallel, then d.
+    // Critical path = 2 × STEP_COST.
+    group.bench_function("dataflow_fanout", |b| {
+        let mut p = fanout_platform();
+        let id = p.create_object("Fan", vjson!({})).unwrap();
+        b.iter(|| p.invoke(id, "fanout", vec![vjson!(1)]).unwrap())
+    });
+    // Manual chaining (what FaaS forces, §I): 4 sequential invocations.
+    // Wall = 4 × STEP_COST.
+    group.bench_function("manual_chain", |b| {
+        let mut p = fanout_platform();
+        let id = p.create_object("Fan", vjson!({})).unwrap();
+        b.iter(|| {
+            let a = p.invoke(id, "work", vec![vjson!(1)]).unwrap();
+            let _b = p.invoke(id, "work", vec![vjson!(1)]).unwrap();
+            let _c = p.invoke(id, "work", vec![vjson!(1)]).unwrap();
+            p.invoke(id, "work", vec![a.output]).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_invoke, bench_dataflow_vs_manual);
+criterion_main!(benches);

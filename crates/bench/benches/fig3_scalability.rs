@@ -1,0 +1,36 @@
+//! Criterion wrapper over the Fig. 3 simulation: wall-time of one
+//! deterministic run per variant (short window), keeping the experiment
+//! wired into `cargo bench`. The full-scale reproduction with the
+//! paper-matching window is the `fig3` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oprc_platform::sim::{self, ExperimentConfig, SystemVariant};
+use oprc_simcore::SimDuration;
+
+fn quick(variant: SystemVariant, vms: u32) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::fig3(variant, vms);
+    cfg.warmup = SimDuration::from_secs(1);
+    cfg.measure = SimDuration::from_secs(2);
+    cfg.clients_per_vm = 20;
+    cfg
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_sim_run");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for variant in SystemVariant::all() {
+        for vms in [3u32, 12] {
+            group.bench_with_input(
+                BenchmarkId::new(variant.label(), vms),
+                &(variant, vms),
+                |b, &(variant, vms)| b.iter(|| sim::run(quick(variant, vms))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Component microbenchmarks (A5): parsing, signing, hashing, routing
+//! structures, inheritance resolution, template selection, dataflow
+//! planning.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use oprc_core::dataflow::{DataflowSpec, StepSpec};
+use oprc_core::hierarchy::ClassHierarchy;
+use oprc_core::nfr::NfrSpec;
+use oprc_core::template::TemplateCatalog;
+use oprc_core::parse;
+use oprc_simcore::SimTime;
+use oprc_store::presign::{self, Method};
+use oprc_store::{sha, Dht, DhtConfig, DhtNodeId, HashRing};
+use oprc_value::{json, vjson, yaml};
+
+const LISTING1: &str = r#"
+classes:
+  - name: Image
+    qos:
+      throughput: 100
+    constraint:
+      persistent: true
+    keySpecs:
+      - name: image
+        type: file
+    functions:
+      - name: resize
+        image: img/resize
+      - name: changeFormat
+        image: img/change-format
+  - name: LabelledImage
+    parent: Image
+    functions:
+      - name: detectObject
+        image: img/detect-object
+"#;
+
+fn bench_parsing(c: &mut Criterion) {
+    let doc = vjson!({
+        "id": "obj-123",
+        "payload": "abcdefghijklmnopqrstuvwxyz0123456789",
+        "nested": {"a": [1, 2, 3, 4, 5], "b": {"c": true}},
+        "metrics": [1.5, 2.5, 3.75],
+    });
+    let compact = json::to_string(&doc);
+    c.bench_function("json_parse_1kb_doc", |b| {
+        b.iter(|| json::parse(black_box(&compact)).unwrap())
+    });
+    c.bench_function("json_emit_compact", |b| {
+        b.iter(|| json::to_string(black_box(&doc)))
+    });
+    c.bench_function("yaml_parse_listing1", |b| {
+        b.iter(|| yaml::parse(black_box(LISTING1)).unwrap())
+    });
+    c.bench_function("package_parse_listing1", |b| {
+        b.iter(|| parse::package_from_yaml(black_box(LISTING1)).unwrap())
+    });
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let payload = vec![0xabu8; 4096];
+    c.bench_function("sha256_4kib", |b| {
+        b.iter(|| sha::sha256(black_box(&payload)))
+    });
+    let url = presign::presign(
+        b"secret",
+        Method::Get,
+        "bucket",
+        "obj-1/image",
+        SimTime::from_secs(900),
+    );
+    c.bench_function("presign_url", |b| {
+        b.iter(|| {
+            presign::presign(
+                black_box(b"secret"),
+                Method::Get,
+                "bucket",
+                "obj-1/image",
+                SimTime::from_secs(900),
+            )
+        })
+    });
+    c.bench_function("verify_url", |b| {
+        b.iter(|| presign::verify(b"secret", black_box(&url.url), SimTime::ZERO).unwrap())
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut ring = HashRing::new(64);
+    for m in 0..12 {
+        ring.add(m);
+    }
+    c.bench_function("hashring_owner", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ring.owner(black_box(&format!("obj-{i}")))
+        })
+    });
+    let mut dht = Dht::new(DhtConfig::default());
+    for m in 0..12 {
+        dht.join(DhtNodeId(m));
+    }
+    for i in 0..1000 {
+        dht.put(&format!("obj-{i}"), vjson!({"n": i})).unwrap();
+    }
+    c.bench_function("dht_get_hot", |b| {
+        b.iter(|| dht.get(black_box("obj-500")))
+    });
+    c.bench_function("dht_put_replicated", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            dht.put(&format!("obj-{}", i % 1000), vjson!({"n": (i as i64)}))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_core(c: &mut Criterion) {
+    let pkg = parse::package_from_yaml(LISTING1).unwrap();
+    c.bench_function("hierarchy_resolve_listing1", |b| {
+        b.iter(|| ClassHierarchy::resolve(black_box(&pkg.classes)).unwrap())
+    });
+    let catalog = TemplateCatalog::standard();
+    let nfr = NfrSpec::from_value(&vjson!({
+        "qos": {"throughput": 5000, "latency": 5},
+        "constraint": {"persistent": true},
+    }))
+    .unwrap();
+    c.bench_function("template_select", |b| {
+        b.iter(|| catalog.select(black_box(&nfr)).unwrap())
+    });
+    let df = DataflowSpec::new("wide")
+        .step(StepSpec::new("a", "f").from_input())
+        .step(StepSpec::new("b", "f").from_step("a"))
+        .step(StepSpec::new("c", "f").from_step("a"))
+        .step(StepSpec::new("d", "f").from_step("a"))
+        .step(
+            StepSpec::new("join", "g")
+                .from_step("b")
+                .from_step("c")
+                .from_step("d"),
+        );
+    c.bench_function("dataflow_stage_planning", |b| {
+        b.iter(|| black_box(&df).stages())
+    });
+    let from = vjson!({"a": 1, "b": {"c": [1, 2, 3], "d": "x"}});
+    let to = vjson!({"a": 2, "b": {"c": [1, 2, 3], "d": "y"}, "e": true});
+    c.bench_function("merge_diff_and_apply", |b| {
+        b.iter(|| {
+            let patch = oprc_value::merge::diff(black_box(&from), black_box(&to)).unwrap();
+            let mut x = from.clone();
+            oprc_value::merge::deep_merge(&mut x, patch);
+            x
+        })
+    });
+}
+
+criterion_group!(benches, bench_parsing, bench_crypto, bench_routing, bench_core);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Extension experiment E2: VM failure and recovery under load.
+//!
+//! Kills half the worker VMs mid-run and (optionally) brings them back,
+//! printing a per-second throughput timeline. Exercises the cluster's
+//! eviction/reschedule path and the engines' capacity coupling.
+//!
+//! ```text
+//! cargo run -p oprc-bench --bin availability --release
+//! ```
+
+use oprc_bench::format_table;
+use oprc_platform::sim::{self, ExperimentConfig, FailureSpec, SystemVariant};
+use oprc_simcore::SimDuration;
+
+fn main() {
+    let vms = 6;
+    let warmup = 5u64;
+    let fail_at = 5u64; // seconds after warmup
+    let recover_after = 6u64;
+    let measure = 20u64;
+
+    println!("== E2: failure & recovery timeline ({vms} VMs, {} go down) ==\n", vms / 2);
+    let mut rows = Vec::new();
+    let mut timelines = Vec::new();
+    for variant in [SystemVariant::Knative, SystemVariant::OprcBypass] {
+        let mut cfg = ExperimentConfig::fig3(variant, vms);
+        cfg.warmup = SimDuration::from_secs(warmup);
+        cfg.measure = SimDuration::from_secs(measure);
+        cfg.failure = Some(FailureSpec {
+            at: SimDuration::from_secs(fail_at),
+            vms_down: vms / 2,
+            recover_after: Some(SimDuration::from_secs(recover_after)),
+        });
+        let r = sim::run(cfg);
+        let steady = |range: std::ops::Range<usize>| -> f64 {
+            let xs: Vec<u64> = range.map(|s| *r.per_second.get(s).unwrap_or(&0)).collect();
+            xs.iter().sum::<u64>() as f64 / xs.len().max(1) as f64
+        };
+        let before = steady(6..9);
+        let during = steady(12..15);
+        let after = steady(18..22);
+        rows.push(vec![
+            variant.label().to_string(),
+            format!("{before:.0}"),
+            format!("{during:.0}"),
+            format!("{after:.0}"),
+            format!("{:.0}%", 100.0 * during / before.max(1.0)),
+        ]);
+        timelines.push((variant.label(), r.per_second.clone()));
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "system".into(),
+                "before/s".into(),
+                "during/s".into(),
+                "after/s".into(),
+                "retained".into(),
+            ],
+            &rows
+        )
+    );
+
+    println!("per-second timeline (fail at t={}s, recover at t={}s):", warmup + fail_at, warmup + fail_at + recover_after);
+    for (label, tl) in &timelines {
+        let spark: String = tl
+            .iter()
+            .take((warmup + measure) as usize + 3)
+            .map(|&c| {
+                let peak = *tl.iter().max().unwrap_or(&1) as f64;
+                let idx = (c as f64 / peak * 7.0).round() as usize;
+                ['.', '▁', '▂', '▃', '▄', '▅', '▆', '▇'][idx.min(7)]
+            })
+            .collect();
+        println!("  {label:<24} {spark}");
+    }
+    println!("\n(cluster evicts pods from down nodes; the scheduler reschedules what fits;");
+    println!(" replacements pay a container cold start on recovery)");
+}

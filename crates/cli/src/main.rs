@@ -1,0 +1,108 @@
+//! `oprc-ctl`: the Oparaca management CLI (paper §IV step 2).
+//!
+//! Runs an in-process platform with the three reference workloads'
+//! function implementations pre-registered (a text CLI cannot express
+//! closures), then executes commands from arguments, a script, or an
+//! interactive REPL.
+//!
+//! ```text
+//! oprc-ctl                           # REPL
+//! oprc-ctl -c 'classes' -c '...'     # one-shot commands
+//! oprc-ctl --script session.oprc     # command script
+//! ```
+
+use std::io::{BufRead, Write};
+
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_platform::gateway::OprcCtl;
+
+fn build_ctl() -> OprcCtl {
+    let mut platform = EmbeddedPlatform::new();
+    // Pre-register the reference function implementations so YAML
+    // packages referring to their images are runnable from the CLI.
+    oprc_workloads::jsonrand::install(&mut platform).expect("jsonrand installs");
+    oprc_workloads::image::install(&mut platform).expect("image installs");
+    oprc_workloads::video::install(&mut platform).expect("video installs");
+    OprcCtl::new(platform)
+}
+
+fn run_line(ctl: &mut OprcCtl, line: &str) -> bool {
+    match ctl.execute(line) {
+        Ok(out) => {
+            if !out.text.is_empty() {
+                println!("{}", out.text);
+            }
+            true
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            false
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctl = build_ctl();
+
+    // One-shot commands: -c '<command>'.
+    let mut i = 0;
+    let mut ran_any = false;
+    let mut ok = true;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-c" if i + 1 < args.len() => {
+                ok &= run_line(&mut ctl, &args[i + 1]);
+                ran_any = true;
+                i += 2;
+            }
+            "--script" if i + 1 < args.len() => {
+                let text = std::fs::read_to_string(&args[i + 1]).unwrap_or_else(|e| {
+                    eprintln!("error: cannot read '{}': {e}", args[i + 1]);
+                    std::process::exit(2);
+                });
+                for line in text.lines() {
+                    ok &= run_line(&mut ctl, line);
+                }
+                ran_any = true;
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("oprc-ctl — Oparaca management CLI");
+                println!("  (no args)            interactive REPL");
+                println!("  -c '<command>'       run one command (repeatable)");
+                println!("  --script <path>      run a command script");
+                println!();
+                let _ = run_line(&mut ctl, "help");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown flag '{other}' (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if ran_any {
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+
+    // REPL.
+    println!("oprc-ctl — type 'help' for commands, ctrl-d to exit");
+    println!("(workload images img/*, vid/* are pre-registered; their classes are deployed)");
+    let stdin = std::io::stdin();
+    loop {
+        print!("oprc> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                run_line(&mut ctl, &line);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                break;
+            }
+        }
+    }
+}

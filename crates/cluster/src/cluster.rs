@@ -1,0 +1,691 @@
+//! The cluster state machine.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::scheduler::{self, Strategy};
+use crate::{
+    Deployment, DeploymentSpec, Node, NodeId, NodeSpec, NodeStatus, Pod, PodId, PodPhase, PodSpec,
+};
+
+/// Error raised by cluster operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A deployment with this name already exists.
+    DuplicateDeployment(String),
+    /// No deployment with this name exists.
+    UnknownDeployment(String),
+    /// No node with this id exists.
+    UnknownNode(NodeId),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::DuplicateDeployment(n) => write!(f, "deployment '{n}' already exists"),
+            ClusterError::UnknownDeployment(n) => write!(f, "unknown deployment '{n}'"),
+            ClusterError::UnknownNode(id) => write!(f, "unknown node {id}"),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+/// A state change produced by [`Cluster::reconcile`] or failure
+/// injection, for the DES harness to turn into timed events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterChange {
+    /// A pending pod was bound to a node (container start begins).
+    PodScheduled {
+        /// The pod that was bound.
+        pod: PodId,
+        /// The node it was bound to.
+        node: NodeId,
+    },
+    /// No node could host the pod; it remains pending.
+    PodUnschedulable {
+        /// The pod that could not be placed.
+        pod: PodId,
+    },
+    /// A pod was removed (scale-in or deployment deletion).
+    PodTerminated {
+        /// The removed pod.
+        pod: PodId,
+    },
+    /// A pod was evicted because its node went down; it is pending again.
+    PodEvicted {
+        /// The evicted pod.
+        pod: PodId,
+        /// The failed node it was running on.
+        node: NodeId,
+    },
+}
+
+/// An in-memory model of a container-orchestration cluster.
+///
+/// See the [crate docs](crate) for the overall role. All operations are
+/// deterministic; iteration orders are fixed by id ordering.
+#[derive(Debug, Default)]
+pub struct Cluster {
+    nodes: BTreeMap<NodeId, Node>,
+    pods: BTreeMap<PodId, Pod>,
+    deployments: BTreeMap<String, Deployment>,
+    strategy: Strategy,
+    next_node: u64,
+    next_pod: u64,
+}
+
+impl Cluster {
+    /// Creates an empty cluster with the default (spread) scheduler.
+    pub fn new() -> Self {
+        Cluster::default()
+    }
+
+    /// Sets the scheduling strategy for subsequent reconciles.
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.strategy = strategy;
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        self.nodes.insert(id, Node::new(id, spec));
+        id
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.values()
+    }
+
+    /// Looks up a node.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(&id)
+    }
+
+    /// Looks up a pod.
+    pub fn pod(&self, id: PodId) -> Option<&Pod> {
+        self.pods.get(&id)
+    }
+
+    /// All pods in id order.
+    pub fn pods(&self) -> impl Iterator<Item = &Pod> {
+        self.pods.values()
+    }
+
+    /// Looks up a deployment.
+    pub fn deployment(&self, name: &str) -> Option<&Deployment> {
+        self.deployments.get(name)
+    }
+
+    /// Number of `Ready` nodes.
+    pub fn ready_nodes(&self) -> usize {
+        self.nodes
+            .values()
+            .filter(|n| n.status() == NodeStatus::Ready)
+            .count()
+    }
+
+    /// Creates a deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::DuplicateDeployment`] if the name is taken.
+    pub fn apply(&mut self, spec: DeploymentSpec) -> Result<(), ClusterError> {
+        if self.deployments.contains_key(&spec.name) {
+            return Err(ClusterError::DuplicateDeployment(spec.name));
+        }
+        self.deployments
+            .insert(spec.name.clone(), Deployment::new(spec));
+        Ok(())
+    }
+
+    /// Changes a deployment's desired replicas (autoscaler entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownDeployment`] for missing names.
+    pub fn scale(&mut self, name: &str, replicas: u32) -> Result<(), ClusterError> {
+        let dep = self
+            .deployments
+            .get_mut(name)
+            .ok_or_else(|| ClusterError::UnknownDeployment(name.to_string()))?;
+        dep.set_replicas(replicas);
+        Ok(())
+    }
+
+    /// Updates a deployment's pod template, starting a rolling update
+    /// that subsequent [`Cluster::reconcile`] calls drive to completion
+    /// within the spec's [`crate::RolloutConfig`] limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownDeployment`] for missing names.
+    pub fn set_template(&mut self, name: &str, template: PodSpec) -> Result<(), ClusterError> {
+        let dep = self
+            .deployments
+            .get_mut(name)
+            .ok_or_else(|| ClusterError::UnknownDeployment(name.to_string()))?;
+        dep.set_template(template);
+        Ok(())
+    }
+
+    /// True while `name` has pods from an older template revision.
+    pub fn rollout_in_progress(&self, name: &str) -> bool {
+        let Some(dep) = self.deployments.get(name) else {
+            return false;
+        };
+        dep.pods.iter().any(|p| {
+            self.pods
+                .get(p)
+                .is_some_and(|pod| pod.revision() < dep.revision)
+        })
+    }
+
+    /// Deletes a deployment, terminating its pods.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownDeployment`] for missing names.
+    pub fn delete_deployment(&mut self, name: &str) -> Result<Vec<ClusterChange>, ClusterError> {
+        let dep = self
+            .deployments
+            .remove(name)
+            .ok_or_else(|| ClusterError::UnknownDeployment(name.to_string()))?;
+        let mut changes = Vec::new();
+        for pod_id in dep.pods {
+            self.remove_pod(pod_id);
+            changes.push(ClusterChange::PodTerminated { pod: pod_id });
+        }
+        Ok(changes)
+    }
+
+    /// Marks a node's health, evicting pods when it goes [`NodeStatus::Down`].
+    ///
+    /// Evicted pods return to `Pending` and are rescheduled on the next
+    /// [`Cluster::reconcile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownNode`] for missing ids.
+    pub fn set_node_status(
+        &mut self,
+        id: NodeId,
+        status: NodeStatus,
+    ) -> Result<Vec<ClusterChange>, ClusterError> {
+        let node = self
+            .nodes
+            .get_mut(&id)
+            .ok_or(ClusterError::UnknownNode(id))?;
+        node.set_status(status);
+        let mut changes = Vec::new();
+        if status == NodeStatus::Down {
+            for pod_id in node.drain() {
+                if let Some(pod) = self.pods.get_mut(&pod_id) {
+                    pod.unbind();
+                }
+                changes.push(ClusterChange::PodEvicted { pod: pod_id, node: id });
+            }
+        }
+        Ok(changes)
+    }
+
+    /// Marks a scheduled pod as running (container start finished).
+    pub fn mark_pod_running(&mut self, id: PodId) {
+        if let Some(pod) = self.pods.get_mut(&id) {
+            if pod.phase() == PodPhase::Starting {
+                pod.set_phase(PodPhase::Running);
+            }
+        }
+    }
+
+    /// Running pods of a deployment, in id order.
+    pub fn running_pods(&self, deployment: &str) -> Vec<PodId> {
+        self.deployments
+            .get(deployment)
+            .map(|d| {
+                d.pods
+                    .iter()
+                    .copied()
+                    .filter(|p| {
+                        self.pods
+                            .get(p)
+                            .is_some_and(|pod| pod.phase() == PodPhase::Running)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Drives actual state toward desired state:
+    ///
+    /// 1. creates pods for under-replicated deployments;
+    /// 2. terminates newest-first for over-replicated deployments;
+    /// 3. binds pending pods to nodes via the configured strategy.
+    ///
+    /// Returns the changes made, in a deterministic order.
+    pub fn reconcile(&mut self) -> Vec<ClusterChange> {
+        let mut changes = Vec::new();
+
+        // 1 & 2: replica counts and rolling updates.
+        let names: Vec<String> = self.deployments.keys().cloned().collect();
+        for name in names {
+            let (want, template, revision, rollout) = {
+                let d = &self.deployments[&name];
+                (
+                    d.replicas() as usize,
+                    d.spec().template.clone(),
+                    d.revision,
+                    d.spec().rollout,
+                )
+            };
+            let pod_list: Vec<PodId> = self.deployments[&name].pods.clone();
+            let current: Vec<PodId> = pod_list
+                .iter()
+                .copied()
+                .filter(|p| self.pods.get(p).is_some_and(|pod| pod.revision() == revision))
+                .collect();
+            let stale: Vec<PodId> = pod_list
+                .iter()
+                .copied()
+                .filter(|p| self.pods.get(p).is_some_and(|pod| pod.revision() < revision))
+                .collect();
+
+            // Scale in: drop newest current-revision pods first, then
+            // stale pods.
+            let total = current.len() + stale.len();
+            if total > want && stale.is_empty() {
+                let excess: Vec<PodId> = {
+                    let d = self.deployments.get_mut(&name).expect("exists");
+                    d.pods.split_off(want)
+                };
+                for pod_id in excess {
+                    self.remove_pod(pod_id);
+                    changes.push(ClusterChange::PodTerminated { pod: pod_id });
+                }
+                continue;
+            }
+
+            // Rollout step 1 — surge: create current-revision pods while
+            // under both the desired count and the surge ceiling.
+            let ceiling = want + rollout.max_surge as usize;
+            let mut total = current.len() + stale.len();
+            let mut current_count = current.len();
+            while current_count < want && total < ceiling {
+                let id = PodId(self.next_pod);
+                self.next_pod += 1;
+                self.pods
+                    .insert(id, Pod::new(id, name.clone(), template.clone(), revision));
+                self.deployments.get_mut(&name).expect("exists").pods.push(id);
+                current_count += 1;
+                total += 1;
+            }
+
+            // Rollout step 2 — retire stale pods while *running*
+            // availability stays at or above `want - max_unavailable`.
+            let is_running = |pods: &BTreeMap<PodId, Pod>, p: &PodId| {
+                pods.get(p).is_some_and(|pod| pod.phase() == PodPhase::Running)
+            };
+            let running_current = current
+                .iter()
+                .filter(|p| is_running(&self.pods, p))
+                .count();
+            let (running_stale, idle_stale): (Vec<PodId>, Vec<PodId>) = stale
+                .into_iter()
+                .partition(|p| is_running(&self.pods, p));
+            // Non-running stale pods provide no availability: retire
+            // immediately.
+            for pod_id in idle_stale {
+                self.retire_pod(&name, pod_id, &mut changes);
+            }
+            let floor = want.saturating_sub(rollout.max_unavailable as usize);
+            let mut available = running_current + running_stale.len();
+            for pod_id in running_stale {
+                if available <= floor {
+                    break; // wait for replacements to become Running
+                }
+                self.retire_pod(&name, pod_id, &mut changes);
+                available -= 1;
+            }
+        }
+
+        // 3: bind pending pods.
+        let pending: Vec<PodId> = self
+            .pods
+            .values()
+            .filter(|p| p.phase() == PodPhase::Pending)
+            .map(|p| p.id())
+            .collect();
+        for pod_id in pending {
+            let request = self.pods[&pod_id].spec().request;
+            match scheduler::pick(self.strategy, self.nodes.values(), &request) {
+                Some(node_id) => {
+                    self.nodes
+                        .get_mut(&node_id)
+                        .expect("picked node exists")
+                        .bind(pod_id, request);
+                    self.pods
+                        .get_mut(&pod_id)
+                        .expect("pending pod exists")
+                        .bind_to(node_id);
+                    changes.push(ClusterChange::PodScheduled {
+                        pod: pod_id,
+                        node: node_id,
+                    });
+                }
+                None => changes.push(ClusterChange::PodUnschedulable { pod: pod_id }),
+            }
+        }
+        changes
+    }
+
+    /// Removes a pod and its deployment membership (rollout retirement).
+    fn retire_pod(&mut self, deployment: &str, id: PodId, changes: &mut Vec<ClusterChange>) {
+        self.remove_pod(id);
+        if let Some(d) = self.deployments.get_mut(deployment) {
+            d.pods.retain(|p| *p != id);
+        }
+        changes.push(ClusterChange::PodTerminated { pod: id });
+    }
+
+    fn remove_pod(&mut self, id: PodId) {
+        if let Some(pod) = self.pods.remove(&id) {
+            if let Some(node_id) = pod.node() {
+                if let Some(node) = self.nodes.get_mut(&node_id) {
+                    node.unbind(id, pod.spec().request);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PodSpec;
+    use crate::ResourceSpec;
+
+    fn small_pod() -> PodSpec {
+        PodSpec::new(ResourceSpec::new(100, 100))
+    }
+
+    fn cluster_with_nodes(n: usize) -> Cluster {
+        let mut c = Cluster::new();
+        for _ in 0..n {
+            c.add_node(NodeSpec::with_capacity(ResourceSpec::new(1000, 1000)));
+        }
+        c
+    }
+
+    #[test]
+    fn reconcile_creates_and_schedules() {
+        let mut c = cluster_with_nodes(2);
+        c.apply(DeploymentSpec::new("d", 3, small_pod())).unwrap();
+        let changes = c.reconcile();
+        let scheduled = changes
+            .iter()
+            .filter(|ch| matches!(ch, ClusterChange::PodScheduled { .. }))
+            .count();
+        assert_eq!(scheduled, 3);
+        // Spread: 2 on one node max.
+        assert!(c.nodes().all(|n| n.pod_count() <= 2));
+    }
+
+    #[test]
+    fn reconcile_is_idempotent() {
+        let mut c = cluster_with_nodes(2);
+        c.apply(DeploymentSpec::new("d", 2, small_pod())).unwrap();
+        c.reconcile();
+        assert!(c.reconcile().is_empty());
+    }
+
+    #[test]
+    fn scale_up_and_down() {
+        let mut c = cluster_with_nodes(2);
+        c.apply(DeploymentSpec::new("d", 1, small_pod())).unwrap();
+        c.reconcile();
+        c.scale("d", 4).unwrap();
+        let up = c.reconcile();
+        assert_eq!(up.len(), 3);
+        c.scale("d", 1).unwrap();
+        let down = c.reconcile();
+        assert_eq!(
+            down.iter()
+                .filter(|ch| matches!(ch, ClusterChange::PodTerminated { .. }))
+                .count(),
+            3
+        );
+        assert_eq!(c.deployment("d").unwrap().pod_ids().len(), 1);
+        // Node allocations released.
+        let total: u64 = c.nodes().map(|n| n.allocated().cpu_millis).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn unschedulable_when_full() {
+        let mut c = cluster_with_nodes(1);
+        c.apply(DeploymentSpec::new(
+            "d",
+            2,
+            PodSpec::new(ResourceSpec::new(800, 800)),
+        ))
+        .unwrap();
+        let changes = c.reconcile();
+        assert!(changes.contains(&ClusterChange::PodUnschedulable {
+            pod: c.deployment("d").unwrap().pod_ids()[1]
+        }));
+        // Adding capacity fixes it on the next reconcile.
+        c.add_node(NodeSpec::with_capacity(ResourceSpec::new(1000, 1000)));
+        let changes = c.reconcile();
+        assert!(matches!(changes[0], ClusterChange::PodScheduled { .. }));
+    }
+
+    #[test]
+    fn node_failure_evicts_and_reschedules() {
+        let mut c = cluster_with_nodes(2);
+        c.apply(DeploymentSpec::new("d", 2, small_pod())).unwrap();
+        c.reconcile();
+        for p in c.pods().map(|p| p.id()).collect::<Vec<_>>() {
+            c.mark_pod_running(p);
+        }
+        let victim = c.pods().next().unwrap().node().unwrap();
+        let evictions = c.set_node_status(victim, NodeStatus::Down).unwrap();
+        assert!(!evictions.is_empty());
+        let changes = c.reconcile();
+        // All evicted pods land on the surviving node.
+        for ch in &changes {
+            if let ClusterChange::PodScheduled { node, .. } = ch {
+                assert_ne!(*node, victim);
+            }
+        }
+        assert_eq!(c.running_pods("d").len(), 2 - evictions.len());
+    }
+
+    #[test]
+    fn mark_running_only_from_starting() {
+        let mut c = cluster_with_nodes(1);
+        c.apply(DeploymentSpec::new("d", 1, small_pod())).unwrap();
+        c.reconcile();
+        let pod = c.pods().next().unwrap().id();
+        c.mark_pod_running(pod);
+        assert_eq!(c.running_pods("d"), vec![pod]);
+        // Idempotent.
+        c.mark_pod_running(pod);
+        assert_eq!(c.running_pods("d").len(), 1);
+    }
+
+    #[test]
+    fn delete_deployment_terminates_pods() {
+        let mut c = cluster_with_nodes(1);
+        c.apply(DeploymentSpec::new("d", 2, small_pod())).unwrap();
+        c.reconcile();
+        let changes = c.delete_deployment("d").unwrap();
+        assert_eq!(changes.len(), 2);
+        assert_eq!(c.pods().count(), 0);
+        assert!(c.deployment("d").is_none());
+        assert_eq!(
+            c.delete_deployment("d"),
+            Err(ClusterError::UnknownDeployment("d".to_string()))
+        );
+    }
+
+    #[test]
+    fn duplicate_apply_rejected() {
+        let mut c = cluster_with_nodes(1);
+        c.apply(DeploymentSpec::new("d", 1, small_pod())).unwrap();
+        assert_eq!(
+            c.apply(DeploymentSpec::new("d", 1, small_pod())),
+            Err(ClusterError::DuplicateDeployment("d".to_string()))
+        );
+    }
+
+    #[test]
+    fn errors_for_unknown_entities() {
+        let mut c = Cluster::new();
+        assert!(matches!(
+            c.scale("x", 1),
+            Err(ClusterError::UnknownDeployment(_))
+        ));
+        assert!(matches!(
+            c.set_node_status(NodeId(9), NodeStatus::Down),
+            Err(ClusterError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn cordoned_node_receives_no_new_pods() {
+        let mut c = cluster_with_nodes(2);
+        let cordoned = c.nodes().next().unwrap().id();
+        c.set_node_status(cordoned, NodeStatus::Cordoned).unwrap();
+        c.apply(DeploymentSpec::new("d", 2, small_pod())).unwrap();
+        c.reconcile();
+        assert_eq!(c.node(cordoned).unwrap().pod_count(), 0);
+    }
+
+    /// Drives reconcile+mark cycles until quiescent, returning cycles
+    /// used.
+    fn settle(c: &mut Cluster, max_cycles: usize) -> usize {
+        for cycle in 0..max_cycles {
+            let changes = c.reconcile();
+            for p in c.pods().map(|p| p.id()).collect::<Vec<_>>() {
+                c.mark_pod_running(p);
+            }
+            if changes.is_empty() {
+                return cycle;
+            }
+        }
+        max_cycles
+    }
+
+    #[test]
+    fn rolling_update_replaces_all_pods_zero_downtime() {
+        let mut c = cluster_with_nodes(3);
+        c.apply(DeploymentSpec::new("d", 4, small_pod())).unwrap();
+        settle(&mut c, 5);
+        let old_pods: Vec<PodId> = c.deployment("d").unwrap().pod_ids().to_vec();
+        assert_eq!(c.running_pods("d").len(), 4);
+
+        // New template (different resources) starts a rollout.
+        c.set_template("d", PodSpec::new(ResourceSpec::new(150, 150)))
+            .unwrap();
+        assert!(c.rollout_in_progress("d"));
+
+        // Drive to completion; with surge 1 / unavailable 0 the running
+        // count never drops below 4.
+        for _ in 0..20 {
+            if !c.rollout_in_progress("d") {
+                break;
+            }
+            c.reconcile();
+            assert!(
+                c.running_pods("d").len() >= 4,
+                "availability dropped during zero-downtime rollout"
+            );
+            for p in c.pods().map(|p| p.id()).collect::<Vec<_>>() {
+                c.mark_pod_running(p);
+            }
+        }
+        assert!(!c.rollout_in_progress("d"));
+        let new_pods: Vec<PodId> = c.deployment("d").unwrap().pod_ids().to_vec();
+        assert_eq!(new_pods.len(), 4);
+        for p in &new_pods {
+            assert!(!old_pods.contains(p), "old pod survived the rollout");
+            assert_eq!(c.pod(*p).unwrap().revision(), 2);
+            assert_eq!(c.pod(*p).unwrap().spec().request.cpu_millis, 150);
+        }
+    }
+
+    #[test]
+    fn rollout_with_unavailability_budget_is_faster() {
+        use crate::RolloutConfig;
+        let drive = |rollout: RolloutConfig| -> usize {
+            let mut c = cluster_with_nodes(4);
+            c.apply(
+                DeploymentSpec::new("d", 6, small_pod()).rollout(rollout),
+            )
+            .unwrap();
+            settle(&mut c, 5);
+            c.set_template("d", PodSpec::new(ResourceSpec::new(120, 120)))
+                .unwrap();
+            let mut cycles = 0;
+            while c.rollout_in_progress("d") && cycles < 30 {
+                c.reconcile();
+                for p in c.pods().map(|p| p.id()).collect::<Vec<_>>() {
+                    c.mark_pod_running(p);
+                }
+                cycles += 1;
+            }
+            assert!(!c.rollout_in_progress("d"), "rollout stuck");
+            cycles
+        };
+        let conservative = drive(RolloutConfig {
+            max_surge: 1,
+            max_unavailable: 0,
+        });
+        let aggressive = drive(RolloutConfig {
+            max_surge: 3,
+            max_unavailable: 3,
+        });
+        assert!(
+            aggressive < conservative,
+            "bigger budgets should finish faster: {aggressive} vs {conservative}"
+        );
+    }
+
+    #[test]
+    fn identical_template_is_not_a_rollout() {
+        let mut c = cluster_with_nodes(2);
+        c.apply(DeploymentSpec::new("d", 2, small_pod())).unwrap();
+        settle(&mut c, 5);
+        c.set_template("d", small_pod()).unwrap();
+        assert!(!c.rollout_in_progress("d"));
+        assert!(c.reconcile().is_empty());
+    }
+
+    #[test]
+    fn scale_during_rollout_converges() {
+        let mut c = cluster_with_nodes(3);
+        c.apply(DeploymentSpec::new("d", 3, small_pod())).unwrap();
+        settle(&mut c, 5);
+        c.set_template("d", PodSpec::new(ResourceSpec::new(120, 120)))
+            .unwrap();
+        c.reconcile(); // rollout begins
+        c.scale("d", 5).unwrap();
+        settle(&mut c, 30);
+        assert!(!c.rollout_in_progress("d"));
+        assert_eq!(c.running_pods("d").len(), 5);
+        for p in c.deployment("d").unwrap().pod_ids() {
+            assert_eq!(c.pod(*p).unwrap().revision(), 2);
+        }
+    }
+
+    #[test]
+    fn ready_nodes_counts_health() {
+        let mut c = cluster_with_nodes(3);
+        let id = c.nodes().next().unwrap().id();
+        c.set_node_status(id, NodeStatus::Down).unwrap();
+        assert_eq!(c.ready_nodes(), 2);
+    }
+}

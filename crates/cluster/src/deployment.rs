@@ -1,0 +1,128 @@
+//! Deployments: declared replica sets of identical pods.
+
+use crate::PodSpec;
+
+/// Rolling-update limits (absolute counts, like Kubernetes with
+/// absolute values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RolloutConfig {
+    /// Extra pods allowed above `replicas` during a rollout.
+    pub max_surge: u32,
+    /// Pods allowed below `replicas` during a rollout.
+    pub max_unavailable: u32,
+}
+
+impl Default for RolloutConfig {
+    fn default() -> Self {
+        RolloutConfig {
+            max_surge: 1,
+            max_unavailable: 0,
+        }
+    }
+}
+
+/// Desired state for a group of identical pods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeploymentSpec {
+    /// Unique deployment name.
+    pub name: String,
+    /// Desired replica count.
+    pub replicas: u32,
+    /// Template for each replica.
+    pub template: PodSpec,
+    /// Rolling-update limits.
+    pub rollout: RolloutConfig,
+}
+
+impl DeploymentSpec {
+    /// Creates a deployment spec with default rollout limits
+    /// (surge 1, unavailable 0 — a conservative, zero-downtime rollout).
+    pub fn new(name: impl Into<String>, replicas: u32, template: PodSpec) -> Self {
+        DeploymentSpec {
+            name: name.into(),
+            replicas,
+            template,
+            rollout: RolloutConfig::default(),
+        }
+    }
+
+    /// Overrides the rollout limits.
+    pub fn rollout(mut self, rollout: RolloutConfig) -> Self {
+        self.rollout = rollout;
+        self
+    }
+}
+
+/// A deployment's tracked state.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    spec: DeploymentSpec,
+    /// Pods created for this deployment, newest last.
+    pub(crate) pods: Vec<crate::PodId>,
+    /// Current template revision, bumped by template updates.
+    pub(crate) revision: u64,
+}
+
+impl Deployment {
+    pub(crate) fn new(spec: DeploymentSpec) -> Self {
+        Deployment {
+            spec,
+            pods: Vec::new(),
+            revision: 1,
+        }
+    }
+
+    /// The current template revision.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    pub(crate) fn set_template(&mut self, template: PodSpec) {
+        if self.spec.template != template {
+            self.spec.template = template;
+            self.revision += 1;
+        }
+    }
+
+    /// The declared spec.
+    pub fn spec(&self) -> &DeploymentSpec {
+        &self.spec
+    }
+
+    /// Desired replicas.
+    pub fn replicas(&self) -> u32 {
+        self.spec.replicas
+    }
+
+    pub(crate) fn set_replicas(&mut self, replicas: u32) {
+        self.spec.replicas = replicas;
+    }
+
+    /// Ids of pods currently owned by this deployment.
+    pub fn pod_ids(&self) -> &[crate::PodId] {
+        &self.pods
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ResourceSpec;
+
+    #[test]
+    fn spec_round_trip() {
+        let spec = DeploymentSpec::new("web", 3, PodSpec::new(ResourceSpec::new(100, 100)));
+        let mut d = Deployment::new(spec.clone());
+        assert_eq!(d.spec(), &spec);
+        assert_eq!(d.replicas(), 3);
+        d.set_replicas(5);
+        assert_eq!(d.replicas(), 5);
+        assert!(d.pod_ids().is_empty());
+        assert_eq!(d.revision(), 1);
+        d.set_template(PodSpec::new(ResourceSpec::new(200, 200)));
+        assert_eq!(d.revision(), 2);
+        // Identical template is a no-op.
+        d.set_template(PodSpec::new(ResourceSpec::new(200, 200)));
+        assert_eq!(d.revision(), 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! A Kubernetes-like cluster substrate model.
+//!
+//! The paper deploys Oparaca on Kubernetes (§IV step 1) and evaluates it
+//! on clusters of 3–12 worker VMs (§V). This crate models the parts of a
+//! container orchestrator that the evaluation's behaviour depends on:
+//!
+//! - [`Node`]s (worker VMs) with CPU/memory capacity and zone/region
+//!   placement ([`topology`]);
+//! - [`PodSpec`]s grouped into [`Deployment`]s with declared replicas;
+//! - a [`scheduler`] that binds pending pods to nodes (bin-pack or
+//!   spread), respecting resource fit and node health;
+//! - [`service`] endpoint pools with pluggable load-balancing policies;
+//! - failure injection: marking a node down evicts its pods and the next
+//!   [`Cluster::reconcile`] reschedules them.
+//!
+//! The model is *passive*: methods mutate state and return
+//! [`ClusterChange`]s describing what happened; the DES harness in
+//! `oprc-platform` turns those into timed events (image pull, container
+//! start, …).
+//!
+//! # Examples
+//!
+//! ```
+//! use oprc_cluster::{Cluster, DeploymentSpec, NodeSpec, PodSpec, ResourceSpec};
+//!
+//! let mut cluster = Cluster::new();
+//! for _ in 0..3 {
+//!     cluster.add_node(NodeSpec::with_capacity(ResourceSpec::new(4000, 8 << 30)));
+//! }
+//! cluster.apply(DeploymentSpec::new(
+//!     "fn-resize",
+//!     3,
+//!     PodSpec::new(ResourceSpec::new(1000, 1 << 30)),
+//! ))?;
+//! let changes = cluster.reconcile();
+//! assert_eq!(changes.len(), 3); // three pods scheduled
+//! # Ok::<(), oprc_cluster::ClusterError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod deployment;
+mod node;
+mod pod;
+mod resources;
+
+pub mod scheduler;
+pub mod service;
+pub mod topology;
+
+pub use cluster::{Cluster, ClusterChange, ClusterError};
+pub use deployment::{Deployment, DeploymentSpec, RolloutConfig};
+pub use node::{Node, NodeId, NodeSpec, NodeStatus};
+pub use pod::{Pod, PodId, PodPhase, PodSpec};
+pub use resources::ResourceSpec;

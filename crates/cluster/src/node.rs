@@ -1,0 +1,233 @@
+//! Worker nodes (the paper's "VMs").
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{PodId, ResourceSpec};
+
+/// Opaque node identifier, unique within a [`crate::Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u64);
+
+impl NodeId {
+    /// The raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// Health of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeStatus {
+    /// Schedulable and running pods.
+    #[default]
+    Ready,
+    /// Cordoned: existing pods keep running, no new pods scheduled.
+    Cordoned,
+    /// Failed: pods are evicted and must be rescheduled.
+    Down,
+}
+
+/// Static description of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Allocatable resources.
+    pub capacity: ResourceSpec,
+    /// Availability zone (see [`crate::topology`]).
+    pub zone: String,
+    /// Region containing the zone.
+    pub region: String,
+}
+
+impl NodeSpec {
+    /// Creates a node spec in the default zone/region.
+    pub fn with_capacity(capacity: ResourceSpec) -> Self {
+        NodeSpec {
+            capacity,
+            zone: "zone-a".to_string(),
+            region: "region-1".to_string(),
+        }
+    }
+
+    /// Sets the zone.
+    pub fn in_zone(mut self, zone: impl Into<String>) -> Self {
+        self.zone = zone.into();
+        self
+    }
+
+    /// Sets the region.
+    pub fn in_region(mut self, region: impl Into<String>) -> Self {
+        self.region = region.into();
+        self
+    }
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        NodeSpec::with_capacity(ResourceSpec::worker_vm())
+    }
+}
+
+/// A node's runtime state.
+#[derive(Debug, Clone)]
+pub struct Node {
+    id: NodeId,
+    spec: NodeSpec,
+    status: NodeStatus,
+    allocated: ResourceSpec,
+    pods: BTreeSet<PodId>,
+}
+
+impl Node {
+    pub(crate) fn new(id: NodeId, spec: NodeSpec) -> Self {
+        Node {
+            id,
+            spec,
+            status: NodeStatus::Ready,
+            allocated: ResourceSpec::ZERO,
+            pods: BTreeSet::new(),
+        }
+    }
+
+    /// The node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The static spec.
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// Current health.
+    pub fn status(&self) -> NodeStatus {
+        self.status
+    }
+
+    pub(crate) fn set_status(&mut self, status: NodeStatus) {
+        self.status = status;
+    }
+
+    /// Resources currently allocated to bound pods.
+    pub fn allocated(&self) -> ResourceSpec {
+        self.allocated
+    }
+
+    /// Resources still available for new pods.
+    pub fn free(&self) -> ResourceSpec {
+        self.spec.capacity.saturating_sub(&self.allocated)
+    }
+
+    /// True if a pod with `request` fits and the node accepts new pods.
+    pub fn can_host(&self, request: &ResourceSpec) -> bool {
+        self.status == NodeStatus::Ready && self.free().fits(request)
+    }
+
+    /// Pods currently bound to this node.
+    pub fn pods(&self) -> impl Iterator<Item = PodId> + '_ {
+        self.pods.iter().copied()
+    }
+
+    /// Number of bound pods.
+    pub fn pod_count(&self) -> usize {
+        self.pods.len()
+    }
+
+    /// Fraction of capacity allocated (dominant share).
+    pub fn utilization(&self) -> f64 {
+        self.allocated.dominant_share(&self.spec.capacity)
+    }
+
+    pub(crate) fn bind(&mut self, pod: PodId, request: ResourceSpec) {
+        debug_assert!(self.can_host(&request), "bind without fit check");
+        self.pods.insert(pod);
+        self.allocated += request;
+    }
+
+    pub(crate) fn unbind(&mut self, pod: PodId, request: ResourceSpec) {
+        if self.pods.remove(&pod) {
+            self.allocated -= request;
+        }
+    }
+
+    pub(crate) fn drain(&mut self) -> Vec<PodId> {
+        self.allocated = ResourceSpec::ZERO;
+        std::mem::take(&mut self.pods).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> Node {
+        Node::new(
+            NodeId(1),
+            NodeSpec::with_capacity(ResourceSpec::new(1000, 1000)),
+        )
+    }
+
+    #[test]
+    fn bind_and_unbind_track_allocation() {
+        let mut n = node();
+        let r = ResourceSpec::new(400, 300);
+        n.bind(PodId(1), r);
+        assert_eq!(n.allocated(), r);
+        assert_eq!(n.free(), ResourceSpec::new(600, 700));
+        assert_eq!(n.pod_count(), 1);
+        n.unbind(PodId(1), r);
+        assert_eq!(n.allocated(), ResourceSpec::ZERO);
+        assert_eq!(n.pod_count(), 0);
+    }
+
+    #[test]
+    fn unbind_unknown_pod_is_noop() {
+        let mut n = node();
+        n.bind(PodId(1), ResourceSpec::new(100, 100));
+        n.unbind(PodId(99), ResourceSpec::new(100, 100));
+        assert_eq!(n.allocated(), ResourceSpec::new(100, 100));
+    }
+
+    #[test]
+    fn can_host_respects_status() {
+        let mut n = node();
+        let r = ResourceSpec::new(100, 100);
+        assert!(n.can_host(&r));
+        n.set_status(NodeStatus::Cordoned);
+        assert!(!n.can_host(&r));
+        n.set_status(NodeStatus::Down);
+        assert!(!n.can_host(&r));
+    }
+
+    #[test]
+    fn drain_returns_pods_and_clears() {
+        let mut n = node();
+        n.bind(PodId(1), ResourceSpec::new(100, 100));
+        n.bind(PodId(2), ResourceSpec::new(100, 100));
+        let drained = n.drain();
+        assert_eq!(drained, vec![PodId(1), PodId(2)]);
+        assert_eq!(n.pod_count(), 0);
+        assert_eq!(n.allocated(), ResourceSpec::ZERO);
+    }
+
+    #[test]
+    fn utilization_dominant() {
+        let mut n = node();
+        n.bind(PodId(1), ResourceSpec::new(500, 100));
+        assert!((n.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spec_builders() {
+        let s = NodeSpec::default().in_zone("z2").in_region("eu");
+        assert_eq!(s.zone, "z2");
+        assert_eq!(s.region, "eu");
+        assert_eq!(NodeId(3).to_string(), "node-3");
+    }
+}

@@ -1,0 +1,165 @@
+//! Pods: the unit of scheduling.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{NodeId, ResourceSpec};
+
+/// Opaque pod identifier, unique within a [`crate::Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PodId(pub(crate) u64);
+
+impl PodId {
+    /// The raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pod-{}", self.0)
+    }
+}
+
+/// Lifecycle phase of a pod.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PodPhase {
+    /// Created, awaiting scheduling.
+    Pending,
+    /// Bound to a node, container starting (image pull / cold start).
+    Starting,
+    /// Serving.
+    Running,
+    /// Being removed.
+    Terminating,
+}
+
+/// Template describing the pods of a deployment.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PodSpec {
+    /// Resource request used for scheduling.
+    pub request: ResourceSpec,
+    /// Free-form labels (used by services and anti-affinity-style rules).
+    pub labels: BTreeMap<String, String>,
+}
+
+impl PodSpec {
+    /// Creates a pod spec with the given resource request.
+    pub fn new(request: ResourceSpec) -> Self {
+        PodSpec {
+            request,
+            labels: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a label.
+    pub fn label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.insert(key.into(), value.into());
+        self
+    }
+}
+
+/// A pod's runtime state.
+#[derive(Debug, Clone)]
+pub struct Pod {
+    id: PodId,
+    deployment: String,
+    spec: PodSpec,
+    phase: PodPhase,
+    node: Option<NodeId>,
+    revision: u64,
+}
+
+impl Pod {
+    pub(crate) fn new(id: PodId, deployment: String, spec: PodSpec, revision: u64) -> Self {
+        Pod {
+            id,
+            deployment,
+            spec,
+            phase: PodPhase::Pending,
+            node: None,
+            revision,
+        }
+    }
+
+    /// The deployment template revision this pod was created from.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// The pod's id.
+    pub fn id(&self) -> PodId {
+        self.id
+    }
+
+    /// Name of the owning deployment.
+    pub fn deployment(&self) -> &str {
+        &self.deployment
+    }
+
+    /// The pod template it was created from.
+    pub fn spec(&self) -> &PodSpec {
+        &self.spec
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> PodPhase {
+        self.phase
+    }
+
+    /// The node the pod is bound to, if scheduled.
+    pub fn node(&self) -> Option<NodeId> {
+        self.node
+    }
+
+    pub(crate) fn set_phase(&mut self, phase: PodPhase) {
+        self.phase = phase;
+    }
+
+    pub(crate) fn bind_to(&mut self, node: NodeId) {
+        self.node = Some(node);
+        self.phase = PodPhase::Starting;
+    }
+
+    pub(crate) fn unbind(&mut self) {
+        self.node = None;
+        self.phase = PodPhase::Pending;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_transitions() {
+        let mut p = Pod::new(PodId(1), "dep".into(), PodSpec::default(), 1);
+        assert_eq!(p.phase(), PodPhase::Pending);
+        assert_eq!(p.node(), None);
+        p.bind_to(NodeId(2));
+        assert_eq!(p.phase(), PodPhase::Starting);
+        assert_eq!(p.node(), Some(NodeId(2)));
+        p.set_phase(PodPhase::Running);
+        assert_eq!(p.phase(), PodPhase::Running);
+        assert_eq!(p.revision(), 1);
+        p.unbind();
+        assert_eq!(p.phase(), PodPhase::Pending);
+        assert_eq!(p.node(), None);
+    }
+
+    #[test]
+    fn labels_builder() {
+        let spec = PodSpec::new(ResourceSpec::new(1, 1))
+            .label("app", "resize")
+            .label("tier", "fn");
+        assert_eq!(spec.labels["app"], "resize");
+        assert_eq!(spec.labels.len(), 2);
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(PodId(7).to_string(), "pod-7");
+        assert_eq!(PodId(7).as_u64(), 7);
+    }
+}

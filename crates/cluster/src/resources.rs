@@ -1,0 +1,151 @@
+//! Compute resource quantities.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A bundle of compute resources: CPU in millicores and memory in bytes.
+///
+/// Matches the Kubernetes resource model closely enough for scheduling
+/// decisions (requests only; limits are not modelled separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ResourceSpec {
+    /// CPU in millicores (1000 = one vCPU).
+    pub cpu_millis: u64,
+    /// Memory in bytes.
+    pub memory_bytes: u64,
+}
+
+impl ResourceSpec {
+    /// A zero-resource bundle.
+    pub const ZERO: ResourceSpec = ResourceSpec {
+        cpu_millis: 0,
+        memory_bytes: 0,
+    };
+
+    /// Creates a bundle from CPU millicores and memory bytes.
+    pub const fn new(cpu_millis: u64, memory_bytes: u64) -> Self {
+        ResourceSpec {
+            cpu_millis,
+            memory_bytes,
+        }
+    }
+
+    /// A bundle sized like the paper's worker VMs (4 vCPU, 8 GiB).
+    pub const fn worker_vm() -> Self {
+        ResourceSpec::new(4_000, 8 << 30)
+    }
+
+    /// True if `self` can accommodate `other` in both dimensions.
+    pub fn fits(&self, other: &ResourceSpec) -> bool {
+        self.cpu_millis >= other.cpu_millis && self.memory_bytes >= other.memory_bytes
+    }
+
+    /// Fraction of `capacity` this bundle occupies, as the max over
+    /// dimensions (0.0 for zero capacity).
+    pub fn dominant_share(&self, capacity: &ResourceSpec) -> f64 {
+        let cpu = if capacity.cpu_millis == 0 {
+            0.0
+        } else {
+            self.cpu_millis as f64 / capacity.cpu_millis as f64
+        };
+        let mem = if capacity.memory_bytes == 0 {
+            0.0
+        } else {
+            self.memory_bytes as f64 / capacity.memory_bytes as f64
+        };
+        cpu.max(mem)
+    }
+
+    /// Saturating subtraction in both dimensions.
+    pub fn saturating_sub(&self, other: &ResourceSpec) -> ResourceSpec {
+        ResourceSpec {
+            cpu_millis: self.cpu_millis.saturating_sub(other.cpu_millis),
+            memory_bytes: self.memory_bytes.saturating_sub(other.memory_bytes),
+        }
+    }
+}
+
+impl Add for ResourceSpec {
+    type Output = ResourceSpec;
+    fn add(self, rhs: ResourceSpec) -> ResourceSpec {
+        ResourceSpec {
+            cpu_millis: self.cpu_millis + rhs.cpu_millis,
+            memory_bytes: self.memory_bytes + rhs.memory_bytes,
+        }
+    }
+}
+
+impl AddAssign for ResourceSpec {
+    fn add_assign(&mut self, rhs: ResourceSpec) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for ResourceSpec {
+    type Output = ResourceSpec;
+    fn sub(self, rhs: ResourceSpec) -> ResourceSpec {
+        self.saturating_sub(&rhs)
+    }
+}
+
+impl SubAssign for ResourceSpec {
+    fn sub_assign(&mut self, rhs: ResourceSpec) {
+        *self = *self - rhs;
+    }
+}
+
+impl fmt::Display for ResourceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cpu={}m mem={}Mi",
+            self.cpu_millis,
+            self.memory_bytes >> 20
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_requires_both_dimensions() {
+        let cap = ResourceSpec::new(1000, 1000);
+        assert!(cap.fits(&ResourceSpec::new(1000, 1000)));
+        assert!(!cap.fits(&ResourceSpec::new(1001, 10)));
+        assert!(!cap.fits(&ResourceSpec::new(10, 1001)));
+        assert!(cap.fits(&ResourceSpec::ZERO));
+    }
+
+    #[test]
+    fn dominant_share_max_of_dims() {
+        let cap = ResourceSpec::new(1000, 1 << 30);
+        let r = ResourceSpec::new(250, 1 << 29);
+        assert!((r.dominant_share(&cap) - 0.5).abs() < 1e-9);
+        assert_eq!(ResourceSpec::ZERO.dominant_share(&ResourceSpec::ZERO), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let a = ResourceSpec::new(100, 100);
+        let b = ResourceSpec::new(300, 50);
+        assert_eq!(a - b, ResourceSpec::new(0, 50));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, ResourceSpec::new(400, 150));
+    }
+
+    #[test]
+    fn display_format() {
+        let r = ResourceSpec::new(500, 256 << 20);
+        assert_eq!(r.to_string(), "cpu=500m mem=256Mi");
+    }
+
+    #[test]
+    fn worker_vm_matches_paper_scale() {
+        let vm = ResourceSpec::worker_vm();
+        assert_eq!(vm.cpu_millis, 4000);
+        assert_eq!(vm.memory_bytes, 8 << 30);
+    }
+}

@@ -1,0 +1,142 @@
+//! Pod-to-node placement strategies.
+//!
+//! The scheduler filters nodes that can host a pod (healthy + resource
+//! fit) and scores survivors according to a [`Strategy`]. Determinism:
+//! ties are broken by ascending [`NodeId`], so identical cluster states
+//! always produce identical placements.
+
+use crate::{Node, NodeId, ResourceSpec};
+
+/// Placement scoring policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Prefer the most-utilized fitting node (consolidates load, frees
+    /// whole nodes for scale-in).
+    BinPack,
+    /// Prefer the least-utilized fitting node (spreads load; the default,
+    /// matching kube-scheduler's `LeastAllocated`).
+    #[default]
+    Spread,
+    /// Prefer the node with the fewest pods regardless of size.
+    LeastPods,
+}
+
+/// Picks a node for a pod with the given resource request.
+///
+/// Returns `None` when no healthy node fits the request. `nodes` may be
+/// in any order; the choice depends only on node states.
+pub fn pick(
+    strategy: Strategy,
+    nodes: impl IntoIterator<Item = impl std::borrow::Borrow<Node>>,
+    request: &ResourceSpec,
+) -> Option<NodeId> {
+    let mut best: Option<(f64, usize, NodeId)> = None;
+    for node in nodes {
+        let node = node.borrow();
+        if !node.can_host(request) {
+            continue;
+        }
+        let util = node.utilization();
+        let score = match strategy {
+            Strategy::BinPack => -util, // lower is better ⇒ negate: prefer high util
+            Strategy::Spread => util,
+            Strategy::LeastPods => node.pod_count() as f64,
+        };
+        let candidate = (score, node.pod_count(), node.id());
+        if best.map_or(true, |b| candidate < b) {
+            best = Some(candidate);
+        }
+    }
+    best.map(|(_, _, id)| id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, DeploymentSpec, NodeSpec, PodSpec};
+
+    /// Builds a cluster with two nodes and one pod on node 0, returning
+    /// the node list.
+    fn two_nodes_one_loaded() -> Cluster {
+        let mut c = Cluster::new();
+        let cap = ResourceSpec::new(1000, 1000);
+        c.add_node(NodeSpec::with_capacity(cap));
+        c.add_node(NodeSpec::with_capacity(cap));
+        c.apply(DeploymentSpec::new(
+            "seed",
+            1,
+            PodSpec::new(ResourceSpec::new(400, 400)),
+        ))
+        .unwrap();
+        c.reconcile();
+        c
+    }
+
+    #[test]
+    fn spread_prefers_empty_node() {
+        let c = two_nodes_one_loaded();
+        let loaded: Vec<NodeId> = c
+            .nodes()
+            .filter(|n| n.pod_count() > 0)
+            .map(|n| n.id())
+            .collect();
+        let choice = pick(Strategy::Spread, c.nodes(), &ResourceSpec::new(100, 100)).unwrap();
+        assert!(!loaded.contains(&choice));
+    }
+
+    #[test]
+    fn binpack_prefers_loaded_node() {
+        let c = two_nodes_one_loaded();
+        let loaded: Vec<NodeId> = c
+            .nodes()
+            .filter(|n| n.pod_count() > 0)
+            .map(|n| n.id())
+            .collect();
+        let choice = pick(Strategy::BinPack, c.nodes(), &ResourceSpec::new(100, 100)).unwrap();
+        assert!(loaded.contains(&choice));
+    }
+
+    #[test]
+    fn no_fit_returns_none() {
+        let c = two_nodes_one_loaded();
+        assert_eq!(
+            pick(Strategy::Spread, c.nodes(), &ResourceSpec::new(5000, 1)),
+            None
+        );
+    }
+
+    #[test]
+    fn ties_break_by_node_id() {
+        let mut c = Cluster::new();
+        let cap = ResourceSpec::new(1000, 1000);
+        let n0 = c.add_node(NodeSpec::with_capacity(cap));
+        c.add_node(NodeSpec::with_capacity(cap));
+        let choice = pick(Strategy::Spread, c.nodes(), &ResourceSpec::new(1, 1)).unwrap();
+        assert_eq!(choice, n0);
+    }
+
+    #[test]
+    fn least_pods_ignores_size() {
+        let mut c = Cluster::new();
+        let cap = ResourceSpec::new(10_000, 10_000);
+        c.add_node(NodeSpec::with_capacity(cap));
+        c.add_node(NodeSpec::with_capacity(cap));
+        // One big pod on node 0 (via spread, both empty → node 0).
+        c.apply(DeploymentSpec::new(
+            "big",
+            1,
+            PodSpec::new(ResourceSpec::new(9000, 9000)),
+        ))
+        .unwrap();
+        c.reconcile();
+        // Two small pods: with LeastPods the second lands on the big node
+        // (1 pod each after the first small pod takes node 1).
+        let first = pick(Strategy::LeastPods, c.nodes(), &ResourceSpec::new(1, 1)).unwrap();
+        let big_node = c
+            .nodes()
+            .find(|n| n.pod_count() > 0)
+            .map(|n| n.id())
+            .unwrap();
+        assert_ne!(first, big_node);
+    }
+}

@@ -1,0 +1,198 @@
+//! Services: stable endpoints with load balancing.
+//!
+//! A [`EndpointPool`] tracks the ready endpoints behind a service name and
+//! picks one per request according to a [`LbPolicy`]. The pool is generic
+//! over how requests finish: callers report completions so
+//! `LeastOutstanding` can track in-flight counts.
+
+use std::collections::BTreeMap;
+
+use crate::PodId;
+
+/// Load-balancing policy for an [`EndpointPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LbPolicy {
+    /// Cycle through endpoints in order.
+    #[default]
+    RoundRobin,
+    /// Send to the endpoint with the fewest in-flight requests
+    /// (ties: lowest pod id).
+    LeastOutstanding,
+    /// Hash an affinity key to an endpoint (sticky routing); used by the
+    /// object router for data locality (paper §II-A).
+    HashKey,
+}
+
+/// The ready endpoints of one service plus balancing state.
+#[derive(Debug, Clone, Default)]
+pub struct EndpointPool {
+    policy: LbPolicy,
+    endpoints: Vec<PodId>,
+    rr_next: usize,
+    in_flight: BTreeMap<PodId, u64>,
+}
+
+impl EndpointPool {
+    /// Creates an empty pool with the given policy.
+    pub fn new(policy: LbPolicy) -> Self {
+        EndpointPool {
+            policy,
+            ..Default::default()
+        }
+    }
+
+    /// Replaces the endpoint set (e.g. after a reconcile).
+    ///
+    /// In-flight counts for surviving endpoints are preserved.
+    pub fn set_endpoints(&mut self, endpoints: Vec<PodId>) {
+        self.in_flight.retain(|id, _| endpoints.contains(id));
+        self.endpoints = endpoints;
+        if self.rr_next >= self.endpoints.len() {
+            self.rr_next = 0;
+        }
+    }
+
+    /// Current ready endpoints.
+    pub fn endpoints(&self) -> &[PodId] {
+        &self.endpoints
+    }
+
+    /// True if no endpoint is ready (scale-to-zero state).
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Picks an endpoint for a request.
+    ///
+    /// `key` is consulted only by [`LbPolicy::HashKey`]; pass the object
+    /// id (or any affinity key) there, and anything (e.g. 0) otherwise.
+    /// Returns `None` when the pool is empty.
+    pub fn pick(&mut self, key: u64) -> Option<PodId> {
+        if self.endpoints.is_empty() {
+            return None;
+        }
+        let chosen = match self.policy {
+            LbPolicy::RoundRobin => {
+                let ep = self.endpoints[self.rr_next % self.endpoints.len()];
+                self.rr_next = (self.rr_next + 1) % self.endpoints.len();
+                ep
+            }
+            LbPolicy::LeastOutstanding => *self
+                .endpoints
+                .iter()
+                .min_by_key(|id| (self.in_flight.get(id).copied().unwrap_or(0), **id))
+                .expect("non-empty"),
+            LbPolicy::HashKey => {
+                let idx = (splitmix64(key) % self.endpoints.len() as u64) as usize;
+                self.endpoints[idx]
+            }
+        };
+        *self.in_flight.entry(chosen).or_insert(0) += 1;
+        Some(chosen)
+    }
+
+    /// Reports that a request previously picked for `endpoint` finished.
+    pub fn complete(&mut self, endpoint: PodId) {
+        if let Some(n) = self.in_flight.get_mut(&endpoint) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    /// In-flight requests currently attributed to `endpoint`.
+    pub fn outstanding(&self, endpoint: PodId) -> u64 {
+        self.in_flight.get(&endpoint).copied().unwrap_or(0)
+    }
+
+    /// Total in-flight requests across endpoints.
+    pub fn total_outstanding(&self) -> u64 {
+        self.in_flight.values().sum()
+    }
+}
+
+/// SplitMix64 finalizer: cheap, well-distributed 64-bit hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pods(n: u64) -> Vec<PodId> {
+        (0..n).map(PodId).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p = EndpointPool::new(LbPolicy::RoundRobin);
+        p.set_endpoints(pods(3));
+        let picks: Vec<_> = (0..6).map(|_| p.pick(0).unwrap().as_u64()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_outstanding_balances() {
+        let mut p = EndpointPool::new(LbPolicy::LeastOutstanding);
+        p.set_endpoints(pods(2));
+        let a = p.pick(0).unwrap();
+        let b = p.pick(0).unwrap();
+        assert_ne!(a, b);
+        p.complete(a);
+        // a now has 0 in flight, b has 1 → next pick is a.
+        assert_eq!(p.pick(0).unwrap(), a);
+        assert_eq!(p.total_outstanding(), 2);
+    }
+
+    #[test]
+    fn hash_key_is_sticky() {
+        let mut p = EndpointPool::new(LbPolicy::HashKey);
+        p.set_endpoints(pods(4));
+        let first = p.pick(42).unwrap();
+        for _ in 0..10 {
+            assert_eq!(p.pick(42).unwrap(), first);
+        }
+        // Different keys spread across endpoints.
+        let distinct: std::collections::BTreeSet<_> =
+            (0..64).map(|k| p.pick(k).unwrap()).collect();
+        assert!(distinct.len() >= 3, "hash should spread: {distinct:?}");
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let mut p = EndpointPool::new(LbPolicy::RoundRobin);
+        assert_eq!(p.pick(0), None);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn set_endpoints_preserves_surviving_inflight() {
+        let mut p = EndpointPool::new(LbPolicy::LeastOutstanding);
+        p.set_endpoints(pods(2));
+        let a = p.pick(0).unwrap();
+        p.set_endpoints(vec![a]);
+        assert_eq!(p.outstanding(a), 1);
+        p.set_endpoints(vec![PodId(9)]);
+        assert_eq!(p.total_outstanding(), 0);
+    }
+
+    #[test]
+    fn complete_unknown_endpoint_is_noop() {
+        let mut p = EndpointPool::new(LbPolicy::RoundRobin);
+        p.set_endpoints(pods(1));
+        p.complete(PodId(77));
+        assert_eq!(p.total_outstanding(), 0);
+    }
+
+    #[test]
+    fn rr_index_reset_on_shrink() {
+        let mut p = EndpointPool::new(LbPolicy::RoundRobin);
+        p.set_endpoints(pods(3));
+        p.pick(0);
+        p.pick(0);
+        p.set_endpoints(pods(1));
+        assert_eq!(p.pick(0), Some(PodId(0)));
+    }
+}

@@ -1,0 +1,273 @@
+//! Class definitions: the unit of OaaS deployment.
+
+use crate::nfr::NfrSpec;
+use crate::CoreError;
+
+/// Visibility of a state key or function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AccessModifier {
+    /// Reachable from outside the object (via the gateway).
+    #[default]
+    Public,
+    /// Only callable/readable from the object's own functions.
+    Internal,
+}
+
+/// The kind of state a key holds.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum StateType {
+    /// Structured state (a JSON value), kept in the KV/DHT layer.
+    #[default]
+    Structured,
+    /// Unstructured state (a file in object storage), accessed via
+    /// presigned URLs.
+    File,
+}
+
+/// One declared state attribute of a class (Listing 1 `keySpecs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeySpec {
+    /// Attribute name.
+    pub name: String,
+    /// Structured or file-backed.
+    pub state_type: StateType,
+    /// Visibility.
+    pub access: AccessModifier,
+}
+
+impl KeySpec {
+    /// Creates a structured, public key spec.
+    pub fn structured(name: impl Into<String>) -> Self {
+        KeySpec {
+            name: name.into(),
+            state_type: StateType::Structured,
+            access: AccessModifier::Public,
+        }
+    }
+
+    /// Creates a file-backed, public key spec.
+    pub fn file(name: impl Into<String>) -> Self {
+        KeySpec {
+            name: name.into(),
+            state_type: StateType::File,
+            access: AccessModifier::Public,
+        }
+    }
+
+    /// Marks the key internal.
+    pub fn internal(mut self) -> Self {
+        self.access = AccessModifier::Internal;
+        self
+    }
+}
+
+/// One method of a class, realized by a serverless function
+/// (Listing 1 `functions`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    /// Method name.
+    pub name: String,
+    /// Container image implementing it.
+    pub image: String,
+    /// Visibility.
+    pub access: AccessModifier,
+    /// True if the function never modifies object state (enables
+    /// read-replica routing).
+    pub readonly: bool,
+    /// Optional per-function NFR override (§II-C allows method-level
+    /// requirements).
+    pub nfr: Option<NfrSpec>,
+}
+
+impl FunctionDef {
+    /// Creates a public, state-mutating function.
+    pub fn new(name: impl Into<String>, image: impl Into<String>) -> Self {
+        FunctionDef {
+            name: name.into(),
+            image: image.into(),
+            access: AccessModifier::Public,
+            readonly: false,
+            nfr: None,
+        }
+    }
+
+    /// Marks the function read-only.
+    pub fn readonly(mut self) -> Self {
+        self.readonly = true;
+        self
+    }
+
+    /// Marks the function internal.
+    pub fn internal(mut self) -> Self {
+        self.access = AccessModifier::Internal;
+        self
+    }
+
+    /// Attaches a method-level NFR override.
+    pub fn with_nfr(mut self, nfr: NfrSpec) -> Self {
+        self.nfr = Some(nfr);
+        self
+    }
+}
+
+/// A class definition as written by the developer (pre-inheritance).
+///
+/// Build programmatically with [`ClassDef::new`] or parse from YAML/JSON
+/// with [`crate::parse`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClassDef {
+    /// Class name, unique within a package.
+    pub name: String,
+    /// Parent class for inheritance, if any.
+    pub parent: Option<String>,
+    /// Declared state attributes.
+    pub key_specs: Vec<KeySpec>,
+    /// Declared methods.
+    pub functions: Vec<FunctionDef>,
+    /// Class-level non-functional requirements.
+    pub nfr: NfrSpec,
+    /// Dataflow definitions attached to this class.
+    pub dataflows: Vec<crate::dataflow::DataflowSpec>,
+}
+
+impl ClassDef {
+    /// Creates an empty class with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassDef {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the parent class.
+    pub fn parent(mut self, parent: impl Into<String>) -> Self {
+        self.parent = Some(parent.into());
+        self
+    }
+
+    /// Adds a state key.
+    pub fn key(mut self, spec: KeySpec) -> Self {
+        self.key_specs.push(spec);
+        self
+    }
+
+    /// Adds a function.
+    pub fn function(mut self, def: FunctionDef) -> Self {
+        self.functions.push(def);
+        self
+    }
+
+    /// Sets the class NFR.
+    pub fn nfr(mut self, nfr: NfrSpec) -> Self {
+        self.nfr = nfr;
+        self
+    }
+
+    /// Adds a dataflow.
+    pub fn dataflow(mut self, df: crate::dataflow::DataflowSpec) -> Self {
+        self.dataflows.push(df);
+        self
+    }
+
+    /// Validates structural invariants: non-empty name, unique key and
+    /// function names, no self-parenting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidClass`] describing the first problem.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let fail = |reason: String| {
+            Err(CoreError::InvalidClass {
+                class: self.name.clone(),
+                reason,
+            })
+        };
+        if self.name.is_empty() {
+            return fail("class name must not be empty".into());
+        }
+        if self.parent.as_deref() == Some(self.name.as_str()) {
+            return fail("class cannot be its own parent".into());
+        }
+        let mut keys: Vec<&str> = self.key_specs.iter().map(|k| k.name.as_str()).collect();
+        keys.sort_unstable();
+        if let Some(w) = keys.windows(2).find(|w| w[0] == w[1]) {
+            return fail(format!("duplicate key spec '{}'", w[0]));
+        }
+        let mut fns: Vec<&str> = self.functions.iter().map(|f| f.name.as_str()).collect();
+        fns.sort_unstable();
+        if let Some(w) = fns.windows(2).find(|w| w[0] == w[1]) {
+            return fail(format!("duplicate function '{}'", w[0]));
+        }
+        for f in &self.functions {
+            if f.name.is_empty() {
+                return fail("function name must not be empty".into());
+            }
+        }
+        for df in &self.dataflows {
+            df.validate()
+                .map_err(|e| CoreError::InvalidClass {
+                    class: self.name.clone(),
+                    reason: e.to_string(),
+                })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image_class() -> ClassDef {
+        ClassDef::new("Image")
+            .key(KeySpec::file("image"))
+            .function(FunctionDef::new("resize", "img/resize"))
+            .function(FunctionDef::new("changeFormat", "img/change-format"))
+    }
+
+    #[test]
+    fn builder_produces_valid_class() {
+        let c = image_class();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.functions.len(), 2);
+        assert_eq!(c.key_specs[0].state_type, StateType::File);
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let c = image_class().function(FunctionDef::new("resize", "img/other"));
+        let err = c.validate().unwrap_err();
+        assert!(matches!(err, CoreError::InvalidClass { .. }));
+        assert!(err.to_string().contains("duplicate function 'resize'"));
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let c = ClassDef::new("C")
+            .key(KeySpec::structured("a"))
+            .key(KeySpec::file("a"));
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn self_parent_rejected() {
+        let c = ClassDef::new("C").parent("C");
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        assert!(ClassDef::new("").validate().is_err());
+        let c = ClassDef::new("C").function(FunctionDef::new("", "img"));
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn modifiers() {
+        let k = KeySpec::structured("secret").internal();
+        assert_eq!(k.access, AccessModifier::Internal);
+        let f = FunctionDef::new("peek", "img/peek").readonly().internal();
+        assert!(f.readonly);
+        assert_eq!(f.access, AccessModifier::Internal);
+    }
+}

@@ -1,0 +1,455 @@
+//! The dataflow abstraction (§II-B).
+//!
+//! "Dataflow introduces the execution flow via the flow of data rather
+//! than the invocation order. With dataflow abstraction, the platform
+//! handles parallelism and data navigation in the background." A dataflow
+//! is a named DAG of steps; each step invokes one function and consumes
+//! either the workflow input or earlier steps' outputs. Because edges are
+//! *data* dependencies, independent steps run in parallel automatically
+//! ([`DataflowSpec::stages`]), and the flow can be rewired without
+//! touching function code — just the definitions.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use oprc_value::Value;
+
+use crate::CoreError;
+
+/// Where a step's input value comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataRef {
+    /// The dataflow's own input payload.
+    Input,
+    /// The output of a previous step, optionally narrowed by a JSON
+    /// pointer (e.g. `/meta/width`).
+    Step {
+        /// Producing step id.
+        step: String,
+        /// Optional JSON pointer into that output.
+        pointer: Option<String>,
+    },
+    /// An inline constant.
+    Const(Value),
+}
+
+/// One step of a dataflow: invoke `function` with inputs gathered from
+/// `inputs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepSpec {
+    /// Unique step id within the dataflow.
+    pub id: String,
+    /// Function to invoke (resolved against the target's class).
+    pub function: String,
+    /// Input bindings, in positional order.
+    pub inputs: Vec<DataRef>,
+    /// Which object the step runs on: `None` = the dataflow's own
+    /// object; otherwise a [`DataRef`] that must resolve to an object
+    /// id, enabling workflows that span objects (dispatch is
+    /// polymorphic on the *target's* class).
+    pub target: Option<DataRef>,
+}
+
+impl StepSpec {
+    /// Creates a step with no inputs, targeting the dataflow's own
+    /// object.
+    pub fn new(id: impl Into<String>, function: impl Into<String>) -> Self {
+        StepSpec {
+            id: id.into(),
+            function: function.into(),
+            inputs: Vec::new(),
+            target: None,
+        }
+    }
+
+    /// Runs the step on another object, identified by resolving `target`
+    /// at execution time (e.g. an object id held in the dataflow input
+    /// or produced by an earlier step).
+    pub fn on_target(mut self, target: DataRef) -> Self {
+        self.target = Some(target);
+        self
+    }
+
+    /// Binds the dataflow input as the next positional input.
+    pub fn from_input(mut self) -> Self {
+        self.inputs.push(DataRef::Input);
+        self
+    }
+
+    /// Binds a previous step's output.
+    pub fn from_step(mut self, step: impl Into<String>) -> Self {
+        self.inputs.push(DataRef::Step {
+            step: step.into(),
+            pointer: None,
+        });
+        self
+    }
+
+    /// Binds part of a previous step's output via JSON pointer.
+    pub fn from_step_pointer(
+        mut self,
+        step: impl Into<String>,
+        pointer: impl Into<String>,
+    ) -> Self {
+        self.inputs.push(DataRef::Step {
+            step: step.into(),
+            pointer: Some(pointer.into()),
+        });
+        self
+    }
+
+    /// Binds an inline constant.
+    pub fn with_const(mut self, value: Value) -> Self {
+        self.inputs.push(DataRef::Const(value));
+        self
+    }
+
+    fn dependencies(&self) -> impl Iterator<Item = &str> {
+        self.inputs
+            .iter()
+            .chain(self.target.iter())
+            .filter_map(|i| match i {
+                DataRef::Step { step, .. } => Some(step.as_str()),
+                _ => None,
+            })
+    }
+}
+
+/// A named dataflow: a DAG of [`StepSpec`]s plus the step whose output is
+/// the dataflow's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataflowSpec {
+    /// Dataflow name (callable like a function on the class).
+    pub name: String,
+    /// The steps.
+    pub steps: Vec<StepSpec>,
+    /// Which step's output is returned; defaults to the last step.
+    pub output: Option<String>,
+}
+
+impl DataflowSpec {
+    /// Creates an empty dataflow.
+    pub fn new(name: impl Into<String>) -> Self {
+        DataflowSpec {
+            name: name.into(),
+            steps: Vec::new(),
+            output: None,
+        }
+    }
+
+    /// Adds a step.
+    pub fn step(mut self, step: StepSpec) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Selects the output step.
+    pub fn output_from(mut self, step: impl Into<String>) -> Self {
+        self.output = Some(step.into());
+        self
+    }
+
+    /// The step id whose output is the dataflow result.
+    pub fn output_step(&self) -> Option<&str> {
+        self.output
+            .as_deref()
+            .or_else(|| self.steps.last().map(|s| s.id.as_str()))
+    }
+
+    /// Validates the DAG: unique non-empty ids, known references, an
+    /// existing output step, and acyclicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidDataflow`] describing the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let fail = |reason: String| {
+            Err(CoreError::InvalidDataflow {
+                dataflow: self.name.clone(),
+                reason,
+            })
+        };
+        if self.name.is_empty() {
+            return fail("dataflow name must not be empty".into());
+        }
+        if self.steps.is_empty() {
+            return fail("dataflow needs at least one step".into());
+        }
+        let mut ids = BTreeSet::new();
+        for s in &self.steps {
+            if s.id.is_empty() {
+                return fail("step id must not be empty".into());
+            }
+            if !ids.insert(s.id.as_str()) {
+                return fail(format!("duplicate step id '{}'", s.id));
+            }
+        }
+        for s in &self.steps {
+            for dep in s.dependencies() {
+                if !ids.contains(dep) {
+                    return fail(format!("step '{}' references unknown step '{dep}'", s.id));
+                }
+                if dep == s.id {
+                    return fail(format!("step '{}' depends on itself", s.id));
+                }
+            }
+        }
+        if let Some(out) = &self.output {
+            if !ids.contains(out.as_str()) {
+                return fail(format!("output references unknown step '{out}'"));
+            }
+        }
+        if self.stages_inner().is_none() {
+            return fail("dataflow contains a dependency cycle".into());
+        }
+        Ok(())
+    }
+
+    /// Groups steps into parallel stages: every step in stage *k* depends
+    /// only on steps in stages `< k`, so each stage can run fully in
+    /// parallel (§II-B "the platform handles parallelism").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataflow is cyclic; call [`DataflowSpec::validate`]
+    /// first.
+    pub fn stages(&self) -> Vec<Vec<&StepSpec>> {
+        self.stages_inner()
+            .expect("stages() requires an acyclic dataflow — validate() first")
+    }
+
+    fn stages_inner(&self) -> Option<Vec<Vec<&StepSpec>>> {
+        let mut remaining: BTreeMap<&str, &StepSpec> =
+            self.steps.iter().map(|s| (s.id.as_str(), s)).collect();
+        let mut done: BTreeSet<&str> = BTreeSet::new();
+        let mut stages = Vec::new();
+        while !remaining.is_empty() {
+            let ready: Vec<&str> = remaining
+                .iter()
+                .filter(|(_, s)| s.dependencies().all(|d| done.contains(d)))
+                .map(|(&id, _)| id)
+                .collect();
+            if ready.is_empty() {
+                return None; // cycle
+            }
+            let mut stage = Vec::new();
+            for id in ready {
+                stage.push(remaining.remove(id).expect("present"));
+                done.insert(id);
+            }
+            stages.push(stage);
+        }
+        Some(stages)
+    }
+
+    /// Resolves one [`DataRef`] given the dataflow `input` and completed
+    /// step `outputs`; missing references resolve to `Value::Null`.
+    pub fn resolve_ref(r: &DataRef, input: &Value, outputs: &BTreeMap<String, Value>) -> Value {
+        match r {
+            DataRef::Input => input.clone(),
+            DataRef::Const(v) => v.clone(),
+            DataRef::Step { step, pointer } => {
+                let out = outputs.get(step).cloned().unwrap_or(Value::Null);
+                match pointer {
+                    None => out,
+                    Some(p) => out.pointer(p).cloned().unwrap_or(Value::Null),
+                }
+            }
+        }
+    }
+
+    /// Resolves a step's positional inputs given the dataflow `input` and
+    /// completed step `outputs`.
+    ///
+    /// Missing pointers resolve to `Value::Null` (functions see explicit
+    /// null rather than the flow failing — matching lenient JSON
+    /// navigation).
+    pub fn resolve_inputs(
+        step: &StepSpec,
+        input: &Value,
+        outputs: &BTreeMap<String, Value>,
+    ) -> Vec<Value> {
+        step.inputs
+            .iter()
+            .map(|r| Self::resolve_ref(r, input, outputs))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_value::vjson;
+
+    /// resize → [thumbnail, watermark] → combine
+    fn diamond() -> DataflowSpec {
+        DataflowSpec::new("publish")
+            .step(StepSpec::new("resize", "resize").from_input())
+            .step(StepSpec::new("thumb", "thumbnail").from_step("resize"))
+            .step(StepSpec::new("mark", "watermark").from_step("resize"))
+            .step(
+                StepSpec::new("combine", "combine")
+                    .from_step("thumb")
+                    .from_step("mark"),
+            )
+    }
+
+    #[test]
+    fn valid_diamond() {
+        let df = diamond();
+        df.validate().unwrap();
+        assert_eq!(df.output_step(), Some("combine"));
+    }
+
+    #[test]
+    fn stages_expose_parallelism() {
+        let df = diamond();
+        let stages = df.stages();
+        assert_eq!(stages.len(), 3);
+        assert_eq!(stages[0].len(), 1);
+        assert_eq!(stages[1].len(), 2); // thumb & mark run in parallel
+        assert_eq!(stages[2][0].id, "combine");
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let df = DataflowSpec::new("loop")
+            .step(StepSpec::new("a", "f").from_step("b"))
+            .step(StepSpec::new("b", "g").from_step("a"));
+        let err = df.validate().unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn self_dependency_detected() {
+        let df = DataflowSpec::new("d").step(StepSpec::new("a", "f").from_step("a"));
+        assert!(df.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_refs_detected() {
+        let df = DataflowSpec::new("d").step(StepSpec::new("a", "f").from_step("ghost"));
+        assert!(df.validate().unwrap_err().to_string().contains("ghost"));
+        let df = diamond().output_from("nope");
+        assert!(df.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_and_empty_ids() {
+        let df = DataflowSpec::new("d")
+            .step(StepSpec::new("a", "f"))
+            .step(StepSpec::new("a", "g"));
+        assert!(df.validate().is_err());
+        let df = DataflowSpec::new("d").step(StepSpec::new("", "f"));
+        assert!(df.validate().is_err());
+        let df = DataflowSpec::new("");
+        assert!(df.validate().is_err());
+        let df = DataflowSpec::new("empty");
+        assert!(df.validate().is_err());
+    }
+
+    #[test]
+    fn resolve_inputs_all_kinds() {
+        let step = StepSpec::new("s", "f")
+            .from_input()
+            .from_step("prev")
+            .from_step_pointer("prev", "/meta/width")
+            .with_const(vjson!(42));
+        let mut outputs = BTreeMap::new();
+        outputs.insert(
+            "prev".to_string(),
+            vjson!({"meta": {"width": 1920}, "ok": true}),
+        );
+        let inputs =
+            DataflowSpec::resolve_inputs(&step, &vjson!({"file": "x.png"}), &outputs);
+        assert_eq!(inputs.len(), 4);
+        assert_eq!(inputs[0]["file"].as_str(), Some("x.png"));
+        assert_eq!(inputs[1]["ok"].as_bool(), Some(true));
+        assert_eq!(inputs[2].as_i64(), Some(1920));
+        assert_eq!(inputs[3].as_i64(), Some(42));
+    }
+
+    #[test]
+    fn resolve_missing_step_or_pointer_is_null() {
+        let step = StepSpec::new("s", "f")
+            .from_step("missing")
+            .from_step_pointer("missing", "/x");
+        let inputs = DataflowSpec::resolve_inputs(&step, &Value::Null, &BTreeMap::new());
+        assert!(inputs[0].is_null());
+        assert!(inputs[1].is_null());
+    }
+
+    #[test]
+    fn output_defaults_to_last_step() {
+        let df = DataflowSpec::new("d")
+            .step(StepSpec::new("a", "f"))
+            .step(StepSpec::new("b", "g"));
+        assert_eq!(df.output_step(), Some("b"));
+        assert_eq!(df.output_from("a").output_step(), Some("a"));
+    }
+
+    #[test]
+    fn target_refs_participate_in_dependencies() {
+        // A step targeting another step's output must wait for it.
+        let df = DataflowSpec::new("cross")
+            .step(StepSpec::new("find", "lookup").from_input())
+            .step(
+                StepSpec::new("act", "poke")
+                    .on_target(DataRef::Step {
+                        step: "find".into(),
+                        pointer: Some("/id".into()),
+                    })
+                    .from_input(),
+            );
+        df.validate().unwrap();
+        let stages = df.stages();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[1][0].id, "act");
+        // Unknown target step fails validation.
+        let bad = DataflowSpec::new("bad").step(
+            StepSpec::new("a", "f").on_target(DataRef::Step {
+                step: "ghost".into(),
+                pointer: None,
+            }),
+        );
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn resolve_ref_covers_all_variants() {
+        let mut outputs = BTreeMap::new();
+        outputs.insert("s".to_string(), vjson!({"id": 7}));
+        let input = vjson!({"x": 1});
+        assert_eq!(
+            DataflowSpec::resolve_ref(&DataRef::Input, &input, &outputs),
+            input
+        );
+        assert_eq!(
+            DataflowSpec::resolve_ref(&DataRef::Const(vjson!(3)), &input, &outputs),
+            vjson!(3)
+        );
+        assert_eq!(
+            DataflowSpec::resolve_ref(
+                &DataRef::Step { step: "s".into(), pointer: Some("/id".into()) },
+                &input,
+                &outputs
+            ),
+            vjson!(7)
+        );
+    }
+
+    #[test]
+    fn rewiring_without_code_changes() {
+        // §II-B: change the flow by editing definitions only.
+        let v1 = DataflowSpec::new("flow")
+            .step(StepSpec::new("a", "resize").from_input())
+            .step(StepSpec::new("b", "watermark").from_step("a"));
+        let v2 = DataflowSpec::new("flow")
+            .step(StepSpec::new("a", "resize").from_input())
+            .step(StepSpec::new("c", "compress").from_step("a"))
+            .step(StepSpec::new("b", "watermark").from_step("c"));
+        v1.validate().unwrap();
+        v2.validate().unwrap();
+        assert_eq!(v2.stages().len(), 3);
+    }
+}

@@ -1,0 +1,123 @@
+//! Errors for the OaaS core.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by class parsing, inheritance resolution, dataflow
+/// validation, or template selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The definition document is malformed.
+    Parse(String),
+    /// A class definition failed validation.
+    InvalidClass {
+        /// The offending class.
+        class: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A class names a parent that does not exist.
+    UnknownParent {
+        /// The class with the dangling reference.
+        class: String,
+        /// The missing parent name.
+        parent: String,
+    },
+    /// The inheritance graph contains a cycle.
+    InheritanceCycle(String),
+    /// Two classes in one package share a name.
+    DuplicateClass(String),
+    /// A dataflow definition failed validation.
+    InvalidDataflow {
+        /// The dataflow's name.
+        dataflow: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A referenced class is not defined.
+    UnknownClass(String),
+    /// A referenced function is not defined on the class.
+    UnknownFunction {
+        /// The class searched.
+        class: String,
+        /// The missing function.
+        function: String,
+    },
+    /// No class-runtime template matches the requirements.
+    NoMatchingTemplate(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Parse(msg) => write!(f, "definition parse error: {msg}"),
+            CoreError::InvalidClass { class, reason } => {
+                write!(f, "invalid class '{class}': {reason}")
+            }
+            CoreError::UnknownParent { class, parent } => {
+                write!(f, "class '{class}' names unknown parent '{parent}'")
+            }
+            CoreError::InheritanceCycle(class) => {
+                write!(f, "inheritance cycle through class '{class}'")
+            }
+            CoreError::DuplicateClass(name) => write!(f, "duplicate class '{name}'"),
+            CoreError::InvalidDataflow { dataflow, reason } => {
+                write!(f, "invalid dataflow '{dataflow}': {reason}")
+            }
+            CoreError::UnknownClass(name) => write!(f, "unknown class '{name}'"),
+            CoreError::UnknownFunction { class, function } => {
+                write!(f, "class '{class}' has no function '{function}'")
+            }
+            CoreError::NoMatchingTemplate(why) => {
+                write!(f, "no class-runtime template matches: {why}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<oprc_value::ParseError> for CoreError {
+    fn from(e: oprc_value::ParseError) -> Self {
+        CoreError::Parse(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let cases = [
+            (CoreError::Parse("x".into()), "definition parse error: x"),
+            (
+                CoreError::UnknownParent {
+                    class: "B".into(),
+                    parent: "A".into(),
+                },
+                "class 'B' names unknown parent 'A'",
+            ),
+            (
+                CoreError::InheritanceCycle("C".into()),
+                "inheritance cycle through class 'C'",
+            ),
+        ];
+        for (err, msg) in cases {
+            assert_eq!(err.to_string(), msg);
+        }
+    }
+
+    #[test]
+    fn from_parse_error() {
+        let pe = oprc_value::json::parse("{").unwrap_err();
+        let ce: CoreError = pe.into();
+        assert!(matches!(ce, CoreError::Parse(_)));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<CoreError>();
+    }
+}

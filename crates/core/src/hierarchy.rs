@@ -1,0 +1,357 @@
+//! Inheritance and polymorphism resolution.
+//!
+//! "OaaS offers the notions of inheritance and polymorphism to establish
+//! software reuse across cloud objects" (§II-A). Classes declare a single
+//! `parent`; resolution produces, per class, the full *flattened* view:
+//! inherited key specs and functions, child overrides winning (method
+//! overriding), and NFRs inherited field-wise. Polymorphic dispatch is
+//! then a lookup on the resolved class: calling `resize` on a
+//! `LabelledImage` finds `Image::resize` unless overridden.
+
+use std::collections::BTreeMap;
+
+use crate::class::{ClassDef, FunctionDef, KeySpec};
+use crate::nfr::NfrSpec;
+use crate::CoreError;
+
+/// A class with all inherited members flattened in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedClass {
+    /// The class name.
+    pub name: String,
+    /// Ancestor chain, nearest first (`parent`, `grandparent`, …).
+    pub ancestors: Vec<String>,
+    /// Effective key specs (own + inherited; own override by name).
+    pub key_specs: Vec<KeySpec>,
+    /// Effective functions keyed by name, with the defining class.
+    functions: BTreeMap<String, (String, FunctionDef)>,
+    /// Effective NFR after inheritance.
+    pub nfr: NfrSpec,
+    /// Effective dataflows (own + inherited; own override by name).
+    pub dataflows: Vec<crate::dataflow::DataflowSpec>,
+}
+
+impl ResolvedClass {
+    /// Looks up a function by name, returning it if the class (or an
+    /// ancestor) defines it.
+    pub fn function(&self, name: &str) -> Option<&FunctionDef> {
+        self.functions.get(name).map(|(_, f)| f)
+    }
+
+    /// Like [`ResolvedClass::function`], also reporting which class in
+    /// the hierarchy provides the implementation (the dispatch target).
+    pub fn dispatch(&self, name: &str) -> Option<(&str, &FunctionDef)> {
+        self.functions
+            .get(name)
+            .map(|(owner, f)| (owner.as_str(), f))
+    }
+
+    /// All effective function names in order.
+    pub fn function_names(&self) -> Vec<&str> {
+        self.functions.keys().map(String::as_str).collect()
+    }
+
+    /// Looks up a dataflow by name.
+    pub fn dataflow(&self, name: &str) -> Option<&crate::dataflow::DataflowSpec> {
+        self.dataflows.iter().find(|d| d.name == name)
+    }
+
+    /// True if this class is `other` or inherits from it.
+    pub fn is_subclass_of(&self, other: &str) -> bool {
+        self.name == other || self.ancestors.iter().any(|a| a == other)
+    }
+}
+
+/// The resolved hierarchy of one package.
+#[derive(Debug, Clone)]
+pub struct ClassHierarchy {
+    classes: BTreeMap<String, ResolvedClass>,
+}
+
+impl ClassHierarchy {
+    /// Validates and resolves a set of class definitions.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::DuplicateClass`] for repeated names;
+    /// - [`CoreError::UnknownParent`] for dangling parent references;
+    /// - [`CoreError::InheritanceCycle`] for cyclic parent chains;
+    /// - [`CoreError::InvalidClass`] if any definition fails
+    ///   [`ClassDef::validate`].
+    pub fn resolve(defs: &[ClassDef]) -> Result<Self, CoreError> {
+        let mut by_name: BTreeMap<&str, &ClassDef> = BTreeMap::new();
+        for def in defs {
+            def.validate()?;
+            if by_name.insert(def.name.as_str(), def).is_some() {
+                return Err(CoreError::DuplicateClass(def.name.clone()));
+            }
+        }
+        // Parent existence + cycle detection.
+        for def in defs {
+            if let Some(parent) = &def.parent {
+                if !by_name.contains_key(parent.as_str()) {
+                    return Err(CoreError::UnknownParent {
+                        class: def.name.clone(),
+                        parent: parent.clone(),
+                    });
+                }
+            }
+        }
+        let mut resolved: BTreeMap<String, ResolvedClass> = BTreeMap::new();
+        for def in defs {
+            // Walk ancestor chain root-ward, detecting cycles.
+            let mut chain = vec![def];
+            let mut seen = vec![def.name.as_str()];
+            let mut cur = def;
+            while let Some(parent) = &cur.parent {
+                if seen.contains(&parent.as_str()) {
+                    return Err(CoreError::InheritanceCycle(def.name.clone()));
+                }
+                cur = by_name[parent.as_str()];
+                seen.push(cur.name.as_str());
+                chain.push(cur);
+            }
+            // Flatten from root down so children override.
+            let mut key_specs: BTreeMap<String, KeySpec> = BTreeMap::new();
+            let mut key_order: Vec<String> = Vec::new();
+            let mut functions: BTreeMap<String, (String, FunctionDef)> = BTreeMap::new();
+            let mut dataflows: BTreeMap<String, crate::dataflow::DataflowSpec> = BTreeMap::new();
+            let mut df_order: Vec<String> = Vec::new();
+            let mut nfr = NfrSpec::default();
+            for class in chain.iter().rev() {
+                for k in &class.key_specs {
+                    if !key_specs.contains_key(&k.name) {
+                        key_order.push(k.name.clone());
+                    }
+                    key_specs.insert(k.name.clone(), k.clone());
+                }
+                for f in &class.functions {
+                    functions.insert(f.name.clone(), (class.name.clone(), f.clone()));
+                }
+                for d in &class.dataflows {
+                    if !dataflows.contains_key(&d.name) {
+                        df_order.push(d.name.clone());
+                    }
+                    dataflows.insert(d.name.clone(), d.clone());
+                }
+                nfr = class.nfr.inherit_from(&nfr);
+            }
+            let ancestors = seen[1..].iter().map(|s| s.to_string()).collect();
+            resolved.insert(
+                def.name.clone(),
+                ResolvedClass {
+                    name: def.name.clone(),
+                    ancestors,
+                    key_specs: key_order
+                        .iter()
+                        .map(|k| key_specs[k].clone())
+                        .collect(),
+                    functions,
+                    nfr,
+                    dataflows: df_order.iter().map(|d| dataflows[d].clone()).collect(),
+                },
+            );
+        }
+        Ok(ClassHierarchy { classes: resolved })
+    }
+
+    /// Looks up a resolved class.
+    pub fn class(&self, name: &str) -> Option<&ResolvedClass> {
+        self.classes.get(name)
+    }
+
+    /// Looks up a resolved class, erroring when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownClass`].
+    pub fn require(&self, name: &str) -> Result<&ResolvedClass, CoreError> {
+        self.class(name)
+            .ok_or_else(|| CoreError::UnknownClass(name.to_string()))
+    }
+
+    /// All class names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.classes.keys().map(String::as_str).collect()
+    }
+
+    /// Iterates over resolved classes in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &ResolvedClass> {
+        self.classes.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{ClassDef, FunctionDef, KeySpec};
+    use oprc_value::vjson;
+
+    fn listing1() -> Vec<ClassDef> {
+        vec![
+            ClassDef::new("Image")
+                .key(KeySpec::file("image"))
+                .function(FunctionDef::new("resize", "img/resize"))
+                .function(FunctionDef::new("changeFormat", "img/change-format"))
+                .nfr(
+                    crate::nfr::NfrSpec::from_value(&vjson!({
+                        "qos": {"throughput": 100},
+                        "constraint": {"persistent": true},
+                    }))
+                    .unwrap(),
+                ),
+            ClassDef::new("LabelledImage")
+                .parent("Image")
+                .function(FunctionDef::new("detectObject", "img/detect-object")),
+        ]
+    }
+
+    #[test]
+    fn flattening_inherits_members() {
+        let h = ClassHierarchy::resolve(&listing1()).unwrap();
+        let li = h.class("LabelledImage").unwrap();
+        assert_eq!(li.ancestors, vec!["Image"]);
+        assert_eq!(li.key_specs.len(), 1); // inherited file key
+        assert_eq!(
+            li.function_names(),
+            vec!["changeFormat", "detectObject", "resize"]
+        );
+        // NFR inherited.
+        assert_eq!(li.nfr.qos.throughput, Some(100));
+        assert!(li.nfr.constraint.effective_persistent());
+    }
+
+    #[test]
+    fn dispatch_reports_defining_class() {
+        let h = ClassHierarchy::resolve(&listing1()).unwrap();
+        let li = h.class("LabelledImage").unwrap();
+        let (owner, f) = li.dispatch("resize").unwrap();
+        assert_eq!(owner, "Image");
+        assert_eq!(f.image, "img/resize");
+        let (owner, _) = li.dispatch("detectObject").unwrap();
+        assert_eq!(owner, "LabelledImage");
+        assert!(li.dispatch("missing").is_none());
+    }
+
+    #[test]
+    fn override_wins_polymorphically() {
+        let mut defs = listing1();
+        defs[1] = defs[1]
+            .clone()
+            .function(FunctionDef::new("resize", "img/resize-v2"));
+        let h = ClassHierarchy::resolve(&defs).unwrap();
+        let li = h.class("LabelledImage").unwrap();
+        let (owner, f) = li.dispatch("resize").unwrap();
+        assert_eq!(owner, "LabelledImage");
+        assert_eq!(f.image, "img/resize-v2");
+        // Base class unaffected.
+        let (owner, f) = h.class("Image").unwrap().dispatch("resize").unwrap();
+        assert_eq!(owner, "Image");
+        assert_eq!(f.image, "img/resize");
+    }
+
+    #[test]
+    fn subtype_relation() {
+        let h = ClassHierarchy::resolve(&listing1()).unwrap();
+        let li = h.class("LabelledImage").unwrap();
+        assert!(li.is_subclass_of("Image"));
+        assert!(li.is_subclass_of("LabelledImage"));
+        assert!(!h.class("Image").unwrap().is_subclass_of("LabelledImage"));
+    }
+
+    #[test]
+    fn deep_chain_resolution() {
+        let defs = vec![
+            ClassDef::new("A").function(FunctionDef::new("f", "a/f")),
+            ClassDef::new("B").parent("A"),
+            ClassDef::new("C")
+                .parent("B")
+                .function(FunctionDef::new("g", "c/g")),
+        ];
+        let h = ClassHierarchy::resolve(&defs).unwrap();
+        let c = h.class("C").unwrap();
+        assert_eq!(c.ancestors, vec!["B", "A"]);
+        assert_eq!(c.dispatch("f").unwrap().0, "A");
+        assert!(c.is_subclass_of("A"));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let defs = vec![
+            ClassDef::new("A").parent("B"),
+            ClassDef::new("B").parent("A"),
+        ];
+        assert!(matches!(
+            ClassHierarchy::resolve(&defs),
+            Err(CoreError::InheritanceCycle(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_parent_detected() {
+        let defs = vec![ClassDef::new("A").parent("Ghost")];
+        assert_eq!(
+            ClassHierarchy::resolve(&defs).err(),
+            Some(CoreError::UnknownParent {
+                class: "A".into(),
+                parent: "Ghost".into()
+            })
+        );
+    }
+
+    #[test]
+    fn duplicate_class_detected() {
+        let defs = vec![ClassDef::new("A"), ClassDef::new("A")];
+        assert!(matches!(
+            ClassHierarchy::resolve(&defs),
+            Err(CoreError::DuplicateClass(_))
+        ));
+    }
+
+    #[test]
+    fn require_unknown_errors() {
+        let h = ClassHierarchy::resolve(&[]).unwrap();
+        assert_eq!(
+            h.require("X").unwrap_err(),
+            CoreError::UnknownClass("X".into())
+        );
+        assert!(h.names().is_empty());
+    }
+
+    #[test]
+    fn dataflows_inherit_and_override() {
+        use crate::dataflow::{DataflowSpec, StepSpec};
+        let base_flow = DataflowSpec::new("pipeline").step(StepSpec::new("s", "resize"));
+        let override_flow = DataflowSpec::new("pipeline")
+            .step(StepSpec::new("s", "resize"))
+            .step(StepSpec::new("t", "detectObject").from_step("s"));
+        let defs = vec![
+            ClassDef::new("Image")
+                .function(FunctionDef::new("resize", "i"))
+                .dataflow(base_flow.clone()),
+            ClassDef::new("LabelledImage")
+                .parent("Image")
+                .function(FunctionDef::new("detectObject", "d"))
+                .dataflow(override_flow.clone()),
+        ];
+        let h = ClassHierarchy::resolve(&defs).unwrap();
+        assert_eq!(
+            h.class("Image").unwrap().dataflow("pipeline"),
+            Some(&base_flow)
+        );
+        assert_eq!(
+            h.class("LabelledImage").unwrap().dataflow("pipeline"),
+            Some(&override_flow)
+        );
+    }
+
+    #[test]
+    fn resolution_is_deterministic() {
+        let a = ClassHierarchy::resolve(&listing1()).unwrap();
+        let b = ClassHierarchy::resolve(&listing1()).unwrap();
+        assert_eq!(a.names(), b.names());
+        for name in a.names() {
+            assert_eq!(a.class(name), b.class(name));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The pure-function invocation protocol (§III-C).
+//!
+//! "Class runtime of Oparaca utilizes the semantic of *pure function*
+//! that bundles the object state and input request into the standalone
+//! invocation task for offloading this task to the code execution runtime
+//! (FaaS engine) and expects the runtime to return with the modified
+//! state. Therefore, the code execution runtime is entirely decoupled
+//! from the state management."
+//!
+//! The types here are that contract. An [`InvocationTask`] carries
+//! everything a function needs (state snapshot, arguments, presigned file
+//! URLs); a [`TaskResult`] carries everything the platform needs back
+//! (output, state *delta*, new file content announcements). A FaaS engine
+//! only ever sees these two types — it can never reach the state store.
+
+use std::collections::BTreeMap;
+
+use oprc_value::Value;
+
+use crate::object::ObjectId;
+
+/// A client request to invoke `function` on `object`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvocationRequest {
+    /// Target object.
+    pub object: ObjectId,
+    /// The object's class (router hint; verified by the platform).
+    pub class: String,
+    /// Method to invoke (a function or dataflow name).
+    pub function: String,
+    /// Positional arguments.
+    pub args: Vec<Value>,
+}
+
+impl InvocationRequest {
+    /// Creates a request with no arguments.
+    pub fn new(object: ObjectId, class: impl Into<String>, function: impl Into<String>) -> Self {
+        InvocationRequest {
+            object,
+            class: class.into(),
+            function: function.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Appends a positional argument.
+    pub fn arg(mut self, v: impl Into<Value>) -> Self {
+        self.args.push(v.into());
+        self
+    }
+}
+
+/// The standalone task shipped to a code-execution runtime.
+///
+/// Self-contained by design: the executing function receives its state
+/// *by value* and file access *by capability* (presigned URLs), so any
+/// HTTP-speaking runtime can execute it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvocationTask {
+    /// Platform-assigned task id.
+    pub task_id: u64,
+    /// Target object.
+    pub object: ObjectId,
+    /// The resolved class that provides the implementation (dispatch
+    /// result — may be an ancestor of the request class).
+    pub impl_class: String,
+    /// Function name.
+    pub function: String,
+    /// Container image implementing the function.
+    pub image: String,
+    /// Snapshot of the object's structured state.
+    pub state_in: Value,
+    /// Revision of `state_in` (for stale-write detection).
+    pub state_revision: u64,
+    /// Positional arguments from the request (or resolved dataflow
+    /// inputs).
+    pub args: Vec<Value>,
+    /// Presigned URLs for file-backed keys: name → URL.
+    pub file_urls: BTreeMap<String, String>,
+}
+
+/// Why a task failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// The function reported an application error.
+    Application(String),
+    /// The execution runtime failed (timeout, crash, no capacity).
+    Runtime(String),
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Application(m) => write!(f, "application error: {m}"),
+            TaskError::Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// What a completed task returns to the platform.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TaskResult {
+    /// The function's output value (returned to the caller / next step).
+    pub output: Value,
+    /// Merge patch to apply to the object's structured state, if the
+    /// function modified it.
+    pub state_patch: Option<Value>,
+    /// File keys whose content the function (re)wrote via its presigned
+    /// URLs, with new ETags.
+    pub files_written: BTreeMap<String, String>,
+}
+
+impl TaskResult {
+    /// A result with only an output value.
+    pub fn output(value: impl Into<Value>) -> Self {
+        TaskResult {
+            output: value.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Attaches a state merge patch.
+    pub fn with_patch(mut self, patch: Value) -> Self {
+        self.state_patch = Some(patch);
+        self
+    }
+
+    /// Records that a file key was rewritten.
+    pub fn with_file(mut self, key: impl Into<String>, etag: impl Into<String>) -> Self {
+        self.files_written.insert(key.into(), etag.into());
+        self
+    }
+
+    /// True if the task left object state untouched.
+    pub fn is_pure_read(&self) -> bool {
+        self.state_patch.is_none() && self.files_written.is_empty()
+    }
+}
+
+/// The platform-visible outcome of one invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvocationOutcome {
+    /// The original request's object.
+    pub object: ObjectId,
+    /// The invoked function.
+    pub function: String,
+    /// Result or error.
+    pub result: Result<TaskResult, TaskError>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_value::vjson;
+
+    #[test]
+    fn request_builder() {
+        let r = InvocationRequest::new(ObjectId(1), "Image", "resize")
+            .arg(vjson!({"width": 800}))
+            .arg("png");
+        assert_eq!(r.args.len(), 2);
+        assert_eq!(r.args[1].as_str(), Some("png"));
+    }
+
+    #[test]
+    fn task_is_self_contained() {
+        // The task type holds values, not references or handles — this is
+        // the decoupling property. Compile-time check: it is Send + Sync
+        // + 'static (could cross an RPC boundary).
+        fn check<T: Send + Sync + 'static>() {}
+        check::<InvocationTask>();
+        check::<TaskResult>();
+    }
+
+    #[test]
+    fn result_builders() {
+        let r = TaskResult::output(vjson!({"ok": true}))
+            .with_patch(vjson!({"count": 2}))
+            .with_file("image", "etag123");
+        assert!(!r.is_pure_read());
+        assert_eq!(r.output["ok"].as_bool(), Some(true));
+        assert_eq!(r.state_patch.as_ref().unwrap()["count"].as_i64(), Some(2));
+        assert_eq!(r.files_written["image"], "etag123");
+        assert!(TaskResult::output(vjson!(1)).is_pure_read());
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            TaskError::Application("bad input".into()).to_string(),
+            "application error: bad input"
+        );
+        assert_eq!(
+            TaskError::Runtime("timeout".into()).to_string(),
+            "runtime error: timeout"
+        );
+    }
+}

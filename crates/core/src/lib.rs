@@ -1,0 +1,83 @@
+//! The Object-as-a-Service (OaaS) paradigm core.
+//!
+//! OaaS (Lertpongrujikorn & Amini Salehi, ICDCS 2024) raises the
+//! serverless abstraction from stateless *functions* to *objects*: each
+//! cloud object encapsulates
+//!
+//! 1. **data** — structured attributes plus unstructured files,
+//! 2. **logic** — methods realized by serverless functions, and
+//! 3. **non-functional requirements** — QoS targets and deployment
+//!    constraints,
+//!
+//! in one deployment package. This crate implements the paradigm itself,
+//! independent of any substrate:
+//!
+//! - [`ClassDef`] / [`parse`] — the class-based development interface,
+//!   including the YAML/JSON definition format of the paper's Listing 1;
+//! - [`hierarchy::ClassHierarchy`] — inheritance and polymorphism
+//!   (single inheritance, method override, subtype dispatch);
+//! - [`nfr`] — the non-functional requirement interface (§II-C):
+//!   QoS (throughput, availability, latency) and constraints
+//!   (persistence, budget, jurisdiction);
+//! - [`object`] — object identity and state (structured + file refs);
+//! - [`invocation`] — the *pure function* offload protocol (§III-C):
+//!   state in, `(output, state delta)` out, engine fully decoupled from
+//!   storage;
+//! - [`dataflow`] — the dataflow abstraction (§II-B): execution driven by
+//!   data dependencies, with automatic parallel stages;
+//! - [`template`] — class-runtime templates (§III-B, Fig. 2): matching
+//!   requirement combinations to runtime configurations by condition and
+//!   priority;
+//! - [`optimizer`] — requirement-driven reactive optimization: compares
+//!   observed metrics against declared QoS and recommends scaling/config
+//!   changes.
+//!
+//! # Examples
+//!
+//! Parse the paper's Listing-1-style package and resolve inheritance:
+//!
+//! ```
+//! use oprc_core::{hierarchy::ClassHierarchy, parse};
+//!
+//! let pkg = parse::package_from_yaml("
+//! classes:
+//!   - name: Image
+//!     keySpecs:
+//!       - name: image
+//!         type: file
+//!     functions:
+//!       - name: resize
+//!         image: img/resize
+//!   - name: LabelledImage
+//!     parent: Image
+//!     functions:
+//!       - name: detectObject
+//!         image: img/detect-object
+//! ")?;
+//! let hierarchy = ClassHierarchy::resolve(&pkg.classes)?;
+//! let labelled = hierarchy.class("LabelledImage").unwrap();
+//! // Inherited method + own method.
+//! assert!(labelled.function("resize").is_some());
+//! assert!(labelled.function("detectObject").is_some());
+//! # Ok::<(), oprc_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod class;
+mod error;
+
+pub mod dataflow;
+pub mod hierarchy;
+pub mod invocation;
+pub mod nfr;
+pub mod object;
+pub mod optimizer;
+pub mod package;
+pub mod parse;
+pub mod template;
+
+pub use class::{AccessModifier, ClassDef, FunctionDef, KeySpec, StateType};
+pub use error::CoreError;
+pub use package::OPackage;

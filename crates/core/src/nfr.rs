@@ -1,0 +1,212 @@
+//! The non-functional requirement (NFR) interface.
+//!
+//! "Through the interface, developers can declare their non-functional
+//! requirements for a whole object or even for a specific part (method).
+//! The requirements are defined as high-level and measurable metrics
+//! either in the form of QoS (e.g., availability and throughput)
+//! requirements or deployment constraints (e.g., budget and
+//! jurisdiction)" (§II-C).
+
+use oprc_value::Value;
+
+use crate::CoreError;
+
+/// Quality-of-service targets: measurable runtime metrics the platform
+/// must meet.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QosSpec {
+    /// Minimum sustained requests/second.
+    pub throughput: Option<u64>,
+    /// Minimum availability as a fraction (e.g. `0.999`).
+    pub availability: Option<f64>,
+    /// Maximum p99 latency in milliseconds.
+    pub latency_ms: Option<u64>,
+}
+
+/// Deployment constraints: properties of *where/how* the class runs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConstraintSpec {
+    /// Object state must survive restarts (drives persistent storage in
+    /// the class runtime). `None` means "not declared"; the platform
+    /// defaults to persistent ([`ConstraintSpec::effective_persistent`]).
+    pub persistent: Option<bool>,
+    /// Maximum spend in cost units per hour.
+    pub budget: Option<f64>,
+    /// Region jurisdiction tag the data must stay within (e.g. `"EU"`).
+    pub jurisdiction: Option<String>,
+}
+
+impl ConstraintSpec {
+    /// The persistence the platform acts on: declared value, defaulting
+    /// to `true` (losing state silently is never a safe default).
+    pub fn effective_persistent(&self) -> bool {
+        self.persistent.unwrap_or(true)
+    }
+}
+
+/// A complete NFR declaration: QoS plus constraints.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NfrSpec {
+    /// QoS targets.
+    pub qos: QosSpec,
+    /// Deployment constraints.
+    pub constraint: ConstraintSpec,
+}
+
+impl NfrSpec {
+    /// Parses the optional `qos:` / `constraint:` blocks of a class
+    /// definition (Listing 1 lines 3–6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Parse`] for wrongly typed fields.
+    pub fn from_value(v: &Value) -> Result<Self, CoreError> {
+        let mut nfr = NfrSpec::default();
+        if let Some(q) = v.get("qos") {
+            nfr.qos.throughput = opt_u64(q, "throughput")?;
+            nfr.qos.availability = opt_f64(q, "availability")?;
+            nfr.qos.latency_ms = match opt_u64(q, "latency")? {
+                Some(v) => Some(v),
+                None => opt_u64(q, "latencyMs")?,
+            };
+            if let Some(a) = nfr.qos.availability {
+                if !(0.0..=1.0).contains(&a) {
+                    return Err(CoreError::Parse(format!(
+                        "availability must be in [0, 1], got {a}"
+                    )));
+                }
+            }
+        }
+        if let Some(c) = v.get("constraint") {
+            nfr.constraint.persistent = c
+                .get("persistent")
+                .map(|b| {
+                    b.as_bool().ok_or_else(|| {
+                        CoreError::Parse("constraint.persistent must be a boolean".into())
+                    })
+                })
+                .transpose()?;
+            nfr.constraint.budget = opt_f64(c, "budget")?;
+            nfr.constraint.jurisdiction = c
+                .get("jurisdiction")
+                .map(|j| {
+                    j.as_str().map(str::to_string).ok_or_else(|| {
+                        CoreError::Parse("constraint.jurisdiction must be a string".into())
+                    })
+                })
+                .transpose()?;
+        }
+        Ok(nfr)
+    }
+
+    /// Merges a parent's NFR under this one: fields unset here inherit
+    /// the parent's values; `persistent` is inherited if either sets it.
+    pub fn inherit_from(&self, parent: &NfrSpec) -> NfrSpec {
+        NfrSpec {
+            qos: QosSpec {
+                throughput: self.qos.throughput.or(parent.qos.throughput),
+                availability: self.qos.availability.or(parent.qos.availability),
+                latency_ms: self.qos.latency_ms.or(parent.qos.latency_ms),
+            },
+            constraint: ConstraintSpec {
+                persistent: self.constraint.persistent.or(parent.constraint.persistent),
+                budget: self.constraint.budget.or(parent.constraint.budget),
+                jurisdiction: self
+                    .constraint
+                    .jurisdiction
+                    .clone()
+                    .or_else(|| parent.constraint.jurisdiction.clone()),
+            },
+        }
+    }
+
+    /// True if no requirement is declared at all.
+    pub fn is_empty(&self) -> bool {
+        *self == NfrSpec::default()
+    }
+}
+
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, CoreError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| CoreError::Parse(format!("'{key}' must be a non-negative integer"))),
+    }
+}
+
+fn opt_f64(v: &Value, key: &str) -> Result<Option<f64>, CoreError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| CoreError::Parse(format!("'{key}' must be a number"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_value::vjson;
+
+    #[test]
+    fn parse_full_block() {
+        let v = vjson!({
+            "qos": {"throughput": 100, "availability": 0.999, "latency": 50},
+            "constraint": {"persistent": true, "budget": 2.5, "jurisdiction": "EU"},
+        });
+        let nfr = NfrSpec::from_value(&v).unwrap();
+        assert_eq!(nfr.qos.throughput, Some(100));
+        assert_eq!(nfr.qos.availability, Some(0.999));
+        assert_eq!(nfr.qos.latency_ms, Some(50));
+        assert_eq!(nfr.constraint.persistent, Some(true));
+        assert!(nfr.constraint.effective_persistent());
+        assert_eq!(nfr.constraint.budget, Some(2.5));
+        assert_eq!(nfr.constraint.jurisdiction.as_deref(), Some("EU"));
+        assert!(!nfr.is_empty());
+    }
+
+    #[test]
+    fn absent_blocks_default() {
+        let nfr = NfrSpec::from_value(&vjson!({})).unwrap();
+        assert!(nfr.is_empty());
+        assert_eq!(nfr.constraint.persistent, None);
+        assert!(nfr.constraint.effective_persistent());
+    }
+
+    #[test]
+    fn type_errors() {
+        assert!(NfrSpec::from_value(&vjson!({"qos": {"throughput": "fast"}})).is_err());
+        assert!(NfrSpec::from_value(&vjson!({"qos": {"availability": 1.5}})).is_err());
+        assert!(
+            NfrSpec::from_value(&vjson!({"constraint": {"persistent": "yes"}})).is_err()
+        );
+        assert!(NfrSpec::from_value(&vjson!({"constraint": {"jurisdiction": 7}})).is_err());
+        assert!(NfrSpec::from_value(&vjson!({"qos": {"throughput": (-5)}})).is_err());
+    }
+
+    #[test]
+    fn inheritance_fills_gaps_only() {
+        let parent = NfrSpec::from_value(&vjson!({
+            "qos": {"throughput": 100, "latency": 20},
+            "constraint": {"persistent": true},
+        }))
+        .unwrap();
+        let child = NfrSpec::from_value(&vjson!({
+            "qos": {"throughput": 500},
+        }))
+        .unwrap();
+        let merged = child.inherit_from(&parent);
+        assert_eq!(merged.qos.throughput, Some(500)); // own wins
+        assert_eq!(merged.qos.latency_ms, Some(20)); // inherited
+        assert_eq!(merged.constraint.persistent, Some(true)); // inherited
+    }
+
+    #[test]
+    fn latency_ms_alias() {
+        let v = vjson!({"qos": {"latencyMs": 9}});
+        assert_eq!(NfrSpec::from_value(&v).unwrap().qos.latency_ms, Some(9));
+    }
+}

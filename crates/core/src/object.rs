@@ -1,0 +1,213 @@
+//! Object identity and state.
+//!
+//! Objects are instances of classes: their *structured* state is a JSON
+//! document keyed by the class's structured key specs, and their
+//! *unstructured* state is a set of file references into object storage
+//! (§III-D). State carries a revision counter so the platform can detect
+//! stale writes when tasks race.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use oprc_value::{merge, Value};
+
+/// Globally unique object identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// The raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj-{}", self.0)
+    }
+}
+
+/// A reference to unstructured state in object storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileRef {
+    /// Bucket the file lives in.
+    pub bucket: String,
+    /// Key within the bucket.
+    pub key: String,
+    /// Content ETag at last write, if known.
+    pub etag: Option<String>,
+}
+
+/// The complete state of one object.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObjectState {
+    /// Structured attributes (a JSON object, normalized — no explicit
+    /// null members; see `oprc_value::merge::normalize`).
+    structured: Value,
+    /// File-backed attributes by key-spec name.
+    files: BTreeMap<String, FileRef>,
+    /// Monotonic revision, bumped on every applied patch.
+    revision: u64,
+}
+
+impl ObjectState {
+    /// Creates empty state at revision 0.
+    pub fn new() -> Self {
+        ObjectState {
+            structured: Value::object(),
+            files: BTreeMap::new(),
+            revision: 0,
+        }
+    }
+
+    /// Creates state from an initial structured document.
+    pub fn from_structured(mut value: Value) -> Self {
+        merge::normalize(&mut value);
+        ObjectState {
+            structured: value,
+            files: BTreeMap::new(),
+            revision: 0,
+        }
+    }
+
+    /// The structured document.
+    pub fn structured(&self) -> &Value {
+        &self.structured
+    }
+
+    /// Current revision.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Applies a merge patch (RFC 7396 semantics) produced by a function,
+    /// bumping the revision.
+    pub fn apply_patch(&mut self, patch: Value) {
+        merge::deep_merge(&mut self.structured, patch);
+        merge::normalize(&mut self.structured);
+        self.revision += 1;
+    }
+
+    /// Replaces the whole structured document, bumping the revision.
+    pub fn replace(&mut self, mut value: Value) {
+        merge::normalize(&mut value);
+        self.structured = value;
+        self.revision += 1;
+    }
+
+    /// Binds a file reference under a key-spec name.
+    pub fn set_file(&mut self, name: impl Into<String>, file: FileRef) {
+        self.files.insert(name.into(), file);
+        self.revision += 1;
+    }
+
+    /// Looks up a file reference.
+    pub fn file(&self, name: &str) -> Option<&FileRef> {
+        self.files.get(name)
+    }
+
+    /// All file bindings in name order.
+    pub fn files(&self) -> impl Iterator<Item = (&str, &FileRef)> {
+        self.files.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Approximate byte size of the structured state (storage
+    /// accounting).
+    pub fn approx_size(&self) -> usize {
+        self.structured.approx_size()
+    }
+}
+
+/// An object: identity, class, and state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OObject {
+    /// The object's id.
+    pub id: ObjectId,
+    /// The class it instantiates.
+    pub class: String,
+    /// Its state.
+    pub state: ObjectState,
+}
+
+impl OObject {
+    /// Creates an object of `class` with empty state.
+    pub fn new(id: ObjectId, class: impl Into<String>) -> Self {
+        OObject {
+            id,
+            class: class.into(),
+            state: ObjectState::new(),
+        }
+    }
+
+    /// Creates an object with initial structured state.
+    pub fn with_state(id: ObjectId, class: impl Into<String>, state: Value) -> Self {
+        OObject {
+            id,
+            class: class.into(),
+            state: ObjectState::from_structured(state),
+        }
+    }
+
+    /// The storage key this object's structured state lives under.
+    pub fn storage_key(&self) -> String {
+        format!("{}/{}", self.class, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_value::vjson;
+
+    #[test]
+    fn patch_bumps_revision_and_merges() {
+        let mut s = ObjectState::from_structured(vjson!({"a": 1, "b": {"c": 2}}));
+        assert_eq!(s.revision(), 0);
+        s.apply_patch(vjson!({"b": {"d": 3}, "a": null}));
+        assert_eq!(s.revision(), 1);
+        assert_eq!(s.structured(), &vjson!({"b": {"c": 2, "d": 3}}));
+    }
+
+    #[test]
+    fn normalization_strips_nulls() {
+        let s = ObjectState::from_structured(vjson!({"a": null, "b": 1}));
+        assert_eq!(s.structured(), &vjson!({"b": 1}));
+        let mut s = ObjectState::new();
+        s.replace(vjson!({"x": null}));
+        assert_eq!(s.structured(), &vjson!({}));
+        assert_eq!(s.revision(), 1);
+    }
+
+    #[test]
+    fn file_bindings() {
+        let mut s = ObjectState::new();
+        s.set_file(
+            "image",
+            FileRef {
+                bucket: "imgs".into(),
+                key: "obj-1/image".into(),
+                etag: None,
+            },
+        );
+        assert_eq!(s.revision(), 1);
+        assert_eq!(s.file("image").unwrap().bucket, "imgs");
+        assert!(s.file("other").is_none());
+        assert_eq!(s.files().count(), 1);
+    }
+
+    #[test]
+    fn object_storage_key() {
+        let o = OObject::new(ObjectId(7), "Image");
+        assert_eq!(o.storage_key(), "Image/obj-7");
+        assert_eq!(o.id.to_string(), "obj-7");
+        assert_eq!(o.id.as_u64(), 7);
+    }
+
+    #[test]
+    fn with_state_initializes() {
+        let o = OObject::with_state(ObjectId(1), "C", vjson!({"k": 1}));
+        assert_eq!(o.state.structured()["k"].as_i64(), Some(1));
+        assert_eq!(o.state.approx_size(), vjson!({"k": 1}).approx_size());
+    }
+}

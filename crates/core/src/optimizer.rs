@@ -1,0 +1,290 @@
+//! Requirement-driven optimization (§III-B).
+//!
+//! "To meet the requirements, Oparaca connects the runtime to the
+//! monitoring system and reacts to changes in workload or performance by
+//! adjusting the allocated resources or system configuration."
+//!
+//! [`recommend`] is that reaction, factored as a pure function so it is
+//! unit-testable and usable from both the embedded engine and the DES:
+//! given the declared [`NfrSpec`], a window of [`ObservedMetrics`], and
+//! the current replica count, it produces a [`ScalePlan`].
+
+use crate::nfr::NfrSpec;
+
+/// Metrics observed over one monitoring window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ObservedMetrics {
+    /// Completed requests per second.
+    pub throughput: f64,
+    /// 99th-percentile end-to-end latency in milliseconds.
+    pub p99_latency_ms: f64,
+    /// Mean busy fraction across replicas, `0.0 ..= 1.0+` (can exceed 1
+    /// when queues grow).
+    pub utilization: f64,
+    /// Offered load that was rejected or failed, per second.
+    pub error_rate: f64,
+}
+
+/// Tunables for [`recommend`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizerConfig {
+    /// Provision this much above the computed need (fraction).
+    pub headroom: f64,
+    /// Scale down only when utilization falls below this.
+    pub scale_down_below: f64,
+    /// Never recommend more than this many replicas per step-up.
+    pub max_step: u32,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            headroom: 0.2,
+            scale_down_below: 0.3,
+            max_step: 8,
+        }
+    }
+}
+
+/// The optimizer's decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePlan {
+    /// Replicas to run next (may equal the current count).
+    pub target_replicas: u32,
+    /// Human-readable reasons, one per rule that fired (empty when the
+    /// plan is "no change").
+    pub reasons: Vec<String>,
+}
+
+impl ScalePlan {
+    /// True if the plan changes nothing.
+    pub fn is_noop(&self, current: u32) -> bool {
+        self.target_replicas == current
+    }
+}
+
+/// Computes a scaling plan.
+///
+/// Rules, in order:
+///
+/// 1. **Throughput deficit** — declared throughput not met while
+///    utilization is high ⇒ scale replicas proportionally to the deficit
+///    (plus headroom).
+/// 2. **Latency violation** — declared p99 exceeded while utilization is
+///    high ⇒ add one replica step.
+/// 3. **Errors** — any rejected load ⇒ add one replica step.
+/// 4. **Over-provisioning** — all declared targets met with low
+///    utilization ⇒ remove one replica (never below 1, and never below
+///    what the throughput target needs).
+///
+/// Without declared QoS the optimizer only reacts to errors and gross
+/// over-provisioning — the cloud cannot optimize for targets it was
+/// never told (the paper's "cloud-application symbiosis" argument).
+pub fn recommend(
+    nfr: &NfrSpec,
+    metrics: &ObservedMetrics,
+    current_replicas: u32,
+    cfg: &OptimizerConfig,
+) -> ScalePlan {
+    let current = current_replicas.max(1);
+    let mut target = current;
+    let mut reasons = Vec::new();
+
+    let busy = metrics.utilization >= 0.7;
+
+    if let Some(want) = nfr.qos.throughput {
+        let want = want as f64;
+        if metrics.throughput < want * 0.95 && busy {
+            // Assume linear scaling: replicas needed ≈ current * want/got.
+            let got = metrics.throughput.max(1.0);
+            let needed = (current as f64 * want / got * (1.0 + cfg.headroom)).ceil() as u32;
+            let stepped = needed.min(current + cfg.max_step);
+            if stepped > target {
+                target = stepped;
+                reasons.push(format!(
+                    "throughput {:.0}/s below target {want:.0}/s at {:.0}% utilization",
+                    metrics.throughput,
+                    metrics.utilization * 100.0
+                ));
+            }
+        }
+    }
+
+    if let Some(max_ms) = nfr.qos.latency_ms {
+        if metrics.p99_latency_ms > max_ms as f64 && busy && target <= current {
+            target = current + 1;
+            reasons.push(format!(
+                "p99 {:.1}ms exceeds target {max_ms}ms",
+                metrics.p99_latency_ms
+            ));
+        }
+    }
+
+    if metrics.error_rate > 0.0 && target <= current {
+        target = current + 1;
+        reasons.push(format!("{:.1} errors/s observed", metrics.error_rate));
+    }
+
+    if target == current && metrics.utilization < cfg.scale_down_below && current > 1 {
+        let throughput_ok = nfr
+            .qos
+            .throughput
+            .map_or(true, |want| metrics.throughput >= want as f64 * 0.95);
+        let latency_ok = nfr
+            .qos
+            .latency_ms
+            .map_or(true, |max| metrics.p99_latency_ms <= max as f64);
+        if throughput_ok && latency_ok && metrics.error_rate == 0.0 {
+            target = current - 1;
+            reasons.push(format!(
+                "over-provisioned: {:.0}% utilization with targets met",
+                metrics.utilization * 100.0
+            ));
+        }
+    }
+
+    ScalePlan {
+        target_replicas: target,
+        reasons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_value::vjson;
+
+    fn nfr_throughput(t: u64) -> NfrSpec {
+        NfrSpec::from_value(&vjson!({"qos": {"throughput": t}})).unwrap()
+    }
+
+    fn cfg() -> OptimizerConfig {
+        OptimizerConfig::default()
+    }
+
+    #[test]
+    fn throughput_deficit_scales_proportionally() {
+        let m = ObservedMetrics {
+            throughput: 500.0,
+            utilization: 0.95,
+            ..Default::default()
+        };
+        let plan = recommend(&nfr_throughput(1000), &m, 4, &cfg());
+        // 4 * 1000/500 * 1.2 = 9.6 → 10, capped at 4+8=12 → 10.
+        assert_eq!(plan.target_replicas, 10);
+        assert!(!plan.reasons.is_empty());
+    }
+
+    #[test]
+    fn step_cap_limits_aggressive_scaling() {
+        let m = ObservedMetrics {
+            throughput: 10.0,
+            utilization: 1.0,
+            ..Default::default()
+        };
+        let plan = recommend(&nfr_throughput(100_000), &m, 2, &cfg());
+        assert_eq!(plan.target_replicas, 10); // 2 + max_step(8)
+    }
+
+    #[test]
+    fn low_utilization_deficit_does_not_scale() {
+        // Throughput below target but replicas idle → demand-side, not
+        // capacity-side; adding replicas would not help.
+        let m = ObservedMetrics {
+            throughput: 100.0,
+            utilization: 0.2,
+            ..Default::default()
+        };
+        let plan = recommend(&nfr_throughput(1000), &m, 4, &cfg());
+        assert!(plan.is_noop(4), "{plan:?}");
+    }
+
+    #[test]
+    fn latency_violation_steps_up() {
+        let nfr = NfrSpec::from_value(&vjson!({"qos": {"latency": 50}})).unwrap();
+        let m = ObservedMetrics {
+            p99_latency_ms: 120.0,
+            utilization: 0.9,
+            ..Default::default()
+        };
+        let plan = recommend(&nfr, &m, 3, &cfg());
+        assert_eq!(plan.target_replicas, 4);
+        assert!(plan.reasons[0].contains("p99"));
+    }
+
+    #[test]
+    fn errors_step_up_even_without_qos() {
+        let m = ObservedMetrics {
+            error_rate: 2.0,
+            utilization: 0.5,
+            ..Default::default()
+        };
+        let plan = recommend(&NfrSpec::default(), &m, 2, &cfg());
+        assert_eq!(plan.target_replicas, 3);
+    }
+
+    #[test]
+    fn over_provisioned_scales_down_one() {
+        let m = ObservedMetrics {
+            throughput: 2000.0,
+            utilization: 0.1,
+            p99_latency_ms: 5.0,
+            ..Default::default()
+        };
+        let plan = recommend(&nfr_throughput(1000), &m, 6, &cfg());
+        assert_eq!(plan.target_replicas, 5);
+    }
+
+    #[test]
+    fn never_scales_below_one() {
+        let m = ObservedMetrics {
+            utilization: 0.0,
+            ..Default::default()
+        };
+        let plan = recommend(&NfrSpec::default(), &m, 1, &cfg());
+        assert_eq!(plan.target_replicas, 1);
+    }
+
+    #[test]
+    fn no_scale_down_when_target_barely_met() {
+        // Targets met but utilization not low → stay put.
+        let m = ObservedMetrics {
+            throughput: 1000.0,
+            utilization: 0.6,
+            ..Default::default()
+        };
+        let plan = recommend(&nfr_throughput(1000), &m, 4, &cfg());
+        assert!(plan.is_noop(4));
+    }
+
+    #[test]
+    fn no_scale_down_when_target_missed_even_if_idle() {
+        let m = ObservedMetrics {
+            throughput: 100.0,
+            utilization: 0.1,
+            ..Default::default()
+        };
+        let plan = recommend(&nfr_throughput(1000), &m, 4, &cfg());
+        // Deficit rule skipped (idle), down-scale rule skipped (target
+        // missed) → noop.
+        assert!(plan.is_noop(4), "{plan:?}");
+    }
+
+    #[test]
+    fn combined_rules_prefer_biggest_ask() {
+        let nfr = NfrSpec::from_value(&vjson!({
+            "qos": {"throughput": 1000, "latency": 10},
+        }))
+        .unwrap();
+        let m = ObservedMetrics {
+            throughput: 500.0,
+            p99_latency_ms: 50.0,
+            utilization: 0.95,
+            error_rate: 1.0,
+        };
+        let plan = recommend(&nfr, &m, 4, &cfg());
+        // Throughput rule wants 10; latency/error steps must not shrink
+        // that.
+        assert_eq!(plan.target_replicas, 10);
+    }
+}

@@ -1,0 +1,84 @@
+//! Deployment packages.
+//!
+//! A package is the unit a developer deploys: a named set of class
+//! definitions (Listing 1 is one package with two classes). The platform
+//! registry stores packages and resolves their hierarchies.
+
+use crate::hierarchy::ClassHierarchy;
+use crate::{ClassDef, CoreError};
+
+/// A named bundle of class definitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OPackage {
+    /// Package name.
+    pub name: String,
+    /// The classes, as written (pre-inheritance-resolution).
+    pub classes: Vec<ClassDef>,
+}
+
+impl OPackage {
+    /// Creates an empty package.
+    pub fn new(name: impl Into<String>) -> Self {
+        OPackage {
+            name: name.into(),
+            classes: Vec::new(),
+        }
+    }
+
+    /// Adds a class.
+    pub fn class(mut self, def: ClassDef) -> Self {
+        self.classes.push(def);
+        self
+    }
+
+    /// Validates all classes and their relationships (by attempting
+    /// resolution).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CoreError`] found.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.resolve().map(|_| ())
+    }
+
+    /// Resolves the package's inheritance hierarchy.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClassHierarchy::resolve`].
+    pub fn resolve(&self) -> Result<ClassHierarchy, CoreError> {
+        ClassHierarchy::resolve(&self.classes)
+    }
+
+    /// Looks up a class definition by name.
+    pub fn class_def(&self, name: &str) -> Option<&ClassDef> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::FunctionDef;
+
+    #[test]
+    fn build_and_resolve() {
+        let pkg = OPackage::new("media")
+            .class(ClassDef::new("A").function(FunctionDef::new("f", "img/f")))
+            .class(ClassDef::new("B").parent("A"));
+        pkg.validate().unwrap();
+        let h = pkg.resolve().unwrap();
+        assert!(h.class("B").unwrap().function("f").is_some());
+        assert_eq!(pkg.class_def("A").unwrap().name, "A");
+        assert!(pkg.class_def("X").is_none());
+    }
+
+    #[test]
+    fn invalid_package_propagates() {
+        let pkg = OPackage::new("bad").class(ClassDef::new("A").parent("Ghost"));
+        assert!(matches!(
+            pkg.validate(),
+            Err(CoreError::UnknownParent { .. })
+        ));
+    }
+}

@@ -1,0 +1,406 @@
+//! Parsing class definitions from YAML or JSON (Listing 1 format).
+//!
+//! The accepted document shape:
+//!
+//! ```yaml
+//! name: my-package            # optional
+//! classes:
+//!   - name: Image
+//!     parent: BaseMedia       # optional
+//!     qos:                    # optional (§II-C)
+//!       throughput: 100
+//!     constraint:             # optional
+//!       persistent: true
+//!     keySpecs:
+//!       - name: image
+//!         type: file          # "file" | "structured" (default)
+//!         access: public      # "public" | "internal" (default public)
+//!     functions:
+//!       - name: resize
+//!         image: img/resize
+//!         readonly: false
+//!         access: public
+//!     dataflows:
+//!       - name: pipeline
+//!         output: last        # optional
+//!         steps:
+//!           - id: s1
+//!             function: resize
+//!             inputs: [input]           # "input" | constants
+//!           - id: s2
+//!             function: detectObject
+//!             inputs: ["step:s1", "step:s1#/meta"]
+//! ```
+//!
+//! Key specs may also be bare strings (`- image`), matching the paper's
+//! terse listing.
+
+use oprc_value::{json, yaml, Value};
+
+use crate::class::{AccessModifier, ClassDef, FunctionDef, KeySpec, StateType};
+use crate::dataflow::{DataRef, DataflowSpec, StepSpec};
+use crate::nfr::NfrSpec;
+use crate::package::OPackage;
+use crate::CoreError;
+
+/// Parses a package document from YAML text.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Parse`] or [`CoreError::InvalidClass`] on
+/// malformed input.
+pub fn package_from_yaml(text: &str) -> Result<OPackage, CoreError> {
+    package_from_value(&yaml::parse(text)?)
+}
+
+/// Parses a package document from JSON text.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Parse`] or [`CoreError::InvalidClass`] on
+/// malformed input.
+pub fn package_from_json(text: &str) -> Result<OPackage, CoreError> {
+    package_from_value(&json::parse(text)?)
+}
+
+/// Parses a package from an already-parsed [`Value`] document.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Parse`] or [`CoreError::InvalidClass`].
+pub fn package_from_value(doc: &Value) -> Result<OPackage, CoreError> {
+    let name = doc
+        .get("name")
+        .and_then(Value::as_str)
+        .unwrap_or("default")
+        .to_string();
+    let classes_v = doc
+        .get("classes")
+        .ok_or_else(|| CoreError::Parse("document has no 'classes' list".into()))?;
+    let list = classes_v
+        .as_array()
+        .ok_or_else(|| CoreError::Parse("'classes' must be a list".into()))?;
+    let mut classes = Vec::with_capacity(list.len());
+    for item in list {
+        classes.push(class_from_value(item)?);
+    }
+    let pkg = OPackage { name, classes };
+    pkg.validate()?;
+    Ok(pkg)
+}
+
+/// Parses one class definition from a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::Parse`] on malformed fields.
+pub fn class_from_value(v: &Value) -> Result<ClassDef, CoreError> {
+    let name = require_str(v, "name", "class")?;
+    let mut def = ClassDef::new(name);
+    if let Some(p) = v.get("parent") {
+        def.parent = Some(
+            p.as_str()
+                .ok_or_else(|| CoreError::Parse("'parent' must be a string".into()))?
+                .to_string(),
+        );
+    }
+    def.nfr = NfrSpec::from_value(v)?;
+    if let Some(keys) = v.get("keySpecs") {
+        let arr = keys
+            .as_array()
+            .ok_or_else(|| CoreError::Parse("'keySpecs' must be a list".into()))?;
+        for k in arr {
+            def.key_specs.push(key_spec_from_value(k)?);
+        }
+    }
+    if let Some(fns) = v.get("functions") {
+        let arr = fns
+            .as_array()
+            .ok_or_else(|| CoreError::Parse("'functions' must be a list".into()))?;
+        for f in arr {
+            def.functions.push(function_from_value(f)?);
+        }
+    }
+    if let Some(dfs) = v.get("dataflows") {
+        let arr = dfs
+            .as_array()
+            .ok_or_else(|| CoreError::Parse("'dataflows' must be a list".into()))?;
+        for d in arr {
+            def.dataflows.push(dataflow_from_value(d)?);
+        }
+    }
+    Ok(def)
+}
+
+fn key_spec_from_value(v: &Value) -> Result<KeySpec, CoreError> {
+    // Bare-string form: `- image`.
+    if let Some(name) = v.as_str() {
+        return Ok(KeySpec::structured(name));
+    }
+    let name = require_str(v, "name", "keySpec")?;
+    let state_type = match v.get("type").and_then(Value::as_str) {
+        None | Some("structured") => StateType::Structured,
+        Some("file") => StateType::File,
+        Some(other) => {
+            return Err(CoreError::Parse(format!(
+                "unknown keySpec type '{other}' (expected 'structured' or 'file')"
+            )))
+        }
+    };
+    Ok(KeySpec {
+        name: name.to_string(),
+        state_type,
+        access: access_from(v)?,
+    })
+}
+
+fn function_from_value(v: &Value) -> Result<FunctionDef, CoreError> {
+    let name = require_str(v, "name", "function")?;
+    let image = v.get("image").and_then(Value::as_str).unwrap_or_default();
+    let mut f = FunctionDef::new(name, image);
+    f.access = access_from(v)?;
+    if let Some(ro) = v.get("readonly") {
+        f.readonly = ro
+            .as_bool()
+            .ok_or_else(|| CoreError::Parse("'readonly' must be a boolean".into()))?;
+    }
+    let nfr = NfrSpec::from_value(v)?;
+    if !nfr.is_empty() {
+        f.nfr = Some(nfr);
+    }
+    Ok(f)
+}
+
+fn dataflow_from_value(v: &Value) -> Result<DataflowSpec, CoreError> {
+    let name = require_str(v, "name", "dataflow")?;
+    let mut df = DataflowSpec::new(name);
+    if let Some(out) = v.get("output") {
+        df.output = Some(
+            out.as_str()
+                .ok_or_else(|| CoreError::Parse("dataflow 'output' must be a string".into()))?
+                .to_string(),
+        );
+    }
+    let steps = v
+        .get("steps")
+        .and_then(Value::as_array)
+        .ok_or_else(|| CoreError::Parse(format!("dataflow '{name}' needs a 'steps' list")))?;
+    for s in steps {
+        let id = require_str(s, "id", "step")?;
+        let function = require_str(s, "function", "step")?;
+        let mut step = StepSpec::new(id, function);
+        if let Some(inputs) = s.get("inputs").and_then(Value::as_array) {
+            for i in inputs {
+                step.inputs.push(data_ref_from_value(i));
+            }
+        }
+        if let Some(target) = s.get("target") {
+            step.target = Some(data_ref_from_value(target));
+        }
+        df.steps.push(step);
+    }
+    Ok(df)
+}
+
+/// Input notation: the string `"input"`, `"step:<id>"`,
+/// `"step:<id>#<pointer>"`, or any other value as a constant.
+fn data_ref_from_value(v: &Value) -> DataRef {
+    if let Some(s) = v.as_str() {
+        if s == "input" {
+            return DataRef::Input;
+        }
+        if let Some(rest) = s.strip_prefix("step:") {
+            let (step, pointer) = match rest.split_once('#') {
+                Some((step, ptr)) => (step.to_string(), Some(ptr.to_string())),
+                None => (rest.to_string(), None),
+            };
+            return DataRef::Step { step, pointer };
+        }
+    }
+    DataRef::Const(v.clone())
+}
+
+fn access_from(v: &Value) -> Result<AccessModifier, CoreError> {
+    match v.get("access").and_then(Value::as_str) {
+        None | Some("public") => Ok(AccessModifier::Public),
+        Some("internal") | Some("private") => Ok(AccessModifier::Internal),
+        Some(other) => Err(CoreError::Parse(format!(
+            "unknown access modifier '{other}'"
+        ))),
+    }
+}
+
+fn require_str<'v>(v: &'v Value, key: &str, ctx: &str) -> Result<&'v str, CoreError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| CoreError::Parse(format!("{ctx} needs a non-empty string '{key}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Listing 1, cleaned of OCR noise.
+    const LISTING1: &str = r#"
+classes:
+  - name: Image
+    qos:
+      throughput: 100
+    constraint:
+      persistent: true
+    keySpecs:
+      - name: image   # File Image
+        type: file
+    functions:
+      - name: resize
+        image: img/resize      # container image
+      - name: changeFormat
+        image: img/change-format
+  - name: LabelledImage
+    parent: Image
+    functions:
+      - name: detectObject
+        image: img/detect-object
+"#;
+
+    #[test]
+    fn listing1_parses() {
+        let pkg = package_from_yaml(LISTING1).unwrap();
+        assert_eq!(pkg.classes.len(), 2);
+        let image = &pkg.classes[0];
+        assert_eq!(image.name, "Image");
+        assert_eq!(image.nfr.qos.throughput, Some(100));
+        assert_eq!(image.nfr.constraint.persistent, Some(true));
+        assert_eq!(image.key_specs[0].state_type, StateType::File);
+        assert_eq!(image.functions[1].image, "img/change-format");
+        let labelled = &pkg.classes[1];
+        assert_eq!(labelled.parent.as_deref(), Some("Image"));
+        assert_eq!(labelled.functions[0].name, "detectObject");
+    }
+
+    #[test]
+    fn json_equivalent_parses_identically() {
+        let yaml_pkg = package_from_yaml(LISTING1).unwrap();
+        let json_text = r#"{
+          "classes": [
+            {
+              "name": "Image",
+              "qos": {"throughput": 100},
+              "constraint": {"persistent": true},
+              "keySpecs": [{"name": "image", "type": "file"}],
+              "functions": [
+                {"name": "resize", "image": "img/resize"},
+                {"name": "changeFormat", "image": "img/change-format"}
+              ]
+            },
+            {
+              "name": "LabelledImage",
+              "parent": "Image",
+              "functions": [{"name": "detectObject", "image": "img/detect-object"}]
+            }
+          ]
+        }"#;
+        let json_pkg = package_from_json(json_text).unwrap();
+        assert_eq!(yaml_pkg.classes, json_pkg.classes);
+    }
+
+    #[test]
+    fn bare_string_key_specs() {
+        let pkg = package_from_yaml("classes:\n  - name: C\n    keySpecs:\n      - counter\n")
+            .unwrap();
+        assert_eq!(pkg.classes[0].key_specs[0].name, "counter");
+        assert_eq!(
+            pkg.classes[0].key_specs[0].state_type,
+            StateType::Structured
+        );
+    }
+
+    #[test]
+    fn dataflow_notation() {
+        let text = r#"
+classes:
+  - name: Image
+    functions:
+      - name: resize
+        image: i/r
+      - name: label
+        image: i/l
+    dataflows:
+      - name: pipeline
+        output: lab
+        steps:
+          - id: res
+            function: resize
+            inputs: [input, 800]
+          - id: lab
+            function: label
+            inputs: ["step:res", "step:res#/meta/width"]
+"#;
+        let pkg = package_from_yaml(text).unwrap();
+        let df = &pkg.classes[0].dataflows[0];
+        assert_eq!(df.output_step(), Some("lab"));
+        assert_eq!(df.steps[0].inputs[0], DataRef::Input);
+        assert_eq!(df.steps[0].inputs[1], DataRef::Const(oprc_value::vjson!(800)));
+        assert_eq!(
+            df.steps[1].inputs[1],
+            DataRef::Step {
+                step: "res".into(),
+                pointer: Some("/meta/width".into())
+            }
+        );
+        df.validate().unwrap();
+    }
+
+    #[test]
+    fn function_level_nfr_and_modifiers() {
+        let text = r#"
+classes:
+  - name: C
+    functions:
+      - name: hot
+        image: i/h
+        readonly: true
+        access: internal
+        qos:
+          latency: 5
+"#;
+        let pkg = package_from_yaml(text).unwrap();
+        let f = &pkg.classes[0].functions[0];
+        assert!(f.readonly);
+        assert_eq!(f.access, AccessModifier::Internal);
+        assert_eq!(f.nfr.as_ref().unwrap().qos.latency_ms, Some(5));
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        for bad in [
+            "just a scalar",
+            "classes: 5",
+            "classes:\n  - parent: X\n", // class without a name
+            "classes:\n  - name: C\n    keySpecs:\n      - type: file\n", // keySpec without name
+            "classes:\n  - name: C\n    functions:\n      - image: i\n", // fn without name
+            "classes:\n  - name: C\n    keySpecs:\n      - name: k\n        type: blob\n",
+            "classes:\n  - name: C\n    functions:\n      - name: f\n        access: root\n",
+        ] {
+            assert!(package_from_yaml(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn duplicate_class_rejected_at_parse() {
+        let text = "classes:\n  - name: A\n  - name: A\n";
+        assert!(matches!(
+            package_from_yaml(text),
+            Err(CoreError::DuplicateClass(_))
+        ));
+    }
+
+    #[test]
+    fn package_name_defaults() {
+        let pkg = package_from_yaml("classes: []\n").unwrap();
+        assert_eq!(pkg.name, "default");
+        let pkg = package_from_yaml("name: media\nclasses: []\n").unwrap();
+        assert_eq!(pkg.name, "media");
+    }
+}

@@ -1,0 +1,413 @@
+//! Class-runtime templates (§III-B, Fig. 2).
+//!
+//! "Oparaca introduces *class runtime template*, which provides a
+//! configurable class runtime design optimized for a specific set of
+//! requirement combinations. When deploying a class, Oparaca will choose
+//! from the list the most suitable template to realize the class
+//! requirement and then follow the template design to create a dedicated
+//! class runtime for this class."
+//!
+//! A [`ClassRuntimeTemplate`] pairs a *matching condition* over NFRs with
+//! a [`RuntimeConfig`] describing the runtime to build. The
+//! [`TemplateCatalog`] selects the highest-priority matching template;
+//! providers can add or replace templates to express their own
+//! operational objectives.
+
+use crate::nfr::NfrSpec;
+use crate::CoreError;
+
+/// Which execution substrate the runtime offloads tasks to.
+///
+/// Mirrors the paper's evaluated variants: Knative, or a plain
+/// Kubernetes deployment ("bypass").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineBacking {
+    /// Knative serving (autoscaled, scale-to-zero).
+    #[default]
+    Knative,
+    /// Plain deployment with platform-managed replicas.
+    PlainDeployment,
+}
+
+/// The runtime design a template prescribes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// Execution substrate.
+    pub engine: EngineBacking,
+    /// Whether object state is written through to the persistent DB
+    /// (false = in-memory only, the `nonpersist` variant).
+    pub persistent: bool,
+    /// DHT replication factor for the in-memory tier.
+    pub dht_replication: usize,
+    /// Write-behind batch size (records per DB write).
+    pub write_behind_batch: usize,
+    /// Write-behind max delay in milliseconds.
+    pub write_behind_delay_ms: u64,
+    /// Replica floor for the function substrate.
+    pub min_replicas: u32,
+    /// Replica ceiling for the function substrate.
+    pub max_replicas: u32,
+    /// Route invocations to the instance holding the object's partition
+    /// (the §II-A data-locality optimization).
+    pub locality_routing: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            engine: EngineBacking::Knative,
+            persistent: true,
+            dht_replication: 2,
+            write_behind_batch: 100,
+            write_behind_delay_ms: 50,
+            min_replicas: 0,
+            max_replicas: u32::MAX,
+            locality_routing: true,
+        }
+    }
+}
+
+/// Predicates over an [`NfrSpec`]; unset fields always match.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TemplateCondition {
+    /// Requires the NFR's declared throughput ≥ this.
+    pub throughput_at_least: Option<u64>,
+    /// Requires the NFR's persistence flag to equal this.
+    pub persistent: Option<bool>,
+    /// Requires a declared latency target ≤ this (ms).
+    pub latency_at_most: Option<u64>,
+    /// Requires a declared availability ≥ this.
+    pub availability_at_least: Option<f64>,
+}
+
+impl TemplateCondition {
+    /// True if every declared predicate accepts `nfr`.
+    pub fn matches(&self, nfr: &NfrSpec) -> bool {
+        if let Some(min) = self.throughput_at_least {
+            if nfr.qos.throughput.unwrap_or(0) < min {
+                return false;
+            }
+        }
+        if let Some(p) = self.persistent {
+            if nfr.constraint.effective_persistent() != p {
+                return false;
+            }
+        }
+        if let Some(max) = self.latency_at_most {
+            match nfr.qos.latency_ms {
+                Some(l) if l <= max => {}
+                _ => return false,
+            }
+        }
+        if let Some(min) = self.availability_at_least {
+            match nfr.qos.availability {
+                Some(a) if a >= min => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// A named, prioritized template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassRuntimeTemplate {
+    /// Template name (unique within a catalog).
+    pub name: String,
+    /// Higher wins among matching templates.
+    pub priority: i32,
+    /// When this template applies.
+    pub condition: TemplateCondition,
+    /// The runtime design to instantiate.
+    pub config: RuntimeConfig,
+}
+
+impl ClassRuntimeTemplate {
+    /// Creates a template with an always-matching condition.
+    pub fn new(name: impl Into<String>, priority: i32, config: RuntimeConfig) -> Self {
+        ClassRuntimeTemplate {
+            name: name.into(),
+            priority,
+            condition: TemplateCondition::default(),
+            config,
+        }
+    }
+
+    /// Sets the matching condition.
+    pub fn condition(mut self, condition: TemplateCondition) -> Self {
+        self.condition = condition;
+        self
+    }
+}
+
+/// An ordered collection of templates with selection.
+#[derive(Debug, Clone, Default)]
+pub struct TemplateCatalog {
+    templates: Vec<ClassRuntimeTemplate>,
+}
+
+impl TemplateCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        TemplateCatalog::default()
+    }
+
+    /// The provider-default catalog:
+    ///
+    /// | name | priority | condition | key config |
+    /// |---|---|---|---|
+    /// | `default` | 0 | always | Knative, persistent, batch 100 |
+    /// | `ephemeral` | 10 | `persistent == false` | no DB write-through |
+    /// | `high-availability` | 15 | availability ≥ 0.999 | replication 3, min 2 replicas |
+    /// | `high-throughput` | 20 | throughput ≥ 1000 | plain deployment, batch 500 |
+    /// | `low-latency` | 20 | latency ≤ 10ms | plain deployment, warm floor, locality |
+    pub fn standard() -> Self {
+        let mut c = TemplateCatalog::new();
+        c.add(ClassRuntimeTemplate::new(
+            "default",
+            0,
+            RuntimeConfig::default(),
+        ));
+        c.add(
+            ClassRuntimeTemplate::new(
+                "ephemeral",
+                10,
+                RuntimeConfig {
+                    persistent: false,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .condition(TemplateCondition {
+                persistent: Some(false),
+                ..TemplateCondition::default()
+            }),
+        );
+        c.add(
+            ClassRuntimeTemplate::new(
+                "high-availability",
+                15,
+                RuntimeConfig {
+                    dht_replication: 3,
+                    min_replicas: 2,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .condition(TemplateCondition {
+                availability_at_least: Some(0.999),
+                ..TemplateCondition::default()
+            }),
+        );
+        c.add(
+            ClassRuntimeTemplate::new(
+                "high-throughput",
+                20,
+                RuntimeConfig {
+                    engine: EngineBacking::PlainDeployment,
+                    write_behind_batch: 500,
+                    min_replicas: 2,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .condition(TemplateCondition {
+                throughput_at_least: Some(1_000),
+                ..TemplateCondition::default()
+            }),
+        );
+        c.add(
+            ClassRuntimeTemplate::new(
+                "low-latency",
+                20,
+                RuntimeConfig {
+                    engine: EngineBacking::PlainDeployment,
+                    write_behind_delay_ms: 10,
+                    min_replicas: 2,
+                    locality_routing: true,
+                    ..RuntimeConfig::default()
+                },
+            )
+            .condition(TemplateCondition {
+                latency_at_most: Some(10),
+                ..TemplateCondition::default()
+            }),
+        );
+        c
+    }
+
+    /// Adds (or replaces, by name) a template — the provider
+    /// customization hook from §III-B.
+    pub fn add(&mut self, template: ClassRuntimeTemplate) {
+        self.templates.retain(|t| t.name != template.name);
+        self.templates.push(template);
+    }
+
+    /// All templates in insertion order.
+    pub fn templates(&self) -> &[ClassRuntimeTemplate] {
+        &self.templates
+    }
+
+    /// Selects the highest-priority template matching `nfr`; ties break
+    /// by name (deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoMatchingTemplate`] when nothing matches
+    /// (only possible in catalogs without an unconditional template).
+    pub fn select(&self, nfr: &NfrSpec) -> Result<&ClassRuntimeTemplate, CoreError> {
+        self.templates
+            .iter()
+            .filter(|t| t.condition.matches(nfr))
+            .max_by(|a, b| {
+                a.priority
+                    .cmp(&b.priority)
+                    .then_with(|| b.name.cmp(&a.name))
+            })
+            .ok_or_else(|| {
+                CoreError::NoMatchingTemplate(format!("requirements {nfr:?} matched no template"))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_value::vjson;
+
+    fn nfr(v: oprc_value::Value) -> NfrSpec {
+        NfrSpec::from_value(&v).unwrap()
+    }
+
+    #[test]
+    fn default_matches_everything() {
+        let c = TemplateCatalog::standard();
+        let t = c.select(&NfrSpec::default()).unwrap();
+        assert_eq!(t.name, "default");
+    }
+
+    #[test]
+    fn persistent_false_selects_ephemeral() {
+        let c = TemplateCatalog::standard();
+        // persistent defaults to false but the ephemeral template
+        // requires an explicit `persistent: false`... which parses the
+        // same; the distinguishing field is the explicit condition.
+        let t = c.select(&nfr(vjson!({"constraint": {"persistent": false}}))).unwrap();
+        assert_eq!(t.name, "ephemeral");
+        assert!(!t.config.persistent);
+        let t = c.select(&nfr(vjson!({"constraint": {"persistent": true}}))).unwrap();
+        assert_eq!(t.name, "default");
+    }
+
+    #[test]
+    fn high_throughput_wins_on_priority() {
+        let c = TemplateCatalog::standard();
+        let t = c
+            .select(&nfr(vjson!({
+                "qos": {"throughput": 5000},
+                "constraint": {"persistent": true},
+            })))
+            .unwrap();
+        assert_eq!(t.name, "high-throughput");
+        assert_eq!(t.config.engine, EngineBacking::PlainDeployment);
+        assert_eq!(t.config.write_behind_batch, 500);
+    }
+
+    #[test]
+    fn low_latency_requires_declared_target() {
+        let c = TemplateCatalog::standard();
+        let t = c
+            .select(&nfr(vjson!({"qos": {"latency": 5}, "constraint": {"persistent": true}})))
+            .unwrap();
+        assert_eq!(t.name, "low-latency");
+        // No latency declared → default.
+        let t = c
+            .select(&nfr(vjson!({"constraint": {"persistent": true}})))
+            .unwrap();
+        assert_eq!(t.name, "default");
+        // Declared but loose → default.
+        let t = c
+            .select(&nfr(vjson!({"qos": {"latency": 500}, "constraint": {"persistent": true}})))
+            .unwrap();
+        assert_eq!(t.name, "default");
+    }
+
+    #[test]
+    fn availability_selects_ha() {
+        let c = TemplateCatalog::standard();
+        let t = c
+            .select(&nfr(vjson!({
+                "qos": {"availability": 0.9995},
+                "constraint": {"persistent": true},
+            })))
+            .unwrap();
+        assert_eq!(t.name, "high-availability");
+        assert_eq!(t.config.dht_replication, 3);
+    }
+
+    #[test]
+    fn equal_priority_tie_breaks_by_name() {
+        let c = TemplateCatalog::standard();
+        // Matches both high-throughput and low-latency (both priority 20)
+        // → "high-throughput" < "low-latency" lexicographically, tie
+        // breaks to the lexicographically smaller name.
+        let t = c
+            .select(&nfr(vjson!({
+                "qos": {"throughput": 5000, "latency": 5},
+                "constraint": {"persistent": true},
+            })))
+            .unwrap();
+        assert_eq!(t.name, "high-throughput");
+    }
+
+    #[test]
+    fn provider_override_replaces_by_name() {
+        let mut c = TemplateCatalog::standard();
+        let before = c.templates().len();
+        c.add(ClassRuntimeTemplate::new(
+            "default",
+            0,
+            RuntimeConfig {
+                write_behind_batch: 42,
+                ..RuntimeConfig::default()
+            },
+        ));
+        assert_eq!(c.templates().len(), before);
+        assert_eq!(
+            c.select(&NfrSpec::default()).unwrap().config.write_behind_batch,
+            42
+        );
+    }
+
+    #[test]
+    fn empty_catalog_errors() {
+        let c = TemplateCatalog::new();
+        assert!(matches!(
+            c.select(&NfrSpec::default()),
+            Err(CoreError::NoMatchingTemplate(_))
+        ));
+    }
+
+    #[test]
+    fn condition_predicates_individually() {
+        let cond = TemplateCondition {
+            throughput_at_least: Some(100),
+            persistent: Some(true),
+            latency_at_most: None,
+            availability_at_least: None,
+        };
+        assert!(cond.matches(&nfr(vjson!({
+            "qos": {"throughput": 100},
+            "constraint": {"persistent": true},
+        }))));
+        assert!(!cond.matches(&nfr(vjson!({
+            "qos": {"throughput": 99},
+            "constraint": {"persistent": true},
+        }))));
+        // Undeclared persistence defaults to persistent=true → matches.
+        assert!(cond.matches(&nfr(vjson!({
+            "qos": {"throughput": 100},
+        }))));
+        assert!(!cond.matches(&nfr(vjson!({
+            "qos": {"throughput": 100},
+            "constraint": {"persistent": false},
+        }))));
+    }
+}

@@ -1,0 +1,260 @@
+//! Concurrency-targeting autoscaler (Knative KPA style).
+//!
+//! The autoscaler samples the engine's in-flight concurrency, averages it
+//! over a long *stable* window and a short *panic* window, and proposes
+//! `ceil(average_concurrency / target_per_replica)` replicas. When the
+//! panic-window average exceeds `panic_threshold ×` the current capacity,
+//! the autoscaler enters panic mode: it follows the panic window and
+//! never scales down until the panic subsides.
+
+use std::collections::VecDeque;
+
+use oprc_simcore::{SimDuration, SimTime};
+
+/// Tunables for [`Autoscaler`]. Defaults follow Knative's KPA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoscalerConfig {
+    /// Per-replica concurrency target the scaler aims for.
+    pub target_concurrency: f64,
+    /// Long averaging window (default 60s).
+    pub stable_window: SimDuration,
+    /// Short reactive window (default 6s).
+    pub panic_window: SimDuration,
+    /// Panic when panic-window average ≥ this multiple of current
+    /// capacity (default 2.0).
+    pub panic_threshold: f64,
+    /// How long a scaled-to-zero decision is delayed after the last
+    /// request (default 30s).
+    pub scale_to_zero_grace: SimDuration,
+    /// Max multiplicative step-up per decision (default 1000, i.e.
+    /// effectively unbounded like Knative's `max-scale-up-rate`).
+    pub max_scale_up_rate: f64,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        AutoscalerConfig {
+            target_concurrency: 1.0,
+            stable_window: SimDuration::from_secs(60),
+            panic_window: SimDuration::from_secs(6),
+            panic_threshold: 2.0,
+            scale_to_zero_grace: SimDuration::from_secs(30),
+            max_scale_up_rate: 1000.0,
+        }
+    }
+}
+
+/// The autoscaling state machine.
+///
+/// Feed it concurrency samples with [`Autoscaler::observe`], then ask for
+/// a recommendation with [`Autoscaler::desired`].
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    cfg: AutoscalerConfig,
+    samples: VecDeque<(SimTime, f64)>,
+    /// Time the concurrency was last observed non-zero.
+    last_active: SimTime,
+    in_panic: bool,
+    /// Panic mode persists until this time (refreshed on each trigger).
+    panic_until: SimTime,
+    panic_peak: u32,
+}
+
+impl Autoscaler {
+    /// Creates an autoscaler with the given configuration.
+    pub fn new(cfg: AutoscalerConfig) -> Self {
+        Autoscaler {
+            cfg,
+            samples: VecDeque::new(),
+            last_active: SimTime::ZERO,
+            in_panic: false,
+            panic_until: SimTime::ZERO,
+            panic_peak: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AutoscalerConfig {
+        &self.cfg
+    }
+
+    /// Whether panic mode is active.
+    pub fn in_panic(&self) -> bool {
+        self.in_panic
+    }
+
+    /// Records an instantaneous concurrency sample at `now`.
+    pub fn observe(&mut self, now: SimTime, concurrency: f64) {
+        if concurrency > 0.0 {
+            self.last_active = now;
+        }
+        self.samples.push_back((now, concurrency));
+        let horizon = now - self.cfg.stable_window;
+        while self
+            .samples
+            .front()
+            .is_some_and(|&(t, _)| t < horizon)
+        {
+            self.samples.pop_front();
+        }
+    }
+
+    fn window_avg(&self, now: SimTime, window: SimDuration) -> f64 {
+        let from = now - window;
+        let vals: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|&&(t, _)| t >= from)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// Computes the recommended replica count given the current count.
+    ///
+    /// Returns an unclamped recommendation; callers apply
+    /// [`crate::FunctionSpec::clamp_scale`] and cluster capacity limits.
+    pub fn desired(&mut self, now: SimTime, current_replicas: u32) -> u32 {
+        let stable_avg = self.window_avg(now, self.cfg.stable_window);
+        let panic_avg = self.window_avg(now, self.cfg.panic_window);
+        let target = self.cfg.target_concurrency.max(0.01);
+
+        let want_stable = (stable_avg / target).ceil() as u32;
+        let want_panic = (panic_avg / target).ceil() as u32;
+
+        // Enter panic when the short window shows ≥ threshold × current
+        // capacity; panic persists for a stable-window duration past the
+        // last trigger (Knative KPA semantics).
+        let capacity = (current_replicas.max(1) as f64) * target;
+        if panic_avg >= self.cfg.panic_threshold * capacity {
+            self.in_panic = true;
+            self.panic_until = now + self.cfg.stable_window;
+            self.panic_peak = self.panic_peak.max(want_panic).max(current_replicas);
+        } else if self.in_panic && now >= self.panic_until {
+            self.in_panic = false;
+            self.panic_peak = 0;
+        }
+
+        let mut desired = if self.in_panic {
+            // Never scale down during panic.
+            self.panic_peak = self.panic_peak.max(want_panic);
+            self.panic_peak
+        } else {
+            want_stable
+        };
+
+        // Rate-limit scale-up.
+        let max_up = ((current_replicas.max(1) as f64) * self.cfg.max_scale_up_rate) as u32;
+        desired = desired.min(max_up.max(1));
+
+        // Scale to zero only after the grace period of inactivity.
+        if desired == 0 && now.since(self.last_active) < self.cfg.scale_to_zero_grace {
+            desired = 1.min(current_replicas.max(1));
+        }
+        desired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scaler(target: f64) -> Autoscaler {
+        Autoscaler::new(AutoscalerConfig {
+            target_concurrency: target,
+            stable_window: SimDuration::from_secs(60),
+            panic_window: SimDuration::from_secs(6),
+            ..AutoscalerConfig::default()
+        })
+    }
+
+    /// Feeds a constant concurrency for `secs` seconds, 1 sample/s.
+    fn feed(s: &mut Autoscaler, from_s: u64, secs: u64, conc: f64) -> SimTime {
+        let mut now = SimTime::ZERO;
+        for t in from_s..from_s + secs {
+            now = SimTime::from_secs(t);
+            s.observe(now, conc);
+        }
+        now
+    }
+
+    #[test]
+    fn steady_load_scales_to_ratio() {
+        let mut s = scaler(2.0);
+        let now = feed(&mut s, 0, 70, 8.0);
+        // 8 concurrent / target 2 → 4 replicas.
+        assert_eq!(s.desired(now, 4), 4);
+    }
+
+    #[test]
+    fn burst_triggers_panic_scale_up() {
+        let mut s = scaler(1.0);
+        let now = feed(&mut s, 0, 60, 1.0);
+        assert_eq!(s.desired(now, 1), 1);
+        // Sudden 10x burst for 6s: panic window sees it, stable window
+        // still diluted.
+        let now = feed(&mut s, 60, 6, 10.0);
+        let d = s.desired(now, 1);
+        assert!(s.in_panic());
+        // Panic window average ≈ 8.7 (one stale 1.0 sample in the 6s
+        // window) → at least 8 replicas.
+        assert!(d >= 8, "panic should follow short window, got {d}");
+    }
+
+    #[test]
+    fn panic_never_scales_down() {
+        let mut s = scaler(1.0);
+        let now = feed(&mut s, 0, 6, 20.0);
+        let d1 = s.desired(now, 1);
+        assert!(s.in_panic());
+        // Load drops but panic persists while short window is elevated.
+        let now2 = feed(&mut s, 6, 2, 15.0);
+        let d2 = s.desired(now2, d1);
+        assert!(d2 >= d1, "no scale-down in panic: {d2} < {d1}");
+    }
+
+    #[test]
+    fn idle_scales_to_zero_after_grace() {
+        let mut s = scaler(1.0);
+        let now = feed(&mut s, 0, 10, 2.0);
+        assert!(s.desired(now, 2) >= 1);
+        // 100s of zero concurrency — past stable window and grace.
+        let now = feed(&mut s, 10, 100, 0.0);
+        assert_eq!(s.desired(now, 2), 0);
+    }
+
+    #[test]
+    fn grace_period_holds_one_replica() {
+        let mut s = scaler(1.0);
+        let now = feed(&mut s, 0, 10, 2.0);
+        let _ = s.desired(now, 2);
+        // 10s idle: inside the 30s grace → keep at least 1.
+        let now = feed(&mut s, 10, 10, 0.0);
+        assert_eq!(s.desired(now, 2), 1);
+    }
+
+    #[test]
+    fn samples_outside_stable_window_dropped() {
+        let mut s = scaler(1.0);
+        feed(&mut s, 0, 10, 100.0);
+        let now = feed(&mut s, 10, 120, 1.0);
+        // Old 100-concurrency samples fully aged out.
+        assert_eq!(s.desired(now, 1), 1);
+    }
+
+    #[test]
+    fn scale_up_rate_limited() {
+        let mut s = Autoscaler::new(AutoscalerConfig {
+            target_concurrency: 1.0,
+            max_scale_up_rate: 2.0,
+            ..AutoscalerConfig::default()
+        });
+        let now = feed(&mut s, 0, 6, 100.0);
+        // Panic wants ~100, but rate limit allows 2× current (1) = 2.
+        assert_eq!(s.desired(now, 1), 2);
+    }
+}

@@ -1,0 +1,417 @@
+//! The engine model: replicas + autoscaler + dataplane behaviour.
+
+use oprc_simcore::{SimDuration, SimTime};
+
+use crate::{Autoscaler, AutoscalerConfig, FunctionSpec, Replica};
+
+/// Which execution substrate is modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Knative serving: request-driven autoscaling, scale-to-zero with an
+    /// activator, per-request queue-proxy overhead.
+    Knative,
+    /// A plain Kubernetes deployment (the paper's `bypass` mode): fixed
+    /// replicas, no serverless dataplane overhead, no autoscaling.
+    PlainDeployment,
+}
+
+/// Engine performance parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Per-request dataplane cost added by the queue-proxy sidecar
+    /// (Knative only).
+    pub dataplane_overhead: SimDuration,
+    /// Extra latency for requests that arrive while scaled to zero and
+    /// must traverse the activator.
+    pub activator_overhead: SimDuration,
+    /// Container cold-start duration (image assumed pulled).
+    pub cold_start: SimDuration,
+    /// Autoscaler decision period.
+    pub tick_interval: SimDuration,
+    /// Autoscaler tunables.
+    pub autoscaler: AutoscalerConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            dataplane_overhead: SimDuration::from_micros(1_500),
+            activator_overhead: SimDuration::from_millis(2),
+            cold_start: SimDuration::from_millis(1_800),
+            tick_interval: SimDuration::from_secs(2),
+            autoscaler: AutoscalerConfig::default(),
+        }
+    }
+}
+
+/// The outcome of admitting one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// When execution began (after queueing / cold start).
+    pub start: SimTime,
+    /// When the response is produced.
+    pub end: SimTime,
+    /// True if this request waited for a replica cold start.
+    pub cold_started: bool,
+    /// Index of the serving replica (diagnostic).
+    pub replica: usize,
+}
+
+/// A scaling decision from [`EngineModel::on_tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleAction {
+    /// Replica count before the decision.
+    pub from: u32,
+    /// Replica count after the decision.
+    pub to: u32,
+}
+
+/// Performance model of one function's execution substrate.
+///
+/// See the [crate docs](crate) for the driving contract.
+#[derive(Debug, Clone)]
+pub struct EngineModel {
+    kind: EngineKind,
+    cfg: EngineConfig,
+    spec: FunctionSpec,
+    replicas: Vec<Replica>,
+    autoscaler: Autoscaler,
+    /// Cluster-imposed replica ceiling (scheduling capacity).
+    capacity_limit: u32,
+    requests: u64,
+    cold_starts: u64,
+    rejected: u64,
+}
+
+impl EngineModel {
+    /// Creates an engine for `spec` with no replicas.
+    pub fn new(kind: EngineKind, cfg: EngineConfig, spec: FunctionSpec) -> Self {
+        let autoscaler = Autoscaler::new(cfg.autoscaler.clone());
+        EngineModel {
+            kind,
+            cfg,
+            spec,
+            replicas: Vec::new(),
+            autoscaler,
+            capacity_limit: u32::MAX,
+            requests: 0,
+            cold_starts: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The engine kind.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The function spec.
+    pub fn spec(&self) -> &FunctionSpec {
+        &self.spec
+    }
+
+    /// Current replica count (including still-starting replicas).
+    pub fn replica_count(&self) -> u32 {
+        self.replicas.len() as u32
+    }
+
+    /// Total admitted requests.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Requests that waited on a cold start.
+    pub fn cold_starts(&self) -> u64 {
+        self.cold_starts
+    }
+
+    /// Requests rejected because no replica existed and none could be
+    /// created (plain deployments with zero replicas, or capacity 0).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Sets the cluster-imposed replica ceiling (scheduling capacity).
+    pub fn set_capacity_limit(&mut self, limit: u32) {
+        self.capacity_limit = limit;
+        if self.replicas.len() as u32 > limit {
+            self.replicas.truncate(limit as usize);
+        }
+    }
+
+    /// The effective maximum replicas: min(spec max, cluster capacity).
+    pub fn effective_max(&self) -> u32 {
+        self.spec.max_scale.min(self.capacity_limit)
+    }
+
+    /// Directly sets the replica count (used for plain deployments and
+    /// experiment setup). New replicas become ready after `cold_start`.
+    pub fn force_replicas(&mut self, now: SimTime, count: u32, cold_start: SimDuration) {
+        let count = count.min(self.effective_max()) as usize;
+        while self.replicas.len() < count {
+            self.replicas
+                .push(Replica::new(now + cold_start, self.spec.container_concurrency));
+        }
+        self.replicas.truncate(count);
+    }
+
+    /// Current total in-flight requests across replicas.
+    pub fn concurrency(&self, now: SimTime) -> usize {
+        self.replicas.iter().map(|r| r.outstanding(now)).sum()
+    }
+
+    /// Admits a request arriving at `now` whose pure execution takes
+    /// `service`.
+    ///
+    /// Returns `None` when the request cannot be served at all: a plain
+    /// deployment with zero replicas, or a Knative service whose capacity
+    /// limit is zero.
+    pub fn on_request(&mut self, now: SimTime, service: SimDuration) -> Option<Completion> {
+        let mut via_activator = false;
+        if self.replicas.is_empty() {
+            match self.kind {
+                EngineKind::Knative if self.effective_max() > 0 => {
+                    // Activator path: trigger scale from zero.
+                    self.replicas.push(Replica::new(
+                        now + self.cfg.cold_start,
+                        self.spec.container_concurrency,
+                    ));
+                    via_activator = true;
+                }
+                _ => {
+                    self.rejected += 1;
+                    return None;
+                }
+            }
+        }
+
+        let service = match self.kind {
+            EngineKind::Knative => service + self.cfg.dataplane_overhead,
+            EngineKind::PlainDeployment => service,
+        };
+
+        // Least-outstanding routing over all replicas (starting replicas
+        // included: the activator/queue-proxy buffers until ready).
+        let idx = self
+            .replicas
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, r)| (r.outstanding(now), r.next_free(), *i))
+            .map(|(i, _)| i)
+            .expect("non-empty replica set");
+        let replica = &mut self.replicas[idx];
+        let cold = !replica.is_ready(now);
+        let arrival = if via_activator {
+            now + self.cfg.activator_overhead
+        } else {
+            now
+        };
+        let (start, end) = replica.admit(arrival, service);
+        self.requests += 1;
+        if cold {
+            self.cold_starts += 1;
+        }
+        Some(Completion {
+            start,
+            end,
+            cold_started: cold,
+            replica: idx,
+        })
+    }
+
+    /// Runs one autoscaler period at `now`.
+    ///
+    /// For [`EngineKind::PlainDeployment`] this is a no-op returning the
+    /// current count. For Knative it samples concurrency, asks the
+    /// [`Autoscaler`] for a recommendation, clamps to spec and capacity,
+    /// and applies the change (scale-in only removes idle replicas).
+    pub fn on_tick(&mut self, now: SimTime) -> ScaleAction {
+        let from = self.replica_count();
+        if self.kind == EngineKind::PlainDeployment {
+            return ScaleAction { from, to: from };
+        }
+        self.autoscaler.observe(now, self.concurrency(now) as f64);
+        let desired = self.autoscaler.desired(now, from);
+        let desired = self.spec.clamp_scale(desired).min(self.capacity_limit);
+
+        if desired > from {
+            for _ in from..desired {
+                self.replicas.push(Replica::new(
+                    now + self.cfg.cold_start,
+                    self.spec.container_concurrency,
+                ));
+            }
+        } else if desired < from {
+            // Remove idle replicas only, newest first.
+            let mut i = self.replicas.len();
+            let mut remaining = (from - desired) as usize;
+            while remaining > 0 && i > 0 {
+                i -= 1;
+                if self.replicas[i].is_idle(now) {
+                    self.replicas.remove(i);
+                    remaining -= 1;
+                }
+            }
+        }
+        ScaleAction {
+            from,
+            to: self.replica_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knative() -> EngineModel {
+        EngineModel::new(
+            EngineKind::Knative,
+            EngineConfig::default(),
+            FunctionSpec::new("f").container_concurrency(1),
+        )
+    }
+
+    fn plain(replicas: u32) -> EngineModel {
+        let mut e = EngineModel::new(
+            EngineKind::PlainDeployment,
+            EngineConfig::default(),
+            FunctionSpec::new("f").container_concurrency(1),
+        );
+        e.force_replicas(SimTime::ZERO, replicas, SimDuration::ZERO);
+        e
+    }
+
+    #[test]
+    fn scale_from_zero_pays_cold_start() {
+        let mut e = knative();
+        let c = e
+            .on_request(SimTime::ZERO, SimDuration::from_millis(10))
+            .unwrap();
+        assert!(c.cold_started);
+        assert!(c.start >= SimTime::ZERO + e.config().cold_start);
+        assert_eq!(e.cold_starts(), 1);
+        assert_eq!(e.replica_count(), 1);
+    }
+
+    #[test]
+    fn warm_requests_skip_cold_start() {
+        let mut e = knative();
+        e.force_replicas(SimTime::ZERO, 1, SimDuration::ZERO);
+        let c = e
+            .on_request(SimTime::from_secs(1), SimDuration::from_millis(10))
+            .unwrap();
+        assert!(!c.cold_started);
+        assert_eq!(c.start, SimTime::from_secs(1));
+        assert_eq!(
+            c.end,
+            SimTime::from_secs(1) + SimDuration::from_millis(10) + e.config().dataplane_overhead
+        );
+    }
+
+    #[test]
+    fn plain_deployment_has_no_overhead() {
+        let mut e = plain(1);
+        let c = e
+            .on_request(SimTime::ZERO, SimDuration::from_millis(10))
+            .unwrap();
+        assert_eq!(c.end, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn plain_deployment_zero_replicas_rejects() {
+        let mut e = EngineModel::new(
+            EngineKind::PlainDeployment,
+            EngineConfig::default(),
+            FunctionSpec::new("f"),
+        );
+        assert!(e.on_request(SimTime::ZERO, SimDuration::from_millis(1)).is_none());
+        assert_eq!(e.rejected(), 1);
+    }
+
+    #[test]
+    fn requests_spread_least_outstanding() {
+        let mut e = plain(2);
+        let a = e.on_request(SimTime::ZERO, SimDuration::from_millis(10)).unwrap();
+        let b = e.on_request(SimTime::ZERO, SimDuration::from_millis(10)).unwrap();
+        assert_ne!(a.replica, b.replica);
+        assert_eq!(b.start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn tick_scales_up_under_load() {
+        let mut e = knative();
+        e.force_replicas(SimTime::ZERO, 1, SimDuration::ZERO);
+        // Saturate: 50 requests of 100ms each at t=0 on 1 replica.
+        for _ in 0..50 {
+            e.on_request(SimTime::ZERO, SimDuration::from_millis(100));
+        }
+        let action = e.on_tick(SimTime::from_secs(1));
+        assert!(action.to > action.from, "{action:?}");
+    }
+
+    #[test]
+    fn capacity_limit_caps_scaling() {
+        let mut e = knative();
+        e.set_capacity_limit(2);
+        e.force_replicas(SimTime::ZERO, 1, SimDuration::ZERO);
+        for _ in 0..100 {
+            e.on_request(SimTime::ZERO, SimDuration::from_millis(100));
+        }
+        let action = e.on_tick(SimTime::from_secs(1));
+        assert!(action.to <= 2, "{action:?}");
+        // Lowering the cap truncates immediately.
+        e.set_capacity_limit(1);
+        assert_eq!(e.replica_count(), 1);
+    }
+
+    #[test]
+    fn idle_scale_in_removes_idle_only() {
+        let mut e = knative();
+        e.force_replicas(SimTime::ZERO, 3, SimDuration::ZERO);
+        // One replica busy far into the future.
+        e.on_request(SimTime::ZERO, SimDuration::from_secs(500));
+        // Long idle: autoscaler wants 0 (after grace), but busy replica
+        // must survive.
+        let mut now = SimTime::ZERO;
+        for s in 0..200 {
+            now = SimTime::from_secs(s);
+            e.on_tick(now);
+        }
+        assert_eq!(e.replica_count(), 1);
+        assert!(!e.replicas[0].is_idle(now));
+    }
+
+    #[test]
+    fn plain_tick_is_noop() {
+        let mut e = plain(3);
+        let a = e.on_tick(SimTime::from_secs(100));
+        assert_eq!(a.from, 3);
+        assert_eq!(a.to, 3);
+    }
+
+    #[test]
+    fn force_replicas_respects_effective_max() {
+        let mut e = EngineModel::new(
+            EngineKind::PlainDeployment,
+            EngineConfig::default(),
+            FunctionSpec::new("f").max_scale(2),
+        );
+        e.force_replicas(SimTime::ZERO, 10, SimDuration::ZERO);
+        assert_eq!(e.replica_count(), 2);
+    }
+
+    #[test]
+    fn concurrency_counts_in_flight() {
+        let mut e = plain(2);
+        e.on_request(SimTime::ZERO, SimDuration::from_millis(100));
+        e.on_request(SimTime::ZERO, SimDuration::from_millis(100));
+        assert_eq!(e.concurrency(SimTime::from_millis(50)), 2);
+        assert_eq!(e.concurrency(SimTime::from_millis(150)), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Function (revision) specifications.
+
+/// Describes one deployable function revision.
+///
+/// Mirrors the knobs that matter for the performance model: concurrency
+/// per replica and replica bounds. The container image is carried for
+/// identification/reporting only — execution is modelled, not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionSpec {
+    /// Function (revision) name.
+    pub name: String,
+    /// Container image reference (from the class definition, e.g.
+    /// `img/resize`).
+    pub image: String,
+    /// Requests a single replica processes concurrently
+    /// (Knative `containerConcurrency`).
+    pub container_concurrency: u32,
+    /// Lower bound on replicas (`minScale`); 0 enables scale-to-zero.
+    pub min_scale: u32,
+    /// Upper bound on replicas (`maxScale`); `u32::MAX` means unbounded.
+    pub max_scale: u32,
+}
+
+impl FunctionSpec {
+    /// Creates a spec with defaults: concurrency 1, scale-to-zero
+    /// enabled, unbounded max scale.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionSpec {
+            name: name.into(),
+            image: String::new(),
+            container_concurrency: 1,
+            min_scale: 0,
+            max_scale: u32::MAX,
+        }
+    }
+
+    /// Sets the container image reference.
+    pub fn image(mut self, image: impl Into<String>) -> Self {
+        self.image = image.into();
+        self
+    }
+
+    /// Sets requests-per-replica concurrency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is zero.
+    pub fn container_concurrency(mut self, c: u32) -> Self {
+        assert!(c > 0, "container concurrency must be at least 1");
+        self.container_concurrency = c;
+        self
+    }
+
+    /// Sets the minimum replica count.
+    pub fn min_scale(mut self, n: u32) -> Self {
+        self.min_scale = n;
+        self
+    }
+
+    /// Sets the maximum replica count.
+    pub fn max_scale(mut self, n: u32) -> Self {
+        self.max_scale = n;
+        self
+    }
+
+    /// Clamps a desired replica count into `[min_scale, max_scale]`.
+    pub fn clamp_scale(&self, desired: u32) -> u32 {
+        desired.clamp(self.min_scale, self.max_scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let s = FunctionSpec::new("f")
+            .image("img/f")
+            .container_concurrency(8)
+            .min_scale(1)
+            .max_scale(10);
+        assert_eq!(s.name, "f");
+        assert_eq!(s.image, "img/f");
+        assert_eq!(s.container_concurrency, 8);
+        assert_eq!(s.clamp_scale(0), 1);
+        assert_eq!(s.clamp_scale(100), 10);
+        assert_eq!(s.clamp_scale(5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_concurrency_rejected() {
+        let _ = FunctionSpec::new("f").container_concurrency(0);
+    }
+
+    #[test]
+    fn defaults_allow_scale_to_zero() {
+        let s = FunctionSpec::new("f");
+        assert_eq!(s.min_scale, 0);
+        assert_eq!(s.clamp_scale(0), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! FaaS engine models.
+//!
+//! Oparaca offloads pure-function invocation tasks to a code-execution
+//! runtime over RPC (paper §III-C). The paper evaluates three execution
+//! substrates (§V):
+//!
+//! - **Knative** — revisions with a concurrency-targeting autoscaler
+//!   (stable/panic windows), an activator that buffers requests while
+//!   scaled to zero, per-request queue-proxy overhead, and cold starts;
+//! - **plain Kubernetes deployments** (the `oprc-bypass` variants) — a
+//!   fixed replica set with no serverless dataplane overhead;
+//!
+//! This crate models both behind one type, [`EngineModel`], parameterized
+//! by [`EngineKind`]. The model is driven by a DES harness: the harness
+//! calls [`EngineModel::on_request`] per arrival and
+//! [`EngineModel::on_tick`] per autoscaler period, and applies the
+//! returned [`ScaleAction`]s through whatever replica-capacity authority
+//! it has (the cluster substrate, in `oprc-platform`).
+//!
+//! # Examples
+//!
+//! ```
+//! use oprc_faas::{EngineConfig, EngineKind, EngineModel, FunctionSpec};
+//! use oprc_simcore::{SimDuration, SimTime};
+//!
+//! let spec = FunctionSpec::new("jsonrand").container_concurrency(4);
+//! let mut engine = EngineModel::new(EngineKind::Knative, EngineConfig::default(), spec);
+//! engine.force_replicas(SimTime::ZERO, 1, SimDuration::ZERO);
+//!
+//! let done = engine
+//!     .on_request(SimTime::ZERO, SimDuration::from_millis(5))
+//!     .expect("a replica is available");
+//! assert_eq!(done.end, SimTime::from_millis(5) + engine.config().dataplane_overhead);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod autoscaler;
+mod engine;
+mod function;
+mod replica;
+
+pub use autoscaler::{Autoscaler, AutoscalerConfig};
+pub use engine::{Completion, EngineConfig, EngineKind, EngineModel, ScaleAction};
+pub use function::FunctionSpec;
+pub use replica::Replica;

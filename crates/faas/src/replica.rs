@@ -1,0 +1,151 @@
+//! Per-replica execution state.
+
+use oprc_simcore::{SimDuration, SimTime};
+
+/// One running (or starting) function replica.
+///
+/// A replica owns `concurrency` execution slots; each slot serves one
+/// request at a time, FIFO. The replica becomes usable at `ready_at`
+/// (cold-start completion); requests admitted earlier queue until then.
+#[derive(Debug, Clone)]
+pub struct Replica {
+    /// When the container finished starting.
+    ready_at: SimTime,
+    /// Next-free time per concurrency slot.
+    slots: Vec<SimTime>,
+    /// Completion times of admitted requests not yet known-finished;
+    /// pruned against the arrival clock in [`Replica::admit`].
+    ends: Vec<SimTime>,
+    /// Completion time of the most recently finishing request.
+    last_busy_until: SimTime,
+    served: u64,
+}
+
+impl Replica {
+    /// Creates a replica that becomes ready at `ready_at` with
+    /// `concurrency` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concurrency` is zero.
+    pub fn new(ready_at: SimTime, concurrency: u32) -> Self {
+        assert!(concurrency > 0, "replica needs at least one slot");
+        Replica {
+            ready_at,
+            slots: vec![ready_at; concurrency as usize],
+            ends: Vec::new(),
+            last_busy_until: ready_at,
+            served: 0,
+        }
+    }
+
+    /// When this replica finished (or will finish) cold start.
+    pub fn ready_at(&self) -> SimTime {
+        self.ready_at
+    }
+
+    /// True once the container start completed at `now`.
+    pub fn is_ready(&self, now: SimTime) -> bool {
+        now >= self.ready_at
+    }
+
+    /// Requests currently executing *or queued* as of `now`.
+    ///
+    /// This is the concurrency the Knative queue-proxy reports: queued
+    /// requests count, so an overloaded single-slot replica can report a
+    /// concurrency far above its slot count.
+    pub fn outstanding(&self, now: SimTime) -> usize {
+        self.ends.iter().filter(|&&t| t > now).count()
+    }
+
+    /// Earliest time a slot frees up.
+    pub fn next_free(&self) -> SimTime {
+        *self.slots.iter().min().expect("at least one slot")
+    }
+
+    /// True if no request is running or scheduled past `now`.
+    pub fn is_idle(&self, now: SimTime) -> bool {
+        self.last_busy_until <= now
+    }
+
+    /// Time the replica last had work finishing.
+    pub fn busy_until(&self) -> SimTime {
+        self.last_busy_until
+    }
+
+    /// Total requests admitted to this replica.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Admits a request arriving at `arrival` with the given service
+    /// time, returning `(start, end)`.
+    pub fn admit(&mut self, arrival: SimTime, service: SimDuration) -> (SimTime, SimTime) {
+        let (idx, &free) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .expect("at least one slot");
+        let start = arrival.max(free).max(self.ready_at);
+        let end = start + service;
+        self.slots[idx] = end;
+        self.ends.retain(|&t| t > arrival);
+        self.ends.push(end);
+        self.last_busy_until = self.last_busy_until.max(end);
+        self.served += 1;
+        (start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_start_delays_first_request() {
+        let mut r = Replica::new(SimTime::from_millis(500), 1);
+        assert!(!r.is_ready(SimTime::ZERO));
+        let (start, end) = r.admit(SimTime::ZERO, SimDuration::from_millis(10));
+        assert_eq!(start, SimTime::from_millis(500));
+        assert_eq!(end, SimTime::from_millis(510));
+    }
+
+    #[test]
+    fn slots_serve_concurrently() {
+        let mut r = Replica::new(SimTime::ZERO, 2);
+        let (s1, _) = r.admit(SimTime::ZERO, SimDuration::from_millis(10));
+        let (s2, _) = r.admit(SimTime::ZERO, SimDuration::from_millis(10));
+        let (s3, _) = r.admit(SimTime::ZERO, SimDuration::from_millis(10));
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(s2, SimTime::ZERO);
+        assert_eq!(s3, SimTime::from_millis(10)); // third waits for a slot
+        assert_eq!(r.served(), 3);
+    }
+
+    #[test]
+    fn outstanding_and_idle_tracking() {
+        let mut r = Replica::new(SimTime::ZERO, 2);
+        r.admit(SimTime::ZERO, SimDuration::from_millis(10));
+        assert_eq!(r.outstanding(SimTime::from_millis(5)), 1);
+        assert_eq!(r.outstanding(SimTime::from_millis(15)), 0);
+        assert!(!r.is_idle(SimTime::from_millis(5)));
+        assert!(r.is_idle(SimTime::from_millis(10)));
+        assert_eq!(r.busy_until(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn next_free_is_min_slot() {
+        let mut r = Replica::new(SimTime::ZERO, 2);
+        r.admit(SimTime::ZERO, SimDuration::from_millis(10));
+        assert_eq!(r.next_free(), SimTime::ZERO);
+        r.admit(SimTime::ZERO, SimDuration::from_millis(20));
+        assert_eq!(r.next_free(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let _ = Replica::new(SimTime::ZERO, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the FaaS engine models.
+
+use oprc_faas::{Autoscaler, AutoscalerConfig, EngineConfig, EngineKind, EngineModel, FunctionSpec};
+use oprc_simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Completions are causal (end ≥ start ≥ arrival) and monotone
+    /// under monotone arrivals, for any replica/concurrency shape.
+    #[test]
+    fn engine_completions_causal(
+        arrivals in prop::collection::vec(0u64..10_000, 1..80),
+        replicas in 1u32..6,
+        concurrency in 1u32..4,
+        service_us in 100u64..5_000,
+    ) {
+        let mut arrivals = arrivals;
+        arrivals.sort_unstable();
+        let mut engine = EngineModel::new(
+            EngineKind::PlainDeployment,
+            EngineConfig::default(),
+            FunctionSpec::new("f").container_concurrency(concurrency),
+        );
+        engine.force_replicas(SimTime::ZERO, replicas, SimDuration::ZERO);
+        let service = SimDuration::from_micros(service_us);
+        let mut last_end = SimTime::ZERO;
+        for &a in &arrivals {
+            let arrival = SimTime::from_micros(a);
+            let c = engine.on_request(arrival, service).expect("replicas exist");
+            prop_assert!(c.start >= arrival);
+            prop_assert_eq!(c.end, c.start + service);
+            last_end = last_end.max(c.end);
+        }
+        prop_assert_eq!(engine.requests(), arrivals.len() as u64);
+        // Work conservation: finishing all jobs cannot beat perfect
+        // parallelism across every concurrency slot.
+        let slots = (replicas * concurrency) as u64;
+        let total_work = service.as_nanos() * arrivals.len() as u64;
+        let ideal = SimTime::from_micros(arrivals[0])
+            + SimDuration::from_nanos(total_work / slots);
+        prop_assert!(last_end >= ideal || arrivals.len() as u64 <= slots,
+            "finished {last_end} before the parallel bound {ideal}");
+        // The engine drains to idle.
+        prop_assert_eq!(engine.concurrency(SimTime::from_secs(10_000)), 0);
+    }
+
+    /// The autoscaler's recommendation is bounded: never negative,
+    /// never beyond the rate limit, and zero only after sustained
+    /// inactivity.
+    #[test]
+    fn autoscaler_recommendation_bounded(
+        samples in prop::collection::vec(0.0f64..200.0, 1..120),
+        target in 1.0f64..16.0,
+    ) {
+        let mut scaler = Autoscaler::new(AutoscalerConfig {
+            target_concurrency: target,
+            ..AutoscalerConfig::default()
+        });
+        let mut current = 1u32;
+        for (i, &conc) in samples.iter().enumerate() {
+            let now = SimTime::from_secs(i as u64);
+            scaler.observe(now, conc);
+            let desired = scaler.desired(now, current);
+            // Rate limit: at most max_scale_up_rate × current.
+            let cap = ((current.max(1) as f64) * 1000.0) as u32;
+            prop_assert!(desired <= cap.max(1));
+            // Zero only when recent activity is zero.
+            if desired == 0 {
+                prop_assert!(conc == 0.0, "scaled to zero under load");
+            }
+            current = desired.max(1).min(64);
+        }
+    }
+
+    /// Knative engines never reject while capacity exists; plain
+    /// deployments reject exactly when they have no replicas.
+    #[test]
+    fn rejection_semantics(kind_knative in any::<bool>(), n in 1u32..30) {
+        let kind = if kind_knative {
+            EngineKind::Knative
+        } else {
+            EngineKind::PlainDeployment
+        };
+        let mut engine = EngineModel::new(
+            kind,
+            EngineConfig::default(),
+            FunctionSpec::new("f"),
+        );
+        engine.set_capacity_limit(n);
+        let out = engine.on_request(SimTime::ZERO, SimDuration::from_millis(1));
+        match kind {
+            EngineKind::Knative => {
+                prop_assert!(out.is_some(), "knative buffers via the activator");
+                prop_assert_eq!(engine.cold_starts(), 1);
+            }
+            EngineKind::PlainDeployment => {
+                prop_assert!(out.is_none(), "no standing replicas → reject");
+                prop_assert_eq!(engine.rejected(), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Turning classes + templates into class-runtime specifications.
+//!
+//! The deployer performs the §III-B flow: select the most suitable
+//! template for the class's (resolved) NFR, then concretize a
+//! [`ClassRuntimeSpec`] — the blueprint the embedded engine and the DES
+//! harness both instantiate.
+
+use oprc_core::hierarchy::ResolvedClass;
+use oprc_core::template::{RuntimeConfig, TemplateCatalog};
+use oprc_core::CoreError;
+
+/// One function's deployment plan within a class runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDeployment {
+    /// Function name.
+    pub function: String,
+    /// Container image.
+    pub image: String,
+    /// Substrate deployment name (`crt-<class>-<fn>`).
+    pub deployment: String,
+    /// Template that configures *this function's* substrate. Usually
+    /// the class template; a method-level NFR override (§II-C) selects
+    /// its own.
+    pub template: String,
+    /// The function's effective runtime configuration.
+    pub config: RuntimeConfig,
+}
+
+/// The concrete runtime plan for one deployed class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassRuntimeSpec {
+    /// The class this runtime serves.
+    pub class: String,
+    /// Which template was selected for the class.
+    pub template: String,
+    /// The class-level effective runtime configuration.
+    pub config: RuntimeConfig,
+    /// Per-function plans, one per effective (inherited + own) function.
+    pub function_deployments: Vec<FunctionDeployment>,
+}
+
+impl ClassRuntimeSpec {
+    /// Looks up the plan for one function.
+    pub fn function(&self, name: &str) -> Option<&FunctionDeployment> {
+        self.function_deployments
+            .iter()
+            .find(|f| f.function == name)
+    }
+}
+
+/// Plans the runtime for `class` using `catalog`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NoMatchingTemplate`] if the catalog has no
+/// matching template.
+pub fn plan_runtime(
+    class: &ResolvedClass,
+    catalog: &TemplateCatalog,
+) -> Result<ClassRuntimeSpec, CoreError> {
+    let class_template = catalog.select(&class.nfr)?;
+    let mut function_deployments = Vec::new();
+    for name in class.function_names() {
+        let f = class.function(name).expect("listed function exists");
+        // Method-level requirements (§II-C): a function override
+        // inherits unset fields from the class NFR, then selects its own
+        // template.
+        let template = match &f.nfr {
+            None => class_template,
+            Some(fn_nfr) => catalog.select(&fn_nfr.inherit_from(&class.nfr))?,
+        };
+        function_deployments.push(FunctionDeployment {
+            function: name.to_string(),
+            image: f.image.clone(),
+            deployment: deployment_name(&class.name, name),
+            template: template.name.clone(),
+            config: template.config.clone(),
+        });
+    }
+    Ok(ClassRuntimeSpec {
+        class: class.name.clone(),
+        template: class_template.name.clone(),
+        config: class_template.config.clone(),
+        function_deployments,
+    })
+}
+
+/// Deterministic deployment naming: `crt-<class>-<function>`, lowercase.
+pub fn deployment_name(class: &str, function: &str) -> String {
+    format!(
+        "crt-{}-{}",
+        class.to_ascii_lowercase(),
+        function.to_ascii_lowercase()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_core::hierarchy::ClassHierarchy;
+    use oprc_core::parse;
+
+    fn resolved() -> ClassHierarchy {
+        let pkg = parse::package_from_yaml(
+            "
+classes:
+  - name: Image
+    qos:
+      throughput: 5000
+    constraint:
+      persistent: true
+    functions:
+      - name: resize
+        image: img/resize
+  - name: LabelledImage
+    parent: Image
+    functions:
+      - name: detectObject
+        image: img/detect
+",
+        )
+        .unwrap();
+        ClassHierarchy::resolve(&pkg.classes).unwrap()
+    }
+
+    #[test]
+    fn plan_selects_by_nfr_and_names_deployments() {
+        let h = resolved();
+        let spec = plan_runtime(h.class("Image").unwrap(), &TemplateCatalog::standard()).unwrap();
+        assert_eq!(spec.template, "high-throughput");
+        let f = spec.function("resize").unwrap();
+        assert_eq!(f.image, "img/resize");
+        assert_eq!(f.deployment, "crt-image-resize");
+        assert_eq!(f.template, "high-throughput");
+        assert!(spec.function("missing").is_none());
+    }
+
+    #[test]
+    fn method_level_nfr_overrides_function_template() {
+        let pkg = parse::package_from_yaml(
+            "
+classes:
+  - name: Api
+    qos:
+      throughput: 5000
+    functions:
+      - name: hot
+        image: img/hot
+      - name: interactive
+        image: img/ia
+        qos:
+          latency: 5
+",
+        )
+        .unwrap();
+        let h = ClassHierarchy::resolve(&pkg.classes).unwrap();
+        let spec = plan_runtime(h.class("Api").unwrap(), &TemplateCatalog::standard()).unwrap();
+        // Class-level: high-throughput.
+        assert_eq!(spec.template, "high-throughput");
+        assert_eq!(spec.function("hot").unwrap().template, "high-throughput");
+        // The latency-declaring method gets its own template; it still
+        // inherits the class's throughput, but both candidates share
+        // priority 20 and the tie breaks to the smaller name.
+        let ia = spec.function("interactive").unwrap();
+        assert_eq!(ia.template, "high-throughput");
+        // With a lower class throughput, the method's latency NFR
+        // dominates:
+        let pkg = parse::package_from_yaml(
+            "
+classes:
+  - name: Api2
+    functions:
+      - name: interactive
+        image: img/ia
+        qos:
+          latency: 5
+",
+        )
+        .unwrap();
+        let h = ClassHierarchy::resolve(&pkg.classes).unwrap();
+        let spec = plan_runtime(h.class("Api2").unwrap(), &TemplateCatalog::standard()).unwrap();
+        assert_eq!(spec.template, "default");
+        assert_eq!(spec.function("interactive").unwrap().template, "low-latency");
+    }
+
+    #[test]
+    fn inherited_functions_get_child_deployments() {
+        let h = resolved();
+        let spec =
+            plan_runtime(h.class("LabelledImage").unwrap(), &TemplateCatalog::standard()).unwrap();
+        // Inherited NFR (throughput 5000) still selects high-throughput.
+        assert_eq!(spec.template, "high-throughput");
+        let names: Vec<&str> = spec
+            .function_deployments
+            .iter()
+            .map(|f| f.deployment.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "crt-labelledimage-detectobject",
+                "crt-labelledimage-resize"
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_catalog_errors() {
+        let h = resolved();
+        assert!(matches!(
+            plan_runtime(h.class("Image").unwrap(), &TemplateCatalog::new()),
+            Err(CoreError::NoMatchingTemplate(_))
+        ));
+    }
+}

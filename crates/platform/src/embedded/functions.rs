@@ -1,0 +1,111 @@
+//! Function implementations for the embedded plane.
+//!
+//! In real Oparaca a function is a container image invoked over HTTP
+//! (§III-C); in the embedded plane an image name maps to a Rust closure
+//! with the same pure-function signature. The closure receives the
+//! self-contained [`InvocationTask`] and returns a [`TaskResult`] — it
+//! has no way to touch the platform's stores, preserving the decoupling
+//! property.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use oprc_core::invocation::{InvocationTask, TaskError, TaskResult};
+
+/// A function implementation: the embedded stand-in for a container.
+pub type FunctionImpl =
+    Arc<dyn Fn(&InvocationTask) -> Result<TaskResult, TaskError> + Send + Sync>;
+
+/// Maps container-image names to implementations.
+#[derive(Default, Clone)]
+pub struct FunctionRegistry {
+    by_image: BTreeMap<String, FunctionImpl>,
+}
+
+impl std::fmt::Debug for FunctionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FunctionRegistry")
+            .field("images", &self.by_image.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl FunctionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        FunctionRegistry::default()
+    }
+
+    /// Registers (or replaces) the implementation for `image`.
+    pub fn register<F>(&mut self, image: impl Into<String>, f: F)
+    where
+        F: Fn(&InvocationTask) -> Result<TaskResult, TaskError> + Send + Sync + 'static,
+    {
+        self.by_image.insert(image.into(), Arc::new(f));
+    }
+
+    /// Looks up the implementation for `image`.
+    pub fn get(&self, image: &str) -> Option<FunctionImpl> {
+        self.by_image.get(image).cloned()
+    }
+
+    /// Registered image names, in order.
+    pub fn images(&self) -> Vec<&str> {
+        self.by_image.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_core::object::ObjectId;
+    use oprc_value::vjson;
+
+    fn task() -> InvocationTask {
+        InvocationTask {
+            task_id: 1,
+            object: ObjectId(1),
+            impl_class: "C".into(),
+            function: "f".into(),
+            image: "img/f".into(),
+            state_in: vjson!({"n": 1}),
+            state_revision: 0,
+            args: vec![vjson!(10)],
+            file_urls: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn register_and_invoke() {
+        let mut r = FunctionRegistry::new();
+        r.register("img/f", |t| {
+            let n = t.state_in["n"].as_i64().unwrap_or(0);
+            let add = t.args[0].as_i64().unwrap_or(0);
+            Ok(TaskResult::output(n + add))
+        });
+        let f = r.get("img/f").unwrap();
+        let out = f(&task()).unwrap();
+        assert_eq!(out.output.as_i64(), Some(11));
+        assert!(r.get("img/missing").is_none());
+        assert_eq!(r.images(), vec!["img/f"]);
+    }
+
+    #[test]
+    fn replace_by_image_name() {
+        let mut r = FunctionRegistry::new();
+        r.register("img/f", |_| Ok(TaskResult::output(1)));
+        r.register("img/f", |_| Ok(TaskResult::output(2)));
+        let out = r.get("img/f").unwrap()(&task()).unwrap();
+        assert_eq!(out.output.as_i64(), Some(2));
+    }
+
+    #[test]
+    fn error_propagation() {
+        let mut r = FunctionRegistry::new();
+        r.register("img/fail", |_| {
+            Err(TaskError::Application("boom".into()))
+        });
+        let err = r.get("img/fail").unwrap()(&task()).unwrap_err();
+        assert_eq!(err, TaskError::Application("boom".into()));
+    }
+}

@@ -1,0 +1,169 @@
+//! The S3 endpoint handle for user code.
+//!
+//! In real Oparaca, functions receive presigned URLs and talk to the S3
+//! endpoint directly — the platform's secret never leaves the control
+//! plane (§III-D). `S3Gateway` is that endpoint: a cloneable,
+//! thread-safe handle that *only* accepts presigned URLs. Function
+//! closures may capture a clone; they still cannot touch structured
+//! state or unsigned object keys.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use oprc_simcore::{SimDuration, SimTime};
+use oprc_store::presign::{self, Method};
+use oprc_store::{ObjectMeta, ObjectStore, StoreError, StoredObject};
+
+/// A capability-checked S3 endpoint.
+#[derive(Debug, Clone)]
+pub struct S3Gateway {
+    store: Arc<Mutex<ObjectStore>>,
+    secret: Arc<Vec<u8>>,
+    epoch: Instant,
+}
+
+impl S3Gateway {
+    pub(crate) fn new(secret: Vec<u8>, epoch: Instant) -> Self {
+        S3Gateway {
+            store: Arc::new(Mutex::new(ObjectStore::new())),
+            secret: Arc::new(secret),
+            epoch,
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    pub(crate) fn ensure_bucket(&self, name: &str) -> Result<(), StoreError> {
+        let mut store = self.store.lock();
+        if !store.bucket_exists(name) {
+            store.create_bucket(name)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn presign(&self, method: Method, bucket: &str, key: &str, ttl: SimDuration) -> String {
+        presign::presign(&self.secret, method, bucket, key, self.now() + ttl).url
+    }
+
+    /// Fetches an object through a presigned GET URL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidSignature`] / [`StoreError::UrlExpired`]
+    /// for bad URLs (including PUT-only URLs), and storage errors for
+    /// missing objects.
+    pub fn get(&self, url: &str) -> Result<StoredObject, StoreError> {
+        let cap = presign::verify(&self.secret, url, self.now())?;
+        if cap.method != Method::Get {
+            return Err(StoreError::InvalidSignature);
+        }
+        self.store.lock().get_object(&cap.bucket, &cap.key)
+    }
+
+    /// Stores an object through a presigned PUT URL, returning its
+    /// metadata (with computed ETag).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidSignature`] / [`StoreError::UrlExpired`]
+    /// for bad URLs (including GET-only URLs).
+    pub fn put(
+        &self,
+        url: &str,
+        data: Bytes,
+        content_type: &str,
+    ) -> Result<ObjectMeta, StoreError> {
+        let cap = presign::verify(&self.secret, url, self.now())?;
+        if cap.method != Method::Put {
+            return Err(StoreError::InvalidSignature);
+        }
+        self.store
+            .lock()
+            .put_object(&cap.bucket, &cap.key, data, content_type)
+    }
+
+    /// Reads object metadata through any valid presigned URL for the
+    /// object (HEAD is allowed with either capability).
+    ///
+    /// # Errors
+    ///
+    /// Same verification errors as [`S3Gateway::get`].
+    pub fn head(&self, url: &str) -> Result<ObjectMeta, StoreError> {
+        let cap = presign::verify(&self.secret, url, self.now())?;
+        self.store.lock().head_object(&cap.bucket, &cap.key)
+    }
+
+    /// Platform-internal read (migration/export); user code must use
+    /// presigned URLs.
+    pub(crate) fn raw_get(&self, bucket: &str, key: &str) -> Result<StoredObject, StoreError> {
+        self.store.lock().get_object(bucket, key)
+    }
+
+    /// Platform-internal write (migration/import).
+    pub(crate) fn raw_put(
+        &self,
+        bucket: &str,
+        key: &str,
+        data: Bytes,
+        content_type: &str,
+    ) -> Result<ObjectMeta, StoreError> {
+        self.store.lock().put_object(bucket, key, data, content_type)
+    }
+
+    /// `(puts, gets, bytes_in, bytes_out)` endpoint counters.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        self.store.lock().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gateway() -> S3Gateway {
+        let g = S3Gateway::new(b"secret".to_vec(), Instant::now());
+        g.ensure_bucket("b").unwrap();
+        g
+    }
+
+    #[test]
+    fn put_get_via_signed_urls_only() {
+        let g = gateway();
+        let put = g.presign(Method::Put, "b", "k", SimDuration::from_secs(60));
+        let get = g.presign(Method::Get, "b", "k", SimDuration::from_secs(60));
+        g.put(&put, Bytes::from_static(b"data"), "text/plain").unwrap();
+        assert_eq!(&g.get(&get).unwrap().data[..], b"data");
+        // Cross-method use rejected.
+        assert!(g.get(&put).is_err());
+        assert!(g.put(&get, Bytes::new(), "x").is_err());
+        // Unsigned URL rejected.
+        assert!(g.get("s3://b/k").is_err());
+    }
+
+    #[test]
+    fn head_works_with_either_capability() {
+        let g = gateway();
+        let put = g.presign(Method::Put, "b", "k", SimDuration::from_secs(60));
+        g.put(&put, Bytes::from_static(b"abc"), "text/plain").unwrap();
+        assert_eq!(g.head(&put).unwrap().size, 3);
+        let get = g.presign(Method::Get, "b", "k", SimDuration::from_secs(60));
+        assert_eq!(g.head(&get).unwrap().size, 3);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let g = gateway();
+        let g2 = g.clone();
+        let put = g.presign(Method::Put, "b", "k", SimDuration::from_secs(60));
+        g2.put(&put, Bytes::from_static(b"x"), "t").unwrap();
+        let get = g.presign(Method::Get, "b", "k", SimDuration::from_secs(60));
+        assert!(g.get(&get).is_ok());
+        let (puts, gets, _, _) = g.stats();
+        assert_eq!((puts, gets), (1, 1));
+    }
+}

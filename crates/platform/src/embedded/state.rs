@@ -1,0 +1,232 @@
+//! The embedded platform's storage stack.
+//!
+//! Mirrors Oparaca's tiered design: hot structured state in the
+//! distributed in-memory hash table, consolidated by the write-behind
+//! buffer into batched writes against the persistent database (§V), and
+//! unstructured state in the S3-like object store. `StateLayer` is the
+//! single owner; the execution plane never touches the stores directly.
+
+use oprc_simcore::SimTime;
+use oprc_store::{
+    Dht, DhtConfig, DhtNodeId, PersistentDb, PersistentDbConfig, WriteBehindBuffer,
+    WriteBehindConfig,
+};
+use oprc_value::Value;
+
+/// Tiered structured-state storage: DHT → write-behind → persistent DB.
+///
+/// Whether a record is written through to the durable tier is decided
+/// *per write* by the caller — each class runtime's template dictates
+/// its persistence (the `nonpersist` configuration skips the DB
+/// entirely).
+#[derive(Debug)]
+pub struct StateLayer {
+    dht: Dht,
+    buffer: WriteBehindBuffer,
+    db: PersistentDb,
+}
+
+impl StateLayer {
+    /// Creates the stack with `members` DHT instances.
+    pub fn new(
+        members: u64,
+        dht_cfg: DhtConfig,
+        wb_cfg: WriteBehindConfig,
+        db_cfg: PersistentDbConfig,
+    ) -> Self {
+        let mut dht = Dht::new(dht_cfg);
+        for m in 0..members.max(1) {
+            dht.join(DhtNodeId(m));
+        }
+        StateLayer {
+            dht,
+            buffer: WriteBehindBuffer::new(wb_cfg),
+            db: PersistentDb::new(db_cfg),
+        }
+    }
+
+    /// A stack with library defaults (4 members).
+    pub fn with_defaults() -> Self {
+        StateLayer::new(
+            4,
+            DhtConfig::default(),
+            WriteBehindConfig::default(),
+            PersistentDbConfig::default(),
+        )
+    }
+
+    /// The DHT (for routing decisions).
+    pub fn dht(&self) -> &Dht {
+        &self.dht
+    }
+
+    /// Reads structured state: DHT first, falling back to the DB
+    /// (cache-miss path after restart). `Null` in the DB is a deletion
+    /// tombstone and reads as absent.
+    pub fn load(&mut self, key: &str) -> Option<Value> {
+        if let Some(v) = self.dht.get(key) {
+            return Some(v);
+        }
+        let from_db = self.db.get(key).filter(|v| !v.is_null())?;
+        // Re-warm the DHT.
+        let _ = self.dht.put(key, from_db.clone());
+        Some(from_db)
+    }
+
+    /// Writes structured state at `now`: into the DHT immediately and,
+    /// when `persist` is set (the class runtime's template decision),
+    /// into the write-behind buffer.
+    pub fn store(&mut self, now: SimTime, key: &str, value: Value, persist: bool) {
+        let _ = self.dht.put(key, value.clone());
+        if persist {
+            self.buffer.offer(now, key, value);
+        }
+    }
+
+    /// Deletes a record everywhere.
+    pub fn delete(&mut self, now: SimTime, key: &str, persist: bool) {
+        self.dht.delete(key);
+        if persist {
+            // A null tombstone batched to the DB.
+            self.buffer.offer(now, key, Value::Null);
+        }
+    }
+
+    /// Flushes due write-behind batches into the DB; returns the number
+    /// of records flushed.
+    pub fn flush_due(&mut self, now: SimTime) -> usize {
+        let mut flushed = 0;
+        while let Some(batch) = self.buffer.take_batch(now) {
+            flushed += batch.len();
+            self.db.put_batch(now, batch.records);
+        }
+        flushed
+    }
+
+    /// Drains everything to the DB regardless of due times (shutdown).
+    pub fn flush_all(&mut self, now: SimTime) -> usize {
+        self.flush_due(now);
+        let batch = self.buffer.drain(usize::MAX);
+        let n = batch.len();
+        self.db.put_batch(now, batch.records);
+        n
+    }
+
+    /// Drops all in-memory copies (simulating instance restart) so reads
+    /// must hit the DB.
+    pub fn clear_memory(&mut self) {
+        let members = self.dht.members();
+        let cfg = self.dht.config().clone();
+        self.dht = Dht::new(cfg);
+        for m in members {
+            self.dht.join(m);
+        }
+    }
+
+    /// Direct read from the durable tier (diagnostics/tests).
+    pub fn durable_get(&self, key: &str) -> Option<Value> {
+        self.db.get(key)
+    }
+
+    /// `(dht puts, buffer consolidated, db batch writes, db single
+    /// writes)` counters.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        let db = self.db.stats();
+        (
+            self.dht.puts(),
+            self.buffer.consolidated(),
+            db.batch_writes,
+            db.single_writes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_value::vjson;
+
+    fn layer() -> StateLayer {
+        StateLayer::new(
+            2,
+            DhtConfig {
+                replication: 1,
+                vnodes: 16,
+            },
+            WriteBehindConfig {
+                max_batch: 3,
+                max_delay: oprc_simcore::SimDuration::from_millis(10),
+            },
+            PersistentDbConfig::default(),
+        )
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let mut s = layer();
+        s.store(SimTime::ZERO, "C/obj-1", vjson!({"a": 1}), true);
+        assert_eq!(s.load("C/obj-1").unwrap()["a"].as_i64(), Some(1));
+        assert_eq!(s.load("missing"), None);
+    }
+
+    #[test]
+    fn persistence_survives_memory_loss() {
+        let mut s = layer();
+        s.store(SimTime::ZERO, "k", vjson!({"v": 7}), true);
+        assert!(s.durable_get("k").is_none(), "not yet flushed");
+        s.flush_all(SimTime::ZERO);
+        assert_eq!(s.durable_get("k").unwrap()["v"].as_i64(), Some(7));
+        s.clear_memory();
+        // Read falls back to DB and re-warms.
+        assert_eq!(s.load("k").unwrap()["v"].as_i64(), Some(7));
+    }
+
+    #[test]
+    fn nonpersist_writes_never_touch_db() {
+        let mut s = layer();
+        s.store(SimTime::ZERO, "k", vjson!(1), false);
+        s.flush_all(SimTime::from_secs(10));
+        assert!(s.durable_get("k").is_none());
+        s.clear_memory();
+        assert_eq!(s.load("k"), None, "state lost by design");
+    }
+
+    #[test]
+    fn flush_due_respects_batching() {
+        let mut s = layer();
+        for i in 0..7 {
+            s.store(SimTime::ZERO, &format!("k{i}"), vjson!(i), true);
+        }
+        // 7 pending with max_batch 3 → two full batches cut now, 1 left
+        // until the delay passes.
+        let flushed = s.flush_due(SimTime::ZERO);
+        assert_eq!(flushed, 6);
+        let flushed = s.flush_due(SimTime::from_millis(10));
+        assert_eq!(flushed, 1);
+        let (_, _, batches, singles) = s.stats();
+        assert_eq!(batches, 3);
+        assert_eq!(singles, 0);
+    }
+
+    #[test]
+    fn consolidation_counted() {
+        let mut s = layer();
+        for _ in 0..5 {
+            s.store(SimTime::ZERO, "hot", vjson!(1), true);
+        }
+        let (_, consolidated, _, _) = s.stats();
+        assert_eq!(consolidated, 4);
+    }
+
+    #[test]
+    fn delete_removes_everywhere() {
+        let mut s = layer();
+        s.store(SimTime::ZERO, "k", vjson!(1), true);
+        s.flush_all(SimTime::ZERO);
+        s.delete(SimTime::ZERO, "k", true);
+        s.flush_all(SimTime::ZERO);
+        assert_eq!(s.load("k"), None);
+        // Tombstone overwrote the durable copy.
+        assert!(s.durable_get("k").map_or(true, |v| v.is_null()));
+    }
+}

@@ -1,0 +1,102 @@
+//! Platform-level errors.
+
+use std::error::Error;
+use std::fmt;
+
+use oprc_core::invocation::TaskError;
+use oprc_core::CoreError;
+use oprc_store::StoreError;
+
+/// Error raised by platform operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// A definition/validation error from the OaaS core.
+    Core(CoreError),
+    /// A storage error.
+    Store(StoreError),
+    /// A task execution error.
+    Task(TaskError),
+    /// The object id does not exist.
+    UnknownObject(u64),
+    /// No implementation registered for a container image.
+    UnknownImage(String),
+    /// The target is not callable from outside (internal access).
+    AccessDenied {
+        /// Class name.
+        class: String,
+        /// Function name.
+        function: String,
+    },
+    /// No placement satisfies the declared constraints.
+    PlacementInfeasible(String),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::Core(e) => write!(f, "{e}"),
+            PlatformError::Store(e) => write!(f, "{e}"),
+            PlatformError::Task(e) => write!(f, "{e}"),
+            PlatformError::UnknownObject(id) => write!(f, "unknown object obj-{id}"),
+            PlatformError::UnknownImage(img) => {
+                write!(f, "no function implementation registered for image '{img}'")
+            }
+            PlatformError::AccessDenied { class, function } => {
+                write!(f, "function '{class}::{function}' is internal")
+            }
+            PlatformError::PlacementInfeasible(why) => {
+                write!(f, "placement infeasible: {why}")
+            }
+        }
+    }
+}
+
+impl Error for PlatformError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlatformError::Core(e) => Some(e),
+            PlatformError::Store(e) => Some(e),
+            PlatformError::Task(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for PlatformError {
+    fn from(e: CoreError) -> Self {
+        PlatformError::Core(e)
+    }
+}
+
+impl From<StoreError> for PlatformError {
+    fn from(e: StoreError) -> Self {
+        PlatformError::Store(e)
+    }
+}
+
+impl From<TaskError> for PlatformError {
+    fn from(e: TaskError) -> Self {
+        PlatformError::Task(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PlatformError::from(CoreError::UnknownClass("X".into()));
+        assert_eq!(e.to_string(), "unknown class 'X'");
+        assert!(e.source().is_some());
+        let e = PlatformError::UnknownImage("img/x".into());
+        assert!(e.to_string().contains("img/x"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<PlatformError>();
+    }
+}

@@ -1,0 +1,450 @@
+//! The management gateway: a CLI-style command surface (§IV step 2).
+//!
+//! "Oparaca includes the CLI to facilitate the Oparaca API interaction.
+//! This CLI can be used to manage the deployment, access the deployed
+//! object, and invoke the function on the object."
+//!
+//! [`OprcCtl`] wraps an [`EmbeddedPlatform`] behind a line-oriented
+//! command grammar, so a REPL, a script, or a test can drive the
+//! platform the way `oprc-cli` drives real Oparaca:
+//!
+//! ```text
+//! deploy <inline-yaml | @path>        deploy a package
+//! classes                             list deployed classes
+//! describe <class>                    show a class's runtime plan
+//! create <class> [json-state]        create an object
+//! invoke <obj-id> <fn> [json-arg]*   invoke a method/dataflow
+//! state <obj-id>                      print structured state
+//! upload-url <obj-id> <key>           presigned PUT URL
+//! download-url <obj-id> <key>         presigned GET URL
+//! flush                               flush write-behind to the DB
+//! stats                               storage counters
+//! ```
+
+use oprc_core::object::ObjectId;
+use oprc_value::{json, Value};
+
+use crate::embedded::EmbeddedPlatform;
+use crate::PlatformError;
+
+/// Outcome of one gateway command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommandOutput {
+    /// Human-readable rendering (what a CLI prints).
+    pub text: String,
+    /// Structured payload when the command returns data.
+    pub value: Option<Value>,
+}
+
+impl CommandOutput {
+    fn text(s: impl Into<String>) -> Self {
+        CommandOutput {
+            text: s.into(),
+            value: None,
+        }
+    }
+
+    fn with_value(s: impl Into<String>, v: Value) -> Self {
+        CommandOutput {
+            text: s.into(),
+            value: Some(v),
+        }
+    }
+}
+
+/// Errors specific to command parsing (platform errors pass through).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommandError {
+    /// The command word is not recognized.
+    UnknownCommand(String),
+    /// Arguments missing or malformed.
+    Usage(String),
+    /// A platform operation failed.
+    Platform(PlatformError),
+}
+
+impl std::fmt::Display for CommandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommandError::UnknownCommand(c) => write!(f, "unknown command '{c}'"),
+            CommandError::Usage(u) => write!(f, "usage: {u}"),
+            CommandError::Platform(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl From<PlatformError> for CommandError {
+    fn from(e: PlatformError) -> Self {
+        CommandError::Platform(e)
+    }
+}
+
+/// The CLI-style controller.
+#[derive(Debug)]
+pub struct OprcCtl {
+    platform: EmbeddedPlatform,
+}
+
+impl OprcCtl {
+    /// Wraps a platform.
+    pub fn new(platform: EmbeddedPlatform) -> Self {
+        OprcCtl { platform }
+    }
+
+    /// Shared access to the underlying platform.
+    pub fn platform(&self) -> &EmbeddedPlatform {
+        &self.platform
+    }
+
+    /// Exclusive access to the underlying platform (e.g. to register
+    /// function implementations, which a text CLI cannot express).
+    pub fn platform_mut(&mut self) -> &mut EmbeddedPlatform {
+        &mut self.platform
+    }
+
+    /// Executes one command line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CommandError`] on unknown commands, bad arguments, or
+    /// failing platform operations.
+    pub fn execute(&mut self, line: &str) -> Result<CommandOutput, CommandError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(CommandOutput::text(""));
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd {
+            "deploy" => self.deploy(rest),
+            "classes" => self.classes(),
+            "describe" => self.describe(rest),
+            "create" => self.create(rest),
+            "invoke" => self.invoke(rest),
+            "state" => self.state(rest),
+            "upload-url" => self.url(rest, true),
+            "download-url" => self.url(rest, false),
+            "flush" => {
+                let n = self.platform.flush();
+                Ok(CommandOutput::text(format!("flushed {n} records")))
+            }
+            "stats" => {
+                let (dht, consolidated, batches, singles) = self.platform.storage_stats();
+                Ok(CommandOutput::with_value(
+                    format!(
+                        "dht-puts={dht} consolidated={consolidated} db-batches={batches} db-singles={singles}"
+                    ),
+                    oprc_value::vjson!({
+                        "dht_puts": dht,
+                        "consolidated": consolidated,
+                        "db_batches": batches,
+                        "db_singles": singles,
+                    }),
+                ))
+            }
+            "help" => Ok(CommandOutput::text(HELP.trim())),
+            other => Err(CommandError::UnknownCommand(other.to_string())),
+        }
+    }
+
+    fn deploy(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        if rest.is_empty() {
+            return Err(CommandError::Usage("deploy <yaml | @path>".into()));
+        }
+        let yaml = if let Some(path) = rest.strip_prefix('@') {
+            std::fs::read_to_string(path)
+                .map_err(|e| CommandError::Usage(format!("cannot read '{path}': {e}")))?
+        } else {
+            rest.to_string()
+        };
+        self.platform.deploy_yaml(&yaml)?;
+        Ok(CommandOutput::text("deployed"))
+    }
+
+    fn classes(&mut self) -> Result<CommandOutput, CommandError> {
+        let names: Vec<String> = self
+            .platform
+            .class_names()
+            .into_iter()
+            .map(String::from)
+            .collect();
+        Ok(CommandOutput::with_value(
+            names.join("\n"),
+            Value::from(names.clone()),
+        ))
+    }
+
+    fn describe(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        if rest.is_empty() {
+            return Err(CommandError::Usage("describe <class>".into()));
+        }
+        let spec = self
+            .platform
+            .runtime_spec(rest)
+            .ok_or_else(|| {
+                CommandError::Platform(PlatformError::Core(
+                    oprc_core::CoreError::UnknownClass(rest.to_string()),
+                ))
+            })?
+            .clone();
+        let fns: Vec<String> = spec
+            .function_deployments
+            .iter()
+            .map(|f| {
+                format!(
+                    "  {} ({}) -> {} [template {}]",
+                    f.function, f.image, f.deployment, f.template
+                )
+            })
+            .collect();
+        Ok(CommandOutput::text(format!(
+            "class {}\n  template: {}\n  engine: {:?}\n  persistent: {}\n  batch: {}\nfunctions:\n{}",
+            spec.class,
+            spec.template,
+            spec.config.engine,
+            spec.config.persistent,
+            spec.config.write_behind_batch,
+            fns.join("\n"),
+        )))
+    }
+
+    fn create(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        let (class, state) = match rest.split_once(char::is_whitespace) {
+            Some((c, s)) => (c, s.trim()),
+            None if !rest.is_empty() => (rest, ""),
+            None => return Err(CommandError::Usage("create <class> [json-state]".into())),
+        };
+        let initial = if state.is_empty() {
+            Value::object()
+        } else {
+            json::parse(state).map_err(|e| CommandError::Usage(format!("bad state JSON: {e}")))?
+        };
+        let id = self.platform.create_object(class, initial)?;
+        Ok(CommandOutput::with_value(
+            id.to_string(),
+            Value::from(id.as_u64()),
+        ))
+    }
+
+    fn invoke(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        let mut parts = split_args(rest);
+        if parts.len() < 2 {
+            return Err(CommandError::Usage(
+                "invoke <obj-id> <function> [json-arg]*".into(),
+            ));
+        }
+        let id = parse_object(&parts.remove(0))?;
+        let function = parts.remove(0);
+        let mut args = Vec::new();
+        for a in parts {
+            args.push(
+                json::parse(&a)
+                    .map_err(|e| CommandError::Usage(format!("bad argument JSON '{a}': {e}")))?,
+            );
+        }
+        let result = self.platform.invoke(id, &function, args)?;
+        Ok(CommandOutput::with_value(
+            json::to_string(&result.output),
+            result.output,
+        ))
+    }
+
+    fn state(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        let id = parse_object(rest)?;
+        let v = self.platform.get_state(id)?;
+        Ok(CommandOutput::with_value(json::to_string_pretty(&v), v))
+    }
+
+    fn url(&mut self, rest: &str, put: bool) -> Result<CommandOutput, CommandError> {
+        let (obj, key) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| CommandError::Usage("(upload|download)-url <obj-id> <key>".into()))?;
+        let id = parse_object(obj)?;
+        let url = if put {
+            self.platform.upload_url(id, key.trim())?
+        } else {
+            self.platform.download_url(id, key.trim())?
+        };
+        Ok(CommandOutput::text(url))
+    }
+}
+
+const HELP: &str = "
+deploy <yaml | @path>             deploy a package
+classes                           list deployed classes
+describe <class>                  show a class's runtime plan
+create <class> [json-state]      create an object
+invoke <obj-id> <fn> [json-arg]* invoke a method or dataflow
+state <obj-id>                    print structured state
+upload-url <obj-id> <key>         presigned PUT URL
+download-url <obj-id> <key>       presigned GET URL
+flush                             flush write-behind to the DB
+stats                             storage counters
+";
+
+fn parse_object(s: &str) -> Result<ObjectId, CommandError> {
+    let s = s.trim();
+    let digits = s.strip_prefix("obj-").unwrap_or(s);
+    digits
+        .parse::<u64>()
+        .map(ObjectId)
+        .map_err(|_| CommandError::Usage(format!("'{s}' is not an object id")))
+}
+
+/// Splits a command tail into arguments, keeping bracketed/quoted JSON
+/// intact (`invoke 1 f {"a": 1} [2, 3]` → 4 parts).
+fn split_args(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '{' | '[' if !in_str => {
+                depth += 1;
+                cur.push(c);
+            }
+            '}' | ']' if !in_str => {
+                depth -= 1;
+                cur.push(c);
+            }
+            c if c.is_whitespace() && depth == 0 && !in_str => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_core::invocation::TaskResult;
+    use oprc_value::vjson;
+
+    fn ctl() -> OprcCtl {
+        let mut p = EmbeddedPlatform::new();
+        p.register_function("img/counter", |t| {
+            let n = t.state_in["count"].as_i64().unwrap_or(0) + 1;
+            Ok(TaskResult::output(n).with_patch(vjson!({"count": n})))
+        });
+        p.register_function("img/add", |t| {
+            let a = t.args.first().and_then(Value::as_i64).unwrap_or(0);
+            let b = t.args.get(1).and_then(Value::as_i64).unwrap_or(0);
+            Ok(TaskResult::output(a + b))
+        });
+        let mut ctl = OprcCtl::new(p);
+        ctl.execute(
+            "deploy classes:\n  - name: Counter\n    keySpecs: [count]\n    functions:\n      - name: incr\n        image: img/counter\n      - name: add\n        image: img/add\n",
+        )
+        .unwrap();
+        ctl
+    }
+
+    #[test]
+    fn full_session() {
+        let mut ctl = ctl();
+        assert_eq!(ctl.execute("classes").unwrap().text, "Counter");
+        let out = ctl.execute("create Counter {\"count\": 41}").unwrap();
+        assert_eq!(out.text, "obj-0");
+        let out = ctl.execute("invoke obj-0 incr").unwrap();
+        assert_eq!(out.value, Some(vjson!(42)));
+        let out = ctl.execute("state 0").unwrap();
+        assert_eq!(out.value.unwrap()["count"].as_i64(), Some(42));
+        let out = ctl.execute("describe Counter").unwrap();
+        assert!(out.text.contains("template: default"));
+        assert!(ctl.execute("flush").unwrap().text.starts_with("flushed"));
+        assert!(ctl.execute("stats").unwrap().text.contains("db-batches"));
+    }
+
+    #[test]
+    fn json_args_survive_splitting() {
+        let mut ctl = ctl();
+        ctl.execute("create Counter").unwrap();
+        // A JSON object argument stays one argument; `add` reads it as
+        // non-numeric (0) and adds the second argument.
+        let out = ctl.execute("invoke 0 add {\"x\": 1} 5").unwrap();
+        assert_eq!(out.value, Some(vjson!(5)));
+        let out = ctl.execute("invoke 0 add 20 22").unwrap();
+        assert_eq!(out.value, Some(vjson!(42)));
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut ctl = ctl();
+        assert!(matches!(
+            ctl.execute("frobnicate"),
+            Err(CommandError::UnknownCommand(_))
+        ));
+        assert!(matches!(ctl.execute("create"), Err(CommandError::Usage(_))));
+        assert!(matches!(
+            ctl.execute("create Ghost"),
+            Err(CommandError::Platform(_))
+        ));
+        assert!(matches!(
+            ctl.execute("invoke zzz incr"),
+            Err(CommandError::Usage(_))
+        ));
+        assert!(matches!(
+            ctl.execute("state 999"),
+            Err(CommandError::Platform(PlatformError::UnknownObject(999)))
+        ));
+        assert!(matches!(
+            ctl.execute("deploy @/no/such/file.yaml"),
+            Err(CommandError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn blank_and_comment_lines_are_noops() {
+        let mut ctl = ctl();
+        assert_eq!(ctl.execute("").unwrap().text, "");
+        assert_eq!(ctl.execute("  # a comment").unwrap().text, "");
+        assert!(ctl.execute("help").unwrap().text.contains("deploy"));
+    }
+
+    #[test]
+    fn presigned_url_commands() {
+        let mut p = EmbeddedPlatform::new();
+        p.register_function("img/noop", |_| Ok(TaskResult::output(Value::Null)));
+        let mut ctl = OprcCtl::new(p);
+        ctl.execute(
+            "deploy classes:\n  - name: F\n    keySpecs:\n      - name: blob\n        type: file\n    functions:\n      - name: noop\n        image: img/noop\n",
+        )
+        .unwrap();
+        ctl.execute("create F").unwrap();
+        let put = ctl.execute("upload-url 0 blob").unwrap().text;
+        assert!(put.contains("method=PUT"));
+        let get = ctl.execute("download-url 0 blob").unwrap().text;
+        assert!(get.contains("method=GET"));
+    }
+
+    #[test]
+    fn split_args_handles_nesting() {
+        assert_eq!(
+            split_args(r#"0 f {"a": [1, 2], "b": "x y"} [3, 4] "lone string""#),
+            vec![
+                "0",
+                "f",
+                r#"{"a": [1, 2], "b": "x y"}"#,
+                "[3, 4]",
+                r#""lone string""#
+            ]
+        );
+        assert!(split_args("   ").is_empty());
+    }
+}

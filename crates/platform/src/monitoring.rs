@@ -1,0 +1,149 @@
+//! Monitoring: the metrics hub feeding requirement-driven optimization.
+//!
+//! "Oparaca connects the runtime to the monitoring system and reacts to
+//! changes in workload or performance" (§III-B). [`MetricsHub`] collects
+//! per-class invocation metrics from the execution plane (thread-safe —
+//! the embedded engine executes dataflow stages on worker threads) and
+//! produces the [`ObservedMetrics`] windows the
+//! [`oprc_core::optimizer`] consumes.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use oprc_core::optimizer::ObservedMetrics;
+use oprc_simcore::metrics::Histogram;
+use oprc_simcore::{SimDuration, SimTime};
+
+#[derive(Debug, Default)]
+struct ClassWindow {
+    completed: u64,
+    errors: u64,
+    latency: Histogram,
+    window_start: Option<SimTime>,
+    last_event: Option<SimTime>,
+}
+
+/// Thread-safe collector of per-class runtime metrics.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsHub {
+    inner: Arc<Mutex<BTreeMap<String, ClassWindow>>>,
+}
+
+impl MetricsHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        MetricsHub::default()
+    }
+
+    /// Records a completed invocation of `class` at `now` with the given
+    /// end-to-end latency.
+    pub fn record_completion(&self, class: &str, now: SimTime, latency: SimDuration) {
+        let mut inner = self.inner.lock();
+        let w = inner.entry(class.to_string()).or_default();
+        w.completed += 1;
+        w.latency.record(latency);
+        w.window_start.get_or_insert(now);
+        w.last_event = Some(w.last_event.map_or(now, |t| t.max(now)));
+    }
+
+    /// Records a failed invocation of `class` at `now`.
+    pub fn record_error(&self, class: &str, now: SimTime) {
+        let mut inner = self.inner.lock();
+        let w = inner.entry(class.to_string()).or_default();
+        w.errors += 1;
+        w.window_start.get_or_insert(now);
+        w.last_event = Some(w.last_event.map_or(now, |t| t.max(now)));
+    }
+
+    /// Completed-invocation count for `class` in the current window.
+    pub fn completed(&self, class: &str) -> u64 {
+        self.inner
+            .lock()
+            .get(class)
+            .map(|w| w.completed)
+            .unwrap_or(0)
+    }
+
+    /// Produces the observation window for `class` and resets it.
+    ///
+    /// `replicas_busy_fraction` is supplied by the execution plane (the
+    /// hub cannot observe replica occupancy itself). Returns `None` when
+    /// nothing was recorded.
+    pub fn drain_window(
+        &self,
+        class: &str,
+        replicas_busy_fraction: f64,
+    ) -> Option<ObservedMetrics> {
+        let mut inner = self.inner.lock();
+        let w = inner.get_mut(class)?;
+        let (start, end) = (w.window_start?, w.last_event?);
+        let span = (end - start).as_secs_f64().max(1e-3);
+        let metrics = ObservedMetrics {
+            throughput: w.completed as f64 / span,
+            p99_latency_ms: w.latency.quantile(0.99).as_millis_f64(),
+            utilization: replicas_busy_fraction,
+            error_rate: w.errors as f64 / span,
+        };
+        *w = ClassWindow::default();
+        Some(metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_aggregation_and_reset() {
+        let hub = MetricsHub::new();
+        for i in 0..100u64 {
+            hub.record_completion(
+                "C",
+                SimTime::from_millis(i * 10),
+                SimDuration::from_millis(5),
+            );
+        }
+        hub.record_error("C", SimTime::from_millis(500));
+        assert_eq!(hub.completed("C"), 100);
+        let m = hub.drain_window("C", 0.8).unwrap();
+        // 100 completions over 0.99s ≈ 101/s.
+        assert!((m.throughput - 101.0).abs() < 2.0, "{}", m.throughput);
+        assert!(m.p99_latency_ms >= 5.0);
+        assert!(m.error_rate > 0.9);
+        assert_eq!(m.utilization, 0.8);
+        // Window reset.
+        assert_eq!(hub.completed("C"), 0);
+        assert!(hub.drain_window("C", 0.0).is_none());
+    }
+
+    #[test]
+    fn unknown_class_is_none() {
+        let hub = MetricsHub::new();
+        assert!(hub.drain_window("nope", 0.5).is_none());
+        assert_eq!(hub.completed("nope"), 0);
+    }
+
+    #[test]
+    fn hub_is_shareable_across_threads() {
+        let hub = MetricsHub::new();
+        let h2 = hub.clone();
+        std::thread::spawn(move || {
+            h2.record_completion("C", SimTime::ZERO, SimDuration::from_millis(1));
+        })
+        .join()
+        .unwrap();
+        assert_eq!(hub.completed("C"), 1);
+    }
+
+    #[test]
+    fn single_event_window_uses_min_span() {
+        let hub = MetricsHub::new();
+        hub.record_completion("C", SimTime::from_secs(1), SimDuration::from_millis(2));
+        let m = hub.drain_window("C", 0.1).unwrap();
+        // One event over the 1ms minimum span → finite, large number.
+        assert!(m.throughput > 0.0);
+        assert!(m.throughput.is_finite());
+    }
+}

@@ -1,0 +1,328 @@
+//! Multi-datacenter deployment (the paper's future work, §VI).
+//!
+//! "We plan to develop Oparaca to support application deployment across
+//! multiple data centers, thereby unlocking the opportunity for
+//! non-functional requirements such as latency and jurisdiction."
+//!
+//! [`place`] implements that: given candidate regions, client
+//! populations, and a class NFR, it selects the cheapest region set that
+//!
+//! 1. respects the **jurisdiction** constraint (data never leaves the
+//!    tagged jurisdiction),
+//! 2. meets the **latency** target for every client population (each
+//!    population is served by its nearest selected region), and
+//! 3. stays within the **budget** constraint.
+
+use oprc_cluster::topology::Topology;
+use oprc_core::nfr::NfrSpec;
+use oprc_simcore::SimDuration;
+
+use crate::PlatformError;
+
+/// A candidate deployment region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionSpec {
+    /// Region name (must be registered in the [`Topology`]).
+    pub name: String,
+    /// A representative zone for latency lookups.
+    pub zone: String,
+    /// Hourly cost of running the class runtime here.
+    pub cost_per_hour: f64,
+}
+
+/// A population of clients in some zone, with a relative weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientPopulation {
+    /// Where the clients are.
+    pub zone: String,
+    /// Relative share of traffic (any positive scale).
+    pub weight: f64,
+}
+
+/// A chosen deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Selected regions, in selection order.
+    pub regions: Vec<String>,
+    /// Worst client-population RTT to its nearest selected region.
+    pub worst_latency: SimDuration,
+    /// Traffic-weighted mean RTT.
+    pub mean_latency: SimDuration,
+    /// Total hourly cost.
+    pub cost_per_hour: f64,
+}
+
+/// Plans a multi-region deployment for a class.
+///
+/// Greedy set cover: regions are considered cheapest-first; a region is
+/// added while some client population misses the latency target. With no
+/// declared latency target, the single cheapest admissible region is
+/// used.
+///
+/// # Errors
+///
+/// Returns [`PlatformError::PlacementInfeasible`] when the jurisdiction
+/// filter leaves no region, the latency target is unreachable, or the
+/// budget is exceeded.
+pub fn place(
+    nfr: &NfrSpec,
+    regions: &[RegionSpec],
+    clients: &[ClientPopulation],
+    topology: &Topology,
+) -> Result<Placement, PlatformError> {
+    // 1. Jurisdiction filter.
+    let admissible: Vec<&RegionSpec> = match &nfr.constraint.jurisdiction {
+        None => regions.iter().collect(),
+        Some(tag) => regions
+            .iter()
+            .filter(|r| topology.jurisdiction(&r.name) == Some(tag.as_str()))
+            .collect(),
+    };
+    if admissible.is_empty() {
+        return Err(PlatformError::PlacementInfeasible(format!(
+            "no region satisfies jurisdiction {:?}",
+            nfr.constraint.jurisdiction
+        )));
+    }
+    let mut by_cost = admissible;
+    by_cost.sort_by(|a, b| {
+        a.cost_per_hour
+            .partial_cmp(&b.cost_per_hour)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+
+    let latency_target = nfr
+        .qos
+        .latency_ms
+        .map(|ms| SimDuration::from_millis(ms));
+
+    let mut chosen: Vec<&RegionSpec> = vec![by_cost[0]];
+    if let Some(target) = latency_target {
+        // Greedily add the region that best fixes the worst-served
+        // population.
+        loop {
+            let (worst_zone, worst) = worst_population(&chosen, clients, topology);
+            if worst <= target || worst_zone.is_none() {
+                break;
+            }
+            let worst_zone = worst_zone.expect("checked");
+            // Candidate that minimizes that population's latency.
+            let best = by_cost
+                .iter()
+                .filter(|r| !chosen.iter().any(|c| c.name == r.name))
+                .min_by_key(|r| topology.latency(&r.zone, worst_zone));
+            match best {
+                Some(r) if topology.latency(&r.zone, worst_zone) < worst => chosen.push(r),
+                _ => {
+                    return Err(PlatformError::PlacementInfeasible(format!(
+                        "no region can serve zone '{worst_zone}' within {target}"
+                    )))
+                }
+            }
+        }
+    }
+
+    let cost: f64 = chosen.iter().map(|r| r.cost_per_hour).sum();
+    if let Some(budget) = nfr.constraint.budget {
+        if cost > budget {
+            return Err(PlatformError::PlacementInfeasible(format!(
+                "cheapest feasible placement costs {cost:.2}/h, budget is {budget:.2}/h"
+            )));
+        }
+    }
+
+    let (_, worst) = worst_population(&chosen, clients, topology);
+    let mean = mean_latency(&chosen, clients, topology);
+    Ok(Placement {
+        regions: chosen.iter().map(|r| r.name.clone()).collect(),
+        worst_latency: worst,
+        mean_latency: mean,
+        cost_per_hour: cost,
+    })
+}
+
+fn nearest<'t>(
+    chosen: &[&RegionSpec],
+    zone: &str,
+    topology: &'t Topology,
+) -> SimDuration {
+    chosen
+        .iter()
+        .map(|r| topology.latency(&r.zone, zone))
+        .min()
+        .unwrap_or(SimDuration::ZERO)
+}
+
+fn worst_population<'c>(
+    chosen: &[&RegionSpec],
+    clients: &'c [ClientPopulation],
+    topology: &Topology,
+) -> (Option<&'c str>, SimDuration) {
+    let mut worst: (Option<&str>, SimDuration) = (None, SimDuration::ZERO);
+    for c in clients {
+        let l = nearest(chosen, &c.zone, topology);
+        if l >= worst.1 {
+            worst = (Some(c.zone.as_str()), l);
+        }
+    }
+    worst
+}
+
+fn mean_latency(
+    chosen: &[&RegionSpec],
+    clients: &[ClientPopulation],
+    topology: &Topology,
+) -> SimDuration {
+    let total_weight: f64 = clients.iter().map(|c| c.weight).sum();
+    if total_weight <= 0.0 {
+        return SimDuration::ZERO;
+    }
+    let weighted: f64 = clients
+        .iter()
+        .map(|c| nearest(chosen, &c.zone, topology).as_secs_f64() * c.weight)
+        .sum();
+    SimDuration::from_secs_f64(weighted / total_weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_value::vjson;
+
+    fn topo() -> Topology {
+        let mut t = Topology::new();
+        t.add_zone("us-east", "use-a");
+        t.add_zone("eu-west", "euw-a");
+        t.add_zone("ap-south", "aps-a");
+        t.set_region_latency("us-east", "eu-west", SimDuration::from_millis(80));
+        t.set_region_latency("us-east", "ap-south", SimDuration::from_millis(200));
+        t.set_region_latency("eu-west", "ap-south", SimDuration::from_millis(120));
+        t.set_jurisdiction("eu-west", "EU");
+        t.set_jurisdiction("us-east", "US");
+        t
+    }
+
+    fn regions() -> Vec<RegionSpec> {
+        vec![
+            RegionSpec {
+                name: "us-east".into(),
+                zone: "use-a".into(),
+                cost_per_hour: 1.0,
+            },
+            RegionSpec {
+                name: "eu-west".into(),
+                zone: "euw-a".into(),
+                cost_per_hour: 1.2,
+            },
+            RegionSpec {
+                name: "ap-south".into(),
+                zone: "aps-a".into(),
+                cost_per_hour: 0.8,
+            },
+        ]
+    }
+
+    fn clients() -> Vec<ClientPopulation> {
+        vec![
+            ClientPopulation {
+                zone: "use-a".into(),
+                weight: 2.0,
+            },
+            ClientPopulation {
+                zone: "euw-a".into(),
+                weight: 1.0,
+            },
+        ]
+    }
+
+    fn nfr(v: oprc_value::Value) -> NfrSpec {
+        NfrSpec::from_value(&v).unwrap()
+    }
+
+    #[test]
+    fn no_targets_picks_cheapest() {
+        let p = place(&NfrSpec::default(), &regions(), &clients(), &topo()).unwrap();
+        assert_eq!(p.regions, vec!["ap-south"]);
+        assert_eq!(p.cost_per_hour, 0.8);
+    }
+
+    #[test]
+    fn latency_target_forces_multi_region() {
+        let n = nfr(vjson!({"qos": {"latency": 10}}));
+        let p = place(&n, &regions(), &clients(), &topo()).unwrap();
+        // Both us and eu populations need a nearby region; ap alone
+        // can't serve either within 10ms.
+        assert!(p.regions.contains(&"us-east".to_string()));
+        assert!(p.regions.contains(&"eu-west".to_string()));
+        assert!(p.worst_latency <= SimDuration::from_millis(10));
+        assert!(p.mean_latency <= p.worst_latency);
+    }
+
+    #[test]
+    fn moderate_latency_single_region_suffices() {
+        // 80ms reachable from us-east for both populations.
+        let n = nfr(vjson!({"qos": {"latency": 80}}));
+        let p = place(&n, &regions(), &clients(), &topo()).unwrap();
+        assert!(p.regions.len() <= 2);
+        assert!(p.worst_latency <= SimDuration::from_millis(80));
+    }
+
+    #[test]
+    fn jurisdiction_filters_regions() {
+        let n = nfr(vjson!({"constraint": {"jurisdiction": "EU"}}));
+        let p = place(&n, &regions(), &clients(), &topo()).unwrap();
+        assert_eq!(p.regions, vec!["eu-west"]);
+        // Unknown jurisdiction → infeasible.
+        let n = nfr(vjson!({"constraint": {"jurisdiction": "MARS"}}));
+        assert!(matches!(
+            place(&n, &regions(), &clients(), &topo()),
+            Err(PlatformError::PlacementInfeasible(_))
+        ));
+    }
+
+    #[test]
+    fn jurisdiction_and_latency_can_conflict() {
+        // EU-only data with a 5ms target for US clients: infeasible.
+        let n = nfr(vjson!({
+            "qos": {"latency": 5},
+            "constraint": {"jurisdiction": "EU"},
+        }));
+        let err = place(&n, &regions(), &clients(), &topo()).unwrap_err();
+        assert!(matches!(err, PlatformError::PlacementInfeasible(_)));
+    }
+
+    #[test]
+    fn budget_constraint_enforced() {
+        let n = nfr(vjson!({
+            "qos": {"latency": 10},
+            "constraint": {"budget": 1.5},
+        }));
+        // Needs us-east + eu-west = 2.2/h > 1.5 budget.
+        assert!(matches!(
+            place(&n, &regions(), &clients(), &topo()),
+            Err(PlatformError::PlacementInfeasible(_))
+        ));
+        let n = nfr(vjson!({
+            "qos": {"latency": 10},
+            "constraint": {"budget": 3.0},
+        }));
+        assert!(place(&n, &regions(), &clients(), &topo()).is_ok());
+    }
+
+    #[test]
+    fn empty_region_list_infeasible() {
+        assert!(matches!(
+            place(&NfrSpec::default(), &[], &clients(), &topo()),
+            Err(PlatformError::PlacementInfeasible(_))
+        ));
+    }
+
+    #[test]
+    fn no_clients_trivially_feasible() {
+        let n = nfr(vjson!({"qos": {"latency": 1}}));
+        let p = place(&n, &regions(), &[], &topo()).unwrap();
+        assert_eq!(p.regions.len(), 1);
+        assert_eq!(p.worst_latency, SimDuration::ZERO);
+    }
+}

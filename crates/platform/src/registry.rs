@@ -1,0 +1,165 @@
+//! The package/class registry.
+//!
+//! Deployed packages are versioned by deployment order; the registry
+//! exposes the *current* resolved hierarchy per package and a flat class
+//! lookup across packages (class names must be globally unique, matching
+//! Oparaca's single-tenant CLI model in §IV).
+
+use std::collections::BTreeMap;
+
+use oprc_core::hierarchy::{ClassHierarchy, ResolvedClass};
+use oprc_core::{CoreError, OPackage};
+
+/// Registry of deployed packages and their resolved hierarchies.
+#[derive(Debug, Default)]
+pub struct PackageRegistry {
+    /// package name → (version, package, hierarchy)
+    packages: BTreeMap<String, (u64, OPackage, ClassHierarchy)>,
+    /// class name → owning package
+    class_index: BTreeMap<String, String>,
+}
+
+impl PackageRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        PackageRegistry::default()
+    }
+
+    /// Deploys (or re-deploys) a package, bumping its version.
+    ///
+    /// # Errors
+    ///
+    /// - Propagates resolution errors ([`CoreError`]);
+    /// - Returns [`CoreError::DuplicateClass`] when a class name is
+    ///   already taken by a *different* package.
+    pub fn deploy(&mut self, package: OPackage) -> Result<u64, CoreError> {
+        let hierarchy = package.resolve()?;
+        for class in package.classes.iter() {
+            if let Some(owner) = self.class_index.get(&class.name) {
+                if owner != &package.name {
+                    return Err(CoreError::DuplicateClass(class.name.clone()));
+                }
+            }
+        }
+        // Remove the old version's class index entries.
+        if let Some((_, old, _)) = self.packages.get(&package.name) {
+            let old_classes: Vec<String> = old.classes.iter().map(|c| c.name.clone()).collect();
+            for c in old_classes {
+                self.class_index.remove(&c);
+            }
+        }
+        for class in package.classes.iter() {
+            self.class_index
+                .insert(class.name.clone(), package.name.clone());
+        }
+        let version = self
+            .packages
+            .get(&package.name)
+            .map(|(v, _, _)| v + 1)
+            .unwrap_or(1);
+        self.packages
+            .insert(package.name.clone(), (version, package, hierarchy));
+        Ok(version)
+    }
+
+    /// Looks up a resolved class across all packages.
+    pub fn class(&self, name: &str) -> Option<&ResolvedClass> {
+        let pkg = self.class_index.get(name)?;
+        self.packages.get(pkg)?.2.class(name)
+    }
+
+    /// Like [`PackageRegistry::class`] but erroring when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownClass`].
+    pub fn require_class(&self, name: &str) -> Result<&ResolvedClass, CoreError> {
+        self.class(name)
+            .ok_or_else(|| CoreError::UnknownClass(name.to_string()))
+    }
+
+    /// The current version of a package, if deployed.
+    pub fn version(&self, package: &str) -> Option<u64> {
+        self.packages.get(package).map(|(v, _, _)| *v)
+    }
+
+    /// All deployed class names, in order.
+    pub fn class_names(&self) -> Vec<&str> {
+        self.class_index.keys().map(String::as_str).collect()
+    }
+
+    /// Removes a package and its classes.
+    ///
+    /// Returns `true` if it existed.
+    pub fn undeploy(&mut self, package: &str) -> bool {
+        match self.packages.remove(package) {
+            None => false,
+            Some((_, pkg, _)) => {
+                for c in pkg.classes {
+                    self.class_index.remove(&c.name);
+                }
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_core::{ClassDef, FunctionDef};
+
+    fn pkg(name: &str, class: &str) -> OPackage {
+        OPackage::new(name).class(ClassDef::new(class).function(FunctionDef::new("f", "img/f")))
+    }
+
+    #[test]
+    fn deploy_and_lookup() {
+        let mut r = PackageRegistry::new();
+        assert_eq!(r.deploy(pkg("p1", "A")).unwrap(), 1);
+        assert!(r.class("A").is_some());
+        assert_eq!(r.version("p1"), Some(1));
+        assert_eq!(r.class_names(), vec!["A"]);
+        assert!(r.require_class("B").is_err());
+    }
+
+    #[test]
+    fn redeploy_bumps_version_and_replaces() {
+        let mut r = PackageRegistry::new();
+        r.deploy(pkg("p1", "A")).unwrap();
+        // v2 renames the class.
+        assert_eq!(r.deploy(pkg("p1", "A2")).unwrap(), 2);
+        assert!(r.class("A").is_none(), "old class gone after redeploy");
+        assert!(r.class("A2").is_some());
+    }
+
+    #[test]
+    fn cross_package_class_collision_rejected() {
+        let mut r = PackageRegistry::new();
+        r.deploy(pkg("p1", "A")).unwrap();
+        assert!(matches!(
+            r.deploy(pkg("p2", "A")),
+            Err(CoreError::DuplicateClass(_))
+        ));
+        // p2 under a different class name is fine.
+        r.deploy(pkg("p2", "B")).unwrap();
+        assert_eq!(r.class_names(), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn undeploy_removes_classes() {
+        let mut r = PackageRegistry::new();
+        r.deploy(pkg("p1", "A")).unwrap();
+        assert!(r.undeploy("p1"));
+        assert!(!r.undeploy("p1"));
+        assert!(r.class("A").is_none());
+    }
+
+    #[test]
+    fn invalid_package_rejected() {
+        let mut r = PackageRegistry::new();
+        let bad = OPackage::new("p").class(ClassDef::new("A").parent("Ghost"));
+        assert!(r.deploy(bad).is_err());
+        assert_eq!(r.version("p"), None);
+    }
+}

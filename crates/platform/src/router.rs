@@ -1,0 +1,170 @@
+//! The object router.
+//!
+//! OaaS "can easily find the data associated with each method and
+//! proactively distribute them across the platform instances close to
+//! the deployed method" (§II-A). The router realizes the read side of
+//! that optimization: each object's state lives on a DHT partition; with
+//! *locality routing* enabled, invocations are steered to the runtime
+//! instance co-located with the partition's primary replica, so state
+//! access is a local read instead of a network hop.
+
+use oprc_core::object::ObjectId;
+use oprc_store::Dht;
+
+/// How a routed invocation reaches object state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteKind {
+    /// The serving instance holds the state partition (no network hop).
+    Local,
+    /// The serving instance must fetch state from `owner` (one hop).
+    Remote {
+        /// The instance holding the primary replica.
+        owner: u64,
+    },
+}
+
+/// A routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Instance that will execute the invocation.
+    pub instance: u64,
+    /// Locality of its state access.
+    pub kind: RouteKind,
+}
+
+/// Routes invocations for one class runtime.
+///
+/// `instances` are the runtime's replica ids, which double as DHT member
+/// ids (each instance hosts one DHT member — Oparaca's co-located
+/// Infinispan design).
+#[derive(Debug, Clone)]
+pub struct ObjectRouter {
+    locality: bool,
+    rr_next: usize,
+}
+
+impl ObjectRouter {
+    /// Creates a router; `locality` enables partition-affine routing.
+    pub fn new(locality: bool) -> Self {
+        ObjectRouter {
+            locality,
+            rr_next: 0,
+        }
+    }
+
+    /// Whether locality routing is enabled.
+    pub fn locality(&self) -> bool {
+        self.locality
+    }
+
+    /// Picks the instance to execute an invocation on `object`, given
+    /// the DHT that owns the state and the list of live instances.
+    ///
+    /// Returns `None` when no instance is live.
+    pub fn route(&mut self, object: ObjectId, dht: &Dht, instances: &[u64]) -> Option<Route> {
+        if instances.is_empty() {
+            return None;
+        }
+        let key = object.to_string();
+        let owner = dht.primary(&key).ok().map(|n| n.0);
+        if self.locality {
+            if let Some(owner) = owner {
+                if instances.contains(&owner) {
+                    return Some(Route {
+                        instance: owner,
+                        kind: RouteKind::Local,
+                    });
+                }
+            }
+        }
+        // Fallback / locality off: round-robin, state access remote
+        // unless we happen to land on the owner.
+        let instance = instances[self.rr_next % instances.len()];
+        self.rr_next = (self.rr_next + 1) % instances.len();
+        let kind = match owner {
+            Some(o) if o == instance => RouteKind::Local,
+            Some(o) => RouteKind::Remote { owner: o },
+            None => RouteKind::Remote { owner: instance },
+        };
+        Some(Route { instance, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_store::{DhtConfig, DhtNodeId};
+
+    fn dht(members: u64) -> Dht {
+        let mut d = Dht::new(DhtConfig {
+            replication: 1,
+            vnodes: 32,
+        });
+        for m in 0..members {
+            d.join(DhtNodeId(m));
+        }
+        d
+    }
+
+    #[test]
+    fn locality_routes_to_owner() {
+        let d = dht(4);
+        let mut r = ObjectRouter::new(true);
+        let instances: Vec<u64> = (0..4).collect();
+        for i in 0..50 {
+            let obj = ObjectId(i);
+            let route = r.route(obj, &d, &instances).unwrap();
+            assert_eq!(route.kind, RouteKind::Local);
+            assert_eq!(
+                route.instance,
+                d.primary(&obj.to_string()).unwrap().0,
+                "locality must follow the primary"
+            );
+        }
+    }
+
+    #[test]
+    fn no_locality_round_robins() {
+        let d = dht(4);
+        let mut r = ObjectRouter::new(false);
+        let instances: Vec<u64> = (0..4).collect();
+        let picks: Vec<u64> = (0..8)
+            .map(|_| r.route(ObjectId(1), &d, &instances).unwrap().instance)
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        // Most picks are remote (only 1 of 4 instances owns the object).
+        let mut r = ObjectRouter::new(false);
+        let remote = (0..8)
+            .filter(|_| {
+                matches!(
+                    r.route(ObjectId(1), &d, &instances).unwrap().kind,
+                    RouteKind::Remote { .. }
+                )
+            })
+            .count();
+        assert_eq!(remote, 6);
+    }
+
+    #[test]
+    fn owner_not_live_falls_back() {
+        let d = dht(4);
+        let mut r = ObjectRouter::new(true);
+        // Find an object owned by member 0, then exclude 0 from the
+        // live set.
+        let obj = (0..100)
+            .map(ObjectId)
+            .find(|o| d.primary(&o.to_string()).unwrap().0 == 0)
+            .expect("some object maps to member 0");
+        let instances = vec![1, 2, 3];
+        let route = r.route(obj, &d, &instances).unwrap();
+        assert!(instances.contains(&route.instance));
+        assert_eq!(route.kind, RouteKind::Remote { owner: 0 });
+    }
+
+    #[test]
+    fn empty_instances_none() {
+        let d = dht(2);
+        let mut r = ObjectRouter::new(true);
+        assert!(r.route(ObjectId(1), &d, &[]).is_none());
+    }
+}

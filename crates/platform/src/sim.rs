@@ -1,0 +1,801 @@
+//! Deterministic cluster simulation reproducing the paper's evaluation.
+//!
+//! §V scales workers from 3 to 12 VMs on a JSON-randomization
+//! application and compares four systems:
+//!
+//! - `knative` — baseline FaaS: every invocation writes object state
+//!   straight to the database and the response waits for that write;
+//! - `oprc` — Oparaca over Knative: state goes to the distributed
+//!   in-memory hash table, the response returns immediately, and a
+//!   write-behind flusher batches records into the database;
+//! - `oprc-bypass` — Oparaca over plain deployments (no Knative
+//!   dataplane overhead or autoscaler lag);
+//! - `oprc-bypass-nonpersist` — as above but state stays in memory only.
+//!
+//! The simulation couples three substrate models: per-VM function
+//! capacity (`oprc-faas` replicas scheduled on an `oprc-cluster`
+//! cluster), the database's **shared write-operation budget**
+//! (`oprc-store::PersistentDb`), and the **write-behind buffer**
+//! (`oprc-store::WriteBehindBuffer`). The qualitative mechanism the
+//! paper reports — Knative plateauing once `n·C ≥ W_db`, Oparaca
+//! scaling further but sublinearly as the batched write path saturates —
+//! emerges from those models rather than being hard-coded.
+//!
+//! Write-behind back-pressure is modelled as a fluid approximation: the
+//! flusher writes batches synchronously (next batch only after the
+//! previous grant), and when the dirty backlog exceeds a watermark each
+//! response is delayed by `excess / drain_rate`, which is what a
+//! blocking bounded buffer converges to under closed-loop load.
+
+use oprc_cluster::{Cluster, DeploymentSpec, NodeSpec, PodSpec, ResourceSpec};
+use oprc_faas::{EngineConfig, EngineKind, EngineModel, FunctionSpec};
+use oprc_simcore::metrics::{Histogram, ThroughputMeter};
+use oprc_simcore::{Dist, Scheduler, SimDuration, SimRng, SimTime, SimWorld, Simulation};
+use oprc_store::{PersistentDb, PersistentDbConfig, WriteBehindBuffer, WriteBehindConfig};
+use oprc_value::{vjson, Value};
+
+/// The four systems of Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemVariant {
+    /// Baseline FaaS on Knative with direct DB writes.
+    Knative,
+    /// Oparaca on Knative.
+    Oprc,
+    /// Oparaca on plain deployments.
+    OprcBypass,
+    /// Oparaca on plain deployments, in-memory state only.
+    OprcBypassNonPersist,
+}
+
+impl SystemVariant {
+    /// The label used in the paper's figure.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SystemVariant::Knative => "knative",
+            SystemVariant::Oprc => "oprc",
+            SystemVariant::OprcBypass => "oprc-bypass",
+            SystemVariant::OprcBypassNonPersist => "oprc-bypass-nonpersist",
+        }
+    }
+
+    /// All four variants in the paper's order.
+    pub fn all() -> [SystemVariant; 4] {
+        [
+            SystemVariant::Knative,
+            SystemVariant::Oprc,
+            SystemVariant::OprcBypass,
+            SystemVariant::OprcBypassNonPersist,
+        ]
+    }
+
+    fn engine_kind(&self) -> EngineKind {
+        match self {
+            SystemVariant::Knative | SystemVariant::Oprc => EngineKind::Knative,
+            _ => EngineKind::PlainDeployment,
+        }
+    }
+
+    fn is_oprc(&self) -> bool {
+        !matches!(self, SystemVariant::Knative)
+    }
+
+    fn persists(&self) -> bool {
+        !matches!(self, SystemVariant::OprcBypassNonPersist)
+    }
+}
+
+/// How load is offered to the system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// Closed loop: `clients_per_vm × vms` clients, each with one
+    /// outstanding request (the Fig. 3 saturation setup).
+    Closed,
+    /// Open loop: Poisson arrivals at `rate_per_vm × vms` requests/s,
+    /// independent of response times (for latency-vs-load curves).
+    Open {
+        /// Offered arrivals per second per VM.
+        rate_per_vm: f64,
+    },
+}
+
+/// Mid-run failure injection: take VMs down and optionally bring them
+/// back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureSpec {
+    /// When (after warm-up start) the failure hits.
+    pub at: SimDuration,
+    /// How many VMs go down (highest-id nodes).
+    pub vms_down: u32,
+    /// When (after the failure) the VMs recover; `None` = never.
+    pub recover_after: Option<SimDuration>,
+}
+
+/// Parameters of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// System under test.
+    pub variant: SystemVariant,
+    /// Worker VMs (the paper sweeps 3, 6, 9, 12).
+    pub vms: u32,
+    /// Function pods schedulable per VM (CPU-bound).
+    pub pods_per_vm: u32,
+    /// Closed-loop client count per VM (used by [`LoadMode::Closed`]).
+    pub clients_per_vm: u32,
+    /// Load shape.
+    pub load: LoadMode,
+    /// Optional mid-run VM failure.
+    pub failure: Option<FailureSpec>,
+    /// Pure function service time (seconds).
+    pub service_time: Dist,
+    /// Oparaca's per-request platform hop (router + task packaging).
+    pub platform_overhead: SimDuration,
+    /// In-memory hash-table access latency (partition-local).
+    pub dht_access: SimDuration,
+    /// Route invocations to the instance holding the object's state
+    /// partition (§II-A). When disabled, a request lands on a uniformly
+    /// random replica and pays `remote_state_rtt` with probability
+    /// `1 - 1/replicas` while the worker blocks on the fetch.
+    pub locality_routing: bool,
+    /// Extra worker-blocking time for a remote state access.
+    pub remote_state_rtt: SimDuration,
+    /// Database write budget (shared across the cluster).
+    pub db: PersistentDbConfig,
+    /// Write-behind policy for the oprc variants.
+    pub write_behind: WriteBehindConfig,
+    /// Dirty-record watermark beyond which back-pressure applies.
+    pub backpressure_watermark: usize,
+    /// FaaS engine parameters.
+    pub engine: EngineConfig,
+    /// Distinct objects written by the workload.
+    pub object_count: u64,
+    /// Measurement starts after this much warm-up.
+    pub warmup: SimDuration,
+    /// Measurement window length.
+    pub measure: SimDuration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The Fig. 3 defaults for `variant` at `vms` workers.
+    ///
+    /// Calibration (documented in `EXPERIMENTS.md`): 4ms function
+    /// service time, 4 one-vCPU pods per 4-vCPU VM, a 4 200 writes/s
+    /// database budget (which Knative saturates at ~6 VMs), and a
+    /// write-behind batch of 100 records costing `1 + 0.5` ops per
+    /// extra record (drain ≈ 8.3k records/s).
+    pub fn fig3(variant: SystemVariant, vms: u32) -> Self {
+        ExperimentConfig {
+            variant,
+            vms,
+            pods_per_vm: 4,
+            clients_per_vm: 60,
+            load: LoadMode::Closed,
+            failure: None,
+            service_time: Dist::Constant(0.004),
+            platform_overhead: SimDuration::from_micros(300),
+            dht_access: SimDuration::from_micros(200),
+            locality_routing: true,
+            remote_state_rtt: SimDuration::from_micros(500),
+            db: PersistentDbConfig {
+                write_ops_per_sec: 4_200.0,
+                write_burst: 400.0,
+                batch_record_cost: 0.5,
+            },
+            write_behind: WriteBehindConfig {
+                max_batch: 100,
+                max_delay: SimDuration::from_millis(50),
+            },
+            backpressure_watermark: 1_000,
+            engine: EngineConfig::default(),
+            object_count: 10_000,
+            warmup: SimDuration::from_secs(10),
+            measure: SimDuration::from_secs(20),
+            seed: 42,
+        }
+    }
+}
+
+/// Measured outcome of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// System under test.
+    pub variant: SystemVariant,
+    /// Worker VMs.
+    pub vms: u32,
+    /// Sustained throughput over the measurement window (req/s).
+    pub throughput: f64,
+    /// Median end-to-end latency (ms).
+    pub p50_ms: f64,
+    /// Tail end-to-end latency (ms).
+    pub p99_ms: f64,
+    /// Replica count at the end of the run.
+    pub replicas: u32,
+    /// Requests that waited on cold starts.
+    pub cold_starts: u64,
+    /// Single (direct) DB writes issued.
+    pub db_single_writes: u64,
+    /// Batched DB writes issued.
+    pub db_batch_writes: u64,
+    /// Updates absorbed by write-behind consolidation.
+    pub consolidated: u64,
+    /// Completed requests inside the window.
+    pub completed: u64,
+    /// Requests rejected for lack of capacity (open loop drops them;
+    /// closed loop retries).
+    pub rejected: u64,
+    /// Completions per whole second of simulated time (timeline for
+    /// failure/recovery plots).
+    pub per_second: Vec<u64>,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Closed-loop client `id` issues its next request.
+    Issue(u32),
+    /// An open-loop arrival (self-perpetuating).
+    OpenArrive,
+    /// Request `id`'s response arrived.
+    Response(u32),
+    /// The write-behind flusher is free and checks for a due batch.
+    Flush,
+    /// Autoscaler period.
+    Tick,
+    /// Failure injection fires.
+    Fail,
+    /// Failed VMs recover.
+    Recover,
+    /// End of measurement.
+    Done,
+}
+
+struct World {
+    cfg: ExperimentConfig,
+    rng: SimRng,
+    engine: EngineModel,
+    cluster: Cluster,
+    db: PersistentDb,
+    buffer: WriteBehindBuffer,
+    /// True while a batch write awaits its grant.
+    flusher_busy: bool,
+    /// Estimated drain rate (records/s) for the back-pressure model.
+    drain_rate: f64,
+    meter: ThroughputMeter,
+    latency: Histogram,
+    issued_at: Vec<SimTime>,
+    done: bool,
+    completed_in_window: u64,
+    rejected: u64,
+    per_second: Vec<u64>,
+    /// Capacity before failure (for recovery).
+    full_capacity: u32,
+}
+
+const DEPLOYMENT: &str = "crt-jsonrand-randomize";
+
+impl World {
+    fn new(cfg: ExperimentConfig) -> Self {
+        let rng = SimRng::seed_from_u64(cfg.seed);
+
+        // Build the cluster and determine true scheduling capacity.
+        let mut cluster = Cluster::new();
+        for _ in 0..cfg.vms {
+            cluster.add_node(NodeSpec::with_capacity(ResourceSpec::worker_vm()));
+        }
+        let pod = PodSpec::new(ResourceSpec::new(
+            4_000 / cfg.pods_per_vm.max(1) as u64,
+            (8 << 30) / cfg.pods_per_vm.max(1) as u64,
+        ));
+        cluster
+            .apply(DeploymentSpec::new(
+                DEPLOYMENT,
+                cfg.vms * cfg.pods_per_vm,
+                pod,
+            ))
+            .expect("fresh cluster accepts the deployment");
+        let scheduled = cluster
+            .reconcile()
+            .iter()
+            .filter(|c| matches!(c, oprc_cluster::ClusterChange::PodScheduled { .. }))
+            .count() as u32;
+        for p in cluster.pods().map(|p| p.id()).collect::<Vec<_>>() {
+            cluster.mark_pod_running(p);
+        }
+
+        let spec = FunctionSpec::new("jsonrand")
+            .image("img/json-randomizer")
+            .container_concurrency(1)
+            .max_scale(scheduled);
+        let mut engine = EngineModel::new(cfg.variant.engine_kind(), cfg.engine.clone(), spec);
+        engine.set_capacity_limit(scheduled);
+        match cfg.variant.engine_kind() {
+            EngineKind::PlainDeployment => {
+                // Bypass variants run pre-scaled, like a standing
+                // deployment.
+                engine.force_replicas(SimTime::ZERO, scheduled, SimDuration::ZERO);
+            }
+            EngineKind::Knative => {
+                // Knative starts with one warm replica and autoscales.
+                engine.force_replicas(SimTime::ZERO, 1, SimDuration::ZERO);
+            }
+        }
+
+        let db = PersistentDb::new(cfg.db.clone());
+        let buffer = WriteBehindBuffer::new(cfg.write_behind);
+        let batch = cfg.write_behind.max_batch.max(1) as f64;
+        let cost = 1.0 + (batch - 1.0) * cfg.db.batch_record_cost;
+        let drain_rate = batch * cfg.db.write_ops_per_sec / cost;
+
+        let window_start = SimTime::ZERO + cfg.warmup;
+        let window_end = window_start + cfg.measure;
+        let clients = cfg.vms * cfg.clients_per_vm;
+        World {
+            rng,
+            engine,
+            cluster,
+            db,
+            buffer,
+            flusher_busy: false,
+            drain_rate,
+            meter: ThroughputMeter::new(window_start, window_end),
+            latency: Histogram::new(),
+            issued_at: vec![SimTime::ZERO; clients as usize],
+            done: false,
+            completed_in_window: 0,
+            rejected: 0,
+            per_second: Vec::new(),
+            full_capacity: scheduled,
+            cfg,
+        }
+    }
+
+    /// Admits one request arriving at `now` for request slot `id`,
+    /// scheduling its Response. Returns false when no capacity exists.
+    fn admit(&mut self, now: SimTime, id: u32, sched: &mut Scheduler<Event>) -> bool {
+        if id as usize >= self.issued_at.len() {
+            self.issued_at.resize(id as usize + 1, SimTime::ZERO);
+        }
+        self.issued_at[id as usize] = now;
+        let mut service = self.service_sample();
+        // §II-A data locality: without partition-affine routing, most
+        // requests block on a remote state fetch.
+        if self.cfg.variant.is_oprc() && !self.cfg.locality_routing {
+            let replicas = self.engine.replica_count().max(1) as f64;
+            if self.rng.f64() > 1.0 / replicas {
+                service += self.cfg.remote_state_rtt;
+            }
+        }
+        let Some(completion) = self.engine.on_request(now, service) else {
+            self.rejected += 1;
+            return false;
+        };
+        let mut response_at = completion.end;
+        let key = self.object_key();
+        let value = self.record_value(&key);
+        if self.cfg.variant == SystemVariant::Knative {
+            let durable = self.db.put(completion.end, &key, value);
+            response_at = response_at.max(durable);
+        } else {
+            response_at = response_at + self.cfg.dht_access;
+            if self.cfg.variant.persists() {
+                self.buffer.offer(completion.end, &key, value);
+                let pending = self.buffer.pending_len();
+                if pending > self.cfg.backpressure_watermark {
+                    let excess = (pending - self.cfg.backpressure_watermark) as f64;
+                    response_at =
+                        response_at + SimDuration::from_secs_f64(excess / self.drain_rate);
+                }
+                if !self.flusher_busy {
+                    self.flusher_busy = true;
+                    sched.immediately(Event::Flush);
+                }
+            }
+        }
+        sched.at(response_at, Event::Response(id));
+        true
+    }
+
+    /// Applies a capacity change (failure or recovery) through the
+    /// cluster and into the engine.
+    fn set_down_vms(&mut self, now: SimTime, down: u32) {
+        use oprc_cluster::NodeStatus;
+        let ids: Vec<_> = self.cluster.nodes().map(|n| n.id()).collect();
+        let total = ids.len() as u32;
+        for (i, id) in ids.iter().enumerate() {
+            let want_down = (i as u32) >= total.saturating_sub(down);
+            let status = if want_down {
+                NodeStatus::Down
+            } else {
+                NodeStatus::Ready
+            };
+            if self.cluster.node(*id).map(|n| n.status()) != Some(status) {
+                let _ = self.cluster.set_node_status(*id, status);
+            }
+        }
+        self.cluster.reconcile();
+        for p in self.cluster.pods().map(|p| p.id()).collect::<Vec<_>>() {
+            self.cluster.mark_pod_running(p);
+        }
+        let capacity = self.cluster.running_pods(DEPLOYMENT).len() as u32;
+        self.engine.set_capacity_limit(capacity);
+        if self.cfg.variant.engine_kind() == EngineKind::PlainDeployment {
+            // Standing deployments re-scale to the schedulable count;
+            // replacements pay a cold start.
+            self.engine
+                .force_replicas(now, capacity, self.cfg.engine.cold_start);
+        }
+    }
+
+    fn service_sample(&mut self) -> SimDuration {
+        let base = self.cfg.service_time.sample_duration(&mut self.rng);
+        if self.cfg.variant.is_oprc() {
+            base + self.cfg.platform_overhead
+        } else {
+            base
+        }
+    }
+
+    fn object_key(&mut self) -> String {
+        let obj = self.rng.range(0, self.cfg.object_count.max(1));
+        format!("JsonDoc/obj-{obj}")
+    }
+
+    /// Synthetic ~1KiB randomized-JSON record (the workload's output).
+    fn record_value(&mut self, key: &str) -> Value {
+        vjson!({
+            "id": key,
+            "payload": (self.rng.alphanumeric(64)),
+            "n": (self.rng.range(0, 1_000_000) as i64),
+        })
+    }
+
+    fn mirror_cluster_scale(&mut self, replicas: u32) {
+        let _ = self.cluster.scale(DEPLOYMENT, replicas);
+        self.cluster.reconcile();
+        for p in self.cluster.pods().map(|p| p.id()).collect::<Vec<_>>() {
+            self.cluster.mark_pod_running(p);
+        }
+    }
+}
+
+impl SimWorld for World {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+        match event {
+            Event::Done => {
+                self.done = true;
+            }
+            Event::Issue(client) => {
+                if self.done {
+                    return;
+                }
+                if !self.admit(now, client, sched) {
+                    // Closed loop: no capacity at all; retry shortly.
+                    sched.after(SimDuration::from_millis(10), Event::Issue(client));
+                }
+            }
+            Event::OpenArrive => {
+                if self.done {
+                    return;
+                }
+                let id = self.issued_at.len() as u32;
+                // Open loop drops rejected arrivals (no retry).
+                let _ = self.admit(now, id, sched);
+                let rate = match self.cfg.load {
+                    LoadMode::Open { rate_per_vm } => rate_per_vm * self.cfg.vms as f64,
+                    LoadMode::Closed => unreachable!("OpenArrive only in open mode"),
+                };
+                let gap = SimDuration::from_secs_f64(self.rng.exp(1.0 / rate.max(1e-9)));
+                sched.after(gap.max(SimDuration::from_nanos(1)), Event::OpenArrive);
+            }
+            Event::Response(id) => {
+                self.meter.observe(now);
+                let sec = now.as_secs_f64() as usize;
+                if self.per_second.len() <= sec {
+                    self.per_second.resize(sec + 1, 0);
+                }
+                self.per_second[sec] += 1;
+                if now >= SimTime::ZERO + self.cfg.warmup {
+                    self.completed_in_window += 1;
+                    self.latency.record(now - self.issued_at[id as usize]);
+                }
+                if !self.done && self.cfg.load == LoadMode::Closed {
+                    sched.immediately(Event::Issue(id));
+                }
+            }
+            Event::Fail => {
+                if let Some(f) = self.cfg.failure {
+                    self.set_down_vms(now, f.vms_down);
+                    if let Some(after) = f.recover_after {
+                        sched.after(after, Event::Recover);
+                    }
+                }
+            }
+            Event::Recover => {
+                self.set_down_vms(now, 0);
+                let _ = self.full_capacity;
+            }
+            Event::Flush => {
+                match self.buffer.take_batch(now) {
+                    Some(batch) => {
+                        let grant = self.db.put_batch(now, batch.records);
+                        // Synchronous flusher: next batch after the
+                        // grant.
+                        sched.at(grant, Event::Flush);
+                    }
+                    None => match self.buffer.next_due(now) {
+                        Some(due) => sched.at(due, Event::Flush),
+                        None => {
+                            self.flusher_busy = false;
+                        }
+                    },
+                }
+            }
+            Event::Tick => {
+                if self.done {
+                    return;
+                }
+                let action = self.engine.on_tick(now);
+                if action.to != action.from {
+                    self.mirror_cluster_scale(action.to);
+                }
+                sched.after(self.cfg.engine.tick_interval, Event::Tick);
+            }
+        }
+    }
+}
+
+/// Runs one experiment to completion.
+pub fn run(cfg: ExperimentConfig) -> RunResult {
+    let clients = cfg.vms * cfg.clients_per_vm;
+    let warmup = cfg.warmup;
+    let measure = cfg.measure;
+    let load = cfg.load;
+    let failure = cfg.failure;
+    let mut sim = Simulation::new(World::new(cfg));
+    match load {
+        LoadMode::Closed => {
+            // Stagger client starts over the first second so the cold
+            // system is not hit by one synchronized burst.
+            for c in 0..clients {
+                let offset =
+                    SimDuration::from_micros(1_000_000 * c as u64 / clients.max(1) as u64);
+                sim.scheduler_mut().at(SimTime::ZERO + offset, Event::Issue(c));
+            }
+        }
+        LoadMode::Open { .. } => {
+            sim.scheduler_mut().immediately(Event::OpenArrive);
+        }
+    }
+    sim.scheduler_mut()
+        .after(SimDuration::from_secs(1), Event::Tick);
+    if let Some(f) = failure {
+        sim.scheduler_mut().at(SimTime::ZERO + warmup + f.at, Event::Fail);
+    }
+    let end = SimTime::ZERO + warmup + measure;
+    sim.scheduler_mut().at(end, Event::Done);
+    // Run until the last in-flight responses land (bounded drain).
+    sim.run_until(end + SimDuration::from_secs(30));
+
+    let w = sim.world();
+    let db = w.db.stats();
+    RunResult {
+        variant: w.cfg.variant,
+        vms: w.cfg.vms,
+        throughput: w.meter.rate(),
+        p50_ms: w.latency.quantile(0.5).as_millis_f64(),
+        p99_ms: w.latency.quantile(0.99).as_millis_f64(),
+        replicas: w.engine.replica_count(),
+        cold_starts: w.engine.cold_starts(),
+        db_single_writes: db.single_writes,
+        db_batch_writes: db.batch_writes,
+        consolidated: w.buffer.consolidated(),
+        completed: w.completed_in_window,
+        rejected: w.rejected,
+        per_second: w.per_second.clone(),
+    }
+}
+
+/// Runs the full Fig. 3 sweep: every variant × every VM count.
+pub fn fig3_sweep(vm_counts: &[u32]) -> Vec<RunResult> {
+    let mut out = Vec::new();
+    for &vms in vm_counts {
+        for variant in SystemVariant::all() {
+            out.push(run(ExperimentConfig::fig3(variant, vms)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scaled-down config that keeps tests fast (<1s each).
+    fn quick(variant: SystemVariant, vms: u32) -> ExperimentConfig {
+        ExperimentConfig {
+            warmup: SimDuration::from_secs(5),
+            measure: SimDuration::from_secs(8),
+            clients_per_vm: 30,
+            ..ExperimentConfig::fig3(variant, vms)
+        }
+    }
+
+    #[test]
+    fn knative_plateaus_with_db_bottleneck() {
+        let t6 = run(quick(SystemVariant::Knative, 6)).throughput;
+        let t12 = run(quick(SystemVariant::Knative, 12)).throughput;
+        // Past the plateau, doubling VMs buys <15% throughput — and a
+        // plateau is flat, not a regression.
+        assert!(
+            t12 < t6 * 1.15 && t12 > t6 * 0.75,
+            "knative should plateau: 6 VMs {t6:.0}/s, 12 VMs {t12:.0}/s"
+        );
+        // And the plateau sits at roughly the DB write budget.
+        assert!(
+            (t12 - 4_200.0).abs() / 4_200.0 < 0.25,
+            "plateau {t12:.0}/s should track the 4200/s write budget"
+        );
+    }
+
+    #[test]
+    fn oprc_beats_knative_at_scale() {
+        let kn = run(quick(SystemVariant::Knative, 12)).throughput;
+        let op = run(quick(SystemVariant::Oprc, 12)).throughput;
+        assert!(
+            op > kn * 1.5,
+            "oprc {op:.0}/s should clearly beat knative {kn:.0}/s at 12 VMs"
+        );
+    }
+
+    #[test]
+    fn variant_ordering_at_12_vms() {
+        let kn = run(quick(SystemVariant::Knative, 12)).throughput;
+        let op = run(quick(SystemVariant::Oprc, 12)).throughput;
+        let by = run(quick(SystemVariant::OprcBypass, 12)).throughput;
+        let np = run(quick(SystemVariant::OprcBypassNonPersist, 12)).throughput;
+        assert!(kn < op, "knative {kn:.0} < oprc {op:.0}");
+        assert!(op < by * 1.05, "oprc {op:.0} ≤~ bypass {by:.0}");
+        assert!(by <= np * 1.02, "bypass {by:.0} ≤ nonpersist {np:.0}");
+    }
+
+    #[test]
+    fn nonpersist_scales_nearly_linearly() {
+        let t3 = run(quick(SystemVariant::OprcBypassNonPersist, 3)).throughput;
+        let t12 = run(quick(SystemVariant::OprcBypassNonPersist, 12)).throughput;
+        let ratio = t12 / t3;
+        assert!(
+            ratio > 3.3,
+            "nonpersist should scale ~4x from 3→12 VMs, got {ratio:.2}x"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let a = run(quick(SystemVariant::Oprc, 3));
+        let b = run(quick(SystemVariant::Oprc, 3));
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.db_batch_writes, b.db_batch_writes);
+        assert!((a.throughput - b.throughput).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oprc_uses_batches_knative_uses_singles() {
+        let kn = run(quick(SystemVariant::Knative, 3));
+        let op = run(quick(SystemVariant::Oprc, 3));
+        assert_eq!(kn.db_batch_writes, 0);
+        assert!(kn.db_single_writes > 1000);
+        assert_eq!(op.db_single_writes, 0);
+        assert!(op.db_batch_writes > 10);
+        let np = run(quick(SystemVariant::OprcBypassNonPersist, 3));
+        assert_eq!(np.db_batch_writes + np.db_single_writes, 0);
+    }
+
+    #[test]
+    fn knative_autoscales_from_one_replica() {
+        let r = run(quick(SystemVariant::Knative, 3));
+        assert!(r.replicas > 1, "autoscaler should scale up: {r:?}");
+        assert!(r.cold_starts > 0);
+    }
+
+    #[test]
+    fn latency_reported_sane() {
+        let r = run(quick(SystemVariant::OprcBypass, 6));
+        assert!(r.p50_ms >= 4.0, "p50 below service time: {}", r.p50_ms);
+        assert!(r.p99_ms >= r.p50_ms);
+        assert!(r.p50_ms < 10_000.0);
+    }
+
+    #[test]
+    fn open_loop_tracks_offered_rate_below_capacity() {
+        let mut cfg = quick(SystemVariant::OprcBypass, 6);
+        // Capacity ≈ 5.5k/s; offer 300/VM = 1800/s.
+        cfg.load = LoadMode::Open { rate_per_vm: 300.0 };
+        let r = run(cfg);
+        assert!(
+            (r.throughput - 1800.0).abs() / 1800.0 < 0.05,
+            "open loop should track offered load: {:.0}/s",
+            r.throughput
+        );
+        // Under light load latency sits near the service floor.
+        assert!(r.p50_ms < 10.0, "p50 {} too high for light load", r.p50_ms);
+    }
+
+    #[test]
+    fn open_loop_overload_saturates_and_inflates_latency() {
+        let light = {
+            let mut c = quick(SystemVariant::OprcBypassNonPersist, 3);
+            c.load = LoadMode::Open { rate_per_vm: 300.0 };
+            run(c)
+        };
+        let heavy = {
+            let mut c = quick(SystemVariant::OprcBypassNonPersist, 3);
+            // Capacity ≈ 2.8k/s; offer 1500/VM = 4.5k/s.
+            c.load = LoadMode::Open { rate_per_vm: 1500.0 };
+            run(c)
+        };
+        assert!(heavy.throughput < 3_000.0, "cannot exceed capacity");
+        assert!(heavy.throughput > light.throughput);
+        assert!(
+            heavy.p99_ms > light.p99_ms * 5.0,
+            "overload must inflate tails: {} vs {}",
+            heavy.p99_ms,
+            light.p99_ms
+        );
+    }
+
+    #[test]
+    fn failure_injection_dips_and_recovers() {
+        let mut cfg = quick(SystemVariant::OprcBypassNonPersist, 6);
+        cfg.measure = SimDuration::from_secs(12);
+        cfg.failure = Some(FailureSpec {
+            at: SimDuration::from_secs(3),
+            vms_down: 3,
+            recover_after: Some(SimDuration::from_secs(4)),
+        });
+        let r = run(cfg);
+        // Timeline: warmup 5s; fail at 8s; recover at 12s; end 17s.
+        let at = |sec: usize| *r.per_second.get(sec).unwrap_or(&0) as f64;
+        let before = (at(6) + at(7)) / 2.0;
+        let during = (at(9) + at(10)) / 2.0;
+        let after = (at(14) + at(15)) / 2.0;
+        assert!(
+            during < before * 0.65,
+            "losing half the VMs should halve throughput: {before} -> {during}"
+        );
+        assert!(
+            after > before * 0.9,
+            "throughput should recover: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn locality_routing_buys_throughput_and_latency() {
+        let with = run(quick(SystemVariant::OprcBypassNonPersist, 9));
+        let mut cfg = quick(SystemVariant::OprcBypassNonPersist, 9);
+        cfg.locality_routing = false;
+        let without = run(cfg);
+        assert!(
+            with.throughput > without.throughput * 1.05,
+            "locality should buy ≥5% throughput: {:.0} vs {:.0}",
+            with.throughput,
+            without.throughput
+        );
+        assert!(with.p50_ms < without.p50_ms);
+    }
+
+    #[test]
+    fn failure_without_recovery_stays_degraded() {
+        let mut cfg = quick(SystemVariant::OprcBypass, 6);
+        cfg.failure = Some(FailureSpec {
+            at: SimDuration::from_secs(2),
+            vms_down: 3,
+            recover_after: None,
+        });
+        let r = run(cfg);
+        let healthy = run(quick(SystemVariant::OprcBypass, 6));
+        assert!(r.throughput < healthy.throughput * 0.8);
+        assert_eq!(r.replicas, 12, "half the capacity remains");
+    }
+}

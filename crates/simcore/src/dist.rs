@@ -1,0 +1,180 @@
+//! Parametric distributions for service times and inter-arrival times.
+
+use crate::{SimDuration, SimRng};
+
+/// A sampling distribution over non-negative durations/quantities.
+///
+/// Workload and substrate models are configured with `Dist` values so
+/// experiments can swap, say, deterministic for exponential service times
+/// without code changes.
+///
+/// # Examples
+///
+/// ```
+/// use oprc_simcore::{Dist, SimRng};
+///
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let d = Dist::Exponential { mean: 4.0 };
+/// let x = d.sample(&mut rng);
+/// assert!(x >= 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dist {
+    /// Always the same value.
+    Constant(f64),
+    /// Uniform over `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean (`1/λ`).
+        mean: f64,
+    },
+    /// Normal truncated at zero.
+    Normal {
+        /// Mean of the untruncated normal.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Log-normal parameterized by the underlying normal.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Samples uniformly from an empirical set of observations.
+    Empirical(Vec<f64>),
+}
+
+impl Dist {
+    /// Draws one sample; always `>= 0` (negative draws are clamped).
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let x = match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => {
+                if lo >= hi {
+                    *lo
+                } else {
+                    rng.range_f64(*lo, *hi)
+                }
+            }
+            Dist::Exponential { mean } => rng.exp(*mean),
+            Dist::Normal { mean, std_dev } => rng.normal(*mean, *std_dev),
+            Dist::LogNormal { mu, sigma } => rng.log_normal(*mu, *sigma),
+            Dist::Empirical(xs) => {
+                if xs.is_empty() {
+                    0.0
+                } else {
+                    *rng.choose(xs).expect("non-empty")
+                }
+            }
+        };
+        x.max(0.0)
+    }
+
+    /// Draws a sample interpreted as seconds and converted to a duration.
+    pub fn sample_duration(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(self.sample(rng))
+    }
+
+    /// The distribution's mean, where defined analytically.
+    pub fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Exponential { mean } => *mean,
+            Dist::Normal { mean, .. } => *mean,
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            Dist::Empirical(xs) => {
+                if xs.is_empty() {
+                    0.0
+                } else {
+                    xs.iter().sum::<f64>() / xs.len() as f64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(d: &Dist, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SimRng::seed_from_u64(0);
+        let d = Dist::Constant(2.5);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 2.5);
+        }
+    }
+
+    #[test]
+    fn sample_means_match_analytic() {
+        let cases = [
+            Dist::Uniform { lo: 1.0, hi: 3.0 },
+            Dist::Exponential { mean: 2.0 },
+            Dist::Normal {
+                mean: 5.0,
+                std_dev: 1.0,
+            },
+            Dist::Empirical(vec![1.0, 2.0, 3.0]),
+        ];
+        for d in cases {
+            let m = mean_of(&d, 30_000, 11);
+            assert!(
+                (m - d.mean()).abs() / d.mean() < 0.05,
+                "{d:?}: sampled {m}, analytic {}",
+                d.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn lognormal_mean() {
+        let d = Dist::LogNormal {
+            mu: 0.0,
+            sigma: 0.5,
+        };
+        let m = mean_of(&d, 60_000, 12);
+        assert!((m - d.mean()).abs() / d.mean() < 0.05, "{m} vs {}", d.mean());
+    }
+
+    #[test]
+    fn samples_never_negative() {
+        let d = Dist::Normal {
+            mean: 0.0,
+            std_dev: 10.0,
+        };
+        let mut rng = SimRng::seed_from_u64(13);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = SimRng::seed_from_u64(14);
+        assert_eq!(Dist::Uniform { lo: 2.0, hi: 2.0 }.sample(&mut rng), 2.0);
+        assert_eq!(Dist::Empirical(vec![]).sample(&mut rng), 0.0);
+        assert_eq!(Dist::Empirical(vec![]).mean(), 0.0);
+    }
+
+    #[test]
+    fn sample_duration_converts_seconds() {
+        let mut rng = SimRng::seed_from_u64(15);
+        let d = Dist::Constant(0.002);
+        assert_eq!(d.sample_duration(&mut rng), SimDuration::from_millis(2));
+    }
+}

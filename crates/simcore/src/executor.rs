@@ -1,0 +1,310 @@
+//! The discrete-event loop.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{SimDuration, SimTime};
+
+/// A world driven by the simulation: holds all model state and reacts to
+/// events.
+///
+/// Implementations receive each event exactly once, in timestamp order
+/// (ties broken by scheduling order), and may schedule further events via
+/// the provided [`Scheduler`].
+pub trait SimWorld {
+    /// The event alphabet of this world.
+    type Event;
+
+    /// Handles one event at virtual time `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, scheduler: &mut Scheduler<Self::Event>);
+}
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first ordering.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The pending-event queue handed to [`SimWorld::handle`].
+///
+/// All scheduling is relative to the executor's current virtual time;
+/// scheduling into the past is clamped to "now" (the event still runs, at
+/// the current instant, after already-queued same-time events).
+#[derive(Default)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled<E>>,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at` (clamped to now).
+    pub fn at(&mut self, at: SimTime, event: E) {
+        let time = at.max(self.now);
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a relative delay.
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.at(self.now + delay, event);
+    }
+
+    /// Schedules `event` to run at the current instant, after events
+    /// already queued for this instant.
+    pub fn immediately(&mut self, event: E) {
+        self.at(self.now, event);
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+}
+
+/// Outcome of a single [`Simulation::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An event was dispatched at the contained time.
+    Dispatched(SimTime),
+    /// The event queue is empty; the simulation is quiescent.
+    Idle,
+    /// The next event lies beyond the step's time bound.
+    Bounded(SimTime),
+}
+
+/// A discrete-event simulation: a [`SimWorld`] plus its event queue.
+///
+/// # Determinism
+///
+/// Given the same world (including RNG seeds) and the same initial events,
+/// every run dispatches the identical event sequence: the queue orders by
+/// `(time, insertion sequence)` with no dependence on hashing or OS state.
+pub struct Simulation<W: SimWorld> {
+    world: W,
+    scheduler: Scheduler<W::Event>,
+    dispatched: u64,
+}
+
+impl<W: SimWorld> Simulation<W> {
+    /// Creates a simulation at t = 0 with an empty event queue.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            scheduler: Scheduler::new(),
+            dispatched: 0,
+        }
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Exclusive access to the scheduler (e.g. to seed initial events).
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<W::Event> {
+        &mut self.scheduler
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.scheduler.now
+    }
+
+    /// Total events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Dispatches the next event if it is at or before `bound`.
+    pub fn step(&mut self, bound: SimTime) -> StepOutcome {
+        match self.scheduler.peek_time() {
+            None => StepOutcome::Idle,
+            Some(t) if t > bound => StepOutcome::Bounded(t),
+            Some(_) => {
+                let Scheduled { time, event, .. } =
+                    self.scheduler.heap.pop().expect("peeked event exists");
+                self.scheduler.now = time;
+                self.world.handle(time, event, &mut self.scheduler);
+                self.dispatched += 1;
+                StepOutcome::Dispatched(time)
+            }
+        }
+    }
+
+    /// Runs until the queue drains or the next event would exceed `until`.
+    ///
+    /// On a bounded stop the clock is advanced to `until`, so subsequent
+    /// scheduling with [`Scheduler::after`] is relative to the bound.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let start = self.dispatched;
+        loop {
+            match self.step(until) {
+                StepOutcome::Dispatched(_) => {}
+                StepOutcome::Idle => break,
+                StepOutcome::Bounded(_) => {
+                    self.scheduler.now = until;
+                    break;
+                }
+            }
+        }
+        self.dispatched - start
+    }
+
+    /// Runs until the event queue is fully drained.
+    pub fn run(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Consumes the simulation, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(u64, u32)>,
+    }
+
+    impl SimWorld for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.seen.push((now.as_nanos(), ev));
+            if ev == 1 {
+                // Chain: schedule two more, same time and later.
+                sched.immediately(10);
+                sched.after(SimDuration::from_nanos(5), 11);
+            }
+        }
+    }
+
+    fn sim() -> Simulation<Recorder> {
+        Simulation::new(Recorder { seen: Vec::new() })
+    }
+
+    #[test]
+    fn dispatch_in_time_order_with_fifo_ties() {
+        let mut s = sim();
+        s.scheduler_mut().at(SimTime::from_nanos(20), 3);
+        s.scheduler_mut().at(SimTime::from_nanos(10), 1);
+        s.scheduler_mut().at(SimTime::from_nanos(10), 2);
+        s.run();
+        assert_eq!(
+            s.world().seen,
+            vec![(10, 1), (10, 2), (10, 10), (15, 11), (20, 3)]
+        );
+    }
+
+    #[test]
+    fn run_until_bound_advances_clock() {
+        let mut s = sim();
+        s.scheduler_mut().at(SimTime::from_nanos(100), 5);
+        let n = s.run_until(SimTime::from_nanos(50));
+        assert_eq!(n, 0);
+        assert_eq!(s.now(), SimTime::from_nanos(50));
+        // Event still pending.
+        assert_eq!(s.scheduler_mut().pending(), 1);
+        s.run();
+        assert_eq!(s.world().seen, vec![(100, 5)]);
+    }
+
+    #[test]
+    fn scheduling_in_past_clamps_to_now() {
+        let mut s = sim();
+        s.scheduler_mut().at(SimTime::from_nanos(100), 2);
+        s.run();
+        // Now at t=100; schedule "at 10" → runs at 100.
+        s.scheduler_mut().at(SimTime::from_nanos(10), 7);
+        s.run();
+        assert_eq!(s.world().seen, vec![(100, 2), (100, 7)]);
+    }
+
+    #[test]
+    fn step_outcomes() {
+        let mut s = sim();
+        assert_eq!(s.step(SimTime::MAX), StepOutcome::Idle);
+        s.scheduler_mut().at(SimTime::from_nanos(30), 2);
+        assert_eq!(
+            s.step(SimTime::from_nanos(10)),
+            StepOutcome::Bounded(SimTime::from_nanos(30))
+        );
+        assert_eq!(
+            s.step(SimTime::MAX),
+            StepOutcome::Dispatched(SimTime::from_nanos(30))
+        );
+    }
+
+    #[test]
+    fn dispatched_counter() {
+        let mut s = sim();
+        for i in 0..5 {
+            s.scheduler_mut().at(SimTime::from_nanos(i), 2);
+        }
+        s.run();
+        assert_eq!(s.dispatched(), 5);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let mut s = sim();
+            s.scheduler_mut().at(SimTime::from_nanos(10), 1);
+            s.scheduler_mut().at(SimTime::from_nanos(15), 2);
+            s.run();
+            s.into_world().seen
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,76 @@
+//! Deterministic discrete-event simulation (DES) kernel.
+//!
+//! The Oparaca reproduction cannot run on a real 3–12 VM Kubernetes
+//! cluster, so the scalability evaluation (paper Fig. 3) runs on a
+//! simulated cluster instead. This crate is the substrate-independent
+//! kernel that the cluster/FaaS/storage models are built on:
+//!
+//! - [`SimTime`] / [`SimDuration`]: virtual time in nanoseconds.
+//! - [`Simulation`] / [`SimWorld`] / [`Scheduler`]: the event loop. A
+//!   world handles one event at a time and schedules future events;
+//!   ties are broken by insertion order, making runs fully deterministic.
+//! - [`SimRng`] and [`Dist`]: seeded randomness and the service-time /
+//!   inter-arrival distributions used by workload generators.
+//! - [`metrics`]: counters, log-bucketed histograms (for latency
+//!   quantiles), time series, and windowed throughput meters.
+//! - [`queueing`]: multi-server queue and token-bucket building blocks
+//!   used to model CPU capacity and database write budgets.
+//!
+//! # Examples
+//!
+//! A tiny M/D/1-style simulation:
+//!
+//! ```
+//! use oprc_simcore::{Scheduler, SimDuration, SimTime, SimWorld, Simulation};
+//!
+//! #[derive(Debug)]
+//! enum Ev { Arrive, Depart }
+//!
+//! #[derive(Default)]
+//! struct World { in_service: bool, queued: u32, served: u32 }
+//!
+//! impl SimWorld for World {
+//!     type Event = Ev;
+//!     fn handle(&mut self, _now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+//!         match ev {
+//!             Ev::Arrive => {
+//!                 if self.in_service { self.queued += 1; }
+//!                 else {
+//!                     self.in_service = true;
+//!                     sched.after(SimDuration::from_millis(5), Ev::Depart);
+//!                 }
+//!             }
+//!             Ev::Depart => {
+//!                 self.served += 1;
+//!                 if self.queued > 0 {
+//!                     self.queued -= 1;
+//!                     sched.after(SimDuration::from_millis(5), Ev::Depart);
+//!                 } else { self.in_service = false; }
+//!             }
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(World::default());
+//! for i in 0..10 {
+//!     sim.scheduler_mut().at(SimTime::from_millis(i * 2), Ev::Arrive);
+//! }
+//! sim.run();
+//! assert_eq!(sim.world().served, 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dist;
+mod executor;
+mod rng;
+mod time;
+
+pub mod metrics;
+pub mod queueing;
+
+pub use dist::Dist;
+pub use executor::{Scheduler, SimWorld, Simulation, StepOutcome};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,402 @@
+//! Measurement instruments for experiments.
+//!
+//! All instruments are plain values (no global registry, no interior
+//! mutability) so worlds can own them and tests can assert on them
+//! directly.
+
+use std::fmt;
+
+use crate::{SimDuration, SimTime};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A log-bucketed latency histogram with quantile estimation.
+///
+/// Buckets grow geometrically (factor ~1.1 per bucket, ~5% quantile error)
+/// from 1µs to ~17 minutes, which covers every latency this workspace
+/// measures. Recording is O(1); quantiles are O(buckets).
+///
+/// # Examples
+///
+/// ```
+/// use oprc_simcore::{metrics::Histogram, SimDuration};
+///
+/// let mut h = Histogram::new();
+/// for ms in [1, 2, 3, 4, 100] {
+///     h.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert!(h.quantile(0.5) <= SimDuration::from_millis(4));
+/// assert!(h.quantile(1.0) >= SimDuration::from_millis(95));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: SimDuration,
+    min: SimDuration,
+    max: SimDuration,
+}
+
+const HIST_BUCKETS: usize = 256;
+const HIST_BASE_NS: f64 = 1_000.0; // 1µs
+const HIST_GROWTH: f64 = 1.085;
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: SimDuration::ZERO,
+            min: SimDuration::from_nanos(u64::MAX),
+            max: SimDuration::ZERO,
+        }
+    }
+
+    fn bucket_index(d: SimDuration) -> usize {
+        let ns = d.as_nanos() as f64;
+        if ns <= HIST_BASE_NS {
+            return 0;
+        }
+        let idx = ((ns / HIST_BASE_NS).ln() / HIST_GROWTH.ln()).floor() as usize;
+        idx.min(HIST_BUCKETS - 1)
+    }
+
+    fn bucket_upper(idx: usize) -> SimDuration {
+        SimDuration::from_nanos((HIST_BASE_NS * HIST_GROWTH.powi(idx as i32 + 1)) as u64)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, d: SimDuration) {
+        self.buckets[Self::bucket_index(d)] += 1;
+        self.count += 1;
+        self.sum += d;
+        self.min = self.min.min(d);
+        self.max = self.max.max(d);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Smallest observation, or zero if empty.
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> SimDuration {
+        self.max
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) to bucket resolution.
+    ///
+    /// Returns zero for an empty histogram. The estimate is the upper edge
+    /// of the bucket containing the target rank, except the top quantile
+    /// which returns the recorded maximum.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_upper(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.max()
+        )
+    }
+}
+
+/// A time series of `(time, value)` samples.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        self.points.push((t, v));
+    }
+
+    /// All samples in insertion order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Most recent value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Mean of values sampled in `[from, to)`.
+    pub fn mean_in(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Measures sustained throughput by counting events inside a measurement
+/// window, excluding warm-up.
+///
+/// # Examples
+///
+/// ```
+/// use oprc_simcore::{metrics::ThroughputMeter, SimTime};
+///
+/// let mut m = ThroughputMeter::new(SimTime::from_secs(10), SimTime::from_secs(30));
+/// m.observe(SimTime::from_secs(5));   // warm-up, ignored
+/// m.observe(SimTime::from_secs(15));
+/// m.observe(SimTime::from_secs(20));
+/// assert_eq!(m.count(), 2);
+/// assert!((m.rate() - 0.1).abs() < 1e-9); // 2 events / 20s window
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    window_start: SimTime,
+    window_end: SimTime,
+    count: u64,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter counting events in `[window_start, window_end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn new(window_start: SimTime, window_end: SimTime) -> Self {
+        assert!(window_start < window_end, "empty measurement window");
+        ThroughputMeter {
+            window_start,
+            window_end,
+            count: 0,
+        }
+    }
+
+    /// Counts an event occurring at `t` if it falls inside the window.
+    pub fn observe(&mut self, t: SimTime) {
+        if t >= self.window_start && t < self.window_end {
+            self.count += 1;
+        }
+    }
+
+    /// Events counted inside the window.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Events per second over the window.
+    pub fn rate(&self) -> f64 {
+        self.count as f64 / (self.window_end - self.window_start).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.5), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn histogram_quantiles_within_bucket_error() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_micros(i * 100)); // 0.1ms .. 100ms
+        }
+        let p50 = h.quantile(0.5).as_secs_f64();
+        assert!((p50 - 0.050).abs() / 0.050 < 0.12, "p50={p50}");
+        let p99 = h.quantile(0.99).as_secs_f64();
+        assert!((p99 - 0.099).abs() / 0.099 < 0.12, "p99={p99}");
+        assert_eq!(h.quantile(1.0), SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn histogram_mean_exact() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_millis(10));
+        h.record(SimDuration::from_millis(30));
+        assert_eq!(h.mean(), SimDuration::from_millis(20));
+        assert_eq!(h.min(), SimDuration::from_millis(10));
+        assert_eq!(h.max(), SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(SimDuration::from_millis(1));
+        b.record(SimDuration::from_millis(9));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), SimDuration::from_millis(5));
+        assert_eq!(a.max(), SimDuration::from_millis(9));
+    }
+
+    #[test]
+    fn histogram_extreme_values_clamped() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::ZERO);
+        h.record(SimDuration::from_secs(10_000));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.9) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn timeseries_mean_in_window() {
+        let mut ts = TimeSeries::new();
+        for s in 0..10 {
+            ts.push(SimTime::from_secs(s), s as f64);
+        }
+        assert_eq!(
+            ts.mean_in(SimTime::from_secs(2), SimTime::from_secs(5)),
+            Some(3.0)
+        );
+        assert_eq!(
+            ts.mean_in(SimTime::from_secs(100), SimTime::from_secs(200)),
+            None
+        );
+        assert_eq!(ts.last(), Some(9.0));
+        assert_eq!(ts.len(), 10);
+    }
+
+    #[test]
+    fn throughput_meter_window() {
+        let mut m = ThroughputMeter::new(SimTime::from_secs(1), SimTime::from_secs(3));
+        for ms in [500, 1500, 2500, 3500] {
+            m.observe(SimTime::from_millis(ms));
+        }
+        assert_eq!(m.count(), 2);
+        assert!((m.rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty measurement window")]
+    fn throughput_meter_rejects_empty_window() {
+        let _ = ThroughputMeter::new(SimTime::from_secs(1), SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,342 @@
+//! Queueing building blocks for capacity modelling.
+//!
+//! Two models cover everything the substrates need:
+//!
+//! - [`MultiServerQueue`]: a FIFO c-server queue computing, per arrival,
+//!   when service starts and ends. Models pod/VM compute capacity.
+//! - [`TokenBucket`]: a rate limiter with burst capacity. Models the
+//!   database's write-IOPS budget — the resource whose exhaustion causes
+//!   the Knative plateau in the paper's Fig. 3.
+
+use crate::{SimDuration, SimTime};
+
+/// A FIFO queue served by `servers` identical servers.
+///
+/// Arrivals are admitted in call order (which, in a DES, is timestamp
+/// order). The model is work-conserving and non-preemptive.
+///
+/// # Examples
+///
+/// ```
+/// use oprc_simcore::{queueing::MultiServerQueue, SimDuration, SimTime};
+///
+/// let mut q = MultiServerQueue::new(1);
+/// let a = q.admit(SimTime::ZERO, SimDuration::from_millis(10));
+/// let b = q.admit(SimTime::ZERO, SimDuration::from_millis(10));
+/// assert_eq!(a.start, SimTime::ZERO);
+/// assert_eq!(b.start, SimTime::from_millis(10)); // waited for the server
+/// assert_eq!(b.end, SimTime::from_millis(20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiServerQueue {
+    /// Next-free time per server.
+    free_at: Vec<SimTime>,
+    busy: SimDuration,
+    served: u64,
+    waited: SimDuration,
+}
+
+/// When an admitted job starts and finishes service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceSlot {
+    /// Service start (>= arrival).
+    pub start: SimTime,
+    /// Service completion.
+    pub end: SimTime,
+}
+
+impl MultiServerQueue {
+    /// Creates a queue with `servers` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "queue needs at least one server");
+        MultiServerQueue {
+            free_at: vec![SimTime::ZERO; servers],
+            busy: SimDuration::ZERO,
+            served: 0,
+            waited: SimDuration::ZERO,
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Adds servers (scale-out); new servers are free immediately.
+    pub fn grow(&mut self, now: SimTime, additional: usize) {
+        self.free_at.extend(std::iter::repeat(now).take(additional));
+    }
+
+    /// Removes up to `count` servers (scale-in), preferring the least
+    /// loaded. In-flight work on removed servers completes (the model
+    /// drains them by keeping their committed busy time).
+    ///
+    /// Returns how many servers were actually removed; at least one server
+    /// is always retained.
+    pub fn shrink(&mut self, count: usize) -> usize {
+        let removable = (self.free_at.len() - 1).min(count);
+        // Remove the servers that free up soonest (least backlog).
+        self.free_at.sort_unstable();
+        self.free_at.drain(..removable);
+        removable
+    }
+
+    /// Admits a job arriving at `arrival` needing `service` time, on the
+    /// earliest-free server.
+    pub fn admit(&mut self, arrival: SimTime, service: SimDuration) -> ServiceSlot {
+        let (idx, &free) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .expect("at least one server");
+        let start = arrival.max(free);
+        let end = start + service;
+        self.free_at[idx] = end;
+        self.busy += service;
+        self.served += 1;
+        self.waited += start - arrival;
+        ServiceSlot { start, end }
+    }
+
+    /// Jobs admitted so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Mean queueing delay over all admitted jobs.
+    pub fn mean_wait(&self) -> SimDuration {
+        if self.served == 0 {
+            SimDuration::ZERO
+        } else {
+            self.waited / self.served
+        }
+    }
+
+    /// Aggregate busy time committed across servers.
+    pub fn total_busy(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Mean utilization over `[0, horizon]` across all servers.
+    pub fn utilization(&self, horizon: SimDuration) -> f64 {
+        if horizon.is_zero() {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / (horizon.as_secs_f64() * self.free_at.len() as f64)
+    }
+
+    /// Earliest time at which some server is free.
+    pub fn next_free(&self) -> SimTime {
+        *self.free_at.iter().min().expect("at least one server")
+    }
+
+    /// Number of servers busy strictly after `now`.
+    pub fn busy_servers(&self, now: SimTime) -> usize {
+        self.free_at.iter().filter(|&&t| t > now).count()
+    }
+}
+
+/// A token bucket limiting a rate with bounded burst.
+///
+/// Tokens accrue continuously at `rate` per second up to `burst`. Each
+/// operation takes a fixed number of tokens; if the bucket is short, the
+/// operation is scheduled at the time the tokens will have accrued
+/// (FIFO-ordered by call sequence).
+///
+/// # Examples
+///
+/// ```
+/// use oprc_simcore::{queueing::TokenBucket, SimTime};
+///
+/// // 100 ops/s, burst of 1.
+/// let mut tb = TokenBucket::new(100.0, 1.0);
+/// assert_eq!(tb.acquire(SimTime::ZERO, 1.0), SimTime::ZERO);
+/// // Second op must wait 10ms for a token.
+/// assert_eq!(tb.acquire(SimTime::ZERO, 1.0), SimTime::from_millis(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    /// Token balance as of `updated`.
+    tokens: f64,
+    updated: SimTime,
+    granted: u64,
+}
+
+impl TokenBucket {
+    /// Creates a bucket with `rate` tokens/second and `burst` capacity,
+    /// starting full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate <= 0` or `burst <= 0`.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        assert!(rate > 0.0, "token rate must be positive");
+        assert!(burst > 0.0, "burst must be positive");
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            updated: SimTime::ZERO,
+            granted: 0,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now > self.updated {
+            let dt = (now - self.updated).as_secs_f64();
+            self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+            self.updated = now;
+        }
+    }
+
+    /// Reserves `cost` tokens for an operation submitted at `now`,
+    /// returning the time the operation may execute.
+    ///
+    /// The bucket is allowed to go negative (the debt models queued
+    /// operations), which yields FIFO grant ordering.
+    pub fn acquire(&mut self, now: SimTime, cost: f64) -> SimTime {
+        self.refill(now);
+        self.tokens -= cost;
+        self.granted += 1;
+        if self.tokens >= 0.0 {
+            now
+        } else {
+            // Time until the balance returns to zero.
+            let wait = -self.tokens / self.rate;
+            now + SimDuration::from_secs_f64(wait)
+        }
+    }
+
+    /// Checks whether `cost` tokens are available at `now` without
+    /// reserving them.
+    pub fn available(&mut self, now: SimTime, cost: f64) -> bool {
+        self.refill(now);
+        self.tokens >= cost
+    }
+
+    /// Operations granted so far.
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// Configured steady-state rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_fifo() {
+        let mut q = MultiServerQueue::new(1);
+        let s1 = q.admit(SimTime::ZERO, SimDuration::from_millis(5));
+        let s2 = q.admit(SimTime::from_millis(1), SimDuration::from_millis(5));
+        assert_eq!(s1.end, SimTime::from_millis(5));
+        assert_eq!(s2.start, SimTime::from_millis(5));
+        assert_eq!(s2.end, SimTime::from_millis(10));
+        assert_eq!(q.mean_wait(), SimDuration::from_millis(2)); // (0+4)/2
+    }
+
+    #[test]
+    fn parallel_servers_no_wait() {
+        let mut q = MultiServerQueue::new(2);
+        let s1 = q.admit(SimTime::ZERO, SimDuration::from_millis(5));
+        let s2 = q.admit(SimTime::ZERO, SimDuration::from_millis(5));
+        assert_eq!(s1.start, SimTime::ZERO);
+        assert_eq!(s2.start, SimTime::ZERO);
+        assert_eq!(q.busy_servers(SimTime::from_millis(1)), 2);
+        assert_eq!(q.busy_servers(SimTime::from_millis(6)), 0);
+    }
+
+    #[test]
+    fn idle_gap_resets_start() {
+        let mut q = MultiServerQueue::new(1);
+        q.admit(SimTime::ZERO, SimDuration::from_millis(1));
+        let s = q.admit(SimTime::from_secs(1), SimDuration::from_millis(1));
+        assert_eq!(s.start, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn grow_and_shrink() {
+        let mut q = MultiServerQueue::new(1);
+        q.admit(SimTime::ZERO, SimDuration::from_secs(10));
+        q.grow(SimTime::from_secs(1), 1);
+        let s = q.admit(SimTime::from_secs(1), SimDuration::from_millis(1));
+        assert_eq!(s.start, SimTime::from_secs(1)); // new server picks it up
+        assert_eq!(q.shrink(5), 1); // keeps at least one
+        assert_eq!(q.servers(), 1);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut q = MultiServerQueue::new(2);
+        q.admit(SimTime::ZERO, SimDuration::from_secs(1));
+        let u = q.utilization(SimDuration::from_secs(1));
+        assert!((u - 0.5).abs() < 1e-9);
+        assert_eq!(q.utilization(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn throughput_limited_by_servers() {
+        // 1 server, 10ms service → 100 jobs take 1s regardless of arrivals.
+        let mut q = MultiServerQueue::new(1);
+        let mut last = SimTime::ZERO;
+        for _ in 0..100 {
+            last = q.admit(SimTime::ZERO, SimDuration::from_millis(10)).end;
+        }
+        assert_eq!(last, SimTime::from_secs(1));
+        assert_eq!(q.served(), 100);
+    }
+
+    #[test]
+    fn token_bucket_burst_then_rate() {
+        let mut tb = TokenBucket::new(10.0, 5.0);
+        // 5 burst tokens available immediately.
+        for _ in 0..5 {
+            assert_eq!(tb.acquire(SimTime::ZERO, 1.0), SimTime::ZERO);
+        }
+        // 6th waits 100ms.
+        assert_eq!(tb.acquire(SimTime::ZERO, 1.0), SimTime::from_millis(100));
+        // 7th waits 200ms (FIFO debt).
+        assert_eq!(tb.acquire(SimTime::ZERO, 1.0), SimTime::from_millis(200));
+        assert_eq!(tb.granted(), 7);
+    }
+
+    #[test]
+    fn token_bucket_refills_while_idle() {
+        let mut tb = TokenBucket::new(10.0, 2.0);
+        tb.acquire(SimTime::ZERO, 2.0);
+        assert!(!tb.available(SimTime::ZERO, 1.0));
+        assert!(tb.available(SimTime::from_millis(150), 1.0));
+        // Refill caps at burst.
+        assert!(!tb.available(SimTime::from_secs(100), 3.0));
+    }
+
+    #[test]
+    fn token_bucket_sustained_rate() {
+        let mut tb = TokenBucket::new(1000.0, 10.0);
+        let mut grant = SimTime::ZERO;
+        for _ in 0..2010 {
+            grant = tb.acquire(SimTime::ZERO, 1.0);
+        }
+        // 2010 ops at 1000/s with burst 10 → last grant at ~2s.
+        let s = grant.as_secs_f64();
+        assert!((s - 2.0).abs() < 0.02, "last grant at {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = MultiServerQueue::new(0);
+    }
+}

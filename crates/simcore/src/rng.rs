@@ -1,0 +1,233 @@
+//! Seeded randomness for reproducible experiments.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random-number generator for simulations.
+///
+/// Wraps [`SmallRng`] with the sampling helpers the workload generators
+/// and service-time models need. Every source of randomness in an
+/// experiment should derive from one root `SimRng` (see
+/// [`SimRng::split`]), so a single seed reproduces the whole run.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// Use one child per component so adding randomness consumption in one
+    /// component does not perturb the streams seen by others.
+    pub fn split(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.inner.next_u64() ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponential variate with the given mean (`mean = 1/λ`).
+    ///
+    /// Used for Poisson inter-arrival times.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u: f64 = 1.0 - self.f64(); // avoid ln(0)
+        -mean * u.ln()
+    }
+
+    /// Standard normal variate (Box–Muller).
+    pub fn std_normal(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.f64();
+        let u2: f64 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal variate with `mean` and `std_dev`.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.std_normal()
+    }
+
+    /// Log-normal variate parameterized by the *underlying* normal's
+    /// `mu`/`sigma`.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Zipf-distributed rank in `[0, n)` with skew `s` (s = 0 is uniform).
+    ///
+    /// Uses rejection-inversion-free cumulative sampling for small `n` —
+    /// workload key popularity, not a hot path.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "zipf over empty domain");
+        let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut target = self.f64() * norm;
+        for k in 1..=n {
+            target -= 1.0 / (k as f64).powf(s);
+            if target <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+
+    /// Chooses a uniformly random element of `items`.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.range(0, items.len() as u64) as usize;
+            Some(&items[i])
+        }
+    }
+
+    /// Fisher–Yates shuffles `items` in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range(0, (i + 1) as u64) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Fills `buf` with pseudo-random bytes (synthetic payloads).
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.inner.fill_bytes(buf);
+    }
+
+    /// A random alphanumeric string of length `len`.
+    pub fn alphanumeric(&mut self, len: usize) -> String {
+        const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+        (0..len)
+            .map(|_| CHARS[self.range(0, CHARS.len() as u64) as usize] as char)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.inner.next_u64(), b.inner.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_parent_use() {
+        let mut root1 = SimRng::seed_from_u64(42);
+        let child1 = root1.split();
+        let mut root2 = SimRng::seed_from_u64(42);
+        let child2 = root2.split();
+        let mut c1 = child1;
+        let mut c2 = child2;
+        assert_eq!(c1.range(0, 1000), c2.range(0, 1000));
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let mut r = SimRng::seed_from_u64(1);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exp(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = SimRng::seed_from_u64(2);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.15, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let mut r = SimRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[r.zipf(10, 1.2)] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[4] > counts[9]);
+    }
+
+    #[test]
+    fn zipf_zero_skew_roughly_uniform() {
+        let mut r = SimRng::seed_from_u64(4);
+        let mut counts = [0u32; 4];
+        for _ in 0..8_000 {
+            counts[r.zipf(4, 0.0)] += 1;
+        }
+        for c in counts {
+            assert!((c as i64 - 2000).abs() < 300, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut r = SimRng::seed_from_u64(6);
+        assert_eq!(r.choose::<u32>(&[]), None);
+        let items = [1, 2, 3];
+        assert!(items.contains(r.choose(&items).unwrap()));
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should permute 50 elements");
+    }
+
+    #[test]
+    fn alphanumeric_shape() {
+        let mut r = SimRng::seed_from_u64(8);
+        let s = r.alphanumeric(32);
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the DES kernel and queueing models.
+
+use oprc_simcore::queueing::{MultiServerQueue, TokenBucket};
+use oprc_simcore::{Scheduler, SimDuration, SimTime, SimWorld, Simulation};
+use proptest::prelude::*;
+
+/// A world that records its dispatch order.
+struct Recorder {
+    seen: Vec<(u64, u32)>,
+}
+
+impl SimWorld for Recorder {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, ev: u32, _s: &mut Scheduler<u32>) {
+        self.seen.push((now.as_nanos(), ev));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events dispatch in non-decreasing time order with FIFO ties,
+    /// for any schedule.
+    #[test]
+    fn dispatch_order_total(times in prop::collection::vec(0u64..1_000, 1..100)) {
+        let mut sim = Simulation::new(Recorder { seen: Vec::new() });
+        for (i, &t) in times.iter().enumerate() {
+            sim.scheduler_mut().at(SimTime::from_nanos(t), i as u32);
+        }
+        sim.run();
+        let seen = &sim.world().seen;
+        prop_assert_eq!(seen.len(), times.len());
+        for w in seen.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                // FIFO tie-break: insertion order == event id order here.
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// The multi-server queue is work-conserving and causal: service
+    /// starts at/after arrival, never overlaps more jobs than servers,
+    /// and total busy time equals the sum of service times.
+    #[test]
+    fn queue_causality_and_conservation(
+        jobs in prop::collection::vec((0u64..10_000, 1u64..500), 1..80),
+        servers in 1usize..6,
+    ) {
+        let mut q = MultiServerQueue::new(servers);
+        let mut jobs = jobs;
+        jobs.sort_by_key(|&(a, _)| a); // DES admits in arrival order
+        let mut slots = Vec::new();
+        let mut total_service = SimDuration::ZERO;
+        for &(arrive, dur) in &jobs {
+            let arrival = SimTime::from_micros(arrive);
+            let service = SimDuration::from_micros(dur);
+            let slot = q.admit(arrival, service);
+            prop_assert!(slot.start >= arrival, "start before arrival");
+            prop_assert_eq!(slot.end, slot.start + service);
+            slots.push(slot);
+            total_service += service;
+        }
+        prop_assert_eq!(q.total_busy(), total_service);
+        prop_assert_eq!(q.served(), jobs.len() as u64);
+        // Concurrency bound: at any slot start, at most `servers` jobs
+        // overlap.
+        for s in &slots {
+            let overlapping = slots
+                .iter()
+                .filter(|o| o.start <= s.start && s.start < o.end)
+                .count();
+            prop_assert!(
+                overlapping <= servers,
+                "{} jobs overlap with {} servers",
+                overlapping,
+                servers
+            );
+        }
+    }
+
+    /// Token-bucket grants are monotone in request order and never beat
+    /// the configured rate over any window.
+    #[test]
+    fn token_bucket_monotone_and_rate_bounded(
+        costs in prop::collection::vec(0.1f64..3.0, 1..100),
+        rate in 10.0f64..1_000.0,
+        burst in 1.0f64..20.0,
+    ) {
+        let mut tb = TokenBucket::new(rate, burst);
+        let mut grants = Vec::new();
+        for &c in &costs {
+            grants.push(tb.acquire(SimTime::ZERO, c));
+        }
+        for w in grants.windows(2) {
+            prop_assert!(w[0] <= w[1], "grants must be FIFO-monotone");
+        }
+        let total_cost: f64 = costs.iter().sum();
+        let last = grants.last().unwrap().as_secs_f64();
+        // All requests at t=0: the last grant cannot be earlier than
+        // (total - burst)/rate.
+        let min = (total_cost - burst) / rate;
+        prop_assert!(last >= min - 1e-9, "last grant {last} beats rate bound {min}");
+    }
+
+    /// run_until never dispatches events beyond the bound, and resuming
+    /// completes exactly the remainder.
+    #[test]
+    fn bounded_runs_partition_the_schedule(
+        times in prop::collection::vec(0u64..1_000, 1..60),
+        bound in 0u64..1_000,
+    ) {
+        let mut sim = Simulation::new(Recorder { seen: Vec::new() });
+        for (i, &t) in times.iter().enumerate() {
+            sim.scheduler_mut().at(SimTime::from_nanos(t), i as u32);
+        }
+        let first = sim.run_until(SimTime::from_nanos(bound));
+        for &(t, _) in &sim.world().seen {
+            prop_assert!(t <= bound);
+        }
+        let rest = sim.run();
+        prop_assert_eq!(first + rest, times.len() as u64);
+    }
+}

@@ -1,0 +1,59 @@
+//! Storage errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by storage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Key not present.
+    NotFound(String),
+    /// The bucket does not exist.
+    NoSuchBucket(String),
+    /// A bucket with this name already exists.
+    BucketExists(String),
+    /// A presigned URL failed verification.
+    InvalidSignature,
+    /// A presigned URL has expired.
+    UrlExpired,
+    /// The DHT has no members to own the key.
+    NoOwner,
+    /// The requested DHT node is not a member.
+    UnknownNode(u64),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound(k) => write!(f, "key not found: '{k}'"),
+            StoreError::NoSuchBucket(b) => write!(f, "no such bucket: '{b}'"),
+            StoreError::BucketExists(b) => write!(f, "bucket already exists: '{b}'"),
+            StoreError::InvalidSignature => write!(f, "presigned url signature mismatch"),
+            StoreError::UrlExpired => write!(f, "presigned url expired"),
+            StoreError::NoOwner => write!(f, "hash ring has no members"),
+            StoreError::UnknownNode(id) => write!(f, "unknown dht node {id}"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            StoreError::NotFound("a".into()).to_string(),
+            "key not found: 'a'"
+        );
+        assert_eq!(StoreError::UrlExpired.to_string(), "presigned url expired");
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<StoreError>();
+    }
+}

@@ -1,0 +1,229 @@
+//! Consistent hashing with virtual nodes.
+
+use std::collections::BTreeMap;
+
+/// A consistent-hash ring mapping string keys to `u64` member ids.
+///
+/// Each member contributes `vnodes` points on the ring; a key is owned by
+/// the first point clockwise from its hash. Replicas are the next points
+/// owned by *distinct* members. Membership changes move only the keys
+/// adjacent to the affected points — the property that keeps DHT
+/// rebalancing cheap.
+///
+/// # Examples
+///
+/// ```
+/// use oprc_store::HashRing;
+///
+/// let mut ring = HashRing::new(64);
+/// ring.add(1);
+/// ring.add(2);
+/// ring.add(3);
+/// let owner = ring.owner("object-42").unwrap();
+/// assert!([1, 2, 3].contains(&owner));
+/// let replicas = ring.replicas("object-42", 2);
+/// assert_eq!(replicas.len(), 2);
+/// assert_ne!(replicas[0], replicas[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    vnodes: u32,
+    /// ring position → member id
+    points: BTreeMap<u64, u64>,
+    members: Vec<u64>,
+}
+
+impl HashRing {
+    /// Creates an empty ring with `vnodes` points per member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vnodes` is zero.
+    pub fn new(vnodes: u32) -> Self {
+        assert!(vnodes > 0, "need at least one virtual node per member");
+        HashRing {
+            vnodes,
+            points: BTreeMap::new(),
+            members: Vec::new(),
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Member ids in insertion-independent (sorted) order.
+    pub fn members(&self) -> &[u64] {
+        &self.members
+    }
+
+    /// Adds a member; no-op if already present.
+    pub fn add(&mut self, member: u64) {
+        if self.members.contains(&member) {
+            return;
+        }
+        for v in 0..self.vnodes {
+            let pos = point_hash(member, v);
+            self.points.insert(pos, member);
+        }
+        self.members.push(member);
+        self.members.sort_unstable();
+    }
+
+    /// Removes a member; no-op if absent.
+    pub fn remove(&mut self, member: u64) {
+        if !self.members.contains(&member) {
+            return;
+        }
+        for v in 0..self.vnodes {
+            self.points.remove(&point_hash(member, v));
+        }
+        self.members.retain(|&m| m != member);
+    }
+
+    /// The member owning `key`, or `None` on an empty ring.
+    pub fn owner(&self, key: &str) -> Option<u64> {
+        self.replicas(key, 1).first().copied()
+    }
+
+    /// The first `n` distinct members clockwise from `key`'s position.
+    ///
+    /// Returns fewer than `n` if the ring has fewer members.
+    pub fn replicas(&self, key: &str, n: usize) -> Vec<u64> {
+        if self.points.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let h = key_hash(key);
+        let mut out = Vec::with_capacity(n);
+        for (_, &member) in self.points.range(h..).chain(self.points.range(..h)) {
+            if !out.contains(&member) {
+                out.push(member);
+                if out.len() == n || out.len() == self.members.len() {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// FNV-1a, then SplitMix64 finalize, for key positions.
+fn key_hash(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    finalize(h)
+}
+
+fn point_hash(member: u64, vnode: u32) -> u64 {
+    finalize(member.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((vnode as u64) << 32 | vnode as u64))
+}
+
+fn finalize(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: u64) -> HashRing {
+        let mut r = HashRing::new(64);
+        for m in 0..n {
+            r.add(m);
+        }
+        r
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let r = HashRing::new(8);
+        assert_eq!(r.owner("k"), None);
+        assert!(r.replicas("k", 3).is_empty());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ownership_is_stable() {
+        let r = ring(5);
+        for i in 0..100 {
+            let k = format!("key-{i}");
+            assert_eq!(r.owner(&k), r.owner(&k));
+        }
+    }
+
+    #[test]
+    fn replicas_distinct_and_bounded() {
+        let r = ring(3);
+        let reps = r.replicas("abc", 5);
+        assert_eq!(reps.len(), 3); // only 3 members exist
+        let mut dedup = reps.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), reps.len());
+    }
+
+    #[test]
+    fn distribution_roughly_balanced() {
+        let r = ring(4);
+        let mut counts = [0u32; 4];
+        for i in 0..4000 {
+            counts[r.owner(&format!("key-{i}")).unwrap() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (500..=1800).contains(&c),
+                "unbalanced ownership: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn member_removal_moves_only_its_keys() {
+        let r_before = ring(5);
+        let mut r_after = ring(5);
+        r_after.remove(2);
+        let mut moved = 0;
+        let total = 2000;
+        for i in 0..total {
+            let k = format!("key-{i}");
+            let before = r_before.owner(&k).unwrap();
+            let after = r_after.owner(&k).unwrap();
+            if before != after {
+                assert_eq!(before, 2, "only keys owned by the removed member move");
+                moved += 1;
+            }
+        }
+        // Roughly 1/5 of keys moved.
+        assert!((total / 10..total / 2).contains(&moved), "moved={moved}");
+    }
+
+    #[test]
+    fn add_remove_idempotent() {
+        let mut r = ring(2);
+        r.add(1); // duplicate
+        assert_eq!(r.len(), 2);
+        r.remove(99); // absent
+        assert_eq!(r.len(), 2);
+        r.remove(0);
+        r.remove(1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn single_member_owns_everything() {
+        let r = ring(1);
+        for i in 0..50 {
+            assert_eq!(r.owner(&format!("k{i}")), Some(0));
+        }
+    }
+}

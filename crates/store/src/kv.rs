@@ -1,0 +1,123 @@
+//! The key-value storage interface.
+
+use std::collections::BTreeMap;
+
+use oprc_value::Value;
+
+/// Key-value storage of structured object state.
+///
+/// Keys are UTF-8 strings (the platform uses `class/object-id` layouts);
+/// values are [`Value`] documents. Implementations must be deterministic:
+/// `scan_prefix` returns keys in lexicographic order.
+pub trait KvStore {
+    /// Returns the value for `key`, if present.
+    fn get(&self, key: &str) -> Option<Value>;
+
+    /// Stores `value` under `key`, returning the previous value.
+    fn put(&mut self, key: &str, value: Value) -> Option<Value>;
+
+    /// Removes `key`, returning the stored value.
+    fn delete(&mut self, key: &str) -> Option<Value>;
+
+    /// True if `key` is present.
+    fn contains(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// All `(key, value)` pairs whose key starts with `prefix`, in key
+    /// order.
+    fn scan_prefix(&self, prefix: &str) -> Vec<(String, Value)>;
+
+    /// Number of stored records.
+    fn len(&self) -> usize;
+
+    /// True if the store holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A plain in-memory [`KvStore`] on a [`BTreeMap`].
+#[derive(Debug, Clone, Default)]
+pub struct MemStore {
+    data: BTreeMap<String, Value>,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+
+    /// Total approximate bytes stored (keys + values).
+    pub fn approx_bytes(&self) -> usize {
+        self.data
+            .iter()
+            .map(|(k, v)| k.len() + v.approx_size())
+            .sum()
+    }
+}
+
+impl KvStore for MemStore {
+    fn get(&self, key: &str) -> Option<Value> {
+        self.data.get(key).cloned()
+    }
+
+    fn put(&mut self, key: &str, value: Value) -> Option<Value> {
+        self.data.insert(key.to_string(), value)
+    }
+
+    fn delete(&mut self, key: &str) -> Option<Value> {
+        self.data.remove(key)
+    }
+
+    fn scan_prefix(&self, prefix: &str) -> Vec<(String, Value)> {
+        self.data
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_value::vjson;
+
+    #[test]
+    fn put_get_delete() {
+        let mut s = MemStore::new();
+        assert_eq!(s.put("a", vjson!(1)), None);
+        assert_eq!(s.put("a", vjson!(2)), Some(vjson!(1)));
+        assert_eq!(s.get("a"), Some(vjson!(2)));
+        assert!(s.contains("a"));
+        assert_eq!(s.delete("a"), Some(vjson!(2)));
+        assert_eq!(s.get("a"), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn scan_prefix_ordered() {
+        let mut s = MemStore::new();
+        for k in ["img/2", "img/1", "img/10", "vid/1"] {
+            s.put(k, vjson!(true));
+        }
+        let keys: Vec<String> = s.scan_prefix("img/").into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["img/1", "img/10", "img/2"]);
+        assert!(s.scan_prefix("zzz").is_empty());
+        assert_eq!(s.scan_prefix("").len(), 4);
+    }
+
+    #[test]
+    fn approx_bytes_grows() {
+        let mut s = MemStore::new();
+        let empty = s.approx_bytes();
+        s.put("key", vjson!({"payload": "0123456789"}));
+        assert!(s.approx_bytes() > empty + 10);
+    }
+}

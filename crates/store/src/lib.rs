@@ -1,0 +1,57 @@
+//! Storage substrates for the Oparaca reproduction.
+//!
+//! The paper's evaluation (§V) hinges on storage behaviour: the Knative
+//! baseline writes object state straight to a database and **plateaus
+//! when the database's write throughput saturates**, while Oparaca routes
+//! writes through a **distributed in-memory hash table** that
+//! consolidates them into **batch write operations**. §III-D adds
+//! **unstructured data** via S3-protocol object storage with **presigned
+//! URLs**. This crate implements all of those substrates:
+//!
+//! - [`KvStore`] — the storage interface (get/put/delete/scan) used by
+//!   the object runtime, with [`MemStore`] as the trivial implementation;
+//! - [`PersistentDb`] — a durable KV store whose *write admission* is
+//!   governed by a configurable write-ops budget (token bucket), the
+//!   bottleneck resource in Fig. 3;
+//! - [`HashRing`] — consistent hashing with virtual nodes;
+//! - [`Dht`] — a partitioned, replicated in-memory hash table
+//!   (Oparaca's Infinispan stand-in) with deterministic rebalancing;
+//! - [`WriteBehindBuffer`] — per-key-deduplicating write-behind buffer
+//!   that turns N object updates into ⌈N/B⌉ batched database writes;
+//! - [`ObjectStore`] — S3-like bucket/key storage over [`bytes::Bytes`]
+//!   with [`presign`]ed URLs (HMAC-SHA-256, implemented in [`sha`]) and
+//!   [`multipart`] uploads for large payloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use oprc_store::{KvStore, MemStore};
+//! use oprc_value::vjson;
+//!
+//! let mut store = MemStore::new();
+//! store.put("obj/1", vjson!({"width": 100}));
+//! assert_eq!(store.get("obj/1").unwrap()["width"].as_i64(), Some(100));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dht;
+mod error;
+mod hashring;
+mod kv;
+mod objectstore;
+mod persistent;
+mod writebehind;
+
+pub mod multipart;
+pub mod presign;
+pub mod sha;
+
+pub use dht::{Dht, DhtConfig, DhtNodeId};
+pub use error::StoreError;
+pub use hashring::HashRing;
+pub use kv::{KvStore, MemStore};
+pub use objectstore::{ObjectMeta, ObjectStore, StoredObject};
+pub use persistent::{DbStats, PersistentDb, PersistentDbConfig};
+pub use writebehind::{FlushBatch, WriteBehindBuffer, WriteBehindConfig};

@@ -1,0 +1,263 @@
+//! S3-style multipart uploads.
+//!
+//! The paper's motivating workloads move multimedia files (§I, §III-D);
+//! real S3 clients upload anything large in parts. This module models
+//! the three-call protocol: *initiate* → *upload part(s)* → *complete*
+//! (or *abort*), with part-order independence and ETag verification on
+//! complete, matching the AWS semantics closely enough for clients
+//! written against the real protocol to port.
+
+use std::collections::BTreeMap;
+
+use bytes::{Bytes, BytesMut};
+
+use crate::sha;
+use crate::{ObjectMeta, ObjectStore, StoreError};
+
+/// Identifier of an in-progress multipart upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UploadId(u64);
+
+impl std::fmt::Display for UploadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "upload-{}", self.0)
+    }
+}
+
+#[derive(Debug)]
+struct PendingUpload {
+    bucket: String,
+    key: String,
+    content_type: String,
+    /// part number → (etag, data)
+    parts: BTreeMap<u32, (String, Bytes)>,
+}
+
+/// Multipart-upload state layered over an [`ObjectStore`].
+///
+/// # Examples
+///
+/// ```
+/// use oprc_store::{multipart::MultipartUploads, ObjectStore};
+/// use bytes::Bytes;
+///
+/// let mut store = ObjectStore::new();
+/// store.create_bucket("vids")?;
+/// let mut uploads = MultipartUploads::new();
+/// let id = uploads.initiate("vids", "movie.bin", "video/raw")?;
+/// let e2 = uploads.upload_part(id, 2, Bytes::from_static(b"world"))?;
+/// let e1 = uploads.upload_part(id, 1, Bytes::from_static(b"hello "))?;
+/// let meta = uploads.complete(id, &[(1, e1), (2, e2)], &mut store)?;
+/// assert_eq!(meta.size, 11);
+/// assert_eq!(&store.get_object("vids", "movie.bin")?.data[..], b"hello world");
+/// # Ok::<(), oprc_store::StoreError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct MultipartUploads {
+    next: u64,
+    pending: BTreeMap<UploadId, PendingUpload>,
+}
+
+impl MultipartUploads {
+    /// Creates an empty upload tracker.
+    pub fn new() -> Self {
+        MultipartUploads::default()
+    }
+
+    /// Starts a multipart upload, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible but typed for protocol parity; bucket
+    /// existence is checked at [`MultipartUploads::complete`], matching
+    /// S3's late binding.
+    pub fn initiate(
+        &mut self,
+        bucket: &str,
+        key: &str,
+        content_type: &str,
+    ) -> Result<UploadId, StoreError> {
+        let id = UploadId(self.next);
+        self.next += 1;
+        self.pending.insert(
+            id,
+            PendingUpload {
+                bucket: bucket.to_string(),
+                key: key.to_string(),
+                content_type: content_type.to_string(),
+                parts: BTreeMap::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Uploads (or replaces) one part, returning its ETag.
+    ///
+    /// Parts may arrive in any order and numbers may be sparse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NotFound`] for unknown upload ids.
+    pub fn upload_part(
+        &mut self,
+        id: UploadId,
+        part_number: u32,
+        data: Bytes,
+    ) -> Result<String, StoreError> {
+        let upload = self
+            .pending
+            .get_mut(&id)
+            .ok_or_else(|| StoreError::NotFound(id.to_string()))?;
+        let etag = sha::to_hex(&sha::sha256(&data));
+        upload.parts.insert(part_number, (etag.clone(), data));
+        Ok(etag)
+    }
+
+    /// Completes the upload: verifies the client's part manifest
+    /// against what was uploaded, concatenates in part-number order, and
+    /// stores the object.
+    ///
+    /// # Errors
+    ///
+    /// - [`StoreError::NotFound`] for unknown upload ids or manifest
+    ///   entries never uploaded;
+    /// - [`StoreError::InvalidSignature`] when a manifest ETag does not
+    ///   match the uploaded part;
+    /// - [`StoreError::NoSuchBucket`] when the target bucket vanished.
+    pub fn complete(
+        &mut self,
+        id: UploadId,
+        manifest: &[(u32, String)],
+        store: &mut ObjectStore,
+    ) -> Result<ObjectMeta, StoreError> {
+        let upload = self
+            .pending
+            .get(&id)
+            .ok_or_else(|| StoreError::NotFound(id.to_string()))?;
+        let mut assembled = BytesMut::new();
+        for (number, expected_etag) in manifest {
+            let (etag, data) = upload
+                .parts
+                .get(number)
+                .ok_or_else(|| StoreError::NotFound(format!("{id} part {number}")))?;
+            if etag != expected_etag {
+                return Err(StoreError::InvalidSignature);
+            }
+            assembled.extend_from_slice(data);
+        }
+        let upload = self.pending.remove(&id).expect("checked above");
+        store.put_object(
+            &upload.bucket,
+            &upload.key,
+            assembled.freeze(),
+            &upload.content_type,
+        )
+    }
+
+    /// Abandons an upload, discarding its parts.
+    ///
+    /// Returns `true` if the upload existed.
+    pub fn abort(&mut self, id: UploadId) -> bool {
+        self.pending.remove(&id).is_some()
+    }
+
+    /// In-progress upload count.
+    pub fn in_progress(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ObjectStore, MultipartUploads) {
+        let mut s = ObjectStore::new();
+        s.create_bucket("b").unwrap();
+        (s, MultipartUploads::new())
+    }
+
+    #[test]
+    fn parts_assemble_in_number_order() {
+        let (mut store, mut up) = setup();
+        let id = up.initiate("b", "k", "application/octet-stream").unwrap();
+        let e3 = up.upload_part(id, 3, Bytes::from_static(b"!")).unwrap();
+        let e1 = up.upload_part(id, 1, Bytes::from_static(b"ab")).unwrap();
+        let e2 = up.upload_part(id, 2, Bytes::from_static(b"cd")).unwrap();
+        let meta = up
+            .complete(id, &[(1, e1), (2, e2), (3, e3)], &mut store)
+            .unwrap();
+        assert_eq!(meta.size, 5);
+        assert_eq!(&store.get_object("b", "k").unwrap().data[..], b"abcd!");
+        assert_eq!(up.in_progress(), 0);
+    }
+
+    #[test]
+    fn part_replacement_takes_latest() {
+        let (mut store, mut up) = setup();
+        let id = up.initiate("b", "k", "t").unwrap();
+        up.upload_part(id, 1, Bytes::from_static(b"old")).unwrap();
+        let e = up.upload_part(id, 1, Bytes::from_static(b"new")).unwrap();
+        up.complete(id, &[(1, e)], &mut store).unwrap();
+        assert_eq!(&store.get_object("b", "k").unwrap().data[..], b"new");
+    }
+
+    #[test]
+    fn etag_mismatch_rejected() {
+        let (mut store, mut up) = setup();
+        let id = up.initiate("b", "k", "t").unwrap();
+        up.upload_part(id, 1, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(
+            up.complete(id, &[(1, "bogus".to_string())], &mut store),
+            Err(StoreError::InvalidSignature)
+        );
+        // The upload survives a failed complete.
+        assert_eq!(up.in_progress(), 1);
+    }
+
+    #[test]
+    fn missing_part_and_unknown_upload() {
+        let (mut store, mut up) = setup();
+        let id = up.initiate("b", "k", "t").unwrap();
+        assert!(matches!(
+            up.complete(id, &[(1, "e".into())], &mut store),
+            Err(StoreError::NotFound(_))
+        ));
+        assert!(matches!(
+            up.upload_part(UploadId(99), 1, Bytes::new()),
+            Err(StoreError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn abort_discards() {
+        let (_, mut up) = setup();
+        let id = up.initiate("b", "k", "t").unwrap();
+        up.upload_part(id, 1, Bytes::from_static(b"x")).unwrap();
+        assert!(up.abort(id));
+        assert!(!up.abort(id));
+        assert_eq!(up.in_progress(), 0);
+    }
+
+    #[test]
+    fn manifest_may_select_part_subset() {
+        let (mut store, mut up) = setup();
+        let id = up.initiate("b", "k", "t").unwrap();
+        let e1 = up.upload_part(id, 1, Bytes::from_static(b"keep")).unwrap();
+        up.upload_part(id, 2, Bytes::from_static(b"drop")).unwrap();
+        up.complete(id, &[(1, e1)], &mut store).unwrap();
+        assert_eq!(&store.get_object("b", "k").unwrap().data[..], b"keep");
+    }
+
+    #[test]
+    fn missing_bucket_fails_at_complete() {
+        let mut store = ObjectStore::new(); // no bucket
+        let mut up = MultipartUploads::new();
+        let id = up.initiate("ghost", "k", "t").unwrap();
+        let e = up.upload_part(id, 1, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(
+            up.complete(id, &[(1, e)], &mut store),
+            Err(StoreError::NoSuchBucket("ghost".to_string()))
+        );
+    }
+}

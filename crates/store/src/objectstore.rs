@@ -1,0 +1,278 @@
+//! S3-like object storage for unstructured data.
+//!
+//! Oparaca stores unstructured object state (multimedia files, …) behind
+//! the S3 protocol so any S3-compatible backend works (paper §III-D).
+//! This model provides buckets, keyed blobs with metadata and ETags, and
+//! prefix listing — enough surface for the platform's unstructured-state
+//! support and the presigned-URL flow in [`crate::presign`].
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use crate::sha;
+use crate::StoreError;
+
+/// Metadata stored alongside each object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMeta {
+    /// MIME type (default `application/octet-stream`).
+    pub content_type: String,
+    /// Hex SHA-256 of the content (the ETag).
+    pub etag: String,
+    /// Content length in bytes.
+    pub size: usize,
+}
+
+/// A stored object: payload plus metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredObject {
+    /// The payload. `Bytes` keeps reads cheap (refcounted slices).
+    pub data: Bytes,
+    /// Object metadata.
+    pub meta: ObjectMeta,
+}
+
+/// An in-memory S3-like object store.
+///
+/// # Examples
+///
+/// ```
+/// use oprc_store::ObjectStore;
+/// use bytes::Bytes;
+///
+/// let mut s3 = ObjectStore::new();
+/// s3.create_bucket("images")?;
+/// s3.put_object("images", "cat.png", Bytes::from_static(b"png-bytes"), "image/png")?;
+/// let obj = s3.get_object("images", "cat.png")?;
+/// assert_eq!(&obj.data[..], b"png-bytes");
+/// assert_eq!(obj.meta.content_type, "image/png");
+/// # Ok::<(), oprc_store::StoreError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    buckets: BTreeMap<String, BTreeMap<String, StoredObject>>,
+    puts: u64,
+    gets: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+impl ObjectStore {
+    /// Creates a store with no buckets.
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    /// Creates a bucket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::BucketExists`] if the name is taken.
+    pub fn create_bucket(&mut self, name: &str) -> Result<(), StoreError> {
+        if self.buckets.contains_key(name) {
+            return Err(StoreError::BucketExists(name.to_string()));
+        }
+        self.buckets.insert(name.to_string(), BTreeMap::new());
+        Ok(())
+    }
+
+    /// True if the bucket exists.
+    pub fn bucket_exists(&self, name: &str) -> bool {
+        self.buckets.contains_key(name)
+    }
+
+    /// Bucket names in order.
+    pub fn buckets(&self) -> Vec<&str> {
+        self.buckets.keys().map(String::as_str).collect()
+    }
+
+    /// Stores an object, returning its metadata (with computed ETag).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NoSuchBucket`] for unknown buckets.
+    pub fn put_object(
+        &mut self,
+        bucket: &str,
+        key: &str,
+        data: Bytes,
+        content_type: &str,
+    ) -> Result<ObjectMeta, StoreError> {
+        let b = self
+            .buckets
+            .get_mut(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
+        let meta = ObjectMeta {
+            content_type: content_type.to_string(),
+            etag: sha::to_hex(&sha::sha256(&data)),
+            size: data.len(),
+        };
+        self.puts += 1;
+        self.bytes_in += data.len() as u64;
+        b.insert(
+            key.to_string(),
+            StoredObject {
+                data,
+                meta: meta.clone(),
+            },
+        );
+        Ok(meta)
+    }
+
+    /// Fetches an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NoSuchBucket`] or [`StoreError::NotFound`].
+    pub fn get_object(&mut self, bucket: &str, key: &str) -> Result<StoredObject, StoreError> {
+        let b = self
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
+        let obj = b
+            .get(key)
+            .cloned()
+            .ok_or_else(|| StoreError::NotFound(format!("{bucket}/{key}")))?;
+        self.gets += 1;
+        self.bytes_out += obj.data.len() as u64;
+        Ok(obj)
+    }
+
+    /// Reads metadata without transferring the payload (S3 `HEAD`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NoSuchBucket`] or [`StoreError::NotFound`].
+    pub fn head_object(&self, bucket: &str, key: &str) -> Result<ObjectMeta, StoreError> {
+        let b = self
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
+        b.get(key)
+            .map(|o| o.meta.clone())
+            .ok_or_else(|| StoreError::NotFound(format!("{bucket}/{key}")))
+    }
+
+    /// Deletes an object; idempotent (deleting a missing key is `Ok`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NoSuchBucket`] for unknown buckets.
+    pub fn delete_object(&mut self, bucket: &str, key: &str) -> Result<bool, StoreError> {
+        let b = self
+            .buckets
+            .get_mut(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
+        Ok(b.remove(key).is_some())
+    }
+
+    /// Keys in `bucket` starting with `prefix`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NoSuchBucket`] for unknown buckets.
+    pub fn list_objects(&self, bucket: &str, prefix: &str) -> Result<Vec<String>, StoreError> {
+        let b = self
+            .buckets
+            .get(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
+        Ok(b.range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    /// `(puts, gets, bytes_in, bytes_out)` counters.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (self.puts, self.gets, self.bytes_in, self.bytes_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_bucket() -> ObjectStore {
+        let mut s = ObjectStore::new();
+        s.create_bucket("b").unwrap();
+        s
+    }
+
+    #[test]
+    fn put_get_head_delete() {
+        let mut s = store_with_bucket();
+        let meta = s
+            .put_object("b", "k", Bytes::from_static(b"hello"), "text/plain")
+            .unwrap();
+        assert_eq!(meta.size, 5);
+        assert_eq!(meta.etag.len(), 64);
+        let obj = s.get_object("b", "k").unwrap();
+        assert_eq!(&obj.data[..], b"hello");
+        assert_eq!(s.head_object("b", "k").unwrap(), meta);
+        assert!(s.delete_object("b", "k").unwrap());
+        assert!(!s.delete_object("b", "k").unwrap()); // idempotent
+        assert_eq!(
+            s.get_object("b", "k"),
+            Err(StoreError::NotFound("b/k".to_string()))
+        );
+    }
+
+    #[test]
+    fn etag_tracks_content() {
+        let mut s = store_with_bucket();
+        let m1 = s
+            .put_object("b", "k", Bytes::from_static(b"v1"), "text/plain")
+            .unwrap();
+        let m2 = s
+            .put_object("b", "k", Bytes::from_static(b"v2"), "text/plain")
+            .unwrap();
+        assert_ne!(m1.etag, m2.etag);
+        let m3 = s
+            .put_object("b", "k2", Bytes::from_static(b"v2"), "text/plain")
+            .unwrap();
+        assert_eq!(m2.etag, m3.etag);
+    }
+
+    #[test]
+    fn bucket_lifecycle() {
+        let mut s = ObjectStore::new();
+        s.create_bucket("x").unwrap();
+        assert_eq!(
+            s.create_bucket("x"),
+            Err(StoreError::BucketExists("x".to_string()))
+        );
+        assert!(s.bucket_exists("x"));
+        assert!(!s.bucket_exists("y"));
+        assert_eq!(
+            s.get_object("y", "k"),
+            Err(StoreError::NoSuchBucket("y".to_string()))
+        );
+        assert_eq!(s.buckets(), vec!["x"]);
+    }
+
+    #[test]
+    fn list_with_prefix() {
+        let mut s = store_with_bucket();
+        for k in ["img/a", "img/b", "vid/a"] {
+            s.put_object("b", k, Bytes::new(), "application/octet-stream")
+                .unwrap();
+        }
+        assert_eq!(s.list_objects("b", "img/").unwrap(), vec!["img/a", "img/b"]);
+        assert_eq!(s.list_objects("b", "").unwrap().len(), 3);
+        assert!(s.list_objects("b", "zzz").unwrap().is_empty());
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let mut s = store_with_bucket();
+        s.put_object("b", "k", Bytes::from_static(b"12345678"), "x")
+            .unwrap();
+        s.get_object("b", "k").unwrap();
+        s.get_object("b", "k").unwrap();
+        let (puts, gets, bin, bout) = s.stats();
+        assert_eq!((puts, gets), (1, 2));
+        assert_eq!(bin, 8);
+        assert_eq!(bout, 16);
+    }
+}

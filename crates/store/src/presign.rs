@@ -1,0 +1,257 @@
+//! Presigned URLs for secret-free object access.
+//!
+//! "Oparaca employs the *presigned URL technique* to directly allow the
+//! developer's code access to the file in object storage without sharing
+//! the secret key and avoiding leaking sensitive information" (§III-D).
+//!
+//! The platform holds the secret; user functions receive a URL whose
+//! query string carries an expiry and an HMAC-SHA-256 signature over
+//! `(method, bucket, key, expires)`. The store verifies the signature and
+//! the expiry before serving the request — possession of the URL grants
+//! exactly one `(method, object)` capability until it expires.
+
+use oprc_simcore::SimTime;
+
+use crate::sha;
+use crate::StoreError;
+
+/// HTTP-style access method a URL grants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Read the object.
+    Get,
+    /// Write (create/replace) the object.
+    Put,
+}
+
+impl Method {
+    fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Put => "PUT",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "PUT" => Some(Method::Put),
+            _ => None,
+        }
+    }
+}
+
+/// A presigned URL: printable form plus parsed fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PresignedUrl {
+    /// The full URL string handed to user code.
+    pub url: String,
+    /// Granted method.
+    pub method: Method,
+    /// Target bucket.
+    pub bucket: String,
+    /// Target key.
+    pub key: String,
+    /// Expiry instant (simulation clock).
+    pub expires: SimTime,
+}
+
+fn string_to_sign(method: Method, bucket: &str, key: &str, expires: SimTime) -> String {
+    format!(
+        "{}\n{}\n{}\n{}",
+        method.as_str(),
+        bucket,
+        key,
+        expires.as_nanos()
+    )
+}
+
+/// Signs `(method, bucket, key)` until `expires` with `secret`.
+///
+/// # Examples
+///
+/// ```
+/// use oprc_store::presign::{presign, verify, Method};
+/// use oprc_simcore::SimTime;
+///
+/// let url = presign(b"secret", Method::Get, "images", "cat.png", SimTime::from_secs(60));
+/// assert!(verify(b"secret", &url.url, SimTime::from_secs(30)).is_ok());
+/// assert!(verify(b"secret", &url.url, SimTime::from_secs(61)).is_err());
+/// assert!(verify(b"other", &url.url, SimTime::from_secs(30)).is_err());
+/// ```
+pub fn presign(
+    secret: &[u8],
+    method: Method,
+    bucket: &str,
+    key: &str,
+    expires: SimTime,
+) -> PresignedUrl {
+    let signature = sha::to_hex(&sha::hmac_sha256(
+        secret,
+        string_to_sign(method, bucket, key, expires).as_bytes(),
+    ));
+    let url = format!(
+        "s3://{bucket}/{key}?method={}&expires={}&signature={signature}",
+        method.as_str(),
+        expires.as_nanos()
+    );
+    PresignedUrl {
+        url,
+        method,
+        bucket: bucket.to_string(),
+        key: key.to_string(),
+        expires,
+    }
+}
+
+/// Parses and verifies a presigned URL at time `now`.
+///
+/// Returns the granted capability on success.
+///
+/// # Errors
+///
+/// - [`StoreError::InvalidSignature`] for malformed URLs, unknown
+///   methods, or signature mismatches (a tampered bucket/key/expiry also
+///   lands here, since the signature covers all of them);
+/// - [`StoreError::UrlExpired`] when `now` is past the expiry.
+pub fn verify(secret: &[u8], url: &str, now: SimTime) -> Result<PresignedUrl, StoreError> {
+    let rest = url
+        .strip_prefix("s3://")
+        .ok_or(StoreError::InvalidSignature)?;
+    let (path, query) = rest.split_once('?').ok_or(StoreError::InvalidSignature)?;
+    let (bucket, key) = path.split_once('/').ok_or(StoreError::InvalidSignature)?;
+
+    let mut method = None;
+    let mut expires = None;
+    let mut signature = None;
+    for pair in query.split('&') {
+        match pair.split_once('=') {
+            Some(("method", v)) => method = Method::parse(v),
+            Some(("expires", v)) => expires = v.parse::<u64>().ok().map(SimTime::from_nanos),
+            Some(("signature", v)) => signature = Some(v.to_string()),
+            _ => return Err(StoreError::InvalidSignature),
+        }
+    }
+    let (method, expires, signature) = match (method, expires, signature) {
+        (Some(m), Some(e), Some(s)) => (m, e, s),
+        _ => return Err(StoreError::InvalidSignature),
+    };
+
+    let expected = sha::hmac_sha256(
+        secret,
+        string_to_sign(method, bucket, key, expires).as_bytes(),
+    );
+    let provided = sha::from_hex(&signature).ok_or(StoreError::InvalidSignature)?;
+    if !sha::digests_equal(&expected, &provided) {
+        return Err(StoreError::InvalidSignature);
+    }
+    if now > expires {
+        return Err(StoreError::UrlExpired);
+    }
+    Ok(PresignedUrl {
+        url: url.to_string(),
+        method,
+        bucket: bucket.to_string(),
+        key: key.to_string(),
+        expires,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECRET: &[u8] = b"platform-secret";
+
+    fn url() -> PresignedUrl {
+        presign(SECRET, Method::Put, "videos", "movie.mp4", SimTime::from_secs(300))
+    }
+
+    #[test]
+    fn round_trip_grants_capability() {
+        let u = url();
+        let cap = verify(SECRET, &u.url, SimTime::from_secs(299)).unwrap();
+        assert_eq!(cap.method, Method::Put);
+        assert_eq!(cap.bucket, "videos");
+        assert_eq!(cap.key, "movie.mp4");
+        assert_eq!(cap.expires, SimTime::from_secs(300));
+    }
+
+    #[test]
+    fn expiry_enforced_inclusive() {
+        let u = url();
+        assert!(verify(SECRET, &u.url, SimTime::from_secs(300)).is_ok());
+        assert_eq!(
+            verify(SECRET, &u.url, SimTime::from_nanos(300_000_000_001)),
+            Err(StoreError::UrlExpired)
+        );
+    }
+
+    #[test]
+    fn wrong_secret_rejected() {
+        let u = url();
+        assert_eq!(
+            verify(b"wrong", &u.url, SimTime::ZERO),
+            Err(StoreError::InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn tampering_rejected() {
+        let u = url();
+        let tampered_key = u.url.replace("movie.mp4", "other.mp4");
+        assert_eq!(
+            verify(SECRET, &tampered_key, SimTime::ZERO),
+            Err(StoreError::InvalidSignature)
+        );
+        let tampered_method = u.url.replace("method=PUT", "method=GET");
+        assert_eq!(
+            verify(SECRET, &tampered_method, SimTime::ZERO),
+            Err(StoreError::InvalidSignature)
+        );
+        // Extending the expiry invalidates the signature too.
+        let tampered_expiry = u
+            .url
+            .replace("expires=300000000000", "expires=900000000000");
+        assert_eq!(
+            verify(SECRET, &tampered_expiry, SimTime::ZERO),
+            Err(StoreError::InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn malformed_urls_rejected() {
+        for bad in [
+            "http://not-s3/x?y=z",
+            "s3://nopath",
+            "s3://b/k",
+            "s3://b/k?method=GET",
+            "s3://b/k?method=DELETE&expires=1&signature=00",
+            "s3://b/k?method=GET&expires=NaN&signature=00",
+            "s3://b/k?method=GET&expires=1&signature=xyz",
+            "s3://b/k?method=GET&expires=1&signature=0f0",
+            "s3://b/k?method=GET&expires=1&signature=00&extra=1",
+        ] {
+            assert_eq!(
+                verify(SECRET, bad, SimTime::ZERO),
+                Err(StoreError::InvalidSignature),
+                "should reject {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn url_contains_no_secret_material() {
+        let u = url();
+        assert!(!u.url.contains("platform-secret"));
+        // The signature is a MAC, not the secret; revealing it is safe.
+        assert!(u.url.contains("signature="));
+    }
+
+    #[test]
+    fn keys_with_slashes_work() {
+        let u = presign(SECRET, Method::Get, "b", "a/b/c.bin", SimTime::from_secs(1));
+        let cap = verify(SECRET, &u.url, SimTime::ZERO).unwrap();
+        assert_eq!(cap.key, "a/b/c.bin");
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the storage substrates.
+
+use std::collections::BTreeMap;
+
+use oprc_simcore::{SimDuration, SimTime};
+use oprc_store::{
+    Dht, DhtConfig, DhtNodeId, HashRing, PersistentDb, PersistentDbConfig, WriteBehindBuffer,
+    WriteBehindConfig,
+};
+use oprc_value::{vjson, Value};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Adding a member to a consistent-hash ring moves only keys that
+    /// now belong to the new member, and roughly its fair share.
+    #[test]
+    fn ring_join_moves_bounded_fair_share(members in 2u64..10, keys in 200usize..400) {
+        let mut before = HashRing::new(64);
+        for m in 0..members {
+            before.add(m);
+        }
+        let mut after = before.clone();
+        let newcomer = members;
+        after.add(newcomer);
+        let mut moved = 0;
+        for i in 0..keys {
+            let k = format!("key-{i}");
+            let a = before.owner(&k).unwrap();
+            let b = after.owner(&k).unwrap();
+            if a != b {
+                prop_assert_eq!(b, newcomer, "keys may only move to the newcomer");
+                moved += 1;
+            }
+        }
+        // Fair share is keys/(members+1); allow generous slack for vnode
+        // variance.
+        let fair = keys as f64 / (members + 1) as f64;
+        prop_assert!(
+            (moved as f64) < fair * 2.5 + 12.0,
+            "moved {moved}, fair share {fair:.0}"
+        );
+    }
+
+    /// After arbitrary join/leave/put sequences, every key is readable
+    /// and lives on exactly its owner set.
+    #[test]
+    fn dht_ownership_invariant_under_churn(
+        ops in prop::collection::vec((0u8..4, any::<u16>()), 1..60),
+    ) {
+        let mut dht = Dht::new(DhtConfig { replication: 2, vnodes: 16 });
+        dht.join(DhtNodeId(0));
+        let mut next_member = 1u64;
+        let mut live = vec![0u64];
+        let mut expected: BTreeMap<String, i64> = BTreeMap::new();
+        for (op, x) in ops {
+            match op {
+                0 => {
+                    dht.join(DhtNodeId(next_member));
+                    live.push(next_member);
+                    next_member += 1;
+                }
+                1 if live.len() > 1 => {
+                    let victim = live.remove(x as usize % live.len());
+                    dht.leave(DhtNodeId(victim));
+                }
+                _ => {
+                    let key = format!("k{}", x % 50);
+                    dht.put(&key, vjson!((x as i64))).unwrap();
+                    expected.insert(key, x as i64);
+                }
+            }
+        }
+        for (key, val) in &expected {
+            prop_assert_eq!(
+                dht.get(key).and_then(|v| v.as_i64()),
+                Some(*val),
+                "lost {} after churn", key
+            );
+        }
+    }
+
+    /// Write-behind: drain returns each dirty key exactly once with its
+    /// latest value, regardless of offer interleaving.
+    #[test]
+    fn writebehind_exactly_once_latest_value(
+        offers in prop::collection::vec((0u8..10, any::<i32>()), 1..100),
+        batch in 1usize..20,
+    ) {
+        let mut buf = WriteBehindBuffer::new(WriteBehindConfig {
+            max_batch: batch,
+            max_delay: SimDuration::from_millis(1),
+        });
+        let mut latest: BTreeMap<String, i32> = BTreeMap::new();
+        for (i, (k, v)) in offers.iter().enumerate() {
+            let key = format!("k{k}");
+            buf.offer(SimTime::from_nanos(i as u64), &key, vjson!((*v as i64)));
+            latest.insert(key, *v);
+        }
+        let mut seen: BTreeMap<String, i64> = BTreeMap::new();
+        loop {
+            let b = buf.drain(batch);
+            if b.is_empty() {
+                break;
+            }
+            for (k, v) in b.records {
+                prop_assert!(!seen.contains_key(&k), "duplicate flush of {k}");
+                seen.insert(k, v.as_i64().unwrap());
+            }
+        }
+        prop_assert_eq!(seen.len(), latest.len());
+        for (k, v) in latest {
+            prop_assert_eq!(seen[&k], v as i64);
+        }
+        prop_assert_eq!(buf.pending_len(), 0);
+    }
+
+    /// The DB write budget: N sequential writes finish no earlier than
+    /// the rate allows, and batches never finish later than the
+    /// equivalent singles.
+    #[test]
+    fn db_admission_rate_bound(n in 10u64..200, rate in 50.0f64..500.0) {
+        let mk = || PersistentDb::new(PersistentDbConfig {
+            write_ops_per_sec: rate,
+            write_burst: 1.0,
+            batch_record_cost: 0.1,
+        });
+        let mut singles = mk();
+        let mut last_single = SimTime::ZERO;
+        for i in 0..n {
+            last_single = singles.put(SimTime::ZERO, &format!("k{i}"), vjson!(1));
+        }
+        // Lower bound: (n - burst) ops at `rate`.
+        let min_secs = (n as f64 - 1.0) / rate;
+        prop_assert!(
+            last_single.as_secs_f64() >= min_secs - 1e-6,
+            "{} < {}", last_single.as_secs_f64(), min_secs
+        );
+        let mut batched = mk();
+        let records: Vec<(String, Value)> =
+            (0..n).map(|i| (format!("k{i}"), vjson!(1))).collect();
+        let batch_done = batched.put_batch(SimTime::ZERO, records);
+        prop_assert!(batch_done <= last_single, "batch must not be slower");
+    }
+}

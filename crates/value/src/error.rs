@@ -1,0 +1,94 @@
+//! Parse errors shared by the JSON and YAML parsers.
+
+use std::error::Error;
+use std::fmt;
+
+/// A line/column position within parsed text (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl Position {
+    /// Creates a position at the given 1-based line and column.
+    pub fn new(line: usize, column: usize) -> Self {
+        Position { line, column }
+    }
+}
+
+impl Default for Position {
+    fn default() -> Self {
+        Position { line: 1, column: 1 }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// Error returned when parsing JSON or YAML text fails.
+///
+/// Carries a human-readable message and the [`Position`] where the problem
+/// was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    position: Position,
+}
+
+impl ParseError {
+    /// Creates a new parse error at `position`.
+    pub fn new(message: impl Into<String>, position: Position) -> Self {
+        ParseError {
+            message: message.into(),
+            position,
+        }
+    }
+
+    /// The human-readable description of what went wrong.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where in the input the error was detected.
+    pub fn position(&self) -> Position {
+        self.position
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.position)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let err = ParseError::new("unexpected token", Position::new(3, 14));
+        assert_eq!(err.to_string(), "unexpected token at line 3, column 14");
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let err = ParseError::new("boom", Position::new(2, 5));
+        assert_eq!(err.message(), "boom");
+        assert_eq!(err.position(), Position::new(2, 5));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseError>();
+    }
+}

@@ -1,0 +1,572 @@
+//! JSON parsing and emission.
+//!
+//! A hand-written recursive-descent parser and a compact/pretty emitter for
+//! [`Value`]. Full RFC 8259 syntax is supported (nested containers, all
+//! escape sequences including `\uXXXX` surrogate pairs, scientific-notation
+//! numbers). Inputs must be UTF-8 `&str`.
+//!
+//! # Examples
+//!
+//! ```
+//! use oprc_value::json;
+//!
+//! let v = json::parse(r#"[1, {"k": "é"}, null]"#)?;
+//! assert_eq!(v[1]["k"].as_str(), Some("é"));
+//! let round = json::parse(&json::to_string(&v))?;
+//! assert_eq!(v, round);
+//! # Ok::<(), oprc_value::ParseError>(())
+//! ```
+
+use crate::{Map, Number, ParseError, Position, Value};
+
+/// Maximum container nesting depth accepted by [`parse`].
+///
+/// Guards against stack overflow on adversarial inputs.
+pub const MAX_DEPTH: usize = 128;
+
+/// Parses a JSON document into a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input, trailing garbage, or nesting
+/// deeper than [`MAX_DEPTH`].
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser::new(input);
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Serializes a value as compact JSON (no whitespace).
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::with_capacity(value.approx_size());
+    emit(value, &mut out);
+    out
+}
+
+/// Serializes a value as pretty-printed JSON with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut out = String::with_capacity(value.approx_size() * 2);
+    emit_pretty(value, 0, &mut out);
+    out
+}
+
+fn emit(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => emit_string(s, out),
+        Value::Array(a) => {
+            out.push('[');
+            for (i, v) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit(v, out);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, v)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit_string(k, out);
+                out.push(':');
+                emit(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn emit_pretty(value: &Value, indent: usize, out: &mut String) {
+    match value {
+        Value::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, v) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                emit_pretty(v, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(indent + 1, out);
+                emit_string(k, out);
+                out.push_str(": ");
+                emit_pretty(v, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => emit(other, out),
+    }
+}
+
+fn push_indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    line_start: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+        }
+    }
+
+    fn position(&self) -> Position {
+        Position::new(self.line, self.pos - self.line_start + 1)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.position())
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(x) if x == b => {
+                self.bump();
+                Ok(())
+            }
+            Some(x) => Err(self.err(format!(
+                "expected '{}', found '{}'",
+                b as char, x as char
+            ))),
+            None => Err(self.err(format!("expected '{}', found end of input", b as char))),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("maximum nesting depth exceeded"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.keyword("true", Value::Bool(true)),
+            Some(b'f') => self.keyword("false", Value::Bool(false)),
+            Some(b'n') => self.keyword("null", Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(self.err(format!("unexpected character '{}'", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str, value: Value) -> Result<Value, ParseError> {
+        for &b in kw.as_bytes() {
+            if self.peek() == Some(b) {
+                self.bump();
+            } else {
+                return Err(self.err(format!("invalid literal, expected '{kw}'")));
+            }
+        }
+        Ok(value)
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                Some(c) => {
+                    return Err(self.err(format!(
+                        "expected ',' or '}}' in object, found '{}'",
+                        c as char
+                    )))
+                }
+                None => return Err(self.err("unterminated object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                Some(c) => {
+                    return Err(self.err(format!(
+                        "expected ',' or ']' in array, found '{}'",
+                        c as char
+                    )))
+                }
+                None => return Err(self.err("unterminated array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: consume a run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // Safe: input is valid UTF-8 and we only stopped on ASCII
+                // boundaries.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(
+                    |_| self.err("invalid UTF-8 inside string"),
+                )?);
+            }
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => self.escape(&mut out)?,
+                Some(_) => return Err(self.err("control character inside string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(b'"') => out.push('"'),
+            Some(b'\\') => out.push('\\'),
+            Some(b'/') => out.push('/'),
+            Some(b'b') => out.push('\u{08}'),
+            Some(b'f') => out.push('\u{0c}'),
+            Some(b'n') => out.push('\n'),
+            Some(b'r') => out.push('\r'),
+            Some(b't') => out.push('\t'),
+            Some(b'u') => {
+                let hi = self.hex4()?;
+                let c = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair.
+                    if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                        return Err(self.err("expected low surrogate escape"));
+                    }
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))?
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(self.err("unexpected low surrogate"));
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.err("invalid unicode escape"))?
+                };
+                out.push(c);
+            }
+            Some(c) => return Err(self.err(format!("invalid escape '\\{}'", c as char))),
+            None => return Err(self.err("unterminated escape sequence")),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("unterminated unicode escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in unicode escape"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        let int_digits = self.digits()?;
+        if int_digits > 1 && self.bytes[if self.bytes[start] == b'-' { start + 1 } else { start }] == b'0'
+        {
+            return Err(self.err("leading zeros are not allowed"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.bump();
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            self.digits()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number bytes"))?;
+        let num = if is_float {
+            Number::from(
+                text.parse::<f64>()
+                    .map_err(|_| self.err("invalid float literal"))?,
+            )
+        } else {
+            match text.parse::<i64>() {
+                Ok(i) => Number::Int(i),
+                // Integer overflow: fall back to float like serde_json's
+                // arbitrary-precision-off behaviour.
+                Err(_) => Number::from(
+                    text.parse::<f64>()
+                        .map_err(|_| self.err("invalid integer literal"))?,
+                ),
+            }
+        };
+        Ok(Value::Number(num))
+    }
+
+    fn digits(&mut self) -> Result<usize, ParseError> {
+        let mut n = 0;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() {
+                self.bump();
+                n += 1;
+            } else {
+                break;
+            }
+        }
+        if n == 0 {
+            Err(self.err("expected digit"))
+        } else {
+            Ok(n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vjson;
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap().as_i64(), Some(42));
+        assert_eq!(parse("-7").unwrap().as_i64(), Some(-7));
+        assert_eq!(parse("2.5").unwrap().as_f64(), Some(2.5));
+        assert_eq!(parse("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(parse("-1.5E-2").unwrap().as_f64(), Some(-0.015));
+        assert_eq!(parse(r#""hi""#).unwrap().as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn parse_containers() {
+        let v = parse(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(v["a"][2]["b"], Value::Null);
+        assert_eq!(v["c"].as_str(), Some("x"));
+        assert_eq!(parse("[]").unwrap(), Value::array());
+        assert_eq!(parse("{}").unwrap(), Value::object());
+        assert_eq!(parse("[ ]").unwrap(), Value::array());
+    }
+
+    #[test]
+    fn parse_escapes() {
+        let v = parse(r#""a\n\t\"\\Aé""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\n\t\"\\Aé"));
+    }
+
+    #[test]
+    fn parse_surrogate_pair() {
+        let v = parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn reject_lone_surrogate() {
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse(r#""\udc00""#).is_err());
+    }
+
+    #[test]
+    fn reject_malformed() {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "tru", "nul", "01", "1.", "1e", "\"abc",
+            "[1] garbage", "{'a': 1}", "+1", "--1", "{\"a\" 1}",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse("{\n  \"a\": tru\n}").unwrap_err();
+        assert_eq!(err.position().line, 2);
+    }
+
+    #[test]
+    fn integer_overflow_falls_back_to_float() {
+        let v = parse("123456789012345678901234567890").unwrap();
+        assert!(v.as_f64().unwrap() > 1e29);
+    }
+
+    #[test]
+    fn round_trip_compact() {
+        let v = vjson!({
+            "s": "he\"llo\n",
+            "n": 12.5,
+            "i": (-3),
+            "a": [1, [2, [3]]],
+            "o": {"nested": true},
+            "z": null,
+        });
+        let text = to_string(&v);
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn round_trip_pretty() {
+        let v = vjson!({"a": [1, 2], "b": {"c": "d"}, "e": [], "f": {}});
+        let text = to_string_pretty(&v);
+        assert!(text.contains("\n  "));
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn compact_is_compact() {
+        let v = vjson!({"a": [1, 2]});
+        assert_eq!(to_string(&v), r#"{"a":[1,2]}"#);
+    }
+
+    #[test]
+    fn control_chars_escaped_on_emit() {
+        let v = Value::from("\u{01}x");
+        let text = to_string(&v);
+        assert_eq!(text, "\"\\u0001x\"");
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let mut deep = String::new();
+        for _ in 0..(MAX_DEPTH + 2) {
+            deep.push('[');
+        }
+        deep.push('1');
+        for _ in 0..(MAX_DEPTH + 2) {
+            deep.push(']');
+        }
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn whitespace_everywhere() {
+        let v = parse(" \t\r\n { \"a\" : [ 1 , 2 ] } \n").unwrap();
+        assert_eq!(v["a"][1].as_i64(), Some(2));
+    }
+
+    #[test]
+    fn unicode_pass_through() {
+        let v = parse("\"héllo → 世界\"").unwrap();
+        assert_eq!(v.as_str(), Some("héllo → 世界"));
+        assert_eq!(parse(&to_string(&v)).unwrap(), v);
+    }
+}

@@ -1,0 +1,82 @@
+//! Dynamic value model and text formats for the Oparaca / OaaS reproduction.
+//!
+//! This crate provides the data plumbing that the rest of the workspace is
+//! built on:
+//!
+//! - [`Value`]: a JSON-like dynamic value (`null`, booleans, numbers,
+//!   strings, arrays, objects) used for object state, invocation payloads,
+//!   and class definitions.
+//! - [`json`]: a JSON parser ([`json::parse`]) and emitter
+//!   ([`json::to_string`], [`json::to_string_pretty`]).
+//! - [`yaml`]: a YAML-subset parser ([`yaml::parse`]) sufficient for the
+//!   class-definition format used in the paper's Listing 1 (block mappings,
+//!   block sequences, scalars, comments, nested structures).
+//! - [`path`]: JSON-pointer-style access into nested values.
+//! - [`merge`]: deep merge used when applying state deltas.
+//!
+//! No external parsing crates are used; the offline dependency set does not
+//! include `serde_json`/`serde_yaml`, so this crate implements the formats
+//! from scratch (see `DESIGN.md` §2).
+//!
+//! # Examples
+//!
+//! ```
+//! use oprc_value::{json, Value};
+//!
+//! let v = json::parse(r#"{"name": "Image", "qos": {"throughput": 100}}"#)?;
+//! assert_eq!(v.pointer("/qos/throughput").and_then(Value::as_i64), Some(100));
+//! # Ok::<(), oprc_value::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod number;
+mod value;
+
+pub mod json;
+pub mod merge;
+pub mod path;
+pub mod yaml;
+
+pub use error::{ParseError, Position};
+pub use number::Number;
+pub use value::{Map, Value};
+
+/// Constructs a [`Value`] from a JSON-like literal.
+///
+/// This is a small convenience macro for tests, examples, and fixtures.
+/// Values inside objects and arrays are single token trees: literals,
+/// nested `{...}`/`[...]`, or parenthesized expressions. Multi-token
+/// expressions — including negative numbers — must be parenthesized:
+/// `vjson!({"x": (-3)})`.
+///
+/// # Examples
+///
+/// ```
+/// use oprc_value::vjson;
+///
+/// let v = vjson!({
+///     "name": "Image",
+///     "replicas": 3,
+///     "tags": ["multimedia", true, null],
+/// });
+/// assert_eq!(v["replicas"].as_i64(), Some(3));
+/// ```
+#[macro_export]
+macro_rules! vjson {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $( $elem:tt ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::vjson!($elem) ),* ])
+    };
+    ({ $( $key:tt : $val:tt ),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(::std::string::String::from($key), $crate::vjson!($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}

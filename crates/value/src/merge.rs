@@ -1,0 +1,182 @@
+//! Deep merging of values.
+//!
+//! The object runtime applies function-produced state deltas to stored
+//! object state with [`deep_merge`]: objects merge recursively, everything
+//! else (arrays included) is replaced wholesale, and explicit `null` in the
+//! patch deletes the key — the same semantics as RFC 7396 JSON Merge Patch.
+
+use crate::Value;
+
+/// Merges `patch` into `base` using JSON-Merge-Patch (RFC 7396) semantics.
+///
+/// - object ⊕ object: merge keys recursively;
+/// - `null` in the patch deletes the key from the base object;
+/// - any other combination: the patch value replaces the base value.
+///
+/// # Examples
+///
+/// ```
+/// use oprc_value::{merge::deep_merge, vjson};
+///
+/// let mut state = vjson!({"width": 100, "meta": {"a": 1, "b": 2}});
+/// deep_merge(&mut state, vjson!({"meta": {"b": null, "c": 3}}));
+/// assert_eq!(state, vjson!({"width": 100, "meta": {"a": 1, "c": 3}}));
+/// ```
+pub fn deep_merge(base: &mut Value, patch: Value) {
+    match (base, patch) {
+        (Value::Object(base_map), Value::Object(patch_map)) => {
+            for (k, v) in patch_map {
+                if v.is_null() {
+                    base_map.remove(&k);
+                } else {
+                    deep_merge(base_map.entry(k).or_insert(Value::Null), v);
+                }
+            }
+        }
+        (slot, v) => *slot = v,
+    }
+}
+
+/// Removes explicit `null` members from objects, recursively.
+///
+/// Merge-patch semantics cannot distinguish "member is null" from "member
+/// is absent" (RFC 7396 §3), so object state handled by the platform is
+/// kept *normalized*: a member holding `null` is equivalent to the member
+/// being absent. `null` elements inside arrays are preserved — arrays are
+/// replaced wholesale by patches, so they round-trip fine.
+///
+/// # Examples
+///
+/// ```
+/// use oprc_value::{merge::normalize, vjson};
+///
+/// let mut v = vjson!({"a": null, "b": {"c": null, "d": 1}, "e": [null]});
+/// normalize(&mut v);
+/// assert_eq!(v, vjson!({"b": {"d": 1}, "e": [null]}));
+/// ```
+pub fn normalize(value: &mut Value) {
+    match value {
+        Value::Object(m) => {
+            m.retain(|_, v| !v.is_null());
+            for v in m.values_mut() {
+                normalize(v);
+            }
+        }
+        Value::Array(a) => {
+            for v in a.iter_mut() {
+                normalize(v);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Computes a minimal merge patch that transforms `from` into `to`.
+///
+/// The returned patch, applied to `from` with [`deep_merge`], yields `to`
+/// — provided `to` is [`normalize`]d (no explicit `null` object members,
+/// which merge-patch cannot express; see RFC 7396 §3). Keys present in
+/// `from` but absent in `to` appear as `null` (deletions). Returns `None`
+/// when the values are already equal (empty patch).
+///
+/// This is how the platform ships *state deltas* rather than full state
+/// between the function runtime and the storage layer, which is what makes
+/// the write-behind batching in `oprc-store` cheap.
+pub fn diff(from: &Value, to: &Value) -> Option<Value> {
+    if from == to {
+        return None;
+    }
+    match (from, to) {
+        (Value::Object(a), Value::Object(b)) => {
+            let mut patch = crate::Map::new();
+            for (k, av) in a {
+                match b.get(k) {
+                    None => {
+                        patch.insert(k.clone(), Value::Null);
+                    }
+                    Some(bv) => {
+                        if let Some(sub) = diff(av, bv) {
+                            patch.insert(k.clone(), sub);
+                        }
+                    }
+                }
+            }
+            for (k, bv) in b {
+                if !a.contains_key(k) {
+                    patch.insert(k.clone(), bv.clone());
+                }
+            }
+            Some(Value::Object(patch))
+        }
+        (_, b) => Some(b.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vjson;
+
+    #[test]
+    fn scalar_replacement() {
+        let mut v = vjson!(1);
+        deep_merge(&mut v, vjson!("x"));
+        assert_eq!(v.as_str(), Some("x"));
+    }
+
+    #[test]
+    fn arrays_replace_not_merge() {
+        let mut v = vjson!({"a": [1, 2, 3]});
+        deep_merge(&mut v, vjson!({"a": [9]}));
+        assert_eq!(v["a"], vjson!([9]));
+    }
+
+    #[test]
+    fn null_deletes() {
+        let mut v = vjson!({"a": 1, "b": 2});
+        deep_merge(&mut v, vjson!({"a": null}));
+        assert_eq!(v, vjson!({"b": 2}));
+    }
+
+    #[test]
+    fn nested_merge() {
+        let mut v = vjson!({"o": {"x": 1, "y": {"z": 2}}});
+        deep_merge(&mut v, vjson!({"o": {"y": {"w": 3}}}));
+        assert_eq!(v, vjson!({"o": {"x": 1, "y": {"z": 2, "w": 3}}}));
+    }
+
+    #[test]
+    fn merge_into_non_object_replaces() {
+        let mut v = vjson!({"o": 5});
+        deep_merge(&mut v, vjson!({"o": {"k": 1}}));
+        assert_eq!(v["o"]["k"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn diff_identity_is_none() {
+        let v = vjson!({"a": [1, {"b": 2}]});
+        assert!(diff(&v, &v).is_none());
+    }
+
+    #[test]
+    fn diff_then_merge_round_trips() {
+        let cases = [
+            (vjson!({"a": 1, "b": {"c": 2}}), vjson!({"b": {"c": 3}, "d": 4})),
+            (vjson!({"x": [1, 2]}), vjson!({"x": [2, 1]})),
+            (vjson!(1), vjson!({"k": true})),
+            (vjson!({"only": "from"}), vjson!({})),
+        ];
+        for (from, to) in cases {
+            let patch = diff(&from, &to).expect("values differ");
+            let mut applied = from.clone();
+            deep_merge(&mut applied, patch);
+            assert_eq!(applied, to, "from={from} to={to}");
+        }
+    }
+
+    #[test]
+    fn diff_reports_deletion_as_null() {
+        let patch = diff(&vjson!({"a": 1, "b": 2}), &vjson!({"b": 2})).unwrap();
+        assert_eq!(patch, vjson!({"a": null}));
+    }
+}

@@ -1,0 +1,233 @@
+//! Numeric representation used by [`crate::Value`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A JSON number: either a 64-bit signed integer or a 64-bit float.
+///
+/// Integers that fit in `i64` are kept exact; everything else is stored as
+/// `f64`. Equality treats an integer and a float as equal when they denote
+/// the same mathematical value (`Number::from(2) == Number::from(2.0)`).
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// An exact 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit IEEE-754 float (never NaN; NaN inputs are rejected by the
+    /// parsers and normalized to `0.0` by `From<f64>`).
+    Float(f64),
+}
+
+impl Number {
+    /// Returns the value as `i64` if it is an integer (or an integral float
+    /// that fits exactly).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(i) => Some(i),
+            Number::Float(f) => {
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 {
+                    Some(f as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Returns the value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|i| u64::try_from(i).ok())
+    }
+
+    /// Returns the value as `f64` (lossless for floats, lossy only for very
+    /// large integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// True if the number is stored as an integer.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Number::Int(_))
+    }
+
+    fn canonical(&self) -> (i64, f64, bool) {
+        match self.as_i64() {
+            Some(i) => (i, 0.0, true),
+            None => (0, self.as_f64(), false),
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.canonical(), other.canonical()) {
+            ((a, _, true), (b, _, true)) => a == b,
+            ((_, a, false), (_, b, false)) => a == b,
+            ((a, _, true), (_, b, false)) | ((_, b, false), (a, _, true)) => a as f64 == b,
+        }
+    }
+}
+
+impl Eq for Number {}
+
+impl PartialOrd for Number {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Number {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a.cmp(b),
+            _ => self
+                .as_f64()
+                .partial_cmp(&other.as_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl Hash for Number {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self.as_i64() {
+            Some(i) => i.hash(state),
+            None => self.as_f64().to_bits().hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::Float(v) => {
+                if v.is_infinite() {
+                    // JSON has no infinity literal; emit a large magnitude.
+                    write!(f, "{}", if v > 0.0 { "1e309" } else { "-1e309" })
+                } else if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Number {
+    fn from(v: i64) -> Self {
+        Number::Int(v)
+    }
+}
+
+impl From<i32> for Number {
+    fn from(v: i32) -> Self {
+        Number::Int(v as i64)
+    }
+}
+
+impl From<u32> for Number {
+    fn from(v: u32) -> Self {
+        Number::Int(v as i64)
+    }
+}
+
+impl From<usize> for Number {
+    fn from(v: usize) -> Self {
+        match i64::try_from(v) {
+            Ok(i) => Number::Int(i),
+            Err(_) => Number::Float(v as f64),
+        }
+    }
+}
+
+impl From<u64> for Number {
+    fn from(v: u64) -> Self {
+        match i64::try_from(v) {
+            Ok(i) => Number::Int(i),
+            Err(_) => Number::Float(v as f64),
+        }
+    }
+}
+
+impl From<f64> for Number {
+    fn from(v: f64) -> Self {
+        if v.is_nan() {
+            Number::Float(0.0)
+        } else {
+            Number::Float(v)
+        }
+    }
+}
+
+impl From<f32> for Number {
+    fn from(v: f32) -> Self {
+        Number::from(v as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_float_equality() {
+        assert_eq!(Number::from(2), Number::from(2.0));
+        assert_ne!(Number::from(2), Number::from(2.5));
+        assert_eq!(Number::from(-7), Number::from(-7.0));
+    }
+
+    #[test]
+    fn as_i64_integral_float() {
+        assert_eq!(Number::from(3.0).as_i64(), Some(3));
+        assert_eq!(Number::from(3.5).as_i64(), None);
+        assert_eq!(Number::from(1e300).as_i64(), None);
+    }
+
+    #[test]
+    fn as_u64_rejects_negative() {
+        assert_eq!(Number::from(-1).as_u64(), None);
+        assert_eq!(Number::from(42).as_u64(), Some(42));
+    }
+
+    #[test]
+    fn ordering_mixed() {
+        assert!(Number::from(1) < Number::from(1.5));
+        assert!(Number::from(2.5) < Number::from(3));
+        assert!(Number::from(10) > Number::from(9));
+    }
+
+    #[test]
+    fn display_round_trips_through_json_semantics() {
+        assert_eq!(Number::from(5).to_string(), "5");
+        assert_eq!(Number::from(5.0).to_string(), "5.0");
+        assert_eq!(Number::from(2.25).to_string(), "2.25");
+    }
+
+    #[test]
+    fn nan_is_normalized() {
+        assert_eq!(Number::from(f64::NAN), Number::from(0.0));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        let h = |n: Number| {
+            let mut s = DefaultHasher::new();
+            n.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(Number::from(2)), h(Number::from(2.0)));
+    }
+
+    #[test]
+    fn u64_overflow_becomes_float() {
+        let n = Number::from(u64::MAX);
+        assert!(!n.is_int());
+        assert!(n.as_f64() > 1e18);
+    }
+}

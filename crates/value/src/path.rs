@@ -1,0 +1,224 @@
+//! JSON-pointer-style navigation (RFC 6901 subset).
+//!
+//! Pointers are `/`-separated token paths: `""` selects the whole document,
+//! `/a/b/0` selects index 0 of array `b` inside object `a`. The RFC 6901
+//! escapes `~0` (for `~`) and `~1` (for `/`) are supported.
+//!
+//! # Examples
+//!
+//! ```
+//! use oprc_value::vjson;
+//!
+//! let v = vjson!({"qos": {"throughput": 100}, "fns": ["resize"]});
+//! assert_eq!(v.pointer("/qos/throughput").and_then(|x| x.as_i64()), Some(100));
+//! assert_eq!(v.pointer("/fns/0").and_then(|x| x.as_str()), Some("resize"));
+//! assert!(v.pointer("/missing").is_none());
+//! ```
+
+use crate::Value;
+
+/// Resolves `pointer` against `value`, returning the referenced node.
+///
+/// Returns `None` if any token fails to resolve or if the pointer is
+/// syntactically invalid (non-empty but not starting with `/`).
+pub fn pointer<'v>(value: &'v Value, pointer: &str) -> Option<&'v Value> {
+    if pointer.is_empty() {
+        return Some(value);
+    }
+    if !pointer.starts_with('/') {
+        return None;
+    }
+    let mut cur = value;
+    for token in pointer[1..].split('/') {
+        let token = unescape(token);
+        cur = match cur {
+            Value::Object(m) => m.get(token.as_ref())?,
+            Value::Array(a) => a.get(parse_index(&token)?)?,
+            _ => return None,
+        };
+    }
+    Some(cur)
+}
+
+/// Mutable variant of [`pointer()`].
+pub fn pointer_mut<'v>(value: &'v mut Value, pointer: &str) -> Option<&'v mut Value> {
+    if pointer.is_empty() {
+        return Some(value);
+    }
+    if !pointer.starts_with('/') {
+        return None;
+    }
+    let mut cur = value;
+    for token in pointer[1..].split('/') {
+        let token = unescape(token);
+        cur = match cur {
+            Value::Object(m) => m.get_mut(token.as_ref())?,
+            Value::Array(a) => {
+                let idx = parse_index(&token)?;
+                a.get_mut(idx)?
+            }
+            _ => return None,
+        };
+    }
+    Some(cur)
+}
+
+/// Sets the node at `pointer` to `new`, creating intermediate objects as
+/// needed.
+///
+/// Array tokens must reference existing indices or the one-past-the-end
+/// position (append). Returns `false` (and leaves `value` unchanged in
+/// prefix) when the path cannot be created, e.g. indexing a string.
+pub fn set(value: &mut Value, pointer: &str, new: Value) -> bool {
+    if pointer.is_empty() {
+        *value = new;
+        return true;
+    }
+    if !pointer.starts_with('/') {
+        return false;
+    }
+    let tokens: Vec<String> = pointer[1..]
+        .split('/')
+        .map(|t| unescape(t).into_owned())
+        .collect();
+    let mut cur = value;
+    for (i, token) in tokens.iter().enumerate() {
+        let last = i + 1 == tokens.len();
+        if cur.is_null() {
+            *cur = Value::object();
+        }
+        match cur {
+            Value::Object(m) => {
+                if last {
+                    m.insert(token.clone(), new);
+                    return true;
+                }
+                cur = m.entry(token.clone()).or_insert(Value::Null);
+            }
+            Value::Array(a) => {
+                let idx = if token == "-" {
+                    a.len()
+                } else {
+                    match parse_index(token) {
+                        Some(i) => i,
+                        None => return false,
+                    }
+                };
+                if idx > a.len() {
+                    return false;
+                }
+                if idx == a.len() {
+                    a.push(Value::Null);
+                }
+                if last {
+                    a[idx] = new;
+                    return true;
+                }
+                cur = &mut a[idx];
+            }
+            _ => return false,
+        }
+    }
+    unreachable!("loop always returns on the last token")
+}
+
+fn parse_index(token: &str) -> Option<usize> {
+    if token.len() > 1 && token.starts_with('0') {
+        return None; // RFC 6901 forbids leading zeros
+    }
+    token.parse().ok()
+}
+
+fn unescape(token: &str) -> std::borrow::Cow<'_, str> {
+    if token.contains('~') {
+        std::borrow::Cow::Owned(token.replace("~1", "/").replace("~0", "~"))
+    } else {
+        std::borrow::Cow::Borrowed(token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vjson;
+
+    fn sample() -> Value {
+        vjson!({
+            "a": {"b": [10, 20, {"c": "deep"}]},
+            "x~y": 1,
+            "p/q": 2,
+            "": 3,
+        })
+    }
+
+    #[test]
+    fn empty_pointer_is_root() {
+        let v = sample();
+        assert_eq!(pointer(&v, ""), Some(&v));
+    }
+
+    #[test]
+    fn object_and_array_traversal() {
+        let v = sample();
+        assert_eq!(pointer(&v, "/a/b/1").and_then(Value::as_i64), Some(20));
+        assert_eq!(
+            pointer(&v, "/a/b/2/c").and_then(Value::as_str),
+            Some("deep")
+        );
+    }
+
+    #[test]
+    fn escapes() {
+        let v = sample();
+        assert_eq!(pointer(&v, "/x~0y").and_then(Value::as_i64), Some(1));
+        assert_eq!(pointer(&v, "/p~1q").and_then(Value::as_i64), Some(2));
+        assert_eq!(pointer(&v, "/").and_then(Value::as_i64), Some(3));
+    }
+
+    #[test]
+    fn misses() {
+        let v = sample();
+        assert!(pointer(&v, "/nope").is_none());
+        assert!(pointer(&v, "/a/b/9").is_none());
+        assert!(pointer(&v, "/a/b/01").is_none());
+        assert!(pointer(&v, "no-slash").is_none());
+        assert!(pointer(&v, "/a/b/1/deeper").is_none());
+    }
+
+    #[test]
+    fn pointer_mut_mutates() {
+        let mut v = sample();
+        *pointer_mut(&mut v, "/a/b/0").unwrap() = Value::from(99);
+        assert_eq!(v["a"]["b"][0].as_i64(), Some(99));
+    }
+
+    #[test]
+    fn set_creates_intermediates() {
+        let mut v = Value::Null;
+        assert!(set(&mut v, "/meta/owner/name", Value::from("hpcc")));
+        assert_eq!(v["meta"]["owner"]["name"].as_str(), Some("hpcc"));
+    }
+
+    #[test]
+    fn set_array_append_and_replace() {
+        let mut v = vjson!({"arr": [1]});
+        assert!(set(&mut v, "/arr/1", Value::from(2)));
+        assert!(set(&mut v, "/arr/-", Value::from(3)));
+        assert!(set(&mut v, "/arr/0", Value::from(0)));
+        assert_eq!(v["arr"], vjson!([0, 2, 3]));
+        assert!(!set(&mut v, "/arr/9", Value::from(9)));
+    }
+
+    #[test]
+    fn set_root_replaces() {
+        let mut v = vjson!({"a": 1});
+        assert!(set(&mut v, "", Value::from(7)));
+        assert_eq!(v.as_i64(), Some(7));
+    }
+
+    #[test]
+    fn set_refuses_scalar_traversal() {
+        let mut v = vjson!({"s": "str"});
+        assert!(!set(&mut v, "/s/inner", Value::Null));
+    }
+}

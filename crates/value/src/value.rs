@@ -1,0 +1,439 @@
+//! The dynamic [`Value`] type.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Index;
+
+use crate::Number;
+
+/// The map type used for JSON objects.
+///
+/// A [`BTreeMap`] keeps key order deterministic, which matters for
+/// reproducible experiment output and stable golden tests.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON-like dynamic value.
+///
+/// `Value` is used throughout the workspace for object state, invocation
+/// payloads, and parsed class definitions. It is deliberately close to
+/// `serde_json::Value`, which is not available in the offline dependency
+/// set.
+///
+/// # Examples
+///
+/// ```
+/// use oprc_value::{Value, vjson};
+///
+/// let v = vjson!({"width": 1920, "tags": ["raw"]});
+/// assert!(v.is_object());
+/// assert_eq!(v["width"].as_i64(), Some(1920));
+/// assert_eq!(v["tags"][0].as_str(), Some("raw"));
+/// assert!(v["missing"].is_null());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with deterministic key order.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Creates an empty object value.
+    pub fn object() -> Self {
+        Value::Object(Map::new())
+    }
+
+    /// Creates an empty array value.
+    pub fn array() -> Self {
+        Value::Array(Vec::new())
+    }
+
+    /// True if the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True if the value is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// True if the value is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// True if the value is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// True if the value is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// Returns the boolean if the value is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` if it is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u64` if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if the value is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the array slice if the value is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns a mutable array reference if the value is an `Array`.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the object map if the value is an `Object`.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns a mutable object reference if the value is an `Object`.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object, returning `None` for non-objects and
+    /// missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Mutable variant of [`Value::get`].
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.as_object_mut().and_then(|m| m.get_mut(key))
+    }
+
+    /// Looks up an array element by index.
+    pub fn get_index(&self, index: usize) -> Option<&Value> {
+        self.as_array().and_then(|a| a.get(index))
+    }
+
+    /// Inserts `key = value` into an object value.
+    ///
+    /// Returns the previous value for the key, if any. If `self` is `Null`
+    /// it is first promoted to an empty object, matching the common
+    /// "state starts empty" pattern in object runtimes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is a non-object, non-null value.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Value>) -> Option<Value> {
+        if self.is_null() {
+            *self = Value::object();
+        }
+        match self {
+            Value::Object(m) => m.insert(key.into(), value.into()),
+            other => panic!("cannot insert into non-object value: {other:?}"),
+        }
+    }
+
+    /// Removes `key` from an object value, returning it if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.as_object_mut().and_then(|m| m.remove(key))
+    }
+
+    /// Number of elements in an array or entries in an object; `0`
+    /// otherwise.
+    pub fn len(&self) -> usize {
+        match self {
+            Value::Array(a) => a.len(),
+            Value::Object(m) => m.len(),
+            _ => 0,
+        }
+    }
+
+    /// True if [`Value::len`] is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolves a JSON-pointer-like path (`/a/b/0`). See [`crate::path`].
+    pub fn pointer(&self, pointer: &str) -> Option<&Value> {
+        crate::path::pointer(self, pointer)
+    }
+
+    /// Mutable variant of [`Value::pointer`].
+    pub fn pointer_mut(&mut self, pointer: &str) -> Option<&mut Value> {
+        crate::path::pointer_mut(self, pointer)
+    }
+
+    /// Approximate in-memory/serialized size in bytes.
+    ///
+    /// Used by the storage substrates to account for record sizes without
+    /// serializing. The estimate is the compact-JSON length to within a few
+    /// bytes per token.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Null => 4,
+            Value::Bool(true) => 4,
+            Value::Bool(false) => 5,
+            Value::Number(n) => n.to_string().len(),
+            Value::String(s) => s.len() + 2,
+            Value::Array(a) => 2 + a.iter().map(|v| v.approx_size() + 1).sum::<usize>(),
+            Value::Object(m) => {
+                2 + m
+                    .iter()
+                    .map(|(k, v)| k.len() + 4 + v.approx_size())
+                    .sum::<usize>()
+            }
+        }
+    }
+
+    /// Type name for error messages (`"null"`, `"object"`, ...).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Takes the value, leaving `Null` behind.
+    pub fn take(&mut self) -> Value {
+        std::mem::take(self)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Formats the value as compact JSON.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::json::to_string(self))
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Indexes into an object; missing keys and non-objects yield `Null`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    /// Indexes into an array; out-of-range and non-arrays yield `Null`.
+    fn index(&self, index: usize) -> &Value {
+        self.get_index(index).unwrap_or(&NULL)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<Number> for Value {
+    fn from(v: Number) -> Self {
+        Value::Number(v)
+    }
+}
+
+macro_rules! from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::Number(Number::from(v)) }
+        }
+    )*};
+}
+from_num!(i32, i64, u32, u64, usize, f32, f64);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Self {
+        Value::Object(m)
+    }
+}
+
+impl<T: Into<Value>> FromIterator<T> for Value {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Value::Array(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<V: Into<Value>> FromIterator<(String, V)> for Value {
+    fn from_iter<I: IntoIterator<Item = (String, V)>>(iter: I) -> Self {
+        Value::Object(iter.into_iter().map(|(k, v)| (k, v.into())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vjson;
+
+    #[test]
+    fn default_is_null() {
+        assert_eq!(Value::default(), Value::Null);
+    }
+
+    #[test]
+    fn index_missing_is_null() {
+        let v = vjson!({"a": 1});
+        assert!(v["b"].is_null());
+        assert!(v["a"]["nested"].is_null());
+        assert!(v[3].is_null());
+    }
+
+    #[test]
+    fn insert_promotes_null_to_object() {
+        let mut v = Value::Null;
+        v.insert("x", 10);
+        assert_eq!(v["x"].as_i64(), Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot insert into non-object")]
+    fn insert_into_array_panics() {
+        let mut v = Value::array();
+        v.insert("x", 1);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(3_i64).as_i64(), Some(3));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert_eq!(Value::from(vec![1, 2]).len(), 2);
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(5)).as_i64(), Some(5));
+    }
+
+    #[test]
+    fn collect_object_and_array() {
+        let arr: Value = (0..3).collect();
+        assert_eq!(arr.as_array().unwrap().len(), 3);
+        let obj: Value = vec![("a".to_string(), 1), ("b".to_string(), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(obj["b"].as_i64(), Some(2));
+    }
+
+    #[test]
+    fn approx_size_tracks_compact_json() {
+        let v = vjson!({"key": "value", "n": 12, "arr": [1, 2, 3], "b": true});
+        let exact = crate::json::to_string(&v).len();
+        let approx = v.approx_size();
+        assert!(
+            (approx as i64 - exact as i64).abs() <= exact as i64 / 4 + 8,
+            "approx {approx} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn take_leaves_null() {
+        let mut v = vjson!({"a": 1});
+        let taken = v.take();
+        assert!(v.is_null());
+        assert_eq!(taken["a"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn remove_and_len() {
+        let mut v = vjson!({"a": 1, "b": 2});
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.remove("a").and_then(|x| x.as_i64()), Some(1));
+        assert_eq!(v.len(), 1);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(vjson!([1]).type_name(), "array");
+        assert_eq!(vjson!({}).type_name(), "object");
+    }
+}

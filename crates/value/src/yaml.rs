@@ -1,0 +1,903 @@
+//! A YAML-subset parser for class definitions.
+//!
+//! The paper's Listing 1 defines OaaS classes in YAML. The offline crate
+//! set has no YAML implementation, so this module parses the pragmatic
+//! subset that configuration files actually use:
+//!
+//! - block mappings and block sequences with indentation scoping,
+//!   including compact `- key: value` sequence entries;
+//! - sequences indented at the *same* level as their parent key (the
+//!   common `k8s` style) or deeper;
+//! - plain scalars with the YAML 1.2 core schema (`null`/`~`, booleans,
+//!   integers, floats) and single-/double-quoted strings (double quotes
+//!   support JSON escapes);
+//! - flow collections (`[a, b]`, `{k: v}`) nested arbitrarily;
+//! - `#` comments and blank lines; an optional leading `---` document
+//!   marker.
+//!
+//! Unsupported (rejected with a [`ParseError`]): anchors/aliases, tags,
+//! multi-document streams, block scalars (`|`, `>`), and tab indentation.
+//!
+//! # Examples
+//!
+//! ```
+//! use oprc_value::yaml;
+//!
+//! let v = yaml::parse("
+//! classes:
+//!   - name: Image
+//!     qos:
+//!       throughput: 100
+//! ")?;
+//! assert_eq!(v["classes"][0]["qos"]["throughput"].as_i64(), Some(100));
+//! # Ok::<(), oprc_value::ParseError>(())
+//! ```
+
+use crate::{json, Map, Number, ParseError, Position, Value};
+
+/// Parses a YAML document (subset; see module docs) into a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a line/column position on malformed input
+/// or on use of unsupported YAML features.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let lines = preprocess(input)?;
+    if lines.is_empty() {
+        return Ok(Value::Null);
+    }
+    let mut idx = 0;
+    let v = parse_block(&lines, &mut idx, lines[0].indent)?;
+    if idx < lines.len() {
+        return Err(err_at(&lines[idx], 1, "content after end of document"));
+    }
+    Ok(v)
+}
+
+/// Serializes a value as block-style YAML.
+///
+/// The output round-trips through [`parse`]: keys and scalars that
+/// would be misread as other types (numbers, booleans, `null`,
+/// comment-introducing text) are quoted; empty containers use flow
+/// form.
+///
+/// # Examples
+///
+/// ```
+/// use oprc_value::{vjson, yaml};
+///
+/// let v = vjson!({"name": "Image", "qos": {"throughput": 100}});
+/// let text = yaml::to_string(&v);
+/// assert_eq!(yaml::parse(&text).unwrap(), v);
+/// ```
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    match value {
+        Value::Object(m) if !m.is_empty() => emit_mapping(m, 0, &mut out),
+        Value::Array(a) if !a.is_empty() => emit_sequence(a, 0, &mut out),
+        other => {
+            emit_scalar(other, &mut out);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn emit_mapping(m: &Map, indent: usize, out: &mut String) {
+    for (k, v) in m {
+        push_indent(indent, out);
+        emit_key(k, out);
+        emit_entry_value(v, indent, out);
+    }
+}
+
+fn emit_sequence(a: &[Value], indent: usize, out: &mut String) {
+    for v in a {
+        push_indent(indent, out);
+        out.push_str("- ");
+        match v {
+            Value::Object(m) if !m.is_empty() => {
+                // Compact entry: first key on the dash line.
+                let mut first = true;
+                for (k, inner) in m {
+                    if first {
+                        first = false;
+                    } else {
+                        push_indent(indent + 1, out);
+                    }
+                    emit_key(k, out);
+                    emit_entry_value(inner, indent + 1, out);
+                }
+            }
+            Value::Array(inner) if !inner.is_empty() => {
+                // Nested sequence: bare dash, children deeper.
+                out.pop();
+                out.pop();
+                out.push_str("-\n");
+                emit_sequence(inner, indent + 1, out);
+            }
+            other => {
+                emit_scalar(other, out);
+                out.push('\n');
+            }
+        }
+    }
+}
+
+/// Emits the value part of `key:` — scalar inline, container nested.
+fn emit_entry_value(v: &Value, indent: usize, out: &mut String) {
+    match v {
+        Value::Object(m) if !m.is_empty() => {
+            out.push('\n');
+            emit_mapping(m, indent + 1, out);
+        }
+        Value::Array(a) if !a.is_empty() => {
+            out.push('\n');
+            emit_sequence(a, indent + 1, out);
+        }
+        other => {
+            out.push(' ');
+            emit_scalar(other, out);
+            out.push('\n');
+        }
+    }
+}
+
+fn emit_key(k: &str, out: &mut String) {
+    if needs_quoting(k) {
+        out.push_str(&json_quote(k));
+    } else {
+        out.push_str(k);
+    }
+    out.push(':');
+}
+
+fn emit_scalar(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => {
+            if needs_quoting(s) {
+                out.push_str(&json_quote(s));
+            } else {
+                out.push_str(s);
+            }
+        }
+        Value::Array(a) => {
+            debug_assert!(a.is_empty(), "non-empty arrays handled by caller");
+            out.push_str("[]");
+        }
+        Value::Object(m) => {
+            debug_assert!(m.is_empty(), "non-empty objects handled by caller");
+            out.push_str("{}");
+        }
+    }
+}
+
+/// True when a plain scalar would be misparsed (as another type, a
+/// comment, flow syntax, …) and must be double-quoted.
+fn needs_quoting(s: &str) -> bool {
+    if s.is_empty() {
+        return true;
+    }
+    // Would resolve to a non-string under the core schema?
+    if !matches!(core_schema_scalar(s), Value::String(_)) {
+        return true;
+    }
+    let first = s.chars().next().expect("non-empty");
+    if matches!(
+        first,
+        '-' | '?' | ':' | '#' | '&' | '*' | '!' | '|' | '>' | '%' | '@' | '`' | '"' | '\'' | '['
+            | ']' | '{' | '}' | ','
+    ) {
+        return true;
+    }
+    if s.starts_with(char::is_whitespace) || s.ends_with(char::is_whitespace) {
+        return true;
+    }
+    if s.contains('\n') || s.contains('\t') {
+        return true;
+    }
+    // ": " or trailing ":" makes it look like a mapping; " #" starts a
+    // comment.
+    if s.contains(": ") || s.ends_with(':') || s.contains(" #") {
+        return true;
+    }
+    false
+}
+
+fn json_quote(s: &str) -> String {
+    crate::json::to_string(&Value::String(s.to_string()))
+}
+
+fn push_indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+#[derive(Debug)]
+struct Line {
+    number: usize,
+    indent: usize,
+    /// Content with indentation and trailing comment removed.
+    text: String,
+}
+
+fn err_at(line: &Line, column: usize, msg: impl Into<String>) -> ParseError {
+    ParseError::new(msg, Position::new(line.number, column))
+}
+
+fn preprocess(input: &str) -> Result<Vec<Line>, ParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let number = i + 1;
+        if raw.trim_start().starts_with('\t') || raw.starts_with('\t') {
+            return Err(ParseError::new(
+                "tab indentation is not supported",
+                Position::new(number, 1),
+            ));
+        }
+        let indent = raw.len() - raw.trim_start_matches(' ').len();
+        let body = strip_comment(&raw[indent..]);
+        let body = body.trim_end();
+        if body.is_empty() {
+            continue;
+        }
+        if number == 1 && body == "---" {
+            continue;
+        }
+        if body.starts_with('&') || body.starts_with('*') || body.starts_with("!!") {
+            return Err(ParseError::new(
+                "anchors, aliases, and tags are not supported",
+                Position::new(number, indent + 1),
+            ));
+        }
+        out.push(Line {
+            number,
+            indent,
+            text: body.to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Removes a trailing `#` comment, respecting quoted strings. A `#` only
+/// starts a comment at the beginning of the content or after whitespace.
+fn strip_comment(s: &str) -> &str {
+    let bytes = s.as_bytes();
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => {
+                if in_double && i > 0 && bytes[i - 1] == b'\\' {
+                    // escaped quote inside double-quoted string
+                } else {
+                    in_double = !in_double;
+                }
+            }
+            b'#' if !in_single && !in_double => {
+                if i == 0 || bytes[i - 1] == b' ' {
+                    return &s[..i];
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    s
+}
+
+fn parse_block(lines: &[Line], idx: &mut usize, indent: usize) -> Result<Value, ParseError> {
+    let line = &lines[*idx];
+    if line.text == "-" || line.text.starts_with("- ") {
+        parse_sequence(lines, idx, indent)
+    } else if is_mapping_entry(&line.text) {
+        parse_mapping(lines, idx, indent)
+    } else {
+        // Root-level plain scalar document.
+        let v = parse_scalar_or_flow(&line.text, line)?;
+        *idx += 1;
+        Ok(v)
+    }
+}
+
+fn parse_sequence(lines: &[Line], idx: &mut usize, indent: usize) -> Result<Value, ParseError> {
+    let mut items = Vec::new();
+    while *idx < lines.len() {
+        let line = &lines[*idx];
+        if line.indent != indent || !(line.text == "-" || line.text.starts_with("- ")) {
+            break;
+        }
+        if line.text == "-" {
+            // Item is a nested block on following lines.
+            *idx += 1;
+            if *idx < lines.len() && lines[*idx].indent > indent {
+                let child_indent = lines[*idx].indent;
+                items.push(parse_block(lines, idx, child_indent)?);
+            } else {
+                items.push(Value::Null);
+            }
+        } else {
+            let rest = line.text[2..].trim_start();
+            let extra = line.text.len() - rest.len(); // offset of content after "- "
+            if is_mapping_entry(rest) {
+                // Compact mapping entry: first key on the dash line,
+                // continuation keys indented to the key column.
+                let key_indent = indent + extra;
+                items.push(parse_compact_mapping(lines, idx, key_indent, rest)?);
+            } else {
+                items.push(parse_scalar_or_flow(rest, line)?);
+                *idx += 1;
+            }
+        }
+    }
+    Ok(Value::Array(items))
+}
+
+/// Parses a mapping whose first entry text is embedded in a `- ` sequence
+/// line. `key_indent` is the column of the first key.
+fn parse_compact_mapping(
+    lines: &[Line],
+    idx: &mut usize,
+    key_indent: usize,
+    first_entry: &str,
+) -> Result<Value, ParseError> {
+    let mut map = Map::new();
+    let first_line_no = lines[*idx].number;
+    insert_entry(&mut map, lines, idx, key_indent, first_entry)?;
+    while *idx < lines.len() {
+        let line = &lines[*idx];
+        if line.indent != key_indent || line.number == first_line_no {
+            break;
+        }
+        if line.text == "-" || line.text.starts_with("- ") {
+            break;
+        }
+        if !is_mapping_entry(&line.text) {
+            return Err(err_at(line, line.indent + 1, "expected mapping entry"));
+        }
+        let text = line.text.clone();
+        insert_entry(&mut map, lines, idx, key_indent, &text)?;
+    }
+    Ok(Value::Object(map))
+}
+
+fn parse_mapping(lines: &[Line], idx: &mut usize, indent: usize) -> Result<Value, ParseError> {
+    let mut map = Map::new();
+    while *idx < lines.len() {
+        let line = &lines[*idx];
+        if line.indent != indent {
+            break;
+        }
+        if line.text == "-" || line.text.starts_with("- ") {
+            break;
+        }
+        if !is_mapping_entry(&line.text) {
+            return Err(err_at(line, line.indent + 1, "expected 'key: value'"));
+        }
+        let text = line.text.clone();
+        insert_entry(&mut map, lines, idx, indent, &text)?;
+    }
+    Ok(Value::Object(map))
+}
+
+/// Parses one `key: ...` entry starting at `lines[*idx]` (whose content is
+/// `entry`), advancing `idx` past the entry and any nested block.
+fn insert_entry(
+    map: &mut Map,
+    lines: &[Line],
+    idx: &mut usize,
+    indent: usize,
+    entry: &str,
+) -> Result<(), ParseError> {
+    let line_no = *idx;
+    let (key_raw, rest) = split_key_raw(entry).ok_or_else(|| {
+        err_at(
+            &lines[line_no],
+            lines[line_no].indent + 1,
+            "expected 'key: value'",
+        )
+    })?;
+    let key = unquote_key(key_raw, &lines[line_no])?;
+    if map.contains_key(&key) {
+        return Err(err_at(
+            &lines[line_no],
+            lines[line_no].indent + 1,
+            format!("duplicate mapping key '{key}'"),
+        ));
+    }
+    *idx += 1;
+    let value = if rest.is_empty() {
+        // Nested block: deeper-indented block, or a sequence at the same
+        // indent, or null when nothing follows.
+        if *idx < lines.len() && lines[*idx].indent > indent {
+            let child_indent = lines[*idx].indent;
+            parse_block(lines, idx, child_indent)?
+        } else if *idx < lines.len()
+            && lines[*idx].indent == indent
+            && (lines[*idx].text == "-" || lines[*idx].text.starts_with("- "))
+        {
+            parse_sequence(lines, idx, indent)?
+        } else {
+            Value::Null
+        }
+    } else {
+        parse_scalar_or_flow(rest, &lines[line_no])?
+    };
+    map.insert(key, value);
+    Ok(())
+}
+
+/// True if the content line looks like a mapping entry (`key:` or
+/// `key: value`), respecting quoting of the key.
+fn is_mapping_entry(text: &str) -> bool {
+    split_key_raw(text).is_some()
+}
+
+/// Splits `key: rest`; returns `(key_text, rest)` without unquoting.
+fn split_key_raw(text: &str) -> Option<(&str, &str)> {
+    let bytes = text.as_bytes();
+    if bytes.is_empty() {
+        return None;
+    }
+    // Quoted key.
+    if bytes[0] == b'"' || bytes[0] == b'\'' {
+        let quote = bytes[0];
+        let mut i = 1;
+        while i < bytes.len() {
+            if bytes[i] == quote && !(quote == b'"' && bytes[i - 1] == b'\\') {
+                break;
+            }
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return None;
+        }
+        let after = &text[i + 1..];
+        let after_trim = after.trim_start();
+        if let Some(rest) = after_trim.strip_prefix(':') {
+            if rest.is_empty() || rest.starts_with(' ') {
+                return Some((&text[..i + 1], rest.trim_start()));
+            }
+        }
+        return None;
+    }
+    // Plain key: find a ':' that is followed by space/EOL and not inside
+    // flow brackets.
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'[' | b'{' => depth += 1,
+            b']' | b'}' => depth = depth.saturating_sub(1),
+            b':' if depth == 0 => {
+                let rest = &text[i + 1..];
+                if rest.is_empty() {
+                    return Some((&text[..i], ""));
+                }
+                if rest.starts_with(' ') {
+                    return Some((&text[..i], rest.trim_start()));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn unquote_key(k: &str, line: &Line) -> Result<String, ParseError> {
+    let k = k.trim();
+    if k.starts_with('"') {
+        let v = json::parse(k)
+            .map_err(|e| err_at(line, line.indent + 1, format!("bad key: {}", e.message())))?;
+        Ok(v.as_str().unwrap_or_default().to_string())
+    } else if k.starts_with('\'') && k.ends_with('\'') && k.len() >= 2 {
+        Ok(k[1..k.len() - 1].replace("''", "'"))
+    } else {
+        Ok(k.to_string())
+    }
+}
+
+/// Parses a scalar or flow-collection value occurring after `key: `.
+fn parse_scalar_or_flow(text: &str, line: &Line) -> Result<Value, ParseError> {
+    let text = text.trim();
+    if text.starts_with('[') || text.starts_with('{') {
+        let mut p = FlowParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != text.len() {
+            return Err(err_at(line, line.indent + p.pos + 1, "trailing flow content"));
+        }
+        return Ok(v);
+    }
+    Ok(plain_scalar(text, line)?)
+}
+
+fn plain_scalar(text: &str, line: &Line) -> Result<Value, ParseError> {
+    let t = text.trim();
+    if t.starts_with('"') {
+        let v = json::parse(t).map_err(|e| {
+            err_at(line, line.indent + 1, format!("bad string: {}", e.message()))
+        })?;
+        return Ok(v);
+    }
+    if t.starts_with('\'') {
+        if t.len() < 2 || !t.ends_with('\'') {
+            return Err(err_at(line, line.indent + 1, "unterminated single-quoted string"));
+        }
+        return Ok(Value::String(t[1..t.len() - 1].replace("''", "'")));
+    }
+    if t.starts_with('|') || t.starts_with('>') {
+        return Err(err_at(line, line.indent + 1, "block scalars are not supported"));
+    }
+    Ok(core_schema_scalar(t))
+}
+
+/// YAML 1.2 core-schema resolution for plain scalars.
+fn core_schema_scalar(t: &str) -> Value {
+    match t {
+        "" | "~" | "null" | "Null" | "NULL" => return Value::Null,
+        "true" | "True" | "TRUE" => return Value::Bool(true),
+        "false" | "False" | "FALSE" => return Value::Bool(false),
+        _ => {}
+    }
+    if let Ok(i) = t.parse::<i64>() {
+        return Value::Number(Number::Int(i));
+    }
+    if let Some(hex) = t.strip_prefix("0x") {
+        if let Ok(i) = i64::from_str_radix(hex, 16) {
+            return Value::Number(Number::Int(i));
+        }
+    }
+    if t.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+' || c == '.')
+        && !t.ends_with(':')
+    {
+        if let Ok(f) = t.parse::<f64>() {
+            return Value::Number(Number::from(f));
+        }
+    }
+    match t {
+        ".inf" | ".Inf" | "+.inf" => Value::Number(Number::from(f64::INFINITY)),
+        "-.inf" | "-.Inf" => Value::Number(Number::from(f64::NEG_INFINITY)),
+        _ => Value::String(t.to_string()),
+    }
+}
+
+struct FlowParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: &'a Line,
+}
+
+impl FlowParser<'_> {
+    fn err(&self, msg: &str) -> ParseError {
+        err_at(self.line, self.line.indent + self.pos + 1, msg)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos) == Some(&b' ') {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(b'"') | Some(b'\'') => {
+                let (start, end) = self.quoted()?;
+                let text = std::str::from_utf8(&self.bytes[start..end])
+                    .map_err(|_| self.err("invalid UTF-8"))?;
+                plain_scalar(text, self.line)
+            }
+            Some(_) => {
+                let start = self.pos;
+                while let Some(&b) = self.bytes.get(self.pos) {
+                    if b == b',' || b == b']' || b == b'}' || b == b':' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?;
+                Ok(core_schema_scalar(text.trim()))
+            }
+            None => Err(self.err("unexpected end of flow value")),
+        }
+    }
+
+    /// Consumes a quoted token, returning its byte range (inclusive of
+    /// quotes).
+    fn quoted(&mut self) -> Result<(usize, usize), ParseError> {
+        let quote = self.bytes[self.pos];
+        let start = self.pos;
+        self.pos += 1;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == quote && !(quote == b'"' && self.bytes[self.pos - 1] == b'\\') {
+                self.pos += 1;
+                return Ok((start, self.pos));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated quoted string"))
+    }
+
+    fn seq(&mut self) -> Result<Value, ParseError> {
+        self.pos += 1; // [
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in flow sequence")),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, ParseError> {
+        self.pos += 1; // {
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = match self.bytes.get(self.pos) {
+                Some(b'"') | Some(b'\'') => {
+                    let (start, end) = self.quoted()?;
+                    let text = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    match plain_scalar(text, self.line)? {
+                        Value::String(s) => s,
+                        other => other.to_string(),
+                    }
+                }
+                _ => {
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b':' || b == b',' || b == b'}' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?
+                        .trim()
+                        .to_string()
+                }
+            };
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b':') {
+                return Err(self.err("expected ':' in flow mapping"));
+            }
+            self.pos += 1;
+            let v = self.value()?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in flow mapping")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vjson;
+
+    #[test]
+    fn listing1_class_definition() {
+        // The paper's Listing 1 (cleaned of OCR noise).
+        let text = r#"
+classes:
+  - name: Image
+    qos:
+      throughput: 100
+    constraint:
+      persistent: true
+    keySpecs:
+      - name: image  # File Image
+    functions:
+      - name: resize
+        image: img/resize   # container image
+      - name: changeFormat
+        image: img/change-format
+  - name: LabelledImage
+    parent: Image
+    functions:
+      - name: detectObject
+        image: img/detect-object
+"#;
+        let v = parse(text).unwrap();
+        let classes = v["classes"].as_array().unwrap();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0]["name"].as_str(), Some("Image"));
+        assert_eq!(classes[0]["qos"]["throughput"].as_i64(), Some(100));
+        assert_eq!(classes[0]["constraint"]["persistent"].as_bool(), Some(true));
+        assert_eq!(classes[0]["keySpecs"][0]["name"].as_str(), Some("image"));
+        assert_eq!(classes[0]["functions"].len(), 2);
+        assert_eq!(
+            classes[0]["functions"][1]["image"].as_str(),
+            Some("img/change-format")
+        );
+        assert_eq!(classes[1]["parent"].as_str(), Some("Image"));
+        assert_eq!(
+            classes[1]["functions"][0]["name"].as_str(),
+            Some("detectObject")
+        );
+    }
+
+    #[test]
+    fn same_indent_sequence() {
+        let v = parse("functions:\n- a\n- b\n").unwrap();
+        assert_eq!(v["functions"], vjson!(["a", "b"]));
+    }
+
+    #[test]
+    fn scalars_core_schema() {
+        let v = parse(
+            "a: 1\nb: -2.5\nc: true\nd: False\ne: null\nf: ~\ng:\nh: plain text\ni: 0x1f\n",
+        )
+        .unwrap();
+        assert_eq!(v["a"].as_i64(), Some(1));
+        assert_eq!(v["b"].as_f64(), Some(-2.5));
+        assert_eq!(v["c"].as_bool(), Some(true));
+        assert_eq!(v["d"].as_bool(), Some(false));
+        assert!(v["e"].is_null());
+        assert!(v["f"].is_null());
+        assert!(v["g"].is_null());
+        assert_eq!(v["h"].as_str(), Some("plain text"));
+        assert_eq!(v["i"].as_i64(), Some(31));
+    }
+
+    #[test]
+    fn quoted_strings() {
+        let v = parse("a: \"with: colon\"\nb: 'single ''quoted'''\nc: \"esc\\n\"\n").unwrap();
+        assert_eq!(v["a"].as_str(), Some("with: colon"));
+        assert_eq!(v["b"].as_str(), Some("single 'quoted'"));
+        assert_eq!(v["c"].as_str(), Some("esc\n"));
+    }
+
+    #[test]
+    fn flow_collections() {
+        let v = parse("a: [1, two, [3, 4], {k: v}]\nb: {x: 1, y: [true]}\nc: []\nd: {}\n")
+            .unwrap();
+        assert_eq!(v["a"][0].as_i64(), Some(1));
+        assert_eq!(v["a"][1].as_str(), Some("two"));
+        assert_eq!(v["a"][2][1].as_i64(), Some(4));
+        assert_eq!(v["a"][3]["k"].as_str(), Some("v"));
+        assert_eq!(v["b"]["y"][0].as_bool(), Some(true));
+        assert_eq!(v["c"], Value::array());
+        assert_eq!(v["d"], Value::object());
+    }
+
+    #[test]
+    fn nested_sequences_with_bare_dash() {
+        let v = parse("matrix:\n  -\n    - 1\n    - 2\n  -\n    - 3\n").unwrap();
+        assert_eq!(v["matrix"], vjson!([[1, 2], [3]]));
+    }
+
+    #[test]
+    fn comments_and_blanks() {
+        let v = parse("# header\n\na: 1 # trailing\n\n# middle\nb: 2\n").unwrap();
+        assert_eq!(v, vjson!({"a": 1, "b": 2}));
+    }
+
+    #[test]
+    fn hash_inside_string_not_comment() {
+        let v = parse("a: \"x # y\"\nb: c#d\n").unwrap();
+        assert_eq!(v["a"].as_str(), Some("x # y"));
+        assert_eq!(v["b"].as_str(), Some("c#d"));
+    }
+
+    #[test]
+    fn document_marker() {
+        let v = parse("---\na: 1\n").unwrap();
+        assert_eq!(v["a"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn empty_document_is_null() {
+        assert!(parse("").unwrap().is_null());
+        assert!(parse("\n# only comments\n").unwrap().is_null());
+    }
+
+    #[test]
+    fn rejects_tabs_and_anchors() {
+        assert!(parse("a:\n\tb: 1\n").is_err());
+        assert!(parse("a: &anchor 1\n").unwrap()["a"].is_string() || true); // value anchors parse as string
+        assert!(parse("&anchor\na: 1\n").is_err());
+        assert!(parse("!!str hello\n").is_err());
+    }
+
+    #[test]
+    fn rejects_block_scalars() {
+        assert!(parse("a: |\n  text\n").is_err());
+        assert!(parse("a: >\n  text\n").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        assert!(parse("a: 1\na: 2\n").is_err());
+    }
+
+    #[test]
+    fn error_has_line_number() {
+        let err = parse("a: 1\n  bogus line without colon\n").unwrap_err();
+        assert_eq!(err.position().line, 2);
+    }
+
+    #[test]
+    fn deep_nesting_round_trip_against_json() {
+        let yaml_text = r#"
+deploy:
+  replicas: 3
+  resources:
+    limits:
+      cpu: 2
+      memory: 4096
+  regions:
+    - name: us-east
+      zones: [a, b]
+    - name: eu-west
+      zones: [c]
+"#;
+        let json_text = r#"{
+            "deploy": {
+                "replicas": 3,
+                "resources": {"limits": {"cpu": 2, "memory": 4096}},
+                "regions": [
+                    {"name": "us-east", "zones": ["a", "b"]},
+                    {"name": "eu-west", "zones": ["c"]}
+                ]
+            }
+        }"#;
+        assert_eq!(parse(yaml_text).unwrap(), json::parse(json_text).unwrap());
+    }
+
+    #[test]
+    fn sequence_of_scalars_at_root() {
+        let v = parse("- 1\n- 2\n- three\n").unwrap();
+        assert_eq!(v, vjson!([1, 2, "three"]));
+    }
+
+    #[test]
+    fn compact_entry_key_column_scoping() {
+        // Continuation keys must align with the first key after the dash.
+        let v = parse("items:\n  - name: a\n    size: 1\n  - name: b\n    size: 2\n").unwrap();
+        assert_eq!(v["items"].len(), 2);
+        assert_eq!(v["items"][1]["size"].as_i64(), Some(2));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the value model and text formats.
+
+use oprc_value::{json, merge, yaml, Map, Number, Value};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary JSON values with bounded depth/size.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(|i| Value::Number(Number::Int(i))),
+        (-1e12f64..1e12f64).prop_map(|f| Value::Number(Number::from(f))),
+        "[a-zA-Z0-9 _\\-\\.\\\\\"\u{00e9}\u{4e16}]{0,24}".prop_map(Value::String),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::btree_map("[a-z][a-z0-9_]{0,8}", inner, 0..6)
+                .prop_map(|m| Value::Object(m.into_iter().collect::<Map>())),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn json_round_trip_compact(v in arb_value()) {
+        let text = json::to_string(&v);
+        let parsed = json::parse(&text).unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn json_round_trip_pretty(v in arb_value()) {
+        let text = json::to_string_pretty(&v);
+        let parsed = json::parse(&text).unwrap();
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parse_never_panics(s in "\\PC{0,64}") {
+        let _ = json::parse(&s);
+        let _ = yaml::parse(&s);
+    }
+
+    #[test]
+    fn diff_merge_round_trip(a in arb_value(), b in arb_value()) {
+        // Merge-patch cannot express explicit-null object members
+        // (RFC 7396); platform state is normalized, so test on
+        // normalized targets.
+        let mut b = b;
+        merge::normalize(&mut b);
+        let mut applied = a.clone();
+        match merge::diff(&a, &b) {
+            Some(patch) => merge::deep_merge(&mut applied, patch),
+            None => prop_assert_eq!(&a, &b),
+        }
+        merge::normalize(&mut applied);
+        prop_assert_eq!(applied, b);
+    }
+
+    #[test]
+    fn approx_size_within_factor(v in arb_value()) {
+        let exact = json::to_string(&v).len();
+        let approx = v.approx_size();
+        // Within 2x in both directions plus slack for tiny values.
+        prop_assert!(approx + 8 >= exact / 2, "approx={} exact={}", approx, exact);
+        prop_assert!(approx <= exact * 2 + 8, "approx={} exact={}", approx, exact);
+    }
+
+    #[test]
+    fn pointer_get_after_set(
+        keys in prop::collection::vec("[a-z]{1,6}", 1..5),
+        val in arb_value(),
+    ) {
+        let pointer: String = keys.iter().map(|k| format!("/{k}")).collect();
+        let mut doc = Value::Null;
+        prop_assume!(oprc_value::path::set(&mut doc, &pointer, val.clone()));
+        prop_assert_eq!(doc.pointer(&pointer), Some(&val));
+    }
+
+    #[test]
+    fn yaml_emit_parse_round_trip(v in arb_value()) {
+        let text = yaml::to_string(&v);
+        let parsed = yaml::parse(&text).unwrap_or_else(|e| {
+            panic!("emitted YAML failed to parse: {e}\n---\n{text}\n---")
+        });
+        prop_assert_eq!(parsed, v, "yaml text:\n{}", text);
+    }
+
+    #[test]
+    fn yaml_parses_emitted_json_scalars(i in any::<i64>(), b in any::<bool>()) {
+        // YAML is a superset of JSON for flow scalars; spot-check numbers
+        // and booleans embedded in a mapping.
+        let text = format!("int: {i}\nflag: {b}\n");
+        let v = yaml::parse(&text).unwrap();
+        prop_assert_eq!(v["int"].as_i64(), Some(i));
+        prop_assert_eq!(v["flag"].as_bool(), Some(b));
+    }
+}

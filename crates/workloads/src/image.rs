@@ -1,0 +1,352 @@
+//! The image-processing application of Listing 1.
+//!
+//! `Image` holds one file-typed key (`image`) and two methods backed by
+//! container images (`img/resize`, `img/change-format`);
+//! `LabelledImage` inherits from it and adds `detectObject`
+//! (`img/detect-object`). The functions operate on a synthetic raster
+//! format and access the file **only through the presigned URLs** in
+//! their task — exactly the §III-D contract.
+//!
+//! ## Synthetic raster format
+//!
+//! `[width: u16 BE][height: u16 BE][pixels: width*height bytes]`,
+//! grayscale. Enough to make `resize` (box down-sampling) and
+//! `detectObject` (bright-region counting) real computations.
+
+use bytes::Bytes;
+
+use oprc_core::invocation::{TaskError, TaskResult};
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_platform::PlatformError;
+use oprc_value::vjson;
+
+/// The Listing 1 package (plus a `pipeline` dataflow used by examples).
+pub const PACKAGE_YAML: &str = r#"
+name: multimedia
+classes:
+  - name: Image
+    qos:
+      throughput: 100
+    constraint:
+      persistent: true
+    keySpecs:
+      - name: image   # File Image
+        type: file
+    functions:
+      - name: resize
+        image: img/resize
+      - name: changeFormat
+        image: img/change-format
+  - name: LabelledImage
+    parent: Image
+    functions:
+      - name: detectObject
+        image: img/detect-object
+    dataflows:
+      - name: pipeline
+        output: label
+        steps:
+          - id: shrink
+            function: resize
+            inputs: [input]
+          - id: label
+            function: detectObject
+            inputs: ["step:shrink"]
+"#;
+
+/// Encodes a synthetic grayscale image.
+///
+/// # Panics
+///
+/// Panics if `pixels.len() != width * height` or a dimension exceeds
+/// `u16::MAX`.
+pub fn encode_image(width: usize, height: usize, pixels: &[u8]) -> Bytes {
+    assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
+    let w = u16::try_from(width).expect("width fits u16");
+    let h = u16::try_from(height).expect("height fits u16");
+    let mut buf = Vec::with_capacity(4 + pixels.len());
+    buf.extend_from_slice(&w.to_be_bytes());
+    buf.extend_from_slice(&h.to_be_bytes());
+    buf.extend_from_slice(pixels);
+    Bytes::from(buf)
+}
+
+/// Decodes a synthetic image into `(width, height, pixels)`.
+///
+/// Returns `None` for malformed buffers.
+pub fn decode_image(data: &[u8]) -> Option<(usize, usize, &[u8])> {
+    if data.len() < 4 {
+        return None;
+    }
+    let w = u16::from_be_bytes([data[0], data[1]]) as usize;
+    let h = u16::from_be_bytes([data[2], data[3]]) as usize;
+    let pixels = &data[4..];
+    if pixels.len() != w * h {
+        return None;
+    }
+    Some((w, h, pixels))
+}
+
+/// Generates a deterministic test image with a few bright square
+/// "objects" on a dark background.
+pub fn generate_image(width: usize, height: usize, objects: usize) -> Bytes {
+    let mut pixels = vec![40u8; width * height];
+    for i in 0..objects {
+        // Spread object centers deterministically.
+        let cx = (i * 2 + 1) * width / (objects * 2).max(1);
+        let cy = height / 2;
+        let r = (width.min(height) / (objects * 4).max(4)).max(1);
+        for y in cy.saturating_sub(r)..(cy + r).min(height) {
+            for x in cx.saturating_sub(r)..(cx + r).min(width) {
+                pixels[y * width + x] = 230;
+            }
+        }
+    }
+    encode_image(width, height, &pixels)
+}
+
+/// Box-downsamples to the requested size.
+pub fn resize_pixels(
+    (w, h, pixels): (usize, usize, &[u8]),
+    new_w: usize,
+    new_h: usize,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(new_w * new_h);
+    for y in 0..new_h {
+        for x in 0..new_w {
+            let sx = x * w / new_w.max(1);
+            let sy = y * h / new_h.max(1);
+            out.push(pixels[sy * w + sx]);
+        }
+    }
+    out
+}
+
+/// Counts connected bright regions row-wise (a deliberately simple
+/// "object detector": runs of pixels > 200 that don't continue from the
+/// previous row).
+pub fn count_bright_objects((w, h, pixels): (usize, usize, &[u8])) -> usize {
+    let bright = |x: usize, y: usize| pixels[y * w + x] > 200;
+    let mut count = 0;
+    for y in 0..h {
+        let mut x = 0;
+        while x < w {
+            if bright(x, y) && (x == 0 || !bright(x - 1, y)) {
+                // Run start; count only if the run does not touch a
+                // bright pixel in the previous row (new object).
+                let mut is_new = true;
+                let mut rx = x;
+                while rx < w && bright(rx, y) {
+                    if y > 0 && bright(rx, y - 1) {
+                        is_new = false;
+                    }
+                    rx += 1;
+                }
+                if is_new {
+                    count += 1;
+                }
+                x = rx;
+            } else {
+                x += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Registers the three function implementations and deploys the
+/// package.
+///
+/// # Errors
+///
+/// Propagates deployment errors.
+pub fn install(platform: &mut EmbeddedPlatform) -> Result<(), PlatformError> {
+    let s3 = platform.s3();
+    platform.register_function("img/resize", move |task| {
+        let get = task
+            .file_urls
+            .get("image")
+            .ok_or_else(|| TaskError::Runtime("no presigned GET for 'image'".into()))?;
+        let put = task
+            .file_urls
+            .get("image:put")
+            .ok_or_else(|| TaskError::Runtime("no presigned PUT for 'image'".into()))?;
+        let obj = s3
+            .get(get)
+            .map_err(|e| TaskError::Application(format!("fetch failed: {e}")))?;
+        let img = decode_image(&obj.data)
+            .ok_or_else(|| TaskError::Application("malformed image".into()))?;
+        let new_w = task.args.first().and_then(|a| a["width"].as_u64()).unwrap_or(64) as usize;
+        let new_h = task
+            .args
+            .first()
+            .and_then(|a| a["height"].as_u64())
+            .unwrap_or((new_w * img.1 / img.0.max(1)).max(1) as u64) as usize;
+        let resized = resize_pixels(img, new_w.max(1), new_h.max(1));
+        let encoded = encode_image(new_w.max(1), new_h.max(1), &resized);
+        let meta = s3
+            .put(put, encoded, &obj.meta.content_type)
+            .map_err(|e| TaskError::Application(format!("store failed: {e}")))?;
+        Ok(
+            TaskResult::output(vjson!({"width": (new_w as i64), "height": (new_h as i64)}))
+                .with_patch(vjson!({"width": (new_w as i64), "height": (new_h as i64)}))
+                .with_file("image", meta.etag),
+        )
+    });
+
+    let s3 = platform.s3();
+    platform.register_function("img/change-format", move |task| {
+        let get = task
+            .file_urls
+            .get("image")
+            .ok_or_else(|| TaskError::Runtime("no presigned GET for 'image'".into()))?;
+        let put = task
+            .file_urls
+            .get("image:put")
+            .ok_or_else(|| TaskError::Runtime("no presigned PUT for 'image'".into()))?;
+        let format = task
+            .args
+            .first()
+            .and_then(|a| a["format"].as_str())
+            .unwrap_or("png")
+            .to_string();
+        let obj = s3
+            .get(get)
+            .map_err(|e| TaskError::Application(format!("fetch failed: {e}")))?;
+        // Re-store under the new content type (payload unchanged — the
+        // synthetic format has no real codecs).
+        let meta = s3
+            .put(put, obj.data, &format!("image/{format}"))
+            .map_err(|e| TaskError::Application(format!("store failed: {e}")))?;
+        Ok(TaskResult::output(vjson!({"format": (format.as_str())}))
+            .with_patch(vjson!({"format": (format.as_str())}))
+            .with_file("image", meta.etag))
+    });
+
+    let s3 = platform.s3();
+    platform.register_function("img/detect-object", move |task| {
+        let get = task
+            .file_urls
+            .get("image")
+            .ok_or_else(|| TaskError::Runtime("no presigned GET for 'image'".into()))?;
+        let obj = s3
+            .get(get)
+            .map_err(|e| TaskError::Application(format!("fetch failed: {e}")))?;
+        let img = decode_image(&obj.data)
+            .ok_or_else(|| TaskError::Application("malformed image".into()))?;
+        let n = count_bright_objects(img) as i64;
+        Ok(TaskResult::output(vjson!({"objects": n}))
+            .with_patch(vjson!({"labels": {"objects": n}})))
+    });
+
+    platform.deploy_yaml(PACKAGE_YAML)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raster_round_trip() {
+        let img = generate_image(32, 16, 3);
+        let (w, h, px) = decode_image(&img).unwrap();
+        assert_eq!((w, h), (32, 16));
+        assert_eq!(px.len(), 32 * 16);
+        assert!(decode_image(&img[..3]).is_none());
+        assert!(decode_image(&img[..10]).is_none());
+    }
+
+    #[test]
+    fn detector_counts_objects() {
+        for n in 1..=4 {
+            let img = generate_image(64, 32, n);
+            let decoded = decode_image(&img).unwrap();
+            assert_eq!(count_bright_objects(decoded), n, "n={n}");
+        }
+        let dark = generate_image(16, 16, 0);
+        assert_eq!(count_bright_objects(decode_image(&dark).unwrap()), 0);
+    }
+
+    #[test]
+    fn resize_preserves_objects() {
+        let img = generate_image(128, 64, 2);
+        let decoded = decode_image(&img).unwrap();
+        let small = resize_pixels(decoded, 32, 16);
+        assert_eq!(small.len(), 32 * 16);
+        let small_img = encode_image(32, 16, &small);
+        assert_eq!(
+            count_bright_objects(decode_image(&small_img).unwrap()),
+            2,
+            "downsampling should keep both objects visible"
+        );
+    }
+
+    fn setup() -> (EmbeddedPlatform, oprc_core::object::ObjectId) {
+        let mut p = EmbeddedPlatform::new();
+        install(&mut p).unwrap();
+        let id = p.create_object("LabelledImage", vjson!({})).unwrap();
+        let url = p.upload_url(id, "image").unwrap();
+        p.upload(&url, generate_image(64, 32, 3), "image/raw").unwrap();
+        (p, id)
+    }
+
+    #[test]
+    fn listing1_end_to_end() {
+        let (mut p, id) = setup();
+        // Inherited method.
+        let out = p
+            .invoke(id, "resize", vec![vjson!({"width": 32, "height": 16})])
+            .unwrap();
+        assert_eq!(out.output["width"].as_i64(), Some(32));
+        // Own method on the resized file.
+        let out = p.invoke(id, "detectObject", vec![]).unwrap();
+        assert_eq!(out.output["objects"].as_i64(), Some(3));
+        // State updated.
+        let state = p.get_state(id).unwrap();
+        assert_eq!(state["width"].as_i64(), Some(32));
+        assert_eq!(state["labels"]["objects"].as_i64(), Some(3));
+        // File reference tracked with an etag.
+        assert!(p.file_ref(id, "image").unwrap().etag.is_some());
+    }
+
+    #[test]
+    fn change_format_rewrites_content_type() {
+        let (mut p, id) = setup();
+        p.invoke(id, "changeFormat", vec![vjson!({"format": "webp"})])
+            .unwrap();
+        let url = p.download_url(id, "image").unwrap();
+        let obj = p.download(&url).unwrap();
+        assert_eq!(obj.meta.content_type, "image/webp");
+        assert_eq!(p.get_state(id).unwrap()["format"].as_str(), Some("webp"));
+    }
+
+    #[test]
+    fn dataflow_pipeline_resizes_then_detects() {
+        let (mut p, id) = setup();
+        let out = p
+            .invoke(id, "pipeline", vec![vjson!({"width": 16, "height": 8})])
+            .unwrap();
+        assert_eq!(out.output["objects"].as_i64(), Some(3));
+        assert_eq!(p.get_state(id).unwrap()["width"].as_i64(), Some(16));
+    }
+
+    #[test]
+    fn base_class_lacks_detector() {
+        let mut p = EmbeddedPlatform::new();
+        install(&mut p).unwrap();
+        let id = p.create_object("Image", vjson!({})).unwrap();
+        assert!(p.invoke(id, "detectObject", vec![]).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_application_error() {
+        let mut p = EmbeddedPlatform::new();
+        install(&mut p).unwrap();
+        let id = p.create_object("Image", vjson!({})).unwrap();
+        let err = p.invoke(id, "detectObject", vec![]).unwrap_err();
+        // detectObject not on Image; use resize instead for this check.
+        let _ = err;
+        let err = p.invoke(id, "resize", vec![vjson!({"width": 8})]).unwrap_err();
+        assert!(err.to_string().contains("fetch failed"), "{err}");
+    }
+}

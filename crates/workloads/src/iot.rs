@@ -1,0 +1,303 @@
+//! IoT devices as objects (the paper's §II-D extension).
+//!
+//! "We can treat the IoT device as an object that exposes various
+//! functions for reconfiguring or accessing the device's capabilities.
+//! Consolidating IoT management within a single platform simplifies
+//! integration with other parts of the application."
+//!
+//! A `Device` object mirrors one sensor: its *desired* and *reported*
+//! configuration (the classic device-twin split), a telemetry window,
+//! and methods to reconfigure, ingest readings, and query health. A
+//! `Fleet` object aggregates across devices, showing object-to-object
+//! composition: its summarize function is fed device summaries through a
+//! dataflow-free fan-in performed by the caller (fleet rollups are
+//! eventually consistent in real systems; here the caller supplies the
+//! snapshot explicitly, keeping functions pure).
+
+use oprc_core::invocation::{TaskError, TaskResult};
+use oprc_core::object::ObjectId;
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_platform::PlatformError;
+use oprc_value::{vjson, Value};
+
+/// Telemetry readings kept per device (ring buffer length).
+pub const TELEMETRY_WINDOW: usize = 16;
+
+/// The IoT package: a device twin and a fleet aggregate.
+pub const PACKAGE_YAML: &str = r#"
+name: iot
+classes:
+  - name: Device
+    qos:
+      latency: 10
+    constraint:
+      persistent: true
+    keySpecs:
+      - desired
+      - reported
+      - telemetry
+    functions:
+      - name: configure
+        image: iot/configure
+      - name: ack
+        image: iot/ack
+      - name: ingest
+        image: iot/ingest
+      - name: health
+        image: iot/health
+        readonly: true
+  - name: Fleet
+    constraint:
+      persistent: true
+    keySpecs:
+      - devices
+    functions:
+      - name: register
+        image: iot/register
+      - name: summarize
+        image: iot/summarize
+        readonly: true
+"#;
+
+/// Registers the device/fleet implementations and deploys the package.
+///
+/// # Errors
+///
+/// Propagates deployment errors.
+pub fn install(platform: &mut EmbeddedPlatform) -> Result<(), PlatformError> {
+    // configure(desired-patch): update the *desired* twin only; the
+    // physical device acks later.
+    platform.register_function("iot/configure", |task| {
+        let patch = task
+            .args
+            .first()
+            .cloned()
+            .ok_or_else(|| TaskError::Application("configure needs a patch".into()))?;
+        if !patch.is_object() {
+            return Err(TaskError::Application("patch must be an object".into()));
+        }
+        let mut desired = task.state_in["desired"].clone();
+        if desired.is_null() {
+            desired = Value::object();
+        }
+        oprc_value::merge::deep_merge(&mut desired, patch);
+        oprc_value::merge::normalize(&mut desired);
+        Ok(TaskResult::output(desired.clone()).with_patch(vjson!({ "desired": desired })))
+    });
+
+    // ack(): device reports it now matches desired.
+    platform.register_function("iot/ack", |task| {
+        let desired = task.state_in["desired"].clone();
+        Ok(TaskResult::output(vjson!({"in_sync": true}))
+            .with_patch(vjson!({ "reported": desired })))
+    });
+
+    // ingest(reading): append to the bounded telemetry window.
+    platform.register_function("iot/ingest", |task| {
+        let reading = task
+            .args
+            .first()
+            .and_then(Value::as_f64)
+            .ok_or_else(|| TaskError::Application("ingest needs a numeric reading".into()))?;
+        let mut window: Vec<Value> = task.state_in["telemetry"]
+            .as_array()
+            .map(<[Value]>::to_vec)
+            .unwrap_or_default();
+        window.push(Value::from(reading));
+        if window.len() > TELEMETRY_WINDOW {
+            let excess = window.len() - TELEMETRY_WINDOW;
+            window.drain(..excess);
+        }
+        let n = window.len();
+        Ok(TaskResult::output(n as i64)
+            .with_patch(Value::from_iter([(
+                "telemetry".to_string(),
+                Value::Array(window),
+            )])))
+    });
+
+    // health(): pure read over the twin + telemetry.
+    platform.register_function("iot/health", |task| {
+        let desired = &task.state_in["desired"];
+        let reported = &task.state_in["reported"];
+        let in_sync = !desired.is_null() && desired == reported;
+        let window = task.state_in["telemetry"].as_array().unwrap_or(&[]);
+        let mean = if window.is_empty() {
+            Value::Null
+        } else {
+            let sum: f64 = window.iter().filter_map(Value::as_f64).sum();
+            Value::from(sum / window.len() as f64)
+        };
+        Ok(TaskResult::output(vjson!({
+            "in_sync": in_sync,
+            "samples": (window.len()),
+            "mean": mean,
+        })))
+    });
+
+    // register(device-id): track membership on the fleet.
+    platform.register_function("iot/register", |task| {
+        let device = task
+            .args
+            .first()
+            .and_then(Value::as_u64)
+            .ok_or_else(|| TaskError::Application("register needs a device object id".into()))?;
+        let mut devices: Vec<Value> = task.state_in["devices"]
+            .as_array()
+            .map(<[Value]>::to_vec)
+            .unwrap_or_default();
+        if !devices.iter().any(|d| d.as_u64() == Some(device)) {
+            devices.push(Value::from(device));
+        }
+        let n = devices.len() as i64;
+        Ok(TaskResult::output(n)
+            .with_patch(Value::from_iter([(
+                "devices".to_string(),
+                Value::Array(devices),
+            )])))
+    });
+
+    // summarize(health-snapshots): roll up health documents the caller
+    // gathered from member devices.
+    platform.register_function("iot/summarize", |task| {
+        let snapshots = task
+            .args
+            .first()
+            .and_then(Value::as_array)
+            .ok_or_else(|| TaskError::Application("summarize needs a snapshot array".into()))?;
+        let total = snapshots.len() as i64;
+        let in_sync = snapshots
+            .iter()
+            .filter(|s| s["in_sync"].as_bool() == Some(true))
+            .count() as i64;
+        Ok(TaskResult::output(vjson!({
+            "devices": total,
+            "in_sync": in_sync,
+            "out_of_sync": (total - in_sync),
+        })))
+    });
+
+    platform.deploy_yaml(PACKAGE_YAML)
+}
+
+/// Convenience: create a fleet with `n` registered devices.
+///
+/// # Errors
+///
+/// Propagates creation/invocation errors.
+pub fn provision_fleet(
+    platform: &mut EmbeddedPlatform,
+    n: usize,
+) -> Result<(ObjectId, Vec<ObjectId>), PlatformError> {
+    let fleet = platform.create_object("Fleet", vjson!({}))?;
+    let mut devices = Vec::with_capacity(n);
+    for _ in 0..n {
+        let d = platform.create_object("Device", vjson!({}))?;
+        platform.invoke(fleet, "register", vec![Value::from(d.as_u64())])?;
+        devices.push(d);
+    }
+    Ok((fleet, devices))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (EmbeddedPlatform, ObjectId) {
+        let mut p = EmbeddedPlatform::new();
+        install(&mut p).unwrap();
+        let d = p.create_object("Device", vjson!({})).unwrap();
+        (p, d)
+    }
+
+    #[test]
+    fn twin_lifecycle_configure_then_ack() {
+        let (mut p, d) = setup();
+        p.invoke(d, "configure", vec![vjson!({"rate_hz": 10})]).unwrap();
+        let h = p.invoke(d, "health", vec![]).unwrap();
+        assert_eq!(h.output["in_sync"].as_bool(), Some(false));
+        p.invoke(d, "ack", vec![]).unwrap();
+        let h = p.invoke(d, "health", vec![]).unwrap();
+        assert_eq!(h.output["in_sync"].as_bool(), Some(true));
+        // Re-configure desynchronizes again.
+        p.invoke(d, "configure", vec![vjson!({"rate_hz": 20})]).unwrap();
+        let h = p.invoke(d, "health", vec![]).unwrap();
+        assert_eq!(h.output["in_sync"].as_bool(), Some(false));
+    }
+
+    #[test]
+    fn configure_merges_incrementally() {
+        let (mut p, d) = setup();
+        p.invoke(d, "configure", vec![vjson!({"rate_hz": 10, "mode": "eco"})])
+            .unwrap();
+        let out = p
+            .invoke(d, "configure", vec![vjson!({"rate_hz": 50})])
+            .unwrap();
+        assert_eq!(out.output["rate_hz"].as_i64(), Some(50));
+        assert_eq!(out.output["mode"].as_str(), Some("eco"));
+    }
+
+    #[test]
+    fn telemetry_window_is_bounded() {
+        let (mut p, d) = setup();
+        for i in 0..40 {
+            p.invoke(d, "ingest", vec![Value::from(i as f64)]).unwrap();
+        }
+        let state = p.get_state(d).unwrap();
+        let window = state["telemetry"].as_array().unwrap();
+        assert_eq!(window.len(), TELEMETRY_WINDOW);
+        // Oldest entries evicted: window holds 24..39.
+        assert_eq!(window[0].as_f64(), Some(24.0));
+        let h = p.invoke(d, "health", vec![]).unwrap();
+        assert_eq!(h.output["samples"].as_i64(), Some(16));
+        assert!((h.output["mean"].as_f64().unwrap() - 31.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ingest_rejects_non_numeric() {
+        let (mut p, d) = setup();
+        assert!(p.invoke(d, "ingest", vec![vjson!("hot")]).is_err());
+        assert!(p.invoke(d, "ingest", vec![]).is_err());
+    }
+
+    #[test]
+    fn fleet_rollup() {
+        let mut p = EmbeddedPlatform::new();
+        install(&mut p).unwrap();
+        let (fleet, devices) = provision_fleet(&mut p, 3).unwrap();
+        // Sync two of three devices.
+        for d in &devices {
+            p.invoke(*d, "configure", vec![vjson!({"on": true})]).unwrap();
+        }
+        for d in &devices[..2] {
+            p.invoke(*d, "ack", vec![]).unwrap();
+        }
+        let snapshots: Vec<Value> = devices
+            .iter()
+            .map(|d| p.invoke(*d, "health", vec![]).unwrap().output)
+            .collect();
+        let out = p
+            .invoke(fleet, "summarize", vec![Value::Array(snapshots)])
+            .unwrap();
+        assert_eq!(out.output["devices"].as_i64(), Some(3));
+        assert_eq!(out.output["in_sync"].as_i64(), Some(2));
+        assert_eq!(out.output["out_of_sync"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut p = EmbeddedPlatform::new();
+        install(&mut p).unwrap();
+        let (fleet, devices) = provision_fleet(&mut p, 2).unwrap();
+        let n = p
+            .invoke(fleet, "register", vec![Value::from(devices[0].as_u64())])
+            .unwrap();
+        assert_eq!(n.output.as_i64(), Some(2), "re-registration is a no-op");
+    }
+
+    #[test]
+    fn latency_nfr_selects_low_latency_template() {
+        let (p, _) = setup();
+        assert_eq!(p.runtime_spec("Device").unwrap().template, "low-latency");
+    }
+}

@@ -1,0 +1,179 @@
+//! The JSON randomization application (the paper's §V workload).
+//!
+//! Each invocation of `randomize` regenerates the object's JSON document
+//! with fresh pseudo-random keys/values and stores it as object state —
+//! a deliberately write-dominated workload, which is what exposes the
+//! database write bottleneck in Fig. 3.
+//!
+//! The function is *pure*: its randomness derives entirely from the
+//! `seed` argument (or, absent one, from the task id), so identical
+//! tasks produce identical documents.
+
+use oprc_core::invocation::TaskResult;
+use oprc_core::object::ObjectId;
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_platform::PlatformError;
+use oprc_value::{vjson, Map, Value};
+
+/// The class definition deployed for this workload.
+pub const PACKAGE_YAML: &str = "
+name: jsonrand
+classes:
+  - name: JsonDoc
+    qos:
+      throughput: 100
+    constraint:
+      persistent: true
+    keySpecs: [doc]
+    functions:
+      - name: randomize
+        image: img/json-randomizer
+      - name: read
+        image: img/json-reader
+        readonly: true
+";
+
+/// Deterministically generates a randomized document with `keys`
+/// members from `seed`.
+pub fn randomized_doc(seed: u64, keys: usize) -> Value {
+    let mut map = Map::new();
+    let mut x = seed ^ 0x5DEECE66D;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for i in 0..keys {
+        let r = next();
+        let key = format!("k{i:03}");
+        let value = match r % 3 {
+            0 => Value::from((r >> 2) as i64 % 100_000),
+            1 => Value::from(alnum(r, 16)),
+            _ => vjson!({"nested": ((r >> 2) as i64 % 1000), "flag": ((r & 2) == 0)}),
+        };
+        map.insert(key, value);
+    }
+    Value::Object(map)
+}
+
+fn alnum(mut x: u64, len: usize) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            CHARS[(x >> 33) as usize % CHARS.len()] as char
+        })
+        .collect()
+}
+
+/// Registers the workload's function implementations and deploys the
+/// class.
+///
+/// # Errors
+///
+/// Propagates deployment errors.
+pub fn install(platform: &mut EmbeddedPlatform) -> Result<(), PlatformError> {
+    platform.register_function("img/json-randomizer", |task| {
+        let keys = task.args.first().and_then(|a| a["keys"].as_u64()).unwrap_or(16) as usize;
+        let seed = task
+            .args
+            .first()
+            .and_then(|a| a["seed"].as_u64())
+            .unwrap_or(task.task_id);
+        let doc = randomized_doc(seed, keys);
+        Ok(TaskResult::output(doc.clone()).with_patch(vjson!({ "doc": doc })))
+    });
+    platform.register_function("img/json-reader", |task| {
+        Ok(TaskResult::output(task.state_in["doc"].clone()))
+    });
+    platform.deploy_yaml(PACKAGE_YAML)
+}
+
+/// Creates `count` JsonDoc objects with empty documents.
+///
+/// # Errors
+///
+/// Propagates object-creation errors.
+pub fn create_objects(
+    platform: &mut EmbeddedPlatform,
+    count: usize,
+) -> Result<Vec<ObjectId>, PlatformError> {
+    (0..count)
+        .map(|_| platform.create_object("JsonDoc", vjson!({})))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_generation_is_deterministic_and_sized() {
+        let a = randomized_doc(7, 24);
+        let b = randomized_doc(7, 24);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 24);
+        let c = randomized_doc(8, 24);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn end_to_end_randomize_and_read() {
+        let mut p = EmbeddedPlatform::new();
+        install(&mut p).unwrap();
+        let ids = create_objects(&mut p, 3).unwrap();
+        let out = p
+            .invoke(ids[0], "randomize", vec![vjson!({"keys": 8, "seed": 1})])
+            .unwrap();
+        assert_eq!(out.output.len(), 8);
+        // State persisted and readable through the readonly function.
+        let read = p.invoke(ids[0], "read", vec![]).unwrap();
+        assert_eq!(read.output, out.output);
+        // Other objects untouched.
+        let other = p.invoke(ids[1], "read", vec![]).unwrap();
+        assert!(other.output.is_null());
+    }
+
+    #[test]
+    fn rerandomize_overwrites() {
+        let mut p = EmbeddedPlatform::new();
+        install(&mut p).unwrap();
+        let id = p.create_object("JsonDoc", vjson!({})).unwrap();
+        let a = p
+            .invoke(id, "randomize", vec![vjson!({"keys": 4, "seed": 1})])
+            .unwrap();
+        let b = p
+            .invoke(id, "randomize", vec![vjson!({"keys": 4, "seed": 2})])
+            .unwrap();
+        assert_ne!(a.output, b.output);
+        let read = p.invoke(id, "read", vec![]).unwrap();
+        assert_eq!(read.output, b.output);
+    }
+
+    #[test]
+    fn workload_is_write_heavy() {
+        let mut p = EmbeddedPlatform::new();
+        install(&mut p).unwrap();
+        let id = p.create_object("JsonDoc", vjson!({})).unwrap();
+        for i in 0..30 {
+            p.invoke(id, "randomize", vec![vjson!({"keys": 4, "seed": (i as i64)})])
+                .unwrap();
+        }
+        p.flush();
+        let (_, consolidated, batches, _) = p.storage_stats();
+        assert!(consolidated > 0, "hot object must consolidate");
+        assert!(batches >= 1);
+    }
+
+    #[test]
+    fn selected_template_honors_nfr() {
+        let mut p = EmbeddedPlatform::new();
+        install(&mut p).unwrap();
+        let spec = p.runtime_spec("JsonDoc").unwrap();
+        // throughput 100 < high-throughput threshold → default template,
+        // persistent config.
+        assert_eq!(spec.template, "default");
+        assert!(spec.config.persistent);
+    }
+}

@@ -1,0 +1,29 @@
+//! Reference OaaS applications and load generators.
+//!
+//! Three applications exercise the platform the way the paper motivates
+//! and evaluates it:
+//!
+//! - [`jsonrand`] — the **JSON randomization** application used in the
+//!   scalability evaluation (§V, Fig. 3): each invocation regenerates an
+//!   object's randomized JSON document, making the workload write-heavy.
+//! - [`image`] — the **image processing** classes of Listing 1 (`Image`
+//!   with `resize`/`changeFormat`, `LabelledImage` adding
+//!   `detectObject`), operating on synthetic raster files through
+//!   presigned URLs.
+//! - [`video`] — the **video streaming** application from the
+//!   introduction (§I): metadata, file state, and an ingest→transcode
+//!   dataflow.
+//! - [`iot`] — the §II-D extension: IoT devices as objects (device
+//!   twins, telemetry windows, fleet rollups).
+//!
+//! [`loadgen`] provides open-loop (Poisson) and closed-loop load shapes
+//! plus key-popularity models for driving experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod iot;
+pub mod jsonrand;
+pub mod loadgen;
+pub mod video;

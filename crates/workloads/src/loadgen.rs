@@ -1,0 +1,166 @@
+//! Load generation: arrival processes and key-popularity models.
+//!
+//! Used by the benchmark harness to drive both the DES (arrival
+//! schedules) and the embedded platform (request streams).
+
+use oprc_simcore::{Dist, SimDuration, SimRng, SimTime};
+
+/// How request inter-arrival times are drawn.
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// Open loop with the given mean rate (Poisson arrivals).
+    Poisson {
+        /// Mean arrivals per second.
+        rate: f64,
+    },
+    /// Open loop with deterministic spacing.
+    Uniform {
+        /// Arrivals per second.
+        rate: f64,
+    },
+    /// Arbitrary inter-arrival distribution (seconds).
+    Custom(Dist),
+}
+
+impl ArrivalProcess {
+    /// Generates arrival instants in `[start, start + duration)`.
+    pub fn arrivals(
+        &self,
+        start: SimTime,
+        duration: SimDuration,
+        rng: &mut SimRng,
+    ) -> Vec<SimTime> {
+        let end = start + duration;
+        let mut out = Vec::new();
+        let mut t = start;
+        loop {
+            let gap = match self {
+                ArrivalProcess::Poisson { rate } => {
+                    SimDuration::from_secs_f64(rng.exp(1.0 / rate.max(1e-9)))
+                }
+                ArrivalProcess::Uniform { rate } => {
+                    SimDuration::from_secs_f64(1.0 / rate.max(1e-9))
+                }
+                ArrivalProcess::Custom(d) => d.sample_duration(rng),
+            };
+            // Zero gaps would spin forever; clamp to 1ns.
+            t = t + gap.max(SimDuration::from_nanos(1));
+            if t >= end {
+                return out;
+            }
+            out.push(t);
+        }
+    }
+}
+
+/// Which object a request targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyPopularity {
+    /// Every object equally likely.
+    Uniform,
+    /// Zipf-distributed with the given skew (rank 0 hottest).
+    Zipf {
+        /// Skew exponent (0 = uniform, 1+ = heavily skewed).
+        skew: f64,
+    },
+}
+
+impl KeyPopularity {
+    /// Picks an object index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn pick(&self, n: usize, rng: &mut SimRng) -> usize {
+        assert!(n > 0, "cannot pick from zero objects");
+        match self {
+            KeyPopularity::Uniform => rng.range(0, n as u64) as usize,
+            KeyPopularity::Zipf { skew } => rng.zipf(n, *skew),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_approximates_target() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let arr = ArrivalProcess::Poisson { rate: 1000.0 }.arrivals(
+            SimTime::ZERO,
+            SimDuration::from_secs(10),
+            &mut rng,
+        );
+        let rate = arr.len() as f64 / 10.0;
+        assert!((rate - 1000.0).abs() < 60.0, "rate {rate}");
+        assert!(arr.windows(2).all(|w| w[0] < w[1]), "sorted arrivals");
+    }
+
+    #[test]
+    fn uniform_spacing_exact() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let arr = ArrivalProcess::Uniform { rate: 100.0 }.arrivals(
+            SimTime::ZERO,
+            SimDuration::from_secs(1),
+            &mut rng,
+        );
+        assert_eq!(arr.len(), 99); // arrivals strictly inside the window
+        assert_eq!(arr[0], SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn custom_dist_respected() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let arr = ArrivalProcess::Custom(Dist::Constant(0.25)).arrivals(
+            SimTime::from_secs(5),
+            SimDuration::from_secs(2),
+            &mut rng,
+        );
+        assert_eq!(arr.len(), 7);
+        assert_eq!(arr[0], SimTime::from_millis(5250));
+    }
+
+    #[test]
+    fn window_bounds_respected() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let start = SimTime::from_secs(3);
+        let arr = ArrivalProcess::Poisson { rate: 500.0 }.arrivals(
+            start,
+            SimDuration::from_secs(1),
+            &mut rng,
+        );
+        assert!(arr.iter().all(|&t| t > start && t < start + SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn zipf_skews_uniform_does_not() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut hot = 0;
+        for _ in 0..2000 {
+            if (KeyPopularity::Zipf { skew: 1.2 }).pick(100, &mut rng) == 0 {
+                hot += 1;
+            }
+        }
+        assert!(hot > 200, "zipf rank 0 should be hot: {hot}");
+        let mut hot_uniform = 0;
+        for _ in 0..2000 {
+            if KeyPopularity::Uniform.pick(100, &mut rng) == 0 {
+                hot_uniform += 1;
+            }
+        }
+        assert!(hot_uniform < 60, "uniform rank 0 not hot: {hot_uniform}");
+    }
+
+    #[test]
+    fn degenerate_zero_rate_safe() {
+        let mut rng = SimRng::seed_from_u64(6);
+        // Tiny rate → no arrivals inside a short window; must not hang.
+        let arr = ArrivalProcess::Poisson { rate: 0.0001 }.arrivals(
+            SimTime::ZERO,
+            SimDuration::from_millis(10),
+            &mut rng,
+        );
+        assert!(arr.is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! The video-streaming application from the paper's introduction.
+//!
+//! "In a video streaming application, developers must maintain video
+//! files, metadata, and access control in addition to developing
+//! functions" (§I). With OaaS all three collapse into one class: the
+//! `Video` object holds the raw file, its metadata attributes, and an
+//! *internal* transcode step that external callers cannot invoke
+//! directly — the `publish` dataflow is the public entry point.
+
+use bytes::Bytes;
+
+use oprc_core::invocation::{TaskError, TaskResult};
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_platform::PlatformError;
+use oprc_value::vjson;
+
+/// The video package: metadata + file + access-controlled pipeline.
+pub const PACKAGE_YAML: &str = r#"
+name: streaming
+classes:
+  - name: Video
+    qos:
+      availability: 0.999
+    constraint:
+      persistent: true
+    keySpecs:
+      - name: source
+        type: file
+      - name: title
+      - name: views
+    functions:
+      - name: ingest
+        image: vid/ingest
+      - name: transcode
+        image: vid/transcode
+        access: internal
+      - name: watch
+        image: vid/watch
+      - name: stats
+        image: vid/stats
+        readonly: true
+    dataflows:
+      - name: publish
+        output: enc
+        steps:
+          - id: meta
+            function: ingest
+            inputs: [input]
+          - id: enc
+            function: transcode
+            inputs: ["step:meta#/duration"]
+"#;
+
+/// Builds a synthetic "video": a tagged byte stream whose length
+/// encodes its duration (1 KiB per second).
+pub fn generate_video(duration_secs: usize) -> Bytes {
+    let mut buf = vec![0u8; duration_secs * 1024];
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = (i % 251) as u8;
+    }
+    Bytes::from(buf)
+}
+
+/// Registers the function implementations and deploys the package.
+///
+/// # Errors
+///
+/// Propagates deployment errors.
+pub fn install(platform: &mut EmbeddedPlatform) -> Result<(), PlatformError> {
+    let s3 = platform.s3();
+    platform.register_function("vid/ingest", move |task| {
+        let get = task
+            .file_urls
+            .get("source")
+            .ok_or_else(|| TaskError::Runtime("no presigned GET for 'source'".into()))?;
+        let obj = s3
+            .get(get)
+            .map_err(|e| TaskError::Application(format!("no source uploaded: {e}")))?;
+        let duration = (obj.data.len() / 1024) as i64;
+        let title = task
+            .args
+            .first()
+            .and_then(|a| a["title"].as_str())
+            .unwrap_or("untitled")
+            .to_string();
+        Ok(
+            TaskResult::output(vjson!({"duration": duration, "title": (title.as_str())}))
+                .with_patch(vjson!({
+                    "title": (title.as_str()),
+                    "duration": duration,
+                    "views": 0,
+                })),
+        )
+    });
+
+    platform.register_function("vid/transcode", move |task| {
+        let duration = task.args.first().and_then(|a| a.as_i64()).unwrap_or(0);
+        // Simulated renditions: one entry per quality level.
+        let renditions: Vec<oprc_value::Value> = [240, 480, 1080]
+            .iter()
+            .map(|q| vjson!({"quality": (*q as i64), "bitrate_kbps": (*q as i64 * 2)}))
+            .collect();
+        Ok(
+            TaskResult::output(vjson!({"renditions": 3, "duration": duration})).with_patch(
+                oprc_value::Value::from_iter([(
+                    "renditions".to_string(),
+                    oprc_value::Value::Array(renditions),
+                )]),
+            ),
+        )
+    });
+
+    platform.register_function("vid/watch", |task| {
+        let views = task.state_in["views"].as_i64().unwrap_or(0) + 1;
+        let quality = task
+            .args
+            .first()
+            .and_then(|a| a["quality"].as_i64())
+            .unwrap_or(480);
+        let available = task.state_in["renditions"]
+            .as_array()
+            .is_some_and(|r| r.iter().any(|x| x["quality"].as_i64() == Some(quality)));
+        if !available {
+            return Err(TaskError::Application(format!(
+                "quality {quality}p not available — publish first"
+            )));
+        }
+        Ok(TaskResult::output(vjson!({"playing": true, "quality": quality}))
+            .with_patch(vjson!({ "views": views })))
+    });
+
+    platform.register_function("vid/stats", |task| {
+        Ok(TaskResult::output(vjson!({
+            "title": (task.state_in["title"].clone()),
+            "views": (task.state_in["views"].clone()),
+            "duration": (task.state_in["duration"].clone()),
+        })))
+    });
+
+    platform.deploy_yaml(PACKAGE_YAML)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (EmbeddedPlatform, oprc_core::object::ObjectId) {
+        let mut p = EmbeddedPlatform::new();
+        install(&mut p).unwrap();
+        let id = p.create_object("Video", vjson!({})).unwrap();
+        let url = p.upload_url(id, "source").unwrap();
+        p.upload(&url, generate_video(90), "video/raw").unwrap();
+        (p, id)
+    }
+
+    #[test]
+    fn publish_pipeline_sets_metadata_and_renditions() {
+        let (mut p, id) = setup();
+        let out = p
+            .invoke(id, "publish", vec![vjson!({"title": "demo"})])
+            .unwrap();
+        assert_eq!(out.output["renditions"].as_i64(), Some(3));
+        assert_eq!(out.output["duration"].as_i64(), Some(90));
+        let state = p.get_state(id).unwrap();
+        assert_eq!(state["title"].as_str(), Some("demo"));
+        assert_eq!(state["renditions"].len(), 3);
+        assert_eq!(state["views"].as_i64(), Some(0));
+    }
+
+    #[test]
+    fn transcode_is_internal_only() {
+        let (mut p, id) = setup();
+        let err = p.invoke(id, "transcode", vec![vjson!(90)]).unwrap_err();
+        assert!(matches!(err, PlatformError::AccessDenied { .. }));
+        // But the dataflow may use it (publish succeeded in the other
+        // test).
+    }
+
+    #[test]
+    fn watch_requires_publish_and_counts_views() {
+        let (mut p, id) = setup();
+        let err = p
+            .invoke(id, "watch", vec![vjson!({"quality": 480})])
+            .unwrap_err();
+        assert!(err.to_string().contains("publish first"));
+        p.invoke(id, "publish", vec![vjson!({"title": "t"})]).unwrap();
+        for _ in 0..3 {
+            p.invoke(id, "watch", vec![vjson!({"quality": 480})]).unwrap();
+        }
+        let stats = p.invoke(id, "stats", vec![]).unwrap();
+        assert_eq!(stats.output["views"].as_i64(), Some(3));
+        // Unavailable quality rejected.
+        assert!(p.invoke(id, "watch", vec![vjson!({"quality": 4320})]).is_err());
+    }
+
+    #[test]
+    fn availability_nfr_selects_ha_template() {
+        let (p, _) = setup();
+        let spec = p.runtime_spec("Video").unwrap();
+        assert_eq!(spec.template, "high-availability");
+        assert_eq!(spec.config.dht_replication, 3);
+    }
+
+    #[test]
+    fn video_generator_duration_encoding() {
+        assert_eq!(generate_video(5).len(), 5 * 1024);
+        assert_eq!(generate_video(0).len(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Multi-datacenter placement (the paper's §VI future work):
+//! jurisdiction- and latency-aware deployment driven by the same NFR
+//! interface.
+//!
+//! ```text
+//! cargo run -p oprc-examples --bin multiregion
+//! ```
+
+use oprc_cluster::topology::Topology;
+use oprc_core::nfr::NfrSpec;
+use oprc_platform::multiregion::{place, ClientPopulation, RegionSpec};
+use oprc_simcore::SimDuration;
+use oprc_value::vjson;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Multi-region deployment (§VI future work) ==\n");
+
+    // The provider's world: three regions, tagged jurisdictions,
+    // measured inter-region latency.
+    let mut topo = Topology::new();
+    topo.add_zone("us-east", "use-a");
+    topo.add_zone("eu-west", "euw-a");
+    topo.add_zone("ap-south", "aps-a");
+    topo.set_region_latency("us-east", "eu-west", SimDuration::from_millis(80));
+    topo.set_region_latency("us-east", "ap-south", SimDuration::from_millis(200));
+    topo.set_region_latency("eu-west", "ap-south", SimDuration::from_millis(120));
+    topo.set_jurisdiction("eu-west", "EU");
+    topo.set_jurisdiction("us-east", "US");
+
+    let regions = vec![
+        RegionSpec { name: "us-east".into(), zone: "use-a".into(), cost_per_hour: 1.0 },
+        RegionSpec { name: "eu-west".into(), zone: "euw-a".into(), cost_per_hour: 1.2 },
+        RegionSpec { name: "ap-south".into(), zone: "aps-a".into(), cost_per_hour: 0.8 },
+    ];
+    let clients = vec![
+        ClientPopulation { zone: "use-a".into(), weight: 3.0 },
+        ClientPopulation { zone: "euw-a".into(), weight: 2.0 },
+        ClientPopulation { zone: "aps-a".into(), weight: 1.0 },
+    ];
+
+    let cases = [
+        ("no requirements (cost-optimal)", vjson!({})),
+        ("global p99 <= 10ms", vjson!({"qos": {"latency": 10}})),
+        (
+            "EU jurisdiction only",
+            vjson!({"constraint": {"jurisdiction": "EU"}}),
+        ),
+        (
+            "10ms + budget 2.5/h",
+            vjson!({"qos": {"latency": 10}, "constraint": {"budget": 2.5}}),
+        ),
+        (
+            "infeasible: EU data, 5ms for US users",
+            vjson!({"qos": {"latency": 5}, "constraint": {"jurisdiction": "EU"}}),
+        ),
+    ];
+
+    for (label, doc) in cases {
+        let nfr = NfrSpec::from_value(&doc)?;
+        print!("{label:<42} -> ");
+        match place(&nfr, &regions, &clients, &topo) {
+            Ok(p) => println!(
+                "regions {:?}, worst RTT {}, mean RTT {}, cost {:.2}/h",
+                p.regions, p.worst_latency, p.mean_latency, p.cost_per_hour
+            ),
+            Err(e) => println!("{e}"),
+        }
+    }
+
+    println!("\nok: the same NFR document drives single- and multi-region deployment.");
+    Ok(())
+}

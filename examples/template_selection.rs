@@ -1,0 +1,76 @@
+//! Class-runtime templates in action (paper Fig. 2): the same platform
+//! materializes different runtime designs per class, driven purely by
+//! each class's declared non-functional requirements.
+//!
+//! ```text
+//! cargo run -p oprc-examples --bin template_selection
+//! ```
+
+use oprc_core::nfr::NfrSpec;
+use oprc_core::template::TemplateCatalog;
+use oprc_value::vjson;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Requirement-driven class-runtime templates (Fig. 2) ==\n");
+    let catalog = TemplateCatalog::standard();
+    println!("provider catalog ({} templates):", catalog.templates().len());
+    for t in catalog.templates() {
+        println!("  - {:<18} priority {}", t.name, t.priority);
+    }
+    println!();
+
+    let profiles = [
+        ("plain class, nothing declared", vjson!({})),
+        (
+            "cache-like, explicitly non-persistent",
+            vjson!({"constraint": {"persistent": false}}),
+        ),
+        (
+            "hot API class (throughput 5000/s)",
+            vjson!({"qos": {"throughput": 5000}, "constraint": {"persistent": true}}),
+        ),
+        (
+            "interactive class (p99 <= 5ms)",
+            vjson!({"qos": {"latency": 5}, "constraint": {"persistent": true}}),
+        ),
+        (
+            "critical class (availability 99.95%)",
+            vjson!({"qos": {"availability": 0.9995}, "constraint": {"persistent": true}}),
+        ),
+    ];
+
+    for (label, nfr_doc) in profiles {
+        let nfr = NfrSpec::from_value(&nfr_doc)?;
+        let t = catalog.select(&nfr)?;
+        println!("{label}:");
+        println!("  -> template '{}'", t.name);
+        println!(
+            "     engine={:?} persistent={} dht_replication={} batch={} min_replicas={} locality={}",
+            t.config.engine,
+            t.config.persistent,
+            t.config.dht_replication,
+            t.config.write_behind_batch,
+            t.config.min_replicas,
+            t.config.locality_routing,
+        );
+    }
+
+    // Providers can override templates for their own objectives
+    // (§III-B: "Oparaca also allows platform provider to customize the
+    // template configurations, selection conditions, and priority").
+    let mut custom = TemplateCatalog::standard();
+    custom.add(oprc_core::template::ClassRuntimeTemplate::new(
+        "default",
+        0,
+        oprc_core::template::RuntimeConfig {
+            write_behind_batch: 250,
+            ..oprc_core::template::RuntimeConfig::default()
+        },
+    ));
+    let t = custom.select(&NfrSpec::default())?;
+    println!(
+        "\nprovider override: default template now batches {} records per DB write",
+        t.config.write_behind_batch
+    );
+    Ok(())
+}

@@ -1,0 +1,149 @@
+//! Property-based chaos test: arbitrary operation sequences against the
+//! embedded platform never violate platform invariants.
+
+use oprc_core::invocation::TaskResult;
+use oprc_core::object::ObjectId;
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_value::{merge, vjson, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    Incr(u16),
+    Put(u16, u16, i32),
+    Read(u16),
+    Flush,
+    MemoryLoss,
+    Tick,
+    Snapshot,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            any::<u8>().prop_map(Op::Create),
+            any::<u16>().prop_map(Op::Incr),
+            (any::<u16>(), any::<u16>(), any::<i32>()).prop_map(|(o, k, v)| Op::Put(o, k, v)),
+            any::<u16>().prop_map(Op::Read),
+            Just(Op::Flush),
+            Just(Op::MemoryLoss),
+            Just(Op::Tick),
+            Just(Op::Snapshot),
+        ],
+        1..60,
+    )
+}
+
+fn platform() -> EmbeddedPlatform {
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/incr", |t| {
+        let n = t.state_in["count"].as_i64().unwrap_or(0) + 1;
+        Ok(TaskResult::output(n).with_patch(vjson!({"count": n})))
+    });
+    p.register_function("img/put", |t| {
+        let key = t.args[0].as_str().unwrap_or("k").to_string();
+        let val = t.args[1].clone();
+        Ok(TaskResult::output(Value::Null)
+            .with_patch(Value::from_iter([(key, val)])))
+    });
+    p.register_function("img/read", |t| Ok(TaskResult::output(t.state_in.clone())));
+    p.deploy_yaml(
+        "
+classes:
+  - name: Bag
+    constraint:
+      persistent: true
+    keySpecs: [count]
+    functions:
+      - name: incr
+        image: img/incr
+      - name: put
+        image: img/put
+      - name: read
+        image: img/read
+        readonly: true
+",
+    )
+    .unwrap();
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A shadow model (plain map of expected state) stays consistent
+    /// with the platform through creates, writes, flushes, memory
+    /// wipes, ticks, and snapshot round-trips.
+    #[test]
+    fn platform_matches_shadow_model(ops in arb_ops()) {
+        let mut p = platform();
+        let mut shadow: Vec<(ObjectId, Value)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Create(seed) => {
+                    if shadow.len() < 12 {
+                        let initial = vjson!({ "count": (seed as i64 % 5) });
+                        let id = p.create_object("Bag", initial.clone()).unwrap();
+                        shadow.push((id, initial));
+                    }
+                }
+                Op::Incr(x) => {
+                    if !shadow.is_empty() {
+                        let idx = x as usize % shadow.len();
+                        let (id, expect) = &mut shadow[idx];
+                        let n = expect["count"].as_i64().unwrap_or(0) + 1;
+                        let out = p.invoke(*id, "incr", vec![]).unwrap();
+                        prop_assert_eq!(out.output.as_i64(), Some(n));
+                        expect.insert("count", n);
+                    }
+                }
+                Op::Put(x, k, v) => {
+                    if !shadow.is_empty() {
+                        let idx = x as usize % shadow.len();
+                        let (id, expect) = &mut shadow[idx];
+                        let key = format!("k{}", k % 6);
+                        p.invoke(*id, "put", vec![Value::from(key.as_str()), Value::from(v as i64)])
+                            .unwrap();
+                        expect.insert(key, v as i64);
+                    }
+                }
+                Op::Read(x) => {
+                    if !shadow.is_empty() {
+                        let idx = x as usize % shadow.len();
+                        let (id, expect) = &shadow[idx];
+                        let out = p.invoke(*id, "read", vec![]).unwrap();
+                        prop_assert_eq!(&out.output, expect);
+                    }
+                }
+                Op::Flush => {
+                    p.flush();
+                }
+                Op::MemoryLoss => {
+                    // Only safe (state-preserving) after a flush — do
+                    // both, which is what an orderly restart does.
+                    p.flush();
+                    p.simulate_memory_loss();
+                }
+                Op::Tick => {
+                    p.tick();
+                }
+                Op::Snapshot => {
+                    // Export, rebuild a fresh platform, import, continue
+                    // there (a migration mid-chaos).
+                    let snap = p.export_snapshot(false);
+                    let mut fresh = platform();
+                    fresh.import_snapshot(&snap).unwrap();
+                    p = fresh;
+                }
+            }
+        }
+        // Final audit: every object matches its shadow state.
+        for (id, expect) in &shadow {
+            let got = p.get_state(*id).unwrap();
+            let mut want = expect.clone();
+            merge::normalize(&mut want);
+            prop_assert_eq!(got, want, "object {} diverged", id);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Integration: durability semantics across the storage stack — the
+//! persistent/non-persistent split that the paper's `nonpersist`
+//! variant isolates.
+
+use oprc_core::invocation::TaskResult;
+use oprc_core::template::{ClassRuntimeTemplate, RuntimeConfig, TemplateCatalog};
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_tests::counter_platform;
+use oprc_value::vjson;
+
+#[test]
+fn flushed_state_survives_memory_loss() {
+    let mut p = counter_platform();
+    let ids: Vec<_> = (0..20)
+        .map(|i| p.create_object("Counter", vjson!({ "count": (i as i64) })).unwrap())
+        .collect();
+    for &id in &ids {
+        p.invoke(id, "incr", vec![]).unwrap();
+    }
+    p.flush();
+    p.simulate_memory_loss();
+    for (i, &id) in ids.iter().enumerate() {
+        assert_eq!(
+            p.get_state(id).unwrap()["count"].as_i64(),
+            Some(i as i64 + 1),
+            "object {id} lost its state"
+        );
+    }
+}
+
+#[test]
+fn unflushed_state_lives_in_the_memory_tier() {
+    let mut p = counter_platform();
+    let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+    p.invoke(id, "incr", vec![]).unwrap();
+    // Not flushed: durable tier may lag...
+    // (write-behind delay is 50ms; no tick ran)
+    // ...but reads are served from the DHT.
+    assert_eq!(p.get_state(id).unwrap()["count"].as_i64(), Some(1));
+}
+
+#[test]
+fn nonpersistent_template_loses_state_by_design() {
+    // A provider catalog whose only template is non-persistent — the
+    // `oprc-bypass-nonpersist` configuration.
+    let mut catalog = TemplateCatalog::new();
+    catalog.add(ClassRuntimeTemplate::new(
+        "volatile",
+        0,
+        RuntimeConfig {
+            persistent: false,
+            ..RuntimeConfig::default()
+        },
+    ));
+    let mut p = EmbeddedPlatform::with_catalog(catalog);
+    p.register_function("img/touch", |_task| {
+        Ok(TaskResult::output(1).with_patch(vjson!({"touched": true})))
+    });
+    p.deploy_yaml(
+        "classes:\n  - name: Cache\n    functions:\n      - name: touch\n        image: img/touch\n",
+    )
+    .unwrap();
+    let id = p.create_object("Cache", vjson!({})).unwrap();
+    p.invoke(id, "touch", vec![]).unwrap();
+    assert_eq!(p.get_state(id).unwrap()["touched"].as_bool(), Some(true));
+    p.flush(); // flush is a no-op for non-persistent runtimes
+    p.simulate_memory_loss();
+    assert!(
+        p.get_state(id).unwrap().is_empty(),
+        "non-persistent state must not survive"
+    );
+}
+
+#[test]
+fn consolidation_reduces_db_write_amplification() {
+    let mut p = counter_platform();
+    let hot = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+    for _ in 0..200 {
+        p.invoke(hot, "incr", vec![]).unwrap();
+    }
+    p.flush();
+    let (_, consolidated, batches, singles) = p.storage_stats();
+    assert_eq!(singles, 0);
+    assert!(
+        consolidated >= 150,
+        "hot-key updates should mostly consolidate: {consolidated}"
+    );
+    assert!(batches <= 30, "write amplification too high: {batches} batches");
+    // Yet the final durable value is exact.
+    assert_eq!(p.durable_state(hot).unwrap()["count"].as_i64(), Some(200));
+}
+
+#[test]
+fn durable_tier_reflects_latest_write_order() {
+    let mut p = counter_platform();
+    let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+    for _ in 0..5 {
+        p.invoke(id, "incr", vec![]).unwrap();
+        p.flush();
+    }
+    assert_eq!(p.durable_state(id).unwrap()["count"].as_i64(), Some(5));
+}

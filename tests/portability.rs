@@ -1,0 +1,108 @@
+//! Integration: snapshot-based migration (§II-C portability).
+
+use bytes::Bytes;
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_platform::PlatformError;
+use oprc_tests::counter_platform;
+use oprc_value::{json, vjson};
+use oprc_workloads::image;
+
+#[test]
+fn structured_state_migrates_and_keeps_working() {
+    let mut a = counter_platform();
+    let ids: Vec<_> = (0..5)
+        .map(|i| a.create_object("Counter", vjson!({ "count": (i as i64 * 10) })).unwrap())
+        .collect();
+    for &id in &ids {
+        a.invoke(id, "incr", vec![]).unwrap();
+    }
+
+    let snapshot = a.export_snapshot(false);
+    // Snapshot survives JSON serialization (what a real wire would do).
+    let snapshot = json::parse(&json::to_string(&snapshot)).unwrap();
+
+    let mut b = counter_platform();
+    assert_eq!(b.import_snapshot(&snapshot).unwrap(), 5);
+    for (i, &id) in ids.iter().enumerate() {
+        assert_eq!(
+            b.get_state(id).unwrap()["count"].as_i64(),
+            Some(i as i64 * 10 + 1)
+        );
+        // Migrated objects accept new invocations.
+        let out = b.invoke(id, "incr", vec![]).unwrap();
+        assert_eq!(out.output.as_i64(), Some(i as i64 * 10 + 2));
+    }
+    // New objects on B don't collide with migrated ids.
+    let fresh = b.create_object("Counter", vjson!({})).unwrap();
+    assert!(fresh.as_u64() >= 5);
+}
+
+#[test]
+fn files_migrate_with_payloads() {
+    let mut a = EmbeddedPlatform::new();
+    image::install(&mut a).unwrap();
+    let id = a.create_object("Image", vjson!({})).unwrap();
+    let url = a.upload_url(id, "image").unwrap();
+    a.upload(&url, image::generate_image(16, 8, 1), "image/raw")
+        .unwrap();
+    let etag_a = a.file_ref(id, "image").unwrap().etag.clone();
+
+    let snapshot = a.export_snapshot(true);
+    let mut b = EmbeddedPlatform::new();
+    image::install(&mut b).unwrap();
+    b.import_snapshot(&snapshot).unwrap();
+
+    let fref = b.file_ref(id, "image").unwrap();
+    assert_eq!(fref.etag, etag_a);
+    let dl = b.download_url(id, "image").unwrap();
+    let obj = b.download(&dl).unwrap();
+    assert_eq!(obj.data.len(), 4 + 16 * 8);
+    assert_eq!(obj.meta.content_type, "image/raw");
+}
+
+#[test]
+fn snapshot_without_files_keeps_refs_only() {
+    let mut a = EmbeddedPlatform::new();
+    image::install(&mut a).unwrap();
+    let id = a.create_object("Image", vjson!({})).unwrap();
+    let url = a.upload_url(id, "image").unwrap();
+    a.upload(&url, Bytes::from_static(b"\x00\x01\x00\x01\x7f"), "image/raw")
+        .unwrap();
+
+    let snapshot = a.export_snapshot(false);
+    let mut b = EmbeddedPlatform::new();
+    image::install(&mut b).unwrap();
+    b.import_snapshot(&snapshot).unwrap();
+    // The reference migrated, the payload did not.
+    assert!(b.file_ref(id, "image").is_some());
+    let dl = b.download_url(id, "image").unwrap();
+    assert!(b.download(&dl).is_err(), "payload intentionally not carried");
+}
+
+#[test]
+fn import_requires_deployed_classes() {
+    let mut a = counter_platform();
+    a.create_object("Counter", vjson!({})).unwrap();
+    let snapshot = a.export_snapshot(false);
+    // Target platform without the application package:
+    let mut b = EmbeddedPlatform::new();
+    assert!(matches!(
+        b.import_snapshot(&snapshot),
+        Err(PlatformError::Core(_))
+    ));
+}
+
+#[test]
+fn malformed_snapshots_rejected() {
+    let mut b = counter_platform();
+    assert!(b.import_snapshot(&vjson!({"format": "something-else"})).is_err());
+    assert!(b
+        .import_snapshot(&vjson!({"format": "oprc-snapshot/1"}))
+        .is_err());
+    assert!(b
+        .import_snapshot(&vjson!({
+            "format": "oprc-snapshot/1",
+            "objects": [{"class": "Counter"}],
+        }))
+        .is_err());
+}

@@ -1,0 +1,158 @@
+//! Property-based integration tests across parsing, resolution, and the
+//! dataflow planner.
+
+use oprc_core::dataflow::{DataflowSpec, StepSpec};
+use oprc_core::hierarchy::ClassHierarchy;
+use oprc_core::{parse, ClassDef, FunctionDef};
+use proptest::prelude::*;
+
+/// Strategy: a forest of classes where class `i` may have any class
+/// `j < i` as parent — always acyclic and resolvable.
+fn arb_class_defs() -> impl Strategy<Value = Vec<ClassDef>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec("[a-z]{1,8}", 0..4), // function names
+            any::<bool>(),                              // has parent
+            any::<u16>(),                               // parent pick
+        ),
+        1..8,
+    )
+    .prop_map(|specs| {
+        let mut defs = Vec::new();
+        for (i, (fns, has_parent, pick)) in specs.into_iter().enumerate() {
+            let mut def = ClassDef::new(format!("C{i}"));
+            if has_parent && i > 0 {
+                def = def.parent(format!("C{}", pick as usize % i));
+            }
+            let mut seen = std::collections::BTreeSet::new();
+            for f in fns {
+                if seen.insert(f.clone()) {
+                    def = def.function(FunctionDef::new(f.clone(), format!("img/{f}")));
+                }
+            }
+            defs.push(def);
+        }
+        defs
+    })
+}
+
+/// Strategy: a random DAG dataflow where step `i` depends on a subset of
+/// earlier steps.
+fn arb_dataflow() -> impl Strategy<Value = DataflowSpec> {
+    prop::collection::vec(prop::collection::vec(any::<u16>(), 0..3), 1..8).prop_map(|deps| {
+        let mut df = DataflowSpec::new("flow");
+        for (i, picks) in deps.into_iter().enumerate() {
+            let mut step = StepSpec::new(format!("s{i}"), "f");
+            if i == 0 {
+                step = step.from_input();
+            }
+            let mut used = std::collections::BTreeSet::new();
+            for p in picks {
+                if i > 0 {
+                    let target = p as usize % i;
+                    if used.insert(target) {
+                        step = step.from_step(format!("s{target}"));
+                    }
+                }
+            }
+            df = df.step(step);
+        }
+        df
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every acyclic class forest resolves, and every resolved class
+    /// sees exactly the union of its ancestors' functions (children
+    /// winning on name).
+    #[test]
+    fn hierarchy_resolution_is_total_and_flattening(defs in arb_class_defs()) {
+        let h = ClassHierarchy::resolve(&defs).unwrap();
+        for def in &defs {
+            let rc = h.class(&def.name).unwrap();
+            // Walk the chain manually and collect expected functions.
+            let mut expected = std::collections::BTreeMap::new();
+            let mut chain = vec![def];
+            let mut cur = def;
+            while let Some(parent) = &cur.parent {
+                cur = defs.iter().find(|d| &d.name == parent).unwrap();
+                chain.push(cur);
+            }
+            for class in chain.iter().rev() {
+                for f in &class.functions {
+                    expected.insert(f.name.clone(), class.name.clone());
+                }
+            }
+            let got: Vec<&str> = rc.function_names();
+            prop_assert_eq!(got.len(), expected.len());
+            for (name, owner) in &expected {
+                let (dispatched_owner, _) = rc.dispatch(name).unwrap();
+                prop_assert_eq!(dispatched_owner, owner.as_str());
+            }
+            // Subtype relation matches the chain.
+            for class in &chain {
+                prop_assert!(rc.is_subclass_of(&class.name));
+            }
+        }
+    }
+
+    /// Random DAG dataflows always validate, and the stage plan is a
+    /// correct topological grouping: every dependency lives in an
+    /// earlier stage, and stages partition the steps.
+    #[test]
+    fn dataflow_stages_are_topological(df in arb_dataflow()) {
+        df.validate().unwrap();
+        let stages = df.stages();
+        let mut stage_of = std::collections::BTreeMap::new();
+        for (k, stage) in stages.iter().enumerate() {
+            for s in stage {
+                stage_of.insert(s.id.clone(), k);
+            }
+        }
+        prop_assert_eq!(stage_of.len(), df.steps.len());
+        for step in &df.steps {
+            for input in &step.inputs {
+                if let oprc_core::dataflow::DataRef::Step { step: dep, .. } = input {
+                    prop_assert!(
+                        stage_of[dep] < stage_of[&step.id],
+                        "dep {} (stage {}) not before {} (stage {})",
+                        dep, stage_of[dep], &step.id, stage_of[&step.id]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Class definitions survive a YAML round trip through the parser
+    /// (names, parents, function lists).
+    #[test]
+    fn yaml_round_trip_of_generated_packages(defs in arb_class_defs()) {
+        // Emit YAML by hand from the defs, parse, and compare structure.
+        let mut yaml = String::from("classes:\n");
+        for def in &defs {
+            yaml.push_str(&format!("  - name: {}\n", def.name));
+            if let Some(p) = &def.parent {
+                yaml.push_str(&format!("    parent: {p}\n"));
+            }
+            if !def.functions.is_empty() {
+                yaml.push_str("    functions:\n");
+                for f in &def.functions {
+                    yaml.push_str(&format!("      - name: {}\n        image: {}\n", f.name, f.image));
+                }
+            }
+        }
+        let pkg = parse::package_from_yaml(&yaml).unwrap();
+        prop_assert_eq!(pkg.classes.len(), defs.len());
+        for (parsed, original) in pkg.classes.iter().zip(&defs) {
+            prop_assert_eq!(&parsed.name, &original.name);
+            prop_assert_eq!(&parsed.parent, &original.parent);
+            prop_assert_eq!(parsed.functions.len(), original.functions.len());
+            for (pf, of) in parsed.functions.iter().zip(&original.functions) {
+                prop_assert_eq!(&pf.name, &of.name);
+                prop_assert_eq!(&pf.image, &of.image);
+            }
+        }
+    }
+}

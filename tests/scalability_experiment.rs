@@ -1,0 +1,112 @@
+//! Integration: the Fig. 3 experiment at reduced scale — the shape the
+//! paper reports must hold, deterministically.
+
+use oprc_platform::sim::{self, ExperimentConfig, SystemVariant};
+use oprc_simcore::SimDuration;
+
+fn quick(variant: SystemVariant, vms: u32) -> ExperimentConfig {
+    ExperimentConfig {
+        warmup: SimDuration::from_secs(5),
+        measure: SimDuration::from_secs(6),
+        clients_per_vm: 30,
+        ..ExperimentConfig::fig3(variant, vms)
+    }
+}
+
+#[test]
+fn full_sweep_shape() {
+    let mut results = std::collections::BTreeMap::new();
+    for vms in [3u32, 6, 12] {
+        for variant in SystemVariant::all() {
+            let r = sim::run(quick(variant, vms));
+            results.insert((variant.label(), vms), r.throughput);
+        }
+    }
+    let t = |v: SystemVariant, n: u32| results[&(v.label(), n)];
+
+    // Knative scales 3→6 then plateaus.
+    assert!(t(SystemVariant::Knative, 6) > t(SystemVariant::Knative, 3) * 1.5);
+    let kn6 = t(SystemVariant::Knative, 6);
+    let kn12 = t(SystemVariant::Knative, 12);
+    assert!(kn12 < kn6 * 1.15 && kn12 > kn6 * 0.75, "plateau: {kn6} vs {kn12}");
+
+    // Every oprc variant keeps scaling 6→12.
+    for v in [
+        SystemVariant::Oprc,
+        SystemVariant::OprcBypass,
+        SystemVariant::OprcBypassNonPersist,
+    ] {
+        assert!(
+            t(v, 12) > t(v, 6) * 1.3,
+            "{} should keep scaling: {} vs {}",
+            v.label(),
+            t(v, 6),
+            t(v, 12)
+        );
+    }
+
+    // Ordering at 12 VMs: knative < oprc ≤ bypass ≤ nonpersist.
+    assert!(t(SystemVariant::Knative, 12) < t(SystemVariant::Oprc, 12));
+    assert!(t(SystemVariant::Oprc, 12) <= t(SystemVariant::OprcBypass, 12) * 1.05);
+    assert!(t(SystemVariant::OprcBypass, 12) <= t(SystemVariant::OprcBypassNonPersist, 12) * 1.02);
+}
+
+#[test]
+fn batching_is_the_mechanism() {
+    // Degrade oprc's batch size to 1 → it loses most of its advantage
+    // over knative, confirming the paper's causal story (§V: batched
+    // writes are why Oparaca scales).
+    let mut degraded = quick(SystemVariant::Oprc, 12);
+    degraded.write_behind.max_batch = 1;
+    let degraded = sim::run(degraded).throughput;
+    let batched = sim::run(quick(SystemVariant::Oprc, 12)).throughput;
+    assert!(
+        batched > degraded * 1.3,
+        "batch=100 {batched:.0}/s vs batch=1 {degraded:.0}/s"
+    );
+}
+
+#[test]
+fn results_are_deterministic_across_processes_worth_of_state() {
+    let a = sim::run(quick(SystemVariant::OprcBypass, 6));
+    let b = sim::run(quick(SystemVariant::OprcBypass, 6));
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.db_batch_writes, b.db_batch_writes);
+    assert_eq!(a.consolidated, b.consolidated);
+}
+
+#[test]
+fn different_seeds_differ_but_agree_qualitatively() {
+    // Exponential service times make per-seed traces genuinely differ
+    // (with constant service the closed loop is capacity-bound and the
+    // completion count is seed-independent).
+    let variable = |seed: u64| {
+        let mut c = quick(SystemVariant::Oprc, 6);
+        c.seed = seed;
+        c.service_time = oprc_simcore::Dist::Exponential { mean: 0.004 };
+        c
+    };
+    let r1 = sim::run(variable(1));
+    let r2 = sim::run(variable(2));
+    assert_ne!(r1.completed, r2.completed, "different seeds → different traces");
+    let rel = (r1.throughput - r2.throughput).abs() / r1.throughput;
+    assert!(rel < 0.05, "seeds should not change the story: {rel:.3}");
+}
+
+#[test]
+fn capacity_comes_from_the_cluster_scheduler() {
+    // 12 VMs × 4 pods = 48 replicas ceiling, discovered by actually
+    // scheduling pods on the simulated cluster.
+    let r = sim::run(quick(SystemVariant::OprcBypass, 12));
+    assert_eq!(r.replicas, 48);
+    let r = sim::run(quick(SystemVariant::OprcBypass, 3));
+    assert_eq!(r.replicas, 12);
+}
+
+#[test]
+fn knative_cold_starts_only_on_knative_paths() {
+    let kn = sim::run(quick(SystemVariant::Knative, 3));
+    assert!(kn.cold_starts > 0);
+    let by = sim::run(quick(SystemVariant::OprcBypass, 3));
+    assert_eq!(by.cold_starts, 0, "pre-scaled deployments never cold start");
+}

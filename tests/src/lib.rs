@@ -1,0 +1,49 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use oprc_core::invocation::TaskResult;
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_value::vjson;
+
+/// A platform with a simple stateful `Counter` class deployed.
+pub fn counter_platform() -> EmbeddedPlatform {
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/counter-incr", |task| {
+        let n = task.state_in["count"].as_i64().unwrap_or(0) + 1;
+        Ok(TaskResult::output(n).with_patch(vjson!({ "count": n })))
+    });
+    p.register_function("img/counter-get", |task| {
+        Ok(TaskResult::output(task.state_in["count"].clone()))
+    });
+    p.deploy_yaml(
+        "
+classes:
+  - name: Counter
+    constraint:
+      persistent: true
+    keySpecs: [count]
+    functions:
+      - name: incr
+        image: img/counter-incr
+      - name: value
+        image: img/counter-get
+        readonly: true
+",
+    )
+    .expect("counter package deploys");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_usable() {
+        let mut p = counter_platform();
+        let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+        assert_eq!(
+            p.invoke(id, "incr", vec![]).unwrap().output.as_i64(),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Integration: the full §IV tutorial flow against the embedded
+//! platform — define functions, define classes in YAML, deploy,
+//! interact with objects, and manage unstructured data via presigned
+//! URLs.
+
+use bytes::Bytes;
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_platform::PlatformError;
+use oprc_tests::counter_platform;
+use oprc_value::vjson;
+use oprc_workloads::{image, jsonrand, video};
+
+#[test]
+fn steps_3_to_5_function_class_object() {
+    // Step 3: function; step 4: class; step 5: deploy + interact.
+    let mut p = counter_platform();
+    let id = p.create_object("Counter", vjson!({"count": 40})).unwrap();
+    p.invoke(id, "incr", vec![]).unwrap();
+    p.invoke(id, "incr", vec![]).unwrap();
+    let out = p.invoke(id, "value", vec![]).unwrap();
+    assert_eq!(out.output.as_i64(), Some(42));
+    assert_eq!(p.get_state(id).unwrap()["count"].as_i64(), Some(42));
+}
+
+#[test]
+fn all_three_reference_applications_coexist() {
+    let mut p = EmbeddedPlatform::new();
+    jsonrand::install(&mut p).unwrap();
+    image::install(&mut p).unwrap();
+    video::install(&mut p).unwrap();
+
+    // Classes from three packages are all visible and usable.
+    let doc = p.create_object("JsonDoc", vjson!({})).unwrap();
+    let img = p.create_object("LabelledImage", vjson!({})).unwrap();
+    let vid = p.create_object("Video", vjson!({})).unwrap();
+
+    p.invoke(doc, "randomize", vec![vjson!({"keys": 4, "seed": 9})])
+        .unwrap();
+
+    let url = p.upload_url(img, "image").unwrap();
+    p.upload(&url, image::generate_image(64, 32, 2), "image/raw")
+        .unwrap();
+    let out = p.invoke(img, "detectObject", vec![]).unwrap();
+    assert_eq!(out.output["objects"].as_i64(), Some(2));
+
+    let url = p.upload_url(vid, "source").unwrap();
+    p.upload(&url, video::generate_video(30), "video/raw").unwrap();
+    let out = p.invoke(vid, "publish", vec![vjson!({"title": "x"})]).unwrap();
+    assert_eq!(out.output["duration"].as_i64(), Some(30));
+}
+
+#[test]
+fn redeploying_a_package_updates_classes() {
+    let mut p = counter_platform();
+    // v2 of the package renames the readonly function.
+    p.deploy_yaml(
+        "
+classes:
+  - name: Counter
+    keySpecs: [count]
+    functions:
+      - name: incr
+        image: img/counter-incr
+      - name: read
+        image: img/counter-get
+        readonly: true
+",
+    )
+    .unwrap();
+    let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+    assert!(p.invoke(id, "read", vec![]).is_ok());
+    assert!(matches!(
+        p.invoke(id, "value", vec![]),
+        Err(PlatformError::Core(_))
+    ));
+}
+
+#[test]
+fn presigned_urls_are_the_only_path_to_files() {
+    let mut p = EmbeddedPlatform::new();
+    image::install(&mut p).unwrap();
+    let id = p.create_object("Image", vjson!({})).unwrap();
+    let put = p.upload_url(id, "image").unwrap();
+
+    // Tampered signature is rejected end to end.
+    let tampered = put.replace("signature=", "signature=00");
+    assert!(p
+        .upload(&tampered, Bytes::from_static(b"x"), "image/raw")
+        .is_err());
+
+    // Unsigned direct path is rejected.
+    assert!(p.download("s3://oaas-image/obj-0/image").is_err());
+
+    // The legitimate URL works.
+    p.upload(&put, image::generate_image(8, 8, 1), "image/raw")
+        .unwrap();
+    let get = p.download_url(id, "image").unwrap();
+    assert_eq!(p.download(&get).unwrap().data.len(), 4 + 64);
+}
+
+#[test]
+fn invalid_yaml_reports_position() {
+    let mut p = EmbeddedPlatform::new();
+    let err = p.deploy_yaml("classes:\n  - name: [broken\n").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("line 2"), "error should carry a position: {msg}");
+}
+
+#[test]
+fn object_directory_isolates_objects() {
+    let mut p = counter_platform();
+    let a = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+    let b = p.create_object("Counter", vjson!({"count": 100})).unwrap();
+    for _ in 0..5 {
+        p.invoke(a, "incr", vec![]).unwrap();
+    }
+    assert_eq!(p.get_state(a).unwrap()["count"].as_i64(), Some(5));
+    assert_eq!(p.get_state(b).unwrap()["count"].as_i64(), Some(100));
+}
+
+#[test]
+fn metrics_observe_the_tutorial_session() {
+    let mut p = counter_platform();
+    let id = p.create_object("Counter", vjson!({})).unwrap();
+    for _ in 0..10 {
+        p.invoke(id, "incr", vec![]).unwrap();
+    }
+    assert_eq!(p.metrics().completed("Counter"), 10);
+    let m = p.metrics().drain_window("Counter", 0.5).unwrap();
+    assert!(m.throughput > 0.0);
+    assert_eq!(m.error_rate, 0.0);
+}
