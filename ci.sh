@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Local CI: formatting, the workspace lint wall, and the full test suite.
+# Run from the repository root. Fails fast on the first broken gate.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> CI green"

@@ -1,0 +1,141 @@
+//! Per-code severity configuration (`deny` / `warn` / `allow`).
+
+use std::collections::BTreeMap;
+
+use crate::diagnostic::{Diagnostic, Severity};
+
+/// A per-code severity override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Suppress the finding entirely.
+    Allow,
+    /// Report at Warning severity (never gates deployment).
+    Warn,
+    /// Report at Error severity (gates deployment).
+    Deny,
+}
+
+/// Lint configuration: per-code overrides plus an optional global cap.
+///
+/// The default configuration reports every finding at its code's
+/// default severity. [`LintConfig::permissive`] caps everything at
+/// Warning so nothing gates deployment — the opt-out for tests and
+/// benches that intentionally exercise broken packages.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    overrides: BTreeMap<String, LintLevel>,
+    cap_at_warning: bool,
+}
+
+impl LintConfig {
+    /// Default configuration: per-code default severities.
+    pub fn new() -> Self {
+        LintConfig::default()
+    }
+
+    /// A configuration that never produces Error severity: every
+    /// finding is capped at Warning (after per-code overrides), so the
+    /// deploy gate always passes.
+    pub fn permissive() -> Self {
+        LintConfig {
+            overrides: BTreeMap::new(),
+            cap_at_warning: true,
+        }
+    }
+
+    /// Raises `code` to Error severity.
+    #[must_use]
+    pub fn deny(mut self, code: impl Into<String>) -> Self {
+        self.overrides.insert(code.into(), LintLevel::Deny);
+        self
+    }
+
+    /// Lowers (or raises) `code` to Warning severity.
+    #[must_use]
+    pub fn warn(mut self, code: impl Into<String>) -> Self {
+        self.overrides.insert(code.into(), LintLevel::Warn);
+        self
+    }
+
+    /// Suppresses `code` entirely.
+    #[must_use]
+    pub fn allow(mut self, code: impl Into<String>) -> Self {
+        self.overrides.insert(code.into(), LintLevel::Allow);
+        self
+    }
+
+    /// Sets the override for `code` in place (the non-builder form).
+    pub fn set(&mut self, code: impl Into<String>, level: LintLevel) {
+        self.overrides.insert(code.into(), level);
+    }
+
+    /// The configured override for `code`, if any.
+    pub fn level(&self, code: &str) -> Option<LintLevel> {
+        self.overrides.get(code).copied()
+    }
+
+    /// Applies this configuration to one finding: returns `None` when
+    /// the code is allowed, otherwise the diagnostic at its effective
+    /// severity.
+    pub fn apply(&self, mut diag: Diagnostic) -> Option<Diagnostic> {
+        match self.overrides.get(diag.code) {
+            Some(LintLevel::Allow) => return None,
+            Some(LintLevel::Warn) => diag.severity = Severity::Warning,
+            Some(LintLevel::Deny) => diag.severity = Severity::Error,
+            None => {}
+        }
+        if self.cap_at_warning {
+            diag.severity = diag.severity.min(Severity::Warning);
+        }
+        Some(diag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::codes;
+
+    fn diag(code: &'static str) -> Diagnostic {
+        Diagnostic::new(code, "class C", "msg")
+    }
+
+    #[test]
+    fn default_keeps_code_severity() {
+        let cfg = LintConfig::new();
+        let d = cfg.apply(diag(codes::DATAFLOW_CYCLE)).unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        let d = cfg.apply(diag(codes::DEAD_STEP)).unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let cfg = LintConfig::new()
+            .allow(codes::DEAD_STEP)
+            .deny(codes::INTERNAL_IN_FLOW)
+            .warn(codes::DATAFLOW_CYCLE);
+        assert!(cfg.apply(diag(codes::DEAD_STEP)).is_none());
+        assert_eq!(
+            cfg.apply(diag(codes::INTERNAL_IN_FLOW)).unwrap().severity,
+            Severity::Error
+        );
+        assert_eq!(
+            cfg.apply(diag(codes::DATAFLOW_CYCLE)).unwrap().severity,
+            Severity::Warning
+        );
+        assert_eq!(cfg.level(codes::DEAD_STEP), Some(LintLevel::Allow));
+        assert_eq!(cfg.level("OPRC999"), None);
+    }
+
+    #[test]
+    fn permissive_caps_everything_at_warning() {
+        let cfg = LintConfig::permissive();
+        let d = cfg.apply(diag(codes::DATAFLOW_CYCLE)).unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        // Even an explicit deny cannot exceed the cap.
+        let cfg = LintConfig::permissive().deny(codes::INTERNAL_IN_FLOW);
+        let d = cfg.apply(diag(codes::INTERNAL_IN_FLOW)).unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+    }
+}

@@ -1,0 +1,273 @@
+//! Diagnostics: stable lint codes, severities, and source paths.
+
+use std::fmt;
+
+/// How serious a finding is.
+///
+/// Ordered so `Info < Warning < Error` — `max()` over a report gives
+/// the gating severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: a noteworthy but intentional-looking pattern.
+    Info,
+    /// Suspicious: likely a mistake, but the package still runs.
+    Warning,
+    /// Broken: the package will fail or misbehave at runtime.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding: a stable code, its effective severity, where it was
+/// found (`class Image > dataflow thumbnail > step resize`), and a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable lint code (`OPRC0xx`); see [`CODES`].
+    pub code: &'static str,
+    /// Effective severity (default per code, possibly reconfigured).
+    pub severity: Severity,
+    /// Source path of the finding within the package.
+    pub source: String,
+    /// What is wrong and why it matters.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with the code's default severity.
+    pub fn new(code: &'static str, source: impl Into<String>, message: impl Into<String>) -> Self {
+        let severity = code_info(code).map_or(Severity::Warning, |c| c.severity);
+        Diagnostic {
+            code,
+            severity,
+            source: source.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.source, self.message
+        )
+    }
+}
+
+/// Metadata for one lint code.
+#[derive(Debug, Clone, Copy)]
+pub struct CodeInfo {
+    /// The stable code.
+    pub code: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line description (used in docs and `--json` output).
+    pub summary: &'static str,
+}
+
+/// Stable lint-code constants, grouped by pass.
+pub mod codes {
+    /// Step function undefined on the class or its ancestors.
+    pub const UNRESOLVED_FUNCTION: &str = "OPRC001";
+    /// Cross-object step function undefined by any class in the package.
+    pub const UNRESOLVED_TARGET_FUNCTION: &str = "OPRC002";
+    /// Step input references an unknown step.
+    pub const UNKNOWN_STEP_REF: &str = "OPRC003";
+    /// Dataflow output references an unknown step.
+    pub const UNKNOWN_OUTPUT_STEP: &str = "OPRC004";
+    /// The package's class hierarchy does not resolve.
+    pub const UNRESOLVED_PACKAGE: &str = "OPRC005";
+    /// Step does not contribute to the dataflow output.
+    pub const DEAD_STEP: &str = "OPRC010";
+    /// Internal key on a class with no functions is unreachable.
+    pub const UNUSED_KEY: &str = "OPRC011";
+    /// Key spec redeclares the inherited spec identically.
+    pub const REDUNDANT_KEY_OVERRIDE: &str = "OPRC012";
+    /// Dataflow shadows a function of the same name.
+    pub const DATAFLOW_SHADOWS_FUNCTION: &str = "OPRC013";
+    /// Cross-object step invokes a function that is internal everywhere.
+    pub const INTERNAL_LEAK: &str = "OPRC020";
+    /// Key override changes the inherited state type.
+    pub const KEY_TYPE_OVERRIDE: &str = "OPRC021";
+    /// Override weakens access from internal to public.
+    pub const WEAKENED_ACCESS: &str = "OPRC022";
+    /// Dataflow step uses an internal function of its own class.
+    pub const INTERNAL_IN_FLOW: &str = "OPRC023";
+    /// Dataflow steps form a dependency cycle.
+    pub const DATAFLOW_CYCLE: &str = "OPRC030";
+    /// Step depends on itself.
+    pub const SELF_DEPENDENCY: &str = "OPRC031";
+    /// Structurally invalid dataflow (empty name/steps, duplicate ids).
+    pub const MALFORMED_DATAFLOW: &str = "OPRC032";
+    /// JSON pointer cannot resolve (missing leading `/`).
+    pub const MALFORMED_POINTER: &str = "OPRC033";
+    /// Class requirements match no template in the catalog.
+    pub const CLASS_NFR_UNSATISFIABLE: &str = "OPRC040";
+    /// Function requirements match no template in the catalog.
+    pub const FUNCTION_NFR_UNSATISFIABLE: &str = "OPRC041";
+    /// Requirements match multiple templates at equal priority.
+    pub const NFR_TEMPLATE_TIE: &str = "OPRC042";
+    /// Availability target declared on explicitly non-persistent state.
+    pub const AVAILABILITY_WITHOUT_PERSISTENCE: &str = "OPRC043";
+}
+
+/// The full lint-code table: every stable code with its default
+/// severity and a one-line summary.
+pub const CODES: &[CodeInfo] = &[
+    CodeInfo {
+        code: codes::UNRESOLVED_FUNCTION,
+        severity: Severity::Error,
+        summary: "dataflow step calls a function the class neither defines nor inherits",
+    },
+    CodeInfo {
+        code: codes::UNRESOLVED_TARGET_FUNCTION,
+        severity: Severity::Warning,
+        summary: "cross-object step calls a function no class in this package defines",
+    },
+    CodeInfo {
+        code: codes::UNKNOWN_STEP_REF,
+        severity: Severity::Error,
+        summary: "step input references an unknown step",
+    },
+    CodeInfo {
+        code: codes::UNKNOWN_OUTPUT_STEP,
+        severity: Severity::Error,
+        summary: "dataflow output references an unknown step",
+    },
+    CodeInfo {
+        code: codes::UNRESOLVED_PACKAGE,
+        severity: Severity::Error,
+        summary: "the package's class hierarchy does not resolve",
+    },
+    CodeInfo {
+        code: codes::DEAD_STEP,
+        severity: Severity::Warning,
+        summary: "step output is never consumed and is not the flow output",
+    },
+    CodeInfo {
+        code: codes::UNUSED_KEY,
+        severity: Severity::Warning,
+        summary: "internal key on a class with no functions can never be accessed",
+    },
+    CodeInfo {
+        code: codes::REDUNDANT_KEY_OVERRIDE,
+        severity: Severity::Info,
+        summary: "key spec redeclares the inherited spec identically",
+    },
+    CodeInfo {
+        code: codes::DATAFLOW_SHADOWS_FUNCTION,
+        severity: Severity::Warning,
+        summary: "dataflow shadows a function of the same name (dataflow wins on invoke)",
+    },
+    CodeInfo {
+        code: codes::INTERNAL_LEAK,
+        severity: Severity::Error,
+        summary: "cross-object step invokes a function that is internal on every defining class",
+    },
+    CodeInfo {
+        code: codes::KEY_TYPE_OVERRIDE,
+        severity: Severity::Error,
+        summary: "key override changes the inherited state type (structured vs file)",
+    },
+    CodeInfo {
+        code: codes::WEAKENED_ACCESS,
+        severity: Severity::Warning,
+        summary: "override weakens inherited access from internal to public",
+    },
+    CodeInfo {
+        code: codes::INTERNAL_IN_FLOW,
+        severity: Severity::Info,
+        summary: "dataflow step uses an internal function of its own class",
+    },
+    CodeInfo {
+        code: codes::DATAFLOW_CYCLE,
+        severity: Severity::Error,
+        summary: "dataflow steps form a dependency cycle",
+    },
+    CodeInfo {
+        code: codes::SELF_DEPENDENCY,
+        severity: Severity::Error,
+        summary: "step depends on itself",
+    },
+    CodeInfo {
+        code: codes::MALFORMED_DATAFLOW,
+        severity: Severity::Error,
+        summary: "structurally invalid dataflow (empty name, no steps, or duplicate step ids)",
+    },
+    CodeInfo {
+        code: codes::MALFORMED_POINTER,
+        severity: Severity::Warning,
+        summary: "JSON pointer does not start with '/' and always resolves to null",
+    },
+    CodeInfo {
+        code: codes::CLASS_NFR_UNSATISFIABLE,
+        severity: Severity::Error,
+        summary: "class requirements match no template in the catalog",
+    },
+    CodeInfo {
+        code: codes::FUNCTION_NFR_UNSATISFIABLE,
+        severity: Severity::Error,
+        summary: "function requirements match no template in the catalog",
+    },
+    CodeInfo {
+        code: codes::NFR_TEMPLATE_TIE,
+        severity: Severity::Warning,
+        summary: "requirements match multiple templates at equal priority; tie-break decides",
+    },
+    CodeInfo {
+        code: codes::AVAILABILITY_WITHOUT_PERSISTENCE,
+        severity: Severity::Error,
+        summary: "availability target on explicitly non-persistent state is unsatisfiable",
+    },
+];
+
+/// Looks up the metadata for a lint code.
+pub fn code_info(code: &str) -> Option<&'static CodeInfo> {
+    CODES.iter().find(|c| c.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in CODES {
+            assert!(c.code.starts_with("OPRC"), "{}", c.code);
+            assert_eq!(c.code.len(), 7, "{}", c.code);
+            assert!(seen.insert(c.code), "duplicate code {}", c.code);
+            assert!(!c.summary.is_empty());
+        }
+    }
+
+    #[test]
+    fn severity_orders_for_gating() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn diagnostic_takes_default_severity_and_renders() {
+        let d = Diagnostic::new(codes::DATAFLOW_CYCLE, "class C > dataflow f", "cycle");
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.to_string(), "error[OPRC030] class C > dataflow f: cycle");
+    }
+
+    #[test]
+    fn unknown_code_defaults_to_warning() {
+        let d = Diagnostic::new("OPRC999", "x", "y");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(code_info("OPRC999").is_none());
+    }
+}

@@ -1,0 +1,245 @@
+//! `oprc-analyzer` — whole-package semantic linter for OaaS packages.
+//!
+//! Runs multi-pass static analysis over a parsed [`OPackage`] and
+//! produces structured [`Diagnostic`]s with stable codes (`OPRC0xx`),
+//! severities, and source paths like
+//! `class Image > dataflow thumbnail > step resize`. The passes:
+//!
+//! 1. **Resolution** — every dataflow step's function must resolve
+//!    against the invoking class's inheritance chain; cross-object
+//!    (`target`) steps resolve package-wide.
+//! 2. **Liveness** — dead steps that never reach the flow output,
+//!    unreachable internal keys, dataflows shadowing functions.
+//! 3. **Encapsulation** — internal functions reachable through
+//!    cross-object dataflow steps, inherited-key overrides changing the
+//!    state type or weakening access.
+//! 4. **DAG hygiene** — cycles, self-dependencies, dangling step or
+//!    output references, malformed JSON pointers.
+//! 5. **NFR satisfiability** — every class and method-level NFR must
+//!    select a runtime template from the catalog; ambiguous ties and
+//!    contradictory requirements are linted.
+//!
+//! The DAG pass is purely syntactic and runs even when the package does
+//! not resolve, so the analyzer degrades gracefully on broken input —
+//! it never panics.
+//!
+//! ```
+//! use oprc_analyzer::analyze;
+//! use oprc_core::dataflow::{DataflowSpec, StepSpec};
+//! use oprc_core::{ClassDef, FunctionDef, OPackage};
+//!
+//! let pkg = OPackage::new("demo").class(
+//!     ClassDef::new("Image")
+//!         .function(FunctionDef::new("resize", "img/resize"))
+//!         .dataflow(DataflowSpec::new("thumb").step(StepSpec::new("r", "reSize"))),
+//! );
+//! let report = analyze(&pkg);
+//! assert!(report.has_errors());
+//! assert_eq!(report.errors()[0].code, "OPRC001");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod diagnostic;
+mod passes;
+mod report;
+
+pub use config::{LintConfig, LintLevel};
+pub use diagnostic::{code_info, codes, CodeInfo, Diagnostic, Severity, CODES};
+pub use report::AnalysisReport;
+
+use oprc_core::hierarchy::ClassHierarchy;
+use oprc_core::template::TemplateCatalog;
+use oprc_core::{CoreError, OPackage};
+
+/// Analyzes `pkg` against the standard template catalog with default
+/// lint severities.
+pub fn analyze(pkg: &OPackage) -> AnalysisReport {
+    analyze_with(pkg, &TemplateCatalog::standard(), &LintConfig::new())
+}
+
+/// Analyzes `pkg` against a specific catalog and lint configuration.
+///
+/// When the package's class hierarchy does not resolve, only the
+/// syntactic DAG pass runs and an `OPRC005` diagnostic is added —
+/// unless the resolution failure is a dataflow defect the DAG pass
+/// already reported.
+pub fn analyze_with(
+    pkg: &OPackage,
+    catalog: &TemplateCatalog,
+    config: &LintConfig,
+) -> AnalysisReport {
+    let mut diags = Vec::new();
+    passes::dag::run(pkg, &mut diags);
+    match ClassHierarchy::resolve(&pkg.classes) {
+        Ok(hierarchy) => {
+            passes::resolution::run(pkg, &hierarchy, &mut diags);
+            passes::liveness::run(pkg, &hierarchy, &mut diags);
+            passes::encapsulation::run(pkg, &hierarchy, &mut diags);
+            passes::nfr::run(&hierarchy, catalog, &mut diags);
+        }
+        Err(err) => {
+            if !covered_by_dag(&err, &diags) {
+                diags.push(Diagnostic::new(
+                    codes::UNRESOLVED_PACKAGE,
+                    format!("package {}", pkg.name),
+                    err.to_string(),
+                ));
+            }
+        }
+    }
+    diags.sort_by(|a, b| a.source.cmp(&b.source).then_with(|| a.code.cmp(b.code)));
+    let diagnostics = diags.into_iter().filter_map(|d| config.apply(d)).collect();
+    AnalysisReport {
+        package: pkg.name.clone(),
+        diagnostics,
+    }
+}
+
+/// True when the resolve failure restates a dataflow defect the DAG
+/// pass already reported as an error (avoids a redundant `OPRC005`).
+fn covered_by_dag(err: &CoreError, diags: &[Diagnostic]) -> bool {
+    let CoreError::InvalidClass { class, reason } = err else {
+        return false;
+    };
+    let Some(rest) = reason.strip_prefix("invalid dataflow '") else {
+        return false;
+    };
+    let Some((dataflow, _)) = rest.split_once('\'') else {
+        return false;
+    };
+    let prefix = format!("class {class} > dataflow {dataflow}");
+    diags
+        .iter()
+        .any(|d| d.severity == Severity::Error && d.source.starts_with(&prefix))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_core::dataflow::{DataflowSpec, StepSpec};
+    use oprc_core::{ClassDef, FunctionDef, KeySpec};
+
+    /// The paper's Listing-1 style package, clean by construction.
+    fn clean_package() -> OPackage {
+        OPackage::new("image-pkg").class(
+            ClassDef::new("Image")
+                .key(KeySpec::file("image"))
+                .function(FunctionDef::new("resize", "img/resize"))
+                .function(FunctionDef::new("detect", "img/detect").readonly())
+                .dataflow(
+                    DataflowSpec::new("thumbnail")
+                        .step(StepSpec::new("shrink", "resize").from_input())
+                        .step(StepSpec::new("check", "detect").from_step("shrink")),
+                ),
+        )
+    }
+
+    #[test]
+    fn clean_package_produces_empty_report() {
+        let report = analyze(&clean_package());
+        assert!(report.diagnostics.is_empty(), "{}", report.render());
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn broken_package_reports_expected_codes() {
+        let pkg = OPackage::new("bad").class(
+            ClassDef::new("C")
+                .function(FunctionDef::new("f", "i/f"))
+                .dataflow(DataflowSpec::new("flow").step(StepSpec::new("a", "ghost").from_input())),
+        );
+        let report = analyze(&pkg);
+        assert!(report.has_code(codes::UNRESOLVED_FUNCTION));
+        assert!(report.has_errors());
+
+        // A dangling step reference is caught syntactically; it also
+        // stops hierarchy resolution, and the OPRC005 restatement is
+        // deduplicated away.
+        let pkg = OPackage::new("bad").class(
+            ClassDef::new("C")
+                .function(FunctionDef::new("f", "i/f"))
+                .dataflow(
+                    DataflowSpec::new("flow").step(StepSpec::new("b", "f").from_step("nowhere")),
+                ),
+        );
+        let report = analyze(&pkg);
+        assert!(report.has_code(codes::UNKNOWN_STEP_REF));
+        assert!(!report.has_code(codes::UNRESOLVED_PACKAGE));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn cyclic_flow_reports_cycle_without_redundant_package_error() {
+        // A cyclic dataflow also makes the hierarchy unresolvable; the
+        // report should carry OPRC030, not a second OPRC005 restating it.
+        let pkg = OPackage::new("p").class(
+            ClassDef::new("C")
+                .function(FunctionDef::new("f", "i/f"))
+                .dataflow(
+                    DataflowSpec::new("loop")
+                        .step(StepSpec::new("a", "f").from_step("b"))
+                        .step(StepSpec::new("b", "f").from_step("a")),
+                ),
+        );
+        let report = analyze(&pkg);
+        assert!(report.has_code(codes::DATAFLOW_CYCLE));
+        assert!(!report.has_code(codes::UNRESOLVED_PACKAGE));
+    }
+
+    #[test]
+    fn unresolvable_hierarchy_reports_package_error() {
+        let pkg = OPackage::new("p").class(ClassDef::new("C").parent("Ghost"));
+        let report = analyze(&pkg);
+        assert!(report.has_code(codes::UNRESOLVED_PACKAGE));
+        assert_eq!(report.errors()[0].source, "package p");
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_and_configurable() {
+        let pkg = OPackage::new("p").class(
+            ClassDef::new("C")
+                .function(FunctionDef::new("f", "i/f"))
+                .dataflow(
+                    DataflowSpec::new("flow")
+                        .step(StepSpec::new("a", "ghost").from_input())
+                        .step(StepSpec::new("b", "f").from_input())
+                        .output_from("b"),
+                ),
+        );
+        let report = analyze(&pkg);
+        let sources: Vec<&str> = report
+            .diagnostics
+            .iter()
+            .map(|d| d.source.as_str())
+            .collect();
+        let mut sorted = sources.clone();
+        sorted.sort_unstable();
+        assert_eq!(sources, sorted);
+
+        let config = LintConfig::new()
+            .allow(codes::DEAD_STEP)
+            .warn(codes::UNRESOLVED_FUNCTION);
+        let report = analyze_with(&pkg, &TemplateCatalog::standard(), &config);
+        assert!(!report.has_code(codes::DEAD_STEP));
+        assert!(!report.has_errors());
+        assert!(report.has_code(codes::UNRESOLVED_FUNCTION));
+    }
+
+    #[test]
+    fn permissive_config_never_gates() {
+        let pkg = OPackage::new("p").class(
+            ClassDef::new("C")
+                .dataflow(DataflowSpec::new("flow").step(StepSpec::new("a", "ghost"))),
+        );
+        let report = analyze_with(
+            &pkg,
+            &TemplateCatalog::standard(),
+            &LintConfig::permissive(),
+        );
+        assert!(!report.diagnostics.is_empty());
+        assert!(!report.has_errors());
+    }
+}

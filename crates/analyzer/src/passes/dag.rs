@@ -1,0 +1,211 @@
+//! Pass 4 — DAG hygiene (purely syntactic, runs even on unresolvable
+//! packages): structural defects, unknown step references, self-
+//! dependencies, cycles, and malformed JSON pointers.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use oprc_core::dataflow::{DataRef, DataflowSpec};
+use oprc_core::OPackage;
+
+use crate::diagnostic::{codes, Diagnostic};
+
+use super::{src_dataflow, src_step, Sink};
+
+pub(crate) fn run(pkg: &OPackage, out: &mut Sink) {
+    for class in &pkg.classes {
+        for df in &class.dataflows {
+            lint_flow(&class.name, df, out);
+        }
+    }
+}
+
+fn lint_flow(class: &str, df: &DataflowSpec, out: &mut Sink) {
+    let flow_src = src_dataflow(class, &df.name);
+    if df.name.is_empty() {
+        out.push(Diagnostic::new(
+            codes::MALFORMED_DATAFLOW,
+            flow_src.clone(),
+            "dataflow has an empty name",
+        ));
+    }
+    if df.steps.is_empty() {
+        out.push(Diagnostic::new(
+            codes::MALFORMED_DATAFLOW,
+            flow_src,
+            "dataflow has no steps",
+        ));
+        return;
+    }
+    let mut ids: BTreeSet<&str> = BTreeSet::new();
+    for step in &df.steps {
+        if step.id.is_empty() {
+            out.push(Diagnostic::new(
+                codes::MALFORMED_DATAFLOW,
+                flow_src.clone(),
+                "a step has an empty id",
+            ));
+        } else if !ids.insert(step.id.as_str()) {
+            out.push(Diagnostic::new(
+                codes::MALFORMED_DATAFLOW,
+                flow_src.clone(),
+                format!("duplicate step id '{}'", step.id),
+            ));
+        }
+    }
+    for step in &df.steps {
+        let step_src = src_step(class, &df.name, &step.id);
+        for r in step.inputs.iter().chain(step.target.iter()) {
+            let DataRef::Step { step: dep, pointer } = r else {
+                continue;
+            };
+            if dep == &step.id {
+                out.push(Diagnostic::new(
+                    codes::SELF_DEPENDENCY,
+                    step_src.clone(),
+                    format!("step '{}' depends on itself", step.id),
+                ));
+            } else if !ids.contains(dep.as_str()) {
+                out.push(Diagnostic::new(
+                    codes::UNKNOWN_STEP_REF,
+                    step_src.clone(),
+                    format!("references unknown step '{dep}'"),
+                ));
+            }
+            if let Some(p) = pointer {
+                if !p.is_empty() && !p.starts_with('/') {
+                    out.push(Diagnostic::new(
+                        codes::MALFORMED_POINTER,
+                        step_src.clone(),
+                        format!("JSON pointer '{p}' does not start with '/' and always resolves to null"),
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(out_id) = &df.output {
+        if !ids.contains(out_id.as_str()) {
+            out.push(Diagnostic::new(
+                codes::UNKNOWN_OUTPUT_STEP,
+                src_dataflow(class, &df.name),
+                format!("output references unknown step '{out_id}'"),
+            ));
+        }
+    }
+    if let Some(cycle) = find_cycle(df, &ids) {
+        out.push(Diagnostic::new(
+            codes::DATAFLOW_CYCLE,
+            src_dataflow(class, &df.name),
+            format!("steps {} form a dependency cycle", cycle.join(", ")),
+        ));
+    }
+}
+
+/// Kahn's algorithm over *known* step references (unknown ids and
+/// self-references are reported separately and do not block progress
+/// here). Returns the wedged steps when no topological order exists.
+fn find_cycle(df: &DataflowSpec, ids: &BTreeSet<&str>) -> Option<Vec<String>> {
+    let deps_of = |id: &str| -> Vec<&str> {
+        df.steps
+            .iter()
+            .filter(|s| s.id == id)
+            .flat_map(|s| s.inputs.iter().chain(s.target.iter()))
+            .filter_map(|r| match r {
+                DataRef::Step { step, .. } if step != id && ids.contains(step.as_str()) => {
+                    Some(step.as_str())
+                }
+                _ => None,
+            })
+            .collect()
+    };
+    let mut remaining: BTreeMap<&str, Vec<&str>> =
+        ids.iter().map(|id| (*id, deps_of(id))).collect();
+    loop {
+        let ready: Vec<&str> = remaining
+            .iter()
+            .filter(|(_, deps)| deps.iter().all(|d| !remaining.contains_key(d)))
+            .map(|(id, _)| *id)
+            .collect();
+        if ready.is_empty() {
+            break;
+        }
+        for id in ready {
+            remaining.remove(id);
+        }
+    }
+    if remaining.is_empty() {
+        None
+    } else {
+        Some(remaining.keys().map(|s| (*s).to_string()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_core::dataflow::StepSpec;
+    use oprc_core::ClassDef;
+
+    fn analyze_flows(df: DataflowSpec) -> Vec<Diagnostic> {
+        let pkg = OPackage::new("p").class(ClassDef::new("C").dataflow(df));
+        let mut out = Vec::new();
+        run(&pkg, &mut out);
+        out
+    }
+
+    #[test]
+    fn clean_dag_has_no_findings() {
+        let df = DataflowSpec::new("f")
+            .step(StepSpec::new("a", "g").from_input())
+            .step(StepSpec::new("b", "h").from_step("a"));
+        assert!(analyze_flows(df).is_empty());
+    }
+
+    #[test]
+    fn cycle_reported_with_members() {
+        let df = DataflowSpec::new("f")
+            .step(StepSpec::new("a", "g").from_step("b"))
+            .step(StepSpec::new("b", "h").from_step("a"));
+        let out = analyze_flows(df);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::DATAFLOW_CYCLE);
+        assert!(out[0].message.contains("a, b"));
+    }
+
+    #[test]
+    fn self_dependency_and_unknown_refs() {
+        let df = DataflowSpec::new("f")
+            .step(StepSpec::new("a", "g").from_step("a"))
+            .step(StepSpec::new("b", "h").from_step("ghost"));
+        let out = analyze_flows(df);
+        let codes_found: Vec<&str> = out.iter().map(|d| d.code).collect();
+        assert!(codes_found.contains(&codes::SELF_DEPENDENCY));
+        assert!(codes_found.contains(&codes::UNKNOWN_STEP_REF));
+        // Neither wedges the cycle detector.
+        assert!(!codes_found.contains(&codes::DATAFLOW_CYCLE));
+    }
+
+    #[test]
+    fn structural_defects() {
+        let df = DataflowSpec::new("f");
+        let out = analyze_flows(df);
+        assert_eq!(out[0].code, codes::MALFORMED_DATAFLOW);
+
+        let df = DataflowSpec::new("f")
+            .step(StepSpec::new("a", "g"))
+            .step(StepSpec::new("a", "h"));
+        let out = analyze_flows(df);
+        assert!(out.iter().any(|d| d.message.contains("duplicate step id")));
+    }
+
+    #[test]
+    fn unknown_output_and_bad_pointer() {
+        let df = DataflowSpec::new("f")
+            .step(StepSpec::new("a", "g").from_step_pointer("a2", "meta/width"))
+            .step(StepSpec::new("a2", "g"))
+            .output_from("ghost");
+        let out = analyze_flows(df);
+        let codes_found: Vec<&str> = out.iter().map(|d| d.code).collect();
+        assert!(codes_found.contains(&codes::UNKNOWN_OUTPUT_STEP));
+        assert!(codes_found.contains(&codes::MALFORMED_POINTER));
+    }
+}

@@ -1,0 +1,243 @@
+//! Pass 3 — encapsulation: internal functions leaked through
+//! cross-object dataflow steps (dataflow dispatch skips the access
+//! check), and inheritance overrides that change a key's state type or
+//! weaken declared access.
+
+use std::collections::BTreeMap;
+
+use oprc_core::hierarchy::ClassHierarchy;
+use oprc_core::{AccessModifier, OPackage, StateType};
+
+use crate::diagnostic::{codes, Diagnostic};
+
+use super::{src_function, src_key, src_step, Sink};
+
+fn state_type_name(t: &StateType) -> &'static str {
+    match t {
+        StateType::Structured => "structured",
+        StateType::File => "file",
+    }
+}
+
+pub(crate) fn run(pkg: &OPackage, hierarchy: &ClassHierarchy, out: &mut Sink) {
+    // For every function name: is it public on at least one class?
+    let mut any_public: BTreeMap<&str, bool> = BTreeMap::new();
+    for class in &pkg.classes {
+        for f in &class.functions {
+            let e = any_public.entry(f.name.as_str()).or_insert(false);
+            *e |= f.access == AccessModifier::Public;
+        }
+    }
+    for class in &pkg.classes {
+        let Some(resolved) = hierarchy.class(&class.name) else {
+            continue;
+        };
+        for df in &class.dataflows {
+            for step in &df.steps {
+                let step_src = src_step(&class.name, &df.name, &step.id);
+                if step.target.is_some() {
+                    // Cross-object dispatch bypasses the invoke() access
+                    // check; calling an everywhere-internal function is
+                    // an encapsulation hole, not a convenience.
+                    if any_public.get(step.function.as_str()) == Some(&false) {
+                        out.push(Diagnostic::new(
+                            codes::INTERNAL_LEAK,
+                            step_src,
+                            format!(
+                                "cross-object step invokes '{}', which is internal on every \
+                                 class defining it; dataflow dispatch bypasses the access check",
+                                step.function
+                            ),
+                        ));
+                    }
+                } else if resolved
+                    .function(&step.function)
+                    .is_some_and(|f| f.access == AccessModifier::Internal)
+                {
+                    // Same-object use of an internal helper is the
+                    // blessed encapsulation pattern (e.g. a public
+                    // `publish` flow driving an internal `transcode`).
+                    out.push(Diagnostic::new(
+                        codes::INTERNAL_IN_FLOW,
+                        step_src,
+                        format!(
+                            "step uses internal function '{}' of its own class",
+                            step.function
+                        ),
+                    ));
+                }
+            }
+        }
+        // Override lints against the parent's *resolved* (effective) view.
+        let Some(parent) = class.parent.as_ref().and_then(|p| hierarchy.class(p)) else {
+            continue;
+        };
+        for key in &class.key_specs {
+            let Some(inherited) = parent.key_specs.iter().find(|k| k.name == key.name) else {
+                continue;
+            };
+            let key_src = src_key(&class.name, &key.name);
+            if inherited.state_type != key.state_type {
+                out.push(Diagnostic::new(
+                    codes::KEY_TYPE_OVERRIDE,
+                    key_src,
+                    format!(
+                        "key '{}' changes the inherited state type from {} to {}",
+                        key.name,
+                        state_type_name(&inherited.state_type),
+                        state_type_name(&key.state_type),
+                    ),
+                ));
+            } else if inherited.access == AccessModifier::Internal
+                && key.access == AccessModifier::Public
+            {
+                out.push(Diagnostic::new(
+                    codes::WEAKENED_ACCESS,
+                    key_src,
+                    format!(
+                        "key '{}' weakens inherited access from internal to public",
+                        key.name
+                    ),
+                ));
+            } else if inherited == key {
+                out.push(Diagnostic::new(
+                    codes::REDUNDANT_KEY_OVERRIDE,
+                    key_src,
+                    format!(
+                        "key '{}' redeclares the inherited spec identically",
+                        key.name
+                    ),
+                ));
+            }
+        }
+        for f in &class.functions {
+            if parent
+                .function(&f.name)
+                .is_some_and(|pf| pf.access == AccessModifier::Internal)
+                && f.access == AccessModifier::Public
+            {
+                out.push(Diagnostic::new(
+                    codes::WEAKENED_ACCESS,
+                    src_function(&class.name, &f.name),
+                    format!(
+                        "function '{}' weakens inherited access from internal to public",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_core::dataflow::{DataRef, DataflowSpec, StepSpec};
+    use oprc_core::{ClassDef, FunctionDef, KeySpec};
+
+    fn analyze(pkg: &OPackage) -> Vec<Diagnostic> {
+        let h = ClassHierarchy::resolve(&pkg.classes).unwrap();
+        let mut out = Vec::new();
+        run(pkg, &h, &mut out);
+        out
+    }
+
+    fn internal_fn(name: &str) -> FunctionDef {
+        FunctionDef::new(name, format!("i/{name}")).internal()
+    }
+
+    #[test]
+    fn cross_object_internal_leak_is_an_error() {
+        let pkg = OPackage::new("p")
+            .class(ClassDef::new("Vault").function(internal_fn("rotate")))
+            .class(
+                ClassDef::new("Auditor")
+                    .function(FunctionDef::new("sweep", "i/s"))
+                    .dataflow(
+                        DataflowSpec::new("audit")
+                            .step(StepSpec::new("pick", "sweep").from_input())
+                            .step(StepSpec::new("poke", "rotate").on_target(DataRef::Step {
+                                step: "pick".into(),
+                                pointer: None,
+                            })),
+                    ),
+            );
+        let out = analyze(&pkg);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::INTERNAL_LEAK);
+        assert_eq!(out[0].severity, crate::Severity::Error);
+    }
+
+    #[test]
+    fn public_definition_anywhere_downgrades_the_leak() {
+        let pkg = OPackage::new("p")
+            .class(ClassDef::new("Vault").function(internal_fn("rotate")))
+            .class(ClassDef::new("Open").function(FunctionDef::new("rotate", "i/r2")))
+            .class(
+                ClassDef::new("Auditor").dataflow(
+                    DataflowSpec::new("audit").step(
+                        StepSpec::new("poke", "rotate")
+                            .on_target(DataRef::Const(oprc_value::vjson!(1))),
+                    ),
+                ),
+            );
+        assert!(analyze(&pkg).is_empty());
+    }
+
+    #[test]
+    fn same_object_internal_step_is_info_only() {
+        let pkg = OPackage::new("p").class(
+            ClassDef::new("Video")
+                .function(FunctionDef::new("ingest", "v/i"))
+                .function(internal_fn("transcode"))
+                .dataflow(
+                    DataflowSpec::new("publish")
+                        .step(StepSpec::new("meta", "ingest").from_input())
+                        .step(StepSpec::new("enc", "transcode").from_step("meta")),
+                ),
+        );
+        let out = analyze(&pkg);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::INTERNAL_IN_FLOW);
+        assert_eq!(out[0].severity, crate::Severity::Info);
+    }
+
+    #[test]
+    fn key_override_lints() {
+        let pkg = OPackage::new("p")
+            .class(
+                ClassDef::new("Base")
+                    .key(KeySpec::structured("meta"))
+                    .key(KeySpec::structured("audit").internal())
+                    .key(KeySpec::file("blob")),
+            )
+            .class(
+                ClassDef::new("Child")
+                    .parent("Base")
+                    .key(KeySpec::file("meta")) // type change
+                    .key(KeySpec::structured("audit")) // weakened access
+                    .key(KeySpec::file("blob")), // identical redeclaration
+            );
+        let out = analyze(&pkg);
+        let by_code: Vec<(&str, &str)> = out.iter().map(|d| (d.code, d.source.as_str())).collect();
+        assert!(by_code.contains(&(codes::KEY_TYPE_OVERRIDE, "class Child > key meta")));
+        assert!(by_code.contains(&(codes::WEAKENED_ACCESS, "class Child > key audit")));
+        assert!(by_code.contains(&(codes::REDUNDANT_KEY_OVERRIDE, "class Child > key blob")));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn function_access_weakening() {
+        let pkg = OPackage::new("p")
+            .class(ClassDef::new("Base").function(internal_fn("helper")))
+            .class(
+                ClassDef::new("Child")
+                    .parent("Base")
+                    .function(FunctionDef::new("helper", "i/h2")),
+            );
+        let out = analyze(&pkg);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::WEAKENED_ACCESS);
+        assert_eq!(out[0].source, "class Child > function helper");
+    }
+}

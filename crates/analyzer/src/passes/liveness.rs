@@ -1,0 +1,190 @@
+//! Pass 2 — reachability/liveness: dead steps that never feed the flow
+//! output, unreachable key specs, and dataflows shadowing functions.
+
+use std::collections::BTreeSet;
+
+use oprc_core::dataflow::{DataRef, DataflowSpec};
+use oprc_core::hierarchy::ClassHierarchy;
+use oprc_core::{AccessModifier, OPackage};
+
+use crate::diagnostic::{codes, Diagnostic};
+
+use super::{src_dataflow, src_key, src_step, Sink};
+
+pub(crate) fn run(pkg: &OPackage, hierarchy: &ClassHierarchy, out: &mut Sink) {
+    for class in &pkg.classes {
+        for df in &class.dataflows {
+            dead_steps(&class.name, df, out);
+        }
+    }
+    for resolved in hierarchy.iter() {
+        // A dataflow and a function sharing a name: invocation resolves
+        // the dataflow first, so the function is unreachable by name.
+        // Report where either participant is defined, not on every
+        // subclass that merely inherits the collision.
+        let local_def = pkg.class_def(&resolved.name);
+        for df in &resolved.dataflows {
+            let Some((owner, _)) = resolved.dispatch(&df.name) else {
+                continue;
+            };
+            let df_local = local_def.is_some_and(|d| d.dataflows.iter().any(|x| x.name == df.name));
+            if owner == resolved.name || df_local {
+                out.push(Diagnostic::new(
+                    codes::DATAFLOW_SHADOWS_FUNCTION,
+                    src_dataflow(&resolved.name, &df.name),
+                    format!(
+                        "dataflow '{}' shadows function '{}' (defined on '{}'): invocation \
+                         resolves the dataflow first, so the function is unreachable by name",
+                        df.name, df.name, owner
+                    ),
+                ));
+            }
+        }
+        // Internal keys are stripped from public state reads; on a class
+        // with no functions nothing can ever read or write them.
+        if resolved.function_names().is_empty() {
+            for key in &resolved.key_specs {
+                if key.access != AccessModifier::Internal {
+                    continue;
+                }
+                let declared_here =
+                    local_def.is_some_and(|d| d.key_specs.iter().any(|k| k.name == key.name));
+                if declared_here {
+                    out.push(Diagnostic::new(
+                        codes::UNUSED_KEY,
+                        src_key(&resolved.name, &key.name),
+                        format!(
+                            "internal key '{}' can never be accessed: class '{}' defines no \
+                             functions and internal keys are hidden from public reads",
+                            key.name, resolved.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Backward reachability from the output step over data dependencies
+/// (inputs and targets). Anything unreached is dead weight.
+fn dead_steps(class: &str, df: &DataflowSpec, out: &mut Sink) {
+    let ids: BTreeSet<&str> = df.steps.iter().map(|s| s.id.as_str()).collect();
+    let Some(output) = df.output_step() else {
+        return;
+    };
+    if !ids.contains(output) {
+        return; // OPRC004 already covers a dangling output.
+    }
+    let mut live: BTreeSet<&str> = BTreeSet::new();
+    let mut frontier = vec![output];
+    while let Some(id) = frontier.pop() {
+        if !live.insert(id) {
+            continue;
+        }
+        for step in df.steps.iter().filter(|s| s.id == id) {
+            for r in step.inputs.iter().chain(step.target.iter()) {
+                if let DataRef::Step { step: dep, .. } = r {
+                    if ids.contains(dep.as_str()) && !live.contains(dep.as_str()) {
+                        frontier.push(dep);
+                    }
+                }
+            }
+        }
+    }
+    for step in &df.steps {
+        if !live.contains(step.id.as_str()) {
+            out.push(Diagnostic::new(
+                codes::DEAD_STEP,
+                src_step(class, &df.name, &step.id),
+                format!(
+                    "step '{}' does not contribute to output step '{output}'",
+                    step.id
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_core::dataflow::StepSpec;
+    use oprc_core::{ClassDef, FunctionDef, KeySpec};
+
+    fn analyze(pkg: &OPackage) -> Vec<Diagnostic> {
+        let h = ClassHierarchy::resolve(&pkg.classes).unwrap();
+        let mut out = Vec::new();
+        run(pkg, &h, &mut out);
+        out
+    }
+
+    #[test]
+    fn dead_step_detected_live_chain_kept() {
+        let pkg = OPackage::new("p").class(
+            ClassDef::new("C")
+                .function(FunctionDef::new("f", "i/f"))
+                .dataflow(
+                    DataflowSpec::new("flow")
+                        .step(StepSpec::new("a", "f").from_input())
+                        .step(StepSpec::new("b", "f").from_step("a"))
+                        .step(StepSpec::new("orphan", "f").from_input())
+                        .output_from("b"),
+                ),
+        );
+        let out = analyze(&pkg);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::DEAD_STEP);
+        assert!(out[0].source.ends_with("step orphan"));
+    }
+
+    #[test]
+    fn target_refs_keep_steps_live() {
+        let pkg = OPackage::new("p").class(
+            ClassDef::new("C")
+                .function(FunctionDef::new("f", "i/f"))
+                .dataflow(
+                    DataflowSpec::new("flow")
+                        .step(StepSpec::new("ids", "f").from_input())
+                        .step(StepSpec::new("a", "f").on_target(DataRef::Step {
+                            step: "ids".into(),
+                            pointer: None,
+                        }))
+                        .output_from("a"),
+                ),
+        );
+        assert!(analyze(&pkg).is_empty());
+    }
+
+    #[test]
+    fn shadowing_dataflow_reported_once() {
+        let pkg = OPackage::new("p")
+            .class(
+                ClassDef::new("Base")
+                    .function(FunctionDef::new("publish", "i/p"))
+                    .dataflow(DataflowSpec::new("publish").step(StepSpec::new("s", "publish"))),
+            )
+            .class(ClassDef::new("Child").parent("Base"));
+        let out = analyze(&pkg);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::DATAFLOW_SHADOWS_FUNCTION);
+        assert!(out[0].source.starts_with("class Base"));
+    }
+
+    #[test]
+    fn unreachable_internal_key_flagged_only_where_declared() {
+        let pkg = OPackage::new("p")
+            .class(ClassDef::new("Bag").key(KeySpec::structured("secret").internal()))
+            .class(ClassDef::new("SubBag").parent("Bag"));
+        let out = analyze(&pkg);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::UNUSED_KEY);
+        assert_eq!(out[0].source, "class Bag > key secret");
+        // A class with functions can reach its internal keys.
+        let pkg = OPackage::new("p").class(
+            ClassDef::new("Acct")
+                .key(KeySpec::structured("audit").internal())
+                .function(FunctionDef::new("set", "i/s")),
+        );
+        assert!(analyze(&pkg).is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! The analysis passes.
+//!
+//! Each pass appends [`Diagnostic`]s to a shared list. The DAG pass is
+//! purely syntactic and always runs; the remaining passes need the
+//! resolved [`oprc_core::hierarchy::ClassHierarchy`] and are skipped
+//! (with an `OPRC005` diagnostic) when the package does not resolve.
+
+pub(crate) mod dag;
+pub(crate) mod encapsulation;
+pub(crate) mod liveness;
+pub(crate) mod nfr;
+pub(crate) mod resolution;
+
+use crate::diagnostic::Diagnostic;
+
+/// `class C`.
+pub(crate) fn src_class(class: &str) -> String {
+    format!("class {class}")
+}
+
+/// `class C > dataflow F`.
+pub(crate) fn src_dataflow(class: &str, dataflow: &str) -> String {
+    format!("class {class} > dataflow {dataflow}")
+}
+
+/// `class C > dataflow F > step S`.
+pub(crate) fn src_step(class: &str, dataflow: &str, step: &str) -> String {
+    format!("class {class} > dataflow {dataflow} > step {step}")
+}
+
+/// `class C > function F`.
+pub(crate) fn src_function(class: &str, function: &str) -> String {
+    format!("class {class} > function {function}")
+}
+
+/// `class C > key K`.
+pub(crate) fn src_key(class: &str, key: &str) -> String {
+    format!("class {class} > key {key}")
+}
+
+pub(crate) type Sink = Vec<Diagnostic>;

@@ -1,0 +1,211 @@
+//! Pass 5 — NFR satisfiability: every class (and every function with a
+//! method-level override) must select a runtime template from the
+//! catalog, surfacing `NoMatchingTemplate` before deploy time; plus
+//! lints for ambiguous tie-breaks and self-contradictory requirements.
+
+use oprc_core::hierarchy::ClassHierarchy;
+use oprc_core::nfr::NfrSpec;
+use oprc_core::template::TemplateCatalog;
+
+use crate::diagnostic::{codes, Diagnostic};
+
+use super::{src_class, src_function, Sink};
+
+pub(crate) fn run(hierarchy: &ClassHierarchy, catalog: &TemplateCatalog, out: &mut Sink) {
+    for resolved in hierarchy.iter() {
+        // Each class gets its own class runtime, so an unsatisfiable
+        // effective NFR fails per class — report per class, even when
+        // the offending requirement was inherited.
+        check_nfr(&resolved.nfr, src_class(&resolved.name), catalog, out);
+        for name in resolved.function_names() {
+            let Some(f) = resolved.function(name) else {
+                continue;
+            };
+            let Some(fn_nfr) = &f.nfr else {
+                continue;
+            };
+            let effective = fn_nfr.inherit_from(&resolved.nfr);
+            check_nfr(&effective, src_function(&resolved.name, name), catalog, out);
+        }
+    }
+}
+
+fn check_nfr(nfr: &NfrSpec, source: String, catalog: &TemplateCatalog, out: &mut Sink) {
+    let function_level = source.contains("> function ");
+    match catalog.select(nfr) {
+        Err(_) => {
+            let code = if function_level {
+                codes::FUNCTION_NFR_UNSATISFIABLE
+            } else {
+                codes::CLASS_NFR_UNSATISFIABLE
+            };
+            out.push(Diagnostic::new(
+                code,
+                source.clone(),
+                format!(
+                    "requirements ({}) match no template in the catalog; deployment would fail",
+                    summarize(nfr)
+                ),
+            ));
+        }
+        Ok(winner) => {
+            let matching: Vec<&str> = catalog
+                .templates()
+                .iter()
+                .filter(|t| t.priority == winner.priority && t.condition.matches(nfr))
+                .map(|t| t.name.as_str())
+                .collect();
+            if matching.len() > 1 {
+                out.push(Diagnostic::new(
+                    codes::NFR_TEMPLATE_TIE,
+                    source.clone(),
+                    format!(
+                        "requirements match templates {} at equal priority {}; \
+                         name tie-break selects '{}'",
+                        matching
+                            .iter()
+                            .map(|n| format!("'{n}'"))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        winner.priority,
+                        winner.name
+                    ),
+                ));
+            }
+        }
+    }
+    if nfr.qos.availability.is_some() && nfr.constraint.persistent == Some(false) {
+        out.push(Diagnostic::new(
+            codes::AVAILABILITY_WITHOUT_PERSISTENCE,
+            source,
+            format!(
+                "availability target {} is declared on explicitly non-persistent state; \
+                 state lost on restart cannot meet an availability promise",
+                nfr.qos.availability.unwrap_or_default()
+            ),
+        ));
+    }
+}
+
+fn summarize(nfr: &NfrSpec) -> String {
+    let mut parts = Vec::new();
+    if let Some(t) = nfr.qos.throughput {
+        parts.push(format!("throughput ≥ {t}/s"));
+    }
+    if let Some(a) = nfr.qos.availability {
+        parts.push(format!("availability ≥ {a}"));
+    }
+    if let Some(l) = nfr.qos.latency_ms {
+        parts.push(format!("latency ≤ {l}ms"));
+    }
+    if let Some(p) = nfr.constraint.persistent {
+        parts.push(format!("persistent = {p}"));
+    }
+    if parts.is_empty() {
+        "no requirements declared".to_string()
+    } else {
+        parts.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_core::template::{ClassRuntimeTemplate, RuntimeConfig, TemplateCondition};
+    use oprc_core::{ClassDef, FunctionDef, OPackage};
+    use oprc_value::vjson;
+
+    fn analyze(pkg: &OPackage, catalog: &TemplateCatalog) -> Vec<Diagnostic> {
+        let h = ClassHierarchy::resolve(&pkg.classes).unwrap();
+        let mut out = Vec::new();
+        run(&h, catalog, &mut out);
+        out
+    }
+
+    fn nfr(v: oprc_value::Value) -> NfrSpec {
+        NfrSpec::from_value(&v).unwrap()
+    }
+
+    /// A catalog with no unconditional fallback, so selection can fail.
+    fn strict_catalog() -> TemplateCatalog {
+        let mut c = TemplateCatalog::new();
+        c.add(
+            ClassRuntimeTemplate::new("throughput-only", 10, RuntimeConfig::default()).condition(
+                TemplateCondition {
+                    throughput_at_least: Some(100),
+                    ..TemplateCondition::default()
+                },
+            ),
+        );
+        c
+    }
+
+    #[test]
+    fn standard_catalog_always_satisfies() {
+        let pkg = OPackage::new("p")
+            .class(ClassDef::new("C").nfr(nfr(vjson!({"qos": {"throughput": 9999}}))));
+        assert!(analyze(&pkg, &TemplateCatalog::standard()).is_empty());
+    }
+
+    #[test]
+    fn class_nfr_without_matching_template() {
+        let pkg = OPackage::new("p").class(ClassDef::new("C"));
+        let out = analyze(&pkg, &strict_catalog());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::CLASS_NFR_UNSATISFIABLE);
+        assert_eq!(out[0].source, "class C");
+        assert!(out[0].message.contains("no requirements declared"));
+    }
+
+    #[test]
+    fn function_nfr_checked_with_inheritance() {
+        // The class satisfies the catalog on its own; the function's
+        // override (merged with the class NFR) does not.
+        let pkg = OPackage::new("p").class(
+            ClassDef::new("C")
+                .nfr(nfr(vjson!({"qos": {"throughput": 500}})))
+                .function(
+                    FunctionDef::new("f", "i/f")
+                        .with_nfr(nfr(vjson!({"constraint": {"persistent": false}}))),
+                ),
+        );
+        let mut strict = TemplateCatalog::new();
+        strict.add(
+            ClassRuntimeTemplate::new("persistent-only", 0, RuntimeConfig::default()).condition(
+                TemplateCondition {
+                    persistent: Some(true),
+                    ..TemplateCondition::default()
+                },
+            ),
+        );
+        let out = analyze(&pkg, &strict);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::FUNCTION_NFR_UNSATISFIABLE);
+        assert_eq!(out[0].source, "class C > function f");
+    }
+
+    #[test]
+    fn equal_priority_tie_is_warned() {
+        let pkg = OPackage::new("p").class(ClassDef::new("C").nfr(nfr(vjson!({
+            "qos": {"throughput": 5000, "latency": 5},
+        }))));
+        let out = analyze(&pkg, &TemplateCatalog::standard());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::NFR_TEMPLATE_TIE);
+        assert!(out[0].message.contains("'high-throughput'"));
+        assert!(out[0].message.contains("'low-latency'"));
+        assert!(out[0].message.contains("selects 'high-throughput'"));
+    }
+
+    #[test]
+    fn availability_on_nonpersistent_state_is_contradictory() {
+        let pkg = OPackage::new("p").class(ClassDef::new("C").nfr(nfr(vjson!({
+            "qos": {"availability": 0.999},
+            "constraint": {"persistent": false},
+        }))));
+        let out = analyze(&pkg, &TemplateCatalog::standard());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::AVAILABILITY_WITHOUT_PERSISTENCE);
+        assert_eq!(out[0].severity, crate::Severity::Error);
+    }
+}

@@ -1,0 +1,133 @@
+//! Pass 1 — resolution: every dataflow step's function must resolve
+//! against the invoking class's *resolved* hierarchy; cross-object
+//! (`target`) steps dispatch polymorphically on the target's class, so
+//! they resolve against the whole package instead.
+
+use std::collections::BTreeSet;
+
+use oprc_core::hierarchy::ClassHierarchy;
+use oprc_core::OPackage;
+
+use crate::diagnostic::{codes, Diagnostic};
+
+use super::{src_step, Sink};
+
+pub(crate) fn run(pkg: &OPackage, hierarchy: &ClassHierarchy, out: &mut Sink) {
+    // Function names defined by *any* class in the package — the widest
+    // set a cross-object step could dispatch to within this package.
+    let defined_anywhere: BTreeSet<&str> = pkg
+        .classes
+        .iter()
+        .flat_map(|c| c.functions.iter().map(|f| f.name.as_str()))
+        .collect();
+    for class in &pkg.classes {
+        let Some(resolved) = hierarchy.class(&class.name) else {
+            continue;
+        };
+        for df in &class.dataflows {
+            for step in &df.steps {
+                let step_src = src_step(&class.name, &df.name, &step.id);
+                if step.target.is_none() {
+                    if resolved.function(&step.function).is_none() {
+                        let hint = resolved
+                            .function_names()
+                            .iter()
+                            .find(|n| n.eq_ignore_ascii_case(&step.function))
+                            .map(|n| format!(" (did you mean '{n}'?)"))
+                            .unwrap_or_default();
+                        out.push(Diagnostic::new(
+                            codes::UNRESOLVED_FUNCTION,
+                            step_src,
+                            format!(
+                                "function '{}' is not defined on class '{}' or its ancestors{hint}",
+                                step.function, class.name
+                            ),
+                        ));
+                    }
+                } else if !defined_anywhere.contains(step.function.as_str()) {
+                    out.push(Diagnostic::new(
+                        codes::UNRESOLVED_TARGET_FUNCTION,
+                        step_src,
+                        format!(
+                            "no class in this package defines '{}'; cross-object dispatch \
+                             will fail unless the target object's class comes from another package",
+                            step.function
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_core::dataflow::{DataRef, DataflowSpec, StepSpec};
+    use oprc_core::{ClassDef, FunctionDef};
+
+    fn analyze(pkg: &OPackage) -> Vec<Diagnostic> {
+        let h = ClassHierarchy::resolve(&pkg.classes).unwrap();
+        let mut out = Vec::new();
+        run(pkg, &h, &mut out);
+        out
+    }
+
+    #[test]
+    fn inherited_functions_resolve() {
+        let pkg = OPackage::new("p")
+            .class(ClassDef::new("Base").function(FunctionDef::new("f", "i/f")))
+            .class(
+                ClassDef::new("Child")
+                    .parent("Base")
+                    .dataflow(DataflowSpec::new("flow").step(StepSpec::new("s", "f"))),
+            );
+        assert!(analyze(&pkg).is_empty());
+    }
+
+    #[test]
+    fn undefined_step_function_is_an_error() {
+        let pkg = OPackage::new("p").class(
+            ClassDef::new("C")
+                .function(FunctionDef::new("resize", "i/r"))
+                .dataflow(DataflowSpec::new("flow").step(StepSpec::new("s", "Resize"))),
+        );
+        let out = analyze(&pkg);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::UNRESOLVED_FUNCTION);
+        assert_eq!(out[0].source, "class C > dataflow flow > step s");
+        assert!(out[0].message.contains("did you mean 'resize'"));
+    }
+
+    #[test]
+    fn target_steps_resolve_package_wide() {
+        let pkg = OPackage::new("p")
+            .class(ClassDef::new("Cell").function(FunctionDef::new("read", "i/r")))
+            .class(
+                ClassDef::new("Adder").dataflow(
+                    DataflowSpec::new("flow")
+                        .step(StepSpec::new("ids", "sum").from_input())
+                        .step(StepSpec::new("a", "read").on_target(DataRef::Step {
+                            step: "ids".into(),
+                            pointer: None,
+                        })),
+                ),
+            );
+        let out = analyze(&pkg);
+        // `read` resolves package-wide; `sum` is missing on Adder.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::UNRESOLVED_FUNCTION);
+    }
+
+    #[test]
+    fn unknown_target_function_is_only_a_warning() {
+        let pkg =
+            OPackage::new("p").class(ClassDef::new("A").dataflow(DataflowSpec::new("flow").step(
+                StepSpec::new("s", "elsewhere").on_target(DataRef::Const(oprc_value::vjson!(3))),
+            )));
+        let out = analyze(&pkg);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, codes::UNRESOLVED_TARGET_FUNCTION);
+        assert_eq!(out[0].severity, crate::Severity::Warning);
+    }
+}

@@ -1,0 +1,146 @@
+//! The analysis report: rendering and structured output.
+
+use oprc_value::Value;
+
+use crate::diagnostic::{Diagnostic, Severity};
+
+/// The outcome of analyzing one package.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// Package name.
+    pub package: String,
+    /// All findings, ordered by source path then code.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// True when any finding has Error severity (the deploy gate).
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Findings at exactly `severity`.
+    pub fn at(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.severity == severity)
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> Vec<&Diagnostic> {
+        self.at(Severity::Error).collect()
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.at(severity).count()
+    }
+
+    /// The distinct lint codes present, in ascending order.
+    pub fn codes(&self) -> Vec<&'static str> {
+        let mut codes: Vec<&'static str> = self.diagnostics.iter().map(|d| d.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+    }
+
+    /// True when `code` was reported.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Human-readable rendering: one line per finding plus a summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "package '{}': {} error(s), {} warning(s), {} info",
+            self.package,
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        ));
+        out
+    }
+
+    /// Structured output for `--json` consumers.
+    pub fn to_value(&self) -> Value {
+        let diags: Vec<Value> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                Value::from_iter([
+                    ("code".to_string(), Value::from(d.code)),
+                    ("severity".to_string(), Value::from(d.severity.to_string())),
+                    ("source".to_string(), Value::from(d.source.clone())),
+                    ("message".to_string(), Value::from(d.message.clone())),
+                ])
+            })
+            .collect();
+        Value::from_iter([
+            ("package".to_string(), Value::from(self.package.clone())),
+            (
+                "errors".to_string(),
+                Value::from(self.count(Severity::Error) as u64),
+            ),
+            (
+                "warnings".to_string(),
+                Value::from(self.count(Severity::Warning) as u64),
+            ),
+            (
+                "infos".to_string(),
+                Value::from(self.count(Severity::Info) as u64),
+            ),
+            ("diagnostics".to_string(), Value::Array(diags)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::codes;
+
+    fn report() -> AnalysisReport {
+        AnalysisReport {
+            package: "demo".into(),
+            diagnostics: vec![
+                Diagnostic::new(codes::DATAFLOW_CYCLE, "class C > dataflow f", "cycle"),
+                Diagnostic::new(codes::DEAD_STEP, "class C > dataflow f > step s", "dead"),
+            ],
+        }
+    }
+
+    #[test]
+    fn counting_and_gating() {
+        let r = report();
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.codes(), vec!["OPRC010", "OPRC030"]);
+        assert!(r.has_code("OPRC030"));
+        assert!(!r.has_code("OPRC001"));
+    }
+
+    #[test]
+    fn render_lists_findings_and_summary() {
+        let text = report().render();
+        assert!(text.contains("error[OPRC030]"));
+        assert!(text.contains("warning[OPRC010]"));
+        assert!(text.ends_with("package 'demo': 1 error(s), 1 warning(s), 0 info"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let v = report().to_value();
+        assert_eq!(v["package"].as_str(), Some("demo"));
+        assert_eq!(v["errors"].as_u64(), Some(1));
+        let diags = v["diagnostics"].as_array().unwrap();
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0]["code"].as_str(), Some("OPRC030"));
+        assert_eq!(diags[0]["severity"].as_str(), Some("error"));
+    }
+}

@@ -11,25 +11,29 @@ use oprc_value::vjson;
 fn bench_write_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("a1_write_behind_path");
     for batch in [1usize, 10, 100, 500] {
-        group.bench_with_input(BenchmarkId::new("offer_flush_10k", batch), &batch, |b, &batch| {
-            b.iter(|| {
-                let mut buf = WriteBehindBuffer::new(WriteBehindConfig {
-                    max_batch: batch,
-                    max_delay: SimDuration::from_millis(50),
-                });
-                let mut db = PersistentDb::new(PersistentDbConfig::default());
-                for i in 0..10_000u64 {
-                    let key = format!("obj-{}", i % 1_000);
-                    buf.offer(SimTime::ZERO, &key, vjson!({"n": (i as i64)}));
-                    while let Some(b) = buf.take_batch(SimTime::ZERO) {
-                        db.put_batch(SimTime::ZERO, b.records);
+        group.bench_with_input(
+            BenchmarkId::new("offer_flush_10k", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let mut buf = WriteBehindBuffer::new(WriteBehindConfig {
+                        max_batch: batch,
+                        max_delay: SimDuration::from_millis(50),
+                    });
+                    let mut db = PersistentDb::new(PersistentDbConfig::default());
+                    for i in 0..10_000u64 {
+                        let key = format!("obj-{}", i % 1_000);
+                        buf.offer(SimTime::ZERO, &key, vjson!({"n": (i as i64)}));
+                        while let Some(b) = buf.take_batch(SimTime::ZERO) {
+                            db.put_batch(SimTime::ZERO, b.records);
+                        }
                     }
-                }
-                let tail = buf.drain(usize::MAX);
-                db.put_batch(SimTime::ZERO, tail.records);
-                db.stats()
-            })
-        });
+                    let tail = buf.drain(usize::MAX);
+                    db.put_batch(SimTime::ZERO, tail.records);
+                    db.stats()
+                });
+            },
+        );
     }
     group.finish();
 
@@ -37,10 +41,14 @@ fn bench_write_path(c: &mut Criterion) {
         b.iter(|| {
             let mut db = PersistentDb::new(PersistentDbConfig::default());
             for i in 0..10_000u64 {
-                db.put(SimTime::ZERO, &format!("obj-{}", i % 1_000), vjson!({"n": (i as i64)}));
+                db.put(
+                    SimTime::ZERO,
+                    &format!("obj-{}", i % 1_000),
+                    vjson!({"n": (i as i64)}),
+                );
             }
             db.stats()
-        })
+        });
     });
 }
 

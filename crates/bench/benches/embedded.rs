@@ -29,7 +29,9 @@ fn fanout_platform() -> EmbeddedPlatform {
     let mut p = EmbeddedPlatform::new();
     p.register_function("img/slow", |task| {
         std::thread::sleep(STEP_COST);
-        Ok(TaskResult::output(task.args.first().cloned().unwrap_or_default()))
+        Ok(TaskResult::output(
+            task.args.first().cloned().unwrap_or_default(),
+        ))
     });
     p.deploy_yaml(
         r#"
@@ -64,10 +66,10 @@ fn bench_invoke(c: &mut Criterion) {
     let mut p = counter_platform();
     let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
     c.bench_function("embedded_invoke_counter", |b| {
-        b.iter(|| p.invoke(id, "incr", vec![]).unwrap())
+        b.iter(|| p.invoke(id, "incr", vec![]).unwrap());
     });
     c.bench_function("embedded_create_object", |b| {
-        b.iter(|| p.create_object("Counter", vjson!({"count": 0})).unwrap())
+        b.iter(|| p.create_object("Counter", vjson!({"count": 0})).unwrap());
     });
 }
 
@@ -81,7 +83,7 @@ fn bench_dataflow_vs_manual(c: &mut Criterion) {
     group.bench_function("dataflow_fanout", |b| {
         let mut p = fanout_platform();
         let id = p.create_object("Fan", vjson!({})).unwrap();
-        b.iter(|| p.invoke(id, "fanout", vec![vjson!(1)]).unwrap())
+        b.iter(|| p.invoke(id, "fanout", vec![vjson!(1)]).unwrap());
     });
     // Manual chaining (what FaaS forces, §I): 4 sequential invocations.
     // Wall = 4 × STEP_COST.
@@ -93,7 +95,7 @@ fn bench_dataflow_vs_manual(c: &mut Criterion) {
             let _b = p.invoke(id, "work", vec![vjson!(1)]).unwrap();
             let _c = p.invoke(id, "work", vec![vjson!(1)]).unwrap();
             p.invoke(id, "work", vec![a.output]).unwrap()
-        })
+        });
     });
     group.finish();
 }

@@ -6,8 +6,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use oprc_core::dataflow::{DataflowSpec, StepSpec};
 use oprc_core::hierarchy::ClassHierarchy;
 use oprc_core::nfr::NfrSpec;
-use oprc_core::template::TemplateCatalog;
 use oprc_core::parse;
+use oprc_core::template::TemplateCatalog;
 use oprc_simcore::SimTime;
 use oprc_store::presign::{self, Method};
 use oprc_store::{sha, Dht, DhtConfig, DhtNodeId, HashRing};
@@ -44,23 +44,23 @@ fn bench_parsing(c: &mut Criterion) {
     });
     let compact = json::to_string(&doc);
     c.bench_function("json_parse_1kb_doc", |b| {
-        b.iter(|| json::parse(black_box(&compact)).unwrap())
+        b.iter(|| json::parse(black_box(&compact)).unwrap());
     });
     c.bench_function("json_emit_compact", |b| {
-        b.iter(|| json::to_string(black_box(&doc)))
+        b.iter(|| json::to_string(black_box(&doc)));
     });
     c.bench_function("yaml_parse_listing1", |b| {
-        b.iter(|| yaml::parse(black_box(LISTING1)).unwrap())
+        b.iter(|| yaml::parse(black_box(LISTING1)).unwrap());
     });
     c.bench_function("package_parse_listing1", |b| {
-        b.iter(|| parse::package_from_yaml(black_box(LISTING1)).unwrap())
+        b.iter(|| parse::package_from_yaml(black_box(LISTING1)).unwrap());
     });
 }
 
 fn bench_crypto(c: &mut Criterion) {
     let payload = vec![0xabu8; 4096];
     c.bench_function("sha256_4kib", |b| {
-        b.iter(|| sha::sha256(black_box(&payload)))
+        b.iter(|| sha::sha256(black_box(&payload)));
     });
     let url = presign::presign(
         b"secret",
@@ -78,10 +78,10 @@ fn bench_crypto(c: &mut Criterion) {
                 "obj-1/image",
                 SimTime::from_secs(900),
             )
-        })
+        });
     });
     c.bench_function("verify_url", |b| {
-        b.iter(|| presign::verify(b"secret", black_box(&url.url), SimTime::ZERO).unwrap())
+        b.iter(|| presign::verify(b"secret", black_box(&url.url), SimTime::ZERO).unwrap());
     });
 }
 
@@ -95,7 +95,7 @@ fn bench_routing(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             ring.owner(black_box(&format!("obj-{i}")))
-        })
+        });
     });
     let mut dht = Dht::new(DhtConfig::default());
     for m in 0..12 {
@@ -105,22 +105,22 @@ fn bench_routing(c: &mut Criterion) {
         dht.put(&format!("obj-{i}"), vjson!({"n": i})).unwrap();
     }
     c.bench_function("dht_get_hot", |b| {
-        b.iter(|| dht.get(black_box("obj-500")))
+        b.iter(|| dht.get(black_box("obj-500")));
     });
     c.bench_function("dht_put_replicated", |b| {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
             dht.put(&format!("obj-{}", i % 1000), vjson!({"n": (i as i64)}))
-                .unwrap()
-        })
+                .unwrap();
+        });
     });
 }
 
 fn bench_core(c: &mut Criterion) {
     let pkg = parse::package_from_yaml(LISTING1).unwrap();
     c.bench_function("hierarchy_resolve_listing1", |b| {
-        b.iter(|| ClassHierarchy::resolve(black_box(&pkg.classes)).unwrap())
+        b.iter(|| ClassHierarchy::resolve(black_box(&pkg.classes)).unwrap());
     });
     let catalog = TemplateCatalog::standard();
     let nfr = NfrSpec::from_value(&vjson!({
@@ -129,7 +129,7 @@ fn bench_core(c: &mut Criterion) {
     }))
     .unwrap();
     c.bench_function("template_select", |b| {
-        b.iter(|| catalog.select(black_box(&nfr)).unwrap())
+        b.iter(|| catalog.select(black_box(&nfr)).unwrap());
     });
     let df = DataflowSpec::new("wide")
         .step(StepSpec::new("a", "f").from_input())
@@ -143,7 +143,7 @@ fn bench_core(c: &mut Criterion) {
                 .from_step("d"),
         );
     c.bench_function("dataflow_stage_planning", |b| {
-        b.iter(|| black_box(&df).stages())
+        b.iter(|| black_box(&df).stages());
     });
     let from = vjson!({"a": 1, "b": {"c": [1, 2, 3], "d": "x"}});
     let to = vjson!({"a": 2, "b": {"c": [1, 2, 3], "d": "y"}, "e": true});
@@ -153,9 +153,15 @@ fn bench_core(c: &mut Criterion) {
             let mut x = from.clone();
             oprc_value::merge::deep_merge(&mut x, patch);
             x
-        })
+        });
     });
 }
 
-criterion_group!(benches, bench_parsing, bench_crypto, bench_routing, bench_core);
+criterion_group!(
+    benches,
+    bench_parsing,
+    bench_crypto,
+    bench_routing,
+    bench_core
+);
 criterion_main!(benches);

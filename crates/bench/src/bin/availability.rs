@@ -19,7 +19,10 @@ fn main() {
     let recover_after = 6u64;
     let measure = 20u64;
 
-    println!("== E2: failure & recovery timeline ({vms} VMs, {} go down) ==\n", vms / 2);
+    println!(
+        "== E2: failure & recovery timeline ({vms} VMs, {} go down) ==\n",
+        vms / 2
+    );
     let mut rows = Vec::new();
     let mut timelines = Vec::new();
     for variant in [SystemVariant::Knative, SystemVariant::OprcBypass] {
@@ -62,7 +65,11 @@ fn main() {
         )
     );
 
-    println!("per-second timeline (fail at t={}s, recover at t={}s):", warmup + fail_at, warmup + fail_at + recover_after);
+    println!(
+        "per-second timeline (fail at t={}s, recover at t={}s):",
+        warmup + fail_at,
+        warmup + fail_at + recover_after
+    );
     for (label, tl) in &timelines {
         let spark: String = tl
             .iter()

@@ -57,8 +57,7 @@ fn main() {
         results
             .iter()
             .find(|r| r.variant == variant && r.vms == vms)
-            .map(|r| r.throughput)
-            .unwrap_or(f64::NAN)
+            .map_or(f64::NAN, |r| r.throughput)
     };
 
     // --- Figure 3 table ---
@@ -160,7 +159,12 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["batch".into(), "req/s".into(), "p99 ms".into(), "db batches".into()],
+            &[
+                "batch".into(),
+                "req/s".into(),
+                "p99 ms".into(),
+                "db batches".into()
+            ],
             &rows
         )
     );
@@ -213,7 +217,12 @@ fn main() {
         cfg.locality_routing = locality;
         let r = sim::run(cfg);
         rows.push(vec![
-            if locality { "locality" } else { "random replica" }.to_string(),
+            if locality {
+                "locality"
+            } else {
+                "random replica"
+            }
+            .to_string(),
             format!("{:.0}", r.throughput),
             format!("{:.1}", r.p50_ms),
             format!("{:.1}", r.p99_ms),
@@ -222,7 +231,12 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["routing".into(), "req/s".into(), "p50 ms".into(), "p99 ms".into()],
+            &[
+                "routing".into(),
+                "req/s".into(),
+                "p50 ms".into(),
+                "p99 ms".into()
+            ],
             &rows
         )
     );
@@ -235,7 +249,10 @@ fn main() {
             if locality { "locality" } else { "round-robin" }.to_string(),
             local.to_string(),
             remote.to_string(),
-            format!("{:.0}%", 100.0 * local as f64 / (local + remote).max(1) as f64),
+            format!(
+                "{:.0}%",
+                100.0 * local as f64 / (local + remote).max(1) as f64
+            ),
         ]);
     }
     println!(

@@ -17,7 +17,7 @@ use oprc_store::WriteBehindConfig;
 /// Formats a rows×cols table with a header, aligned for terminal
 /// output.
 pub fn format_table(header: &[String], rows: &[Vec<String>]) -> String {
-    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    let mut widths: Vec<usize> = header.iter().map(std::string::String::len).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
             if i < widths.len() {
@@ -73,8 +73,8 @@ pub fn sim_config_for_template(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oprc_core::template::TemplateCatalog;
     use oprc_core::nfr::NfrSpec;
+    use oprc_core::template::TemplateCatalog;
 
     #[test]
     fn table_alignment() {

@@ -1,0 +1,61 @@
+//! End-to-end tests of `oprc-ctl lint` through the real binary:
+//! broken fixtures exit nonzero with the report on stderr, clean
+//! packages exit zero.
+
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    format!(
+        "{}/../../tests/fixtures/{name}.yaml",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn run_lint(arg: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_oprc-ctl"))
+        .args(["-c", arg])
+        .output()
+        .expect("oprc-ctl runs")
+}
+
+#[test]
+fn broken_fixtures_exit_nonzero_with_their_codes() {
+    for (name, code) in [
+        ("undefined_function", "OPRC001"),
+        ("cyclic_flow", "OPRC030"),
+        ("internal_leak", "OPRC020"),
+        ("unsatisfiable_nfr", "OPRC043"),
+    ] {
+        let out = run_lint(&format!("lint @{}", fixture(name)));
+        assert!(!out.status.success(), "{name}: lint should exit nonzero");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(code), "{name}: missing {code} in: {stderr}");
+    }
+}
+
+#[test]
+fn clean_package_exits_zero() {
+    let out = run_lint(
+        "lint classes:\n  - name: Pure\n    functions:\n      - name: f\n        image: i/f\n",
+    );
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn json_output_is_structured() {
+    let out = run_lint(&format!("lint --json @{}", fixture("undefined_function")));
+    assert!(!out.status.success());
+    // The REPL prefixes the report with "error: "; the JSON body starts
+    // at the first brace.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let json_start = stderr.find('{').expect("stderr carries JSON");
+    let v = oprc_value::json::parse(&stderr[json_start..]).expect("stderr carries a JSON report");
+    assert!(v["errors"].as_u64().unwrap_or(0) >= 1);
+    assert!(v["diagnostics"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .any(|d| d["code"].as_str() == Some("OPRC001")));
+}

@@ -226,7 +226,10 @@ impl Cluster {
                 if let Some(pod) = self.pods.get_mut(&pod_id) {
                     pod.unbind();
                 }
-                changes.push(ClusterChange::PodEvicted { pod: pod_id, node: id });
+                changes.push(ClusterChange::PodEvicted {
+                    pod: pod_id,
+                    node: id,
+                });
             }
         }
         Ok(changes)
@@ -285,12 +288,20 @@ impl Cluster {
             let current: Vec<PodId> = pod_list
                 .iter()
                 .copied()
-                .filter(|p| self.pods.get(p).is_some_and(|pod| pod.revision() == revision))
+                .filter(|p| {
+                    self.pods
+                        .get(p)
+                        .is_some_and(|pod| pod.revision() == revision)
+                })
                 .collect();
             let stale: Vec<PodId> = pod_list
                 .iter()
                 .copied()
-                .filter(|p| self.pods.get(p).is_some_and(|pod| pod.revision() < revision))
+                .filter(|p| {
+                    self.pods
+                        .get(p)
+                        .is_some_and(|pod| pod.revision() < revision)
+                })
                 .collect();
 
             // Scale in: drop newest current-revision pods first, then
@@ -318,7 +329,11 @@ impl Cluster {
                 self.next_pod += 1;
                 self.pods
                     .insert(id, Pod::new(id, name.clone(), template.clone(), revision));
-                self.deployments.get_mut(&name).expect("exists").pods.push(id);
+                self.deployments
+                    .get_mut(&name)
+                    .expect("exists")
+                    .pods
+                    .push(id);
                 current_count += 1;
                 total += 1;
             }
@@ -326,15 +341,12 @@ impl Cluster {
             // Rollout step 2 — retire stale pods while *running*
             // availability stays at or above `want - max_unavailable`.
             let is_running = |pods: &BTreeMap<PodId, Pod>, p: &PodId| {
-                pods.get(p).is_some_and(|pod| pod.phase() == PodPhase::Running)
+                pods.get(p)
+                    .is_some_and(|pod| pod.phase() == PodPhase::Running)
             };
-            let running_current = current
-                .iter()
-                .filter(|p| is_running(&self.pods, p))
-                .count();
-            let (running_stale, idle_stale): (Vec<PodId>, Vec<PodId>) = stale
-                .into_iter()
-                .partition(|p| is_running(&self.pods, p));
+            let running_current = current.iter().filter(|p| is_running(&self.pods, p)).count();
+            let (running_stale, idle_stale): (Vec<PodId>, Vec<PodId>) =
+                stale.into_iter().partition(|p| is_running(&self.pods, p));
             // Non-running stale pods provide no availability: retire
             // immediately.
             for pod_id in idle_stale {
@@ -356,7 +368,7 @@ impl Cluster {
             .pods
             .values()
             .filter(|p| p.phase() == PodPhase::Pending)
-            .map(|p| p.id())
+            .map(super::pod::Pod::id)
             .collect();
         for pod_id in pending {
             let request = self.pods[&pod_id].spec().request;
@@ -487,7 +499,7 @@ mod tests {
         let mut c = cluster_with_nodes(2);
         c.apply(DeploymentSpec::new("d", 2, small_pod())).unwrap();
         c.reconcile();
-        for p in c.pods().map(|p| p.id()).collect::<Vec<_>>() {
+        for p in c.pods().map(super::super::pod::Pod::id).collect::<Vec<_>>() {
             c.mark_pod_running(p);
         }
         let victim = c.pods().next().unwrap().node().unwrap();
@@ -569,7 +581,7 @@ mod tests {
     fn settle(c: &mut Cluster, max_cycles: usize) -> usize {
         for cycle in 0..max_cycles {
             let changes = c.reconcile();
-            for p in c.pods().map(|p| p.id()).collect::<Vec<_>>() {
+            for p in c.pods().map(super::super::pod::Pod::id).collect::<Vec<_>>() {
                 c.mark_pod_running(p);
             }
             if changes.is_empty() {
@@ -603,7 +615,7 @@ mod tests {
                 c.running_pods("d").len() >= 4,
                 "availability dropped during zero-downtime rollout"
             );
-            for p in c.pods().map(|p| p.id()).collect::<Vec<_>>() {
+            for p in c.pods().map(super::super::pod::Pod::id).collect::<Vec<_>>() {
                 c.mark_pod_running(p);
             }
         }
@@ -622,17 +634,15 @@ mod tests {
         use crate::RolloutConfig;
         let drive = |rollout: RolloutConfig| -> usize {
             let mut c = cluster_with_nodes(4);
-            c.apply(
-                DeploymentSpec::new("d", 6, small_pod()).rollout(rollout),
-            )
-            .unwrap();
+            c.apply(DeploymentSpec::new("d", 6, small_pod()).rollout(rollout))
+                .unwrap();
             settle(&mut c, 5);
             c.set_template("d", PodSpec::new(ResourceSpec::new(120, 120)))
                 .unwrap();
             let mut cycles = 0;
             while c.rollout_in_progress("d") && cycles < 30 {
                 c.reconcile();
-                for p in c.pods().map(|p| p.id()).collect::<Vec<_>>() {
+                for p in c.pods().map(super::super::pod::Pod::id).collect::<Vec<_>>() {
                     c.mark_pod_running(p);
                 }
                 cycles += 1;

@@ -43,7 +43,7 @@ pub fn pick(
             Strategy::LeastPods => node.pod_count() as f64,
         };
         let candidate = (score, node.pod_count(), node.id());
-        if best.map_or(true, |b| candidate < b) {
+        if best.is_none_or(|b| candidate < b) {
             best = Some(candidate);
         }
     }
@@ -78,7 +78,7 @@ mod tests {
         let loaded: Vec<NodeId> = c
             .nodes()
             .filter(|n| n.pod_count() > 0)
-            .map(|n| n.id())
+            .map(super::super::node::Node::id)
             .collect();
         let choice = pick(Strategy::Spread, c.nodes(), &ResourceSpec::new(100, 100)).unwrap();
         assert!(!loaded.contains(&choice));
@@ -90,7 +90,7 @@ mod tests {
         let loaded: Vec<NodeId> = c
             .nodes()
             .filter(|n| n.pod_count() > 0)
-            .map(|n| n.id())
+            .map(super::super::node::Node::id)
             .collect();
         let choice = pick(Strategy::BinPack, c.nodes(), &ResourceSpec::new(100, 100)).unwrap();
         assert!(loaded.contains(&choice));
@@ -135,7 +135,7 @@ mod tests {
         let big_node = c
             .nodes()
             .find(|n| n.pod_count() > 0)
-            .map(|n| n.id())
+            .map(super::super::node::Node::id)
             .unwrap();
         assert_ne!(first, big_node);
     }

@@ -155,8 +155,7 @@ mod tests {
             assert_eq!(p.pick(42).unwrap(), first);
         }
         // Different keys spread across endpoints.
-        let distinct: std::collections::BTreeSet<_> =
-            (0..64).map(|k| p.pick(k).unwrap()).collect();
+        let distinct: std::collections::BTreeSet<_> = (0..64).map(|k| p.pick(k).unwrap()).collect();
         assert!(distinct.len() >= 3, "hash should spread: {distinct:?}");
     }
 

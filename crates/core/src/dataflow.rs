@@ -212,10 +212,26 @@ impl DataflowSpec {
     /// # Panics
     ///
     /// Panics if the dataflow is cyclic; call [`DataflowSpec::validate`]
-    /// first.
+    /// first, or use [`DataflowSpec::try_stages`] to get an error
+    /// instead.
     pub fn stages(&self) -> Vec<Vec<&StepSpec>> {
         self.stages_inner()
             .expect("stages() requires an acyclic dataflow — validate() first")
+    }
+
+    /// Like [`DataflowSpec::stages`], but returns an error instead of
+    /// panicking on a cyclic dataflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidDataflow`] when the steps contain a
+    /// dependency cycle.
+    pub fn try_stages(&self) -> Result<Vec<Vec<&StepSpec>>, CoreError> {
+        self.stages_inner()
+            .ok_or_else(|| CoreError::InvalidDataflow {
+                dataflow: self.name.clone(),
+                reason: "dataflow contains a dependency cycle".into(),
+            })
     }
 
     fn stages_inner(&self) -> Option<Vec<Vec<&StepSpec>>> {
@@ -318,6 +334,16 @@ mod tests {
             .step(StepSpec::new("b", "g").from_step("a"));
         let err = df.validate().unwrap_err();
         assert!(err.to_string().contains("cycle"));
+        assert!(matches!(
+            df.try_stages(),
+            Err(CoreError::InvalidDataflow { .. })
+        ));
+    }
+
+    #[test]
+    fn try_stages_matches_stages_on_acyclic_flows() {
+        let df = diamond();
+        assert_eq!(df.try_stages().unwrap(), df.stages());
     }
 
     #[test]
@@ -360,8 +386,7 @@ mod tests {
             "prev".to_string(),
             vjson!({"meta": {"width": 1920}, "ok": true}),
         );
-        let inputs =
-            DataflowSpec::resolve_inputs(&step, &vjson!({"file": "x.png"}), &outputs);
+        let inputs = DataflowSpec::resolve_inputs(&step, &vjson!({"file": "x.png"}), &outputs);
         assert_eq!(inputs.len(), 4);
         assert_eq!(inputs[0]["file"].as_str(), Some("x.png"));
         assert_eq!(inputs[1]["ok"].as_bool(), Some(true));
@@ -406,12 +431,10 @@ mod tests {
         assert_eq!(stages.len(), 2);
         assert_eq!(stages[1][0].id, "act");
         // Unknown target step fails validation.
-        let bad = DataflowSpec::new("bad").step(
-            StepSpec::new("a", "f").on_target(DataRef::Step {
-                step: "ghost".into(),
-                pointer: None,
-            }),
-        );
+        let bad = DataflowSpec::new("bad").step(StepSpec::new("a", "f").on_target(DataRef::Step {
+            step: "ghost".into(),
+            pointer: None,
+        }));
         assert!(bad.validate().is_err());
     }
 
@@ -430,7 +453,10 @@ mod tests {
         );
         assert_eq!(
             DataflowSpec::resolve_ref(
-                &DataRef::Step { step: "s".into(), pointer: Some("/id".into()) },
+                &DataRef::Step {
+                    step: "s".into(),
+                    pointer: Some("/id".into())
+                },
                 &input,
                 &outputs
             ),

@@ -136,16 +136,16 @@ impl ClassHierarchy {
                 }
                 nfr = class.nfr.inherit_from(&nfr);
             }
-            let ancestors = seen[1..].iter().map(|s| s.to_string()).collect();
+            let ancestors = seen[1..]
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect();
             resolved.insert(
                 def.name.clone(),
                 ResolvedClass {
                     name: def.name.clone(),
                     ancestors,
-                    key_specs: key_order
-                        .iter()
-                        .map(|k| key_specs[k].clone())
-                        .collect(),
+                    key_specs: key_order.iter().map(|k| key_specs[k].clone()).collect(),
                     functions,
                     nfr,
                     dataflows: df_order.iter().map(|d| dataflows[d].clone()).collect(),

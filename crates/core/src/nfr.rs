@@ -180,9 +180,7 @@ mod tests {
     fn type_errors() {
         assert!(NfrSpec::from_value(&vjson!({"qos": {"throughput": "fast"}})).is_err());
         assert!(NfrSpec::from_value(&vjson!({"qos": {"availability": 1.5}})).is_err());
-        assert!(
-            NfrSpec::from_value(&vjson!({"constraint": {"persistent": "yes"}})).is_err()
-        );
+        assert!(NfrSpec::from_value(&vjson!({"constraint": {"persistent": "yes"}})).is_err());
         assert!(NfrSpec::from_value(&vjson!({"constraint": {"jurisdiction": 7}})).is_err());
         assert!(NfrSpec::from_value(&vjson!({"qos": {"throughput": (-5)}})).is_err());
     }

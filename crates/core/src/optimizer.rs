@@ -129,11 +129,11 @@ pub fn recommend(
         let throughput_ok = nfr
             .qos
             .throughput
-            .map_or(true, |want| metrics.throughput >= want as f64 * 0.95);
+            .is_none_or(|want| metrics.throughput >= want as f64 * 0.95);
         let latency_ok = nfr
             .qos
             .latency_ms
-            .map_or(true, |max| metrics.p99_latency_ms <= max as f64);
+            .is_none_or(|max| metrics.p99_latency_ms <= max as f64);
         if throughput_ok && latency_ok && metrics.error_rate == 0.0 {
             target = current - 1;
             reasons.push(format!(

@@ -69,6 +69,32 @@ pub fn package_from_json(text: &str) -> Result<OPackage, CoreError> {
 ///
 /// Returns [`CoreError::Parse`] or [`CoreError::InvalidClass`].
 pub fn package_from_value(doc: &Value) -> Result<OPackage, CoreError> {
+    let pkg = package_from_value_lenient(doc)?;
+    pkg.validate()?;
+    Ok(pkg)
+}
+
+/// Parses a package document from YAML text *without* semantic
+/// validation — the document must be well-formed, but the package may
+/// carry cyclic dataflows, duplicate names, and similar defects.
+///
+/// This is the entry point for static analysis: a linter has to load a
+/// broken package to report what is broken about it.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Parse`] on malformed input.
+pub fn package_from_yaml_lenient(text: &str) -> Result<OPackage, CoreError> {
+    package_from_value_lenient(&yaml::parse(text)?)
+}
+
+/// Parses a package from an already-parsed [`Value`] document without
+/// semantic validation (see [`package_from_yaml_lenient`]).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Parse`] on malformed fields.
+pub fn package_from_value_lenient(doc: &Value) -> Result<OPackage, CoreError> {
     let name = doc
         .get("name")
         .and_then(Value::as_str)
@@ -84,9 +110,7 @@ pub fn package_from_value(doc: &Value) -> Result<OPackage, CoreError> {
     for item in list {
         classes.push(class_from_value(item)?);
     }
-    let pkg = OPackage { name, classes };
-    pkg.validate()?;
-    Ok(pkg)
+    Ok(OPackage { name, classes })
 }
 
 /// Parses one class definition from a [`Value`].
@@ -307,8 +331,8 @@ classes:
 
     #[test]
     fn bare_string_key_specs() {
-        let pkg = package_from_yaml("classes:\n  - name: C\n    keySpecs:\n      - counter\n")
-            .unwrap();
+        let pkg =
+            package_from_yaml("classes:\n  - name: C\n    keySpecs:\n      - counter\n").unwrap();
         assert_eq!(pkg.classes[0].key_specs[0].name, "counter");
         assert_eq!(
             pkg.classes[0].key_specs[0].state_type,
@@ -341,7 +365,10 @@ classes:
         let df = &pkg.classes[0].dataflows[0];
         assert_eq!(df.output_step(), Some("lab"));
         assert_eq!(df.steps[0].inputs[0], DataRef::Input);
-        assert_eq!(df.steps[0].inputs[1], DataRef::Const(oprc_value::vjson!(800)));
+        assert_eq!(
+            df.steps[0].inputs[1],
+            DataRef::Const(oprc_value::vjson!(800))
+        );
         assert_eq!(
             df.steps[1].inputs[1],
             DataRef::Step {
@@ -394,6 +421,31 @@ classes:
             package_from_yaml(text),
             Err(CoreError::DuplicateClass(_))
         ));
+    }
+
+    #[test]
+    fn lenient_parse_accepts_semantically_broken_packages() {
+        let cyclic = r#"
+classes:
+  - name: C
+    functions:
+      - name: f
+        image: i/f
+    dataflows:
+      - name: loop
+        steps:
+          - id: a
+            function: f
+            inputs: ["step:b"]
+          - id: b
+            function: f
+            inputs: ["step:a"]
+"#;
+        assert!(package_from_yaml(cyclic).is_err());
+        let pkg = package_from_yaml_lenient(cyclic).unwrap();
+        assert_eq!(pkg.classes[0].dataflows[0].steps.len(), 2);
+        // Still rejects structurally malformed documents.
+        assert!(package_from_yaml_lenient("classes: 5").is_err());
     }
 
     #[test]

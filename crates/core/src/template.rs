@@ -289,10 +289,14 @@ mod tests {
         // persistent defaults to false but the ephemeral template
         // requires an explicit `persistent: false`... which parses the
         // same; the distinguishing field is the explicit condition.
-        let t = c.select(&nfr(vjson!({"constraint": {"persistent": false}}))).unwrap();
+        let t = c
+            .select(&nfr(vjson!({"constraint": {"persistent": false}})))
+            .unwrap();
         assert_eq!(t.name, "ephemeral");
         assert!(!t.config.persistent);
-        let t = c.select(&nfr(vjson!({"constraint": {"persistent": true}}))).unwrap();
+        let t = c
+            .select(&nfr(vjson!({"constraint": {"persistent": true}})))
+            .unwrap();
         assert_eq!(t.name, "default");
     }
 
@@ -314,7 +318,9 @@ mod tests {
     fn low_latency_requires_declared_target() {
         let c = TemplateCatalog::standard();
         let t = c
-            .select(&nfr(vjson!({"qos": {"latency": 5}, "constraint": {"persistent": true}})))
+            .select(&nfr(
+                vjson!({"qos": {"latency": 5}, "constraint": {"persistent": true}}),
+            ))
             .unwrap();
         assert_eq!(t.name, "low-latency");
         // No latency declared → default.
@@ -324,7 +330,9 @@ mod tests {
         assert_eq!(t.name, "default");
         // Declared but loose → default.
         let t = c
-            .select(&nfr(vjson!({"qos": {"latency": 500}, "constraint": {"persistent": true}})))
+            .select(&nfr(
+                vjson!({"qos": {"latency": 500}, "constraint": {"persistent": true}}),
+            ))
             .unwrap();
         assert_eq!(t.name, "default");
     }
@@ -371,7 +379,10 @@ mod tests {
         ));
         assert_eq!(c.templates().len(), before);
         assert_eq!(
-            c.select(&NfrSpec::default()).unwrap().config.write_behind_batch,
+            c.select(&NfrSpec::default())
+                .unwrap()
+                .config
+                .write_behind_batch,
             42
         );
     }

@@ -90,11 +90,7 @@ impl Autoscaler {
         }
         self.samples.push_back((now, concurrency));
         let horizon = now - self.cfg.stable_window;
-        while self
-            .samples
-            .front()
-            .is_some_and(|&(t, _)| t < horizon)
-        {
+        while self.samples.front().is_some_and(|&(t, _)| t < horizon) {
             self.samples.pop_front();
         }
     }
@@ -151,9 +147,10 @@ impl Autoscaler {
         let max_up = ((current_replicas.max(1) as f64) * self.cfg.max_scale_up_rate) as u32;
         desired = desired.min(max_up.max(1));
 
-        // Scale to zero only after the grace period of inactivity.
+        // Scale to zero only after the grace period of inactivity: hold
+        // at one replica until the grace period elapses.
         if desired == 0 && now.since(self.last_active) < self.cfg.scale_to_zero_grace {
-            desired = 1.min(current_replicas.max(1));
+            desired = 1;
         }
         desired
     }

@@ -154,8 +154,10 @@ impl EngineModel {
     pub fn force_replicas(&mut self, now: SimTime, count: u32, cold_start: SimDuration) {
         let count = count.min(self.effective_max()) as usize;
         while self.replicas.len() < count {
-            self.replicas
-                .push(Replica::new(now + cold_start, self.spec.container_concurrency));
+            self.replicas.push(Replica::new(
+                now + cold_start,
+                self.spec.container_concurrency,
+            ));
         }
         self.replicas.truncate(count);
     }
@@ -330,15 +332,21 @@ mod tests {
             EngineConfig::default(),
             FunctionSpec::new("f"),
         );
-        assert!(e.on_request(SimTime::ZERO, SimDuration::from_millis(1)).is_none());
+        assert!(e
+            .on_request(SimTime::ZERO, SimDuration::from_millis(1))
+            .is_none());
         assert_eq!(e.rejected(), 1);
     }
 
     #[test]
     fn requests_spread_least_outstanding() {
         let mut e = plain(2);
-        let a = e.on_request(SimTime::ZERO, SimDuration::from_millis(10)).unwrap();
-        let b = e.on_request(SimTime::ZERO, SimDuration::from_millis(10)).unwrap();
+        let a = e
+            .on_request(SimTime::ZERO, SimDuration::from_millis(10))
+            .unwrap();
+        let b = e
+            .on_request(SimTime::ZERO, SimDuration::from_millis(10))
+            .unwrap();
         assert_ne!(a.replica, b.replica);
         assert_eq!(b.start, SimTime::ZERO);
     }

@@ -1,6 +1,8 @@
 //! Property-based tests for the FaaS engine models.
 
-use oprc_faas::{Autoscaler, AutoscalerConfig, EngineConfig, EngineKind, EngineModel, FunctionSpec};
+use oprc_faas::{
+    Autoscaler, AutoscalerConfig, EngineConfig, EngineKind, EngineModel, FunctionSpec,
+};
 use oprc_simcore::{SimDuration, SimTime};
 use proptest::prelude::*;
 
@@ -70,7 +72,7 @@ proptest! {
             if desired == 0 {
                 prop_assert!(conc == 0.0, "scaled to zero under load");
             }
-            current = desired.max(1).min(64);
+            current = desired.clamp(1, 64);
         }
     }
 

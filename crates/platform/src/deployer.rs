@@ -61,7 +61,12 @@ pub fn plan_runtime(
     let class_template = catalog.select(&class.nfr)?;
     let mut function_deployments = Vec::new();
     for name in class.function_names() {
-        let f = class.function(name).expect("listed function exists");
+        let f = class
+            .function(name)
+            .ok_or_else(|| CoreError::UnknownFunction {
+                class: class.name.clone(),
+                function: name.to_string(),
+            })?;
         // Method-level requirements (§II-C): a function override
         // inherits unset fields from the class NFR, then selects its own
         // template.
@@ -180,14 +185,20 @@ classes:
         let h = ClassHierarchy::resolve(&pkg.classes).unwrap();
         let spec = plan_runtime(h.class("Api2").unwrap(), &TemplateCatalog::standard()).unwrap();
         assert_eq!(spec.template, "default");
-        assert_eq!(spec.function("interactive").unwrap().template, "low-latency");
+        assert_eq!(
+            spec.function("interactive").unwrap().template,
+            "low-latency"
+        );
     }
 
     #[test]
     fn inherited_functions_get_child_deployments() {
         let h = resolved();
-        let spec =
-            plan_runtime(h.class("LabelledImage").unwrap(), &TemplateCatalog::standard()).unwrap();
+        let spec = plan_runtime(
+            h.class("LabelledImage").unwrap(),
+            &TemplateCatalog::standard(),
+        )
+        .unwrap();
         // Inherited NFR (throughput 5000) still selects high-throughput.
         assert_eq!(spec.template, "high-throughput");
         let names: Vec<&str> = spec
@@ -197,10 +208,7 @@ classes:
             .collect();
         assert_eq!(
             names,
-            vec![
-                "crt-labelledimage-detectobject",
-                "crt-labelledimage-resize"
-            ]
+            vec!["crt-labelledimage-detectobject", "crt-labelledimage-resize"]
         );
     }
 

@@ -13,8 +13,7 @@ use std::sync::Arc;
 use oprc_core::invocation::{InvocationTask, TaskError, TaskResult};
 
 /// A function implementation: the embedded stand-in for a container.
-pub type FunctionImpl =
-    Arc<dyn Fn(&InvocationTask) -> Result<TaskResult, TaskError> + Send + Sync>;
+pub type FunctionImpl = Arc<dyn Fn(&InvocationTask) -> Result<TaskResult, TaskError> + Send + Sync>;
 
 /// Maps container-image names to implementations.
 #[derive(Default, Clone)]
@@ -102,9 +101,7 @@ mod tests {
     #[test]
     fn error_propagation() {
         let mut r = FunctionRegistry::new();
-        r.register("img/fail", |_| {
-            Err(TaskError::Application("boom".into()))
-        });
+        r.register("img/fail", |_| Err(TaskError::Application("boom".into())));
         let err = r.get("img/fail").unwrap()(&task()).unwrap_err();
         assert_eq!(err, TaskError::Application("boom".into()));
     }

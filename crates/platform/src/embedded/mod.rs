@@ -25,12 +25,13 @@ use std::time::Instant;
 
 use bytes::Bytes;
 
-use oprc_core::AccessModifier;
+use oprc_analyzer::{analyze_with, AnalysisReport, LintConfig, Severity};
 use oprc_core::dataflow::DataflowSpec;
 use oprc_core::invocation::{InvocationTask, TaskError, TaskResult};
 use oprc_core::object::{FileRef, ObjectId};
 use oprc_core::optimizer::{self, OptimizerConfig, ScalePlan};
 use oprc_core::template::TemplateCatalog;
+use oprc_core::AccessModifier;
 use oprc_core::OPackage;
 use oprc_simcore::{SimDuration, SimTime};
 use oprc_store::presign::Method;
@@ -76,6 +77,7 @@ pub struct EmbeddedPlatform {
     s3: S3Gateway,
     metrics: MetricsHub,
     optimizer_cfg: OptimizerConfig,
+    lint_config: LintConfig,
     next_object: u64,
     next_task: u64,
     next_instance: u64,
@@ -109,6 +111,7 @@ impl EmbeddedPlatform {
             s3: S3Gateway::new(b"oparaca-embedded-secret".to_vec(), started),
             metrics: MetricsHub::new(),
             optimizer_cfg: OptimizerConfig::default(),
+            lint_config: LintConfig::new(),
             next_object: 0,
             next_task: 0,
             next_instance: 0,
@@ -133,6 +136,25 @@ impl EmbeddedPlatform {
         &self.metrics
     }
 
+    /// Reconfigures the deploy-time lint severities (per-code
+    /// deny/warn/allow overrides; [`LintConfig::permissive`] disables
+    /// gating entirely).
+    pub fn set_lint_config(&mut self, config: LintConfig) {
+        self.lint_config = config;
+    }
+
+    /// The active deploy-time lint configuration.
+    pub fn lint_config(&self) -> &LintConfig {
+        &self.lint_config
+    }
+
+    /// Runs the static analyzer over `pkg` exactly as the deploy gate
+    /// would: against this platform's template catalog and lint
+    /// configuration, without deploying anything.
+    pub fn lint_package(&self, pkg: &OPackage) -> AnalysisReport {
+        analyze_with(pkg, &self.catalog, &self.lint_config)
+    }
+
     /// Registers a function implementation for a container image name
     /// (§IV step 3).
     pub fn register_function<F>(&mut self, image: impl Into<String>, f: F)
@@ -155,10 +177,26 @@ impl EmbeddedPlatform {
 
     /// Deploys an already-built package.
     ///
+    /// The package first passes through the static analyzer (§III-B's
+    /// pre-deploy validation): error-severity findings refuse the
+    /// deployment before any class runtime is created, warnings are
+    /// recorded on the metrics hub and deployment proceeds.
+    ///
     /// # Errors
     ///
-    /// Propagates registry and template-selection errors.
+    /// Returns [`PlatformError::LintRejected`] on error-severity lint
+    /// findings; otherwise propagates registry and template-selection
+    /// errors.
     pub fn deploy_package(&mut self, pkg: OPackage) -> Result<(), PlatformError> {
+        let report = self.lint_package(&pkg);
+        if report.has_errors() {
+            return Err(PlatformError::LintRejected(
+                report.errors().into_iter().cloned().collect(),
+            ));
+        }
+        for warning in report.at(Severity::Warning) {
+            self.metrics.record_lint_warning(warning.to_string());
+        }
         let class_names: Vec<String> = pkg.classes.iter().map(|c| c.name.clone()).collect();
         self.registry.deploy(pkg)?;
         for name in class_names {
@@ -206,8 +244,7 @@ impl EmbeddedPlatform {
     pub fn routing_stats(&self, class: &str) -> (u64, u64) {
         self.runtimes
             .get(class)
-            .map(|r| (r.routed_local, r.routed_remote))
-            .unwrap_or((0, 0))
+            .map_or((0, 0), |r| (r.routed_local, r.routed_remote))
     }
 
     /// Creates an object of `class` with initial structured state
@@ -439,8 +476,7 @@ impl EmbeddedPlatform {
     fn class_persists(&self, class: &str) -> bool {
         self.runtimes
             .get(class)
-            .map(|r| r.spec.config.persistent)
-            .unwrap_or(true)
+            .is_none_or(|r| r.spec.config.persistent)
     }
 
     fn route(&mut self, class: &str, id: ObjectId) {
@@ -465,7 +501,7 @@ impl EmbeddedPlatform {
     ) -> Result<InvocationTask, PlatformError> {
         let key = storage_key(class, id);
         let state_in = self.state.load(&key).unwrap_or_else(Value::object);
-        let revision = self.objects.get(&id).map(|e| e.revision).unwrap_or(0);
+        let revision = self.objects.get(&id).map_or(0, |e| e.revision);
         // Presign file URLs for every file-typed key spec: GET under the
         // key name, PUT under "<key>:put".
         let file_keys: Vec<String> = self
@@ -553,7 +589,7 @@ impl EmbeddedPlatform {
         let input = args.into_iter().next().unwrap_or(Value::Null);
         let mut outputs: BTreeMap<String, Value> = BTreeMap::new();
         let stage_plan: Vec<Vec<String>> = df
-            .stages()
+            .try_stages()?
             .into_iter()
             .map(|stage| stage.into_iter().map(|s| s.id.clone()).collect())
             .collect();
@@ -666,9 +702,10 @@ impl EmbeddedPlatform {
             let rt = self.runtimes.get_mut(&class).expect("runtime exists");
             let current = rt.instances.len() as u32;
             let plan = optimizer::recommend(&nfr, &metrics, current, &self.optimizer_cfg);
-            let target = plan
-                .target_replicas
-                .clamp(rt.spec.config.min_replicas.max(1), rt.spec.config.max_replicas);
+            let target = plan.target_replicas.clamp(
+                rt.spec.config.min_replicas.max(1),
+                rt.spec.config.max_replicas,
+            );
             if target != current {
                 while (rt.instances.len() as u32) < target {
                     rt.instances.push(self.next_instance);
@@ -815,7 +852,9 @@ impl EmbeddedPlatform {
                             &bucket,
                             &key,
                             bytes::Bytes::from(data),
-                            f["content_type"].as_str().unwrap_or("application/octet-stream"),
+                            f["content_type"]
+                                .as_str()
+                                .unwrap_or("application/octet-stream"),
                         )?;
                     }
                     files.insert(name.clone(), FileRef { bucket, key, etag });
@@ -854,7 +893,7 @@ fn parse_object_key(key: &str) -> Option<(ObjectId, &str)> {
 /// Extracts `(bucket, key)` from an `s3://bucket/key?query` URL.
 fn parse_url_path(url: &str) -> Option<(String, String)> {
     let rest = url.strip_prefix("s3://")?;
-    let path = rest.split_once('?').map(|(p, _)| p).unwrap_or(rest);
+    let path = rest.split_once('?').map_or(rest, |(p, _)| p);
     let (bucket, key) = path.split_once('/')?;
     Some((bucket.to_string(), key.to_string()))
 }
@@ -885,6 +924,92 @@ classes:
     }
 
     #[test]
+    fn deploy_gate_rejects_error_packages_before_runtime_creation() {
+        let mut p = EmbeddedPlatform::new();
+        // The undefined step function is an OPRC001 error.
+        let bad = "
+classes:
+  - name: Image
+    functions:
+      - name: resize
+        image: img/resize
+    dataflows:
+      - name: thumb
+        steps:
+          - id: s
+            function: watermark
+            inputs: [input]
+";
+        let err = p.deploy_yaml(bad).unwrap_err();
+        let PlatformError::LintRejected(diags) = err else {
+            panic!("expected LintRejected, got {err}");
+        };
+        assert!(diags.iter().any(|d| d.code == "OPRC001"));
+        // No class runtime was created and the class is unknown.
+        assert!(p.create_object("Image", Value::Null).is_err());
+    }
+
+    #[test]
+    fn deploy_gate_logs_warnings_and_proceeds() {
+        let mut p = EmbeddedPlatform::new();
+        // Dead step `extra` → OPRC010 warning; deploy still succeeds.
+        p.deploy_yaml(
+            "
+classes:
+  - name: C
+    functions:
+      - name: f
+        image: i/f
+    dataflows:
+      - name: flow
+        output: a
+        steps:
+          - id: a
+            function: f
+            inputs: [input]
+          - id: extra
+            function: f
+            inputs: [input]
+",
+        )
+        .unwrap();
+        let warnings = p.metrics().lint_warnings();
+        assert!(
+            warnings.iter().any(|w| w.contains("OPRC010")),
+            "{warnings:?}"
+        );
+    }
+
+    #[test]
+    fn permissive_lint_config_disables_the_gate() {
+        let mut p = EmbeddedPlatform::new();
+        p.set_lint_config(LintConfig::permissive());
+        // OPRC001 would normally reject; permissive caps it to warning.
+        p.deploy_yaml(
+            "
+classes:
+  - name: Image
+    functions:
+      - name: resize
+        image: img/resize
+    dataflows:
+      - name: thumb
+        steps:
+          - id: s
+            function: watermark
+            inputs: [input]
+",
+        )
+        .unwrap();
+        // The finding is still visible, capped to a warning.
+        assert!(p
+            .metrics()
+            .lint_warnings()
+            .iter()
+            .any(|w| w.contains("OPRC001")));
+    }
+
+    #[test]
     fn create_invoke_get_state() {
         let mut p = counter_platform();
         let id = p.create_object("Counter", vjson!({"count": 10})).unwrap();
@@ -904,7 +1029,9 @@ classes:
         let id = p.create_object("Counter", vjson!({})).unwrap();
         assert!(matches!(
             p.invoke(id, "nope", vec![]),
-            Err(PlatformError::Core(oprc_core::CoreError::UnknownFunction { .. }))
+            Err(PlatformError::Core(
+                oprc_core::CoreError::UnknownFunction { .. }
+            ))
         ));
         assert!(matches!(
             p.invoke(ObjectId(999), "incr", vec![]),
@@ -1124,7 +1251,7 @@ classes:
 ",
         )
         .unwrap_err(); // parent in another package not visible at resolve
-        // Same-package inheritance instead:
+                       // Same-package inheritance instead:
         let mut p2 = EmbeddedPlatform::new();
         p2.register_function("img/counter", |task| {
             let n = task.state_in["count"].as_i64().unwrap_or(0) + 1;
@@ -1187,7 +1314,9 @@ classes:
             Ok(TaskResult::output(a + b).with_patch(vjson!({"sum": (a + b)})))
         });
         p.register_function("img/identity", |t| {
-            Ok(TaskResult::output(t.args.first().cloned().unwrap_or_default()))
+            Ok(TaskResult::output(
+                t.args.first().cloned().unwrap_or_default(),
+            ))
         });
         p.deploy_yaml(
             "classes:\n  - name: Cell\n    keySpecs: [n]\n    functions:\n      - name: read\n        image: img/read-n\n",
@@ -1201,18 +1330,14 @@ classes:
             .dataflow(
                 Df::new("addCells")
                     .step(StepSpec::new("ids", "identity").from_input())
-                    .step(
-                        StepSpec::new("a", "read").on_target(DataRef::Step {
-                            step: "ids".into(),
-                            pointer: Some("/left".into()),
-                        }),
-                    )
-                    .step(
-                        StepSpec::new("b", "read").on_target(DataRef::Step {
-                            step: "ids".into(),
-                            pointer: Some("/right".into()),
-                        }),
-                    )
+                    .step(StepSpec::new("a", "read").on_target(DataRef::Step {
+                        step: "ids".into(),
+                        pointer: Some("/left".into()),
+                    }))
+                    .step(StepSpec::new("b", "read").on_target(DataRef::Step {
+                        step: "ids".into(),
+                        pointer: Some("/right".into()),
+                    }))
                     .step(
                         StepSpec::new("store", "storeSum")
                             .from_step("a")
@@ -1247,13 +1372,12 @@ classes:
         use oprc_core::dataflow::{DataRef, DataflowSpec as Df, StepSpec};
         let mut p = EmbeddedPlatform::new();
         p.register_function("img/noop2", |_| Ok(TaskResult::output(1)));
-        let cls = oprc_core::ClassDef::new("T")
-            .function(oprc_core::FunctionDef::new("noop", "img/noop2"))
-            .dataflow(
-                Df::new("bad").step(
+        let cls =
+            oprc_core::ClassDef::new("T")
+                .function(oprc_core::FunctionDef::new("noop", "img/noop2"))
+                .dataflow(Df::new("bad").step(
                     StepSpec::new("s", "noop").on_target(DataRef::Const(vjson!("not-an-id"))),
-                ),
-            );
+                ));
         p.deploy_package(oprc_core::OPackage::new("t").class(cls))
             .unwrap();
         let id = p.create_object("T", vjson!({})).unwrap();
@@ -1265,9 +1389,8 @@ classes:
         let cls = oprc_core::ClassDef::new("T")
             .function(oprc_core::FunctionDef::new("noop", "img/noop2"))
             .dataflow(
-                Df::new("bad").step(
-                    StepSpec::new("s", "noop").on_target(DataRef::Const(vjson!(999))),
-                ),
+                Df::new("bad")
+                    .step(StepSpec::new("s", "noop").on_target(DataRef::Const(vjson!(999)))),
             );
         p2.deploy_package(oprc_core::OPackage::new("t").class(cls))
             .unwrap();

@@ -46,7 +46,13 @@ impl S3Gateway {
         Ok(())
     }
 
-    pub(crate) fn presign(&self, method: Method, bucket: &str, key: &str, ttl: SimDuration) -> String {
+    pub(crate) fn presign(
+        &self,
+        method: Method,
+        bucket: &str,
+        key: &str,
+        ttl: SimDuration,
+    ) -> String {
         presign::presign(&self.secret, method, bucket, key, self.now() + ttl).url
     }
 
@@ -112,7 +118,9 @@ impl S3Gateway {
         data: Bytes,
         content_type: &str,
     ) -> Result<ObjectMeta, StoreError> {
-        self.store.lock().put_object(bucket, key, data, content_type)
+        self.store
+            .lock()
+            .put_object(bucket, key, data, content_type)
     }
 
     /// `(puts, gets, bytes_in, bytes_out)` endpoint counters.
@@ -136,7 +144,8 @@ mod tests {
         let g = gateway();
         let put = g.presign(Method::Put, "b", "k", SimDuration::from_secs(60));
         let get = g.presign(Method::Get, "b", "k", SimDuration::from_secs(60));
-        g.put(&put, Bytes::from_static(b"data"), "text/plain").unwrap();
+        g.put(&put, Bytes::from_static(b"data"), "text/plain")
+            .unwrap();
         assert_eq!(&g.get(&get).unwrap().data[..], b"data");
         // Cross-method use rejected.
         assert!(g.get(&put).is_err());
@@ -149,7 +158,8 @@ mod tests {
     fn head_works_with_either_capability() {
         let g = gateway();
         let put = g.presign(Method::Put, "b", "k", SimDuration::from_secs(60));
-        g.put(&put, Bytes::from_static(b"abc"), "text/plain").unwrap();
+        g.put(&put, Bytes::from_static(b"abc"), "text/plain")
+            .unwrap();
         assert_eq!(g.head(&put).unwrap().size, 3);
         let get = g.presign(Method::Get, "b", "k", SimDuration::from_secs(60));
         assert_eq!(g.head(&get).unwrap().size, 3);

@@ -227,6 +227,6 @@ mod tests {
         s.flush_all(SimTime::ZERO);
         assert_eq!(s.load("k"), None);
         // Tombstone overwrote the durable copy.
-        assert!(s.durable_get("k").map_or(true, |v| v.is_null()));
+        assert!(s.durable_get("k").is_none_or(|v| v.is_null()));
     }
 }

@@ -29,6 +29,9 @@ pub enum PlatformError {
     },
     /// No placement satisfies the declared constraints.
     PlacementInfeasible(String),
+    /// The static analyzer found error-severity defects; the package
+    /// was refused before any class runtime was created.
+    LintRejected(Vec<oprc_analyzer::Diagnostic>),
 }
 
 impl fmt::Display for PlatformError {
@@ -46,6 +49,18 @@ impl fmt::Display for PlatformError {
             }
             PlatformError::PlacementInfeasible(why) => {
                 write!(f, "placement infeasible: {why}")
+            }
+            PlatformError::LintRejected(diags) => {
+                write!(f, "package rejected by static analysis: ")?;
+                let mut first = true;
+                for d in diags {
+                    if !first {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{d}")?;
+                    first = false;
+                }
+                Ok(())
             }
         }
     }

@@ -10,6 +10,7 @@
 //!
 //! ```text
 //! deploy <inline-yaml | @path>        deploy a package
+//! lint [--json] <inline-yaml | @path> analyze a package without deploying
 //! classes                             list deployed classes
 //! describe <class>                    show a class's runtime plan
 //! create <class> [json-state]        create an object
@@ -61,6 +62,8 @@ pub enum CommandError {
     Usage(String),
     /// A platform operation failed.
     Platform(PlatformError),
+    /// `lint` found error-severity defects (the rendered report).
+    Lint(String),
 }
 
 impl std::fmt::Display for CommandError {
@@ -69,6 +72,7 @@ impl std::fmt::Display for CommandError {
             CommandError::UnknownCommand(c) => write!(f, "unknown command '{c}'"),
             CommandError::Usage(u) => write!(f, "usage: {u}"),
             CommandError::Platform(e) => write!(f, "{e}"),
+            CommandError::Lint(report) => write!(f, "{report}"),
         }
     }
 }
@@ -121,6 +125,7 @@ impl OprcCtl {
         };
         match cmd {
             "deploy" => self.deploy(rest),
+            "lint" => self.lint(rest),
             "classes" => self.classes(),
             "describe" => self.describe(rest),
             "create" => self.create(rest),
@@ -165,6 +170,38 @@ impl OprcCtl {
         Ok(CommandOutput::text("deployed"))
     }
 
+    /// `lint [--json] <yaml | @path>`: run the static analyzer without
+    /// deploying. Loads the package leniently, so even semantically
+    /// broken documents (cyclic dataflows, duplicate names) are
+    /// analyzed instead of rejected at parse time.
+    fn lint(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        let (as_json, rest) = match rest.strip_prefix("--json") {
+            Some(r) => (true, r.trim()),
+            None => (false, rest),
+        };
+        if rest.is_empty() {
+            return Err(CommandError::Usage("lint [--json] <yaml | @path>".into()));
+        }
+        let yaml = if let Some(path) = rest.strip_prefix('@') {
+            std::fs::read_to_string(path)
+                .map_err(|e| CommandError::Usage(format!("cannot read '{path}': {e}")))?
+        } else {
+            rest.to_string()
+        };
+        let pkg =
+            oprc_core::parse::package_from_yaml_lenient(&yaml).map_err(PlatformError::from)?;
+        let report = self.platform.lint_package(&pkg);
+        let text = if as_json {
+            json::to_string_pretty(&report.to_value())
+        } else {
+            report.render()
+        };
+        if report.has_errors() {
+            return Err(CommandError::Lint(text));
+        }
+        Ok(CommandOutput::with_value(text, report.to_value()))
+    }
+
     fn classes(&mut self) -> Result<CommandOutput, CommandError> {
         let names: Vec<String> = self
             .platform
@@ -186,9 +223,9 @@ impl OprcCtl {
             .platform
             .runtime_spec(rest)
             .ok_or_else(|| {
-                CommandError::Platform(PlatformError::Core(
-                    oprc_core::CoreError::UnknownClass(rest.to_string()),
-                ))
+                CommandError::Platform(PlatformError::Core(oprc_core::CoreError::UnknownClass(
+                    rest.to_string(),
+                )))
             })?
             .clone();
         let fns: Vec<String> = spec
@@ -275,6 +312,7 @@ impl OprcCtl {
 
 const HELP: &str = "
 deploy <yaml | @path>             deploy a package
+lint [--json] <yaml | @path>      analyze a package without deploying
 classes                           list deployed classes
 describe <class>                  show a class's runtime plan
 create <class> [json-state]      create an object
@@ -407,6 +445,47 @@ mod tests {
             ctl.execute("deploy @/no/such/file.yaml"),
             Err(CommandError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn lint_command_reports_without_deploying() {
+        let mut ctl = ctl();
+        // Clean package: zero findings, nothing deployed.
+        let out = ctl
+            .execute("lint classes:\n  - name: Pure\n    functions:\n      - name: f\n        image: i/f\n")
+            .unwrap();
+        assert!(out.text.contains("0 error(s)"));
+        assert_eq!(ctl.execute("classes").unwrap().text, "Counter");
+
+        // Error-severity findings fail the command with the report.
+        let broken = "lint classes:\n  - name: C\n    dataflows:\n      - name: flow\n        steps:\n          - id: s\n            function: ghost\n";
+        let Err(CommandError::Lint(report)) = ctl.execute(broken) else {
+            panic!("expected lint failure");
+        };
+        assert!(report.contains("OPRC001"));
+        assert!(report.contains("class C > dataflow flow > step s"));
+
+        // --json renders the structured report.
+        let broken_json = broken.replacen("lint ", "lint --json ", 1);
+        let Err(CommandError::Lint(report)) = ctl.execute(&broken_json) else {
+            panic!("expected lint failure");
+        };
+        let v = json::parse(&report).unwrap();
+        assert_eq!(v["errors"].as_u64(), Some(1));
+        assert_eq!(v["diagnostics"][0]["code"].as_str(), Some("OPRC001"));
+    }
+
+    #[test]
+    fn lint_accepts_unparseable_deploy_rejects() {
+        // A cyclic dataflow fails strict parsing (deploy), but lint
+        // loads it leniently and names the cycle.
+        let cyclic = "classes:\n  - name: C\n    functions:\n      - name: f\n        image: i/f\n    dataflows:\n      - name: loop\n        steps:\n          - id: a\n            function: f\n            inputs: [\"step:b\"]\n          - id: b\n            function: f\n            inputs: [\"step:a\"]\n";
+        let mut ctl = ctl();
+        assert!(ctl.execute(&format!("deploy {cyclic}")).is_err());
+        let Err(CommandError::Lint(report)) = ctl.execute(&format!("lint {cyclic}")) else {
+            panic!("expected lint failure");
+        };
+        assert!(report.contains("OPRC030"), "{report}");
     }
 
     #[test]

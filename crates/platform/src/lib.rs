@@ -5,10 +5,10 @@
 //!
 //! - [`embedded`] — a real, in-process platform: deploy YAML packages,
 //!   create objects, register Rust closures as function implementations,
-//!   and invoke methods/dataflows against real state (DHT + write-behind
-//!   + persistent DB + S3-like object store with presigned URLs). This is
-//!   what the examples and integration tests drive, mirroring the
-//!   tutorial flow of §IV.
+//!   and invoke methods/dataflows against real state (DHT, write-behind
+//!   buffer, persistent DB, and an S3-like object store with presigned
+//!   URLs). This is what the examples and integration tests drive,
+//!   mirroring the tutorial flow of §IV.
 //! - [`sim`] — a deterministic discrete-event harness reproducing the
 //!   paper's scalability evaluation (§V, Fig. 3): the same control-plane
 //!   policies driving modelled VMs, FaaS engines, and a write-budgeted

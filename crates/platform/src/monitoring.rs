@@ -29,6 +29,7 @@ struct ClassWindow {
 #[derive(Debug, Clone, Default)]
 pub struct MetricsHub {
     inner: Arc<Mutex<BTreeMap<String, ClassWindow>>>,
+    lint_warnings: Arc<Mutex<Vec<String>>>,
 }
 
 impl MetricsHub {
@@ -57,13 +58,21 @@ impl MetricsHub {
         w.last_event = Some(w.last_event.map_or(now, |t| t.max(now)));
     }
 
+    /// Records a non-fatal finding the deploy-time linter surfaced
+    /// (rendered form). Deployment proceeds; the warnings stay visible
+    /// through [`MetricsHub::lint_warnings`] for operators.
+    pub fn record_lint_warning(&self, rendered: String) {
+        self.lint_warnings.lock().push(rendered);
+    }
+
+    /// All lint warnings recorded so far, in deploy order.
+    pub fn lint_warnings(&self) -> Vec<String> {
+        self.lint_warnings.lock().clone()
+    }
+
     /// Completed-invocation count for `class` in the current window.
     pub fn completed(&self, class: &str) -> u64 {
-        self.inner
-            .lock()
-            .get(class)
-            .map(|w| w.completed)
-            .unwrap_or(0)
+        self.inner.lock().get(class).map_or(0, |w| w.completed)
     }
 
     /// Produces the observation window for `class` and resets it.
@@ -116,6 +125,17 @@ mod tests {
         // Window reset.
         assert_eq!(hub.completed("C"), 0);
         assert!(hub.drain_window("C", 0.0).is_none());
+    }
+
+    #[test]
+    fn lint_warnings_accumulate() {
+        let hub = MetricsHub::new();
+        assert!(hub.lint_warnings().is_empty());
+        hub.record_lint_warning("warning[OPRC010] class C > dataflow f > step s: dead".into());
+        hub.record_lint_warning("warning[OPRC013] class C > dataflow g: shadow".into());
+        let warnings = hub.lint_warnings();
+        assert_eq!(warnings.len(), 2);
+        assert!(warnings[0].contains("OPRC010"));
     }
 
     #[test]

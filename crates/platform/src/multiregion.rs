@@ -92,10 +92,7 @@ pub fn place(
             .then_with(|| a.name.cmp(&b.name))
     });
 
-    let latency_target = nfr
-        .qos
-        .latency_ms
-        .map(|ms| SimDuration::from_millis(ms));
+    let latency_target = nfr.qos.latency_ms.map(SimDuration::from_millis);
 
     let mut chosen: Vec<&RegionSpec> = vec![by_cost[0]];
     if let Some(target) = latency_target {
@@ -142,11 +139,7 @@ pub fn place(
     })
 }
 
-fn nearest<'t>(
-    chosen: &[&RegionSpec],
-    zone: &str,
-    topology: &'t Topology,
-) -> SimDuration {
+fn nearest(chosen: &[&RegionSpec], zone: &str, topology: &Topology) -> SimDuration {
     chosen
         .iter()
         .map(|r| topology.latency(&r.zone, zone))

@@ -34,7 +34,7 @@ impl PackageRegistry {
     ///   already taken by a *different* package.
     pub fn deploy(&mut self, package: OPackage) -> Result<u64, CoreError> {
         let hierarchy = package.resolve()?;
-        for class in package.classes.iter() {
+        for class in &package.classes {
             if let Some(owner) = self.class_index.get(&class.name) {
                 if owner != &package.name {
                     return Err(CoreError::DuplicateClass(class.name.clone()));
@@ -48,15 +48,14 @@ impl PackageRegistry {
                 self.class_index.remove(&c);
             }
         }
-        for class in package.classes.iter() {
+        for class in &package.classes {
             self.class_index
                 .insert(class.name.clone(), package.name.clone());
         }
         let version = self
             .packages
             .get(&package.name)
-            .map(|(v, _, _)| v + 1)
-            .unwrap_or(1);
+            .map_or(1, |(v, _, _)| v + 1);
         self.packages
             .insert(package.name.clone(), (version, package, hierarchy));
         Ok(version)

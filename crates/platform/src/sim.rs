@@ -298,7 +298,11 @@ impl World {
             .iter()
             .filter(|c| matches!(c, oprc_cluster::ClusterChange::PodScheduled { .. }))
             .count() as u32;
-        for p in cluster.pods().map(|p| p.id()).collect::<Vec<_>>() {
+        for p in cluster
+            .pods()
+            .map(oprc_cluster::Pod::id)
+            .collect::<Vec<_>>()
+        {
             cluster.mark_pod_running(p);
         }
 
@@ -376,14 +380,13 @@ impl World {
             let durable = self.db.put(completion.end, &key, value);
             response_at = response_at.max(durable);
         } else {
-            response_at = response_at + self.cfg.dht_access;
+            response_at += self.cfg.dht_access;
             if self.cfg.variant.persists() {
                 self.buffer.offer(completion.end, &key, value);
                 let pending = self.buffer.pending_len();
                 if pending > self.cfg.backpressure_watermark {
                     let excess = (pending - self.cfg.backpressure_watermark) as f64;
-                    response_at =
-                        response_at + SimDuration::from_secs_f64(excess / self.drain_rate);
+                    response_at += SimDuration::from_secs_f64(excess / self.drain_rate);
                 }
                 if !self.flusher_busy {
                     self.flusher_busy = true;
@@ -399,7 +402,7 @@ impl World {
     /// cluster and into the engine.
     fn set_down_vms(&mut self, now: SimTime, down: u32) {
         use oprc_cluster::NodeStatus;
-        let ids: Vec<_> = self.cluster.nodes().map(|n| n.id()).collect();
+        let ids: Vec<_> = self.cluster.nodes().map(oprc_cluster::Node::id).collect();
         let total = ids.len() as u32;
         for (i, id) in ids.iter().enumerate() {
             let want_down = (i as u32) >= total.saturating_sub(down);
@@ -408,12 +411,17 @@ impl World {
             } else {
                 NodeStatus::Ready
             };
-            if self.cluster.node(*id).map(|n| n.status()) != Some(status) {
+            if self.cluster.node(*id).map(oprc_cluster::Node::status) != Some(status) {
                 let _ = self.cluster.set_node_status(*id, status);
             }
         }
         self.cluster.reconcile();
-        for p in self.cluster.pods().map(|p| p.id()).collect::<Vec<_>>() {
+        for p in self
+            .cluster
+            .pods()
+            .map(oprc_cluster::Pod::id)
+            .collect::<Vec<_>>()
+        {
             self.cluster.mark_pod_running(p);
         }
         let capacity = self.cluster.running_pods(DEPLOYMENT).len() as u32;
@@ -452,7 +460,12 @@ impl World {
     fn mirror_cluster_scale(&mut self, replicas: u32) {
         let _ = self.cluster.scale(DEPLOYMENT, replicas);
         self.cluster.reconcile();
-        for p in self.cluster.pods().map(|p| p.id()).collect::<Vec<_>>() {
+        for p in self
+            .cluster
+            .pods()
+            .map(oprc_cluster::Pod::id)
+            .collect::<Vec<_>>()
+        {
             self.cluster.mark_pod_running(p);
         }
     }
@@ -559,9 +572,9 @@ pub fn run(cfg: ExperimentConfig) -> RunResult {
             // Stagger client starts over the first second so the cold
             // system is not hit by one synchronized burst.
             for c in 0..clients {
-                let offset =
-                    SimDuration::from_micros(1_000_000 * c as u64 / clients.max(1) as u64);
-                sim.scheduler_mut().at(SimTime::ZERO + offset, Event::Issue(c));
+                let offset = SimDuration::from_micros(1_000_000 * c as u64 / clients.max(1) as u64);
+                sim.scheduler_mut()
+                    .at(SimTime::ZERO + offset, Event::Issue(c));
             }
         }
         LoadMode::Open { .. } => {
@@ -571,7 +584,8 @@ pub fn run(cfg: ExperimentConfig) -> RunResult {
     sim.scheduler_mut()
         .after(SimDuration::from_secs(1), Event::Tick);
     if let Some(f) = failure {
-        sim.scheduler_mut().at(SimTime::ZERO + warmup + f.at, Event::Fail);
+        sim.scheduler_mut()
+            .at(SimTime::ZERO + warmup + f.at, Event::Fail);
     }
     let end = SimTime::ZERO + warmup + measure;
     sim.scheduler_mut().at(end, Event::Done);
@@ -732,7 +746,9 @@ mod tests {
         let heavy = {
             let mut c = quick(SystemVariant::OprcBypassNonPersist, 3);
             // Capacity ≈ 2.8k/s; offer 1500/VM = 4.5k/s.
-            c.load = LoadMode::Open { rate_per_vm: 1500.0 };
+            c.load = LoadMode::Open {
+                rate_per_vm: 1500.0,
+            };
             run(c)
         };
         assert!(heavy.throughput < 3_000.0, "cannot exceed capacity");

@@ -148,7 +148,11 @@ mod tests {
             sigma: 0.5,
         };
         let m = mean_of(&d, 60_000, 12);
-        assert!((m - d.mean()).abs() / d.mean() < 0.05, "{m} vs {}", d.mean());
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.05,
+            "{m} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

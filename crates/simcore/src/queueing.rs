@@ -68,7 +68,7 @@ impl MultiServerQueue {
 
     /// Adds servers (scale-out); new servers are free immediately.
     pub fn grow(&mut self, now: SimTime, additional: usize) {
-        self.free_at.extend(std::iter::repeat(now).take(additional));
+        self.free_at.extend(std::iter::repeat_n(now, additional));
     }
 
     /// Removes up to `count` servers (scale-in), preferring the least

@@ -226,10 +226,7 @@ mod tests {
             SimDuration::from_millis(100) * 3,
             SimDuration::from_millis(300)
         );
-        assert_eq!(
-            SimDuration::from_secs(1) / 4,
-            SimDuration::from_millis(250)
-        );
+        assert_eq!(SimDuration::from_secs(1) / 4, SimDuration::from_millis(250));
     }
 
     #[test]

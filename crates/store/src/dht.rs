@@ -205,10 +205,7 @@ impl Dht {
     pub fn delete(&mut self, key: &str) -> Option<Value> {
         let mut out = None;
         for owner in self.owners(key) {
-            let removed = self
-                .partitions
-                .get_mut(&owner)
-                .and_then(|p| p.remove(key));
+            let removed = self.partitions.get_mut(&owner).and_then(|p| p.remove(key));
             out = out.or(removed);
         }
         out

@@ -212,9 +212,8 @@ mod tests {
         let mut batched = db(100.0, 1.0, 0.0);
         let mut last_batch = SimTime::ZERO;
         for b in 0..10 {
-            let recs: Vec<(String, Value)> = (0..100)
-                .map(|i| (format!("k{}-{}", b, i), vjson!(i)))
-                .collect();
+            let recs: Vec<(String, Value)> =
+                (0..100).map(|i| (format!("k{b}-{i}"), vjson!(i))).collect();
             last_batch = batched.put_batch(SimTime::ZERO, recs);
         }
         assert!(last_batch.as_secs_f64() < last_direct.as_secs_f64() / 20.0);
@@ -249,5 +248,4 @@ mod tests {
         d.put(SimTime::ZERO, "b/1", vjson!(3));
         assert_eq!(d.scan_prefix("a/").len(), 2);
     }
-
 }

@@ -132,9 +132,8 @@ pub fn verify(secret: &[u8], url: &str, now: SimTime) -> Result<PresignedUrl, St
             _ => return Err(StoreError::InvalidSignature),
         }
     }
-    let (method, expires, signature) = match (method, expires, signature) {
-        (Some(m), Some(e), Some(s)) => (m, e, s),
-        _ => return Err(StoreError::InvalidSignature),
+    let (Some(method), Some(expires), Some(signature)) = (method, expires, signature) else {
+        return Err(StoreError::InvalidSignature);
     };
 
     let expected = sha::hmac_sha256(
@@ -164,7 +163,13 @@ mod tests {
     const SECRET: &[u8] = b"platform-secret";
 
     fn url() -> PresignedUrl {
-        presign(SECRET, Method::Put, "videos", "movie.mp4", SimTime::from_secs(300))
+        presign(
+            SECRET,
+            Method::Put,
+            "videos",
+            "movie.mp4",
+            SimTime::from_secs(300),
+        )
     }
 
     #[test]

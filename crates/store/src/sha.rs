@@ -146,7 +146,7 @@ pub fn to_hex(digest: &[u8]) -> String {
 ///
 /// Returns `None` on odd length or non-hex characters.
 pub fn from_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     (0..s.len() / 2)

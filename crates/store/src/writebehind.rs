@@ -249,10 +249,7 @@ mod tests {
         b.offer(SimTime::ZERO, "a", vjson!(1));
         assert!(!b.batch_ready(SimTime::from_millis(49)));
         assert!(b.batch_ready(SimTime::from_millis(50)));
-        assert_eq!(
-            b.next_due(SimTime::ZERO),
-            Some(SimTime::from_millis(50))
-        );
+        assert_eq!(b.next_due(SimTime::ZERO), Some(SimTime::from_millis(50)));
         let batch = b.take_batch(SimTime::from_millis(50)).unwrap();
         assert_eq!(batch.oldest, SimTime::ZERO);
         assert_eq!(batch.len(), 1);

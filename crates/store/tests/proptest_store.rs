@@ -67,7 +67,7 @@ proptest! {
                 }
                 _ => {
                     let key = format!("k{}", x % 50);
-                    dht.put(&key, vjson!((x as i64))).unwrap();
+                    dht.put(&key, vjson!(x as i64)).unwrap();
                     expected.insert(key, x as i64);
                 }
             }
@@ -95,7 +95,7 @@ proptest! {
         let mut latest: BTreeMap<String, i32> = BTreeMap::new();
         for (i, (k, v)) in offers.iter().enumerate() {
             let key = format!("k{k}");
-            buf.offer(SimTime::from_nanos(i as u64), &key, vjson!((*v as i64)));
+            buf.offer(SimTime::from_nanos(i as u64), &key, vjson!(*v as i64));
             latest.insert(key, *v);
         }
         let mut seen: BTreeMap<String, i64> = BTreeMap::new();

@@ -206,10 +206,7 @@ impl<'a> Parser<'a> {
                 self.bump();
                 Ok(())
             }
-            Some(x) => Err(self.err(format!(
-                "expected '{}', found '{}'",
-                b as char, x as char
-            ))),
+            Some(x) => Err(self.err(format!("expected '{}', found '{}'", b as char, x as char))),
             None => Err(self.err(format!("expected '{}', found end of input", b as char))),
         }
     }
@@ -314,9 +311,10 @@ impl<'a> Parser<'a> {
             if self.pos > start {
                 // Safe: input is valid UTF-8 and we only stopped on ASCII
                 // boundaries.
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(
-                    |_| self.err("invalid UTF-8 inside string"),
-                )?);
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 inside string"))?,
+                );
             }
             match self.bump() {
                 Some(b'"') => return Ok(out),
@@ -383,7 +381,12 @@ impl<'a> Parser<'a> {
             self.bump();
         }
         let int_digits = self.digits()?;
-        if int_digits > 1 && self.bytes[if self.bytes[start] == b'-' { start + 1 } else { start }] == b'0'
+        if int_digits > 1
+            && self.bytes[if self.bytes[start] == b'-' {
+                start + 1
+            } else {
+                start
+            }] == b'0'
         {
             return Err(self.err("leading zeros are not allowed"));
         }
@@ -489,8 +492,21 @@ mod tests {
     #[test]
     fn reject_malformed() {
         for bad in [
-            "", "{", "[1,", "{\"a\":}", "tru", "nul", "01", "1.", "1e", "\"abc",
-            "[1] garbage", "{'a': 1}", "+1", "--1", "{\"a\" 1}",
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "nul",
+            "01",
+            "1.",
+            "1e",
+            "\"abc",
+            "[1] garbage",
+            "{'a': 1}",
+            "+1",
+            "--1",
+            "{\"a\" 1}",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }

@@ -161,7 +161,10 @@ mod tests {
     #[test]
     fn diff_then_merge_round_trips() {
         let cases = [
-            (vjson!({"a": 1, "b": {"c": 2}}), vjson!({"b": {"c": 3}, "d": 4})),
+            (
+                vjson!({"a": 1, "b": {"c": 2}}),
+                vjson!({"b": {"c": 3}, "d": 4}),
+            ),
             (vjson!({"x": [1, 2]}), vjson!({"x": [2, 1]})),
             (vjson!(1), vjson!({"k": true})),
             (vjson!({"only": "from"}), vjson!({})),

@@ -328,7 +328,7 @@ impl<T: Into<Value>> From<Vec<T>> for Value {
 
 impl<T: Into<Value>> From<Option<T>> for Value {
     fn from(v: Option<T>) -> Self {
-        v.map(Into::into).unwrap_or(Value::Null)
+        v.map_or(Value::Null, Into::into)
     }
 }
 

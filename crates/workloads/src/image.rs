@@ -106,11 +106,7 @@ pub fn generate_image(width: usize, height: usize, objects: usize) -> Bytes {
 }
 
 /// Box-downsamples to the requested size.
-pub fn resize_pixels(
-    (w, h, pixels): (usize, usize, &[u8]),
-    new_w: usize,
-    new_h: usize,
-) -> Vec<u8> {
+pub fn resize_pixels((w, h, pixels): (usize, usize, &[u8]), new_w: usize, new_h: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(new_w * new_h);
     for y in 0..new_h {
         for x in 0..new_w {
@@ -176,7 +172,11 @@ pub fn install(platform: &mut EmbeddedPlatform) -> Result<(), PlatformError> {
             .map_err(|e| TaskError::Application(format!("fetch failed: {e}")))?;
         let img = decode_image(&obj.data)
             .ok_or_else(|| TaskError::Application("malformed image".into()))?;
-        let new_w = task.args.first().and_then(|a| a["width"].as_u64()).unwrap_or(64) as usize;
+        let new_w = task
+            .args
+            .first()
+            .and_then(|a| a["width"].as_u64())
+            .unwrap_or(64) as usize;
         let new_h = task
             .args
             .first()
@@ -286,7 +286,8 @@ mod tests {
         install(&mut p).unwrap();
         let id = p.create_object("LabelledImage", vjson!({})).unwrap();
         let url = p.upload_url(id, "image").unwrap();
-        p.upload(&url, generate_image(64, 32, 3), "image/raw").unwrap();
+        p.upload(&url, generate_image(64, 32, 3), "image/raw")
+            .unwrap();
         (p, id)
     }
 
@@ -346,7 +347,9 @@ mod tests {
         let err = p.invoke(id, "detectObject", vec![]).unwrap_err();
         // detectObject not on Image; use resize instead for this check.
         let _ = err;
-        let err = p.invoke(id, "resize", vec![vjson!({"width": 8})]).unwrap_err();
+        let err = p
+            .invoke(id, "resize", vec![vjson!({"width": 8})])
+            .unwrap_err();
         assert!(err.to_string().contains("fetch failed"), "{err}");
     }
 }

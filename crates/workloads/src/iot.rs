@@ -109,11 +109,10 @@ pub fn install(platform: &mut EmbeddedPlatform) -> Result<(), PlatformError> {
             window.drain(..excess);
         }
         let n = window.len();
-        Ok(TaskResult::output(n as i64)
-            .with_patch(Value::from_iter([(
-                "telemetry".to_string(),
-                Value::Array(window),
-            )])))
+        Ok(TaskResult::output(n as i64).with_patch(Value::from_iter([(
+            "telemetry".to_string(),
+            Value::Array(window),
+        )])))
     });
 
     // health(): pure read over the twin + telemetry.
@@ -137,11 +136,10 @@ pub fn install(platform: &mut EmbeddedPlatform) -> Result<(), PlatformError> {
 
     // register(device-id): track membership on the fleet.
     platform.register_function("iot/register", |task| {
-        let device = task
-            .args
-            .first()
-            .and_then(Value::as_u64)
-            .ok_or_else(|| TaskError::Application("register needs a device object id".into()))?;
+        let device =
+            task.args.first().and_then(Value::as_u64).ok_or_else(|| {
+                TaskError::Application("register needs a device object id".into())
+            })?;
         let mut devices: Vec<Value> = task.state_in["devices"]
             .as_array()
             .map(<[Value]>::to_vec)
@@ -150,11 +148,10 @@ pub fn install(platform: &mut EmbeddedPlatform) -> Result<(), PlatformError> {
             devices.push(Value::from(device));
         }
         let n = devices.len() as i64;
-        Ok(TaskResult::output(n)
-            .with_patch(Value::from_iter([(
-                "devices".to_string(),
-                Value::Array(devices),
-            )])))
+        Ok(TaskResult::output(n).with_patch(Value::from_iter([(
+            "devices".to_string(),
+            Value::Array(devices),
+        )])))
     });
 
     // summarize(health-snapshots): roll up health documents the caller
@@ -213,14 +210,16 @@ mod tests {
     #[test]
     fn twin_lifecycle_configure_then_ack() {
         let (mut p, d) = setup();
-        p.invoke(d, "configure", vec![vjson!({"rate_hz": 10})]).unwrap();
+        p.invoke(d, "configure", vec![vjson!({"rate_hz": 10})])
+            .unwrap();
         let h = p.invoke(d, "health", vec![]).unwrap();
         assert_eq!(h.output["in_sync"].as_bool(), Some(false));
         p.invoke(d, "ack", vec![]).unwrap();
         let h = p.invoke(d, "health", vec![]).unwrap();
         assert_eq!(h.output["in_sync"].as_bool(), Some(true));
         // Re-configure desynchronizes again.
-        p.invoke(d, "configure", vec![vjson!({"rate_hz": 20})]).unwrap();
+        p.invoke(d, "configure", vec![vjson!({"rate_hz": 20})])
+            .unwrap();
         let h = p.invoke(d, "health", vec![]).unwrap();
         assert_eq!(h.output["in_sync"].as_bool(), Some(false));
     }
@@ -267,7 +266,8 @@ mod tests {
         let (fleet, devices) = provision_fleet(&mut p, 3).unwrap();
         // Sync two of three devices.
         for d in &devices {
-            p.invoke(*d, "configure", vec![vjson!({"on": true})]).unwrap();
+            p.invoke(*d, "configure", vec![vjson!({"on": true})])
+                .unwrap();
         }
         for d in &devices[..2] {
             p.invoke(*d, "ack", vec![]).unwrap();

@@ -61,7 +61,9 @@ fn alnum(mut x: u64, len: usize) -> String {
     const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
     (0..len)
         .map(|_| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             CHARS[(x >> 33) as usize % CHARS.len()] as char
         })
         .collect()
@@ -75,7 +77,11 @@ fn alnum(mut x: u64, len: usize) -> String {
 /// Propagates deployment errors.
 pub fn install(platform: &mut EmbeddedPlatform) -> Result<(), PlatformError> {
     platform.register_function("img/json-randomizer", |task| {
-        let keys = task.args.first().and_then(|a| a["keys"].as_u64()).unwrap_or(16) as usize;
+        let keys = task
+            .args
+            .first()
+            .and_then(|a| a["keys"].as_u64())
+            .unwrap_or(16) as usize;
         let seed = task
             .args
             .first()
@@ -157,8 +163,12 @@ mod tests {
         install(&mut p).unwrap();
         let id = p.create_object("JsonDoc", vjson!({})).unwrap();
         for i in 0..30 {
-            p.invoke(id, "randomize", vec![vjson!({"keys": 4, "seed": (i as i64)})])
-                .unwrap();
+            p.invoke(
+                id,
+                "randomize",
+                vec![vjson!({"keys": 4, "seed": (i as i64)})],
+            )
+            .unwrap();
         }
         p.flush();
         let (_, consolidated, batches, _) = p.storage_stats();

@@ -44,7 +44,7 @@ impl ArrivalProcess {
                 ArrivalProcess::Custom(d) => d.sample_duration(rng),
             };
             // Zero gaps would spin forever; clamp to 1ns.
-            t = t + gap.max(SimDuration::from_nanos(1));
+            t += gap.max(SimDuration::from_nanos(1));
             if t >= end {
                 return out;
             }
@@ -130,7 +130,9 @@ mod tests {
             SimDuration::from_secs(1),
             &mut rng,
         );
-        assert!(arr.iter().all(|&t| t > start && t < start + SimDuration::from_secs(1)));
+        assert!(arr
+            .iter()
+            .all(|&t| t > start && t < start + SimDuration::from_secs(1)));
     }
 
     #[test]

@@ -94,7 +94,11 @@ pub fn install(platform: &mut EmbeddedPlatform) -> Result<(), PlatformError> {
     });
 
     platform.register_function("vid/transcode", move |task| {
-        let duration = task.args.first().and_then(|a| a.as_i64()).unwrap_or(0);
+        let duration = task
+            .args
+            .first()
+            .and_then(oprc_value::Value::as_i64)
+            .unwrap_or(0);
         // Simulated renditions: one entry per quality level.
         let renditions: Vec<oprc_value::Value> = [240, 480, 1080]
             .iter()
@@ -125,8 +129,10 @@ pub fn install(platform: &mut EmbeddedPlatform) -> Result<(), PlatformError> {
                 "quality {quality}p not available — publish first"
             )));
         }
-        Ok(TaskResult::output(vjson!({"playing": true, "quality": quality}))
-            .with_patch(vjson!({ "views": views })))
+        Ok(
+            TaskResult::output(vjson!({"playing": true, "quality": quality}))
+                .with_patch(vjson!({ "views": views })),
+        )
     });
 
     platform.register_function("vid/stats", |task| {
@@ -183,14 +189,18 @@ mod tests {
             .invoke(id, "watch", vec![vjson!({"quality": 480})])
             .unwrap_err();
         assert!(err.to_string().contains("publish first"));
-        p.invoke(id, "publish", vec![vjson!({"title": "t"})]).unwrap();
+        p.invoke(id, "publish", vec![vjson!({"title": "t"})])
+            .unwrap();
         for _ in 0..3 {
-            p.invoke(id, "watch", vec![vjson!({"quality": 480})]).unwrap();
+            p.invoke(id, "watch", vec![vjson!({"quality": 480})])
+                .unwrap();
         }
         let stats = p.invoke(id, "stats", vec![]).unwrap();
         assert_eq!(stats.output["views"].as_i64(), Some(3));
         // Unavailable quality rejected.
-        assert!(p.invoke(id, "watch", vec![vjson!({"quality": 4320})]).is_err());
+        assert!(p
+            .invoke(id, "watch", vec![vjson!({"quality": 4320})])
+            .is_err());
     }
 
     #[test]

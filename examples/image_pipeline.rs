@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Upload the source file through a presigned PUT URL — the paper's
     // §III-D flow: user code never sees the platform's secret key.
     let put_url = platform.upload_url(photo, "image")?;
-    println!("presigned PUT URL (truncated): {}...", &put_url[..60.min(put_url.len())]);
+    println!(
+        "presigned PUT URL (truncated): {}...",
+        &put_url[..60.min(put_url.len())]
+    );
     let raster = image::generate_image(256, 128, 3);
     platform.upload(&put_url, raster, "image/raw")?;
     println!("uploaded 256x128 synthetic image with 3 objects\n");

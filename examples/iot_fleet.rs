@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Reconfigure the whole fleet (desired twin), then only some devices
     // acknowledge.
     for d in &devices {
-        platform.invoke(*d, "configure", vec![vjson!({"rate_hz": 10, "mode": "eco"})])?;
+        platform.invoke(
+            *d,
+            "configure",
+            vec![vjson!({"rate_hz": 10, "mode": "eco"})],
+        )?;
     }
     for d in &devices[..3] {
         platform.invoke(*d, "ack", vec![])?;
@@ -38,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Telemetry flows into each device object.
     for (i, d) in devices.iter().enumerate() {
         for t in 0..8 {
-            platform.invoke(*d, "ingest", vec![Value::from(20.0 + i as f64 + t as f64 / 10.0)])?;
+            platform.invoke(
+                *d,
+                "ingest",
+                vec![Value::from(20.0 + i as f64 + t as f64 / 10.0)],
+            )?;
         }
     }
 

@@ -28,14 +28,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     topo.set_jurisdiction("us-east", "US");
 
     let regions = vec![
-        RegionSpec { name: "us-east".into(), zone: "use-a".into(), cost_per_hour: 1.0 },
-        RegionSpec { name: "eu-west".into(), zone: "euw-a".into(), cost_per_hour: 1.2 },
-        RegionSpec { name: "ap-south".into(), zone: "aps-a".into(), cost_per_hour: 0.8 },
+        RegionSpec {
+            name: "us-east".into(),
+            zone: "use-a".into(),
+            cost_per_hour: 1.0,
+        },
+        RegionSpec {
+            name: "eu-west".into(),
+            zone: "euw-a".into(),
+            cost_per_hour: 1.2,
+        },
+        RegionSpec {
+            name: "ap-south".into(),
+            zone: "aps-a".into(),
+            cost_per_hour: 0.8,
+        },
     ];
     let clients = vec![
-        ClientPopulation { zone: "use-a".into(), weight: 3.0 },
-        ClientPopulation { zone: "euw-a".into(), weight: 2.0 },
-        ClientPopulation { zone: "aps-a".into(), weight: 1.0 },
+        ClientPopulation {
+            zone: "use-a".into(),
+            weight: 3.0,
+        },
+        ClientPopulation {
+            zone: "euw-a".into(),
+            weight: 2.0,
+        },
+        ClientPopulation {
+            zone: "aps-a".into(),
+            weight: 1.0,
+        },
     ];
 
     let cases = [

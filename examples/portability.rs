@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("provider B: object {photo} state = {state_b}");
 
     let out = provider_b.invoke(photo, "detectObject", vec![])?;
-    println!("provider B: detectObject on migrated file -> {}", out.output);
+    println!(
+        "provider B: detectObject on migrated file -> {}",
+        out.output
+    );
     assert_eq!(out.output["objects"].as_i64(), Some(3));
 
     let dl = provider_b.download_url(photo, "image")?;

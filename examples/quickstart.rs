@@ -47,13 +47,14 @@ classes:
         readonly: true
 ",
     )?;
-    let spec = platform
-        .runtime_spec("Counter")
-        .expect("class deployed");
+    let spec = platform.runtime_spec("Counter").expect("class deployed");
     println!("deployed class 'Counter'");
     println!("  class runtime template: {}", spec.template);
     println!("  persistent:             {}", spec.config.persistent);
-    println!("  write-behind batch:     {}\n", spec.config.write_behind_batch);
+    println!(
+        "  write-behind batch:     {}\n",
+        spec.config.write_behind_batch
+    );
 
     // §IV step 5 — "Deploying class and interacting with objects".
     let counter = platform.create_object("Counter", vjson!({"count": 0}))?;

@@ -13,7 +13,10 @@ use oprc_value::vjson;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Requirement-driven class-runtime templates (Fig. 2) ==\n");
     let catalog = TemplateCatalog::standard();
-    println!("provider catalog ({} templates):", catalog.templates().len());
+    println!(
+        "provider catalog ({} templates):",
+        catalog.templates().len()
+    );
     for t in catalog.templates() {
         println!("  - {:<18} priority {}", t.name, t.priority);
     }

@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The public path: publish = ingest → transcode dataflow.
-    let out = platform.invoke(movie, "publish", vec![vjson!({"title": "OaaS in 2 minutes"})])?;
+    let out = platform.invoke(
+        movie,
+        "publish",
+        vec![vjson!({"title": "OaaS in 2 minutes"})],
+    )?;
     println!("publish dataflow        -> {}", out.output);
 
     for quality in [480, 1080] {

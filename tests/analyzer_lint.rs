@@ -1,0 +1,163 @@
+//! Integration tests for the whole-package linter: the four broken
+//! fixtures under `tests/fixtures/` must each be flagged with their
+//! stable code, and the deploy gate must refuse them before creating
+//! any class runtime.
+
+use oprc_analyzer::{analyze, codes, LintConfig, Severity};
+use oprc_core::parse::package_from_yaml_lenient;
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_platform::gateway::{CommandError, OprcCtl};
+use oprc_platform::PlatformError;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/fixtures/{name}.yaml", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn lint_fixture(name: &str) -> oprc_analyzer::AnalysisReport {
+    let pkg = package_from_yaml_lenient(&fixture(name)).expect("fixture parses leniently");
+    analyze(&pkg)
+}
+
+#[test]
+fn undefined_function_fixture_flags_oprc001() {
+    let report = lint_fixture("undefined_function");
+    assert!(report.has_errors());
+    assert!(
+        report.has_code(codes::UNRESOLVED_FUNCTION),
+        "{}",
+        report.render()
+    );
+    let errors = report.errors();
+    assert_eq!(
+        errors[0].source,
+        "class Image > dataflow thumbnail > step stamp"
+    );
+}
+
+#[test]
+fn cyclic_flow_fixture_flags_oprc030() {
+    let report = lint_fixture("cyclic_flow");
+    assert!(report.has_errors());
+    assert!(
+        report.has_code(codes::DATAFLOW_CYCLE),
+        "{}",
+        report.render()
+    );
+    // The cycle is reported once, not restated as an OPRC005.
+    assert!(!report.has_code(codes::UNRESOLVED_PACKAGE));
+}
+
+#[test]
+fn internal_leak_fixture_flags_oprc020() {
+    let report = lint_fixture("internal_leak");
+    assert!(report.has_errors());
+    assert!(report.has_code(codes::INTERNAL_LEAK), "{}", report.render());
+    let leak = report
+        .errors()
+        .into_iter()
+        .find(|d| d.code == codes::INTERNAL_LEAK)
+        .unwrap()
+        .clone();
+    assert_eq!(
+        leak.source,
+        "class Auditor > dataflow audit > step force-rotate"
+    );
+}
+
+#[test]
+fn unsatisfiable_nfr_fixture_flags_oprc043() {
+    let report = lint_fixture("unsatisfiable_nfr");
+    assert!(report.has_errors());
+    assert!(
+        report.has_code(codes::AVAILABILITY_WITHOUT_PERSISTENCE),
+        "{}",
+        report.render()
+    );
+    assert_eq!(report.errors()[0].source, "class Cache");
+}
+
+#[test]
+fn deploy_gate_refuses_every_fixture() {
+    for name in [
+        "undefined_function",
+        "cyclic_flow",
+        "internal_leak",
+        "unsatisfiable_nfr",
+    ] {
+        let pkg = package_from_yaml_lenient(&fixture(name)).unwrap();
+        let classes: Vec<String> = pkg.classes.iter().map(|c| c.name.clone()).collect();
+        let mut platform = EmbeddedPlatform::new();
+        let err = platform.deploy_package(pkg).unwrap_err();
+        assert!(
+            matches!(err, PlatformError::LintRejected(_)),
+            "{name}: expected LintRejected, got {err}"
+        );
+        // The gate fires before any class runtime exists.
+        for class in &classes {
+            assert!(
+                platform
+                    .create_object(class, oprc_value::Value::Null)
+                    .is_err(),
+                "{name}: class {class} was deployed despite lint errors"
+            );
+        }
+    }
+}
+
+#[test]
+fn gateway_lint_fails_on_every_fixture() {
+    let mut ctl = OprcCtl::new(EmbeddedPlatform::new());
+    for name in [
+        "undefined_function",
+        "cyclic_flow",
+        "internal_leak",
+        "unsatisfiable_nfr",
+    ] {
+        let path = format!("{}/fixtures/{name}.yaml", env!("CARGO_MANIFEST_DIR"));
+        match ctl.execute(&format!("lint @{path}")) {
+            Err(CommandError::Lint(report)) => {
+                assert!(report.contains("error["), "{name}: {report}");
+            }
+            other => panic!("{name}: expected lint rejection, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn permissive_config_deploys_fixtures_that_parse() {
+    // The opt-out: with a permissive lint config the gate passes, and
+    // packages that survive strict validation deploy normally.
+    for name in ["undefined_function", "internal_leak", "unsatisfiable_nfr"] {
+        let pkg = package_from_yaml_lenient(&fixture(name)).unwrap();
+        let mut platform = EmbeddedPlatform::new();
+        platform.set_lint_config(LintConfig::permissive());
+        platform.deploy_package(pkg).unwrap_or_else(|e| {
+            panic!("{name}: permissive deploy failed: {e}");
+        });
+        // Findings are still surfaced as warnings on the metrics hub.
+        assert!(
+            !platform.metrics().lint_warnings().is_empty(),
+            "{name}: expected lint warnings"
+        );
+    }
+}
+
+#[test]
+fn reference_workloads_stay_clean_under_the_gate() {
+    // The shipped workloads must deploy with the default lint config
+    // and produce no error-severity diagnostics.
+    for yaml in [
+        oprc_workloads::image::PACKAGE_YAML,
+        oprc_workloads::video::PACKAGE_YAML,
+    ] {
+        let pkg = oprc_core::parse::package_from_yaml(yaml).unwrap();
+        let report = analyze(&pkg);
+        assert_eq!(
+            report.count(Severity::Error),
+            0,
+            "workload has lint errors:\n{}",
+            report.render()
+        );
+    }
+}

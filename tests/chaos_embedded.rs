@@ -44,8 +44,7 @@ fn platform() -> EmbeddedPlatform {
     p.register_function("img/put", |t| {
         let key = t.args[0].as_str().unwrap_or("k").to_string();
         let val = t.args[1].clone();
-        Ok(TaskResult::output(Value::Null)
-            .with_patch(Value::from_iter([(key, val)])))
+        Ok(TaskResult::output(Value::Null).with_patch(Value::from_iter([(key, val)])))
     });
     p.register_function("img/read", |t| Ok(TaskResult::output(t.state_in.clone())));
     p.deploy_yaml(

@@ -12,7 +12,10 @@ use oprc_value::vjson;
 fn flushed_state_survives_memory_loss() {
     let mut p = counter_platform();
     let ids: Vec<_> = (0..20)
-        .map(|i| p.create_object("Counter", vjson!({ "count": (i as i64) })).unwrap())
+        .map(|i| {
+            p.create_object("Counter", vjson!({ "count": (i as i64) }))
+                .unwrap()
+        })
         .collect();
     for &id in &ids {
         p.invoke(id, "incr", vec![]).unwrap();
@@ -85,7 +88,10 @@ fn consolidation_reduces_db_write_amplification() {
         consolidated >= 150,
         "hot-key updates should mostly consolidate: {consolidated}"
     );
-    assert!(batches <= 30, "write amplification too high: {batches} batches");
+    assert!(
+        batches <= 30,
+        "write amplification too high: {batches} batches"
+    );
     // Yet the final durable value is exact.
     assert_eq!(p.durable_state(hot).unwrap()["count"].as_i64(), Some(200));
 }

@@ -20,7 +20,11 @@ fn node_failure_reschedules_and_capacity_shrinks() {
         ))
         .unwrap();
     cluster.reconcile();
-    for p in cluster.pods().map(|p| p.id()).collect::<Vec<_>>() {
+    for p in cluster
+        .pods()
+        .map(oprc_cluster::Pod::id)
+        .collect::<Vec<_>>()
+    {
         cluster.mark_pod_running(p);
     }
     assert_eq!(cluster.running_pods("fns").len(), 9);
@@ -42,7 +46,9 @@ fn node_failure_reschedules_and_capacity_shrinks() {
     assert!(unschedulable >= 1, "9 pods cannot fit on 2 nodes of 4");
 
     // Node recovery: pending pod lands on the next reconcile.
-    cluster.set_node_status(nodes[0], NodeStatus::Ready).unwrap();
+    cluster
+        .set_node_status(nodes[0], NodeStatus::Ready)
+        .unwrap();
     let changes = cluster.reconcile();
     assert!(changes
         .iter()
@@ -117,7 +123,7 @@ fn cordoned_nodes_drain_gracefully() {
     let pods_on_a: Vec<_> = cluster
         .pods()
         .filter(|p| p.node() == Some(a))
-        .map(|p| p.id())
+        .map(oprc_cluster::Pod::id)
         .collect();
     cluster.set_node_status(a, NodeStatus::Cordoned).unwrap();
     // Existing pods keep running (not evicted)...

@@ -118,19 +118,31 @@ classes:
 ";
     // v2 swaps the order — double first, then add1.
     let v2 = v1
-        .replace("function: add1\n            inputs: [input]", "function: double\n            inputs: [input]")
-        .replace("function: double\n            inputs: [\"step:a\"]", "function: add1\n            inputs: [\"step:a\"]");
+        .replace(
+            "function: add1\n            inputs: [input]",
+            "function: double\n            inputs: [input]",
+        )
+        .replace(
+            "function: double\n            inputs: [\"step:a\"]",
+            "function: add1\n            inputs: [\"step:a\"]",
+        );
 
     let mut p1 = build(v1);
     let id = p1.create_object("M", vjson!({})).unwrap();
     assert_eq!(
-        p1.invoke(id, "calc", vec![vjson!(10)]).unwrap().output.as_i64(),
+        p1.invoke(id, "calc", vec![vjson!(10)])
+            .unwrap()
+            .output
+            .as_i64(),
         Some(22) // (10+1)*2
     );
     let mut p2 = build(&v2);
     let id = p2.create_object("M", vjson!({})).unwrap();
     assert_eq!(
-        p2.invoke(id, "calc", vec![vjson!(10)]).unwrap().output.as_i64(),
+        p2.invoke(id, "calc", vec![vjson!(10)])
+            .unwrap()
+            .output
+            .as_i64(),
         Some(21) // (10*2)+1
     );
 }
@@ -201,7 +213,10 @@ classes:
     .unwrap();
     // The child declared nothing, but inherits throughput 5000 → the
     // high-throughput template.
-    assert_eq!(p.runtime_spec("HotChild").unwrap().template, "high-throughput");
+    assert_eq!(
+        p.runtime_spec("HotChild").unwrap().template,
+        "high-throughput"
+    );
 }
 
 /// The object abstraction keeps structured state normalized (no

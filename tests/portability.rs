@@ -11,7 +11,10 @@ use oprc_workloads::image;
 fn structured_state_migrates_and_keeps_working() {
     let mut a = counter_platform();
     let ids: Vec<_> = (0..5)
-        .map(|i| a.create_object("Counter", vjson!({ "count": (i as i64 * 10) })).unwrap())
+        .map(|i| {
+            a.create_object("Counter", vjson!({ "count": (i as i64 * 10) }))
+                .unwrap()
+        })
         .collect();
     for &id in &ids {
         a.invoke(id, "incr", vec![]).unwrap();
@@ -66,8 +69,12 @@ fn snapshot_without_files_keeps_refs_only() {
     image::install(&mut a).unwrap();
     let id = a.create_object("Image", vjson!({})).unwrap();
     let url = a.upload_url(id, "image").unwrap();
-    a.upload(&url, Bytes::from_static(b"\x00\x01\x00\x01\x7f"), "image/raw")
-        .unwrap();
+    a.upload(
+        &url,
+        Bytes::from_static(b"\x00\x01\x00\x01\x7f"),
+        "image/raw",
+    )
+    .unwrap();
 
     let snapshot = a.export_snapshot(false);
     let mut b = EmbeddedPlatform::new();
@@ -76,7 +83,10 @@ fn snapshot_without_files_keeps_refs_only() {
     // The reference migrated, the payload did not.
     assert!(b.file_ref(id, "image").is_some());
     let dl = b.download_url(id, "image").unwrap();
-    assert!(b.download(&dl).is_err(), "payload intentionally not carried");
+    assert!(
+        b.download(&dl).is_err(),
+        "payload intentionally not carried"
+    );
 }
 
 #[test]
@@ -95,7 +105,9 @@ fn import_requires_deployed_classes() {
 #[test]
 fn malformed_snapshots_rejected() {
     let mut b = counter_platform();
-    assert!(b.import_snapshot(&vjson!({"format": "something-else"})).is_err());
+    assert!(b
+        .import_snapshot(&vjson!({"format": "something-else"}))
+        .is_err());
     assert!(b
         .import_snapshot(&vjson!({"format": "oprc-snapshot/1"}))
         .is_err());

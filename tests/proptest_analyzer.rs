@@ -1,0 +1,138 @@
+//! Property-based tests for the static analyzer: it must never panic,
+//! even on arbitrarily malformed packages, and its Error verdicts must
+//! agree with the platform — a package that deploys cleanly through the
+//! `EmbeddedPlatform` carries zero error-severity diagnostics.
+
+use oprc_analyzer::{analyze, LintConfig, Severity};
+use oprc_core::dataflow::{DataRef, DataflowSpec, StepSpec};
+use oprc_core::{ClassDef, FunctionDef, KeySpec, OPackage};
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_value::vjson;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary (often broken) package. Step references may
+/// dangle or cycle, parents may be unknown, functions may collide, keys
+/// may duplicate — the analyzer has to survive all of it.
+fn arb_hostile_package() -> impl Strategy<Value = OPackage> {
+    let step = (
+        "[a-c]{0,2}",                             // step id (possibly empty/duplicate)
+        "[f-h]{1,2}",                             // function name
+        prop::collection::vec(any::<u8>(), 0..3), // input refs
+        any::<bool>(),                            // has target
+    );
+    let flow = ("[d-e]{0,2}", prop::collection::vec(step, 0..5));
+    let class = (
+        prop::collection::vec("[f-h]{1,2}", 0..3), // function names
+        prop::collection::vec("[k-m]{1,2}", 0..3), // key names
+        (any::<bool>(), 0..6u8),                   // parent pick (may dangle)
+        prop::collection::vec(flow, 0..3),
+    );
+    prop::collection::vec(class, 0..5).prop_map(|classes| {
+        let mut pkg = OPackage::new("hostile");
+        for (ci, (fns, keys, (has_parent, parent), flows)) in classes.into_iter().enumerate() {
+            let mut def = ClassDef::new(format!("C{ci}"));
+            if has_parent {
+                // May reference itself, a later class, or nothing.
+                def = def.parent(format!("C{parent}"));
+            }
+            for f in fns {
+                def = def.function(FunctionDef::new(f.clone(), format!("img/{f}")));
+            }
+            for k in keys {
+                def = def.key(KeySpec::structured(k).internal());
+            }
+            for (fi, (name, steps)) in flows.into_iter().enumerate() {
+                let mut df = DataflowSpec::new(format!("{name}{fi}"));
+                for (id, function, inputs, has_target) in steps {
+                    let mut s = StepSpec::new(id, function);
+                    for pick in inputs {
+                        s = s.from_step(format!("{}", pick % 7)); // often dangling
+                    }
+                    if has_target {
+                        s = s.on_target(DataRef::Const(vjson!(1)));
+                    }
+                    df = df.step(s);
+                }
+                def = def.dataflow(df);
+            }
+            pkg = pkg.class(def);
+        }
+        pkg
+    })
+}
+
+/// Strategy: a well-formed single-class package that deploys cleanly.
+fn arb_clean_package() -> impl Strategy<Value = OPackage> {
+    (
+        prop::collection::vec("[a-z]{2,6}", 1..4),
+        prop::collection::vec(any::<u8>(), 0..4),
+    )
+        .prop_map(|(fns, flow_deps)| {
+            let mut def = ClassDef::new("Clean").key(KeySpec::structured("state"));
+            let mut names = Vec::new();
+            for f in &fns {
+                if !names.contains(f) {
+                    names.push(f.clone());
+                    def = def.function(FunctionDef::new(f.clone(), format!("img/{f}")));
+                }
+            }
+            // A linear dataflow over the defined functions: always
+            // resolvable, acyclic, and fully live.
+            let mut df = DataflowSpec::new("pipeline");
+            for (i, pick) in flow_deps.iter().enumerate() {
+                let f = &names[*pick as usize % names.len()];
+                let mut s = StepSpec::new(format!("s{i}"), f.clone());
+                s = if i == 0 {
+                    s.from_input()
+                } else {
+                    s.from_step(format!("s{}", i - 1))
+                };
+                df = df.step(s);
+            }
+            if !df.steps.is_empty() {
+                def = def.dataflow(df);
+            }
+            OPackage::new("clean").class(def)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The analyzer is total: any package the builders can express is
+    /// analyzed without panicking, under default and permissive configs.
+    #[test]
+    fn analyzer_never_panics(pkg in arb_hostile_package()) {
+        let report = analyze(&pkg);
+        // Rendering and structured output are total too.
+        let _ = report.render();
+        let _ = report.to_value();
+        let permissive = oprc_analyzer::analyze_with(
+            &pkg,
+            &oprc_core::template::TemplateCatalog::standard(),
+            &LintConfig::permissive(),
+        );
+        prop_assert_eq!(permissive.count(Severity::Error), 0);
+    }
+
+    /// Soundness of the gate: whatever deploys cleanly through the
+    /// embedded platform has zero error-severity diagnostics. (This
+    /// holds by construction now that deployment lints first; the
+    /// property pins it against future drift.)
+    #[test]
+    fn clean_deployment_implies_no_error_diagnostics(pkg in arb_clean_package()) {
+        let report = analyze(&pkg);
+        let mut platform = EmbeddedPlatform::new();
+        match platform.deploy_package(pkg) {
+            Ok(()) => prop_assert_eq!(
+                report.count(Severity::Error), 0, "deployed but linted: {}", report.render()
+            ),
+            Err(e) => {
+                // The generator aims for clean packages; if one is
+                // rejected, it must be the lint gate agreeing with the
+                // report, not a post-gate failure.
+                prop_assert!(report.has_errors(), "rejected without diagnostics: {e}");
+            }
+        }
+    }
+}

@@ -12,8 +12,8 @@ fn arb_class_defs() -> impl Strategy<Value = Vec<ClassDef>> {
     prop::collection::vec(
         (
             prop::collection::vec("[a-z]{1,8}", 0..4), // function names
-            any::<bool>(),                              // has parent
-            any::<u16>(),                               // parent pick
+            any::<bool>(),                             // has parent
+            any::<u16>(),                              // parent pick
         ),
         1..8,
     )

@@ -28,7 +28,10 @@ fn full_sweep_shape() {
     assert!(t(SystemVariant::Knative, 6) > t(SystemVariant::Knative, 3) * 1.5);
     let kn6 = t(SystemVariant::Knative, 6);
     let kn12 = t(SystemVariant::Knative, 12);
-    assert!(kn12 < kn6 * 1.15 && kn12 > kn6 * 0.75, "plateau: {kn6} vs {kn12}");
+    assert!(
+        kn12 < kn6 * 1.15 && kn12 > kn6 * 0.75,
+        "plateau: {kn6} vs {kn12}"
+    );
 
     // Every oprc variant keeps scaling 6→12.
     for v in [
@@ -88,7 +91,10 @@ fn different_seeds_differ_but_agree_qualitatively() {
     };
     let r1 = sim::run(variable(1));
     let r2 = sim::run(variable(2));
-    assert_ne!(r1.completed, r2.completed, "different seeds → different traces");
+    assert_ne!(
+        r1.completed, r2.completed,
+        "different seeds → different traces"
+    );
     let rel = (r1.throughput - r2.throughput).abs() / r1.throughput;
     assert!(rel < 0.05, "seeds should not change the story: {rel:.3}");
 }

@@ -44,8 +44,11 @@ fn all_three_reference_applications_coexist() {
     assert_eq!(out.output["objects"].as_i64(), Some(2));
 
     let url = p.upload_url(vid, "source").unwrap();
-    p.upload(&url, video::generate_video(30), "video/raw").unwrap();
-    let out = p.invoke(vid, "publish", vec![vjson!({"title": "x"})]).unwrap();
+    p.upload(&url, video::generate_video(30), "video/raw")
+        .unwrap();
+    let out = p
+        .invoke(vid, "publish", vec![vjson!({"title": "x"})])
+        .unwrap();
     assert_eq!(out.output["duration"].as_i64(), Some(30));
 }
 
@@ -103,7 +106,10 @@ fn invalid_yaml_reports_position() {
     let mut p = EmbeddedPlatform::new();
     let err = p.deploy_yaml("classes:\n  - name: [broken\n").unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains("line 2"), "error should carry a position: {msg}");
+    assert!(
+        msg.contains("line 2"),
+        "error should carry a position: {msg}"
+    );
 }
 
 #[test]

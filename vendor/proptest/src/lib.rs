@@ -1,0 +1,805 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! the [`proptest!`] test macro (with `#![proptest_config(..)]` and
+//! multi-argument tests), the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_recursive` / `boxed`, [`strategy::Just`],
+//! [`prop_oneof!`], tuple and numeric-range strategies, regex-subset
+//! string strategies, `any::<T>()` for primitive types, and
+//! `prop::collection::{vec, btree_map}`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case panics with the failure message;
+//!   runs are deterministic per test name, so the same case reproduces.
+//! - **Regex strategies** support the subset of patterns used here:
+//!   character classes with ranges and escapes, `\PC` (printable
+//!   char), literal characters, and `{n}` / `{m,n}` repetition.
+//! - Default case count is 64 (override with `PROPTEST_CASES`).
+
+pub mod test_runner {
+    //! Test configuration, deterministic RNG, and case outcomes.
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` — try another.
+        Reject,
+        /// An assertion failed — the property does not hold.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+    }
+
+    /// Deterministic generator driving all strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from a test name.
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the name, folded into a fixed session seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h ^ 0x9e37_79b9_7f4a_7c15 }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform integer in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        /// Uniform integer in `[lo, hi)`.
+        pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+            lo + self.below(hi - lo)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike the real crate there are no value trees: a strategy is
+    /// just a clonable sampler, and shrinking is not supported.
+    pub trait Strategy: Clone {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U + Clone,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves and
+        /// `branch` wraps an inner strategy into a deeper level.
+        ///
+        /// `_desired_size` and `_expected_branch_size` are accepted for
+        /// signature compatibility; depth alone bounds recursion here.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let mut current = self.clone().boxed();
+            for _ in 0..depth {
+                let leaf = self.clone().boxed();
+                let deeper = branch(current).boxed();
+                current = BoxedStrategy::new(move |rng| {
+                    // Recurse with probability 1/2: keeps expected size
+                    // bounded while still reaching the depth limit.
+                    if rng.next_u64() & 1 == 0 {
+                        leaf.sample(rng)
+                    } else {
+                        deeper.sample(rng)
+                    }
+                });
+            }
+            current
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            let me = self;
+            BoxedStrategy::new(move |rng| me.sample(rng))
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T> {
+        sampler: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> BoxedStrategy<T> {
+        /// Wraps a sampling function.
+        pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+            BoxedStrategy { sampler: Rc::new(f) }
+        }
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { sampler: Rc::clone(&self.sampler) }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.sampler)(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U + Clone,
+    {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between alternative strategies ([`prop_oneof!`]).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Chooses uniformly among `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Clone for OneOf<T> {
+        fn clone(&self) -> Self {
+            OneOf { options: self.options.clone() }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive types.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value from the type's full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite doubles spanning many magnitudes.
+            let mantissa = rng.unit_f64() * 2.0 - 1.0;
+            let exp = rng.below(120) as i32 - 60;
+            mantissa * 2f64.powi(exp)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// A size bound for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.range_u64(self.lo as u64, self.hi as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    ///
+    /// Duplicate keys collapse, so maps may come out smaller than the
+    /// drawn size (the real crate resamples; the difference is benign
+    /// for property checks).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    /// Strategy returned by [`btree_map`].
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n)
+                .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+                .collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-subset string generation for `&str` strategies.
+
+    use super::test_runner::TestRng;
+
+    enum Atom {
+        /// Inclusive character ranges, e.g. from `[a-z0-9_]`.
+        Class(Vec<(char, char)>),
+        /// `\PC`: an arbitrary printable character.
+        Printable,
+        /// A literal character.
+        Literal(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut pending: Option<char> = None;
+                    loop {
+                        let c = chars.next().unwrap_or_else(|| {
+                            panic!("unterminated character class in regex {pattern:?}")
+                        });
+                        match c {
+                            ']' => break,
+                            '\\' => {
+                                let esc = chars
+                                    .next()
+                                    .expect("dangling escape in character class");
+                                if let Some(p) = pending.replace(esc) {
+                                    ranges.push((p, p));
+                                }
+                            }
+                            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                                let lo = pending.take().expect("range start");
+                                let hi = chars.next().expect("range end");
+                                assert!(lo <= hi, "inverted range in regex {pattern:?}");
+                                ranges.push((lo, hi));
+                            }
+                            other => {
+                                if let Some(p) = pending.replace(other) {
+                                    ranges.push((p, p));
+                                }
+                            }
+                        }
+                    }
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    let esc = chars.next().expect("dangling escape in regex");
+                    if esc == 'P' || esc == 'p' {
+                        // `\PC` / `\p{..}`-style: treat as printable char.
+                        chars.next();
+                        Atom::Printable
+                    } else {
+                        Atom::Literal(esc)
+                    }
+                }
+                other => Atom::Literal(other),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut first = String::new();
+                let mut second: Option<String> = None;
+                loop {
+                    match chars.next().expect("unterminated repetition") {
+                        '}' => break,
+                        ',' => second = Some(String::new()),
+                        d => match &mut second {
+                            Some(s) => s.push(d),
+                            None => first.push(d),
+                        },
+                    }
+                }
+                let lo: usize = first.parse().expect("repetition lower bound");
+                let hi = match second {
+                    Some(s) => s.parse().expect("repetition upper bound"),
+                    None => lo,
+                };
+                (lo, hi)
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Class(ranges) => {
+                let r = &ranges[rng.below(ranges.len() as u64) as usize];
+                let span = r.1 as u32 - r.0 as u32 + 1;
+                // Surrogate-free by construction for the classes used
+                // here (ASCII ranges and literal BMP chars).
+                char::from_u32(r.0 as u32 + rng.below(u64::from(span)) as u32)
+                    .unwrap_or(r.0)
+            }
+            Atom::Printable => {
+                // Mostly ASCII with some multi-byte BMP characters.
+                match rng.below(4) {
+                    0 | 1 | 2 => char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap_or('x'),
+                    _ => char::from_u32(0x00A1 + rng.below(0x400) as u32).unwrap_or('\u{00e9}'),
+                }
+            }
+            Atom::Literal(c) => *c,
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    //! Single-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// Re-export of this crate under the conventional `prop` alias, so
+    /// `prop::collection::vec(..)` works after a glob import.
+    pub use crate as prop;
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr; $($(#[$attr:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(16).max(256);
+                while accepted < config.cases {
+                    if attempts >= max_attempts {
+                        panic!(
+                            "proptest {}: too many rejected cases ({} attempts for {} accepted)",
+                            stringify!($name), attempts, accepted
+                        );
+                    }
+                    attempts += 1;
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {}: {}",
+                                stringify!($name), accepted, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body without panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body without panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}", left, right, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::test_runner::TestRng::from_name("shape");
+        for _ in 0..200 {
+            let s = crate::string::generate("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = crate::string::generate("[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(t.chars().next().unwrap().is_ascii_lowercase());
+            assert!((1..=9).contains(&t.chars().count()));
+
+            let p = crate::string::generate("\\PC{0,64}", &mut rng);
+            assert!(p.chars().count() <= 64);
+
+            let c = crate::string::generate(
+                "[a-zA-Z0-9 _\\-\\.\\\\\"\u{00e9}\u{4e16}]{0,24}",
+                &mut rng,
+            );
+            assert!(c.chars().count() <= 24);
+            assert!(c.chars().all(|ch| {
+                ch.is_ascii_alphanumeric()
+                    || " _-.\\\"".contains(ch)
+                    || ch == '\u{00e9}'
+                    || ch == '\u{4e16}'
+            }), "{c:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_pipeline_works(
+            v in prop::collection::vec(any::<u16>(), 0..5),
+            b in any::<bool>(),
+        ) {
+            prop_assert!(v.len() < 5);
+            let doubled: Vec<u32> = v.iter().map(|&x| u32::from(x) * 2).collect();
+            prop_assert_eq!(doubled.len(), v.len());
+            prop_assume!(b || !b);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_generate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        let leaf = prop_oneof![Just(Tree::Leaf(0)), any::<i64>().prop_map(Tree::Leaf)];
+        let strat = leaf.prop_recursive(3, 16, 4, |inner| {
+            prop::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut rng = crate::test_runner::TestRng::from_name("tree");
+        for _ in 0..50 {
+            let _ = strat.sample(&mut rng);
+        }
+    }
+}
