@@ -12,4 +12,7 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> telemetry smoke (image workload under tracing -> Chrome export)"
+cargo run -q -p oprc-bench --bin trace_smoke -- target/trace_image.json
+
 echo "==> CI green"

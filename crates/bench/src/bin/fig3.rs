@@ -53,6 +53,32 @@ fn main() {
         }
     }
 
+    // Machine-readable results for downstream tooling/regression
+    // tracking.
+    let json_results: Vec<oprc_value::Value> = results
+        .iter()
+        .map(|r| {
+            vjson!({
+                "system": (r.variant.label()),
+                "vms": (r.vms),
+                "throughput": (r.throughput),
+                "p50_ms": (r.p50_ms),
+                "p99_ms": (r.p99_ms),
+                "replicas": (r.replicas),
+            })
+        })
+        .collect();
+    let doc = vjson!({
+        "experiment": "fig3",
+        "seed": 42,
+        "quick": quick,
+        "results": (oprc_value::Value::from(json_results)),
+    });
+    match std::fs::write("BENCH_fig3.json", oprc_value::json::to_string_pretty(&doc)) {
+        Ok(()) => eprintln!("  wrote BENCH_fig3.json"),
+        Err(e) => eprintln!("  could not write BENCH_fig3.json: {e}"),
+    }
+
     let throughput_of = |variant: SystemVariant, vms: u32| -> f64 {
         results
             .iter()

@@ -1,0 +1,95 @@
+//! Telemetry smoke test: runs the image workload under tracing and
+//! shape-checks the exported Chrome trace.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p oprc-bench --bin trace_smoke [-- <output-path>]
+//! ```
+//!
+//! Deploys the paper's Listing-1 image package on the embedded
+//! platform with the deterministic logical-clock sink, uploads a
+//! generated raster via a presigned PUT URL, runs the `pipeline`
+//! dataflow (resize → detectObject), and writes the Chrome
+//! `chrome://tracing` export (default `target/trace_image.json`).
+//! Exits non-zero when the trace is missing expected spans, so CI can
+//! gate on it.
+
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_telemetry::TelemetryConfig;
+use oprc_value::{json, vjson};
+use oprc_workloads::image::{generate_image, install};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/trace_image.json".to_string());
+
+    let mut p = EmbeddedPlatform::new();
+    p.enable_telemetry(TelemetryConfig::default());
+    install(&mut p).expect("image package deploys");
+
+    let id = p
+        .create_object("LabelledImage", vjson!({}))
+        .expect("creates");
+    let url = p.upload_url(id, "image").expect("presigns");
+    p.upload(&url, generate_image(64, 32, 3), "image/raw")
+        .expect("uploads");
+    let out = p
+        .invoke(id, "pipeline", vec![vjson!({"width": 16, "height": 8})])
+        .expect("pipeline runs");
+    assert_eq!(out.output["objects"].as_i64(), Some(3), "detector output");
+
+    let chrome = p.telemetry().export_chrome();
+    std::fs::write(&path, &chrome).expect("writes trace");
+
+    // Shape-check the export: a valid JSON event array containing the
+    // root invoke span and one span per dataflow stage.
+    let doc = json::parse(&chrome).expect("chrome export parses");
+    let events = doc.as_array().expect("chrome export is an array");
+    let count = |name: &str| {
+        events
+            .iter()
+            .filter(|e| e["name"].as_str() == Some(name))
+            .count()
+    };
+    let mut failures = Vec::new();
+    if count("invoke") != 1 {
+        failures.push(format!("expected 1 invoke span, got {}", count("invoke")));
+    }
+    let stages = count("dataflow.stage");
+    if stages < 2 {
+        failures.push(format!(
+            "pipeline has 2 stages, trace shows {stages} dataflow.stage spans"
+        ));
+    }
+    for name in [
+        "dataflow.step",
+        "route",
+        "state.load",
+        "engine.execute",
+        "state.commit",
+    ] {
+        if count(name) == 0 {
+            failures.push(format!("no '{name}' spans in the trace"));
+        }
+    }
+    if !events
+        .iter()
+        .all(|e| matches!(e["ph"].as_str(), Some("X" | "i")) && e["ts"].as_u64().is_some())
+    {
+        failures.push("event missing ph/ts fields".into());
+    }
+
+    if failures.is_empty() {
+        println!(
+            "trace_smoke: ok — {} events ({stages} stages) exported to {path}",
+            events.len()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("trace_smoke: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+}

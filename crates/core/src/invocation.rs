@@ -15,6 +15,7 @@
 
 use std::collections::BTreeMap;
 
+use oprc_telemetry::TraceContext;
 use oprc_value::Value;
 
 use crate::object::ObjectId;
@@ -77,6 +78,10 @@ pub struct InvocationTask {
     pub args: Vec<Value>,
     /// Presigned URLs for file-backed keys: name → URL.
     pub file_urls: BTreeMap<String, String>,
+    /// Caller's trace context, propagated across the offload boundary so
+    /// engine-side spans link back to the platform's `invoke` span.
+    /// `None` when telemetry is disabled.
+    pub trace: Option<TraceContext>,
 }
 
 /// Why a task failed.

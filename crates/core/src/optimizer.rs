@@ -21,7 +21,9 @@ pub struct ObservedMetrics {
     /// Mean busy fraction across replicas, `0.0 ..= 1.0+` (can exceed 1
     /// when queues grow).
     pub utilization: f64,
-    /// Offered load that was rejected or failed, per second.
+    /// Fraction of requests in the window that failed or were rejected:
+    /// `errors / (completed + errors)`, in `0.0 ..= 1.0`. This is a
+    /// ratio, not an errors-per-second rate.
     pub error_rate: f64,
 }
 
@@ -34,6 +36,8 @@ pub struct OptimizerConfig {
     pub scale_down_below: f64,
     /// Never recommend more than this many replicas per step-up.
     pub max_step: u32,
+    /// Step up when the window's error fraction exceeds this.
+    pub max_error_rate: f64,
 }
 
 impl Default for OptimizerConfig {
@@ -42,6 +46,7 @@ impl Default for OptimizerConfig {
             headroom: 0.2,
             scale_down_below: 0.3,
             max_step: 8,
+            max_error_rate: 0.01,
         }
     }
 }
@@ -72,7 +77,8 @@ impl ScalePlan {
 ///    (plus headroom).
 /// 2. **Latency violation** — declared p99 exceeded while utilization is
 ///    high ⇒ add one replica step.
-/// 3. **Errors** — any rejected load ⇒ add one replica step.
+/// 3. **Errors** — error fraction above `max_error_rate` ⇒ add one
+///    replica step.
 /// 4. **Over-provisioning** — all declared targets met with low
 ///    utilization ⇒ remove one replica (never below 1, and never below
 ///    what the throughput target needs).
@@ -120,9 +126,12 @@ pub fn recommend(
         }
     }
 
-    if metrics.error_rate > 0.0 && target <= current {
+    if metrics.error_rate > cfg.max_error_rate && target <= current {
         target = current + 1;
-        reasons.push(format!("{:.1} errors/s observed", metrics.error_rate));
+        reasons.push(format!(
+            "{:.1}% of requests failing",
+            metrics.error_rate * 100.0
+        ));
     }
 
     if target == current && metrics.utilization < cfg.scale_down_below && current > 1 {
@@ -215,12 +224,24 @@ mod tests {
     #[test]
     fn errors_step_up_even_without_qos() {
         let m = ObservedMetrics {
-            error_rate: 2.0,
+            error_rate: 0.05,
             utilization: 0.5,
             ..Default::default()
         };
         let plan = recommend(&NfrSpec::default(), &m, 2, &cfg());
         assert_eq!(plan.target_replicas, 3);
+        assert!(plan.reasons[0].contains('%'), "{:?}", plan.reasons);
+    }
+
+    #[test]
+    fn error_fraction_below_threshold_is_tolerated() {
+        let m = ObservedMetrics {
+            error_rate: 0.005,
+            utilization: 0.5,
+            ..Default::default()
+        };
+        let plan = recommend(&NfrSpec::default(), &m, 2, &cfg());
+        assert!(plan.is_noop(2), "{plan:?}");
     }
 
     #[test]
@@ -280,7 +301,7 @@ mod tests {
             throughput: 500.0,
             p99_latency_ms: 50.0,
             utilization: 0.95,
-            error_rate: 1.0,
+            error_rate: 0.1,
         };
         let plan = recommend(&nfr, &m, 4, &cfg());
         // Throughput rule wants 10; latency/error steps must not shrink

@@ -1,6 +1,8 @@
 //! The engine model: replicas + autoscaler + dataplane behaviour.
 
 use oprc_simcore::{SimDuration, SimTime};
+use oprc_telemetry::{TraceContext, TraceSink};
+use oprc_value::vjson;
 
 use crate::{Autoscaler, AutoscalerConfig, FunctionSpec, Replica};
 
@@ -81,6 +83,7 @@ pub struct EngineModel {
     requests: u64,
     cold_starts: u64,
     rejected: u64,
+    telemetry: TraceSink,
 }
 
 impl EngineModel {
@@ -97,7 +100,14 @@ impl EngineModel {
             requests: 0,
             cold_starts: 0,
             rejected: 0,
+            telemetry: TraceSink::disabled(),
         }
+    }
+
+    /// Attaches a trace sink; engine-side spans (`engine.execute`) and
+    /// scaling/rejection instants flow into it.
+    pub fn set_telemetry(&mut self, sink: TraceSink) {
+        self.telemetry = sink;
     }
 
     /// The engine kind.
@@ -174,6 +184,20 @@ impl EngineModel {
     /// deployment with zero replicas, or a Knative service whose capacity
     /// limit is zero.
     pub fn on_request(&mut self, now: SimTime, service: SimDuration) -> Option<Completion> {
+        self.on_request_traced(now, service, TraceContext::NONE)
+    }
+
+    /// [`EngineModel::on_request`] with trace propagation: the
+    /// `engine.execute` span is recorded as a child of `parent` (the
+    /// caller's context carried across the offload boundary, e.g. via
+    /// `InvocationTask::trace`). Pass [`TraceContext::NONE`] for a root
+    /// span.
+    pub fn on_request_traced(
+        &mut self,
+        now: SimTime,
+        service: SimDuration,
+        parent: TraceContext,
+    ) -> Option<Completion> {
         let mut via_activator = false;
         if self.replicas.is_empty() {
             match self.kind {
@@ -187,6 +211,11 @@ impl EngineModel {
                 }
                 _ => {
                     self.rejected += 1;
+                    self.telemetry.instant(
+                        "engine.reject",
+                        vjson!({"function": (self.spec.name.as_str())}),
+                        now,
+                    );
                     return None;
                 }
             }
@@ -217,6 +246,16 @@ impl EngineModel {
         self.requests += 1;
         if cold {
             self.cold_starts += 1;
+        }
+        if self.telemetry.is_enabled() {
+            let span = self.telemetry.begin_child(parent, "engine.execute", now);
+            self.telemetry
+                .attr(span, "function", self.spec.name.as_str());
+            self.telemetry
+                .attr(span, "queue_wait_ns", (start - now).as_nanos());
+            self.telemetry.attr(span, "cold_start", cold);
+            self.telemetry.attr(span, "replica", idx as u64);
+            self.telemetry.end(span, end);
         }
         Some(Completion {
             start,
@@ -260,10 +299,23 @@ impl EngineModel {
                 }
             }
         }
-        ScaleAction {
+        let action = ScaleAction {
             from,
             to: self.replica_count(),
+        };
+        if action.to != action.from && self.telemetry.is_enabled() {
+            self.telemetry.instant(
+                "autoscaler.scale",
+                vjson!({
+                    "function": (self.spec.name.as_str()),
+                    "from": (action.from),
+                    "to": (action.to),
+                    "panic": (self.autoscaler.in_panic()),
+                }),
+                now,
+            );
         }
+        action
     }
 }
 
@@ -412,6 +464,56 @@ mod tests {
         );
         e.force_replicas(SimTime::ZERO, 10, SimDuration::ZERO);
         assert_eq!(e.replica_count(), 2);
+    }
+
+    fn external_sink() -> TraceSink {
+        TraceSink::new(oprc_telemetry::TelemetryConfig {
+            clock: oprc_telemetry::ClockMode::External,
+            ..oprc_telemetry::TelemetryConfig::default()
+        })
+    }
+
+    #[test]
+    fn traced_request_links_execute_span_to_parent() {
+        let mut e = plain(1);
+        let sink = external_sink();
+        e.set_telemetry(sink.clone());
+        let parent = sink.begin_root("invoke", SimTime::ZERO);
+        let c = e
+            .on_request_traced(SimTime::ZERO, SimDuration::from_millis(10), parent)
+            .unwrap();
+        sink.end(parent, c.end);
+        let spans = sink.finished();
+        let exec = spans.iter().find(|s| s.name == "engine.execute").unwrap();
+        assert_eq!(exec.parent, Some(parent.span_id));
+        assert_eq!(exec.trace_id, parent.trace_id);
+        assert_eq!(exec.end, Some(c.end));
+        assert_eq!(exec.attrs["cold_start"].as_bool(), Some(false));
+        assert_eq!(exec.attrs["queue_wait_ns"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn rejection_and_scaling_emit_instants() {
+        let mut e = EngineModel::new(
+            EngineKind::PlainDeployment,
+            EngineConfig::default(),
+            FunctionSpec::new("f"),
+        );
+        let sink = external_sink();
+        e.set_telemetry(sink.clone());
+        assert!(e
+            .on_request(SimTime::ZERO, SimDuration::from_millis(1))
+            .is_none());
+        let mut k = knative();
+        k.set_telemetry(sink.clone());
+        k.force_replicas(SimTime::ZERO, 1, SimDuration::ZERO);
+        for _ in 0..50 {
+            k.on_request(SimTime::ZERO, SimDuration::from_millis(100));
+        }
+        k.on_tick(SimTime::from_secs(1));
+        let names: Vec<String> = sink.finished().into_iter().map(|s| s.name).collect();
+        assert!(names.contains(&"engine.reject".to_string()), "{names:?}");
+        assert!(names.contains(&"autoscaler.scale".to_string()), "{names:?}");
     }
 
     #[test]

@@ -71,6 +71,7 @@ mod tests {
             state_revision: 0,
             args: vec![vjson!(10)],
             file_urls: BTreeMap::new(),
+            trace: None,
         }
     }
 

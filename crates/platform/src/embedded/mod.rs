@@ -20,7 +20,7 @@ pub use functions::{FunctionImpl, FunctionRegistry};
 pub use s3::S3Gateway;
 pub use state::StateLayer;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
 use bytes::Bytes;
@@ -36,7 +36,8 @@ use oprc_core::OPackage;
 use oprc_simcore::{SimDuration, SimTime};
 use oprc_store::presign::Method;
 use oprc_store::{ObjectMeta, StoredObject};
-use oprc_value::{merge, Value};
+use oprc_telemetry::{TelemetryConfig, TraceContext, TraceSink};
+use oprc_value::{merge, vjson, Value};
 
 use crate::deployer::{self, ClassRuntimeSpec};
 use crate::monitoring::MetricsHub;
@@ -82,6 +83,10 @@ pub struct EmbeddedPlatform {
     next_task: u64,
     next_instance: u64,
     started: Instant,
+    telemetry: TraceSink,
+    /// Images that have executed at least once (cold-start attribution
+    /// on `engine.execute` spans; tracked only while telemetry is on).
+    warmed: BTreeSet<String>,
 }
 
 impl Default for EmbeddedPlatform {
@@ -116,7 +121,28 @@ impl EmbeddedPlatform {
             next_task: 0,
             next_instance: 0,
             started,
+            telemetry: TraceSink::disabled(),
+            warmed: BTreeSet::new(),
         }
+    }
+
+    /// Enables telemetry with `cfg`, replacing any previous sink.
+    /// With [`oprc_telemetry::ClockMode::Logical`] (the config default)
+    /// traces are deterministic even on this wall-clock platform.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        self.telemetry = TraceSink::new(cfg);
+    }
+
+    /// Installs a caller-provided sink (e.g. one shared with a
+    /// simulation driver). Pass [`TraceSink::disabled`] to turn
+    /// telemetry off again.
+    pub fn set_telemetry_sink(&mut self, sink: TraceSink) {
+        self.telemetry = sink;
+    }
+
+    /// The active trace sink (disabled by default).
+    pub fn telemetry(&self) -> &TraceSink {
+        &self.telemetry
     }
 
     /// The S3 endpoint handle. Function closures may capture a clone —
@@ -432,13 +458,43 @@ impl EmbeddedPlatform {
         args: Vec<Value>,
     ) -> Result<TaskResult, PlatformError> {
         let started = self.now();
+        let root = if self.telemetry.is_enabled() {
+            let root = self.telemetry.begin_root("invoke", started);
+            self.telemetry.attr(root, "object", id.as_u64());
+            self.telemetry.attr(root, "function", function);
+            root
+        } else {
+            TraceContext::NONE
+        };
+        let out = self.invoke_routed(id, function, args, started, root);
+        if self.telemetry.is_enabled() {
+            match &out {
+                Ok(_) => self.telemetry.attr(root, "outcome", "ok"),
+                Err(e) => self.telemetry.attr(root, "outcome", format!("error: {e}")),
+            }
+            self.telemetry.end(root, self.now());
+        }
+        out
+    }
+
+    /// The body of [`EmbeddedPlatform::invoke`], running under the root
+    /// `invoke` span.
+    fn invoke_routed(
+        &mut self,
+        id: ObjectId,
+        function: &str,
+        args: Vec<Value>,
+        started: SimTime,
+        root: TraceContext,
+    ) -> Result<TaskResult, PlatformError> {
         let class = self.object_class(id)?.to_string();
+        self.telemetry.attr(root, "class", class.as_str());
         let resolved = self.registry.require_class(&class)?;
 
         if let Some(df) = resolved.dataflow(function) {
             let df = df.clone();
-            let out = self.run_dataflow(id, &class, &df, args);
-            self.record(&class, started, &out);
+            let out = self.run_dataflow(id, &class, &df, args, root);
+            self.record(&class, function, started, &out);
             return out;
         }
 
@@ -457,18 +513,32 @@ impl EmbeddedPlatform {
                 function: function.to_string(),
             });
         }
-        self.route(&class, id);
-        let task = self.build_task(id, &class, &impl_class, function, &fdef.image, args)?;
+        self.route(&class, id, root);
+        let task = self.build_task(id, &class, &impl_class, function, &fdef.image, args, root)?;
         let out = self.execute_and_apply(id, &class, task);
-        self.record(&class, started, &out);
+        self.record(&class, function, started, &out);
         out
     }
 
-    fn record(&self, class: &str, started: SimTime, out: &Result<TaskResult, PlatformError>) {
+    fn record(
+        &self,
+        class: &str,
+        function: &str,
+        started: SimTime,
+        out: &Result<TaskResult, PlatformError>,
+    ) {
         let now = self.now();
         match out {
-            Ok(_) => self.metrics.record_completion(class, now, now - started),
-            Err(_) => self.metrics.record_error(class, now),
+            Ok(_) => {
+                self.metrics.record_completion(class, now, now - started);
+                self.metrics
+                    .record_function(class, function, now, now - started, true);
+            }
+            Err(_) => {
+                self.metrics.record_error(class, now);
+                self.metrics
+                    .record_function(class, function, now, SimDuration::ZERO, false);
+            }
         }
     }
 
@@ -479,17 +549,36 @@ impl EmbeddedPlatform {
             .is_none_or(|r| r.spec.config.persistent)
     }
 
-    fn route(&mut self, class: &str, id: ObjectId) {
+    fn route(&mut self, class: &str, id: ObjectId, parent: TraceContext) {
+        let now = self.now();
         if let Some(rt) = self.runtimes.get_mut(class) {
             if let Some(route) = rt.router.route(id, self.state.dht(), &rt.instances) {
-                match route.kind {
-                    crate::router::RouteKind::Local => rt.routed_local += 1,
-                    crate::router::RouteKind::Remote { .. } => rt.routed_remote += 1,
+                let kind = match route.kind {
+                    crate::router::RouteKind::Local => {
+                        rt.routed_local += 1;
+                        "local"
+                    }
+                    crate::router::RouteKind::Remote { .. } => {
+                        rt.routed_remote += 1;
+                        "remote"
+                    }
+                };
+                if self.telemetry.is_enabled() {
+                    let span = self.telemetry.begin_child(parent, "route", now);
+                    self.telemetry.attr(span, "kind", kind);
+                    self.telemetry.attr(span, "instance", route.instance);
+                    if let crate::router::RouteKind::Remote { owner } = route.kind {
+                        self.telemetry.attr(span, "owner", owner);
+                    }
+                    self.telemetry.end(span, self.now());
                 }
             }
         }
     }
 
+    // The parameters mirror the fields of the task being built; a
+    // builder struct would restate them 1:1.
+    #[allow(clippy::too_many_arguments)]
     fn build_task(
         &mut self,
         id: ObjectId,
@@ -498,9 +587,24 @@ impl EmbeddedPlatform {
         function: &str,
         image: &str,
         args: Vec<Value>,
+        parent: TraceContext,
     ) -> Result<InvocationTask, PlatformError> {
+        let enabled = self.telemetry.is_enabled();
         let key = storage_key(class, id);
-        let state_in = self.state.load(&key).unwrap_or_else(Value::object);
+        let load_span = if enabled {
+            let s = self.telemetry.begin_child(parent, "state.load", self.now());
+            self.telemetry.attr(s, "key", key.as_str());
+            s
+        } else {
+            TraceContext::NONE
+        };
+        let sink = self.telemetry.clone();
+        let loaded = self.state.load_traced(self.now(), &key, &sink, load_span);
+        if enabled {
+            self.telemetry.attr(load_span, "hit", loaded.is_some());
+            self.telemetry.end(load_span, self.now());
+        }
+        let state_in = loaded.unwrap_or_else(Value::object);
         let revision = self.objects.get(&id).map_or(0, |e| e.revision);
         // Presign file URLs for every file-typed key spec: GET under the
         // key name, PUT under "<key>:put".
@@ -512,10 +616,20 @@ impl EmbeddedPlatform {
             .filter(|k| k.state_type == oprc_core::StateType::File)
             .map(|k| k.name.clone())
             .collect();
+        let presign_span = if enabled && !file_keys.is_empty() {
+            self.telemetry.begin_child(parent, "presign", self.now())
+        } else {
+            TraceContext::NONE
+        };
         let mut file_urls = BTreeMap::new();
         for fk in file_keys {
             file_urls.insert(fk.clone(), self.download_url(id, &fk)?);
             file_urls.insert(format!("{fk}:put"), self.upload_url(id, &fk)?);
+        }
+        if !presign_span.is_none() {
+            self.telemetry
+                .attr(presign_span, "urls", file_urls.len() as u64);
+            self.telemetry.end(presign_span, self.now());
         }
         let task_id = self.next_task;
         self.next_task += 1;
@@ -529,6 +643,7 @@ impl EmbeddedPlatform {
             state_revision: revision,
             args,
             file_urls,
+            trace: enabled.then_some(parent),
         })
     }
 
@@ -538,24 +653,71 @@ impl EmbeddedPlatform {
         class: &str,
         task: InvocationTask,
     ) -> Result<TaskResult, PlatformError> {
+        let parent = task.trace.unwrap_or(TraceContext::NONE);
         let f = self
             .functions
             .get(&task.image)
             .ok_or_else(|| PlatformError::UnknownImage(task.image.clone()))?;
-        let result = f(&task)?;
-        self.apply_result(id, class, &result);
+        let exec_span = self.begin_execute_span(&task, parent);
+        let result = f(&task);
+        if self.telemetry.is_enabled() {
+            if let Err(e) = &result {
+                self.telemetry.attr(exec_span, "error", e.to_string());
+            }
+            self.telemetry.end(exec_span, self.now());
+        }
+        let result = result?;
+        self.apply_result(id, class, &result, parent);
         Ok(result)
     }
 
-    fn apply_result(&mut self, id: ObjectId, class: &str, result: &TaskResult) {
+    /// Opens the `engine.execute` span for `task` as a child of the
+    /// context the task carried across the offload boundary.
+    fn begin_execute_span(&mut self, task: &InvocationTask, parent: TraceContext) -> TraceContext {
+        if !self.telemetry.is_enabled() {
+            return TraceContext::NONE;
+        }
+        let span = self
+            .telemetry
+            .begin_child(parent, "engine.execute", self.now());
+        self.telemetry.attr(span, "image", task.image.as_str());
+        self.telemetry.attr(span, "task_id", task.task_id);
+        let cold = self.warmed.insert(task.image.clone());
+        self.telemetry.attr(span, "cold_start", cold);
+        span
+    }
+
+    fn apply_result(
+        &mut self,
+        id: ObjectId,
+        class: &str,
+        result: &TaskResult,
+        parent: TraceContext,
+    ) {
         let now = self.now();
+        let enabled = self.telemetry.is_enabled();
+        let commit_span = if enabled {
+            let s = self.telemetry.begin_child(parent, "state.commit", now);
+            self.telemetry
+                .attr(s, "patched", result.state_patch.is_some());
+            self.telemetry
+                .attr(s, "files_written", result.files_written.len() as u64);
+            s
+        } else {
+            TraceContext::NONE
+        };
         if let Some(patch) = &result.state_patch {
             let key = storage_key(class, id);
-            let mut state = self.state.load(&key).unwrap_or_else(Value::object);
+            let sink = self.telemetry.clone();
+            let mut state = self
+                .state
+                .load_traced(now, &key, &sink, commit_span)
+                .unwrap_or_else(Value::object);
             merge::deep_merge(&mut state, patch.clone());
             merge::normalize(&mut state);
             let persist = self.class_persists(class);
-            self.state.store(now, &key, state, persist);
+            self.state
+                .store_traced(now, &key, state, persist, &sink, commit_span);
             if let Some(entry) = self.objects.get_mut(&id) {
                 entry.revision += 1;
             }
@@ -576,6 +738,9 @@ impl EmbeddedPlatform {
                 entry.revision += 1;
             }
         }
+        if enabled {
+            self.telemetry.end(commit_span, self.now());
+        }
     }
 
     fn run_dataflow(
@@ -584,8 +749,10 @@ impl EmbeddedPlatform {
         class: &str,
         df: &DataflowSpec,
         args: Vec<Value>,
+        root: TraceContext,
     ) -> Result<TaskResult, PlatformError> {
         df.validate()?;
+        let enabled = self.telemetry.is_enabled();
         let input = args.into_iter().next().unwrap_or(Value::Null);
         let mut outputs: BTreeMap<String, Value> = BTreeMap::new();
         let stage_plan: Vec<Vec<String>> = df
@@ -593,12 +760,23 @@ impl EmbeddedPlatform {
             .into_iter()
             .map(|stage| stage.into_iter().map(|s| s.id.clone()).collect())
             .collect();
-        for stage in stage_plan {
+        for (stage_index, stage) in stage_plan.into_iter().enumerate() {
+            let stage_span = if enabled {
+                let s = self
+                    .telemetry
+                    .begin_child(root, "dataflow.stage", self.now());
+                self.telemetry.attr(s, "index", stage_index as u64);
+                self.telemetry.attr(s, "parallelism", stage.len() as u64);
+                s
+            } else {
+                TraceContext::NONE
+            };
             // Resolve each step's target object and dispatch, build all
             // tasks of the stage, then execute them in parallel.
             let mut tasks = Vec::new();
             let mut impls: Vec<FunctionImpl> = Vec::new();
             let mut targets: Vec<(ObjectId, String)> = Vec::new();
+            let mut step_spans: Vec<TraceContext> = Vec::new();
             for step_id in &stage {
                 let step = df
                     .steps
@@ -636,6 +814,18 @@ impl EmbeddedPlatform {
                         })?;
                     (impl_class.to_string(), fdef.image.clone())
                 };
+                let step_span = if enabled {
+                    let s = self
+                        .telemetry
+                        .begin_child(stage_span, "dataflow.step", self.now());
+                    self.telemetry.attr(s, "step", step_id.as_str());
+                    self.telemetry.attr(s, "function", step.function.as_str());
+                    self.telemetry.attr(s, "target", target_id.as_u64());
+                    s
+                } else {
+                    TraceContext::NONE
+                };
+                self.route(&target_class, target_id, step_span);
                 let inputs = DataflowSpec::resolve_inputs(step, &input, &outputs);
                 let task = self.build_task(
                     target_id,
@@ -644,6 +834,7 @@ impl EmbeddedPlatform {
                     &step.function,
                     &image,
                     inputs,
+                    step_span,
                 )?;
                 let f = self
                     .functions
@@ -652,7 +843,15 @@ impl EmbeddedPlatform {
                 tasks.push(task);
                 impls.push(f);
                 targets.push((target_id, target_class));
+                step_spans.push(step_span);
             }
+            // Execute-span bookkeeping stays on the platform thread, in
+            // step order, so span ids remain deterministic regardless of
+            // worker-thread scheduling.
+            let exec_spans: Vec<TraceContext> = tasks
+                .iter()
+                .map(|t| self.begin_execute_span(t, t.trace.unwrap_or(TraceContext::NONE)))
+                .collect();
             // Parallel execution (§II-B): safe because tasks are pure.
             let results: Vec<Result<TaskResult, TaskError>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = tasks
@@ -665,14 +864,24 @@ impl EmbeddedPlatform {
                     .map(|h| h.join().expect("function panicked"))
                     .collect()
             });
+            if enabled {
+                for (span, result) in exec_spans.iter().zip(&results) {
+                    if let Err(e) = result {
+                        self.telemetry.attr(*span, "error", e.to_string());
+                    }
+                    self.telemetry.end(*span, self.now());
+                }
+            }
             // Apply effects deterministically in step order.
-            for ((step_id, result), (target_id, target_class)) in
-                stage.iter().zip(results).zip(targets)
+            for (((step_id, result), (target_id, target_class)), step_span) in
+                stage.iter().zip(results).zip(targets).zip(step_spans)
             {
                 let result = result?;
-                self.apply_result(target_id, &target_class, &result);
+                self.apply_result(target_id, &target_class, &result, step_span);
                 outputs.insert(step_id.clone(), result.output.clone());
+                self.telemetry.end(step_span, self.now());
             }
+            self.telemetry.end(stage_span, self.now());
         }
         let out_step = df.output_step().expect("validated dataflow has steps");
         Ok(TaskResult::output(
@@ -686,7 +895,8 @@ impl EmbeddedPlatform {
     /// Returns the scaling plans that changed anything.
     pub fn tick(&mut self) -> Vec<(String, ScalePlan)> {
         let now = self.now();
-        self.state.flush_due(now);
+        let sink = self.telemetry.clone();
+        self.state.flush_due_traced(now, &sink);
         let mut plans = Vec::new();
         let classes: Vec<String> = self.runtimes.keys().cloned().collect();
         for class in classes {
@@ -706,6 +916,19 @@ impl EmbeddedPlatform {
                 rt.spec.config.min_replicas.max(1),
                 rt.spec.config.max_replicas,
             );
+            if sink.is_enabled() {
+                sink.instant(
+                    "autoscaler.plan",
+                    vjson!({
+                        "class": (class.as_str()),
+                        "current": current,
+                        "recommended": (plan.target_replicas),
+                        "applied": target,
+                        "reasons": (plan.reasons.clone()),
+                    }),
+                    now,
+                );
+            }
             if target != current {
                 while (rt.instances.len() as u32) < target {
                     rt.instances.push(self.next_instance);

@@ -11,7 +11,8 @@ use oprc_store::{
     Dht, DhtConfig, DhtNodeId, PersistentDb, PersistentDbConfig, WriteBehindBuffer,
     WriteBehindConfig,
 };
-use oprc_value::Value;
+use oprc_telemetry::{TraceContext, TraceSink};
+use oprc_value::{vjson, Value};
 
 /// Tiered structured-state storage: DHT → write-behind → persistent DB.
 ///
@@ -64,10 +65,44 @@ impl StateLayer {
     /// (cache-miss path after restart). `Null` in the DB is a deletion
     /// tombstone and reads as absent.
     pub fn load(&mut self, key: &str) -> Option<Value> {
+        self.load_traced(
+            SimTime::ZERO,
+            key,
+            &TraceSink::disabled(),
+            TraceContext::NONE,
+        )
+    }
+
+    /// [`StateLayer::load`] with tracing: at
+    /// [`oprc_telemetry::TelemetryLevel::Verbose`] each tier probe is a
+    /// `kv.get` child span of `parent` recording the tier (`dht`/`db`)
+    /// and whether it hit.
+    pub fn load_traced(
+        &mut self,
+        now: SimTime,
+        key: &str,
+        sink: &TraceSink,
+        parent: TraceContext,
+    ) -> Option<Value> {
+        let verbose = sink.is_verbose();
+        let trace_get = |tier: &str, hit: bool| {
+            if verbose {
+                sink.instant_under(
+                    parent,
+                    "kv.get",
+                    vjson!({"key": key, "tier": tier, "hit": hit}),
+                    now,
+                );
+            }
+        };
         if let Some(v) = self.dht.get(key) {
+            trace_get("dht", true);
             return Some(v);
         }
-        let from_db = self.db.get(key).filter(|v| !v.is_null())?;
+        trace_get("dht", false);
+        let from_db = self.db.get(key).filter(|v| !v.is_null());
+        trace_get("db", from_db.is_some());
+        let from_db = from_db?;
         // Re-warm the DHT.
         let _ = self.dht.put(key, from_db.clone());
         Some(from_db)
@@ -77,6 +112,37 @@ impl StateLayer {
     /// when `persist` is set (the class runtime's template decision),
     /// into the write-behind buffer.
     pub fn store(&mut self, now: SimTime, key: &str, value: Value, persist: bool) {
+        self.store_traced(
+            now,
+            key,
+            value,
+            persist,
+            &TraceSink::disabled(),
+            TraceContext::NONE,
+        );
+    }
+
+    /// [`StateLayer::store`] with tracing: at
+    /// [`oprc_telemetry::TelemetryLevel::Verbose`] the write is a
+    /// `kv.put` child span of `parent` recording whether it was offered
+    /// to the write-behind buffer.
+    pub fn store_traced(
+        &mut self,
+        now: SimTime,
+        key: &str,
+        value: Value,
+        persist: bool,
+        sink: &TraceSink,
+        parent: TraceContext,
+    ) {
+        if sink.is_verbose() {
+            sink.instant_under(
+                parent,
+                "kv.put",
+                vjson!({"key": key, "persist": persist}),
+                now,
+            );
+        }
         let _ = self.dht.put(key, value.clone());
         if persist {
             self.buffer.offer(now, key, value);
@@ -95,10 +161,25 @@ impl StateLayer {
     /// Flushes due write-behind batches into the DB; returns the number
     /// of records flushed.
     pub fn flush_due(&mut self, now: SimTime) -> usize {
+        self.flush_due_traced(now, &TraceSink::disabled())
+    }
+
+    /// [`StateLayer::flush_due`] with tracing: a non-empty flush emits a
+    /// `wb.flush` platform instant recording records and batches.
+    pub fn flush_due_traced(&mut self, now: SimTime, sink: &TraceSink) -> usize {
         let mut flushed = 0;
+        let mut batches = 0u64;
         while let Some(batch) = self.buffer.take_batch(now) {
             flushed += batch.len();
+            batches += 1;
             self.db.put_batch(now, batch.records);
+        }
+        if flushed > 0 && sink.is_enabled() {
+            sink.instant(
+                "wb.flush",
+                vjson!({"records": flushed, "batches": batches}),
+                now,
+            );
         }
         flushed
     }
@@ -216,6 +297,40 @@ mod tests {
         }
         let (_, consolidated, _, _) = s.stats();
         assert_eq!(consolidated, 4);
+    }
+
+    #[test]
+    fn verbose_sink_sees_kv_ops_and_flushes() {
+        use oprc_telemetry::TelemetryConfig;
+        let mut s = layer();
+        let sink = TraceSink::new(TelemetryConfig::verbose());
+        let parent = sink.begin_root("state.load", SimTime::ZERO);
+        s.store_traced(SimTime::ZERO, "k", vjson!({"v": 1}), true, &sink, parent);
+        assert!(s.load_traced(SimTime::ZERO, "k", &sink, parent).is_some());
+        s.flush_due_traced(
+            SimTime::ZERO + oprc_simcore::SimDuration::from_millis(10),
+            &sink,
+        );
+        sink.end(parent, SimTime::ZERO);
+        let spans = sink.finished();
+        let names: Vec<&str> = spans.iter().map(|sp| sp.name.as_str()).collect();
+        assert!(names.contains(&"kv.put"), "{names:?}");
+        assert!(names.contains(&"kv.get"), "{names:?}");
+        assert!(names.contains(&"wb.flush"), "{names:?}");
+        let get = spans.iter().find(|sp| sp.name == "kv.get").unwrap();
+        assert_eq!(get.parent, Some(parent.span_id));
+        assert_eq!(get.attrs["hit"].as_bool(), Some(true));
+        // Non-verbose sinks skip kv ops entirely.
+        let quiet = TraceSink::new(TelemetryConfig::default());
+        s.store_traced(
+            SimTime::ZERO,
+            "k2",
+            vjson!(1),
+            false,
+            &quiet,
+            TraceContext::NONE,
+        );
+        assert!(quiet.finished().is_empty());
     }
 
     #[test]

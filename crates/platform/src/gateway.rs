@@ -20,9 +20,15 @@
 //! download-url <obj-id> <key>         presigned GET URL
 //! flush                               flush write-behind to the DB
 //! stats                               storage counters
+//! telemetry <on|verbose|off|status>   control the trace sink
+//! trace [--last N] [--export chrome|jsonl <path>]
+//!                                     show or export the span tree
+//! metrics [--class C] [--json]        per-function latency/error stats
+//! top                                 per-class summary table
 //! ```
 
 use oprc_core::object::ObjectId;
+use oprc_telemetry::{render_tree, to_chrome, to_jsonl, Span, TelemetryConfig, TraceSink};
 use oprc_value::{json, Value};
 
 use crate::embedded::EmbeddedPlatform;
@@ -151,6 +157,10 @@ impl OprcCtl {
                     }),
                 ))
             }
+            "telemetry" => self.telemetry_cmd(rest),
+            "trace" => self.trace(rest),
+            "metrics" => self.metrics_cmd(rest),
+            "top" => self.top(),
             "help" => Ok(CommandOutput::text(HELP.trim())),
             other => Err(CommandError::UnknownCommand(other.to_string())),
         }
@@ -296,6 +306,183 @@ impl OprcCtl {
         Ok(CommandOutput::with_value(json::to_string_pretty(&v), v))
     }
 
+    /// `telemetry <on|verbose|off|status>`: switch the platform's trace
+    /// sink. `on` records spans, `verbose` additionally records per-key
+    /// KV operations, `off` restores the zero-cost disabled sink.
+    fn telemetry_cmd(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        match rest.trim() {
+            "on" => {
+                self.platform.enable_telemetry(TelemetryConfig::default());
+                Ok(CommandOutput::text("telemetry: spans"))
+            }
+            "verbose" => {
+                self.platform.enable_telemetry(TelemetryConfig::verbose());
+                Ok(CommandOutput::text("telemetry: verbose"))
+            }
+            "off" => {
+                self.platform.set_telemetry_sink(TraceSink::disabled());
+                Ok(CommandOutput::text("telemetry: off"))
+            }
+            "" | "status" => {
+                let sink = self.platform.telemetry();
+                Ok(CommandOutput::text(format!(
+                    "telemetry: {:?}, finished spans: {}, dropped: {}",
+                    sink.level(),
+                    sink.finished().len(),
+                    sink.dropped(),
+                )))
+            }
+            _ => Err(CommandError::Usage(
+                "telemetry <on|verbose|off|status>".into(),
+            )),
+        }
+    }
+
+    /// `trace [--last N] [--export chrome|jsonl <path>]`: render the
+    /// finished spans as an indented tree, or export them to a file.
+    /// `--last N` keeps only the newest N traces (root invocations).
+    fn trace(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        const USAGE: &str = "trace [--last N] [--export chrome|jsonl <path>]";
+        let parts = split_args(rest);
+        let mut last: Option<usize> = None;
+        let mut export: Option<(String, String)> = None;
+        let mut i = 0;
+        while i < parts.len() {
+            match parts[i].as_str() {
+                "--last" => {
+                    let n = parts
+                        .get(i + 1)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .ok_or_else(|| CommandError::Usage(USAGE.into()))?;
+                    last = Some(n);
+                    i += 2;
+                }
+                "--export" => {
+                    let fmt = parts.get(i + 1).cloned();
+                    let path = parts.get(i + 2).cloned();
+                    match (fmt, path) {
+                        (Some(f), Some(p)) if f == "chrome" || f == "jsonl" => {
+                            export = Some((f, p));
+                        }
+                        _ => return Err(CommandError::Usage(USAGE.into())),
+                    }
+                    i += 3;
+                }
+                _ => return Err(CommandError::Usage(USAGE.into())),
+            }
+        }
+        let mut spans = self.platform.telemetry().finished();
+        if let Some(n) = last {
+            spans = newest_traces(spans, n);
+        }
+        if let Some((fmt, path)) = export {
+            let data = if fmt == "chrome" {
+                to_chrome(&spans)
+            } else {
+                to_jsonl(&spans)
+            };
+            std::fs::write(&path, &data)
+                .map_err(|e| CommandError::Usage(format!("cannot write '{path}': {e}")))?;
+            return Ok(CommandOutput::text(format!(
+                "exported {} spans to {path}",
+                spans.len()
+            )));
+        }
+        if spans.is_empty() {
+            return Ok(CommandOutput::text(
+                "no finished spans (try `telemetry on`)",
+            ));
+        }
+        Ok(CommandOutput::text(render_tree(&spans).trim_end()))
+    }
+
+    /// `metrics [--class C] [--json]`: cumulative per-function latency
+    /// and error statistics from the [`crate::monitoring::MetricsHub`].
+    fn metrics_cmd(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        const USAGE: &str = "metrics [--class C] [--json]";
+        let parts = split_args(rest);
+        let mut as_json = false;
+        let mut class: Option<String> = None;
+        let mut i = 0;
+        while i < parts.len() {
+            match parts[i].as_str() {
+                "--json" => {
+                    as_json = true;
+                    i += 1;
+                }
+                "--class" => {
+                    class = Some(
+                        parts
+                            .get(i + 1)
+                            .cloned()
+                            .ok_or_else(|| CommandError::Usage(USAGE.into()))?,
+                    );
+                    i += 2;
+                }
+                _ => return Err(CommandError::Usage(USAGE.into())),
+            }
+        }
+        let mut rows = self.platform.metrics().function_summaries();
+        if let Some(c) = &class {
+            rows.retain(|r| &r.class == c);
+        }
+        let value: Vec<Value> = rows
+            .iter()
+            .map(|r| {
+                oprc_value::vjson!({
+                    "class": (r.class.as_str()),
+                    "function": (r.function.as_str()),
+                    "completed": (r.completed),
+                    "errors": (r.errors),
+                    "mean_ms": (r.mean_ms),
+                    "p50_ms": (r.p50_ms),
+                    "p99_ms": (r.p99_ms),
+                })
+            })
+            .collect();
+        let value = Value::from(value);
+        if as_json {
+            return Ok(CommandOutput::with_value(
+                json::to_string_pretty(&value),
+                value,
+            ));
+        }
+        let mut text = format!(
+            "{:<16} {:<16} {:>9} {:>7} {:>9} {:>9} {:>9}",
+            "CLASS", "FUNCTION", "COMPLETED", "ERRORS", "MEAN_MS", "P50_MS", "P99_MS"
+        );
+        for r in &rows {
+            text.push_str(&format!(
+                "\n{:<16} {:<16} {:>9} {:>7} {:>9.2} {:>9.2} {:>9.2}",
+                r.class, r.function, r.completed, r.errors, r.mean_ms, r.p50_ms, r.p99_ms
+            ));
+        }
+        Ok(CommandOutput::with_value(text, value))
+    }
+
+    /// `top`: one-line-per-class health table (completions, error
+    /// fraction, throughput, latency percentiles).
+    fn top(&mut self) -> Result<CommandOutput, CommandError> {
+        let rows = self.platform.metrics().class_summaries();
+        let mut text = format!(
+            "{:<16} {:>9} {:>7} {:>7} {:>9} {:>9} {:>9}",
+            "CLASS", "COMPLETED", "ERRORS", "ERR%", "RPS", "P50_MS", "P99_MS"
+        );
+        for r in &rows {
+            text.push_str(&format!(
+                "\n{:<16} {:>9} {:>7} {:>6.1}% {:>9.2} {:>9.2} {:>9.2}",
+                r.class,
+                r.completed,
+                r.errors,
+                r.error_rate * 100.0,
+                r.throughput,
+                r.p50_ms,
+                r.p99_ms
+            ));
+        }
+        Ok(CommandOutput::text(text))
+    }
+
     fn url(&mut self, rest: &str, put: bool) -> Result<CommandOutput, CommandError> {
         let (obj, key) = rest
             .split_once(char::is_whitespace)
@@ -322,7 +509,30 @@ upload-url <obj-id> <key>         presigned PUT URL
 download-url <obj-id> <key>       presigned GET URL
 flush                             flush write-behind to the DB
 stats                             storage counters
+telemetry <on|verbose|off|status> control the trace sink
+trace [--last N] [--export chrome|jsonl <path>]
+                                  show or export the span tree
+metrics [--class C] [--json]      per-function latency/error stats
+top                               per-class summary table
 ";
+
+/// Keeps only the spans belonging to the newest `n` traces. Platform
+/// instants (trace id 0: flushes, autoscaler plans) are kept whenever
+/// any trace survives, since they interleave with every invocation.
+fn newest_traces(spans: Vec<Span>, n: usize) -> Vec<Span> {
+    let mut ids: Vec<u64> = spans
+        .iter()
+        .map(|s| s.trace_id)
+        .filter(|t| *t != 0)
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let keep: std::collections::BTreeSet<u64> = ids.iter().rev().take(n).copied().collect();
+    spans
+        .into_iter()
+        .filter(|s| keep.contains(&s.trace_id) || (s.trace_id == 0 && !keep.is_empty()))
+        .collect()
+}
 
 fn parse_object(s: &str) -> Result<ObjectId, CommandError> {
     let s = s.trim();
@@ -510,6 +720,82 @@ mod tests {
         assert!(put.contains("method=PUT"));
         let get = ctl.execute("download-url 0 blob").unwrap().text;
         assert!(get.contains("method=GET"));
+    }
+
+    #[test]
+    fn telemetry_trace_and_metrics_commands() {
+        let mut ctl = ctl();
+        assert!(ctl
+            .execute("telemetry status")
+            .unwrap()
+            .text
+            .contains("Off"));
+        ctl.execute("telemetry on").unwrap();
+        ctl.execute("create Counter").unwrap();
+        ctl.execute("invoke 0 incr").unwrap();
+        ctl.execute("invoke 0 incr").unwrap();
+
+        // Tree rendering shows the invocation span hierarchy.
+        let tree = ctl.execute("trace").unwrap().text;
+        assert!(tree.contains("invoke #"), "{tree}");
+        assert!(tree.contains("  route #"), "{tree}");
+        assert!(tree.contains("engine.execute"), "{tree}");
+
+        // --last 1 keeps only the newest invocation's trace.
+        let last = ctl.execute("trace --last 1").unwrap().text;
+        assert_eq!(last.matches("invoke #").count(), 1, "{last}");
+
+        // Export to both formats and parse them back.
+        let dir = std::env::temp_dir();
+        let chrome = dir.join("oprc_gateway_trace.json");
+        let jsonl = dir.join("oprc_gateway_trace.jsonl");
+        let out = ctl
+            .execute(&format!("trace --export chrome {}", chrome.display()))
+            .unwrap();
+        assert!(out.text.starts_with("exported"));
+        let doc = json::parse(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        assert!(!doc.as_array().unwrap().is_empty());
+        ctl.execute(&format!("trace --export jsonl {}", jsonl.display()))
+            .unwrap();
+        let first = std::fs::read_to_string(&jsonl).unwrap();
+        let line = json::parse(first.lines().next().unwrap()).unwrap();
+        assert_eq!(line["name"].as_str(), Some("invoke"));
+
+        // Metrics: per-function rows, filterable, JSON mode.
+        let m = ctl.execute("metrics").unwrap();
+        assert!(m.text.contains("incr"), "{}", m.text);
+        let mj = ctl.execute("metrics --class Counter --json").unwrap();
+        let rows = mj.value.unwrap();
+        assert_eq!(rows[0]["class"].as_str(), Some("Counter"));
+        assert_eq!(rows[0]["function"].as_str(), Some("incr"));
+        assert_eq!(rows[0]["completed"].as_u64(), Some(2));
+        let none = ctl.execute("metrics --class Ghost --json").unwrap();
+        assert!(none.value.unwrap().as_array().unwrap().is_empty());
+
+        // Top shows the class health table.
+        let top = ctl.execute("top").unwrap().text;
+        assert!(top.contains("Counter"), "{top}");
+        assert!(top.contains("ERR%"), "{top}");
+
+        // Off restores the disabled sink.
+        ctl.execute("telemetry off").unwrap();
+        ctl.execute("invoke 0 incr").unwrap();
+        assert!(ctl
+            .execute("trace")
+            .unwrap()
+            .text
+            .contains("no finished spans"));
+
+        assert!(matches!(
+            ctl.execute("telemetry sideways"),
+            Err(CommandError::Usage(_))
+        ));
+        assert!(matches!(
+            ctl.execute("trace --export png /tmp/x"),
+            Err(CommandError::Usage(_))
+        ));
+        let _ = std::fs::remove_file(chrome);
+        let _ = std::fs::remove_file(jsonl);
     }
 
     #[test]

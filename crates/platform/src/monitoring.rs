@@ -5,9 +5,11 @@
 //! per-class invocation metrics from the execution plane (thread-safe —
 //! the embedded engine executes dataflow stages on worker threads) and
 //! produces the [`ObservedMetrics`] windows the
-//! [`oprc_core::optimizer`] consumes.
+//! [`oprc_core::optimizer`] consumes. Beyond the drainable per-class
+//! windows it keeps cumulative per-class and per-function histograms
+//! for the `oprc-ctl metrics` / `top` views.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -15,6 +17,9 @@ use parking_lot::Mutex;
 use oprc_core::optimizer::ObservedMetrics;
 use oprc_simcore::metrics::Histogram;
 use oprc_simcore::{SimDuration, SimTime};
+
+/// Default bound on retained lint warnings.
+pub const DEFAULT_LINT_CAPACITY: usize = 1024;
 
 #[derive(Debug, Default)]
 struct ClassWindow {
@@ -25,75 +30,262 @@ struct ClassWindow {
     last_event: Option<SimTime>,
 }
 
+/// Cumulative (never reset by `drain_window`) per-key statistics.
+#[derive(Debug, Default)]
+struct Totals {
+    completed: u64,
+    errors: u64,
+    latency: Histogram,
+    first_event: Option<SimTime>,
+    last_event: Option<SimTime>,
+}
+
+impl Totals {
+    fn touch(&mut self, now: SimTime) {
+        self.first_event.get_or_insert(now);
+        self.last_event = Some(self.last_event.map_or(now, |t| t.max(now)));
+    }
+}
+
+/// Cumulative per-class statistics snapshot (for `oprc-ctl top`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSummary {
+    /// Class name.
+    pub class: String,
+    /// Completed invocations since startup.
+    pub completed: u64,
+    /// Failed invocations since startup.
+    pub errors: u64,
+    /// `errors / (completed + errors)`, `0.0` when idle.
+    pub error_rate: f64,
+    /// Completions per second over the observed event span.
+    pub throughput: f64,
+    /// Median end-to-end latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency (ms).
+    pub p99_ms: f64,
+}
+
+/// Cumulative per-function statistics snapshot (for `oprc-ctl metrics`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionSummary {
+    /// Class name.
+    pub class: String,
+    /// Function (or dataflow) name.
+    pub function: String,
+    /// Completed invocations since startup.
+    pub completed: u64,
+    /// Failed invocations since startup.
+    pub errors: u64,
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+}
+
+#[derive(Debug)]
+struct HubInner {
+    windows: BTreeMap<String, ClassWindow>,
+    class_totals: BTreeMap<String, Totals>,
+    function_totals: BTreeMap<(String, String), Totals>,
+    lint_warnings: VecDeque<String>,
+    lint_capacity: usize,
+    lint_dropped: u64,
+}
+
+impl Default for HubInner {
+    fn default() -> Self {
+        HubInner {
+            windows: BTreeMap::new(),
+            class_totals: BTreeMap::new(),
+            function_totals: BTreeMap::new(),
+            lint_warnings: VecDeque::new(),
+            lint_capacity: DEFAULT_LINT_CAPACITY,
+            lint_dropped: 0,
+        }
+    }
+}
+
 /// Thread-safe collector of per-class runtime metrics.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsHub {
-    inner: Arc<Mutex<BTreeMap<String, ClassWindow>>>,
-    lint_warnings: Arc<Mutex<Vec<String>>>,
+    inner: Arc<Mutex<HubInner>>,
 }
 
 impl MetricsHub {
-    /// Creates an empty hub.
+    /// Creates an empty hub with the default lint-warning capacity.
     pub fn new() -> Self {
         MetricsHub::default()
+    }
+
+    /// Creates an empty hub retaining at most `lint_capacity` lint
+    /// warnings (drop-oldest beyond that; a minimum of 1 is enforced).
+    pub fn with_lint_capacity(lint_capacity: usize) -> Self {
+        let hub = MetricsHub::default();
+        hub.inner.lock().lint_capacity = lint_capacity.max(1);
+        hub
     }
 
     /// Records a completed invocation of `class` at `now` with the given
     /// end-to-end latency.
     pub fn record_completion(&self, class: &str, now: SimTime, latency: SimDuration) {
         let mut inner = self.inner.lock();
-        let w = inner.entry(class.to_string()).or_default();
+        let w = inner.windows.entry(class.to_string()).or_default();
         w.completed += 1;
         w.latency.record(latency);
         w.window_start.get_or_insert(now);
         w.last_event = Some(w.last_event.map_or(now, |t| t.max(now)));
+        let t = inner.class_totals.entry(class.to_string()).or_default();
+        t.completed += 1;
+        t.latency.record(latency);
+        t.touch(now);
     }
 
     /// Records a failed invocation of `class` at `now`.
     pub fn record_error(&self, class: &str, now: SimTime) {
         let mut inner = self.inner.lock();
-        let w = inner.entry(class.to_string()).or_default();
+        let w = inner.windows.entry(class.to_string()).or_default();
         w.errors += 1;
         w.window_start.get_or_insert(now);
         w.last_event = Some(w.last_event.map_or(now, |t| t.max(now)));
+        let t = inner.class_totals.entry(class.to_string()).or_default();
+        t.errors += 1;
+        t.touch(now);
+    }
+
+    /// Records the per-function outcome of an invocation (cumulative;
+    /// feeds [`MetricsHub::function_summaries`]).
+    pub fn record_function(
+        &self,
+        class: &str,
+        function: &str,
+        now: SimTime,
+        latency: SimDuration,
+        ok: bool,
+    ) {
+        let mut inner = self.inner.lock();
+        let t = inner
+            .function_totals
+            .entry((class.to_string(), function.to_string()))
+            .or_default();
+        if ok {
+            t.completed += 1;
+            t.latency.record(latency);
+        } else {
+            t.errors += 1;
+        }
+        t.touch(now);
     }
 
     /// Records a non-fatal finding the deploy-time linter surfaced
     /// (rendered form). Deployment proceeds; the warnings stay visible
-    /// through [`MetricsHub::lint_warnings`] for operators.
+    /// through [`MetricsHub::lint_warnings`] for operators. Retention is
+    /// bounded: beyond the configured capacity the oldest warning is
+    /// dropped and [`MetricsHub::lint_dropped`] increments.
     pub fn record_lint_warning(&self, rendered: String) {
-        self.lint_warnings.lock().push(rendered);
+        let mut inner = self.inner.lock();
+        if inner.lint_warnings.len() >= inner.lint_capacity {
+            inner.lint_warnings.pop_front();
+            inner.lint_dropped += 1;
+        }
+        inner.lint_warnings.push_back(rendered);
     }
 
-    /// All lint warnings recorded so far, in deploy order.
+    /// Retained lint warnings, oldest first.
     pub fn lint_warnings(&self) -> Vec<String> {
-        self.lint_warnings.lock().clone()
+        self.inner.lock().lint_warnings.iter().cloned().collect()
+    }
+
+    /// Count of lint warnings evicted by the retention bound.
+    pub fn lint_dropped(&self) -> u64 {
+        self.inner.lock().lint_dropped
     }
 
     /// Completed-invocation count for `class` in the current window.
     pub fn completed(&self, class: &str) -> u64 {
-        self.inner.lock().get(class).map_or(0, |w| w.completed)
+        self.inner
+            .lock()
+            .windows
+            .get(class)
+            .map_or(0, |w| w.completed)
+    }
+
+    /// Cumulative per-class statistics, sorted by class name.
+    pub fn class_summaries(&self) -> Vec<ClassSummary> {
+        let inner = self.inner.lock();
+        inner
+            .class_totals
+            .iter()
+            .map(|(class, t)| {
+                let total = t.completed + t.errors;
+                let span = match (t.first_event, t.last_event) {
+                    (Some(a), Some(b)) => (b - a).as_secs_f64().max(1e-3),
+                    _ => 1e-3,
+                };
+                ClassSummary {
+                    class: class.clone(),
+                    completed: t.completed,
+                    errors: t.errors,
+                    error_rate: if total == 0 {
+                        0.0
+                    } else {
+                        t.errors as f64 / total as f64
+                    },
+                    throughput: t.completed as f64 / span,
+                    p50_ms: t.latency.quantile(0.5).as_millis_f64(),
+                    p99_ms: t.latency.quantile(0.99).as_millis_f64(),
+                }
+            })
+            .collect()
+    }
+
+    /// Cumulative per-function statistics, sorted by (class, function).
+    pub fn function_summaries(&self) -> Vec<FunctionSummary> {
+        let inner = self.inner.lock();
+        inner
+            .function_totals
+            .iter()
+            .map(|((class, function), t)| FunctionSummary {
+                class: class.clone(),
+                function: function.clone(),
+                completed: t.completed,
+                errors: t.errors,
+                mean_ms: t.latency.mean().as_millis_f64(),
+                p50_ms: t.latency.quantile(0.5).as_millis_f64(),
+                p99_ms: t.latency.quantile(0.99).as_millis_f64(),
+            })
+            .collect()
     }
 
     /// Produces the observation window for `class` and resets it.
     ///
     /// `replicas_busy_fraction` is supplied by the execution plane (the
-    /// hub cannot observe replica occupancy itself). Returns `None` when
-    /// nothing was recorded.
+    /// hub cannot observe replica occupancy itself). `error_rate` is the
+    /// *fraction* of the window's requests that failed —
+    /// `errors / (completed + errors)` — matching
+    /// [`ObservedMetrics::error_rate`]. Returns `None` when nothing was
+    /// recorded.
     pub fn drain_window(
         &self,
         class: &str,
         replicas_busy_fraction: f64,
     ) -> Option<ObservedMetrics> {
         let mut inner = self.inner.lock();
-        let w = inner.get_mut(class)?;
+        let w = inner.windows.get_mut(class)?;
         let (start, end) = (w.window_start?, w.last_event?);
         let span = (end - start).as_secs_f64().max(1e-3);
+        let total = w.completed + w.errors;
         let metrics = ObservedMetrics {
             throughput: w.completed as f64 / span,
             p99_latency_ms: w.latency.quantile(0.99).as_millis_f64(),
             utilization: replicas_busy_fraction,
-            error_rate: w.errors as f64 / span,
+            error_rate: if total == 0 {
+                0.0
+            } else {
+                w.errors as f64 / total as f64
+            },
         };
         *w = ClassWindow::default();
         Some(metrics)
@@ -120,11 +312,26 @@ mod tests {
         // 100 completions over 0.99s ≈ 101/s.
         assert!((m.throughput - 101.0).abs() < 2.0, "{}", m.throughput);
         assert!(m.p99_latency_ms >= 5.0);
-        assert!(m.error_rate > 0.9);
+        // error_rate is a fraction of requests: 1 error out of 101.
+        assert!(
+            (m.error_rate - 1.0 / 101.0).abs() < 1e-9,
+            "{}",
+            m.error_rate
+        );
         assert_eq!(m.utilization, 0.8);
         // Window reset.
         assert_eq!(hub.completed("C"), 0);
         assert!(hub.drain_window("C", 0.0).is_none());
+    }
+
+    #[test]
+    fn all_error_window_has_unit_error_rate() {
+        let hub = MetricsHub::new();
+        hub.record_error("C", SimTime::from_millis(1));
+        hub.record_error("C", SimTime::from_millis(2));
+        let m = hub.drain_window("C", 0.0).unwrap();
+        assert_eq!(m.error_rate, 1.0);
+        assert_eq!(m.throughput, 0.0);
     }
 
     #[test]
@@ -136,6 +343,18 @@ mod tests {
         let warnings = hub.lint_warnings();
         assert_eq!(warnings.len(), 2);
         assert!(warnings[0].contains("OPRC010"));
+        assert_eq!(hub.lint_dropped(), 0);
+    }
+
+    #[test]
+    fn lint_warnings_are_bounded_drop_oldest() {
+        let hub = MetricsHub::with_lint_capacity(3);
+        for i in 0..5 {
+            hub.record_lint_warning(format!("w{i}"));
+        }
+        let warnings = hub.lint_warnings();
+        assert_eq!(warnings, vec!["w2", "w3", "w4"]);
+        assert_eq!(hub.lint_dropped(), 2);
     }
 
     #[test]
@@ -165,5 +384,50 @@ mod tests {
         // One event over the 1ms minimum span → finite, large number.
         assert!(m.throughput > 0.0);
         assert!(m.throughput.is_finite());
+    }
+
+    #[test]
+    fn class_summaries_survive_window_drain() {
+        let hub = MetricsHub::new();
+        for i in 0..10u64 {
+            hub.record_completion(
+                "C",
+                SimTime::from_millis(i * 100),
+                SimDuration::from_millis(4),
+            );
+        }
+        hub.record_error("C", SimTime::from_secs(1));
+        hub.drain_window("C", 0.5);
+        let summaries = hub.class_summaries();
+        assert_eq!(summaries.len(), 1);
+        let s = &summaries[0];
+        assert_eq!(s.class, "C");
+        assert_eq!(s.completed, 10);
+        assert_eq!(s.errors, 1);
+        assert!((s.error_rate - 1.0 / 11.0).abs() < 1e-9);
+        assert!(s.p50_ms >= 4.0);
+        assert!(s.throughput > 0.0);
+    }
+
+    #[test]
+    fn function_summaries_track_per_function_outcomes() {
+        let hub = MetricsHub::new();
+        hub.record_function("C", "f", SimTime::ZERO, SimDuration::from_millis(3), true);
+        hub.record_function(
+            "C",
+            "f",
+            SimTime::from_millis(1),
+            SimDuration::from_millis(5),
+            true,
+        );
+        hub.record_function("C", "g", SimTime::from_millis(2), SimDuration::ZERO, false);
+        let summaries = hub.function_summaries();
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].function, "f");
+        assert_eq!(summaries[0].completed, 2);
+        assert!(summaries[0].p99_ms >= 5.0 * 0.9);
+        assert_eq!(summaries[1].function, "g");
+        assert_eq!(summaries[1].errors, 1);
+        assert_eq!(summaries[1].completed, 0);
     }
 }

@@ -162,6 +162,38 @@ mod tests {
     }
 
     #[test]
+    fn topology_change_shifts_local_remote_mix() {
+        let mut d = dht(2);
+        let mut r = ObjectRouter::new(true);
+        let instances: Vec<u64> = vec![0, 1];
+        let count = |r: &mut ObjectRouter, d: &Dht| {
+            let (mut local, mut remote) = (0u64, 0u64);
+            for i in 0..64 {
+                match r.route(ObjectId(i), d, &instances).unwrap().kind {
+                    RouteKind::Local => local += 1,
+                    RouteKind::Remote { .. } => remote += 1,
+                }
+            }
+            (local, remote)
+        };
+        // All partitions owned by live instances → every route is local.
+        assert_eq!(count(&mut r, &d), (64, 0));
+        // Two DHT members join (e.g. a storage scale-out) without
+        // matching runtime instances: partitions they take over can only
+        // be reached remotely.
+        d.join(DhtNodeId(4));
+        d.join(DhtNodeId(5));
+        let (local, remote) = count(&mut r, &d);
+        assert!(remote > 0, "rebalanced partitions must route remote");
+        assert!(local > 0, "instances keep some partitions");
+        assert_eq!(local + remote, 64);
+        // They leave again: ownership rebalances back, all local.
+        d.leave(DhtNodeId(4));
+        d.leave(DhtNodeId(5));
+        assert_eq!(count(&mut r, &d), (64, 0));
+    }
+
+    #[test]
     fn empty_instances_none() {
         let d = dht(2);
         let mut r = ObjectRouter::new(true);

@@ -32,6 +32,7 @@ use oprc_faas::{EngineConfig, EngineKind, EngineModel, FunctionSpec};
 use oprc_simcore::metrics::{Histogram, ThroughputMeter};
 use oprc_simcore::{Dist, Scheduler, SimDuration, SimRng, SimTime, SimWorld, Simulation};
 use oprc_store::{PersistentDb, PersistentDbConfig, WriteBehindBuffer, WriteBehindConfig};
+use oprc_telemetry::TraceSink;
 use oprc_value::{vjson, Value};
 
 /// The four systems of Fig. 3.
@@ -154,6 +155,10 @@ pub struct ExperimentConfig {
     pub measure: SimDuration,
     /// RNG seed.
     pub seed: u64,
+    /// Trace sink observing the run's engine (disabled by default).
+    /// Use an [`oprc_telemetry::ClockMode::External`] sink: the DES
+    /// clock is already deterministic virtual time.
+    pub telemetry: TraceSink,
 }
 
 impl ExperimentConfig {
@@ -192,6 +197,7 @@ impl ExperimentConfig {
             warmup: SimDuration::from_secs(10),
             measure: SimDuration::from_secs(20),
             seed: 42,
+            telemetry: TraceSink::disabled(),
         }
     }
 }
@@ -311,6 +317,7 @@ impl World {
             .container_concurrency(1)
             .max_scale(scheduled);
         let mut engine = EngineModel::new(cfg.variant.engine_kind(), cfg.engine.clone(), spec);
+        engine.set_telemetry(cfg.telemetry.clone());
         engine.set_capacity_limit(scheduled);
         match cfg.variant.engine_kind() {
             EngineKind::PlainDeployment => {
@@ -799,6 +806,42 @@ mod tests {
             without.throughput
         );
         assert!(with.p50_ms < without.p50_ms);
+    }
+
+    #[test]
+    fn traced_run_records_engine_spans_on_the_virtual_clock() {
+        use oprc_telemetry::{ClockMode, TelemetryConfig, TelemetryLevel};
+        let mut cfg = quick(SystemVariant::Knative, 3);
+        // Short run with a ring wide enough to retain the early
+        // scale-up instants alongside every execute span.
+        cfg.warmup = SimDuration::from_secs(2);
+        cfg.measure = SimDuration::from_secs(3);
+        cfg.telemetry = TraceSink::new(TelemetryConfig {
+            level: TelemetryLevel::Spans,
+            clock: ClockMode::External,
+            capacity: 65_536,
+        });
+        let sink = cfg.telemetry.clone();
+        run(cfg);
+        let spans = sink.finished();
+        assert!(!spans.is_empty());
+        let execs: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "engine.execute")
+            .collect();
+        assert!(!execs.is_empty(), "engine spans must be recorded");
+        for s in &execs {
+            // External clock: stamps are virtual SimTime, duration ≥ the
+            // 4ms constant service time.
+            assert!(s.duration_ns() >= 4_000_000, "{s:?}");
+            assert_eq!(s.attrs["function"].as_str(), Some("jsonrand"));
+        }
+        // Knative autoscales from one replica, so scale-up decisions
+        // must appear as instants.
+        assert!(
+            spans.iter().any(|s| s.name == "autoscaler.scale"),
+            "scaling activity must be visible"
+        );
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Span exporters: compact JSONL, Chrome trace arrays, and a text tree.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use oprc_value::{json, Value};
+
+use crate::span::Span;
+
+fn span_value(span: &Span) -> Value {
+    let mut v = Value::object();
+    v.insert("trace", span.trace_id);
+    v.insert("span", span.id);
+    if let Some(parent) = span.parent {
+        v.insert("parent", parent);
+    }
+    v.insert("name", span.name.as_str());
+    v.insert("start_ns", span.start.as_nanos());
+    v.insert("end_ns", span.end.unwrap_or(span.start).as_nanos());
+    if !matches!(&span.attrs, Value::Object(m) if m.is_empty()) {
+        v.insert("attrs", span.attrs.clone());
+    }
+    if !span.events.is_empty() {
+        let events: Vec<Value> = span
+            .events
+            .iter()
+            .map(|e| {
+                let mut ev = Value::object();
+                ev.insert("time_ns", e.time.as_nanos());
+                ev.insert("name", e.name.as_str());
+                if !matches!(&e.attrs, Value::Object(m) if m.is_empty()) {
+                    ev.insert("attrs", e.attrs.clone());
+                }
+                ev
+            })
+            .collect();
+        v.insert("events", events);
+    }
+    v
+}
+
+/// Renders spans as JSONL: one JSON object per line, sorted by span id.
+/// Object keys are `BTreeMap`-ordered, so the output is byte-stable for
+/// a given span set.
+pub fn to_jsonl(spans: &[Span]) -> String {
+    let mut sorted: Vec<&Span> = spans.iter().collect();
+    sorted.sort_by_key(|s| s.id);
+    let mut out = String::new();
+    for span in sorted {
+        out.push_str(&json::to_string(&span_value(span)));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders spans as a Chrome `chrome://tracing` JSON array.
+///
+/// Spans with duration become `"ph":"X"` complete events (`ts`/`dur` in
+/// integer microseconds); zero-duration spans and span events become
+/// `"ph":"i"` instants. The `tid` lane is the trace id, so each
+/// invocation gets its own row in the viewer.
+pub fn to_chrome(spans: &[Span]) -> String {
+    let mut sorted: Vec<&Span> = spans.iter().collect();
+    sorted.sort_by_key(|s| s.id);
+    let mut entries = Vec::new();
+    for span in sorted {
+        let mut e = Value::object();
+        e.insert("name", span.name.as_str());
+        e.insert("cat", "oprc");
+        e.insert("pid", 1u64);
+        e.insert("tid", span.trace_id);
+        e.insert("ts", span.start.as_nanos() / 1_000);
+        let dur = span.duration_ns();
+        if dur == 0 {
+            e.insert("ph", "i");
+            e.insert("s", "t");
+        } else {
+            e.insert("ph", "X");
+            e.insert("dur", dur / 1_000);
+        }
+        if !matches!(&span.attrs, Value::Object(m) if m.is_empty()) {
+            e.insert("args", span.attrs.clone());
+        }
+        entries.push(e);
+        for ev in &span.events {
+            let mut i = Value::object();
+            i.insert("name", ev.name.as_str());
+            i.insert("cat", "oprc");
+            i.insert("pid", 1u64);
+            i.insert("tid", span.trace_id);
+            i.insert("ts", ev.time.as_nanos() / 1_000);
+            i.insert("ph", "i");
+            i.insert("s", "t");
+            if !matches!(&ev.attrs, Value::Object(m) if m.is_empty()) {
+                i.insert("args", ev.attrs.clone());
+            }
+            entries.push(i);
+        }
+    }
+    json::to_string(&Value::from(entries))
+}
+
+/// Renders spans as an indented text tree (for `oprc-ctl trace`).
+/// Roots (and orphans whose parent was evicted) sit at depth 0;
+/// children are ordered by span id.
+pub fn render_tree(spans: &[Span]) -> String {
+    let mut sorted: Vec<&Span> = spans.iter().collect();
+    sorted.sort_by_key(|s| s.id);
+    let present: BTreeMap<u64, &Span> = sorted.iter().map(|s| (s.id, *s)).collect();
+    let mut children: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    let mut roots = Vec::new();
+    for span in &sorted {
+        match span.parent.filter(|p| present.contains_key(p)) {
+            Some(p) => children.entry(p).or_default().push(span.id),
+            None => roots.push(span.id),
+        }
+    }
+    let mut out = String::new();
+    let mut stack: Vec<(u64, usize)> = roots.into_iter().rev().map(|id| (id, 0)).collect();
+    while let Some((id, depth)) = stack.pop() {
+        let span = present[&id];
+        let attrs = if matches!(&span.attrs, Value::Object(m) if m.is_empty()) {
+            String::new()
+        } else {
+            format!(" {}", json::to_string(&span.attrs))
+        };
+        let _ = writeln!(
+            out,
+            "{:indent$}{} #{} [{} .. {}]{}",
+            "",
+            span.name,
+            span.id,
+            span.start,
+            span.end.unwrap_or(span.start),
+            attrs,
+            indent = depth * 2
+        );
+        if let Some(kids) = children.get(&id) {
+            for kid in kids.iter().rev() {
+                stack.push((*kid, depth + 1));
+            }
+        }
+    }
+    out
+}

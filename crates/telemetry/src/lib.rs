@@ -1,0 +1,203 @@
+//! Deterministic tracing for the Oparaca invocation plane.
+//!
+//! §III-B of the paper makes monitoring feedback a first-class part of
+//! the platform: the runtime "connects ... to the monitoring system and
+//! reacts to changes in workload or performance". This crate provides
+//! the span stream that feedback rides on — hierarchical spans with
+//! stable ids, parent links, and typed [`oprc_value::Value`] attributes,
+//! stamped with the virtual [`oprc_simcore::SimTime`] clock so traces
+//! are *deterministic*: the same seed produces byte-identical exports.
+//!
+//! A [`TraceContext`] (trace id + span id) is small and `Copy` so it can
+//! be propagated through `InvocationTask` across the RPC-style offload
+//! boundary into the FaaS engine; child spans recorded on the far side
+//! link back to the caller's span.
+//!
+//! Everything funnels into a [`TraceSink`], a cheaply clonable handle
+//! over a bounded ring of finished spans. When the configured
+//! [`TelemetryLevel`] is `Off` every call is a branch on a `Copy` field
+//! and returns immediately — no locks, no allocation — so tracing is
+//! zero-cost-when-disabled and benches keep it off by default.
+//!
+//! Exporters: Chrome `chrome://tracing` JSON arrays
+//! ([`TraceSink::export_chrome`]) and compact JSONL
+//! ([`TraceSink::export_jsonl`]).
+
+mod export;
+mod sink;
+mod span;
+
+pub use export::{render_tree, to_chrome, to_jsonl};
+pub use sink::{ClockMode, TelemetryConfig, TelemetryLevel, TraceSink};
+pub use span::{Span, SpanEvent, TraceContext};
+
+#[cfg(test)]
+mod tests {
+    use oprc_simcore::SimTime;
+    use oprc_value::{vjson, Value};
+
+    use super::*;
+
+    fn enabled(clock: ClockMode) -> TraceSink {
+        TraceSink::new(TelemetryConfig {
+            level: TelemetryLevel::Spans,
+            clock,
+            capacity: 1024,
+        })
+    }
+
+    #[test]
+    fn ids_are_stable_and_parent_links_hold() {
+        let sink = enabled(ClockMode::External);
+        let root = sink.begin_root("invoke", SimTime::from_millis(1));
+        let child = sink.begin_child(root, "route", SimTime::from_millis(2));
+        sink.end(child, SimTime::from_millis(3));
+        sink.end(root, SimTime::from_millis(4));
+        let spans = sink.finished();
+        assert_eq!(spans.len(), 2);
+        // Ends push in close order: child first.
+        assert_eq!(spans[0].name, "route");
+        assert_eq!(spans[0].id, 2);
+        assert_eq!(spans[0].parent, Some(1));
+        assert_eq!(spans[0].trace_id, 1);
+        assert_eq!(spans[1].name, "invoke");
+        assert_eq!(spans[1].id, 1);
+        assert_eq!(spans[1].parent, None);
+    }
+
+    #[test]
+    fn none_parent_opens_a_new_root() {
+        let sink = enabled(ClockMode::External);
+        let ctx = sink.begin_child(TraceContext::NONE, "engine.execute", SimTime::ZERO);
+        sink.end(ctx, SimTime::from_millis(1));
+        let spans = sink.finished();
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].trace_id, 1);
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        let ctx = sink.begin_root("invoke", SimTime::ZERO);
+        assert!(ctx.is_none());
+        sink.attr(ctx, "k", 1u64);
+        sink.instant("x", Value::object(), SimTime::ZERO);
+        sink.end(ctx, SimTime::from_secs(1));
+        assert!(sink.finished().is_empty());
+        assert!(sink.export_jsonl().is_empty());
+    }
+
+    #[test]
+    fn logical_clock_is_monotonic_and_ignores_wall_time() {
+        let sink = enabled(ClockMode::Logical);
+        let a = sink.begin_root("a", SimTime::from_secs(99));
+        let b = sink.begin_child(a, "b", SimTime::ZERO);
+        sink.end(b, SimTime::ZERO);
+        sink.end(a, SimTime::ZERO);
+        let spans = sink.finished();
+        let (outer, inner) = (&spans[1], &spans[0]);
+        assert_eq!(outer.start, SimTime::from_micros(1));
+        assert_eq!(inner.start, SimTime::from_micros(2));
+        assert_eq!(inner.end, Some(SimTime::from_micros(3)));
+        assert_eq!(outer.end, Some(SimTime::from_micros(4)));
+    }
+
+    #[test]
+    fn end_is_clamped_to_start_in_external_mode() {
+        let sink = enabled(ClockMode::External);
+        let ctx = sink.begin_root("a", SimTime::from_secs(5));
+        sink.end(ctx, SimTime::from_secs(1));
+        assert_eq!(sink.finished()[0].end, Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn ring_is_bounded_with_drop_oldest() {
+        let sink = TraceSink::new(TelemetryConfig {
+            capacity: 3,
+            clock: ClockMode::External,
+            ..TelemetryConfig::default()
+        });
+        for i in 0..5u64 {
+            sink.instant(&format!("e{i}"), Value::object(), SimTime::from_millis(i));
+        }
+        let spans = sink.finished();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(spans[0].name, "e2");
+        assert_eq!(spans[2].name, "e4");
+    }
+
+    #[test]
+    fn attrs_and_events_round_trip_through_jsonl() {
+        let sink = enabled(ClockMode::External);
+        let ctx = sink.begin_root("invoke", SimTime::from_millis(1));
+        sink.attr(ctx, "object", 7u64);
+        sink.attr(ctx, "function", "resize");
+        sink.event(
+            ctx,
+            "retry",
+            vjson!({"attempt": 2}),
+            SimTime::from_millis(2),
+        );
+        sink.end(ctx, SimTime::from_millis(3));
+        let jsonl = sink.export_jsonl();
+        let line = oprc_value::json::parse(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(line["name"].as_str(), Some("invoke"));
+        assert_eq!(line["attrs"]["function"].as_str(), Some("resize"));
+        assert_eq!(line["events"][0]["name"].as_str(), Some("retry"));
+        assert_eq!(line["events"][0]["attrs"]["attempt"].as_u64(), Some(2));
+        assert_eq!(line["start_ns"].as_u64(), Some(1_000_000));
+    }
+
+    #[test]
+    fn identical_call_sequences_export_identically() {
+        let run = || {
+            let sink = enabled(ClockMode::Logical);
+            let root = sink.begin_root("invoke", SimTime::from_secs(42));
+            let child = sink.begin_child(root, "route", SimTime::from_secs(43));
+            sink.attr(child, "kind", "local");
+            sink.end(child, SimTime::from_secs(44));
+            sink.instant("autoscaler.plan", vjson!({"target": 2}), SimTime::ZERO);
+            sink.end(root, SimTime::from_secs(45));
+            (sink.export_jsonl(), sink.export_chrome())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn chrome_export_is_a_valid_event_array() {
+        let sink = enabled(ClockMode::External);
+        let root = sink.begin_root("invoke", SimTime::from_millis(1));
+        sink.end(root, SimTime::from_millis(5));
+        sink.instant("wb.flush", vjson!({"records": 3}), SimTime::from_millis(6));
+        let doc = oprc_value::json::parse(&sink.export_chrome()).unwrap();
+        let events = doc.as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0]["ph"].as_str(), Some("X"));
+        assert_eq!(events[0]["ts"].as_u64(), Some(1_000));
+        assert_eq!(events[0]["dur"].as_u64(), Some(4_000));
+        assert_eq!(events[1]["ph"].as_str(), Some("i"));
+        assert_eq!(events[1]["args"]["records"].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn render_tree_indents_children() {
+        let sink = enabled(ClockMode::External);
+        let root = sink.begin_root("invoke", SimTime::ZERO);
+        let child = sink.begin_child(root, "route", SimTime::ZERO);
+        sink.end(child, SimTime::ZERO);
+        sink.end(root, SimTime::ZERO);
+        let tree = render_tree(&sink.finished());
+        let lines: Vec<&str> = tree.lines().collect();
+        assert!(lines[0].starts_with("invoke #1"));
+        assert!(lines[1].starts_with("  route #2"));
+    }
+
+    #[test]
+    fn verbose_gate() {
+        assert!(TraceSink::new(TelemetryConfig::verbose()).is_verbose());
+        assert!(!TraceSink::new(TelemetryConfig::default()).is_verbose());
+        assert!(!TraceSink::disabled().is_verbose());
+    }
+}

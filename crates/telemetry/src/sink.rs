@@ -1,0 +1,351 @@
+//! The trace sink: span lifecycle, bounded retention, virtual clocks.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use oprc_simcore::SimTime;
+use oprc_value::Value;
+
+use crate::export;
+use crate::span::{Span, SpanEvent, TraceContext};
+
+/// How much the sink records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TelemetryLevel {
+    /// Record nothing; every sink call is a cheap early return.
+    Off,
+    /// Record invocation-plane spans and platform events (default).
+    Spans,
+    /// Additionally record per-operation store spans (`kv.get`/`kv.put`).
+    Verbose,
+}
+
+/// Where span timestamps come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Trust the `SimTime` supplied by the caller (discrete-event
+    /// simulations, which already run on a deterministic virtual clock).
+    External,
+    /// Ignore supplied times; stamp each call from a logical counter
+    /// that advances 1µs per stamp. This makes traces from the
+    /// wall-clock embedded platform deterministic: the same call
+    /// sequence yields byte-identical exports.
+    Logical,
+}
+
+/// Sink configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryConfig {
+    /// Recording level; `Off` disables the sink entirely.
+    pub level: TelemetryLevel,
+    /// Timestamp source.
+    pub clock: ClockMode,
+    /// Finished-span ring capacity (drop-oldest beyond this).
+    pub capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            level: TelemetryLevel::Spans,
+            clock: ClockMode::Logical,
+            capacity: 1024,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// A disabled configuration (zero-cost sink).
+    pub fn disabled() -> Self {
+        TelemetryConfig {
+            level: TelemetryLevel::Off,
+            ..TelemetryConfig::default()
+        }
+    }
+
+    /// Default config at [`TelemetryLevel::Verbose`].
+    pub fn verbose() -> Self {
+        TelemetryConfig {
+            level: TelemetryLevel::Verbose,
+            ..TelemetryConfig::default()
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SinkInner {
+    next_trace: u64,
+    next_span: u64,
+    active: BTreeMap<u64, Span>,
+    finished: VecDeque<Span>,
+    capacity: usize,
+    dropped: u64,
+    clock: ClockMode,
+    logical_ns: u64,
+}
+
+impl SinkInner {
+    /// Resolves the timestamp for this call per the clock mode.
+    fn stamp(&mut self, supplied: SimTime) -> SimTime {
+        match self.clock {
+            ClockMode::External => supplied,
+            ClockMode::Logical => {
+                self.logical_ns += 1_000;
+                SimTime::from_nanos(self.logical_ns)
+            }
+        }
+    }
+
+    fn finish(&mut self, span: Span) {
+        if self.finished.len() >= self.capacity {
+            self.finished.pop_front();
+            self.dropped += 1;
+        }
+        self.finished.push_back(span);
+    }
+}
+
+/// Cheaply clonable handle collecting spans into a shared bounded ring.
+///
+/// All mutating calls are no-ops when the level is
+/// [`TelemetryLevel::Off`] — the gate is a `Copy` field checked before
+/// any lock is taken.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    level: TelemetryLevel,
+    inner: Arc<Mutex<SinkInner>>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::disabled()
+    }
+}
+
+impl TraceSink {
+    /// Creates a sink with the given configuration.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        TraceSink {
+            level: cfg.level,
+            inner: Arc::new(Mutex::new(SinkInner {
+                next_trace: 1,
+                next_span: 1,
+                active: BTreeMap::new(),
+                finished: VecDeque::new(),
+                capacity: cfg.capacity.max(1),
+                dropped: 0,
+                clock: cfg.clock,
+                logical_ns: 0,
+            })),
+        }
+    }
+
+    /// A zero-cost disabled sink.
+    pub fn disabled() -> Self {
+        TraceSink::new(TelemetryConfig::disabled())
+    }
+
+    /// True unless the level is `Off`. Call sites use this to skip
+    /// attribute construction entirely when tracing is disabled.
+    pub fn is_enabled(&self) -> bool {
+        self.level != TelemetryLevel::Off
+    }
+
+    /// True when per-operation store spans should be recorded.
+    pub fn is_verbose(&self) -> bool {
+        self.level >= TelemetryLevel::Verbose
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> TelemetryLevel {
+        self.level
+    }
+
+    /// Opens a new root span in a fresh trace.
+    pub fn begin_root(&self, name: &str, now: SimTime) -> TraceContext {
+        if !self.is_enabled() {
+            return TraceContext::NONE;
+        }
+        let mut inner = self.inner.lock();
+        let start = inner.stamp(now);
+        let trace_id = inner.next_trace;
+        inner.next_trace += 1;
+        self.open(&mut inner, trace_id, None, name, start)
+    }
+
+    /// Opens a child span under `parent`. A [`TraceContext::NONE`]
+    /// parent opens a new root instead.
+    pub fn begin_child(&self, parent: TraceContext, name: &str, now: SimTime) -> TraceContext {
+        if !self.is_enabled() {
+            return TraceContext::NONE;
+        }
+        if parent.is_none() {
+            return self.begin_root(name, now);
+        }
+        let mut inner = self.inner.lock();
+        let start = inner.stamp(now);
+        self.open(
+            &mut inner,
+            parent.trace_id,
+            Some(parent.span_id),
+            name,
+            start,
+        )
+    }
+
+    fn open(
+        &self,
+        inner: &mut SinkInner,
+        trace_id: u64,
+        parent: Option<u64>,
+        name: &str,
+        start: SimTime,
+    ) -> TraceContext {
+        let id = inner.next_span;
+        inner.next_span += 1;
+        inner.active.insert(
+            id,
+            Span {
+                id,
+                trace_id,
+                parent,
+                name: name.to_string(),
+                start,
+                end: None,
+                attrs: Value::object(),
+                events: Vec::new(),
+            },
+        );
+        TraceContext {
+            trace_id,
+            span_id: id,
+        }
+    }
+
+    /// Closes the span `ctx` points at. Unknown or null contexts are
+    /// ignored. The end instant is clamped to be ≥ the span's start.
+    pub fn end(&self, ctx: TraceContext, now: SimTime) {
+        if !self.is_enabled() || ctx.is_none() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let end = inner.stamp(now);
+        if let Some(mut span) = inner.active.remove(&ctx.span_id) {
+            span.end = Some(end.max(span.start));
+            inner.finish(span);
+        }
+    }
+
+    /// Sets an attribute on the (still open) span `ctx` points at.
+    pub fn attr(&self, ctx: TraceContext, key: &str, value: impl Into<Value>) {
+        if !self.is_enabled() || ctx.is_none() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(span) = inner.active.get_mut(&ctx.span_id) {
+            span.attrs.insert(key, value.into());
+        }
+    }
+
+    /// Records a point-in-time event under the open span `ctx` points
+    /// at. No-op for closed or unknown spans.
+    pub fn event(&self, ctx: TraceContext, name: &str, attrs: Value, now: SimTime) {
+        if !self.is_enabled() || ctx.is_none() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let time = inner.stamp(now);
+        if let Some(span) = inner.active.get_mut(&ctx.span_id) {
+            span.events.push(SpanEvent {
+                time,
+                name: name.to_string(),
+                attrs,
+            });
+        }
+    }
+
+    /// Records a platform-level instant (a zero-duration span with
+    /// trace id 0): autoscaler decisions, write-behind flushes, engine
+    /// rejections — events not tied to any single invocation.
+    pub fn instant(&self, name: &str, attrs: Value, now: SimTime) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let t = inner.stamp(now);
+        let id = inner.next_span;
+        inner.next_span += 1;
+        inner.finish(Span {
+            id,
+            trace_id: 0,
+            parent: None,
+            name: name.to_string(),
+            start: t,
+            end: Some(t),
+            attrs,
+            events: Vec::new(),
+        });
+    }
+
+    /// Like [`TraceSink::instant`], but parented: the zero-duration span
+    /// joins `parent`'s trace as its child (store operations, per-step
+    /// probes). A null parent degrades to a plain platform instant.
+    pub fn instant_under(&self, parent: TraceContext, name: &str, attrs: Value, now: SimTime) {
+        if !self.is_enabled() {
+            return;
+        }
+        let (trace_id, parent_id) = if parent.is_none() {
+            (0, None)
+        } else {
+            (parent.trace_id, Some(parent.span_id))
+        };
+        let mut inner = self.inner.lock();
+        let t = inner.stamp(now);
+        let id = inner.next_span;
+        inner.next_span += 1;
+        inner.finish(Span {
+            id,
+            trace_id,
+            parent: parent_id,
+            name: name.to_string(),
+            start: t,
+            end: Some(t),
+            attrs,
+            events: Vec::new(),
+        });
+    }
+
+    /// All finished spans, oldest first (bounded by the ring capacity).
+    pub fn finished(&self) -> Vec<Span> {
+        self.inner.lock().finished.iter().cloned().collect()
+    }
+
+    /// Count of finished spans evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Clears retained spans (ids keep advancing; determinism within a
+    /// run is unaffected).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.active.clear();
+        inner.finished.clear();
+        inner.dropped = 0;
+    }
+
+    /// Exports finished spans as compact JSONL (one span per line,
+    /// sorted by span id).
+    pub fn export_jsonl(&self) -> String {
+        export::to_jsonl(&self.finished())
+    }
+
+    /// Exports finished spans in the Chrome `chrome://tracing` JSON
+    /// array format.
+    pub fn export_chrome(&self) -> String {
+        export::to_chrome(&self.finished())
+    }
+}

@@ -1,0 +1,72 @@
+//! Span model: contexts, spans, and point-in-time events.
+
+use oprc_simcore::SimTime;
+use oprc_value::Value;
+
+/// A propagatable reference to a span: `(trace_id, span_id)`.
+///
+/// Small and `Copy` so it can ride inside an `InvocationTask` across
+/// the platform → engine offload boundary. [`TraceContext::NONE`] is
+/// the null context (real ids start at 1); beginning a child under it
+/// produces a new root instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Id of the trace (one per root invocation).
+    pub trace_id: u64,
+    /// Id of the span this context points at.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// The null context: no trace, no parent.
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        span_id: 0,
+    };
+
+    /// True for [`TraceContext::NONE`].
+    pub fn is_none(self) -> bool {
+        self.span_id == 0
+    }
+}
+
+/// A point-in-time annotation attached to a span (e.g. an autoscaler
+/// decision or a write-behind flush).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Event name, dot-namespaced like span names.
+    pub name: String,
+    /// Typed attributes (an object `Value`, possibly empty).
+    pub attrs: Value,
+}
+
+/// One finished (or in-flight) span of the trace tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Stable id, assigned sequentially per sink starting at 1.
+    pub id: u64,
+    /// Trace this span belongs to (0 for platform-level instants).
+    pub trace_id: u64,
+    /// Parent span id, `None` for roots.
+    pub parent: Option<u64>,
+    /// Dot-namespaced name, e.g. `invoke`, `dataflow.stage`.
+    pub name: String,
+    /// Start instant on the virtual clock.
+    pub start: SimTime,
+    /// End instant; `None` while the span is still open.
+    pub end: Option<SimTime>,
+    /// Typed attributes (an object `Value`).
+    pub attrs: Value,
+    /// Point-in-time events recorded under this span.
+    pub events: Vec<SpanEvent>,
+}
+
+impl Span {
+    /// Duration in nanoseconds (0 while open or for instants).
+    pub fn duration_ns(&self) -> u64 {
+        self.end
+            .map_or(0, |e| e.as_nanos().saturating_sub(self.start.as_nanos()))
+    }
+}
