@@ -15,4 +15,7 @@ cargo test -q
 echo "==> telemetry smoke (image workload under tracing -> Chrome export)"
 cargo run -q -p oprc-bench --bin trace_smoke -- target/trace_image.json
 
+echo "==> chaos smoke (seeded fault injection over the image pipeline)"
+cargo run -q -p oprc-bench --bin chaos_smoke -- target/trace_chaos.json
+
 echo "==> CI green"

@@ -1,0 +1,166 @@
+//! Chaos smoke test: a fixed-seed fault-injection run over the image
+//! pipeline, gating CI on the retry layer's recovery rate and on the
+//! chaos trace shape.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p oprc-bench --bin chaos_smoke [-- <output-path>]
+//! ```
+//!
+//! Installs the Listing-1 image functions, deploys a chaos overlay
+//! class (`ChaosImage`: same images and `pipeline` dataflow, plus an
+//! `availability: 0.99` NFR so the retry layer arms with 3 attempts),
+//! and drives the pipeline repeatedly under a seeded probabilistic
+//! fault plan. Asserts:
+//!
+//! - most invocations still succeed (success-after-retry rate),
+//! - retries and injected faults actually happened (metrics),
+//! - the Chrome export contains `chaos.fault` / `retry.backoff` events,
+//! - a second run with the same seed is byte-identical (JSONL export).
+//!
+//! Exits non-zero on any violation so `ci.sh` can gate on it.
+
+use oprc_chaos::FaultPlan;
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_telemetry::TelemetryConfig;
+use oprc_value::{json, vjson};
+use oprc_workloads::image::{generate_image, install};
+
+const SEED: u64 = 42;
+const RUNS: usize = 24;
+
+/// The image pipeline under a chaos-specific class name. The paper's
+/// `multimedia` package stays pristine; this overlay reuses its
+/// function images and adds the availability tier that arms retries.
+const CHAOS_PACKAGE: &str = "
+name: chaosmedia
+classes:
+  - name: ChaosImage
+    qos:
+      availability: 0.99
+    constraint:
+      persistent: true
+    keySpecs:
+      - name: image
+        type: file
+    functions:
+      - name: resize
+        image: img/resize
+      - name: detectObject
+        image: img/detect-object
+    dataflows:
+      - name: pipeline
+        output: label
+        steps:
+          - id: shrink
+            function: resize
+            inputs: [input]
+          - id: label
+            function: detectObject
+            inputs: [\"step:shrink\"]
+";
+
+/// One full chaos run. Returns the deterministic JSONL export, the
+/// Chrome export, the success count, and (retries, faults) totals.
+fn run() -> (String, String, usize, u64, u64) {
+    let mut p = EmbeddedPlatform::new();
+    p.enable_telemetry(TelemetryConfig::default());
+    install(&mut p).expect("image package deploys");
+    p.deploy_yaml(CHAOS_PACKAGE).expect("chaos overlay deploys");
+    p.enable_chaos(FaultPlan::new(SEED).rate_all(0.15).latency_share(0.3));
+
+    let mut ok = 0_usize;
+    for _ in 0..RUNS {
+        let id = p.create_object("ChaosImage", vjson!({})).expect("creates");
+        let url = p.upload_url(id, "image").expect("presigns");
+        p.upload(&url, generate_image(64, 32, 3), "image/raw")
+            .expect("uploads");
+        // Faults may exhaust the 3-attempt budget; that is the point of
+        // the recovery-rate assertion below.
+        if let Ok(out) = p.invoke(id, "pipeline", vec![vjson!({"width": 16, "height": 8})]) {
+            assert_eq!(out.output["objects"].as_i64(), Some(3), "detector output");
+            ok += 1;
+        }
+    }
+
+    let retries: u64 = p
+        .metrics()
+        .function_summaries()
+        .iter()
+        .map(|f| f.retries)
+        .sum();
+    let faults: u64 = p.metrics().fault_totals().iter().map(|(_, n)| n).sum();
+    let jsonl = p.telemetry().export_jsonl();
+    let chrome = p.telemetry().export_chrome();
+    (jsonl, chrome, ok, retries, faults)
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/trace_chaos.json".to_string());
+
+    let (jsonl, chrome, ok, retries, faults) = run();
+    std::fs::write(&path, &chrome).expect("writes trace");
+
+    let mut failures = Vec::new();
+
+    // Success-after-retry rate: the seeded plan injects enough faults
+    // to exercise retries, but the budget must absorb most of them.
+    if ok * 3 < RUNS * 2 {
+        failures.push(format!(
+            "only {ok}/{RUNS} pipeline runs succeeded under chaos"
+        ));
+    }
+    if ok == RUNS {
+        failures.push("no pipeline run failed — the fault plan is not biting".into());
+    }
+    if retries == 0 {
+        failures.push("metrics show zero retries under a faulting plan".into());
+    }
+    if faults == 0 {
+        failures.push("metrics show zero injected faults".into());
+    }
+
+    // Trace shape: chaos instants and retry backoffs must be visible in
+    // the Chrome export alongside the ordinary invocation spans.
+    let doc = json::parse(&chrome).expect("chrome export parses");
+    let events = doc.as_array().expect("chrome export is an array");
+    let count = |name: &str| {
+        events
+            .iter()
+            .filter(|e| e["name"].as_str() == Some(name))
+            .count()
+    };
+    for name in [
+        "chaos.fault",
+        "retry.backoff",
+        "invoke",
+        "engine.execute",
+        "state.commit",
+    ] {
+        if count(name) == 0 {
+            failures.push(format!("no '{name}' events in the trace"));
+        }
+    }
+
+    // Reproducibility: the same seed replays byte-identically.
+    let (jsonl2, _, ok2, _, _) = run();
+    if jsonl != jsonl2 || ok != ok2 {
+        failures.push("same-seed rerun diverged from the first run".into());
+    }
+
+    if failures.is_empty() {
+        println!(
+            "chaos_smoke: ok — {ok}/{RUNS} succeeded, {retries} retries, \
+             {faults} faults, {} events exported to {path}",
+            events.len()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("chaos_smoke: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+}

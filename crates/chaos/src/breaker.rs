@@ -1,0 +1,117 @@
+//! Per-function circuit breaker on the virtual clock.
+
+use oprc_simcore::{SimDuration, SimTime};
+
+use crate::retry::RetryPolicy;
+
+/// Breaker state machine position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; consecutive failures are counted.
+    Closed,
+    /// Calls are rejected until the cooldown elapses.
+    Open,
+    /// One probe call is admitted; its outcome decides the next state.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The stable wire/metrics name of the state.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// A circuit breaker guarding one function, clocked by virtual time.
+///
+/// Opens after `threshold` consecutive failed invocations (counting the
+/// invocation as a whole, not individual attempts), rejects calls for
+/// `cooldown`, then admits a half-open probe. A zero threshold disables
+/// the breaker entirely — every call is allowed.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: SimDuration,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: SimTime,
+}
+
+impl CircuitBreaker {
+    /// A breaker opening after `threshold` consecutive failures.
+    pub fn new(threshold: u32, cooldown: SimDuration) -> Self {
+        CircuitBreaker {
+            threshold,
+            cooldown,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: SimTime::ZERO,
+        }
+    }
+
+    /// The breaker a retry policy arms.
+    pub fn from_policy(policy: &RetryPolicy) -> Self {
+        CircuitBreaker::new(policy.breaker_threshold, policy.breaker_cooldown)
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// True when the breaker can ever trip.
+    pub fn is_enabled(&self) -> bool {
+        self.threshold > 0
+    }
+
+    /// Gate for a new invocation at virtual time `now`. An open breaker
+    /// whose cooldown has elapsed moves to half-open and admits the
+    /// probe.
+    pub fn allow(&mut self, now: SimTime) -> bool {
+        if self.threshold == 0 {
+            return true;
+        }
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now >= self.opened_at + self.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful invocation: closes the breaker.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records a failed invocation at virtual time `now`.
+    pub fn on_failure(&mut self, now: SimTime) {
+        if self.threshold == 0 {
+            return;
+        }
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.opened_at = now;
+            }
+            BreakerState::Closed => {
+                if self.consecutive_failures >= self.threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = now;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+}

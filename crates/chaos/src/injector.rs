@@ -1,0 +1,141 @@
+//! The fault injector: a shared, clonable decision point.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use oprc_simcore::SimRng;
+
+use crate::plan::{FaultKind, FaultPlan, InjectionSite, ScriptedFault};
+
+#[derive(Debug)]
+struct Inner {
+    plan: FaultPlan,
+    rngs: BTreeMap<InjectionSite, SimRng>,
+    calls: BTreeMap<InjectionSite, u64>,
+    injected: BTreeMap<InjectionSite, u64>,
+    pending: Vec<ScriptedFault>,
+}
+
+/// Decides, call by call, whether a fault fires at each injection site.
+///
+/// Cheaply clonable — all clones share one counter/RNG state, so a
+/// platform and its engines consult the same deterministic schedule.
+/// Each site draws from its own RNG stream (split from the plan seed in
+/// [`InjectionSite::ALL`] order), so adding calls at one site never
+/// perturbs the schedule seen at another. A disabled injector answers
+/// without taking the lock.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    enabled: bool,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::disabled()
+    }
+}
+
+impl FaultInjector {
+    /// An injector that never fires (zero-cost: no lock taken).
+    pub fn disabled() -> Self {
+        FaultInjector {
+            enabled: false,
+            inner: Arc::new(Mutex::new(Inner {
+                plan: FaultPlan::new(0),
+                rngs: BTreeMap::new(),
+                calls: BTreeMap::new(),
+                injected: BTreeMap::new(),
+                pending: Vec::new(),
+            })),
+        }
+    }
+
+    /// Builds an injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let mut root = SimRng::seed_from_u64(plan.seed);
+        let rngs = InjectionSite::ALL
+            .into_iter()
+            .map(|site| (site, root.split()))
+            .collect();
+        let pending = plan.scripted.clone();
+        FaultInjector {
+            enabled: true,
+            inner: Arc::new(Mutex::new(Inner {
+                plan,
+                rngs,
+                calls: BTreeMap::new(),
+                injected: BTreeMap::new(),
+                pending,
+            })),
+        }
+    }
+
+    /// True when this injector can fire faults.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The plan's root seed (0 for a disabled injector).
+    pub fn seed(&self) -> u64 {
+        self.inner.lock().plan.seed
+    }
+
+    /// Consulted once per operation at `site`: advances that site's call
+    /// counter and returns the fault to inject, if any. Scripted faults
+    /// matching the current call index win over probabilistic draws.
+    pub fn decide(&self, site: InjectionSite) -> Option<FaultKind> {
+        if !self.enabled {
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        let n = *inner.calls.get(&site).unwrap_or(&0);
+        *inner.calls.entry(site).or_insert(0) += 1;
+        if let Some(pos) = inner
+            .pending
+            .iter()
+            .position(|f| f.site == site && f.nth == n)
+        {
+            let fault = inner.pending.remove(pos);
+            *inner.injected.entry(site).or_insert(0) += 1;
+            return Some(fault.kind);
+        }
+        let rate = inner.plan.rates.get(&site).copied().unwrap_or(0.0);
+        if rate <= 0.0 {
+            return None;
+        }
+        let share = inner.plan.latency_share;
+        let latency = inner.plan.latency;
+        let rng = inner.rngs.get_mut(&site)?;
+        if !rng.chance(rate) {
+            return None;
+        }
+        let kind = if share > 0.0 && rng.chance(share) {
+            FaultKind::Latency(latency)
+        } else {
+            FaultKind::Error
+        };
+        *inner.injected.entry(site).or_insert(0) += 1;
+        Some(kind)
+    }
+
+    /// Scripts `kind` to fire at the *next* call to `site` (relative to
+    /// calls already made). Lets tests arm a fault mid-run.
+    pub fn script_next(&self, site: InjectionSite, kind: FaultKind) {
+        let mut inner = self.inner.lock();
+        let nth = *inner.calls.get(&site).unwrap_or(&0);
+        inner.pending.push(ScriptedFault { site, nth, kind });
+    }
+
+    /// Calls observed so far, per site.
+    pub fn calls(&self) -> BTreeMap<InjectionSite, u64> {
+        self.inner.lock().calls.clone()
+    }
+
+    /// Faults actually injected so far, per site.
+    pub fn injected_totals(&self) -> BTreeMap<InjectionSite, u64> {
+        self.inner.lock().injected.clone()
+    }
+}

@@ -1,0 +1,263 @@
+//! Deterministic fault injection and NFR-driven retry for Oparaca.
+//!
+//! The paper's pure-function task offloading (§III-C) bundles object
+//! state and request into a standalone `InvocationTask`, which makes a
+//! failed engine call safely *re-shippable*: the same task can be sent
+//! again without rebuilding it, and because the function is pure the
+//! result is the same. This crate supplies the two halves the platform
+//! needs to exploit that:
+//!
+//! - **Faults in**: a [`FaultPlan`] describes per-site probabilistic or
+//!   scripted faults ([`InjectionSite`], [`FaultKind`]); a
+//!   [`FaultInjector`] executes it deterministically — one RNG stream
+//!   per site, split from a single seed, so the same seed reproduces
+//!   the exact fault schedule call-for-call.
+//! - **Robustness out**: a [`RetryPolicy`] (attempts, exponential
+//!   backoff with seeded jitter via [`BackoffSeq`], per-invocation
+//!   deadline) resolved from the class NFR availability block, plus a
+//!   per-function [`CircuitBreaker`] on the virtual clock.
+//!
+//! Everything is clocked by [`oprc_simcore::SimTime`] and seeded
+//! [`oprc_simcore::SimRng`] streams: a chaos run is a pure function of
+//! its seed, so conformance tests can assert byte-identical traces.
+
+mod breaker;
+mod injector;
+mod plan;
+mod retry;
+
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use injector::FaultInjector;
+pub use plan::{FaultKind, FaultPlan, InjectionSite, ScriptedFault};
+pub use retry::{BackoffSeq, RetryPolicy};
+
+#[cfg(test)]
+mod tests {
+    use oprc_core::nfr::NfrSpec;
+    use oprc_simcore::{SimDuration, SimTime};
+    use oprc_value::vjson;
+
+    use super::*;
+
+    #[test]
+    fn site_names_round_trip() {
+        for site in InjectionSite::ALL {
+            assert_eq!(InjectionSite::parse(site.as_str()), Some(site));
+        }
+        assert_eq!(InjectionSite::parse("nope"), None);
+    }
+
+    #[test]
+    fn disabled_injector_never_fires_and_counts_nothing() {
+        let inj = FaultInjector::disabled();
+        assert!(!inj.is_enabled());
+        for _ in 0..100 {
+            assert_eq!(inj.decide(InjectionSite::EngineExecute), None);
+        }
+        assert!(inj.calls().is_empty());
+        assert!(inj.injected_totals().is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let schedule = |seed: u64| {
+            let inj = FaultInjector::new(FaultPlan::new(seed).rate_all(0.3));
+            let mut out = Vec::new();
+            for _ in 0..200 {
+                for site in InjectionSite::ALL {
+                    out.push(inj.decide(site));
+                }
+            }
+            out
+        };
+        assert_eq!(schedule(7), schedule(7));
+        assert_ne!(schedule(7), schedule(8));
+    }
+
+    #[test]
+    fn per_site_streams_are_independent() {
+        // Consuming extra draws at one site must not shift another's.
+        let run = |extra: usize| {
+            let inj = FaultInjector::new(FaultPlan::new(11).rate_all(0.5));
+            for _ in 0..extra {
+                inj.decide(InjectionSite::StateLoad);
+            }
+            (0..50)
+                .map(|_| inj.decide(InjectionSite::EngineExecute))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(0), run(17));
+    }
+
+    #[test]
+    fn scripted_fault_fires_at_exact_call_and_wins_over_rng() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(3)
+                .script(InjectionSite::StateCommit, 2, FaultKind::Torn)
+                .rate(InjectionSite::StateCommit, 0.0),
+        );
+        assert_eq!(inj.decide(InjectionSite::StateCommit), None);
+        assert_eq!(inj.decide(InjectionSite::StateCommit), None);
+        assert_eq!(
+            inj.decide(InjectionSite::StateCommit),
+            Some(FaultKind::Torn)
+        );
+        assert_eq!(inj.decide(InjectionSite::StateCommit), None);
+        assert_eq!(inj.injected_totals()[&InjectionSite::StateCommit], 1);
+        assert_eq!(inj.calls()[&InjectionSite::StateCommit], 4);
+    }
+
+    #[test]
+    fn script_next_arms_the_following_call() {
+        let inj = FaultInjector::new(FaultPlan::new(5));
+        inj.decide(InjectionSite::EngineExecute);
+        inj.script_next(InjectionSite::EngineExecute, FaultKind::Error);
+        assert_eq!(
+            inj.decide(InjectionSite::EngineExecute),
+            Some(FaultKind::Error)
+        );
+        assert_eq!(inj.decide(InjectionSite::EngineExecute), None);
+    }
+
+    #[test]
+    fn latency_share_mixes_kinds_deterministically() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(13)
+                .rate(InjectionSite::OffloadRpc, 1.0)
+                .latency(SimDuration::from_millis(7))
+                .latency_share(0.5),
+        );
+        let kinds: Vec<_> = (0..100)
+            .map(|_| inj.decide(InjectionSite::OffloadRpc).unwrap())
+            .collect();
+        let lat = kinds
+            .iter()
+            .filter(|k| matches!(k, FaultKind::Latency(_)))
+            .count();
+        assert!(lat > 20 && lat < 80, "latency share off: {lat}/100");
+        assert!(kinds.contains(&FaultKind::Latency(SimDuration::from_millis(7))));
+        assert!(kinds.contains(&FaultKind::Error));
+    }
+
+    #[test]
+    fn clones_share_the_schedule() {
+        let a = FaultInjector::new(FaultPlan::new(21).rate_all(0.5));
+        let b = a.clone();
+        a.decide(InjectionSite::StateLoad);
+        b.decide(InjectionSite::StateLoad);
+        assert_eq!(a.calls()[&InjectionSite::StateLoad], 2);
+    }
+
+    #[test]
+    fn retry_policy_tiers_from_availability() {
+        let policy =
+            |yaml: &oprc_value::Value| RetryPolicy::from_nfr(&NfrSpec::from_value(yaml).unwrap());
+        assert_eq!(policy(&vjson!({})).max_attempts, 1);
+        assert!(!policy(&vjson!({})).retries());
+        assert_eq!(
+            policy(&vjson!({"qos": {"availability": 0.5}})).max_attempts,
+            1
+        );
+        assert_eq!(
+            policy(&vjson!({"qos": {"availability": 0.9}})).max_attempts,
+            2
+        );
+        assert_eq!(
+            policy(&vjson!({"qos": {"availability": 0.99}})).max_attempts,
+            3
+        );
+        assert_eq!(
+            policy(&vjson!({"qos": {"availability": 0.999}})).max_attempts,
+            5
+        );
+        assert_eq!(
+            policy(&vjson!({"qos": {"availability": 0.9999}})).max_attempts,
+            7
+        );
+    }
+
+    #[test]
+    fn retry_policy_deadline_and_breaker() {
+        let nfr = NfrSpec::from_value(&vjson!({
+            "qos": {"availability": 0.99, "latency": 200},
+        }))
+        .unwrap();
+        let p = RetryPolicy::from_nfr(&nfr);
+        assert_eq!(p.max_attempts, 3);
+        assert_eq!(p.deadline, SimDuration::from_millis(600));
+        assert_eq!(p.breaker_threshold, 5);
+
+        // Latency floor: tiny targets still leave room to retry.
+        let tight = NfrSpec::from_value(&vjson!({
+            "qos": {"availability": 0.9, "latency": 1},
+        }))
+        .unwrap();
+        assert_eq!(
+            RetryPolicy::from_nfr(&tight).deadline,
+            SimDuration::from_millis(200)
+        );
+
+        // No availability → no breaker, 30 s default deadline.
+        let none = RetryPolicy::from_nfr(&NfrSpec::default());
+        assert_eq!(none.breaker_threshold, 0);
+        assert_eq!(none.deadline, SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn backoff_is_monotone_capped_and_reproducible() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            ..RetryPolicy::from_nfr(
+                &NfrSpec::from_value(&vjson!({"qos": {"availability": 0.999}})).unwrap(),
+            )
+        };
+        let seq: Vec<_> = p.backoff_seq(99).take(10).collect();
+        let again: Vec<_> = p.backoff_seq(99).take(10).collect();
+        assert_eq!(seq, again);
+        for w in seq.windows(2) {
+            assert!(w[0] <= w[1], "backoff went backwards: {seq:?}");
+        }
+        for d in &seq {
+            assert!(*d <= p.deadline);
+            assert!(*d >= p.base_backoff);
+        }
+        assert_ne!(
+            p.backoff_seq(1).take(5).collect::<Vec<_>>(),
+            p.backoff_seq(2).take(5).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn breaker_opens_cools_down_and_recovers() {
+        let mut b = CircuitBreaker::new(3, SimDuration::from_secs(10));
+        let t0 = SimTime::ZERO;
+        assert!(b.allow(t0));
+        b.on_failure(t0);
+        b.on_failure(t0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow(t0 + SimDuration::from_secs(5)));
+        // Cooldown elapses: half-open probe admitted.
+        assert!(b.allow(t0 + SimDuration::from_secs(10)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Probe fails: straight back to open.
+        b.on_failure(t0 + SimDuration::from_secs(10));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow(t0 + SimDuration::from_secs(20)));
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(t0 + SimDuration::from_secs(20)));
+    }
+
+    #[test]
+    fn zero_threshold_breaker_is_inert() {
+        let mut b = CircuitBreaker::new(0, SimDuration::from_secs(1));
+        assert!(!b.is_enabled());
+        for _ in 0..100 {
+            b.on_failure(SimTime::ZERO);
+            assert!(b.allow(SimTime::ZERO));
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -1,0 +1,165 @@
+//! Fault plans: what to inject, where, and when.
+
+use std::collections::BTreeMap;
+
+use oprc_simcore::SimDuration;
+
+/// A point in the invocation plane where a fault can be injected.
+///
+/// The five sites cover the full path of a pure-function offload
+/// (§III-C): loading state into the task, presigning storage URLs,
+/// shipping the task across the RPC boundary, executing it on the
+/// engine, and committing the result back to the object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InjectionSite {
+    /// The function-engine execution of an `InvocationTask`.
+    EngineExecute,
+    /// Reading object state while building the task.
+    StateLoad,
+    /// Applying a successful result's patch back to the object.
+    StateCommit,
+    /// Generating presigned URLs for file-typed keys.
+    StoragePresign,
+    /// The offload boundary itself: the task is shipped, but the
+    /// response may be lost or delayed in flight.
+    OffloadRpc,
+}
+
+impl InjectionSite {
+    /// All sites, in deterministic order (used to derive per-site RNG
+    /// streams — adding a site must append, never reorder).
+    pub const ALL: [InjectionSite; 5] = [
+        InjectionSite::EngineExecute,
+        InjectionSite::StateLoad,
+        InjectionSite::StateCommit,
+        InjectionSite::StoragePresign,
+        InjectionSite::OffloadRpc,
+    ];
+
+    /// The stable wire/span name of the site.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            InjectionSite::EngineExecute => "engine.execute",
+            InjectionSite::StateLoad => "state.load",
+            InjectionSite::StateCommit => "state.commit",
+            InjectionSite::StoragePresign => "storage.presign",
+            InjectionSite::OffloadRpc => "offload.rpc",
+        }
+    }
+
+    /// Parses the stable name back to a site.
+    pub fn parse(s: &str) -> Option<InjectionSite> {
+        InjectionSite::ALL.into_iter().find(|x| x.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for InjectionSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The kind of fault that fires at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails outright with an injected error.
+    Error,
+    /// The operation succeeds after an added latency spike.
+    Latency(SimDuration),
+    /// A partial/torn outcome: the operation's *effect* happens but its
+    /// acknowledgement is lost. At `state.commit` this means the patch
+    /// is applied yet failure is reported — the case the idempotency
+    /// key exists for. At other sites it degrades to an error.
+    Torn,
+}
+
+impl FaultKind {
+    /// The stable wire/span name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Error => "error",
+            FaultKind::Latency(_) => "latency",
+            FaultKind::Torn => "torn",
+        }
+    }
+}
+
+/// A fault scheduled for the `nth` call (0-based) at a site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptedFault {
+    /// Where the fault fires.
+    pub site: InjectionSite,
+    /// Which call at that site (0-based count since injector creation).
+    pub nth: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seed-driven fault plan.
+///
+/// Two ingredients: per-site *probabilistic* faults (a Bernoulli draw
+/// per call from a per-site RNG stream derived from `seed`) and
+/// *scripted* faults pinned to exact call indices. Probabilistic faults
+/// are errors, or latency spikes when `latency_share` > 0; torn
+/// responses are only ever scripted — they encode a precise adversarial
+/// schedule, not background noise.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Root seed for every per-site RNG stream.
+    pub seed: u64,
+    /// Per-site fault probability in `[0, 1]` (absent = 0).
+    pub rates: BTreeMap<InjectionSite, f64>,
+    /// Latency added by probabilistic latency faults.
+    pub latency: SimDuration,
+    /// Fraction of probabilistic faults that are latency spikes rather
+    /// than errors, in `[0, 1]`.
+    pub latency_share: f64,
+    /// Faults pinned to exact call indices.
+    pub scripted: Vec<ScriptedFault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults, ready for builder calls.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rates: BTreeMap::new(),
+            latency: SimDuration::from_millis(5),
+            latency_share: 0.0,
+            scripted: Vec::new(),
+        }
+    }
+
+    /// Sets the fault probability at one site.
+    pub fn rate(mut self, site: InjectionSite, p: f64) -> Self {
+        self.rates.insert(site, p.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Sets the same fault probability at every site.
+    pub fn rate_all(mut self, p: f64) -> Self {
+        for site in InjectionSite::ALL {
+            self.rates.insert(site, p.clamp(0.0, 1.0));
+        }
+        self
+    }
+
+    /// Sets the latency added by probabilistic latency faults.
+    pub fn latency(mut self, d: SimDuration) -> Self {
+        self.latency = d;
+        self
+    }
+
+    /// Sets the fraction of probabilistic faults that are latency
+    /// spikes instead of errors.
+    pub fn latency_share(mut self, f: f64) -> Self {
+        self.latency_share = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Scripts a fault at the `nth` call (0-based) to `site`.
+    pub fn script(mut self, site: InjectionSite, nth: u64, kind: FaultKind) -> Self {
+        self.scripted.push(ScriptedFault { site, nth, kind });
+        self
+    }
+}

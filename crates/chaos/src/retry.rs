@@ -1,0 +1,129 @@
+//! Retry policy: attempts, backoff, deadline — resolved from class NFRs.
+
+use oprc_core::nfr::NfrSpec;
+use oprc_simcore::{SimDuration, SimRng};
+
+/// How the platform retries a failed invocation of a class's function.
+///
+/// Resolved once per class at deploy time from the NFR availability
+/// block ([`RetryPolicy::from_nfr`]): the availability tier buys
+/// attempts, the latency target bounds the per-invocation deadline, and
+/// any multi-attempt policy arms a per-function circuit breaker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per invocation (≥ 1; 1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: SimDuration,
+    /// Growth factor between consecutive backoffs.
+    pub multiplier: f64,
+    /// Ceiling on any single backoff (before jitter).
+    pub max_backoff: SimDuration,
+    /// Jitter fraction in `[0, 0.5]`: each backoff is scaled by a
+    /// seeded uniform factor in `[1, 1 + jitter]`.
+    pub jitter: f64,
+    /// Per-invocation deadline: attempts stop once elapsed virtual time
+    /// plus the next backoff would exceed it.
+    pub deadline: SimDuration,
+    /// Consecutive failures that open the circuit breaker (0 = breaker
+    /// disabled).
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects calls before probing again.
+    pub breaker_cooldown: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    /// No NFR declared: a single attempt, no breaker. Backoff shape
+    /// fields keep sane values so a policy can be tweaked field-wise.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: SimDuration::from_millis(10),
+            multiplier: 2.0,
+            max_backoff: SimDuration::from_secs(1),
+            jitter: 0.2,
+            deadline: SimDuration::from_secs(30),
+            breaker_threshold: 0,
+            breaker_cooldown: SimDuration::from_secs(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Resolves the policy a class's NFR block earns.
+    ///
+    /// The availability tier maps to attempts via
+    /// [`oprc_core::nfr::QosSpec::retry_attempts`]; a declared latency
+    /// target bounds the deadline at `max(latency_ms, 100) ×
+    /// max_attempts` (otherwise 30 s); any multi-attempt policy arms the
+    /// breaker (5 consecutive failures, 10 s cooldown).
+    pub fn from_nfr(nfr: &NfrSpec) -> Self {
+        let max_attempts = nfr.qos.retry_attempts();
+        let deadline = match nfr.qos.latency_ms {
+            Some(ms) => SimDuration::from_millis(ms.max(100)) * u64::from(max_attempts),
+            None => SimDuration::from_secs(30),
+        };
+        RetryPolicy {
+            max_attempts,
+            deadline,
+            breaker_threshold: if max_attempts > 1 { 5 } else { 0 },
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// True when the policy actually retries.
+    pub fn retries(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// The deterministic backoff sequence for one invocation.
+    ///
+    /// Seed it with a per-invocation value (e.g. platform jitter seed ⊕
+    /// idempotency key) so concurrent invocations decorrelate while any
+    /// fixed seed reproduces the exact same delays.
+    pub fn backoff_seq(&self, seed: u64) -> BackoffSeq {
+        BackoffSeq {
+            rng: SimRng::seed_from_u64(seed),
+            base: self.base_backoff,
+            multiplier: self.multiplier,
+            cap: self.max_backoff,
+            jitter: self.jitter.clamp(0.0, 0.5),
+            deadline: self.deadline,
+            prev: SimDuration::ZERO,
+            n: 0,
+        }
+    }
+}
+
+/// Infinite iterator of backoff delays: exponential growth, capped,
+/// jittered, and clamped so the sequence is monotone non-decreasing and
+/// never exceeds the policy deadline.
+#[derive(Debug, Clone)]
+pub struct BackoffSeq {
+    rng: SimRng,
+    base: SimDuration,
+    multiplier: f64,
+    cap: SimDuration,
+    jitter: f64,
+    deadline: SimDuration,
+    prev: SimDuration,
+    n: u32,
+}
+
+impl Iterator for BackoffSeq {
+    type Item = SimDuration;
+
+    fn next(&mut self) -> Option<SimDuration> {
+        let raw = self.base * self.multiplier.powi(self.n as i32);
+        self.n = self.n.saturating_add(1);
+        let capped = raw.min(self.cap);
+        // Jitter stretches, never shrinks: [1, 1 + jitter]. With jitter
+        // ≤ 0.5 and multiplier ≥ 2 the pre-cap sequence is monotone by
+        // construction; the max(prev) clamp handles the capped region,
+        // where jitter alone could otherwise go backwards.
+        let jittered = capped * (1.0 + self.jitter * self.rng.f64());
+        let delay = jittered.max(self.prev).min(self.deadline);
+        self.prev = delay;
+        Some(delay)
+    }
+}

@@ -82,6 +82,12 @@ pub struct InvocationTask {
     /// engine-side spans link back to the platform's `invoke` span.
     /// `None` when telemetry is disabled.
     pub trace: Option<TraceContext>,
+    /// Identity of the *logical* invocation this task belongs to, stable
+    /// across retries: every re-ship of a failed attempt carries the same
+    /// key, and the platform commits a given key at most once. This is
+    /// what makes the pure-function task safely re-shippable — a torn
+    /// commit ack cannot double-apply state.
+    pub idempotency_key: u64,
 }
 
 /// Why a task failed.

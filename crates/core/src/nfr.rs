@@ -23,6 +23,25 @@ pub struct QosSpec {
     pub latency_ms: Option<u64>,
 }
 
+impl QosSpec {
+    /// Invocation attempts the availability tier earns (≥ 1).
+    ///
+    /// Higher declared availability buys more platform-side retries of
+    /// the (pure, re-shippable) invocation task: none → 1, ≥ 0.9 → 2,
+    /// ≥ 0.99 → 3, ≥ 0.999 → 5, ≥ 0.9999 → 7. Declaring availability
+    /// below 0.9 earns nothing — the tier exists to make strong
+    /// declarations meaningful, not to reward weak ones.
+    pub fn retry_attempts(&self) -> u32 {
+        match self.availability {
+            Some(a) if a >= 0.9999 => 7,
+            Some(a) if a >= 0.999 => 5,
+            Some(a) if a >= 0.99 => 3,
+            Some(a) if a >= 0.9 => 2,
+            _ => 1,
+        }
+    }
+}
+
 /// Deployment constraints: properties of *where/how* the class runs.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ConstraintSpec {
@@ -200,6 +219,21 @@ mod tests {
         assert_eq!(merged.qos.throughput, Some(500)); // own wins
         assert_eq!(merged.qos.latency_ms, Some(20)); // inherited
         assert_eq!(merged.constraint.persistent, Some(true)); // inherited
+    }
+
+    #[test]
+    fn retry_attempts_tiers() {
+        let qos = |a: Option<f64>| QosSpec {
+            availability: a,
+            ..QosSpec::default()
+        };
+        assert_eq!(qos(None).retry_attempts(), 1);
+        assert_eq!(qos(Some(0.5)).retry_attempts(), 1);
+        assert_eq!(qos(Some(0.9)).retry_attempts(), 2);
+        assert_eq!(qos(Some(0.99)).retry_attempts(), 3);
+        assert_eq!(qos(Some(0.999)).retry_attempts(), 5);
+        assert_eq!(qos(Some(0.9999)).retry_attempts(), 7);
+        assert_eq!(qos(Some(1.0)).retry_attempts(), 7);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The engine model: replicas + autoscaler + dataplane behaviour.
 
+use oprc_chaos::{FaultInjector, FaultKind, InjectionSite};
 use oprc_simcore::{SimDuration, SimTime};
 use oprc_telemetry::{TraceContext, TraceSink};
 use oprc_value::vjson;
@@ -84,6 +85,7 @@ pub struct EngineModel {
     cold_starts: u64,
     rejected: u64,
     telemetry: TraceSink,
+    chaos: FaultInjector,
 }
 
 impl EngineModel {
@@ -101,6 +103,7 @@ impl EngineModel {
             cold_starts: 0,
             rejected: 0,
             telemetry: TraceSink::disabled(),
+            chaos: FaultInjector::disabled(),
         }
     }
 
@@ -108,6 +111,14 @@ impl EngineModel {
     /// scaling/rejection instants flow into it.
     pub fn set_telemetry(&mut self, sink: TraceSink) {
         self.telemetry = sink;
+    }
+
+    /// Attaches a fault injector consulted at the `engine.execute` site:
+    /// error and torn faults reject the request, latency faults stretch
+    /// its service time. Share one injector across engines (it clones
+    /// cheaply) so the whole simulation draws from one schedule.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.chaos = injector;
     }
 
     /// The engine kind.
@@ -198,6 +209,26 @@ impl EngineModel {
         service: SimDuration,
         parent: TraceContext,
     ) -> Option<Completion> {
+        let mut service = service;
+        match self.chaos.decide(InjectionSite::EngineExecute) {
+            None => {}
+            Some(FaultKind::Latency(extra)) => service += extra,
+            Some(kind) => {
+                // Error and torn faults both lose the request at the
+                // engine; the caller observes a rejection either way.
+                self.rejected += 1;
+                self.telemetry.instant(
+                    "chaos.fault",
+                    vjson!({
+                        "site": (InjectionSite::EngineExecute.as_str()),
+                        "kind": (kind.as_str()),
+                        "function": (self.spec.name.as_str()),
+                    }),
+                    now,
+                );
+                return None;
+            }
+        }
         let mut via_activator = false;
         if self.replicas.is_empty() {
             match self.kind {

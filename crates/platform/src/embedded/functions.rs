@@ -72,6 +72,7 @@ mod tests {
             args: vec![vjson!(10)],
             file_urls: BTreeMap::new(),
             trace: None,
+            idempotency_key: 0,
         }
     }
 

@@ -26,6 +26,7 @@ use std::time::Instant;
 use bytes::Bytes;
 
 use oprc_analyzer::{analyze_with, AnalysisReport, LintConfig, Severity};
+use oprc_chaos::{CircuitBreaker, FaultInjector, FaultKind, FaultPlan, InjectionSite, RetryPolicy};
 use oprc_core::dataflow::DataflowSpec;
 use oprc_core::invocation::{InvocationTask, TaskError, TaskResult};
 use oprc_core::object::{FileRef, ObjectId};
@@ -55,6 +56,8 @@ struct ClassRuntime {
     instances: Vec<u64>,
     routed_local: u64,
     routed_remote: u64,
+    /// Retry policy the class's NFR availability block earned at deploy.
+    retry: RetryPolicy,
 }
 
 #[derive(Debug, Clone)]
@@ -87,6 +90,22 @@ pub struct EmbeddedPlatform {
     /// Images that have executed at least once (cold-start attribution
     /// on `engine.execute` spans; tracked only while telemetry is on).
     warmed: BTreeSet<String>,
+    /// Fault injector (disabled unless a chaos plan is enabled).
+    chaos: FaultInjector,
+    /// Seed for per-invocation backoff jitter streams.
+    jitter_seed: u64,
+    /// Per-`class::function` circuit breakers, created lazily for
+    /// functions whose retry policy arms one.
+    breakers: BTreeMap<String, CircuitBreaker>,
+    /// Virtual chaos clock: advanced by backoff sleeps and injected
+    /// latency, never by wall time, so retry/breaker timing is
+    /// deterministic.
+    chaos_clock: SimTime,
+    /// Next idempotency key (one per logical invocation / dataflow step).
+    next_invocation: u64,
+    /// Results committed this top-level invocation, by idempotency key —
+    /// the double-commit guard and torn-ack recovery record.
+    committed: BTreeMap<u64, TaskResult>,
 }
 
 impl Default for EmbeddedPlatform {
@@ -123,6 +142,12 @@ impl EmbeddedPlatform {
             started,
             telemetry: TraceSink::disabled(),
             warmed: BTreeSet::new(),
+            chaos: FaultInjector::disabled(),
+            jitter_seed: 0,
+            breakers: BTreeMap::new(),
+            chaos_clock: SimTime::ZERO,
+            next_invocation: 0,
+            committed: BTreeMap::new(),
         }
     }
 
@@ -143,6 +168,50 @@ impl EmbeddedPlatform {
     /// The active trace sink (disabled by default).
     pub fn telemetry(&self) -> &TraceSink {
         &self.telemetry
+    }
+
+    /// Arms deterministic fault injection with `plan`. The plan seed
+    /// also seeds per-invocation backoff jitter, so a whole chaos run is
+    /// a pure function of the seed.
+    pub fn enable_chaos(&mut self, plan: FaultPlan) {
+        self.jitter_seed = plan.seed;
+        self.chaos = FaultInjector::new(plan);
+    }
+
+    /// Disarms fault injection (retry policies stay active).
+    pub fn disable_chaos(&mut self) {
+        self.chaos = FaultInjector::disabled();
+    }
+
+    /// The active fault injector (shared handle; disabled by default).
+    pub fn chaos(&self) -> &FaultInjector {
+        &self.chaos
+    }
+
+    /// The virtual chaos clock: advanced by backoff sleeps and injected
+    /// latency only, so breaker cooldowns are deterministic.
+    pub fn chaos_clock(&self) -> SimTime {
+        self.chaos_clock
+    }
+
+    /// Manually advances the chaos clock (tests: let a breaker cooldown
+    /// elapse without real time passing).
+    pub fn advance_chaos_clock(&mut self, d: SimDuration) {
+        self.chaos_clock += d;
+    }
+
+    /// The circuit-breaker state of `class::function`: `closed` /
+    /// `open` / `half-open`, or `None` while no breaker has been
+    /// created (policy arms none, or the function was never invoked).
+    pub fn breaker_state(&self, class: &str, function: &str) -> Option<&'static str> {
+        self.breakers
+            .get(&format!("{class}::{function}"))
+            .map(|b| b.state().as_str())
+    }
+
+    /// The retry policy resolved for `class` at deploy time.
+    pub fn retry_policy(&self, class: &str) -> Option<&RetryPolicy> {
+        self.runtimes.get(class).map(|r| &r.retry)
     }
 
     /// The S3 endpoint handle. Function closures may capture a clone —
@@ -227,6 +296,7 @@ impl EmbeddedPlatform {
         self.registry.deploy(pkg)?;
         for name in class_names {
             let resolved = self.registry.require_class(&name)?;
+            let retry = RetryPolicy::from_nfr(&resolved.nfr);
             let spec = deployer::plan_runtime(resolved, &self.catalog)?;
             let has_files = resolved
                 .key_specs
@@ -247,6 +317,7 @@ impl EmbeddedPlatform {
                     instances,
                     routed_local: 0,
                     routed_remote: 0,
+                    retry,
                 },
             );
             if has_files {
@@ -458,6 +529,10 @@ impl EmbeddedPlatform {
         args: Vec<Value>,
     ) -> Result<TaskResult, PlatformError> {
         let started = self.now();
+        // Idempotency keys are globally unique, so the committed record
+        // of a finished invocation can never be consulted again — drop
+        // it to keep memory bounded.
+        self.committed.clear();
         let root = if self.telemetry.is_enabled() {
             let root = self.telemetry.begin_root("invoke", started);
             self.telemetry.attr(root, "object", id.as_u64());
@@ -514,10 +589,281 @@ impl EmbeddedPlatform {
             });
         }
         self.route(&class, id, root);
-        let task = self.build_task(id, &class, &impl_class, function, &fdef.image, args, root)?;
-        let out = self.execute_and_apply(id, &class, task);
+        let policy = self
+            .runtimes
+            .get(&class)
+            .map_or_else(RetryPolicy::default, |r| r.retry.clone());
+        let out = self.invoke_with_retry(
+            id,
+            &class,
+            &impl_class,
+            function,
+            &fdef.image,
+            args,
+            root,
+            &policy,
+        );
         self.record(&class, function, started, &out);
         out
+    }
+
+    /// Runs one function invocation under its retry policy: breaker
+    /// gate, bounded attempts with seeded backoff, per-invocation
+    /// deadline — with exactly-once state commits guaranteed by the
+    /// task's idempotency key.
+    ///
+    /// The task is built once and *re-shipped* across attempts (§III-C:
+    /// pure functions make the bundled task safely re-executable); only
+    /// a failed build is rebuilt, since a build failure commits nothing.
+    // Mirrors build_task's parameter list plus the policy.
+    #[allow(clippy::too_many_arguments)]
+    fn invoke_with_retry(
+        &mut self,
+        id: ObjectId,
+        class: &str,
+        impl_class: &str,
+        function: &str,
+        image: &str,
+        args: Vec<Value>,
+        parent: TraceContext,
+        policy: &RetryPolicy,
+    ) -> Result<TaskResult, PlatformError> {
+        self.breaker_admit(class, function, policy)?;
+        let ikey = self.next_invocation;
+        self.next_invocation += 1;
+        // Decorrelate concurrent invocations' jitter while keeping any
+        // fixed (seed, ikey) pair exactly reproducible.
+        let mut backoffs =
+            policy.backoff_seq(self.jitter_seed ^ ikey.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let attempt_started = self.chaos_clock;
+        let mut task: Option<InvocationTask> = None;
+        let mut last_err = None;
+
+        for attempt in 1..=policy.max_attempts.max(1) {
+            let attempt_span = if attempt > 1 && self.telemetry.is_enabled() {
+                let s = self
+                    .telemetry
+                    .begin_child(parent, "invoke.attempt", self.now());
+                self.telemetry.attr(s, "attempt", u64::from(attempt));
+                s
+            } else {
+                TraceContext::NONE
+            };
+            let result = self.run_attempt(
+                id, class, impl_class, function, image, &args, parent, ikey, &mut task,
+            );
+            if !attempt_span.is_none() {
+                if let Err(e) = &result {
+                    self.telemetry.attr(attempt_span, "error", e.to_string());
+                }
+                self.telemetry.end(attempt_span, self.now());
+            }
+            match result {
+                Ok(out) => {
+                    self.breaker_settle(class, function, true);
+                    return Ok(out);
+                }
+                Err(e) if is_retryable(&e) && attempt < policy.max_attempts => {
+                    let delay = backoffs.next().expect("backoff sequence is infinite");
+                    let elapsed = self.chaos_clock - attempt_started;
+                    if elapsed + delay > policy.deadline {
+                        last_err = Some(PlatformError::DeadlineExceeded {
+                            function: function.to_string(),
+                            deadline_ms: policy.deadline.as_millis_f64() as u64,
+                        });
+                        break;
+                    }
+                    self.chaos_clock += delay;
+                    self.metrics.record_retry(class, function);
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.instant_under(
+                            parent,
+                            "retry.backoff",
+                            vjson!({
+                                "attempt": (u64::from(attempt)),
+                                "delay_ms": (delay.as_millis_f64()),
+                                "error": (e.to_string()),
+                            }),
+                            self.now(),
+                        );
+                    }
+                    last_err = Some(e);
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    break;
+                }
+            }
+        }
+        // A torn commit ack on the final attempt: the state change
+        // landed exactly once and was recorded — recover the result
+        // instead of reporting an error for work that committed.
+        if let Some(result) = self.committed.get(&ikey) {
+            let result = result.clone();
+            self.breaker_settle(class, function, true);
+            if self.telemetry.is_enabled() {
+                self.telemetry.instant_under(
+                    parent,
+                    "commit.recovered",
+                    vjson!({"idempotency_key": ikey}),
+                    self.now(),
+                );
+            }
+            return Ok(result);
+        }
+        self.breaker_settle(class, function, false);
+        Err(last_err.expect("loop ran at least one attempt"))
+    }
+
+    /// One attempt: (re)build the task if none survives from a prior
+    /// attempt, cross the offload boundary, execute, and commit.
+    #[allow(clippy::too_many_arguments)]
+    fn run_attempt(
+        &mut self,
+        id: ObjectId,
+        class: &str,
+        impl_class: &str,
+        function: &str,
+        image: &str,
+        args: &[Value],
+        parent: TraceContext,
+        ikey: u64,
+        task: &mut Option<InvocationTask>,
+    ) -> Result<TaskResult, PlatformError> {
+        if task.is_none() {
+            let mut built = self.build_task(
+                id,
+                class,
+                impl_class,
+                function,
+                image,
+                args.to_vec(),
+                parent,
+            )?;
+            built.idempotency_key = ikey;
+            *task = Some(built);
+        }
+        let task = task.clone().expect("just built");
+        self.execute_and_apply(id, class, task)
+    }
+
+    /// Admits or rejects an invocation through the function's breaker.
+    fn breaker_admit(
+        &mut self,
+        class: &str,
+        function: &str,
+        policy: &RetryPolicy,
+    ) -> Result<(), PlatformError> {
+        if policy.breaker_threshold == 0 {
+            return Ok(());
+        }
+        let key = format!("{class}::{function}");
+        let now = self.chaos_clock;
+        let breaker = self
+            .breakers
+            .entry(key)
+            .or_insert_with(|| CircuitBreaker::from_policy(policy));
+        let before = breaker.state();
+        let allowed = breaker.allow(now);
+        let after = breaker.state();
+        self.metrics
+            .record_breaker_state(class, function, after.as_str());
+        if before != after {
+            self.breaker_transition(class, function, before.as_str(), after.as_str());
+        }
+        if allowed {
+            Ok(())
+        } else {
+            Err(PlatformError::CircuitOpen {
+                class: class.to_string(),
+                function: function.to_string(),
+            })
+        }
+    }
+
+    /// Feeds an invocation outcome to the function's breaker, if any.
+    fn breaker_settle(&mut self, class: &str, function: &str, ok: bool) {
+        let now = self.chaos_clock;
+        let Some(breaker) = self.breakers.get_mut(&format!("{class}::{function}")) else {
+            return;
+        };
+        let before = breaker.state();
+        if ok {
+            breaker.on_success();
+        } else {
+            breaker.on_failure(now);
+        }
+        let after = breaker.state();
+        self.metrics
+            .record_breaker_state(class, function, after.as_str());
+        if before != after {
+            self.breaker_transition(class, function, before.as_str(), after.as_str());
+        }
+    }
+
+    fn breaker_transition(&self, class: &str, function: &str, from: &str, to: &str) {
+        if self.telemetry.is_enabled() {
+            self.telemetry.instant(
+                "breaker.transition",
+                vjson!({
+                    "function": (format!("{class}::{function}")),
+                    "from": from,
+                    "to": to,
+                }),
+                self.now(),
+            );
+        }
+    }
+
+    /// Consults the fault injector at `site`. Latency faults advance the
+    /// chaos clock and let the operation proceed; error faults return
+    /// `Err`; a torn fault is handed back for the caller to give it the
+    /// site's semantics (commit-then-lose-ack at `state.commit`,
+    /// execute-then-lose-response at the offload boundary).
+    fn chaos_fault(
+        &mut self,
+        site: InjectionSite,
+        parent: TraceContext,
+    ) -> Result<Option<FaultKind>, PlatformError> {
+        let Some(kind) = self.chaos.decide(site) else {
+            return Ok(None);
+        };
+        self.metrics.record_fault(site.as_str());
+        if self.telemetry.is_enabled() {
+            self.telemetry.instant_under(
+                parent,
+                "chaos.fault",
+                vjson!({"site": (site.as_str()), "kind": (kind.as_str())}),
+                self.now(),
+            );
+        }
+        match kind {
+            FaultKind::Latency(d) => {
+                self.chaos_clock += d;
+                Ok(None)
+            }
+            FaultKind::Error => Err(PlatformError::FaultInjected {
+                site: site.as_str(),
+                kind: "error",
+            }),
+            FaultKind::Torn => Ok(Some(FaultKind::Torn)),
+        }
+    }
+
+    /// Like [`EmbeddedPlatform::chaos_fault`] for sites where a torn
+    /// outcome has no distinct meaning: torn degrades to an error.
+    fn chaos_gate(
+        &mut self,
+        site: InjectionSite,
+        parent: TraceContext,
+    ) -> Result<(), PlatformError> {
+        match self.chaos_fault(site, parent)? {
+            None => Ok(()),
+            Some(_) => Err(PlatformError::FaultInjected {
+                site: site.as_str(),
+                kind: "torn",
+            }),
+        }
     }
 
     fn record(
@@ -598,6 +944,13 @@ impl EmbeddedPlatform {
         } else {
             TraceContext::NONE
         };
+        if let Err(e) = self.chaos_gate(InjectionSite::StateLoad, load_span) {
+            if enabled {
+                self.telemetry.attr(load_span, "error", e.to_string());
+                self.telemetry.end(load_span, self.now());
+            }
+            return Err(e);
+        }
         let sink = self.telemetry.clone();
         let loaded = self.state.load_traced(self.now(), &key, &sink, load_span);
         if enabled {
@@ -621,6 +974,15 @@ impl EmbeddedPlatform {
         } else {
             TraceContext::NONE
         };
+        if !file_keys.is_empty() {
+            if let Err(e) = self.chaos_gate(InjectionSite::StoragePresign, presign_span) {
+                if !presign_span.is_none() {
+                    self.telemetry.attr(presign_span, "error", e.to_string());
+                    self.telemetry.end(presign_span, self.now());
+                }
+                return Err(e);
+            }
+        }
         let mut file_urls = BTreeMap::new();
         for fk in file_keys {
             file_urls.insert(fk.clone(), self.download_url(id, &fk)?);
@@ -644,6 +1006,8 @@ impl EmbeddedPlatform {
             args,
             file_urls,
             trace: enabled.then_some(parent),
+            // The caller stamps the real key; 0 marks "not yet assigned".
+            idempotency_key: 0,
         })
     }
 
@@ -658,8 +1022,17 @@ impl EmbeddedPlatform {
             .functions
             .get(&task.image)
             .ok_or_else(|| PlatformError::UnknownImage(task.image.clone()))?;
+        // Crossing the offload RPC boundary: an error fault loses the
+        // task before the engine sees it; a torn fault lets the engine
+        // execute but loses the *response*, so nothing is committed.
+        let offload_torn = self
+            .chaos_fault(InjectionSite::OffloadRpc, parent)?
+            .is_some();
         let exec_span = self.begin_execute_span(&task, parent);
-        let result = f(&task);
+        let result = match self.chaos_gate(InjectionSite::EngineExecute, exec_span) {
+            Ok(()) => f(&task).map_err(PlatformError::from),
+            Err(e) => Err(e),
+        };
         if self.telemetry.is_enabled() {
             if let Err(e) = &result {
                 self.telemetry.attr(exec_span, "error", e.to_string());
@@ -667,7 +1040,13 @@ impl EmbeddedPlatform {
             self.telemetry.end(exec_span, self.now());
         }
         let result = result?;
-        self.apply_result(id, class, &result, parent);
+        if offload_torn {
+            return Err(PlatformError::FaultInjected {
+                site: InjectionSite::OffloadRpc.as_str(),
+                kind: "torn",
+            });
+        }
+        self.apply_result(id, class, &result, parent, task.idempotency_key)?;
         Ok(result)
     }
 
@@ -693,9 +1072,23 @@ impl EmbeddedPlatform {
         class: &str,
         result: &TaskResult,
         parent: TraceContext,
-    ) {
+        ikey: u64,
+    ) -> Result<(), PlatformError> {
         let now = self.now();
         let enabled = self.telemetry.is_enabled();
+        // Exactly-once: a retried task whose earlier attempt already
+        // committed (torn ack) must not re-apply its state effects.
+        if self.committed.contains_key(&ikey) {
+            if enabled {
+                self.telemetry.instant_under(
+                    parent,
+                    "commit.skipped",
+                    vjson!({"idempotency_key": ikey}),
+                    now,
+                );
+            }
+            return Ok(());
+        }
         let commit_span = if enabled {
             let s = self.telemetry.begin_child(parent, "state.commit", now);
             self.telemetry
@@ -705,6 +1098,20 @@ impl EmbeddedPlatform {
             s
         } else {
             TraceContext::NONE
+        };
+        // An error fault rejects the commit before any effect lands; a
+        // torn fault applies the commit but loses the acknowledgement,
+        // so the caller sees a failure for work that *did* commit — the
+        // idempotency guard above is what makes the retry safe.
+        let torn = match self.chaos_fault(InjectionSite::StateCommit, commit_span) {
+            Ok(kind) => kind.is_some(),
+            Err(e) => {
+                if enabled {
+                    self.telemetry.attr(commit_span, "error", e.to_string());
+                    self.telemetry.end(commit_span, self.now());
+                }
+                return Err(e);
+            }
         };
         if let Some(patch) = &result.state_patch {
             let key = storage_key(class, id);
@@ -738,9 +1145,20 @@ impl EmbeddedPlatform {
                 entry.revision += 1;
             }
         }
+        self.committed.insert(ikey, result.clone());
         if enabled {
+            if torn {
+                self.telemetry.attr(commit_span, "torn", true);
+            }
             self.telemetry.end(commit_span, self.now());
         }
+        if torn {
+            return Err(PlatformError::FaultInjected {
+                site: InjectionSite::StateCommit.as_str(),
+                kind: "torn",
+            });
+        }
+        Ok(())
     }
 
     fn run_dataflow(
@@ -827,7 +1245,30 @@ impl EmbeddedPlatform {
                 };
                 self.route(&target_class, target_id, step_span);
                 let inputs = DataflowSpec::resolve_inputs(step, &input, &outputs);
-                let task = self.build_task(
+                if self.chaos.is_enabled() {
+                    // Under chaos the stage runs serially through the
+                    // retry loop: parallel workers racing to the shared
+                    // injector would make the fault schedule depend on
+                    // thread scheduling, breaking reproducibility.
+                    let policy = self
+                        .runtimes
+                        .get(&target_class)
+                        .map_or_else(RetryPolicy::default, |r| r.retry.clone());
+                    let out = self.invoke_with_retry(
+                        target_id,
+                        &target_class,
+                        &impl_class,
+                        &step.function,
+                        &image,
+                        inputs,
+                        step_span,
+                        &policy,
+                    )?;
+                    outputs.insert(step_id.clone(), out.output.clone());
+                    self.telemetry.end(step_span, self.now());
+                    continue;
+                }
+                let mut task = self.build_task(
                     target_id,
                     &target_class,
                     &impl_class,
@@ -836,6 +1277,8 @@ impl EmbeddedPlatform {
                     inputs,
                     step_span,
                 )?;
+                task.idempotency_key = self.next_invocation;
+                self.next_invocation += 1;
                 let f = self
                     .functions
                     .get(&image)
@@ -873,11 +1316,16 @@ impl EmbeddedPlatform {
                 }
             }
             // Apply effects deterministically in step order.
-            for (((step_id, result), (target_id, target_class)), step_span) in
-                stage.iter().zip(results).zip(targets).zip(step_spans)
+            let ikeys: Vec<u64> = tasks.iter().map(|t| t.idempotency_key).collect();
+            for ((((step_id, result), (target_id, target_class)), step_span), ikey) in stage
+                .iter()
+                .zip(results)
+                .zip(targets)
+                .zip(step_spans)
+                .zip(ikeys)
             {
                 let result = result?;
-                self.apply_result(target_id, &target_class, &result, step_span);
+                self.apply_result(target_id, &target_class, &result, step_span, ikey)?;
                 outputs.insert(step_id.clone(), result.output.clone());
                 self.telemetry.end(step_span, self.now());
             }
@@ -1096,6 +1544,16 @@ impl EmbeddedPlatform {
         }
         Ok(imported)
     }
+}
+
+/// Whether an invocation error is worth retrying: injected faults and
+/// runtime task failures are transient; definition, access, and
+/// application errors would fail identically on every attempt.
+fn is_retryable(e: &PlatformError) -> bool {
+    matches!(
+        e,
+        PlatformError::FaultInjected { .. } | PlatformError::Task(TaskError::Runtime(_))
+    )
 }
 
 fn storage_key(class: &str, id: ObjectId) -> String {

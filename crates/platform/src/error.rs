@@ -32,6 +32,29 @@ pub enum PlatformError {
     /// The static analyzer found error-severity defects; the package
     /// was refused before any class runtime was created.
     LintRejected(Vec<oprc_analyzer::Diagnostic>),
+    /// A chaos-injected fault fired at an invocation-plane site.
+    FaultInjected {
+        /// Injection site (stable span name, e.g. `state.commit`).
+        site: &'static str,
+        /// Fault kind (`error` / `latency` / `torn`).
+        kind: &'static str,
+    },
+    /// The per-invocation retry deadline was exhausted before an
+    /// attempt succeeded.
+    DeadlineExceeded {
+        /// The invoked function.
+        function: String,
+        /// The policy deadline in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The function's circuit breaker is open; the call was rejected
+    /// without an attempt.
+    CircuitOpen {
+        /// Class name.
+        class: String,
+        /// Function name.
+        function: String,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -61,6 +84,21 @@ impl fmt::Display for PlatformError {
                     first = false;
                 }
                 Ok(())
+            }
+            PlatformError::FaultInjected { site, kind } => {
+                write!(f, "injected fault at {site}: {kind}")
+            }
+            PlatformError::DeadlineExceeded {
+                function,
+                deadline_ms,
+            } => {
+                write!(
+                    f,
+                    "invocation of '{function}' exceeded its {deadline_ms}ms retry deadline"
+                )
+            }
+            PlatformError::CircuitOpen { class, function } => {
+                write!(f, "circuit breaker open for '{class}::{function}'")
             }
         }
     }

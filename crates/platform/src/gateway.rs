@@ -25,9 +25,15 @@
 //!                                     show or export the span tree
 //! metrics [--class C] [--json]        per-function latency/error stats
 //! top                                 per-class summary table
+//! chaos on [--seed N] [--rate P] ...  enable deterministic fault injection
+//! chaos script <site> <kind>          arm a fault at a site's next call
+//! chaos status [--json]               injector call/fault counters
+//! chaos off                           disable fault injection
 //! ```
 
+use oprc_chaos::{FaultKind, FaultPlan, InjectionSite};
 use oprc_core::object::ObjectId;
+use oprc_simcore::SimDuration;
 use oprc_telemetry::{render_tree, to_chrome, to_jsonl, Span, TelemetryConfig, TraceSink};
 use oprc_value::{json, Value};
 
@@ -161,6 +167,7 @@ impl OprcCtl {
             "trace" => self.trace(rest),
             "metrics" => self.metrics_cmd(rest),
             "top" => self.top(),
+            "chaos" => self.chaos_cmd(rest),
             "help" => Ok(CommandOutput::text(HELP.trim())),
             other => Err(CommandError::UnknownCommand(other.to_string())),
         }
@@ -426,7 +433,7 @@ impl OprcCtl {
         if let Some(c) = &class {
             rows.retain(|r| &r.class == c);
         }
-        let value: Vec<Value> = rows
+        let functions: Vec<Value> = rows
             .iter()
             .map(|r| {
                 oprc_value::vjson!({
@@ -434,13 +441,22 @@ impl OprcCtl {
                     "function": (r.function.as_str()),
                     "completed": (r.completed),
                     "errors": (r.errors),
+                    "retries": (r.retries),
+                    "breaker": (r.breaker.as_str()),
                     "mean_ms": (r.mean_ms),
                     "p50_ms": (r.p50_ms),
                     "p99_ms": (r.p99_ms),
                 })
             })
             .collect();
-        let value = Value::from(value);
+        let mut faults = Value::object();
+        for (site, n) in self.platform.metrics().fault_totals() {
+            faults.insert(site, n);
+        }
+        let value = oprc_value::vjson!({
+            "functions": (Value::from(functions)),
+            "faults": (faults),
+        });
         if as_json {
             return Ok(CommandOutput::with_value(
                 json::to_string_pretty(&value),
@@ -448,16 +464,150 @@ impl OprcCtl {
             ));
         }
         let mut text = format!(
-            "{:<16} {:<16} {:>9} {:>7} {:>9} {:>9} {:>9}",
-            "CLASS", "FUNCTION", "COMPLETED", "ERRORS", "MEAN_MS", "P50_MS", "P99_MS"
+            "{:<16} {:<16} {:>9} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9}",
+            "CLASS",
+            "FUNCTION",
+            "COMPLETED",
+            "ERRORS",
+            "RETRIES",
+            "BREAKER",
+            "MEAN_MS",
+            "P50_MS",
+            "P99_MS"
         );
         for r in &rows {
             text.push_str(&format!(
-                "\n{:<16} {:<16} {:>9} {:>7} {:>9.2} {:>9.2} {:>9.2}",
-                r.class, r.function, r.completed, r.errors, r.mean_ms, r.p50_ms, r.p99_ms
+                "\n{:<16} {:<16} {:>9} {:>7} {:>7} {:>9} {:>9.2} {:>9.2} {:>9.2}",
+                r.class,
+                r.function,
+                r.completed,
+                r.errors,
+                r.retries,
+                r.breaker,
+                r.mean_ms,
+                r.p50_ms,
+                r.p99_ms
             ));
         }
         Ok(CommandOutput::with_value(text, value))
+    }
+
+    /// `chaos <on|script|status|off>`: control the platform's
+    /// deterministic fault injector.
+    ///
+    /// `on` installs a [`FaultPlan`] (same seed ⇒ same fault schedule);
+    /// `script` arms a one-shot fault at a site's *next* call; `status`
+    /// reports per-site call/fault counters; `off` removes injection.
+    fn chaos_cmd(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        const USAGE: &str = "chaos on [--seed N] [--rate P] [--site <site> <rate>] \
+             [--latency-ms M] [--latency-share F] | chaos script <site> <error|torn|latency[:ms]> \
+             | chaos status [--json] | chaos off";
+        let parts = split_args(rest);
+        match parts.first().map(String::as_str) {
+            Some("on") => {
+                let mut plan = FaultPlan::new(0);
+                let mut i = 1;
+                while i < parts.len() {
+                    match parts[i].as_str() {
+                        "--seed" => {
+                            plan.seed = parse_flag::<u64>(&parts, i, USAGE)?;
+                            i += 2;
+                        }
+                        "--rate" => {
+                            let p = parse_flag::<f64>(&parts, i, USAGE)?;
+                            plan = plan.rate_all(p);
+                            i += 2;
+                        }
+                        "--site" => {
+                            let site = parts
+                                .get(i + 1)
+                                .and_then(|s| InjectionSite::parse(s))
+                                .ok_or_else(|| CommandError::Usage(USAGE.into()))?;
+                            let p = parts
+                                .get(i + 2)
+                                .and_then(|s| s.parse::<f64>().ok())
+                                .ok_or_else(|| CommandError::Usage(USAGE.into()))?;
+                            plan = plan.rate(site, p);
+                            i += 3;
+                        }
+                        "--latency-ms" => {
+                            let ms = parse_flag::<u64>(&parts, i, USAGE)?;
+                            plan = plan.latency(SimDuration::from_millis(ms));
+                            i += 2;
+                        }
+                        "--latency-share" => {
+                            let f = parse_flag::<f64>(&parts, i, USAGE)?;
+                            plan = plan.latency_share(f);
+                            i += 2;
+                        }
+                        _ => return Err(CommandError::Usage(USAGE.into())),
+                    }
+                }
+                let seed = plan.seed;
+                self.platform.enable_chaos(plan);
+                Ok(CommandOutput::text(format!("chaos: on (seed {seed})")))
+            }
+            Some("script") => {
+                let site = parts
+                    .get(1)
+                    .and_then(|s| InjectionSite::parse(s))
+                    .ok_or_else(|| CommandError::Usage(USAGE.into()))?;
+                let kind = parts
+                    .get(2)
+                    .and_then(|s| parse_fault_kind(s))
+                    .ok_or_else(|| CommandError::Usage(USAGE.into()))?;
+                if !self.platform.chaos().is_enabled() {
+                    return Err(CommandError::Usage(
+                        "chaos script requires `chaos on` first".into(),
+                    ));
+                }
+                self.platform.chaos().script_next(site, kind);
+                Ok(CommandOutput::text(format!(
+                    "chaos: scripted {} at next {site} call",
+                    kind.as_str()
+                )))
+            }
+            Some("status") | None => {
+                let as_json = parts.get(1).is_some_and(|s| s == "--json");
+                let injector = self.platform.chaos();
+                let enabled = injector.is_enabled();
+                let mut calls = Value::object();
+                let mut injected = Value::object();
+                for (site, n) in injector.calls() {
+                    calls.insert(site.as_str(), n);
+                }
+                for (site, n) in injector.injected_totals() {
+                    injected.insert(site.as_str(), n);
+                }
+                let value = oprc_value::vjson!({
+                    "enabled": (enabled),
+                    "seed": (injector.seed()),
+                    "calls": (calls),
+                    "injected": (injected),
+                });
+                if as_json {
+                    return Ok(CommandOutput::with_value(
+                        json::to_string_pretty(&value),
+                        value,
+                    ));
+                }
+                let mut text = if enabled {
+                    format!("chaos: on (seed {})", injector.seed())
+                } else {
+                    "chaos: off".to_string()
+                };
+                for (site, n) in injector.calls() {
+                    let hit = injector.injected_totals().get(&site).copied().unwrap_or(0);
+                    text.push_str(&format!("\n  {site}: {n} calls, {hit} faults"));
+                }
+                Ok(CommandOutput::with_value(text, value))
+            }
+            Some("off") => {
+                self.platform.disable_chaos();
+                Ok(CommandOutput::text("chaos: off"))
+            }
+            _ => Err(CommandError::Usage(USAGE.into())),
+        }
     }
 
     /// `top`: one-line-per-class health table (completions, error
@@ -512,8 +662,14 @@ stats                             storage counters
 telemetry <on|verbose|off|status> control the trace sink
 trace [--last N] [--export chrome|jsonl <path>]
                                   show or export the span tree
-metrics [--class C] [--json]      per-function latency/error stats
+metrics [--class C] [--json]      per-function latency/error/retry stats
 top                               per-class summary table
+chaos on [--seed N] [--rate P] [--site <site> <rate>] [--latency-ms M] [--latency-share F]
+                                  enable deterministic fault injection
+chaos script <site> <error|torn|latency[:ms]>
+                                  arm a fault at a site's next call
+chaos status [--json]             injector call/fault counters
+chaos off                         disable fault injection
 ";
 
 /// Keeps only the spans belonging to the newest `n` traces. Platform
@@ -532,6 +688,31 @@ fn newest_traces(spans: Vec<Span>, n: usize) -> Vec<Span> {
         .into_iter()
         .filter(|s| keep.contains(&s.trace_id) || (s.trace_id == 0 && !keep.is_empty()))
         .collect()
+}
+
+/// Parses the value following flag `parts[i]`.
+fn parse_flag<T: std::str::FromStr>(
+    parts: &[String],
+    i: usize,
+    usage: &str,
+) -> Result<T, CommandError> {
+    parts
+        .get(i + 1)
+        .and_then(|s| s.parse::<T>().ok())
+        .ok_or_else(|| CommandError::Usage(usage.into()))
+}
+
+/// Parses `error`, `torn`, `latency`, or `latency:<ms>`.
+fn parse_fault_kind(s: &str) -> Option<FaultKind> {
+    match s {
+        "error" => Some(FaultKind::Error),
+        "torn" => Some(FaultKind::Torn),
+        "latency" => Some(FaultKind::Latency(SimDuration::from_millis(5))),
+        _ => {
+            let ms = s.strip_prefix("latency:")?.parse::<u64>().ok()?;
+            Some(FaultKind::Latency(SimDuration::from_millis(ms)))
+        }
+    }
 }
 
 fn parse_object(s: &str) -> Result<ObjectId, CommandError> {
@@ -765,12 +946,15 @@ mod tests {
         let m = ctl.execute("metrics").unwrap();
         assert!(m.text.contains("incr"), "{}", m.text);
         let mj = ctl.execute("metrics --class Counter --json").unwrap();
-        let rows = mj.value.unwrap();
+        let rows = &mj.value.unwrap()["functions"];
         assert_eq!(rows[0]["class"].as_str(), Some("Counter"));
         assert_eq!(rows[0]["function"].as_str(), Some("incr"));
         assert_eq!(rows[0]["completed"].as_u64(), Some(2));
         let none = ctl.execute("metrics --class Ghost --json").unwrap();
-        assert!(none.value.unwrap().as_array().unwrap().is_empty());
+        assert!(none.value.unwrap()["functions"]
+            .as_array()
+            .unwrap()
+            .is_empty());
 
         // Top shows the class health table.
         let top = ctl.execute("top").unwrap().text;
@@ -796,6 +980,87 @@ mod tests {
         ));
         let _ = std::fs::remove_file(chrome);
         let _ = std::fs::remove_file(jsonl);
+    }
+
+    /// Pins the `metrics --json` document shape: a `functions` array
+    /// whose rows carry retry/breaker columns, plus a `faults` object of
+    /// per-site injected totals. Downstream tooling parses this.
+    #[test]
+    fn metrics_json_shape_is_pinned() {
+        let mut ctl = ctl();
+        ctl.execute("create Counter").unwrap();
+        ctl.execute("invoke 0 incr").unwrap();
+        let v = ctl.execute("metrics --json").unwrap().value.unwrap();
+        let keys: Vec<&str> = v.as_object().unwrap().keys().map(String::as_str).collect();
+        assert_eq!(keys, vec!["faults", "functions"]);
+        let row = v["functions"].as_array().unwrap()[0].as_object().unwrap();
+        let cols: Vec<&str> = row.keys().map(String::as_str).collect();
+        assert_eq!(
+            cols,
+            vec![
+                "breaker",
+                "class",
+                "completed",
+                "errors",
+                "function",
+                "mean_ms",
+                "p50_ms",
+                "p99_ms",
+                "retries"
+            ]
+        );
+        assert_eq!(row["retries"].as_u64(), Some(0));
+        assert_eq!(row["breaker"].as_str(), Some("-"));
+        assert!(v["faults"].as_object().unwrap().is_empty());
+
+        // With chaos on, injected faults surface in the `faults` object
+        // and the text table grows RETRIES/BREAKER columns.
+        ctl.execute("chaos on --seed 7").unwrap();
+        ctl.execute("chaos script engine.execute error").unwrap();
+        assert!(ctl.execute("invoke 0 incr").is_err());
+        let v = ctl.execute("metrics --json").unwrap().value.unwrap();
+        assert_eq!(v["faults"]["engine.execute"].as_u64(), Some(1));
+        let text = ctl.execute("metrics").unwrap().text;
+        assert!(text.contains("RETRIES"), "{text}");
+        assert!(text.contains("BREAKER"), "{text}");
+    }
+
+    #[test]
+    fn chaos_commands_control_the_injector() {
+        let mut ctl = ctl();
+        ctl.execute("create Counter").unwrap();
+
+        // Off by default; scripting without enabling is an error.
+        assert!(ctl.execute("chaos status").unwrap().text.contains("off"));
+        assert!(matches!(
+            ctl.execute("chaos script engine.execute error"),
+            Err(CommandError::Usage(_))
+        ));
+
+        ctl.execute("chaos on --seed 9 --rate 0").unwrap();
+        let out = ctl.execute("chaos script state.commit torn").unwrap();
+        assert!(out.text.contains("state.commit"), "{}", out.text);
+        // A torn commit loses only the acknowledgement: the platform
+        // notices the idempotency key committed and recovers the result
+        // instead of reporting an error for work that landed. State is
+        // applied exactly once.
+        assert_eq!(ctl.execute("invoke 0 incr").unwrap().value, Some(vjson!(1)));
+        assert_eq!(
+            ctl.execute("state 0").unwrap().value.unwrap()["count"].as_i64(),
+            Some(1)
+        );
+
+        let status = ctl.execute("chaos status --json").unwrap().value.unwrap();
+        assert_eq!(status["enabled"].as_bool(), Some(true));
+        assert_eq!(status["seed"].as_u64(), Some(9));
+        assert_eq!(status["injected"]["state.commit"].as_u64(), Some(1));
+
+        ctl.execute("chaos off").unwrap();
+        assert!(ctl.execute("chaos status").unwrap().text.contains("off"));
+        assert!(matches!(
+            ctl.execute("chaos bogus"),
+            Err(CommandError::Usage(_))
+        ));
     }
 
     #[test]

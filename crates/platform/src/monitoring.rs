@@ -35,6 +35,7 @@ struct ClassWindow {
 struct Totals {
     completed: u64,
     errors: u64,
+    retries: u64,
     latency: Histogram,
     first_event: Option<SimTime>,
     last_event: Option<SimTime>,
@@ -77,6 +78,11 @@ pub struct FunctionSummary {
     pub completed: u64,
     /// Failed invocations since startup.
     pub errors: u64,
+    /// Retry attempts beyond the first, since startup.
+    pub retries: u64,
+    /// Circuit-breaker state (`closed` / `open` / `half-open`), or `-`
+    /// when the function's retry policy arms no breaker.
+    pub breaker: String,
     /// Mean latency (ms).
     pub mean_ms: f64,
     /// Median latency (ms).
@@ -90,6 +96,8 @@ struct HubInner {
     windows: BTreeMap<String, ClassWindow>,
     class_totals: BTreeMap<String, Totals>,
     function_totals: BTreeMap<(String, String), Totals>,
+    breaker_states: BTreeMap<(String, String), &'static str>,
+    fault_totals: BTreeMap<String, u64>,
     lint_warnings: VecDeque<String>,
     lint_capacity: usize,
     lint_dropped: u64,
@@ -101,6 +109,8 @@ impl Default for HubInner {
             windows: BTreeMap::new(),
             class_totals: BTreeMap::new(),
             function_totals: BTreeMap::new(),
+            breaker_states: BTreeMap::new(),
+            fault_totals: BTreeMap::new(),
             lint_warnings: VecDeque::new(),
             lint_capacity: DEFAULT_LINT_CAPACITY,
             lint_dropped: 0,
@@ -179,6 +189,45 @@ impl MetricsHub {
         t.touch(now);
     }
 
+    /// Records a retry (an attempt beyond the first) of `class::function`.
+    pub fn record_retry(&self, class: &str, function: &str) {
+        let mut inner = self.inner.lock();
+        inner
+            .function_totals
+            .entry((class.to_string(), function.to_string()))
+            .or_default()
+            .retries += 1;
+    }
+
+    /// Records the current circuit-breaker state of `class::function`.
+    pub fn record_breaker_state(&self, class: &str, function: &str, state: &'static str) {
+        self.inner
+            .lock()
+            .breaker_states
+            .insert((class.to_string(), function.to_string()), state);
+    }
+
+    /// Records one injected chaos fault at `site` (a stable span name
+    /// such as `state.commit`).
+    pub fn record_fault(&self, site: &str) {
+        *self
+            .inner
+            .lock()
+            .fault_totals
+            .entry(site.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Cumulative injected-fault counts per site, sorted by site name.
+    pub fn fault_totals(&self) -> Vec<(String, u64)> {
+        self.inner
+            .lock()
+            .fault_totals
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
     /// Records a non-fatal finding the deploy-time linter surfaced
     /// (rendered form). Deployment proceeds; the warnings stay visible
     /// through [`MetricsHub::lint_warnings`] for operators. Retention is
@@ -252,6 +301,12 @@ impl MetricsHub {
                 function: function.clone(),
                 completed: t.completed,
                 errors: t.errors,
+                retries: t.retries,
+                breaker: inner
+                    .breaker_states
+                    .get(&(class.clone(), function.clone()))
+                    .unwrap_or(&"-")
+                    .to_string(),
                 mean_ms: t.latency.mean().as_millis_f64(),
                 p50_ms: t.latency.quantile(0.5).as_millis_f64(),
                 p99_ms: t.latency.quantile(0.99).as_millis_f64(),
@@ -407,6 +462,31 @@ mod tests {
         assert!((s.error_rate - 1.0 / 11.0).abs() < 1e-9);
         assert!(s.p50_ms >= 4.0);
         assert!(s.throughput > 0.0);
+    }
+
+    #[test]
+    fn retries_breaker_and_faults_are_tracked() {
+        let hub = MetricsHub::new();
+        hub.record_function("C", "f", SimTime::ZERO, SimDuration::from_millis(1), true);
+        hub.record_retry("C", "f");
+        hub.record_retry("C", "f");
+        hub.record_breaker_state("C", "f", "open");
+        hub.record_fault("state.commit");
+        hub.record_fault("state.commit");
+        hub.record_fault("engine.execute");
+        let summaries = hub.function_summaries();
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].retries, 2);
+        assert_eq!(summaries[0].breaker, "open");
+        assert_eq!(
+            hub.fault_totals(),
+            vec![("engine.execute".into(), 1), ("state.commit".into(), 2)]
+        );
+        // Functions with no breaker report "-".
+        hub.record_function("C", "g", SimTime::ZERO, SimDuration::ZERO, false);
+        let summaries = hub.function_summaries();
+        assert_eq!(summaries[1].breaker, "-");
+        assert_eq!(summaries[1].retries, 0);
     }
 
     #[test]

@@ -159,6 +159,9 @@ pub struct ExperimentConfig {
     /// Use an [`oprc_telemetry::ClockMode::External`] sink: the DES
     /// clock is already deterministic virtual time.
     pub telemetry: TraceSink,
+    /// Optional deterministic fault plan driving the engine's
+    /// `engine.execute` injection site (`None` = no chaos).
+    pub chaos: Option<oprc_chaos::FaultPlan>,
 }
 
 impl ExperimentConfig {
@@ -198,6 +201,7 @@ impl ExperimentConfig {
             measure: SimDuration::from_secs(20),
             seed: 42,
             telemetry: TraceSink::disabled(),
+            chaos: None,
         }
     }
 }
@@ -318,6 +322,9 @@ impl World {
             .max_scale(scheduled);
         let mut engine = EngineModel::new(cfg.variant.engine_kind(), cfg.engine.clone(), spec);
         engine.set_telemetry(cfg.telemetry.clone());
+        if let Some(plan) = cfg.chaos.clone() {
+            engine.set_fault_injector(oprc_chaos::FaultInjector::new(plan));
+        }
         engine.set_capacity_limit(scheduled);
         match cfg.variant.engine_kind() {
             EngineKind::PlainDeployment => {

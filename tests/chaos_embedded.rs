@@ -1,9 +1,13 @@
 //! Property-based chaos test: arbitrary operation sequences against the
-//! embedded platform never violate platform invariants.
+//! embedded platform never violate platform invariants — including
+//! sequences that inject faults into the invocation plane, where the
+//! retry layer must keep state commits exactly-once.
 
+use oprc_chaos::{FaultKind, FaultPlan, InjectionSite};
 use oprc_core::invocation::TaskResult;
 use oprc_core::object::ObjectId;
 use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_simcore::SimDuration;
 use oprc_value::{merge, vjson, Value};
 use proptest::prelude::*;
 
@@ -17,6 +21,10 @@ enum Op {
     MemoryLoss,
     Tick,
     Snapshot,
+    /// Arm a one-shot fault at a site's next call (site pick, kind pick).
+    InjectFault(u8, u8),
+    /// Advance the virtual chaos clock (breaker cooldowns, deadlines).
+    AdvanceDeadline(u16),
 }
 
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
@@ -30,6 +38,8 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
             Just(Op::MemoryLoss),
             Just(Op::Tick),
             Just(Op::Snapshot),
+            (any::<u8>(), any::<u8>()).prop_map(|(s, k)| Op::InjectFault(s, k)),
+            any::<u16>().prop_map(Op::AdvanceDeadline),
         ],
         1..60,
     )
@@ -47,10 +57,14 @@ fn platform() -> EmbeddedPlatform {
         Ok(TaskResult::output(Value::Null).with_patch(Value::from_iter([(key, val)])))
     });
     p.register_function("img/read", |t| Ok(TaskResult::output(t.state_in.clone())));
+    // The availability tier arms the retry layer (0.99 → 3 attempts),
+    // so injected faults exercise retries, not just failures.
     p.deploy_yaml(
         "
 classes:
   - name: Bag
+    qos:
+      availability: 0.99
     constraint:
       persistent: true
     keySpecs: [count]
@@ -65,7 +79,22 @@ classes:
 ",
     )
     .unwrap();
+    // Chaos on with an empty plan: nothing fires until an
+    // `Op::InjectFault` scripts a fault.
+    p.enable_chaos(FaultPlan::new(0));
     p
+}
+
+fn pick_site(s: u8) -> InjectionSite {
+    InjectionSite::ALL[s as usize % InjectionSite::ALL.len()]
+}
+
+fn pick_kind(k: u8) -> FaultKind {
+    match k % 3 {
+        0 => FaultKind::Error,
+        1 => FaultKind::Torn,
+        _ => FaultKind::Latency(SimDuration::from_millis(u64::from(k))),
+    }
 }
 
 proptest! {
@@ -92,9 +121,14 @@ proptest! {
                         let idx = x as usize % shadow.len();
                         let (id, expect) = &mut shadow[idx];
                         let n = expect["count"].as_i64().unwrap_or(0) + 1;
-                        let out = p.invoke(*id, "incr", vec![]).unwrap();
-                        prop_assert_eq!(out.output.as_i64(), Some(n));
-                        expect.insert("count", n);
+                        // Injected faults may exhaust the retry budget
+                        // or trip the breaker; the shadow advances only
+                        // on success. An error must leave state
+                        // untouched — the final audit enforces it.
+                        if let Ok(out) = p.invoke(*id, "incr", vec![]) {
+                            prop_assert_eq!(out.output.as_i64(), Some(n));
+                            expect.insert("count", n);
+                        }
                     }
                 }
                 Op::Put(x, k, v) => {
@@ -102,17 +136,21 @@ proptest! {
                         let idx = x as usize % shadow.len();
                         let (id, expect) = &mut shadow[idx];
                         let key = format!("k{}", k % 6);
-                        p.invoke(*id, "put", vec![Value::from(key.as_str()), Value::from(v as i64)])
-                            .unwrap();
-                        expect.insert(key, v as i64);
+                        if p
+                            .invoke(*id, "put", vec![Value::from(key.as_str()), Value::from(v as i64)])
+                            .is_ok()
+                        {
+                            expect.insert(key, v as i64);
+                        }
                     }
                 }
                 Op::Read(x) => {
                     if !shadow.is_empty() {
                         let idx = x as usize % shadow.len();
                         let (id, expect) = &shadow[idx];
-                        let out = p.invoke(*id, "read", vec![]).unwrap();
-                        prop_assert_eq!(&out.output, expect);
+                        if let Ok(out) = p.invoke(*id, "read", vec![]) {
+                            prop_assert_eq!(&out.output, expect);
+                        }
                     }
                 }
                 Op::Flush => {
@@ -129,11 +167,18 @@ proptest! {
                 }
                 Op::Snapshot => {
                     // Export, rebuild a fresh platform, import, continue
-                    // there (a migration mid-chaos).
+                    // there (a migration mid-chaos). Armed faults and
+                    // breaker state do not migrate.
                     let snap = p.export_snapshot(false);
                     let mut fresh = platform();
                     fresh.import_snapshot(&snap).unwrap();
                     p = fresh;
+                }
+                Op::InjectFault(s, k) => {
+                    p.chaos().script_next(pick_site(s), pick_kind(k));
+                }
+                Op::AdvanceDeadline(ms) => {
+                    p.advance_chaos_clock(SimDuration::from_millis(u64::from(ms)));
                 }
             }
         }
@@ -143,6 +188,30 @@ proptest! {
             let mut want = expect.clone();
             merge::normalize(&mut want);
             prop_assert_eq!(got, want, "object {} diverged", id);
+        }
+    }
+
+    /// Retried `img/incr`-style tasks never double-apply state: with an
+    /// arbitrary fault armed before every call, the final counter always
+    /// equals the number of successful invocations — a torn commit whose
+    /// retry re-applied the patch would overshoot it.
+    #[test]
+    fn retried_incr_never_double_applies(faults in prop::collection::vec(
+        (any::<u8>(), any::<u8>()), 1..40,
+    )) {
+        let mut p = platform();
+        let id = p.create_object("Bag", vjson!({"count": 0})).unwrap();
+        let mut succeeded = 0_i64;
+        for (s, k) in faults {
+            p.chaos().script_next(pick_site(s), pick_kind(k));
+            if p.invoke(id, "incr", vec![]).is_ok() {
+                succeeded += 1;
+            }
+            prop_assert_eq!(
+                p.get_state(id).unwrap()["count"].as_i64(),
+                Some(succeeded),
+                "count must track successes exactly (no double-apply, no lost commit)"
+            );
         }
     }
 }

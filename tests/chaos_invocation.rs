@@ -1,0 +1,458 @@
+//! Chaos conformance suite: deterministic fault injection across the
+//! invocation plane.
+//!
+//! The contract under test (ISSUE PR 3): a seed-driven [`FaultPlan`]
+//! produces a *byte-reproducible* chaos run — same seed ⇒ identical
+//! fault schedule, retry spans, and final state — while the retry layer
+//! keeps state commits exactly-once via the task idempotency key.
+
+use oprc_chaos::{FaultKind, FaultPlan, InjectionSite, RetryPolicy};
+use oprc_core::invocation::{TaskError, TaskResult};
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_platform::PlatformError;
+use oprc_simcore::SimDuration;
+use oprc_telemetry::{to_jsonl, TelemetryConfig};
+use oprc_value::vjson;
+
+/// A platform with one persistent `Counter` class whose availability
+/// tier (0.99 → 3 attempts) arms the retry layer.
+fn retrying_platform() -> EmbeddedPlatform {
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/incr", |t| {
+        let n = t.state_in["count"].as_i64().unwrap_or(0) + 1;
+        Ok(TaskResult::output(n).with_patch(vjson!({"count": n})))
+    });
+    p.deploy_yaml(
+        "
+classes:
+  - name: Counter
+    qos:
+      availability: 0.99
+    constraint:
+      persistent: true
+    keySpecs: [count]
+    functions:
+      - name: incr
+        image: img/incr
+",
+    )
+    .unwrap();
+    p
+}
+
+/// Runs `n` invocations under a probabilistic plan and returns
+/// `(jsonl trace export, outcomes, final count)`.
+fn chaos_run(seed: u64, n: usize) -> (String, Vec<bool>, i64) {
+    let mut p = retrying_platform();
+    p.enable_telemetry(TelemetryConfig::default());
+    p.enable_chaos(FaultPlan::new(seed).rate_all(0.25).latency_share(0.3));
+    let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+    let outcomes: Vec<bool> = (0..n)
+        .map(|_| p.invoke(id, "incr", vec![]).is_ok())
+        .collect();
+    let count = p.get_state(id).unwrap()["count"].as_i64().unwrap();
+    (to_jsonl(&p.telemetry().finished()), outcomes, count)
+}
+
+#[test]
+fn same_seed_is_byte_identical_different_seed_is_not() {
+    let (trace_a, outcomes_a, count_a) = chaos_run(7, 40);
+    let (trace_b, outcomes_b, count_b) = chaos_run(7, 40);
+    assert_eq!(trace_a, trace_b, "same seed must replay byte-identically");
+    assert_eq!(outcomes_a, outcomes_b);
+    assert_eq!(count_a, count_b);
+
+    let (trace_c, outcomes_c, _) = chaos_run(8, 40);
+    assert_ne!(
+        trace_a, trace_c,
+        "a different seed must produce a different fault schedule"
+    );
+    // Not just formatting noise: the actual success/failure pattern
+    // differs.
+    assert_ne!(outcomes_a, outcomes_c);
+}
+
+#[test]
+fn no_invocation_both_errors_and_commits() {
+    // The exactly-once contract, observed externally: every invocation
+    // either succeeds and bumps the counter once, or fails and leaves
+    // it untouched. Torn commit faults would break this without the
+    // idempotency guard (state applied + error reported).
+    for seed in [1_u64, 2, 3, 4, 5] {
+        let mut p = retrying_platform();
+        p.enable_chaos(FaultPlan::new(seed).rate_all(0.3).latency_share(0.2));
+        let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+        let mut expect = 0_i64;
+        for i in 0..60 {
+            let out = p.invoke(id, "incr", vec![]);
+            if out.is_ok() {
+                expect += 1;
+            }
+            let got = p.get_state(id).unwrap()["count"].as_i64().unwrap();
+            assert_eq!(
+                got, expect,
+                "seed {seed} invocation {i}: error and commit must be exclusive"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_injection_site_fires_when_scripted() {
+    // One scripted error per site; `storage.presign` needs a file key,
+    // so this class carries one (making every site reachable).
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/noop", |_| Ok(TaskResult::output(1)));
+    p.deploy_yaml(
+        "
+classes:
+  - name: Filer
+    constraint:
+      persistent: true
+    keySpecs:
+      - name: blob
+        type: file
+    functions:
+      - name: noop
+        image: img/noop
+",
+    )
+    .unwrap();
+    let id = p.create_object("Filer", vjson!({})).unwrap();
+    for site in InjectionSite::ALL {
+        let plan = FaultPlan::new(0).script(site, 0, FaultKind::Error);
+        p.enable_chaos(plan);
+        let err = p.invoke(id, "noop", vec![]).unwrap_err();
+        match err {
+            PlatformError::FaultInjected { site: s, kind } => {
+                assert_eq!(s, site.as_str());
+                assert_eq!(kind, "error");
+            }
+            other => panic!("expected injected fault at {site}, got {other}"),
+        }
+        assert_eq!(
+            p.chaos().injected_totals().get(&site).copied(),
+            Some(1),
+            "site {site} never consulted"
+        );
+        p.disable_chaos();
+        // The class has no availability NFR: one attempt, so the
+        // injected error surfaces directly.
+        assert!(p.invoke(id, "noop", vec![]).is_ok());
+    }
+}
+
+#[test]
+fn torn_commit_on_retried_task_never_double_applies() {
+    // Attempt 1 commits but the ack is lost (torn); the retry must
+    // detect the committed idempotency key and skip re-applying.
+    let mut p = retrying_platform();
+    p.enable_telemetry(TelemetryConfig::default());
+    p.enable_chaos(FaultPlan::new(3).script(InjectionSite::StateCommit, 0, FaultKind::Torn));
+    let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+    let out = p.invoke(id, "incr", vec![]).unwrap();
+    assert_eq!(out.output.as_i64(), Some(1));
+    assert_eq!(
+        p.get_state(id).unwrap()["count"].as_i64(),
+        Some(1),
+        "torn commit + retry must apply state exactly once"
+    );
+    // The trace shows the mechanism: a torn commit, a backoff, and the
+    // skipped re-commit on the retry.
+    let spans = p.telemetry().finished();
+    let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+    assert!(names.contains(&"chaos.fault"), "{names:?}");
+    assert!(names.contains(&"retry.backoff"), "{names:?}");
+    assert!(names.contains(&"commit.skipped"), "{names:?}");
+    assert!(names.contains(&"invoke.attempt"), "{names:?}");
+}
+
+#[test]
+fn torn_commit_on_final_attempt_recovers_the_result() {
+    // No retries left after the torn commit — but the work *landed*, so
+    // the platform recovers the committed result instead of reporting
+    // an error for an applied state change (the invariant above).
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/incr", |t| {
+        let n = t.state_in["count"].as_i64().unwrap_or(0) + 1;
+        Ok(TaskResult::output(n).with_patch(vjson!({"count": n})))
+    });
+    p.deploy_yaml(
+        "
+classes:
+  - name: Counter
+    constraint:
+      persistent: true
+    keySpecs: [count]
+    functions:
+      - name: incr
+        image: img/incr
+",
+    )
+    .unwrap();
+    p.enable_chaos(FaultPlan::new(3).script(InjectionSite::StateCommit, 0, FaultKind::Torn));
+    let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+    let out = p.invoke(id, "incr", vec![]).unwrap();
+    assert_eq!(out.output.as_i64(), Some(1));
+    assert_eq!(p.get_state(id).unwrap()["count"].as_i64(), Some(1));
+}
+
+#[test]
+fn retries_survive_transient_faults_and_are_metered() {
+    let mut p = retrying_platform();
+    // Two consecutive engine errors, then the third attempt succeeds.
+    p.enable_chaos(
+        FaultPlan::new(0)
+            .script(InjectionSite::EngineExecute, 0, FaultKind::Error)
+            .script(InjectionSite::EngineExecute, 1, FaultKind::Error),
+    );
+    let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+    assert!(p.invoke(id, "incr", vec![]).is_ok());
+    assert_eq!(p.get_state(id).unwrap()["count"].as_i64(), Some(1));
+    let summaries = p.metrics().function_summaries();
+    let row = summaries.iter().find(|r| r.function == "incr").unwrap();
+    assert_eq!(row.retries, 2);
+    assert_eq!(row.errors, 0, "a recovered invocation is not an error");
+    assert_eq!(row.breaker.as_str(), "closed");
+}
+
+#[test]
+fn application_errors_are_not_retried() {
+    // Retry only helps transient failures; a deterministic application
+    // bug must fail fast without burning attempts.
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/bug", |_| Err(TaskError::Application("bug".into())));
+    p.deploy_yaml(
+        "
+classes:
+  - name: Buggy
+    qos:
+      availability: 0.99
+    constraint:
+      persistent: true
+    keySpecs: [count]
+    functions:
+      - name: f
+        image: img/bug
+",
+    )
+    .unwrap();
+    p.enable_chaos(FaultPlan::new(0));
+    let id = p.create_object("Buggy", vjson!({})).unwrap();
+    assert!(p.invoke(id, "f", vec![]).is_err());
+    let summaries = p.metrics().function_summaries();
+    let row = summaries.iter().find(|r| r.function == "f").unwrap();
+    assert_eq!(row.retries, 0);
+}
+
+#[test]
+fn breaker_opens_after_consecutive_failures_and_half_opens_after_cooldown() {
+    let mut p = retrying_platform();
+    // Every engine call fails: each invocation exhausts its attempts.
+    p.enable_chaos(FaultPlan::new(0).rate(InjectionSite::EngineExecute, 1.0));
+    let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+    let policy = p.retry_policy("Counter").unwrap().clone();
+    assert!(policy.breaker_threshold > 0);
+    // Drive the breaker to its threshold of settled failures.
+    let mut rejected_without_attempt = 0;
+    for _ in 0..(policy.breaker_threshold + 3) {
+        match p.invoke(id, "incr", vec![]) {
+            Err(PlatformError::CircuitOpen { .. }) => rejected_without_attempt += 1,
+            Err(_) => {}
+            Ok(_) => panic!("all engine calls are faulted"),
+        }
+    }
+    assert!(rejected_without_attempt > 0, "breaker never opened");
+    assert_eq!(p.breaker_state("Counter", "incr"), Some("open"));
+
+    // Past the cooldown the breaker half-opens and a clean probe closes
+    // it again.
+    p.disable_chaos();
+    p.enable_chaos(FaultPlan::new(0));
+    p.advance_chaos_clock(policy.breaker_cooldown + SimDuration::from_millis(1));
+    assert!(p.invoke(id, "incr", vec![]).is_ok());
+    assert_eq!(p.breaker_state("Counter", "incr"), Some("closed"));
+    assert_eq!(p.get_state(id).unwrap()["count"].as_i64(), Some(1));
+}
+
+#[test]
+fn deadline_bounds_the_retry_budget() {
+    // latency 100ms × 3 attempts = 300ms deadline. A 350ms latency
+    // spike during attempt 1 plus an engine error leaves no room for
+    // the backoff → DeadlineExceeded instead of attempt 2.
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/incr", |t| {
+        let n = t.state_in["count"].as_i64().unwrap_or(0) + 1;
+        Ok(TaskResult::output(n).with_patch(vjson!({"count": n})))
+    });
+    p.deploy_yaml(
+        "
+classes:
+  - name: Counter
+    qos:
+      availability: 0.99
+      latency: 100
+    constraint:
+      persistent: true
+    keySpecs: [count]
+    functions:
+      - name: incr
+        image: img/incr
+",
+    )
+    .unwrap();
+    let policy = p.retry_policy("Counter").unwrap().clone();
+    assert_eq!(policy.deadline, SimDuration::from_millis(300));
+    p.enable_chaos(
+        FaultPlan::new(0)
+            .script(
+                InjectionSite::StateLoad,
+                0,
+                FaultKind::Latency(SimDuration::from_millis(350)),
+            )
+            .script(InjectionSite::EngineExecute, 0, FaultKind::Error),
+    );
+    let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+    let err = p.invoke(id, "incr", vec![]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            PlatformError::DeadlineExceeded {
+                deadline_ms: 300,
+                ..
+            }
+        ),
+        "expected DeadlineExceeded, got {err}"
+    );
+    assert_eq!(p.get_state(id).unwrap()["count"].as_i64(), Some(0));
+}
+
+#[test]
+fn nfr_availability_tiers_map_to_policies() {
+    for (availability, attempts) in [(0.5, 1_u32), (0.9, 2), (0.99, 3), (0.999, 5), (0.9999, 7)] {
+        let mut p = EmbeddedPlatform::new();
+        p.register_function("img/noop", |_| Ok(TaskResult::output(1)));
+        p.deploy_yaml(&format!(
+            "
+classes:
+  - name: C
+    qos:
+      availability: {availability}
+    constraint:
+      persistent: true
+    keySpecs: [count]
+    functions:
+      - name: f
+        image: img/noop
+"
+        ))
+        .unwrap();
+        let policy = p.retry_policy("C").unwrap();
+        assert_eq!(
+            policy.max_attempts, attempts,
+            "availability {availability} maps to {attempts} attempts"
+        );
+        assert_eq!(policy.breaker_threshold > 0, attempts > 1);
+    }
+    // No NFR at all: single attempt, no breaker.
+    let p = retrying_platform();
+    assert_eq!(p.retry_policy("Counter").unwrap().max_attempts, 3);
+    let mut q = EmbeddedPlatform::new();
+    q.register_function("img/noop", |_| Ok(TaskResult::output(1)));
+    q.deploy_yaml(
+        "classes:\n  - name: Plain\n    functions:\n      - name: f\n        image: img/noop\n",
+    )
+    .unwrap();
+    assert_eq!(q.retry_policy("Plain").unwrap(), &RetryPolicy::default());
+}
+
+#[test]
+fn dataflows_run_serially_and_deterministically_under_chaos() {
+    // A two-step dataflow with a 100% engine fault rate on step calls:
+    // the serial chaos path must consult the injector in a stable order
+    // (same seed ⇒ same trace), and partial failures surface as errors.
+    fn run(seed: u64) -> (String, bool) {
+        let mut p = EmbeddedPlatform::new();
+        p.register_function("img/one", |_| Ok(TaskResult::output(1)));
+        p.register_function("img/double", |t| {
+            let x = t
+                .args
+                .first()
+                .and_then(oprc_value::Value::as_i64)
+                .unwrap_or(0);
+            Ok(TaskResult::output(x * 2))
+        });
+        p.deploy_yaml(
+            "
+classes:
+  - name: Flow
+    qos:
+      availability: 0.99
+    constraint:
+      persistent: true
+    keySpecs: [count]
+    functions:
+      - name: one
+        image: img/one
+      - name: double
+        image: img/double
+    dataflows:
+      - name: pipeline
+        steps:
+          - id: a
+            function: one
+          - id: b
+            function: double
+            inputs: [\"step:a\"]
+",
+        )
+        .unwrap();
+        p.enable_telemetry(TelemetryConfig::default());
+        p.enable_chaos(FaultPlan::new(seed).rate(InjectionSite::EngineExecute, 0.4));
+        let id = p.create_object("Flow", vjson!({})).unwrap();
+        let ok = p.invoke(id, "pipeline", vec![]).is_ok();
+        (to_jsonl(&p.telemetry().finished()), ok)
+    }
+    let (a1, ok1) = run(11);
+    let (a2, ok2) = run(11);
+    assert_eq!(a1, a2, "dataflow chaos run must replay byte-identically");
+    assert_eq!(ok1, ok2);
+    // With chaos disabled the same pipeline still works (parallel path).
+    let (_, ok_clean) = {
+        let mut p = EmbeddedPlatform::new();
+        p.register_function("img/one", |_| Ok(TaskResult::output(1)));
+        p.register_function("img/double", |t| {
+            let x = t
+                .args
+                .first()
+                .and_then(oprc_value::Value::as_i64)
+                .unwrap_or(0);
+            Ok(TaskResult::output(x * 2))
+        });
+        p.deploy_yaml(
+            "
+classes:
+  - name: Flow
+    functions:
+      - name: one
+        image: img/one
+      - name: double
+        image: img/double
+    dataflows:
+      - name: pipeline
+        steps:
+          - id: a
+            function: one
+          - id: b
+            function: double
+            inputs: [\"step:a\"]
+",
+        )
+        .unwrap();
+        let id = p.create_object("Flow", vjson!({})).unwrap();
+        let out = p.invoke(id, "pipeline", vec![]).unwrap();
+        assert_eq!(out.output.as_i64(), Some(2));
+        (String::new(), true)
+    };
+    assert!(ok_clean);
+}
