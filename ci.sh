@@ -18,4 +18,7 @@ cargo run -q -p oprc-bench --bin trace_smoke -- target/trace_image.json
 echo "==> chaos smoke (seeded fault injection over the image pipeline)"
 cargo run -q -p oprc-bench --bin chaos_smoke -- target/trace_chaos.json
 
+echo "==> invoke hot-path perf gate (seeded; warm ns/op vs baseline + retry allocation budget)"
+cargo run -q --release -p oprc-bench --bin invoke_hotpath -- --quick --check
+
 echo "==> CI green"

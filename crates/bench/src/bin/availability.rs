@@ -11,8 +11,10 @@
 use oprc_bench::format_table;
 use oprc_platform::sim::{self, ExperimentConfig, FailureSpec, SystemVariant};
 use oprc_simcore::SimDuration;
+use oprc_value::vjson;
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let vms = 6;
     let warmup = 5u64;
     let fail_at = 5u64; // seconds after warmup
@@ -25,6 +27,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     let mut timelines = Vec::new();
+    let mut json_results = Vec::new();
     for variant in [SystemVariant::Knative, SystemVariant::OprcBypass] {
         let mut cfg = ExperimentConfig::fig3(variant, vms);
         cfg.warmup = SimDuration::from_secs(warmup);
@@ -49,7 +52,30 @@ fn main() {
             format!("{after:.0}"),
             format!("{:.0}%", 100.0 * during / before.max(1.0)),
         ]);
+        json_results.push(vjson!({
+            "system": (variant.label()),
+            "vms": (r.vms),
+            "before_per_s": before,
+            "during_per_s": during,
+            "after_per_s": after,
+            "retained_pct": (100.0 * during / before.max(1.0)),
+            "per_second": (r.per_second.clone()),
+        }));
         timelines.push((variant.label(), r.per_second.clone()));
+    }
+    // Machine-readable results in the same shape as BENCH_fig3.json.
+    let doc = vjson!({
+        "experiment": "availability",
+        "seed": 42,
+        "quick": quick,
+        "results": (oprc_value::Value::from(json_results)),
+    });
+    match std::fs::write(
+        "BENCH_availability.json",
+        oprc_value::json::to_string_pretty(&doc),
+    ) {
+        Ok(()) => eprintln!("  wrote BENCH_availability.json"),
+        Err(e) => eprintln!("  could not write BENCH_availability.json: {e}"),
     }
     println!(
         "{}",

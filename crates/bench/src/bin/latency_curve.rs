@@ -13,6 +13,7 @@
 use oprc_bench::format_table;
 use oprc_platform::sim::{self, ExperimentConfig, LoadMode, SystemVariant};
 use oprc_simcore::SimDuration;
+use oprc_value::vjson;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -24,6 +25,7 @@ fn main() {
 
     println!("== E1: open-loop latency vs offered load ({vms} VMs) ==\n");
     let mut rows = Vec::new();
+    let mut json_results = Vec::new();
     for variant in SystemVariant::all() {
         for &rate in &rates {
             let mut cfg = ExperimentConfig::fig3(variant, vms);
@@ -39,6 +41,15 @@ fn main() {
                 format!("{:.1}", r.p99_ms),
                 r.rejected.to_string(),
             ]);
+            json_results.push(vjson!({
+                "system": (variant.label()),
+                "vms": (r.vms),
+                "offered_per_s": (rate * vms as f64),
+                "throughput": (r.throughput),
+                "p50_ms": (r.p50_ms),
+                "p99_ms": (r.p99_ms),
+                "rejected": (r.rejected),
+            }));
             eprintln!(
                 "  {} offered={:>5.0}/s got={:>5.0}/s p99={:>8.1}ms",
                 variant.label(),
@@ -47,6 +58,20 @@ fn main() {
                 r.p99_ms
             );
         }
+    }
+    // Machine-readable results in the same shape as BENCH_fig3.json.
+    let doc = vjson!({
+        "experiment": "latency_curve",
+        "seed": 42,
+        "quick": quick,
+        "results": (oprc_value::Value::from(json_results)),
+    });
+    match std::fs::write(
+        "BENCH_latency.json",
+        oprc_value::json::to_string_pretty(&doc),
+    ) {
+        Ok(()) => eprintln!("  wrote BENCH_latency.json"),
+        Err(e) => eprintln!("  could not write BENCH_latency.json: {e}"),
     }
     println!(
         "{}",

@@ -11,7 +11,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use oprc_value::Value;
+use oprc_value::{Snapshot, Value};
 
 use crate::CoreError;
 
@@ -290,6 +290,44 @@ impl DataflowSpec {
             .map(|r| Self::resolve_ref(r, input, outputs))
             .collect()
     }
+
+    /// [`Self::resolve_ref`] over copy-on-write snapshots: whole-output
+    /// references (`input`, `step:x` without a pointer) resolve to a
+    /// refcount bump of the producer's snapshot instead of a deep clone,
+    /// so fanning one intermediate value into many parallel consumers is
+    /// O(consumers) handles, not O(consumers) copies. Pointer-narrowed
+    /// references and constants still materialise the (small) extracted
+    /// value.
+    pub fn resolve_ref_shared(
+        r: &DataRef,
+        input: &Snapshot,
+        outputs: &BTreeMap<String, Snapshot>,
+    ) -> Snapshot {
+        match r {
+            DataRef::Input => input.clone(),
+            DataRef::Const(v) => Snapshot::from(v.clone()),
+            DataRef::Step { step, pointer } => match outputs.get(step) {
+                None => Snapshot::from(Value::Null),
+                Some(out) => match pointer {
+                    None => out.clone(),
+                    Some(p) => Snapshot::from(out.pointer(p).cloned().unwrap_or(Value::Null)),
+                },
+            },
+        }
+    }
+
+    /// [`Self::resolve_inputs`] over copy-on-write snapshots (see
+    /// [`Self::resolve_ref_shared`]).
+    pub fn resolve_inputs_shared(
+        step: &StepSpec,
+        input: &Snapshot,
+        outputs: &BTreeMap<String, Snapshot>,
+    ) -> Vec<Snapshot> {
+        step.inputs
+            .iter()
+            .map(|r| Self::resolve_ref_shared(r, input, outputs))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -392,6 +430,38 @@ mod tests {
         assert_eq!(inputs[1]["ok"].as_bool(), Some(true));
         assert_eq!(inputs[2].as_i64(), Some(1920));
         assert_eq!(inputs[3].as_i64(), Some(42));
+    }
+
+    #[test]
+    fn shared_resolution_matches_value_resolution_without_copies() {
+        let step = StepSpec::new("s", "f")
+            .from_input()
+            .from_step("prev")
+            .from_step_pointer("prev", "/meta/width")
+            .with_const(vjson!(42))
+            .from_step("missing");
+        let input = Snapshot::from(vjson!({"file": "x.png"}));
+        let mut outputs = BTreeMap::new();
+        outputs.insert(
+            "prev".to_string(),
+            Snapshot::from(vjson!({"meta": {"width": 1920}, "ok": true})),
+        );
+
+        let shared = DataflowSpec::resolve_inputs_shared(&step, &input, &outputs);
+        // Whole-value references share the producer's allocation.
+        assert!(Snapshot::ptr_eq(&shared[0], &input));
+        assert!(Snapshot::ptr_eq(&shared[1], &outputs["prev"]));
+
+        // And every binding agrees with the Value-based resolver.
+        let value_outputs: BTreeMap<String, Value> = outputs
+            .iter()
+            .map(|(k, v)| (k.clone(), v.value().clone()))
+            .collect();
+        let values = DataflowSpec::resolve_inputs(&step, input.value(), &value_outputs);
+        assert_eq!(shared.len(), values.len());
+        for (s, v) in shared.iter().zip(&values) {
+            assert_eq!(*s, *v);
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 
 use oprc_telemetry::TraceContext;
-use oprc_value::Value;
+use oprc_value::{Snapshot, Value};
 
 use crate::object::ObjectId;
 
@@ -69,8 +69,12 @@ pub struct InvocationTask {
     pub function: String,
     /// Container image implementing the function.
     pub image: String,
-    /// Snapshot of the object's structured state.
-    pub state_in: Value,
+    /// Copy-on-write snapshot of the object's structured state. Cloning
+    /// the task (e.g. re-shipping it on a retry attempt) bumps a
+    /// refcount instead of deep-cloning the state; the snapshot stays
+    /// observationally a value because all mutation goes through
+    /// [`Snapshot::make_mut`] on the platform side.
+    pub state_in: Snapshot,
     /// Revision of `state_in` (for stale-write detection).
     pub state_revision: u64,
     /// Positional arguments from the request (or resolved dataflow
@@ -183,6 +187,28 @@ mod tests {
         fn check<T: Send + Sync + 'static>() {}
         check::<InvocationTask>();
         check::<TaskResult>();
+    }
+
+    #[test]
+    fn task_clone_shares_state_snapshot() {
+        // Re-shipping a task (retry attempt, parallel stage) must not
+        // deep-clone the state: clones share one allocation.
+        let task = InvocationTask {
+            task_id: 1,
+            object: ObjectId(7),
+            impl_class: "Counter".into(),
+            function: "incr".into(),
+            image: "img/incr".into(),
+            state_in: Snapshot::from(vjson!({"count": 41})),
+            state_revision: 3,
+            args: Vec::new(),
+            file_urls: BTreeMap::new(),
+            trace: None,
+            idempotency_key: 9,
+        };
+        let reshipped = task.clone();
+        assert!(Snapshot::ptr_eq(&task.state_in, &reshipped.state_in));
+        assert_eq!(task, reshipped);
     }
 
     #[test]

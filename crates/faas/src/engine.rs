@@ -217,15 +217,17 @@ impl EngineModel {
                 // Error and torn faults both lose the request at the
                 // engine; the caller observes a rejection either way.
                 self.rejected += 1;
-                self.telemetry.instant(
-                    "chaos.fault",
-                    vjson!({
-                        "site": (InjectionSite::EngineExecute.as_str()),
-                        "kind": (kind.as_str()),
-                        "function": (self.spec.name.as_str()),
-                    }),
-                    now,
-                );
+                if self.telemetry.is_enabled() {
+                    self.telemetry.instant(
+                        "chaos.fault",
+                        vjson!({
+                            "site": (InjectionSite::EngineExecute.as_str()),
+                            "kind": (kind.as_str()),
+                            "function": (self.spec.name.as_str()),
+                        }),
+                        now,
+                    );
+                }
                 return None;
             }
         }
@@ -242,11 +244,13 @@ impl EngineModel {
                 }
                 _ => {
                     self.rejected += 1;
-                    self.telemetry.instant(
-                        "engine.reject",
-                        vjson!({"function": (self.spec.name.as_str())}),
-                        now,
-                    );
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.instant(
+                            "engine.reject",
+                            vjson!({"function": (self.spec.name.as_str())}),
+                            now,
+                        );
+                    }
                     return None;
                 }
             }

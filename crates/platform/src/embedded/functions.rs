@@ -67,7 +67,7 @@ mod tests {
             impl_class: "C".into(),
             function: "f".into(),
             image: "img/f".into(),
-            state_in: vjson!({"n": 1}),
+            state_in: vjson!({"n": 1}).into(),
             state_revision: 0,
             args: vec![vjson!(10)],
             file_urls: BTreeMap::new(),

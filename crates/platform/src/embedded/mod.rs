@@ -21,6 +21,7 @@ pub use s3::S3Gateway;
 pub use state::StateLayer;
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
@@ -38,7 +39,7 @@ use oprc_simcore::{SimDuration, SimTime};
 use oprc_store::presign::Method;
 use oprc_store::{ObjectMeta, StoredObject};
 use oprc_telemetry::{TelemetryConfig, TraceContext, TraceSink};
-use oprc_value::{merge, vjson, Value};
+use oprc_value::{merge, vjson, Snapshot, Value};
 
 use crate::deployer::{self, ClassRuntimeSpec};
 use crate::monitoring::MetricsHub;
@@ -63,8 +64,44 @@ struct ClassRuntime {
 #[derive(Debug, Clone)]
 struct ObjectEntry {
     class: String,
+    /// The object's storage key (`class/obj-n`), computed once at
+    /// creation so the invoke path never re-formats it.
+    storage_key: Arc<str>,
     files: BTreeMap<String, FileRef>,
     revision: u64,
+}
+
+/// The deploy-time-resolved dispatch for one `(class, function)` pair:
+/// everything `invoke` would otherwise recompute per call — the
+/// polymorphic dispatch walk, the access check, the breaker-key string.
+#[derive(Debug, Clone)]
+struct DispatchPlan {
+    /// Class providing the implementation (may be an ancestor).
+    impl_class: Arc<str>,
+    /// The function name as requested (dispatch key).
+    function: Arc<str>,
+    /// Container image implementing the function.
+    image: Arc<str>,
+    /// Whether the function is `access: internal`.
+    internal: bool,
+    /// Interned `class::function` breaker/metrics key.
+    breaker_key: Arc<str>,
+}
+
+/// Per-class invocation plan, built by
+/// [`EmbeddedPlatform::rebuild_dispatch_plans`] at deploy time and
+/// dropped wholesale on redeploy — the invoke hot path reads only this,
+/// never the registry.
+#[derive(Debug, Default)]
+struct ClassPlan {
+    /// Resolved dispatch per visible function name (inherited included).
+    functions: BTreeMap<String, DispatchPlan>,
+    /// Pre-shared dataflow specs per dataflow name.
+    dataflows: BTreeMap<String, Arc<DataflowSpec>>,
+    /// File-typed key-spec names (presign list for task builds).
+    file_keys: Arc<[String]>,
+    /// The class's deploy-time retry policy.
+    retry: RetryPolicy,
 }
 
 /// The in-process Oparaca platform.
@@ -76,6 +113,9 @@ pub struct EmbeddedPlatform {
     catalog: TemplateCatalog,
     functions: FunctionRegistry,
     runtimes: BTreeMap<String, ClassRuntime>,
+    /// Per-class dispatch plans, rebuilt on every deploy (see
+    /// [`EmbeddedPlatform::rebuild_dispatch_plans`]).
+    plans: BTreeMap<String, ClassPlan>,
     state: StateLayer,
     objects: BTreeMap<ObjectId, ObjectEntry>,
     s3: S3Gateway,
@@ -95,8 +135,9 @@ pub struct EmbeddedPlatform {
     /// Seed for per-invocation backoff jitter streams.
     jitter_seed: u64,
     /// Per-`class::function` circuit breakers, created lazily for
-    /// functions whose retry policy arms one.
-    breakers: BTreeMap<String, CircuitBreaker>,
+    /// functions whose retry policy arms one. Keyed by the interned
+    /// breaker key so the hot path never formats a lookup string.
+    breakers: BTreeMap<Arc<str>, CircuitBreaker>,
     /// Virtual chaos clock: advanced by backoff sleeps and injected
     /// latency, never by wall time, so retry/breaker timing is
     /// deterministic.
@@ -130,6 +171,7 @@ impl EmbeddedPlatform {
             catalog,
             functions: FunctionRegistry::new(),
             runtimes: BTreeMap::new(),
+            plans: BTreeMap::new(),
             state: StateLayer::with_defaults(),
             objects: BTreeMap::new(),
             s3: S3Gateway::new(b"oparaca-embedded-secret".to_vec(), started),
@@ -205,7 +247,7 @@ impl EmbeddedPlatform {
     /// created (policy arms none, or the function was never invoked).
     pub fn breaker_state(&self, class: &str, function: &str) -> Option<&'static str> {
         self.breakers
-            .get(&format!("{class}::{function}"))
+            .get(format!("{class}::{function}").as_str())
             .map(|b| b.state().as_str())
     }
 
@@ -324,6 +366,59 @@ impl EmbeddedPlatform {
                 self.s3.ensure_bucket(&bucket_name(&name))?;
             }
         }
+        self.rebuild_dispatch_plans()?;
+        Ok(())
+    }
+
+    /// Rebuilds the per-class dispatch-plan cache from the registry.
+    ///
+    /// Runs at the end of every deploy. Deploys are rare and can change
+    /// dispatch for *other* classes too (an upgraded package rewires
+    /// inheritance), so the cache is cleared and rebuilt wholesale —
+    /// trivially correct invalidation: no stale plan can survive a
+    /// redeploy, and between deploys the registry is immutable.
+    fn rebuild_dispatch_plans(&mut self) -> Result<(), PlatformError> {
+        let mut plans = BTreeMap::new();
+        for class in self.registry.class_names() {
+            let resolved = self.registry.require_class(class)?;
+            let mut functions = BTreeMap::new();
+            for fname in resolved.function_names() {
+                let (impl_class, fdef) = resolved
+                    .dispatch(fname)
+                    .expect("function_names lists dispatchable functions");
+                functions.insert(
+                    fname.to_string(),
+                    DispatchPlan {
+                        impl_class: Arc::from(impl_class),
+                        function: Arc::from(fname),
+                        image: Arc::from(fdef.image.as_str()),
+                        internal: fdef.access == AccessModifier::Internal,
+                        breaker_key: Arc::from(format!("{class}::{fname}").as_str()),
+                    },
+                );
+            }
+            let dataflows = resolved
+                .dataflows
+                .iter()
+                .map(|df| (df.name.clone(), Arc::new(df.clone())))
+                .collect();
+            let file_keys: Arc<[String]> = resolved
+                .key_specs
+                .iter()
+                .filter(|k| k.state_type == oprc_core::StateType::File)
+                .map(|k| k.name.clone())
+                .collect();
+            plans.insert(
+                class.to_string(),
+                ClassPlan {
+                    functions,
+                    dataflows,
+                    file_keys,
+                    retry: RetryPolicy::from_nfr(&resolved.nfr),
+                },
+            );
+        }
+        self.plans = plans;
         Ok(())
     }
 
@@ -368,6 +463,7 @@ impl EmbeddedPlatform {
             id,
             ObjectEntry {
                 class: class.to_string(),
+                storage_key: Arc::from(key.as_str()),
                 files: BTreeMap::new(),
                 revision: 0,
             },
@@ -397,8 +493,11 @@ impl EmbeddedPlatform {
             .objects
             .get(&id)
             .ok_or(PlatformError::UnknownObject(id.as_u64()))?;
-        let key = storage_key(&entry.class, id);
-        Ok(self.state.load(&key).unwrap_or_else(Value::object))
+        let key = Arc::clone(&entry.storage_key);
+        Ok(self
+            .state
+            .load(&key)
+            .map_or_else(Value::object, Snapshot::into_value))
     }
 
     /// Reads an object's *externally visible* structured state: key
@@ -564,45 +663,39 @@ impl EmbeddedPlatform {
     ) -> Result<TaskResult, PlatformError> {
         let class = self.object_class(id)?.to_string();
         self.telemetry.attr(root, "class", class.as_str());
-        let resolved = self.registry.require_class(&class)?;
+        if !self.plans.contains_key(&class) {
+            // Plans cover every registered class, so a missing plan
+            // means an undeployed class — surface the registry's error.
+            self.registry.require_class(&class)?;
+        }
+        let plan = self
+            .plans
+            .get(&class)
+            .expect("deployed classes are planned");
 
-        if let Some(df) = resolved.dataflow(function) {
-            let df = df.clone();
+        if let Some(df) = plan.dataflows.get(function) {
+            let df = Arc::clone(df);
             let out = self.run_dataflow(id, &class, &df, args, root);
             self.record(&class, function, started, &out);
             return out;
         }
 
-        let (impl_class, fdef) = resolved
-            .dispatch(function)
-            .map(|(c, f)| (c.to_string(), f.clone()))
-            .ok_or_else(|| {
-                PlatformError::Core(oprc_core::CoreError::UnknownFunction {
-                    class: class.clone(),
-                    function: function.to_string(),
-                })
-            })?;
-        if fdef.access == AccessModifier::Internal {
+        let Some(dispatch) = plan.functions.get(function) else {
+            return Err(PlatformError::Core(oprc_core::CoreError::UnknownFunction {
+                class,
+                function: function.to_string(),
+            }));
+        };
+        if dispatch.internal {
             return Err(PlatformError::AccessDenied {
                 class,
                 function: function.to_string(),
             });
         }
+        let dispatch = dispatch.clone();
+        let policy = plan.retry.clone();
         self.route(&class, id, root);
-        let policy = self
-            .runtimes
-            .get(&class)
-            .map_or_else(RetryPolicy::default, |r| r.retry.clone());
-        let out = self.invoke_with_retry(
-            id,
-            &class,
-            &impl_class,
-            function,
-            &fdef.image,
-            args,
-            root,
-            &policy,
-        );
+        let out = self.invoke_with_retry(id, &class, &dispatch, args, root, &policy);
         self.record(&class, function, started, &out);
         out
     }
@@ -615,20 +708,20 @@ impl EmbeddedPlatform {
     /// The task is built once and *re-shipped* across attempts (§III-C:
     /// pure functions make the bundled task safely re-executable); only
     /// a failed build is rebuilt, since a build failure commits nothing.
-    // Mirrors build_task's parameter list plus the policy.
-    #[allow(clippy::too_many_arguments)]
+    /// Re-shipping bumps the state snapshot's refcount — the state is
+    /// never deep-cloned per attempt — and the final permitted attempt
+    /// takes the task by value instead of cloning it at all.
     fn invoke_with_retry(
         &mut self,
         id: ObjectId,
         class: &str,
-        impl_class: &str,
-        function: &str,
-        image: &str,
+        dispatch: &DispatchPlan,
         args: Vec<Value>,
         parent: TraceContext,
         policy: &RetryPolicy,
     ) -> Result<TaskResult, PlatformError> {
-        self.breaker_admit(class, function, policy)?;
+        let function: &str = &dispatch.function;
+        self.breaker_admit(class, function, &dispatch.breaker_key, policy)?;
         let ikey = self.next_invocation;
         self.next_invocation += 1;
         // Decorrelate concurrent invocations' jitter while keeping any
@@ -649,9 +742,9 @@ impl EmbeddedPlatform {
             } else {
                 TraceContext::NONE
             };
-            let result = self.run_attempt(
-                id, class, impl_class, function, image, &args, parent, ikey, &mut task,
-            );
+            let last = attempt == policy.max_attempts.max(1);
+            let result =
+                self.run_attempt(id, class, dispatch, &args, parent, ikey, &mut task, last);
             if !attempt_span.is_none() {
                 if let Err(e) = &result {
                     self.telemetry.attr(attempt_span, "error", e.to_string());
@@ -660,7 +753,7 @@ impl EmbeddedPlatform {
             }
             match result {
                 Ok(out) => {
-                    self.breaker_settle(class, function, true);
+                    self.breaker_settle(class, function, &dispatch.breaker_key, true);
                     return Ok(out);
                 }
                 Err(e) if is_retryable(&e) && attempt < policy.max_attempts => {
@@ -700,7 +793,7 @@ impl EmbeddedPlatform {
         // instead of reporting an error for work that committed.
         if let Some(result) = self.committed.get(&ikey) {
             let result = result.clone();
-            self.breaker_settle(class, function, true);
+            self.breaker_settle(class, function, &dispatch.breaker_key, true);
             if self.telemetry.is_enabled() {
                 self.telemetry.instant_under(
                     parent,
@@ -711,7 +804,7 @@ impl EmbeddedPlatform {
             }
             return Ok(result);
         }
-        self.breaker_settle(class, function, false);
+        self.breaker_settle(class, function, &dispatch.breaker_key, false);
         Err(last_err.expect("loop ran at least one attempt"))
     }
 
@@ -722,46 +815,43 @@ impl EmbeddedPlatform {
         &mut self,
         id: ObjectId,
         class: &str,
-        impl_class: &str,
-        function: &str,
-        image: &str,
+        dispatch: &DispatchPlan,
         args: &[Value],
         parent: TraceContext,
         ikey: u64,
         task: &mut Option<InvocationTask>,
+        last: bool,
     ) -> Result<TaskResult, PlatformError> {
         if task.is_none() {
-            let mut built = self.build_task(
-                id,
-                class,
-                impl_class,
-                function,
-                image,
-                args.to_vec(),
-                parent,
-            )?;
+            let mut built = self.build_task(id, class, dispatch, args.to_vec(), parent)?;
             built.idempotency_key = ikey;
             *task = Some(built);
         }
-        let task = task.clone().expect("just built");
+        // The final permitted attempt ships the task by value — nothing
+        // can re-ship it afterwards, so a clone would be dropped unused.
+        let task = if last { task.take() } else { task.clone() }.expect("just built");
         self.execute_and_apply(id, class, task)
     }
 
     /// Admits or rejects an invocation through the function's breaker.
+    ///
+    /// `key` is the dispatch plan's interned `class::function` breaker
+    /// key — inserting shares it (a refcount bump), so the hot path
+    /// never formats a key string.
     fn breaker_admit(
         &mut self,
         class: &str,
         function: &str,
+        key: &Arc<str>,
         policy: &RetryPolicy,
     ) -> Result<(), PlatformError> {
         if policy.breaker_threshold == 0 {
             return Ok(());
         }
-        let key = format!("{class}::{function}");
         let now = self.chaos_clock;
         let breaker = self
             .breakers
-            .entry(key)
+            .entry(Arc::clone(key))
             .or_insert_with(|| CircuitBreaker::from_policy(policy));
         let before = breaker.state();
         let allowed = breaker.allow(now);
@@ -782,9 +872,9 @@ impl EmbeddedPlatform {
     }
 
     /// Feeds an invocation outcome to the function's breaker, if any.
-    fn breaker_settle(&mut self, class: &str, function: &str, ok: bool) {
+    fn breaker_settle(&mut self, class: &str, function: &str, key: &Arc<str>, ok: bool) {
         let now = self.chaos_clock;
-        let Some(breaker) = self.breakers.get_mut(&format!("{class}::{function}")) else {
+        let Some(breaker) = self.breakers.get_mut(&**key) else {
             return;
         };
         let before = breaker.state();
@@ -922,24 +1012,24 @@ impl EmbeddedPlatform {
         }
     }
 
-    // The parameters mirror the fields of the task being built; a
-    // builder struct would restate them 1:1.
-    #[allow(clippy::too_many_arguments)]
     fn build_task(
         &mut self,
         id: ObjectId,
         class: &str,
-        impl_class: &str,
-        function: &str,
-        image: &str,
+        dispatch: &DispatchPlan,
         args: Vec<Value>,
         parent: TraceContext,
     ) -> Result<InvocationTask, PlatformError> {
         let enabled = self.telemetry.is_enabled();
-        let key = storage_key(class, id);
+        // The object entry interned its storage key at creation; share
+        // it instead of re-formatting per invoke.
+        let key = match self.objects.get(&id) {
+            Some(entry) => Arc::clone(&entry.storage_key),
+            None => Arc::from(storage_key(class, id).as_str()),
+        };
         let load_span = if enabled {
             let s = self.telemetry.begin_child(parent, "state.load", self.now());
-            self.telemetry.attr(s, "key", key.as_str());
+            self.telemetry.attr(s, "key", &*key);
             s
         } else {
             TraceContext::NONE
@@ -957,18 +1047,16 @@ impl EmbeddedPlatform {
             self.telemetry.attr(load_span, "hit", loaded.is_some());
             self.telemetry.end(load_span, self.now());
         }
-        let state_in = loaded.unwrap_or_else(Value::object);
+        let state_in = loaded.unwrap_or_else(Snapshot::object);
         let revision = self.objects.get(&id).map_or(0, |e| e.revision);
-        // Presign file URLs for every file-typed key spec: GET under the
-        // key name, PUT under "<key>:put".
-        let file_keys: Vec<String> = self
-            .registry
-            .require_class(class)?
-            .key_specs
-            .iter()
-            .filter(|k| k.state_type == oprc_core::StateType::File)
-            .map(|k| k.name.clone())
-            .collect();
+        // Presign file URLs for every file-typed key spec (pre-resolved
+        // into the class's dispatch plan): GET under the key name, PUT
+        // under "<key>:put".
+        let file_keys = self
+            .plans
+            .get(class)
+            .map(|p| Arc::clone(&p.file_keys))
+            .unwrap_or_default();
         let presign_span = if enabled && !file_keys.is_empty() {
             self.telemetry.begin_child(parent, "presign", self.now())
         } else {
@@ -984,9 +1072,9 @@ impl EmbeddedPlatform {
             }
         }
         let mut file_urls = BTreeMap::new();
-        for fk in file_keys {
-            file_urls.insert(fk.clone(), self.download_url(id, &fk)?);
-            file_urls.insert(format!("{fk}:put"), self.upload_url(id, &fk)?);
+        for fk in file_keys.iter() {
+            file_urls.insert(fk.clone(), self.download_url(id, fk)?);
+            file_urls.insert(format!("{fk}:put"), self.upload_url(id, fk)?);
         }
         if !presign_span.is_none() {
             self.telemetry
@@ -998,9 +1086,9 @@ impl EmbeddedPlatform {
         Ok(InvocationTask {
             task_id,
             object: id,
-            impl_class: impl_class.to_string(),
-            function: function.to_string(),
-            image: image.to_string(),
+            impl_class: dispatch.impl_class.to_string(),
+            function: dispatch.function.to_string(),
+            image: dispatch.image.to_string(),
             state_in,
             state_revision: revision,
             args,
@@ -1114,14 +1202,23 @@ impl EmbeddedPlatform {
             }
         };
         if let Some(patch) = &result.state_patch {
-            let key = storage_key(class, id);
+            let key = match self.objects.get(&id) {
+                Some(entry) => Arc::clone(&entry.storage_key),
+                None => Arc::from(storage_key(class, id).as_str()),
+            };
             let sink = self.telemetry.clone();
             let mut state = self
                 .state
                 .load_traced(now, &key, &sink, commit_span)
-                .unwrap_or_else(Value::object);
-            merge::deep_merge(&mut state, patch.clone());
-            merge::normalize(&mut state);
+                .unwrap_or_else(Snapshot::object);
+            {
+                // Copy-on-write boundary: the payload is cloned here —
+                // and only here — if the snapshot is still shared with
+                // in-flight tasks or store tiers.
+                let state = state.make_mut();
+                merge::deep_merge(state, patch.clone());
+                merge::normalize(state);
+            }
             let persist = self.class_persists(class);
             self.state
                 .store_traced(now, &key, state, persist, &sink, commit_span);
@@ -1171,8 +1268,11 @@ impl EmbeddedPlatform {
     ) -> Result<TaskResult, PlatformError> {
         df.validate()?;
         let enabled = self.telemetry.is_enabled();
-        let input = args.into_iter().next().unwrap_or(Value::Null);
-        let mut outputs: BTreeMap<String, Value> = BTreeMap::new();
+        // The dataflow input and every step output live behind snapshots:
+        // fanning a value into several downstream steps bumps a refcount
+        // instead of deep-cloning the payload per consumer.
+        let input = Snapshot::from(args.into_iter().next().unwrap_or(Value::Null));
+        let mut outputs: BTreeMap<String, Snapshot> = BTreeMap::new();
         let stage_plan: Vec<Vec<String>> = df
             .try_stages()?
             .into_iter()
@@ -1206,7 +1306,7 @@ impl EmbeddedPlatform {
                 let (target_id, target_class) = match &step.target {
                     None => (id, class.to_string()),
                     Some(r) => {
-                        let resolved_ref = DataflowSpec::resolve_ref(r, &input, &outputs);
+                        let resolved_ref = DataflowSpec::resolve_ref_shared(r, &input, &outputs);
                         let raw = resolved_ref.as_u64().ok_or_else(|| {
                             PlatformError::Core(oprc_core::CoreError::InvalidDataflow {
                                 dataflow: df.name.clone(),
@@ -1221,16 +1321,23 @@ impl EmbeddedPlatform {
                         (tid, tclass)
                     }
                 };
-                let (impl_class, image) = {
-                    let resolved = self.registry.require_class(&target_class)?;
-                    let (impl_class, fdef) =
-                        resolved.dispatch(&step.function).ok_or_else(|| {
-                            PlatformError::Core(oprc_core::CoreError::UnknownFunction {
-                                class: target_class.clone(),
-                                function: step.function.clone(),
-                            })
-                        })?;
-                    (impl_class.to_string(), fdef.image.clone())
+                // Dispatch resolves through the target class's cached
+                // plan — no registry walk or string formatting per step.
+                let dispatch = match self
+                    .plans
+                    .get(&target_class)
+                    .and_then(|p| p.functions.get(&step.function))
+                {
+                    Some(d) => d.clone(),
+                    None => {
+                        // Distinguish an unknown class from an unknown
+                        // function on a known class.
+                        self.registry.require_class(&target_class)?;
+                        return Err(PlatformError::Core(oprc_core::CoreError::UnknownFunction {
+                            class: target_class.clone(),
+                            function: step.function.clone(),
+                        }));
+                    }
                 };
                 let step_span = if enabled {
                     let s = self
@@ -1244,45 +1351,40 @@ impl EmbeddedPlatform {
                     TraceContext::NONE
                 };
                 self.route(&target_class, target_id, step_span);
-                let inputs = DataflowSpec::resolve_inputs(step, &input, &outputs);
+                let inputs: Vec<Value> =
+                    DataflowSpec::resolve_inputs_shared(step, &input, &outputs)
+                        .into_iter()
+                        .map(Snapshot::into_value)
+                        .collect();
                 if self.chaos.is_enabled() {
                     // Under chaos the stage runs serially through the
                     // retry loop: parallel workers racing to the shared
                     // injector would make the fault schedule depend on
                     // thread scheduling, breaking reproducibility.
                     let policy = self
-                        .runtimes
+                        .plans
                         .get(&target_class)
-                        .map_or_else(RetryPolicy::default, |r| r.retry.clone());
+                        .map_or_else(RetryPolicy::default, |p| p.retry.clone());
                     let out = self.invoke_with_retry(
                         target_id,
                         &target_class,
-                        &impl_class,
-                        &step.function,
-                        &image,
+                        &dispatch,
                         inputs,
                         step_span,
                         &policy,
                     )?;
-                    outputs.insert(step_id.clone(), out.output.clone());
+                    outputs.insert(step_id.clone(), Snapshot::from(out.output));
                     self.telemetry.end(step_span, self.now());
                     continue;
                 }
-                let mut task = self.build_task(
-                    target_id,
-                    &target_class,
-                    &impl_class,
-                    &step.function,
-                    &image,
-                    inputs,
-                    step_span,
-                )?;
+                let mut task =
+                    self.build_task(target_id, &target_class, &dispatch, inputs, step_span)?;
                 task.idempotency_key = self.next_invocation;
                 self.next_invocation += 1;
                 let f = self
                     .functions
-                    .get(&image)
-                    .ok_or_else(|| PlatformError::UnknownImage(image.clone()))?;
+                    .get(&dispatch.image)
+                    .ok_or_else(|| PlatformError::UnknownImage(dispatch.image.to_string()))?;
                 tasks.push(task);
                 impls.push(f);
                 targets.push((target_id, target_class));
@@ -1326,14 +1428,18 @@ impl EmbeddedPlatform {
             {
                 let result = result?;
                 self.apply_result(target_id, &target_class, &result, step_span, ikey)?;
-                outputs.insert(step_id.clone(), result.output.clone());
+                outputs.insert(step_id.clone(), Snapshot::from(result.output));
                 self.telemetry.end(step_span, self.now());
             }
             self.telemetry.end(stage_span, self.now());
         }
         let out_step = df.output_step().expect("validated dataflow has steps");
+        // Removing the entry usually leaves the snapshot unique, making
+        // the final unwrap zero-copy.
         Ok(TaskResult::output(
-            outputs.remove(out_step).unwrap_or(Value::Null),
+            outputs
+                .remove(out_step)
+                .map_or(Value::Null, Snapshot::into_value),
         ))
     }
 
@@ -1404,7 +1510,7 @@ impl EmbeddedPlatform {
     /// Direct read of the durable tier (tests/diagnostics).
     pub fn durable_state(&self, id: ObjectId) -> Option<Value> {
         let entry = self.objects.get(&id)?;
-        self.state.durable_get(&storage_key(&entry.class, id))
+        self.state.durable_get(&entry.storage_key)
     }
 
     /// Simulates an in-memory-tier wipe (instance restart).
@@ -1430,8 +1536,8 @@ impl EmbeddedPlatform {
             let entry = self.objects[&id].clone();
             let state = self
                 .state
-                .load(&storage_key(&entry.class, id))
-                .unwrap_or_else(Value::object);
+                .load(&entry.storage_key)
+                .map_or_else(Value::object, Snapshot::into_value);
             let mut files = Value::object();
             for (name, fref) in &entry.files {
                 let mut f = Value::object();
@@ -1534,6 +1640,7 @@ impl EmbeddedPlatform {
             self.objects.insert(
                 id,
                 ObjectEntry {
+                    storage_key: Arc::from(storage_key(&class, id).as_str()),
                     class,
                     files,
                     revision: doc["revision"].as_u64().unwrap_or(0),

@@ -13,7 +13,7 @@
 
 use std::collections::BTreeMap;
 
-use oprc_value::Value;
+use oprc_value::Snapshot;
 
 use crate::{HashRing, StoreError};
 
@@ -67,8 +67,10 @@ impl Default for DhtConfig {
 pub struct Dht {
     cfg: DhtConfig,
     ring: HashRing,
-    /// member → partition data
-    partitions: BTreeMap<DhtNodeId, BTreeMap<String, Value>>,
+    /// member → partition data. Records are copy-on-write snapshots,
+    /// so replicating a value to `replication` members or rebalancing a
+    /// partition bumps refcounts instead of deep-cloning state.
+    partitions: BTreeMap<DhtNodeId, BTreeMap<String, Snapshot>>,
     puts: u64,
     gets: u64,
     moved_records: u64,
@@ -176,16 +178,16 @@ impl Dht {
     /// # Errors
     ///
     /// Returns [`StoreError::NoOwner`] when the table has no members.
-    pub fn put(&mut self, key: &str, value: Value) -> Result<(), StoreError> {
+    pub fn put(&mut self, key: &str, value: impl Into<Snapshot>) -> Result<(), StoreError> {
         if self.ring.is_empty() {
             return Err(StoreError::NoOwner);
         }
-        self.put_internal(key, value);
+        self.put_internal(key, value.into());
         self.puts += 1;
         Ok(())
     }
 
-    fn put_internal(&mut self, key: &str, value: Value) {
+    fn put_internal(&mut self, key: &str, value: Snapshot) {
         for owner in self.owners(key) {
             self.partitions
                 .get_mut(&owner)
@@ -194,15 +196,16 @@ impl Dht {
         }
     }
 
-    /// Reads `key` from its primary replica.
-    pub fn get(&mut self, key: &str) -> Option<Value> {
+    /// Reads `key` from its primary replica. The returned snapshot
+    /// shares the partition's allocation (refcount bump, not a copy).
+    pub fn get(&mut self, key: &str) -> Option<Snapshot> {
         self.gets += 1;
         let primary = self.ring.owner(key).map(DhtNodeId)?;
         self.partitions.get(&primary)?.get(key).cloned()
     }
 
     /// Removes `key` from all replicas, returning the primary's copy.
-    pub fn delete(&mut self, key: &str) -> Option<Value> {
+    pub fn delete(&mut self, key: &str) -> Option<Snapshot> {
         let mut out = None;
         for owner in self.owners(key) {
             let removed = self.partitions.get_mut(&owner).and_then(|p| p.remove(key));
@@ -241,7 +244,7 @@ impl Dht {
     fn rebalance(&mut self) -> u64 {
         let mut moved = 0;
         // Collect all (key, value) with current holder.
-        let snapshot: Vec<(DhtNodeId, String, Value)> = self
+        let snapshot: Vec<(DhtNodeId, String, Snapshot)> = self
             .partitions
             .iter()
             .flat_map(|(&n, p)| p.iter().map(move |(k, v)| (n, k.clone(), v.clone())))
@@ -318,6 +321,20 @@ mod tests {
             .filter(|(_, p)| p.contains_key("key"))
             .count();
         assert_eq!(holding, 3);
+    }
+
+    #[test]
+    fn replicas_share_one_allocation() {
+        // Replication is a refcount bump per extra member, not a deep
+        // clone — the CoW contract the hot path relies on.
+        let mut d = dht(4, 3);
+        d.put("key", vjson!({"payload": [1, 2, 3]})).unwrap();
+        let owners = d.owners("key");
+        let primary_copy = d.partitions[&owners[0]]["key"].clone();
+        for o in &owners[1..] {
+            assert!(Snapshot::ptr_eq(&primary_copy, &d.partitions[o]["key"]));
+        }
+        assert!(Snapshot::ptr_eq(&primary_copy, &d.get("key").unwrap()));
     }
 
     #[test]

@@ -122,9 +122,9 @@ impl PersistentDb {
 
     /// Writes one record at `now`, returning when it becomes durable
     /// under the write budget.
-    pub fn put(&mut self, now: SimTime, key: &str, value: Value) -> SimTime {
+    pub fn put(&mut self, now: SimTime, key: &str, value: impl Into<Value>) -> SimTime {
         let durable_at = self.bucket.acquire(now, 1.0);
-        self.data.put(key, value);
+        self.data.put(key, value.into());
         self.stats.single_writes += 1;
         durable_at
     }
@@ -133,14 +133,19 @@ impl PersistentDb {
     /// returning when the batch becomes durable.
     ///
     /// An empty batch is free and durable immediately.
-    pub fn put_batch(
+    /// Records are accepted as anything convertible to [`Value`] —
+    /// in particular the write-behind buffer's [`oprc_value::Snapshot`]s,
+    /// which materialise here (the one unavoidable copy per flushed key,
+    /// off the invocation hot path, when the in-memory tier still shares
+    /// the snapshot).
+    pub fn put_batch<V: Into<Value>>(
         &mut self,
         now: SimTime,
-        records: impl IntoIterator<Item = (String, Value)>,
+        records: impl IntoIterator<Item = (String, V)>,
     ) -> SimTime {
         let mut n = 0u64;
         for (k, v) in records {
-            self.data.put(&k, v);
+            self.data.put(&k, v.into());
             n += 1;
         }
         if n == 0 {
@@ -235,7 +240,7 @@ mod tests {
     #[test]
     fn empty_batch_is_free() {
         let mut d = db(1.0, 1.0, 0.0);
-        let t = d.put_batch(SimTime::from_secs(5), Vec::new());
+        let t = d.put_batch(SimTime::from_secs(5), Vec::<(String, Value)>::new());
         assert_eq!(t, SimTime::from_secs(5));
         assert_eq!(d.stats().batch_writes, 0);
     }

@@ -15,7 +15,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use oprc_simcore::SimTime;
-use oprc_value::Value;
+use oprc_value::Snapshot;
 
 /// Tunables for [`WriteBehindBuffer`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,8 +38,9 @@ impl Default for WriteBehindConfig {
 /// A batch of consolidated records ready to be written to the database.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlushBatch {
-    /// Records in first-dirtied order.
-    pub records: Vec<(String, Value)>,
+    /// Records in first-dirtied order, as copy-on-write snapshots
+    /// shared with the in-memory tier (buffering costs no deep clone).
+    pub records: Vec<(String, Snapshot)>,
     /// When the oldest record in the batch was first dirtied.
     pub oldest: SimTime,
 }
@@ -80,8 +81,8 @@ impl FlushBatch {
 #[derive(Debug, Clone, Default)]
 pub struct WriteBehindBuffer {
     cfg: WriteBehindConfig,
-    /// key → latest pending value
-    pending: BTreeMap<String, Value>,
+    /// key → latest pending value (a snapshot shared with the DHT)
+    pending: BTreeMap<String, Snapshot>,
     /// first-dirty queue (key, time); stale entries skipped on drain
     order: VecDeque<(String, SimTime)>,
     offers: u64,
@@ -130,9 +131,9 @@ impl WriteBehindBuffer {
     }
 
     /// Buffers an update for `key` at `now`.
-    pub fn offer(&mut self, now: SimTime, key: &str, value: Value) {
+    pub fn offer(&mut self, now: SimTime, key: &str, value: impl Into<Snapshot>) {
         self.offers += 1;
-        if self.pending.insert(key.to_string(), value).is_some() {
+        if self.pending.insert(key.to_string(), value.into()).is_some() {
             self.consolidated += 1;
         } else {
             self.order.push_back((key.to_string(), now));
@@ -175,6 +176,21 @@ impl WriteBehindBuffer {
             return None;
         }
         Some(self.drain(self.cfg.max_batch))
+    }
+
+    /// Cuts *all* due records at `now` as one batch, ignoring
+    /// `max_batch`: N deltas committed inside a flush window coalesce
+    /// into a single database write (one batched `put` covering every
+    /// dirty key) instead of ⌈N / max_batch⌉ sequential batches. This is
+    /// the flush path the platform's write-behind worker uses;
+    /// [`Self::take_batch`] remains for callers that need bounded batch
+    /// sizes (e.g. rate-limited DB admission).
+    pub fn take_due(&mut self, now: SimTime) -> Option<FlushBatch> {
+        if !self.batch_ready(now) {
+            return None;
+        }
+        let batch = self.drain(usize::MAX);
+        (!batch.is_empty()).then_some(batch)
     }
 
     /// Unconditionally drains up to `limit` records (shutdown / final
@@ -278,6 +294,29 @@ mod tests {
         assert_eq!(b.pending_len(), 3);
         // Still due immediately (over max_batch? no, 3 > 2 → yes).
         assert!(b.batch_ready(SimTime::ZERO));
+    }
+
+    #[test]
+    fn take_due_coalesces_all_pending_into_one_batch() {
+        let mut b = buf(3, 1_000);
+        for i in 0..7 {
+            b.offer(SimTime::ZERO, &format!("k{i}"), vjson!(i));
+        }
+        // take_batch would need ⌈7/3⌉ = 3 cuts; take_due coalesces.
+        let batch = b.take_due(SimTime::ZERO).unwrap();
+        assert_eq!(batch.len(), 7);
+        assert_eq!(b.pending_len(), 0);
+        assert_eq!(b.batches(), 1);
+        assert!(b.take_due(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn buffered_records_share_the_offered_snapshot() {
+        let mut b = buf(10, 0);
+        let snap = Snapshot::from(vjson!({"n": 1}));
+        b.offer(SimTime::ZERO, "k", snap.clone());
+        let batch = b.drain(10);
+        assert!(Snapshot::ptr_eq(&snap, &batch.records[0].1));
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! - [`yaml`]: a YAML-subset parser ([`yaml::parse`]) sufficient for the
 //!   class-definition format used in the paper's Listing 1 (block mappings,
 //!   block sequences, scalars, comments, nested structures).
+//! - [`Snapshot`]: an `Arc`-backed copy-on-write handle to a [`Value`],
+//!   used to ship object-state snapshots across retries, replicas, and
+//!   parallel dataflow stages without deep clones.
 //! - [`path`]: JSON-pointer-style access into nested values.
 //! - [`merge`]: deep merge used when applying state deltas.
 //!
@@ -33,6 +36,7 @@
 
 mod error;
 mod number;
+mod snapshot;
 mod value;
 
 pub mod json;
@@ -42,6 +46,7 @@ pub mod yaml;
 
 pub use error::{ParseError, Position};
 pub use number::Number;
+pub use snapshot::Snapshot;
 pub use value::{Map, Value};
 
 /// Constructs a [`Value`] from a JSON-like literal.

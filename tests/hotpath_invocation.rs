@@ -1,0 +1,235 @@
+//! Integration: the invocation hot path's copy-on-write snapshots and
+//! cached dispatch plans.
+//!
+//! The dispatch-plan cache is rebuilt wholesale on every deploy, so a
+//! redeploy must be observed by the *next* invoke — including dispatch
+//! rewired through inheritance — and copy-on-write state snapshots must
+//! be observationally identical to deep clones: committing a patch can
+//! never mutate a snapshot an in-flight task still holds.
+
+use std::sync::{Arc, Mutex};
+
+use oprc_core::invocation::TaskResult;
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_value::{merge, vjson, Snapshot, Value};
+use proptest::prelude::*;
+
+/// Redeploying a package with a changed `FunctionDef` image swaps the
+/// cached dispatch plan: the next invoke runs the new implementation.
+#[test]
+fn redeploy_swaps_dispatch_plan_for_changed_function() {
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/v1", |_| Ok(TaskResult::output("v1")));
+    p.register_function("img/v2", |_| Ok(TaskResult::output("v2")));
+    p.deploy_yaml(
+        "classes:\n  - name: C\n    functions:\n      - name: f\n        image: img/v1\n",
+    )
+    .unwrap();
+    let id = p.create_object("C", vjson!({})).unwrap();
+    assert_eq!(
+        p.invoke(id, "f", vec![]).unwrap().output.as_str(),
+        Some("v1")
+    );
+    // Upgrade: same package (default name), same class, new image.
+    p.deploy_yaml(
+        "classes:\n  - name: C\n    functions:\n      - name: f\n        image: img/v2\n",
+    )
+    .unwrap();
+    assert_eq!(
+        p.invoke(id, "f", vec![]).unwrap().output.as_str(),
+        Some("v2"),
+        "stale dispatch plan survived the redeploy"
+    );
+}
+
+/// Redeploy rewires *inherited* dispatch too: adding an override on a
+/// subclass must take effect for existing objects of that subclass even
+/// though the subclass's own entry never changed image before.
+#[test]
+fn redeploy_rewires_inherited_dispatch() {
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/base", |_| Ok(TaskResult::output("base")));
+    p.register_function("img/loud", |_| Ok(TaskResult::output("LOUD")));
+    let v1 = "
+classes:
+  - name: Base
+    functions:
+      - name: greet
+        image: img/base
+  - name: Loud
+    parent: Base
+";
+    p.deploy_yaml(v1).unwrap();
+    let loud = p.create_object("Loud", vjson!({})).unwrap();
+    assert_eq!(
+        p.invoke(loud, "greet", vec![]).unwrap().output.as_str(),
+        Some("base"),
+        "no override yet: dispatch inherits Base's implementation"
+    );
+    // v2 adds an override on the subclass only.
+    let v2 = "
+classes:
+  - name: Base
+    functions:
+      - name: greet
+        image: img/base
+  - name: Loud
+    parent: Base
+    functions:
+      - name: greet
+        image: img/loud
+";
+    p.deploy_yaml(v2).unwrap();
+    assert_eq!(
+        p.invoke(loud, "greet", vec![]).unwrap().output.as_str(),
+        Some("LOUD"),
+        "inherited dispatch plan not rewired by the redeploy"
+    );
+}
+
+/// Redeploying a changed dataflow spec invalidates the cached
+/// `Arc<DataflowSpec>`: the same platform observes the rewired flow.
+#[test]
+fn redeploy_swaps_cached_dataflow_spec() {
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/add1", |t| {
+        Ok(TaskResult::output(t.args[0].as_i64().unwrap_or(0) + 1))
+    });
+    p.register_function("img/double", |t| {
+        Ok(TaskResult::output(t.args[0].as_i64().unwrap_or(0) * 2))
+    });
+    let flow = |first: &str, second: &str| {
+        format!(
+            "
+classes:
+  - name: M
+    functions:
+      - name: add1
+        image: img/add1
+      - name: double
+        image: img/double
+    dataflows:
+      - name: calc
+        steps:
+          - id: a
+            function: {first}
+            inputs: [input]
+          - id: b
+            function: {second}
+            inputs: [\"step:a\"]
+"
+        )
+    };
+    p.deploy_yaml(&flow("add1", "double")).unwrap();
+    let id = p.create_object("M", vjson!({})).unwrap();
+    // (10 + 1) * 2
+    assert_eq!(
+        p.invoke(id, "calc", vec![vjson!(10)])
+            .unwrap()
+            .output
+            .as_i64(),
+        Some(22)
+    );
+    p.deploy_yaml(&flow("double", "add1")).unwrap();
+    // 10 * 2 + 1 — the cached spec must not survive the redeploy.
+    assert_eq!(
+        p.invoke(id, "calc", vec![vjson!(10)])
+            .unwrap()
+            .output
+            .as_i64(),
+        Some(21)
+    );
+}
+
+/// A committed state patch never mutates the snapshot an in-flight (or
+/// captured) task still holds: the commit boundary copies on write.
+#[test]
+fn committed_state_does_not_alias_task_snapshot() {
+    let captured: Arc<Mutex<Vec<Snapshot>>> = Arc::new(Mutex::new(Vec::new()));
+    let cap = Arc::clone(&captured);
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/incr", move |task| {
+        // Capturing the snapshot is a refcount bump — exactly what a
+        // still-in-flight retry shipment would hold.
+        cap.lock().unwrap().push(task.state_in.clone());
+        let n = task.state_in["count"].as_i64().unwrap_or(0) + 1;
+        Ok(TaskResult::output(n).with_patch(vjson!({"count": n})))
+    });
+    p.deploy_yaml(
+        "classes:\n  - name: K\n    keySpecs: [count]\n    functions:\n      - name: incr\n        image: img/incr\n",
+    )
+    .unwrap();
+    let id = p.create_object("K", vjson!({"count": 0})).unwrap();
+    for expect in 1..=3 {
+        let out = p.invoke(id, "incr", vec![]).unwrap();
+        assert_eq!(out.output.as_i64(), Some(expect));
+    }
+    assert_eq!(p.get_state(id).unwrap()["count"].as_i64(), Some(3));
+    // Every captured snapshot still shows the state *its* invocation
+    // saw; commits copied instead of writing through the shared Arc.
+    let snaps = captured.lock().unwrap();
+    for (i, snap) in snaps.iter().enumerate() {
+        assert_eq!(
+            snap["count"].as_i64(),
+            Some(i as i64),
+            "commit mutated a snapshot held by invocation {i}"
+        );
+    }
+}
+
+/// Strategy: an arbitrary state document — nested objects/arrays with
+/// integer, boolean, string, and null leaves (floats excluded so value
+/// equality is exact).
+fn arb_state() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Value::from),
+        any::<bool>().prop_map(Value::from),
+        "[a-z0-9]{0,12}".prop_map(Value::from),
+        Just(Value::Null),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::from),
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..4).prop_map(|m| {
+                let mut obj = Value::object();
+                for (k, v) in m {
+                    obj.insert(k, v);
+                }
+                obj
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Copy-on-write snapshots are observationally identical to deep
+    /// clones: merging a patch through `Snapshot::make_mut` produces the
+    /// same document as merging into a deep-cloned `Value`, and never
+    /// disturbs other holders of the snapshot.
+    #[test]
+    fn cow_snapshot_commits_match_deep_clone_commits(
+        state in arb_state(),
+        patch in arb_state(),
+    ) {
+        // Control: the pre-optimisation deep-clone commit.
+        let mut control = state.clone();
+        merge::deep_merge(&mut control, patch.clone());
+        merge::normalize(&mut control);
+
+        // CoW path: `shared` plays the in-flight task's re-shipped
+        // snapshot; `committing` is the engine's commit-boundary handle.
+        let shared = Snapshot::from(state.clone());
+        let mut committing = shared.clone();
+        {
+            let m = committing.make_mut();
+            merge::deep_merge(m, patch);
+            merge::normalize(m);
+        }
+        prop_assert_eq!(committing.value(), &control);
+        // The other holder is untouched — no aliasing through the Arc.
+        prop_assert_eq!(shared.value(), &state);
+        prop_assert!(!Snapshot::ptr_eq(&shared, &committing) || state == control);
+        // Unwrapping the committed snapshot materialises the same doc.
+        prop_assert_eq!(Snapshot::into_value(committing), control);
+    }
+}

@@ -18,7 +18,7 @@ fn pure_function_decoupling() {
         // The task is a value: no handles, no store references. Returning
         // no patch must leave state untouched regardless of what the
         // function does to its copy.
-        let mut local = task.state_in.clone();
+        let mut local = task.state_in.value().clone();
         local.insert("attempted", true);
         Ok(TaskResult::output(local))
     });
