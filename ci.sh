@@ -12,6 +12,9 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> concurrency conformance, serial rerun (catches order-dependent assertions)"
+cargo test -q -p oprc-tests --test concurrent_invocation -- --test-threads=1
+
 echo "==> telemetry smoke (image workload under tracing -> Chrome export)"
 cargo run -q -p oprc-bench --bin trace_smoke -- target/trace_image.json
 
@@ -20,5 +23,8 @@ cargo run -q -p oprc-bench --bin chaos_smoke -- target/trace_chaos.json
 
 echo "==> invoke hot-path perf gate (seeded; warm ns/op vs baseline + retry allocation budget)"
 cargo run -q --release -p oprc-bench --bin invoke_hotpath -- --quick --check
+
+echo "==> invoke throughput gate (workers x shards sweep; core-count-aware speedup gate)"
+cargo run -q --release -p oprc-bench --bin invoke_throughput -- --quick --check
 
 echo "==> CI green"

@@ -63,7 +63,7 @@ classes:
 }
 
 fn bench_invoke(c: &mut Criterion) {
-    let mut p = counter_platform();
+    let p = counter_platform();
     let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
     c.bench_function("embedded_invoke_counter", |b| {
         b.iter(|| p.invoke(id, "incr", vec![]).unwrap());
@@ -81,14 +81,14 @@ fn bench_dataflow_vs_manual(c: &mut Criterion) {
     // Dataflow: stage {a, b, c} runs in parallel, then d.
     // Critical path = 2 × STEP_COST.
     group.bench_function("dataflow_fanout", |b| {
-        let mut p = fanout_platform();
+        let p = fanout_platform();
         let id = p.create_object("Fan", vjson!({})).unwrap();
         b.iter(|| p.invoke(id, "fanout", vec![vjson!(1)]).unwrap());
     });
     // Manual chaining (what FaaS forces, §I): 4 sequential invocations.
     // Wall = 4 × STEP_COST.
     group.bench_function("manual_chain", |b| {
-        let mut p = fanout_platform();
+        let p = fanout_platform();
         let id = p.create_object("Fan", vjson!({})).unwrap();
         b.iter(|| {
             let a = p.invoke(id, "work", vec![vjson!(1)]).unwrap();

@@ -229,7 +229,7 @@ fn dataflow_platform() -> EmbeddedPlatform {
 }
 
 fn run_cold(ops: u64) -> CaseResult {
-    let mut p = hot_platform();
+    let p = hot_platform();
     let ids: Vec<ObjectId> = (0..ops)
         .map(|_| p.create_object("Hot", big_state()).expect("creates"))
         .collect();
@@ -246,7 +246,7 @@ fn run_cold(ops: u64) -> CaseResult {
 }
 
 fn run_warm(ops: u64) -> CaseResult {
-    let mut p = hot_platform();
+    let p = hot_platform();
     let id = p.create_object("Hot", big_state()).expect("creates");
     for _ in 0..ops / 8 {
         p.invoke(id, "incr", vec![]).expect("warms up");
@@ -299,7 +299,7 @@ fn run_retry_storm(ops: u64) -> CaseResult {
 }
 
 fn run_dataflow(ops: u64) -> CaseResult {
-    let mut p = dataflow_platform();
+    let p = dataflow_platform();
     let id = p.create_object("Flow8", vjson!({})).expect("creates");
     for _ in 0..ops / 8 {
         p.invoke(id, "pipe8", vec![vjson!(1)]).expect("warms up");

@@ -11,20 +11,43 @@
 //! "platform handles parallelism" half of §II-B — which is safe because
 //! tasks are pure: all state effects are applied by the platform
 //! afterwards, in deterministic step order.
+//!
+//! # Concurrency
+//!
+//! The invocation plane takes `&self`: N worker threads may drive
+//! [`EmbeddedPlatform::invoke`] (and `get_state`, presigned-URL issue,
+//! uploads) concurrently on one shared platform. Object state is split
+//! into shards keyed by [`ObjectId`] hash (see [`shard`]): invocations
+//! on objects in different shards never contend, while two invocations
+//! racing on the *same* object serialize on its shard lock — which is
+//! held across the whole retry loop, preserving the exactly-once commit
+//! semantics of the idempotency-key protocol. Dispatch plans are
+//! published as an atomically-swapped [`Arc`] table, so
+//! [`EmbeddedPlatform::deploy_package`] never stalls in-flight invokes:
+//! each invoke reads one consistent snapshot (old plan or new plan,
+//! never a torn mix). Under a single worker the platform is
+//! deterministic: every counter that names things (invocation ids, task
+//! ids, span ids) is sequentially consistent with program order, so
+//! chaos replay (fixed seed) and logical-clock telemetry exports stay
+//! byte-identical.
 
 mod functions;
 mod s3;
+mod shard;
 mod state;
 
 pub use functions::{FunctionImpl, FunctionRegistry};
 pub use s3::S3Gateway;
+pub use shard::{ShardStats, DEFAULT_SHARD_COUNT};
 pub use state::StateLayer;
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
 
 use oprc_analyzer::{analyze_with, AnalysisReport, LintConfig, Severity};
 use oprc_chaos::{CircuitBreaker, FaultInjector, FaultKind, FaultPlan, InjectionSite, RetryPolicy};
@@ -37,7 +60,7 @@ use oprc_core::AccessModifier;
 use oprc_core::OPackage;
 use oprc_simcore::{SimDuration, SimTime};
 use oprc_store::presign::Method;
-use oprc_store::{ObjectMeta, StoredObject};
+use oprc_store::{Dht, DhtConfig, DhtNodeId, ObjectMeta, StoredObject};
 use oprc_telemetry::{TelemetryConfig, TraceContext, TraceSink};
 use oprc_value::{merge, vjson, Snapshot, Value};
 
@@ -47,28 +70,27 @@ use crate::registry::PackageRegistry;
 use crate::router::ObjectRouter;
 use crate::PlatformError;
 
+use shard::{shard_index, ObjectEntry, Shard, ShardHandle};
+
 /// Presigned URLs issued by the embedded platform live this long.
 const URL_TTL: SimDuration = SimDuration::from_secs(900);
+
+/// DHT members mirrored into the routing ring — must match
+/// [`StateLayer::with_defaults`] so `primary(key)` answers identically
+/// for routing and for every shard's storage stack.
+const ROUTING_MEMBERS: u64 = 4;
 
 #[derive(Debug)]
 struct ClassRuntime {
     spec: ClassRuntimeSpec,
     router: ObjectRouter,
     instances: Vec<u64>,
-    routed_local: u64,
-    routed_remote: u64,
+    /// Atomic so routing stats accumulate under the runtimes *read*
+    /// lock (the invoke hot path never takes the write lock).
+    routed_local: AtomicU64,
+    routed_remote: AtomicU64,
     /// Retry policy the class's NFR availability block earned at deploy.
     retry: RetryPolicy,
-}
-
-#[derive(Debug, Clone)]
-struct ObjectEntry {
-    class: String,
-    /// The object's storage key (`class/obj-n`), computed once at
-    /// creation so the invoke path never re-formats it.
-    storage_key: Arc<str>,
-    files: BTreeMap<String, FileRef>,
-    revision: u64,
 }
 
 /// The deploy-time-resolved dispatch for one `(class, function)` pair:
@@ -92,7 +114,7 @@ struct DispatchPlan {
 /// [`EmbeddedPlatform::rebuild_dispatch_plans`] at deploy time and
 /// dropped wholesale on redeploy — the invoke hot path reads only this,
 /// never the registry.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct ClassPlan {
     /// Resolved dispatch per visible function name (inherited included).
     functions: BTreeMap<String, DispatchPlan>,
@@ -102,51 +124,73 @@ struct ClassPlan {
     file_keys: Arc<[String]>,
     /// The class's deploy-time retry policy.
     retry: RetryPolicy,
+    /// Whether the class runtime's template persists state (resolved at
+    /// deploy so commits never consult the runtimes lock).
+    persists: bool,
 }
 
+/// The full dispatch-plan table, swapped atomically at deploy.
+type PlanTable = BTreeMap<String, ClassPlan>;
+
 /// The in-process Oparaca platform.
+///
+/// The platform is `Sync`: share it behind an `Arc` (or plain `&`) and
+/// invoke from as many worker threads as you like. Setup-time methods
+/// (registering functions, enabling telemetry/chaos) still take
+/// `&mut self` — configure first, then serve.
 ///
 /// See the [crate docs](crate) for a full walkthrough.
 #[derive(Debug)]
 pub struct EmbeddedPlatform {
-    registry: PackageRegistry,
-    catalog: TemplateCatalog,
-    functions: FunctionRegistry,
-    runtimes: BTreeMap<String, ClassRuntime>,
-    /// Per-class dispatch plans, rebuilt on every deploy (see
+    // -- Control plane (locked; never touched while a shard is held) --
+    registry: RwLock<PackageRegistry>,
+    functions: RwLock<FunctionRegistry>,
+    runtimes: RwLock<BTreeMap<String, ClassRuntime>>,
+    /// Per-class dispatch plans behind an atomically-swapped `Arc`:
+    /// invokes clone the `Arc` once and read a consistent snapshot;
+    /// deploys build a fresh table off-lock and swap it in (see
     /// [`EmbeddedPlatform::rebuild_dispatch_plans`]).
-    plans: BTreeMap<String, ClassPlan>,
-    state: StateLayer,
-    objects: BTreeMap<ObjectId, ObjectEntry>,
+    plans: RwLock<Arc<PlanTable>>,
+    /// Serializes whole deployments (lint → registry → runtimes → plan
+    /// swap) without ever blocking the invoke read path.
+    deploy_gate: Mutex<()>,
+    // -- Data plane --
+    /// Sharded object state: directory entries, per-shard storage
+    /// stacks, and in-flight commit records (see [`shard`]).
+    shards: Box<[ShardHandle]>,
+    /// Routing ring: mirrors every shard's DHT membership so
+    /// `primary(key)` is answered without touching any shard lock.
+    routing: Dht,
+    // -- Shared leaf services (internally synchronized) --
     s3: S3Gateway,
     metrics: MetricsHub,
-    optimizer_cfg: OptimizerConfig,
-    lint_config: LintConfig,
-    next_object: u64,
-    next_task: u64,
-    next_instance: u64,
-    started: Instant,
     telemetry: TraceSink,
-    /// Images that have executed at least once (cold-start attribution
-    /// on `engine.execute` spans; tracked only while telemetry is on).
-    warmed: BTreeSet<String>,
     /// Fault injector (disabled unless a chaos plan is enabled).
     chaos: FaultInjector,
-    /// Seed for per-invocation backoff jitter streams.
-    jitter_seed: u64,
+    /// Images that have executed at least once (cold-start attribution
+    /// on `engine.execute` spans; tracked only while telemetry is on).
+    warmed: Mutex<BTreeSet<String>>,
     /// Per-`class::function` circuit breakers, created lazily for
     /// functions whose retry policy arms one. Keyed by the interned
     /// breaker key so the hot path never formats a lookup string.
-    breakers: BTreeMap<Arc<str>, CircuitBreaker>,
-    /// Virtual chaos clock: advanced by backoff sleeps and injected
-    /// latency, never by wall time, so retry/breaker timing is
-    /// deterministic.
-    chaos_clock: SimTime,
+    breakers: Mutex<BTreeMap<Arc<str>, CircuitBreaker>>,
+    // -- Plain configuration (set before serving) --
+    catalog: TemplateCatalog,
+    optimizer_cfg: OptimizerConfig,
+    lint_config: LintConfig,
+    /// Seed for per-invocation backoff jitter streams.
+    jitter_seed: u64,
+    started: Instant,
+    // -- Atomic counters --
+    next_object: AtomicU64,
+    next_task: AtomicU64,
+    next_instance: AtomicU64,
     /// Next idempotency key (one per logical invocation / dataflow step).
-    next_invocation: u64,
-    /// Results committed this top-level invocation, by idempotency key —
-    /// the double-commit guard and torn-ack recovery record.
-    committed: BTreeMap<u64, TaskResult>,
+    next_invocation: AtomicU64,
+    /// Virtual chaos clock (nanos): advanced by backoff sleeps and
+    /// injected latency, never by wall time, so retry/breaker timing is
+    /// deterministic.
+    chaos_clock: AtomicU64,
 }
 
 impl Default for EmbeddedPlatform {
@@ -165,32 +209,70 @@ impl EmbeddedPlatform {
     /// Creates a platform with a custom template catalog (the provider
     /// hook of §III-B).
     pub fn with_catalog(catalog: TemplateCatalog) -> Self {
+        Self::with_catalog_and_shards(catalog, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Creates a platform with the standard catalog and `shards` state
+    /// shards (callers benchmarking contention pass 1; the default is
+    /// [`DEFAULT_SHARD_COUNT`]).
+    pub fn with_shards(shards: usize) -> Self {
+        Self::with_catalog_and_shards(TemplateCatalog::standard(), shards)
+    }
+
+    /// Creates a platform with a custom catalog and shard count.
+    pub fn with_catalog_and_shards(catalog: TemplateCatalog, shards: usize) -> Self {
         let started = Instant::now();
+        let shards: Box<[ShardHandle]> = (0..shards.max(1))
+            .map(|_| ShardHandle::new(StateLayer::with_defaults()))
+            .collect();
+        let mut routing = Dht::new(DhtConfig::default());
+        for m in 0..ROUTING_MEMBERS {
+            routing.join(DhtNodeId(m));
+        }
         EmbeddedPlatform {
-            registry: PackageRegistry::new(),
-            catalog,
-            functions: FunctionRegistry::new(),
-            runtimes: BTreeMap::new(),
-            plans: BTreeMap::new(),
-            state: StateLayer::with_defaults(),
-            objects: BTreeMap::new(),
+            registry: RwLock::new(PackageRegistry::new()),
+            functions: RwLock::new(FunctionRegistry::new()),
+            runtimes: RwLock::new(BTreeMap::new()),
+            plans: RwLock::new(Arc::new(PlanTable::new())),
+            deploy_gate: Mutex::new(()),
+            shards,
+            routing,
             s3: S3Gateway::new(b"oparaca-embedded-secret".to_vec(), started),
             metrics: MetricsHub::new(),
+            telemetry: TraceSink::disabled(),
+            chaos: FaultInjector::disabled(),
+            warmed: Mutex::new(BTreeSet::new()),
+            breakers: Mutex::new(BTreeMap::new()),
+            catalog,
             optimizer_cfg: OptimizerConfig::default(),
             lint_config: LintConfig::new(),
-            next_object: 0,
-            next_task: 0,
-            next_instance: 0,
-            started,
-            telemetry: TraceSink::disabled(),
-            warmed: BTreeSet::new(),
-            chaos: FaultInjector::disabled(),
             jitter_seed: 0,
-            breakers: BTreeMap::new(),
-            chaos_clock: SimTime::ZERO,
-            next_invocation: 0,
-            committed: BTreeMap::new(),
+            started,
+            next_object: AtomicU64::new(0),
+            next_task: AtomicU64::new(0),
+            next_instance: AtomicU64::new(0),
+            next_invocation: AtomicU64::new(0),
+            chaos_clock: AtomicU64::new(0),
         }
+    }
+
+    /// The number of state shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard occupancy and lock-contention counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, h)| h.stats(i))
+            .collect()
+    }
+
+    /// The shard owning `id`'s state.
+    fn shard(&self, id: ObjectId) -> &ShardHandle {
+        &self.shards[shard_index(id, self.shards.len())]
     }
 
     /// Enables telemetry with `cfg`, replacing any previous sink.
@@ -233,13 +315,13 @@ impl EmbeddedPlatform {
     /// The virtual chaos clock: advanced by backoff sleeps and injected
     /// latency only, so breaker cooldowns are deterministic.
     pub fn chaos_clock(&self) -> SimTime {
-        self.chaos_clock
+        SimTime::from_nanos(self.chaos_clock.load(Ordering::Relaxed))
     }
 
     /// Manually advances the chaos clock (tests: let a breaker cooldown
     /// elapse without real time passing).
-    pub fn advance_chaos_clock(&mut self, d: SimDuration) {
-        self.chaos_clock += d;
+    pub fn advance_chaos_clock(&self, d: SimDuration) {
+        self.chaos_clock.fetch_add(d.as_nanos(), Ordering::Relaxed);
     }
 
     /// The circuit-breaker state of `class::function`: `closed` /
@@ -247,13 +329,14 @@ impl EmbeddedPlatform {
     /// created (policy arms none, or the function was never invoked).
     pub fn breaker_state(&self, class: &str, function: &str) -> Option<&'static str> {
         self.breakers
+            .lock()
             .get(format!("{class}::{function}").as_str())
             .map(|b| b.state().as_str())
     }
 
     /// The retry policy resolved for `class` at deploy time.
-    pub fn retry_policy(&self, class: &str) -> Option<&RetryPolicy> {
-        self.runtimes.get(class).map(|r| &r.retry)
+    pub fn retry_policy(&self, class: &str) -> Option<RetryPolicy> {
+        self.runtimes.read().get(class).map(|r| r.retry.clone())
     }
 
     /// The S3 endpoint handle. Function closures may capture a clone —
@@ -298,7 +381,7 @@ impl EmbeddedPlatform {
     where
         F: Fn(&InvocationTask) -> Result<TaskResult, TaskError> + Send + Sync + 'static,
     {
-        self.functions.register(image, f);
+        self.functions.write().register(image, f);
     }
 
     /// Parses and deploys a YAML package (§IV steps 4–5).
@@ -307,7 +390,7 @@ impl EmbeddedPlatform {
     ///
     /// Propagates parse/validation errors and template-selection
     /// failures.
-    pub fn deploy_yaml(&mut self, text: &str) -> Result<(), PlatformError> {
+    pub fn deploy_yaml(&self, text: &str) -> Result<(), PlatformError> {
         let pkg = oprc_core::parse::package_from_yaml(text)?;
         self.deploy_package(pkg)
     }
@@ -319,12 +402,17 @@ impl EmbeddedPlatform {
     /// deployment before any class runtime is created, warnings are
     /// recorded on the metrics hub and deployment proceeds.
     ///
+    /// Deployments serialize on an internal gate but never stall
+    /// in-flight invocations: readers keep the plan snapshot they
+    /// already hold and pick up the new table on their next invoke.
+    ///
     /// # Errors
     ///
     /// Returns [`PlatformError::LintRejected`] on error-severity lint
     /// findings; otherwise propagates registry and template-selection
     /// errors.
-    pub fn deploy_package(&mut self, pkg: OPackage) -> Result<(), PlatformError> {
+    pub fn deploy_package(&self, pkg: OPackage) -> Result<(), PlatformError> {
+        let _gate = self.deploy_gate.lock();
         let report = self.lint_package(&pkg);
         if report.has_errors() {
             return Err(PlatformError::LintRejected(
@@ -335,30 +423,33 @@ impl EmbeddedPlatform {
             self.metrics.record_lint_warning(warning.to_string());
         }
         let class_names: Vec<String> = pkg.classes.iter().map(|c| c.name.clone()).collect();
-        self.registry.deploy(pkg)?;
+        self.registry.write().deploy(pkg)?;
         for name in class_names {
-            let resolved = self.registry.require_class(&name)?;
-            let retry = RetryPolicy::from_nfr(&resolved.nfr);
-            let spec = deployer::plan_runtime(resolved, &self.catalog)?;
-            let has_files = resolved
-                .key_specs
-                .iter()
-                .any(|k| k.state_type == oprc_core::StateType::File);
+            let (spec, retry, has_files) = {
+                let registry = self.registry.read();
+                let resolved = registry.require_class(&name)?;
+                let retry = RetryPolicy::from_nfr(&resolved.nfr);
+                let spec = deployer::plan_runtime(resolved, &self.catalog)?;
+                let has_files = resolved
+                    .key_specs
+                    .iter()
+                    .any(|k| k.state_type == oprc_core::StateType::File);
+                (spec, retry, has_files)
+            };
             let replicas = spec.config.min_replicas.max(1) as usize;
             let locality = spec.config.locality_routing;
             let mut instances = Vec::with_capacity(replicas);
             for _ in 0..replicas {
-                instances.push(self.next_instance);
-                self.next_instance += 1;
+                instances.push(self.next_instance.fetch_add(1, Ordering::Relaxed));
             }
-            self.runtimes.insert(
+            self.runtimes.write().insert(
                 name.clone(),
                 ClassRuntime {
                     spec,
                     router: ObjectRouter::new(locality),
                     instances,
-                    routed_local: 0,
-                    routed_remote: 0,
+                    routed_local: AtomicU64::new(0),
+                    routed_remote: AtomicU64::new(0),
                     retry,
                 },
             );
@@ -366,77 +457,102 @@ impl EmbeddedPlatform {
                 self.s3.ensure_bucket(&bucket_name(&name))?;
             }
         }
-        self.rebuild_dispatch_plans()?;
-        Ok(())
+        self.rebuild_dispatch_plans()
     }
 
-    /// Rebuilds the per-class dispatch-plan cache from the registry.
+    /// Rebuilds the per-class dispatch-plan cache from the registry and
+    /// publishes it with one atomic `Arc` swap.
     ///
-    /// Runs at the end of every deploy. Deploys are rare and can change
-    /// dispatch for *other* classes too (an upgraded package rewires
-    /// inheritance), so the cache is cleared and rebuilt wholesale —
-    /// trivially correct invalidation: no stale plan can survive a
-    /// redeploy, and between deploys the registry is immutable.
-    fn rebuild_dispatch_plans(&mut self) -> Result<(), PlatformError> {
-        let mut plans = BTreeMap::new();
-        for class in self.registry.class_names() {
-            let resolved = self.registry.require_class(class)?;
-            let mut functions = BTreeMap::new();
-            for fname in resolved.function_names() {
-                let (impl_class, fdef) = resolved
-                    .dispatch(fname)
-                    .expect("function_names lists dispatchable functions");
-                functions.insert(
-                    fname.to_string(),
-                    DispatchPlan {
-                        impl_class: Arc::from(impl_class),
-                        function: Arc::from(fname),
-                        image: Arc::from(fdef.image.as_str()),
-                        internal: fdef.access == AccessModifier::Internal,
-                        breaker_key: Arc::from(format!("{class}::{fname}").as_str()),
+    /// Runs at the end of every deploy (under the deploy gate). Deploys
+    /// are rare and can change dispatch for *other* classes too (an
+    /// upgraded package rewires inheritance), so the table is rebuilt
+    /// wholesale off-lock and swapped in — trivially correct
+    /// invalidation: no stale plan can survive a redeploy, in-flight
+    /// invokes keep the consistent snapshot they cloned, and between
+    /// deploys the registry is immutable.
+    fn rebuild_dispatch_plans(&self) -> Result<(), PlatformError> {
+        let persists: BTreeMap<String, bool> = self
+            .runtimes
+            .read()
+            .iter()
+            .map(|(name, rt)| (name.clone(), rt.spec.config.persistent))
+            .collect();
+        let mut table = PlanTable::new();
+        {
+            let registry = self.registry.read();
+            for class in registry.class_names() {
+                let resolved = registry.require_class(class)?;
+                let mut functions = BTreeMap::new();
+                for fname in resolved.function_names() {
+                    let (impl_class, fdef) = resolved
+                        .dispatch(fname)
+                        .expect("function_names lists dispatchable functions");
+                    functions.insert(
+                        fname.to_string(),
+                        DispatchPlan {
+                            impl_class: Arc::from(impl_class),
+                            function: Arc::from(fname),
+                            image: Arc::from(fdef.image.as_str()),
+                            internal: fdef.access == AccessModifier::Internal,
+                            breaker_key: Arc::from(format!("{class}::{fname}").as_str()),
+                        },
+                    );
+                }
+                let dataflows = resolved
+                    .dataflows
+                    .iter()
+                    .map(|df| (df.name.clone(), Arc::new(df.clone())))
+                    .collect();
+                let file_keys: Arc<[String]> = resolved
+                    .key_specs
+                    .iter()
+                    .filter(|k| k.state_type == oprc_core::StateType::File)
+                    .map(|k| k.name.clone())
+                    .collect();
+                table.insert(
+                    class.to_string(),
+                    ClassPlan {
+                        functions,
+                        dataflows,
+                        file_keys,
+                        retry: RetryPolicy::from_nfr(&resolved.nfr),
+                        persists: persists.get(class).copied().unwrap_or(true),
                     },
                 );
             }
-            let dataflows = resolved
-                .dataflows
-                .iter()
-                .map(|df| (df.name.clone(), Arc::new(df.clone())))
-                .collect();
-            let file_keys: Arc<[String]> = resolved
-                .key_specs
-                .iter()
-                .filter(|k| k.state_type == oprc_core::StateType::File)
-                .map(|k| k.name.clone())
-                .collect();
-            plans.insert(
-                class.to_string(),
-                ClassPlan {
-                    functions,
-                    dataflows,
-                    file_keys,
-                    retry: RetryPolicy::from_nfr(&resolved.nfr),
-                },
-            );
         }
-        self.plans = plans;
+        *self.plans.write() = Arc::new(table);
         Ok(())
     }
 
     /// The runtime spec chosen for `class`, if deployed.
-    pub fn runtime_spec(&self, class: &str) -> Option<&ClassRuntimeSpec> {
-        self.runtimes.get(class).map(|r| &r.spec)
+    pub fn runtime_spec(&self, class: &str) -> Option<ClassRuntimeSpec> {
+        self.runtimes.read().get(class).map(|r| r.spec.clone())
     }
 
     /// All deployed class names, in order.
-    pub fn class_names(&self) -> Vec<&str> {
-        self.registry.class_names()
+    pub fn class_names(&self) -> Vec<String> {
+        self.registry
+            .read()
+            .class_names()
+            .into_iter()
+            .map(String::from)
+            .collect()
+    }
+
+    /// The live instance count of `class`'s runtime, if deployed.
+    pub fn instance_count(&self, class: &str) -> Option<usize> {
+        self.runtimes.read().get(class).map(|r| r.instances.len())
     }
 
     /// `(local, remote)` routing counters for `class`.
     pub fn routing_stats(&self, class: &str) -> (u64, u64) {
-        self.runtimes
-            .get(class)
-            .map_or((0, 0), |r| (r.routed_local, r.routed_remote))
+        self.runtimes.read().get(class).map_or((0, 0), |r| {
+            (
+                r.routed_local.load(Ordering::Relaxed),
+                r.routed_remote.load(Ordering::Relaxed),
+            )
+        })
     }
 
     /// Creates an object of `class` with initial structured state
@@ -445,21 +561,17 @@ impl EmbeddedPlatform {
     /// # Errors
     ///
     /// Returns [`PlatformError::Core`] for unknown classes.
-    pub fn create_object(
-        &mut self,
-        class: &str,
-        initial: Value,
-    ) -> Result<ObjectId, PlatformError> {
-        self.registry.require_class(class)?;
-        let id = ObjectId(self.next_object);
-        self.next_object += 1;
+    pub fn create_object(&self, class: &str, initial: Value) -> Result<ObjectId, PlatformError> {
+        self.registry.read().require_class(class)?;
+        let id = ObjectId(self.next_object.fetch_add(1, Ordering::Relaxed));
         let mut value = initial;
         merge::normalize(&mut value);
         let key = storage_key(class, id);
         let now = self.now();
         let persist = self.class_persists(class);
-        self.state.store(now, &key, value, persist);
-        self.objects.insert(
+        let mut sh = self.shard(id).lock();
+        sh.state.store(now, &key, value, persist);
+        sh.objects.insert(
             id,
             ObjectEntry {
                 class: class.to_string(),
@@ -476,10 +588,12 @@ impl EmbeddedPlatform {
     /// # Errors
     ///
     /// Returns [`PlatformError::UnknownObject`].
-    pub fn object_class(&self, id: ObjectId) -> Result<&str, PlatformError> {
-        self.objects
+    pub fn object_class(&self, id: ObjectId) -> Result<String, PlatformError> {
+        self.shard(id)
+            .lock()
+            .objects
             .get(&id)
-            .map(|e| e.class.as_str())
+            .map(|e| e.class.clone())
             .ok_or(PlatformError::UnknownObject(id.as_u64()))
     }
 
@@ -488,13 +602,14 @@ impl EmbeddedPlatform {
     /// # Errors
     ///
     /// Returns [`PlatformError::UnknownObject`].
-    pub fn get_state(&mut self, id: ObjectId) -> Result<Value, PlatformError> {
-        let entry = self
+    pub fn get_state(&self, id: ObjectId) -> Result<Value, PlatformError> {
+        let mut sh = self.shard(id).lock();
+        let key = sh
             .objects
             .get(&id)
+            .map(|e| Arc::clone(&e.storage_key))
             .ok_or(PlatformError::UnknownObject(id.as_u64()))?;
-        let key = Arc::clone(&entry.storage_key);
-        Ok(self
+        Ok(sh
             .state
             .load(&key)
             .map_or_else(Value::object, Snapshot::into_value))
@@ -509,16 +624,18 @@ impl EmbeddedPlatform {
     /// # Errors
     ///
     /// Returns [`PlatformError::UnknownObject`] / [`PlatformError::Core`].
-    pub fn get_state_public(&mut self, id: ObjectId) -> Result<Value, PlatformError> {
-        let class = self.object_class(id)?.to_string();
-        let internal: Vec<String> = self
-            .registry
-            .require_class(&class)?
-            .key_specs
-            .iter()
-            .filter(|k| k.access == AccessModifier::Internal)
-            .map(|k| k.name.clone())
-            .collect();
+    pub fn get_state_public(&self, id: ObjectId) -> Result<Value, PlatformError> {
+        let class = self.object_class(id)?;
+        let internal: Vec<String> = {
+            let registry = self.registry.read();
+            registry
+                .require_class(&class)?
+                .key_specs
+                .iter()
+                .filter(|k| k.access == AccessModifier::Internal)
+                .map(|k| k.name.clone())
+                .collect()
+        };
         let mut state = self.get_state(id)?;
         if let Some(map) = state.as_object_mut() {
             for key in &internal {
@@ -529,8 +646,12 @@ impl EmbeddedPlatform {
     }
 
     /// An object's file reference for `key`, if the file was written.
-    pub fn file_ref(&self, id: ObjectId, key: &str) -> Option<&FileRef> {
-        self.objects.get(&id).and_then(|e| e.files.get(key))
+    pub fn file_ref(&self, id: ObjectId, key: &str) -> Option<FileRef> {
+        self.shard(id)
+            .lock()
+            .objects
+            .get(&id)
+            .and_then(|e| e.files.get(key).cloned())
     }
 
     /// Issues a presigned PUT URL for an object's file key (§III-D).
@@ -538,7 +659,7 @@ impl EmbeddedPlatform {
     /// # Errors
     ///
     /// Returns [`PlatformError::UnknownObject`] for missing objects.
-    pub fn upload_url(&mut self, id: ObjectId, key: &str) -> Result<String, PlatformError> {
+    pub fn upload_url(&self, id: ObjectId, key: &str) -> Result<String, PlatformError> {
         self.presigned(id, key, Method::Put)
     }
 
@@ -547,21 +668,26 @@ impl EmbeddedPlatform {
     /// # Errors
     ///
     /// Returns [`PlatformError::UnknownObject`] for missing objects.
-    pub fn download_url(&mut self, id: ObjectId, key: &str) -> Result<String, PlatformError> {
+    pub fn download_url(&self, id: ObjectId, key: &str) -> Result<String, PlatformError> {
         self.presigned(id, key, Method::Get)
     }
 
-    fn presigned(
-        &mut self,
+    fn presigned(&self, id: ObjectId, key: &str, method: Method) -> Result<String, PlatformError> {
+        let class = self.object_class(id)?;
+        self.presign_for(&class, id, key, method)
+    }
+
+    /// Presigns a URL for `class`/`id`/`key` without consulting the
+    /// object directory — callable while the object's shard is locked
+    /// (the shard mutex is not reentrant).
+    fn presign_for(
+        &self,
+        class: &str,
         id: ObjectId,
         key: &str,
         method: Method,
     ) -> Result<String, PlatformError> {
-        let entry = self
-            .objects
-            .get(&id)
-            .ok_or(PlatformError::UnknownObject(id.as_u64()))?;
-        let bucket = bucket_name(&entry.class);
+        let bucket = bucket_name(class);
         self.s3.ensure_bucket(&bucket)?;
         let object_key = format!("{id}/{key}");
         Ok(self.s3.presign(method, &bucket, &object_key, URL_TTL))
@@ -575,7 +701,7 @@ impl EmbeddedPlatform {
     /// Returns [`PlatformError::Store`] on signature/expiry failures or
     /// when the URL grants GET only.
     pub fn upload(
-        &mut self,
+        &self,
         url: &str,
         data: Bytes,
         content_type: &str,
@@ -585,7 +711,8 @@ impl EmbeddedPlatform {
         // validated the URL, so parsing its path is safe).
         if let Some((bucket, key)) = parse_url_path(url) {
             if let Some((obj, file_key)) = parse_object_key(&key) {
-                if let Some(entry) = self.objects.get_mut(&obj) {
+                let mut sh = self.shard(obj).lock();
+                if let Some(entry) = sh.objects.get_mut(&obj) {
                     entry.files.insert(
                         file_key.to_string(),
                         FileRef {
@@ -607,11 +734,21 @@ impl EmbeddedPlatform {
     ///
     /// Returns [`PlatformError::Store`] on signature/expiry failures,
     /// wrong method, or missing objects.
-    pub fn download(&mut self, url: &str) -> Result<StoredObject, PlatformError> {
+    pub fn download(&self, url: &str) -> Result<StoredObject, PlatformError> {
         Ok(self.s3.get(url)?)
     }
 
+    /// The virtual chaos clock as a [`SimTime`].
+    fn chaos_now(&self) -> SimTime {
+        SimTime::from_nanos(self.chaos_clock.load(Ordering::Relaxed))
+    }
+
     /// Invokes a method or dataflow on an object (§IV step 5).
+    ///
+    /// Takes `&self`: any number of worker threads may invoke
+    /// concurrently. Invocations on the same object serialize on its
+    /// state shard; invocations on objects in different shards proceed
+    /// in parallel.
     ///
     /// # Errors
     ///
@@ -622,16 +759,12 @@ impl EmbeddedPlatform {
     ///   registered;
     /// - [`PlatformError::Task`] when the function itself fails.
     pub fn invoke(
-        &mut self,
+        &self,
         id: ObjectId,
         function: &str,
         args: Vec<Value>,
     ) -> Result<TaskResult, PlatformError> {
         let started = self.now();
-        // Idempotency keys are globally unique, so the committed record
-        // of a finished invocation can never be consulted again — drop
-        // it to keep memory bounded.
-        self.committed.clear();
         let root = if self.telemetry.is_enabled() {
             let root = self.telemetry.begin_root("invoke", started);
             self.telemetry.attr(root, "object", id.as_u64());
@@ -654,28 +787,30 @@ impl EmbeddedPlatform {
     /// The body of [`EmbeddedPlatform::invoke`], running under the root
     /// `invoke` span.
     fn invoke_routed(
-        &mut self,
+        &self,
         id: ObjectId,
         function: &str,
         args: Vec<Value>,
         started: SimTime,
         root: TraceContext,
     ) -> Result<TaskResult, PlatformError> {
-        let class = self.object_class(id)?.to_string();
+        let class = self.object_class(id)?;
         self.telemetry.attr(root, "class", class.as_str());
-        if !self.plans.contains_key(&class) {
+        // One consistent plan snapshot for the whole invocation: a
+        // concurrent redeploy swaps the table under new invokes without
+        // tearing this one.
+        let plans: Arc<PlanTable> = Arc::clone(&self.plans.read());
+        let Some(plan) = plans.get(&class) else {
             // Plans cover every registered class, so a missing plan
-            // means an undeployed class — surface the registry's error.
-            self.registry.require_class(&class)?;
-        }
-        let plan = self
-            .plans
-            .get(&class)
-            .expect("deployed classes are planned");
+            // means an undeployed class — surface the registry's
+            // error.
+            self.registry.read().require_class(&class)?;
+            unreachable!("deployed classes are planned")
+        };
 
         if let Some(df) = plan.dataflows.get(function) {
             let df = Arc::clone(df);
-            let out = self.run_dataflow(id, &class, &df, args, root);
+            let out = self.run_dataflow(id, &class, &df, args, root, &plans);
             self.record(&class, function, started, &out);
             return out;
         }
@@ -693,9 +828,13 @@ impl EmbeddedPlatform {
             });
         }
         let dispatch = dispatch.clone();
-        let policy = plan.retry.clone();
         self.route(&class, id, root);
-        let out = self.invoke_with_retry(id, &class, &dispatch, args, root, &policy);
+        // Prefetch the implementation so the shard lock is never held
+        // while consulting the function registry.
+        let out = match self.functions.read().get(&dispatch.image) {
+            Some(f) => self.invoke_with_retry(id, &class, plan, &dispatch, &f, args, root),
+            None => Err(PlatformError::UnknownImage(dispatch.image.to_string())),
+        };
         self.record(&class, function, started, &out);
         out
     }
@@ -705,33 +844,36 @@ impl EmbeddedPlatform {
     /// deadline — with exactly-once state commits guaranteed by the
     /// task's idempotency key.
     ///
-    /// The task is built once and *re-shipped* across attempts (§III-C:
-    /// pure functions make the bundled task safely re-executable); only
-    /// a failed build is rebuilt, since a build failure commits nothing.
-    /// Re-shipping bumps the state snapshot's refcount — the state is
-    /// never deep-cloned per attempt — and the final permitted attempt
-    /// takes the task by value instead of cloning it at all.
+    /// The object's shard lock is held across the whole retry loop, so
+    /// two invocations racing on one object serialize as units — their
+    /// load→execute→commit sequences never interleave. The task is
+    /// built once and *re-shipped* across attempts (§III-C: pure
+    /// functions make the bundled task safely re-executable); only a
+    /// failed build is rebuilt, since a build failure commits nothing.
+    #[allow(clippy::too_many_arguments)]
     fn invoke_with_retry(
-        &mut self,
+        &self,
         id: ObjectId,
         class: &str,
+        plan: &ClassPlan,
         dispatch: &DispatchPlan,
+        f: &FunctionImpl,
         args: Vec<Value>,
         parent: TraceContext,
-        policy: &RetryPolicy,
     ) -> Result<TaskResult, PlatformError> {
+        let policy = &plan.retry;
         let function: &str = &dispatch.function;
         self.breaker_admit(class, function, &dispatch.breaker_key, policy)?;
-        let ikey = self.next_invocation;
-        self.next_invocation += 1;
+        let ikey = self.next_invocation.fetch_add(1, Ordering::Relaxed);
         // Decorrelate concurrent invocations' jitter while keeping any
         // fixed (seed, ikey) pair exactly reproducible.
         let mut backoffs =
             policy.backoff_seq(self.jitter_seed ^ ikey.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let attempt_started = self.chaos_clock;
+        let attempt_started = self.chaos_now();
         let mut task: Option<InvocationTask> = None;
         let mut last_err = None;
 
+        let mut sh = self.shard(id).lock();
         for attempt in 1..=policy.max_attempts.max(1) {
             let attempt_span = if attempt > 1 && self.telemetry.is_enabled() {
                 let s = self
@@ -743,8 +885,9 @@ impl EmbeddedPlatform {
                 TraceContext::NONE
             };
             let last = attempt == policy.max_attempts.max(1);
-            let result =
-                self.run_attempt(id, class, dispatch, &args, parent, ikey, &mut task, last);
+            let result = self.run_attempt(
+                &mut sh, id, class, plan, dispatch, f, &args, parent, ikey, &mut task, last,
+            );
             if !attempt_span.is_none() {
                 if let Err(e) = &result {
                     self.telemetry.attr(attempt_span, "error", e.to_string());
@@ -753,12 +896,18 @@ impl EmbeddedPlatform {
             }
             match result {
                 Ok(out) => {
+                    // Idempotency keys are globally unique, so the
+                    // committed record of a finished invocation can
+                    // never be consulted again — drop it to keep the
+                    // shard's map bounded.
+                    sh.committed.remove(&ikey);
+                    drop(sh);
                     self.breaker_settle(class, function, &dispatch.breaker_key, true);
                     return Ok(out);
                 }
                 Err(e) if is_retryable(&e) && attempt < policy.max_attempts => {
                     let delay = backoffs.next().expect("backoff sequence is infinite");
-                    let elapsed = self.chaos_clock - attempt_started;
+                    let elapsed = self.chaos_now() - attempt_started;
                     if elapsed + delay > policy.deadline {
                         last_err = Some(PlatformError::DeadlineExceeded {
                             function: function.to_string(),
@@ -766,7 +915,8 @@ impl EmbeddedPlatform {
                         });
                         break;
                     }
-                    self.chaos_clock += delay;
+                    self.chaos_clock
+                        .fetch_add(delay.as_nanos(), Ordering::Relaxed);
                     self.metrics.record_retry(class, function);
                     if self.telemetry.is_enabled() {
                         self.telemetry.instant_under(
@@ -791,8 +941,9 @@ impl EmbeddedPlatform {
         // A torn commit ack on the final attempt: the state change
         // landed exactly once and was recorded — recover the result
         // instead of reporting an error for work that committed.
-        if let Some(result) = self.committed.get(&ikey) {
-            let result = result.clone();
+        let recovered = sh.committed.remove(&ikey);
+        drop(sh);
+        if let Some(result) = recovered {
             self.breaker_settle(class, function, &dispatch.breaker_key, true);
             if self.telemetry.is_enabled() {
                 self.telemetry.instant_under(
@@ -812,10 +963,13 @@ impl EmbeddedPlatform {
     /// attempt, cross the offload boundary, execute, and commit.
     #[allow(clippy::too_many_arguments)]
     fn run_attempt(
-        &mut self,
+        &self,
+        sh: &mut Shard,
         id: ObjectId,
         class: &str,
+        plan: &ClassPlan,
         dispatch: &DispatchPlan,
+        f: &FunctionImpl,
         args: &[Value],
         parent: TraceContext,
         ikey: u64,
@@ -823,23 +977,25 @@ impl EmbeddedPlatform {
         last: bool,
     ) -> Result<TaskResult, PlatformError> {
         if task.is_none() {
-            let mut built = self.build_task(id, class, dispatch, args.to_vec(), parent)?;
+            let mut built =
+                self.build_task(sh, id, class, plan, dispatch, args.to_vec(), parent)?;
             built.idempotency_key = ikey;
             *task = Some(built);
         }
         // The final permitted attempt ships the task by value — nothing
         // can re-ship it afterwards, so a clone would be dropped unused.
         let task = if last { task.take() } else { task.clone() }.expect("just built");
-        self.execute_and_apply(id, class, task)
+        self.execute_and_apply(sh, id, class, plan.persists, f, task)
     }
 
     /// Admits or rejects an invocation through the function's breaker.
     ///
     /// `key` is the dispatch plan's interned `class::function` breaker
     /// key — inserting shares it (a refcount bump), so the hot path
-    /// never formats a key string.
+    /// never formats a key string. The breakers lock is a leaf: it is
+    /// released before metrics/telemetry are touched.
     fn breaker_admit(
-        &mut self,
+        &self,
         class: &str,
         function: &str,
         key: &Arc<str>,
@@ -848,14 +1004,16 @@ impl EmbeddedPlatform {
         if policy.breaker_threshold == 0 {
             return Ok(());
         }
-        let now = self.chaos_clock;
-        let breaker = self
-            .breakers
-            .entry(Arc::clone(key))
-            .or_insert_with(|| CircuitBreaker::from_policy(policy));
-        let before = breaker.state();
-        let allowed = breaker.allow(now);
-        let after = breaker.state();
+        let now = self.chaos_now();
+        let (before, allowed, after) = {
+            let mut breakers = self.breakers.lock();
+            let breaker = breakers
+                .entry(Arc::clone(key))
+                .or_insert_with(|| CircuitBreaker::from_policy(policy));
+            let before = breaker.state();
+            let allowed = breaker.allow(now);
+            (before, allowed, breaker.state())
+        };
         self.metrics
             .record_breaker_state(class, function, after.as_str());
         if before != after {
@@ -872,18 +1030,22 @@ impl EmbeddedPlatform {
     }
 
     /// Feeds an invocation outcome to the function's breaker, if any.
-    fn breaker_settle(&mut self, class: &str, function: &str, key: &Arc<str>, ok: bool) {
-        let now = self.chaos_clock;
-        let Some(breaker) = self.breakers.get_mut(&**key) else {
+    fn breaker_settle(&self, class: &str, function: &str, key: &Arc<str>, ok: bool) {
+        let now = self.chaos_now();
+        let Some((before, after)) = ({
+            let mut breakers = self.breakers.lock();
+            breakers.get_mut(&**key).map(|breaker| {
+                let before = breaker.state();
+                if ok {
+                    breaker.on_success();
+                } else {
+                    breaker.on_failure(now);
+                }
+                (before, breaker.state())
+            })
+        }) else {
             return;
         };
-        let before = breaker.state();
-        if ok {
-            breaker.on_success();
-        } else {
-            breaker.on_failure(now);
-        }
-        let after = breaker.state();
         self.metrics
             .record_breaker_state(class, function, after.as_str());
         if before != after {
@@ -911,7 +1073,7 @@ impl EmbeddedPlatform {
     /// site's semantics (commit-then-lose-ack at `state.commit`,
     /// execute-then-lose-response at the offload boundary).
     fn chaos_fault(
-        &mut self,
+        &self,
         site: InjectionSite,
         parent: TraceContext,
     ) -> Result<Option<FaultKind>, PlatformError> {
@@ -929,7 +1091,7 @@ impl EmbeddedPlatform {
         }
         match kind {
             FaultKind::Latency(d) => {
-                self.chaos_clock += d;
+                self.chaos_clock.fetch_add(d.as_nanos(), Ordering::Relaxed);
                 Ok(None)
             }
             FaultKind::Error => Err(PlatformError::FaultInjected {
@@ -942,11 +1104,7 @@ impl EmbeddedPlatform {
 
     /// Like [`EmbeddedPlatform::chaos_fault`] for sites where a torn
     /// outcome has no distinct meaning: torn degrades to an error.
-    fn chaos_gate(
-        &mut self,
-        site: InjectionSite,
-        parent: TraceContext,
-    ) -> Result<(), PlatformError> {
+    fn chaos_gate(&self, site: InjectionSite, parent: TraceContext) -> Result<(), PlatformError> {
         match self.chaos_fault(site, parent)? {
             None => Ok(()),
             Some(_) => Err(PlatformError::FaultInjected {
@@ -981,21 +1139,23 @@ impl EmbeddedPlatform {
     /// Whether the class runtime's template persists state.
     fn class_persists(&self, class: &str) -> bool {
         self.runtimes
+            .read()
             .get(class)
             .is_none_or(|r| r.spec.config.persistent)
     }
 
-    fn route(&mut self, class: &str, id: ObjectId, parent: TraceContext) {
+    fn route(&self, class: &str, id: ObjectId, parent: TraceContext) {
         let now = self.now();
-        if let Some(rt) = self.runtimes.get_mut(class) {
-            if let Some(route) = rt.router.route(id, self.state.dht(), &rt.instances) {
+        let runtimes = self.runtimes.read();
+        if let Some(rt) = runtimes.get(class) {
+            if let Some(route) = rt.router.route(id, &self.routing, &rt.instances) {
                 let kind = match route.kind {
                     crate::router::RouteKind::Local => {
-                        rt.routed_local += 1;
+                        rt.routed_local.fetch_add(1, Ordering::Relaxed);
                         "local"
                     }
                     crate::router::RouteKind::Remote { .. } => {
-                        rt.routed_remote += 1;
+                        rt.routed_remote.fetch_add(1, Ordering::Relaxed);
                         "remote"
                     }
                 };
@@ -1012,10 +1172,15 @@ impl EmbeddedPlatform {
         }
     }
 
+    /// Builds the self-contained task for one attempt, reading state
+    /// and the directory entry from the (already locked) shard.
+    #[allow(clippy::too_many_arguments)]
     fn build_task(
-        &mut self,
+        &self,
+        sh: &mut Shard,
         id: ObjectId,
         class: &str,
+        plan: &ClassPlan,
         dispatch: &DispatchPlan,
         args: Vec<Value>,
         parent: TraceContext,
@@ -1023,7 +1188,7 @@ impl EmbeddedPlatform {
         let enabled = self.telemetry.is_enabled();
         // The object entry interned its storage key at creation; share
         // it instead of re-formatting per invoke.
-        let key = match self.objects.get(&id) {
+        let key = match sh.objects.get(&id) {
             Some(entry) => Arc::clone(&entry.storage_key),
             None => Arc::from(storage_key(class, id).as_str()),
         };
@@ -1042,21 +1207,18 @@ impl EmbeddedPlatform {
             return Err(e);
         }
         let sink = self.telemetry.clone();
-        let loaded = self.state.load_traced(self.now(), &key, &sink, load_span);
+        let loaded = sh.state.load_traced(self.now(), &key, &sink, load_span);
         if enabled {
             self.telemetry.attr(load_span, "hit", loaded.is_some());
             self.telemetry.end(load_span, self.now());
         }
         let state_in = loaded.unwrap_or_else(Snapshot::object);
-        let revision = self.objects.get(&id).map_or(0, |e| e.revision);
+        let revision = sh.objects.get(&id).map_or(0, |e| e.revision);
         // Presign file URLs for every file-typed key spec (pre-resolved
         // into the class's dispatch plan): GET under the key name, PUT
-        // under "<key>:put".
-        let file_keys = self
-            .plans
-            .get(class)
-            .map(|p| Arc::clone(&p.file_keys))
-            .unwrap_or_default();
+        // under "<key>:put". `presign_for` never consults the object
+        // directory, so holding the shard lock here is safe.
+        let file_keys = &plan.file_keys;
         let presign_span = if enabled && !file_keys.is_empty() {
             self.telemetry.begin_child(parent, "presign", self.now())
         } else {
@@ -1073,16 +1235,18 @@ impl EmbeddedPlatform {
         }
         let mut file_urls = BTreeMap::new();
         for fk in file_keys.iter() {
-            file_urls.insert(fk.clone(), self.download_url(id, fk)?);
-            file_urls.insert(format!("{fk}:put"), self.upload_url(id, fk)?);
+            file_urls.insert(fk.clone(), self.presign_for(class, id, fk, Method::Get)?);
+            file_urls.insert(
+                format!("{fk}:put"),
+                self.presign_for(class, id, fk, Method::Put)?,
+            );
         }
         if !presign_span.is_none() {
             self.telemetry
                 .attr(presign_span, "urls", file_urls.len() as u64);
             self.telemetry.end(presign_span, self.now());
         }
-        let task_id = self.next_task;
-        self.next_task += 1;
+        let task_id = self.next_task.fetch_add(1, Ordering::Relaxed);
         Ok(InvocationTask {
             task_id,
             object: id,
@@ -1100,16 +1264,15 @@ impl EmbeddedPlatform {
     }
 
     fn execute_and_apply(
-        &mut self,
+        &self,
+        sh: &mut Shard,
         id: ObjectId,
         class: &str,
+        persists: bool,
+        f: &FunctionImpl,
         task: InvocationTask,
     ) -> Result<TaskResult, PlatformError> {
         let parent = task.trace.unwrap_or(TraceContext::NONE);
-        let f = self
-            .functions
-            .get(&task.image)
-            .ok_or_else(|| PlatformError::UnknownImage(task.image.clone()))?;
         // Crossing the offload RPC boundary: an error fault loses the
         // task before the engine sees it; a torn fault lets the engine
         // execute but loses the *response*, so nothing is committed.
@@ -1134,13 +1297,21 @@ impl EmbeddedPlatform {
                 kind: "torn",
             });
         }
-        self.apply_result(id, class, &result, parent, task.idempotency_key)?;
+        self.apply_result(
+            sh,
+            id,
+            class,
+            persists,
+            &result,
+            parent,
+            task.idempotency_key,
+        )?;
         Ok(result)
     }
 
     /// Opens the `engine.execute` span for `task` as a child of the
     /// context the task carried across the offload boundary.
-    fn begin_execute_span(&mut self, task: &InvocationTask, parent: TraceContext) -> TraceContext {
+    fn begin_execute_span(&self, task: &InvocationTask, parent: TraceContext) -> TraceContext {
         if !self.telemetry.is_enabled() {
             return TraceContext::NONE;
         }
@@ -1149,15 +1320,18 @@ impl EmbeddedPlatform {
             .begin_child(parent, "engine.execute", self.now());
         self.telemetry.attr(span, "image", task.image.as_str());
         self.telemetry.attr(span, "task_id", task.task_id);
-        let cold = self.warmed.insert(task.image.clone());
+        let cold = self.warmed.lock().insert(task.image.clone());
         self.telemetry.attr(span, "cold_start", cold);
         span
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn apply_result(
-        &mut self,
+        &self,
+        sh: &mut Shard,
         id: ObjectId,
         class: &str,
+        persists: bool,
         result: &TaskResult,
         parent: TraceContext,
         ikey: u64,
@@ -1166,7 +1340,7 @@ impl EmbeddedPlatform {
         let enabled = self.telemetry.is_enabled();
         // Exactly-once: a retried task whose earlier attempt already
         // committed (torn ack) must not re-apply its state effects.
-        if self.committed.contains_key(&ikey) {
+        if sh.committed.contains_key(&ikey) {
             if enabled {
                 self.telemetry.instant_under(
                     parent,
@@ -1202,12 +1376,12 @@ impl EmbeddedPlatform {
             }
         };
         if let Some(patch) = &result.state_patch {
-            let key = match self.objects.get(&id) {
+            let key = match sh.objects.get(&id) {
                 Some(entry) => Arc::clone(&entry.storage_key),
                 None => Arc::from(storage_key(class, id).as_str()),
             };
             let sink = self.telemetry.clone();
-            let mut state = self
+            let mut state = sh
                 .state
                 .load_traced(now, &key, &sink, commit_span)
                 .unwrap_or_else(Snapshot::object);
@@ -1219,16 +1393,15 @@ impl EmbeddedPlatform {
                 merge::deep_merge(state, patch.clone());
                 merge::normalize(state);
             }
-            let persist = self.class_persists(class);
-            self.state
-                .store_traced(now, &key, state, persist, &sink, commit_span);
-            if let Some(entry) = self.objects.get_mut(&id) {
+            sh.state
+                .store_traced(now, &key, state, persists, &sink, commit_span);
+            if let Some(entry) = sh.objects.get_mut(&id) {
                 entry.revision += 1;
             }
         }
         if !result.files_written.is_empty() {
             let bucket = bucket_name(class);
-            if let Some(entry) = self.objects.get_mut(&id) {
+            if let Some(entry) = sh.objects.get_mut(&id) {
                 for (file_key, etag) in &result.files_written {
                     entry.files.insert(
                         file_key.clone(),
@@ -1242,7 +1415,7 @@ impl EmbeddedPlatform {
                 entry.revision += 1;
             }
         }
-        self.committed.insert(ikey, result.clone());
+        sh.committed.insert(ikey, result.clone());
         if enabled {
             if torn {
                 self.telemetry.attr(commit_span, "torn", true);
@@ -1259,12 +1432,13 @@ impl EmbeddedPlatform {
     }
 
     fn run_dataflow(
-        &mut self,
+        &self,
         id: ObjectId,
         class: &str,
         df: &DataflowSpec,
         args: Vec<Value>,
         root: TraceContext,
+        plans: &PlanTable,
     ) -> Result<TaskResult, PlatformError> {
         df.validate()?;
         let enabled = self.telemetry.is_enabled();
@@ -1290,10 +1464,12 @@ impl EmbeddedPlatform {
                 TraceContext::NONE
             };
             // Resolve each step's target object and dispatch, build all
-            // tasks of the stage, then execute them in parallel.
+            // tasks of the stage, then execute them in parallel. Shard
+            // locks are taken one step at a time (build, then later
+            // apply) — never two at once, and never across execution.
             let mut tasks = Vec::new();
             let mut impls: Vec<FunctionImpl> = Vec::new();
-            let mut targets: Vec<(ObjectId, String)> = Vec::new();
+            let mut targets: Vec<(ObjectId, String, bool)> = Vec::new();
             let mut step_spans: Vec<TraceContext> = Vec::new();
             for step_id in &stage {
                 let step = df
@@ -1317,28 +1493,26 @@ impl EmbeddedPlatform {
                             })
                         })?;
                         let tid = ObjectId(raw);
-                        let tclass = self.object_class(tid)?.to_string();
+                        let tclass = self.object_class(tid)?;
                         (tid, tclass)
                     }
                 };
                 // Dispatch resolves through the target class's cached
                 // plan — no registry walk or string formatting per step.
-                let dispatch = match self
-                    .plans
-                    .get(&target_class)
-                    .and_then(|p| p.functions.get(&step.function))
-                {
+                let target_plan = plans.get(&target_class);
+                let dispatch = match target_plan.and_then(|p| p.functions.get(&step.function)) {
                     Some(d) => d.clone(),
                     None => {
                         // Distinguish an unknown class from an unknown
                         // function on a known class.
-                        self.registry.require_class(&target_class)?;
+                        self.registry.read().require_class(&target_class)?;
                         return Err(PlatformError::Core(oprc_core::CoreError::UnknownFunction {
                             class: target_class.clone(),
                             function: step.function.clone(),
                         }));
                     }
                 };
+                let target_plan = target_plan.expect("dispatch resolved through the plan");
                 let step_span = if enabled {
                     let s = self
                         .telemetry
@@ -1356,38 +1530,45 @@ impl EmbeddedPlatform {
                         .into_iter()
                         .map(Snapshot::into_value)
                         .collect();
+                let f = self
+                    .functions
+                    .read()
+                    .get(&dispatch.image)
+                    .ok_or_else(|| PlatformError::UnknownImage(dispatch.image.to_string()))?;
                 if self.chaos.is_enabled() {
                     // Under chaos the stage runs serially through the
                     // retry loop: parallel workers racing to the shared
                     // injector would make the fault schedule depend on
                     // thread scheduling, breaking reproducibility.
-                    let policy = self
-                        .plans
-                        .get(&target_class)
-                        .map_or_else(RetryPolicy::default, |p| p.retry.clone());
                     let out = self.invoke_with_retry(
                         target_id,
                         &target_class,
+                        target_plan,
                         &dispatch,
+                        &f,
                         inputs,
                         step_span,
-                        &policy,
                     )?;
                     outputs.insert(step_id.clone(), Snapshot::from(out.output));
                     self.telemetry.end(step_span, self.now());
                     continue;
                 }
-                let mut task =
-                    self.build_task(target_id, &target_class, &dispatch, inputs, step_span)?;
-                task.idempotency_key = self.next_invocation;
-                self.next_invocation += 1;
-                let f = self
-                    .functions
-                    .get(&dispatch.image)
-                    .ok_or_else(|| PlatformError::UnknownImage(dispatch.image.to_string()))?;
+                let mut task = {
+                    let mut sh = self.shard(target_id).lock();
+                    self.build_task(
+                        &mut sh,
+                        target_id,
+                        &target_class,
+                        target_plan,
+                        &dispatch,
+                        inputs,
+                        step_span,
+                    )?
+                };
+                task.idempotency_key = self.next_invocation.fetch_add(1, Ordering::Relaxed);
                 tasks.push(task);
                 impls.push(f);
-                targets.push((target_id, target_class));
+                targets.push((target_id, target_class, target_plan.persists));
                 step_spans.push(step_span);
             }
             // Execute-span bookkeeping stays on the platform thread, in
@@ -1419,15 +1600,30 @@ impl EmbeddedPlatform {
             }
             // Apply effects deterministically in step order.
             let ikeys: Vec<u64> = tasks.iter().map(|t| t.idempotency_key).collect();
-            for ((((step_id, result), (target_id, target_class)), step_span), ikey) in stage
-                .iter()
-                .zip(results)
-                .zip(targets)
-                .zip(step_spans)
-                .zip(ikeys)
+            for ((((step_id, result), (target_id, target_class, persists)), step_span), ikey) in
+                stage
+                    .iter()
+                    .zip(results)
+                    .zip(targets)
+                    .zip(step_spans)
+                    .zip(ikeys)
             {
                 let result = result?;
-                self.apply_result(target_id, &target_class, &result, step_span, ikey)?;
+                {
+                    let mut sh = self.shard(target_id).lock();
+                    self.apply_result(
+                        &mut sh,
+                        target_id,
+                        &target_class,
+                        persists,
+                        &result,
+                        step_span,
+                        ikey,
+                    )?;
+                    // The step finished — its commit record can never be
+                    // consulted again.
+                    sh.committed.remove(&ikey);
+                }
                 outputs.insert(step_id.clone(), Snapshot::from(result.output));
                 self.telemetry.end(step_span, self.now());
             }
@@ -1446,24 +1642,37 @@ impl EmbeddedPlatform {
     /// Runs one maintenance tick: flushes due write-behind batches and
     /// applies requirement-driven scaling per class (§III-B).
     ///
+    /// Flushing is per shard — a due batch on shard A is flushed while
+    /// invokes on shard B proceed untouched.
+    ///
     /// Returns the scaling plans that changed anything.
-    pub fn tick(&mut self) -> Vec<(String, ScalePlan)> {
+    pub fn tick(&self) -> Vec<(String, ScalePlan)> {
         let now = self.now();
         let sink = self.telemetry.clone();
-        self.state.flush_due_traced(now, &sink);
+        for shard in &self.shards {
+            shard.lock().state.flush_due_traced(now, &sink);
+        }
         let mut plans = Vec::new();
-        let classes: Vec<String> = self.runtimes.keys().cloned().collect();
+        let classes: Vec<String> = self.runtimes.read().keys().cloned().collect();
         for class in classes {
-            let Ok(resolved) = self.registry.require_class(&class) else {
+            let Some(nfr) = self
+                .registry
+                .read()
+                .require_class(&class)
+                .ok()
+                .map(|resolved| resolved.nfr.clone())
+            else {
                 continue;
             };
-            let nfr = resolved.nfr.clone();
             // The embedded plane has no replica occupancy signal; use a
             // neutral high utilization so declared-QoS rules can fire.
             let Some(metrics) = self.metrics.drain_window(&class, 0.9) else {
                 continue;
             };
-            let rt = self.runtimes.get_mut(&class).expect("runtime exists");
+            let mut runtimes = self.runtimes.write();
+            let Some(rt) = runtimes.get_mut(&class) else {
+                continue;
+            };
             let current = rt.instances.len() as u32;
             let plan = optimizer::recommend(&nfr, &metrics, current, &self.optimizer_cfg);
             let target = plan.target_replicas.clamp(
@@ -1485,37 +1694,53 @@ impl EmbeddedPlatform {
             }
             if target != current {
                 while (rt.instances.len() as u32) < target {
-                    rt.instances.push(self.next_instance);
-                    self.next_instance += 1;
+                    rt.instances
+                        .push(self.next_instance.fetch_add(1, Ordering::Relaxed));
                 }
                 rt.instances.truncate(target as usize);
-                plans.push((class, plan));
+                plans.push((class.clone(), plan));
             }
         }
         plans
     }
 
-    /// Flushes all pending writes to the durable tier.
-    pub fn flush(&mut self) -> usize {
+    /// Flushes all pending writes to the durable tier, across every
+    /// shard.
+    pub fn flush(&self) -> usize {
         let now = self.now();
-        self.state.flush_all(now)
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().state.flush_all(now))
+            .sum()
     }
 
-    /// Storage-stack counters: `(dht puts, consolidated updates, db
-    /// batch writes, db single writes)`.
+    /// Storage-stack counters summed across shards: `(dht puts,
+    /// consolidated updates, db batch writes, db single writes)`.
     pub fn storage_stats(&self) -> (u64, u64, u64, u64) {
-        self.state.stats()
+        let mut total = (0, 0, 0, 0);
+        for shard in &self.shards {
+            let (a, b, c, d) = shard.lock().state.stats();
+            total.0 += a;
+            total.1 += b;
+            total.2 += c;
+            total.3 += d;
+        }
+        total
     }
 
     /// Direct read of the durable tier (tests/diagnostics).
     pub fn durable_state(&self, id: ObjectId) -> Option<Value> {
-        let entry = self.objects.get(&id)?;
-        self.state.durable_get(&entry.storage_key)
+        let sh = self.shard(id).lock();
+        let entry = sh.objects.get(&id)?;
+        sh.state.durable_get(&entry.storage_key)
     }
 
-    /// Simulates an in-memory-tier wipe (instance restart).
-    pub fn simulate_memory_loss(&mut self) {
-        self.state.clear_memory();
+    /// Simulates an in-memory-tier wipe (instance restart) on every
+    /// shard.
+    pub fn simulate_memory_loss(&self) {
+        for shard in &self.shards {
+            shard.lock().state.clear_memory();
+        }
     }
 
     /// Exports all object data as a portable snapshot document — the
@@ -1526,18 +1751,28 @@ impl EmbeddedPlatform {
     ///
     /// The snapshot carries object identities, classes, structured
     /// state, and (when `include_files`) file payloads hex-encoded.
-    /// Class definitions and function implementations are *not*
-    /// included — they are the application package, redeployed on the
-    /// target platform before [`EmbeddedPlatform::import_snapshot`].
-    pub fn export_snapshot(&mut self, include_files: bool) -> Value {
+    /// Objects are ordered by id regardless of which shard holds them,
+    /// so the export is deterministic. Class definitions and function
+    /// implementations are *not* included — they are the application
+    /// package, redeployed on the target platform before
+    /// [`EmbeddedPlatform::import_snapshot`].
+    pub fn export_snapshot(&self, include_files: bool) -> Value {
+        let mut collected: Vec<(u64, ObjectEntry, Value)> = Vec::new();
+        for shard in &self.shards {
+            let mut sh = shard.lock();
+            let ids: Vec<ObjectId> = sh.objects.keys().copied().collect();
+            for id in ids {
+                let entry = sh.objects[&id].clone();
+                let state = sh
+                    .state
+                    .load(&entry.storage_key)
+                    .map_or_else(Value::object, Snapshot::into_value);
+                collected.push((id.as_u64(), entry, state));
+            }
+        }
+        collected.sort_by_key(|(raw, _, _)| *raw);
         let mut objects = Vec::new();
-        let ids: Vec<ObjectId> = self.objects.keys().copied().collect();
-        for id in ids {
-            let entry = self.objects[&id].clone();
-            let state = self
-                .state
-                .load(&entry.storage_key)
-                .map_or_else(Value::object, Snapshot::into_value);
+        for (raw, entry, state) in collected {
             let mut files = Value::object();
             for (name, fref) in &entry.files {
                 let mut f = Value::object();
@@ -1555,7 +1790,7 @@ impl EmbeddedPlatform {
                 files.insert(name.clone(), f);
             }
             let mut doc = Value::object();
-            doc.insert("id", id.as_u64());
+            doc.insert("id", raw);
             doc.insert("class", entry.class.as_str());
             doc.insert("revision", entry.revision);
             doc.insert("state", state);
@@ -1580,7 +1815,7 @@ impl EmbeddedPlatform {
     /// - [`PlatformError::Core`] for malformed snapshots or classes not
     ///   deployed on this platform;
     /// - [`PlatformError::Store`] when file payload restoration fails.
-    pub fn import_snapshot(&mut self, snapshot: &Value) -> Result<usize, PlatformError> {
+    pub fn import_snapshot(&self, snapshot: &Value) -> Result<usize, PlatformError> {
         if snapshot["format"].as_str() != Some("oprc-snapshot/1") {
             return Err(PlatformError::Core(oprc_core::CoreError::Parse(
                 "not an oprc-snapshot/1 document".into(),
@@ -1607,11 +1842,9 @@ impl EmbeddedPlatform {
                     ))
                 })?
                 .to_string();
-            self.registry.require_class(&class)?;
+            self.registry.read().require_class(&class)?;
             let id = ObjectId(raw);
             let persist = self.class_persists(&class);
-            self.state
-                .store(now, &storage_key(&class, id), doc["state"].clone(), persist);
             let mut files = BTreeMap::new();
             if let Some(fmap) = doc["files"].as_object() {
                 for (name, f) in fmap {
@@ -1637,7 +1870,10 @@ impl EmbeddedPlatform {
                     files.insert(name.clone(), FileRef { bucket, key, etag });
                 }
             }
-            self.objects.insert(
+            let mut sh = self.shard(id).lock();
+            sh.state
+                .store(now, &storage_key(&class, id), doc["state"].clone(), persist);
+            sh.objects.insert(
                 id,
                 ObjectEntry {
                     storage_key: Arc::from(storage_key(&class, id).as_str()),
@@ -1646,7 +1882,8 @@ impl EmbeddedPlatform {
                     revision: doc["revision"].as_u64().unwrap_or(0),
                 },
             );
-            self.next_object = self.next_object.max(raw + 1);
+            drop(sh);
+            self.next_object.fetch_max(raw + 1, Ordering::Relaxed);
             imported += 1;
         }
         Ok(imported)
@@ -1713,7 +1950,7 @@ classes:
 
     #[test]
     fn deploy_gate_rejects_error_packages_before_runtime_creation() {
-        let mut p = EmbeddedPlatform::new();
+        let p = EmbeddedPlatform::new();
         // The undefined step function is an OPRC001 error.
         let bad = "
 classes:
@@ -1739,7 +1976,7 @@ classes:
 
     #[test]
     fn deploy_gate_logs_warnings_and_proceeds() {
-        let mut p = EmbeddedPlatform::new();
+        let p = EmbeddedPlatform::new();
         // Dead step `extra` → OPRC010 warning; deploy still succeeds.
         p.deploy_yaml(
             "
@@ -1799,7 +2036,7 @@ classes:
 
     #[test]
     fn create_invoke_get_state() {
-        let mut p = counter_platform();
+        let p = counter_platform();
         let id = p.create_object("Counter", vjson!({"count": 10})).unwrap();
         let out = p.invoke(id, "incr", vec![]).unwrap();
         assert_eq!(out.output.as_i64(), Some(11));
@@ -1809,7 +2046,7 @@ classes:
 
     #[test]
     fn unknown_targets_error() {
-        let mut p = counter_platform();
+        let p = counter_platform();
         assert!(matches!(
             p.create_object("Ghost", Value::Null),
             Err(PlatformError::Core(_))
@@ -1829,7 +2066,7 @@ classes:
 
     #[test]
     fn unregistered_image_fails_cleanly() {
-        let mut p = EmbeddedPlatform::new();
+        let p = EmbeddedPlatform::new();
         p.deploy_yaml(
             "classes:\n  - name: C\n    functions:\n      - name: f\n        image: img/none\n",
         )
@@ -1865,7 +2102,7 @@ classes:
 
     #[test]
     fn state_survives_memory_loss_when_persistent() {
-        let mut p = counter_platform();
+        let p = counter_platform();
         let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
         for _ in 0..5 {
             p.invoke(id, "incr", vec![]).unwrap();
@@ -1877,7 +2114,7 @@ classes:
 
     #[test]
     fn write_behind_consolidates_hot_objects() {
-        let mut p = counter_platform();
+        let p = counter_platform();
         let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
         for _ in 0..50 {
             p.invoke(id, "incr", vec![]).unwrap();
@@ -2026,7 +2263,7 @@ classes:
 
     #[test]
     fn inherited_method_dispatch_works_end_to_end() {
-        let mut p = counter_platform();
+        let p = counter_platform();
         p.deploy_yaml(
             "
 name: ext
@@ -2083,10 +2320,10 @@ classes:
         for _ in 0..50 {
             p.invoke(id, "f", vec![]).unwrap();
         }
-        let before = p.runtimes["Busy"].instances.len();
+        let before = p.instance_count("Busy").unwrap();
         let plans = p.tick();
         assert!(!plans.is_empty(), "deficit should trigger a plan");
-        assert!(p.runtimes["Busy"].instances.len() > before);
+        assert!(p.instance_count("Busy").unwrap() > before);
     }
 
     #[test]
@@ -2222,12 +2459,52 @@ classes:
 
     #[test]
     fn routing_stats_accumulate() {
-        let mut p = counter_platform();
+        let p = counter_platform();
         let id = p.create_object("Counter", vjson!({})).unwrap();
         for _ in 0..10 {
             p.invoke(id, "incr", vec![]).unwrap();
         }
         let (local, remote) = p.routing_stats("Counter");
         assert_eq!(local + remote, 10);
+    }
+
+    #[test]
+    fn platform_is_send_and_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<EmbeddedPlatform>();
+    }
+
+    #[test]
+    fn shard_stats_report_occupancy() {
+        let p = counter_platform();
+        for _ in 0..32 {
+            p.create_object("Counter", vjson!({})).unwrap();
+        }
+        let stats = p.shard_stats();
+        assert_eq!(stats.len(), p.shard_count());
+        let total: usize = stats.iter().map(|s| s.objects).sum();
+        assert_eq!(total, 32);
+        assert!(stats.iter().filter(|s| s.objects > 0).count() > 1);
+    }
+
+    #[test]
+    fn concurrent_invokes_on_distinct_objects() {
+        let p = counter_platform();
+        let ids: Vec<ObjectId> = (0..8)
+            .map(|_| p.create_object("Counter", vjson!({"count": 0})).unwrap())
+            .collect();
+        std::thread::scope(|s| {
+            for &id in &ids {
+                let p = &p;
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        p.invoke(id, "incr", vec![]).unwrap();
+                    }
+                });
+            }
+        });
+        for id in ids {
+            assert_eq!(p.get_state(id).unwrap()["count"].as_i64(), Some(25));
+        }
     }
 }

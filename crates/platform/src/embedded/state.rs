@@ -5,6 +5,13 @@
 //! buffer into batched writes against the persistent database (§V), and
 //! unstructured state in the S3-like object store. `StateLayer` is the
 //! single owner; the execution plane never touches the stores directly.
+//!
+//! Since the sharded concurrency refactor (DESIGN.md §12) the platform
+//! holds one `StateLayer` **per shard**, each covering its slice of the
+//! keyspace. All methods take `&mut self` — exclusivity is provided by
+//! the owning shard's lock — and write-behind flushing is driven
+//! through the shard handle, so a due flush on one shard never blocks
+//! invocations touching any other shard.
 
 use oprc_simcore::SimTime;
 use oprc_store::{

@@ -220,12 +220,7 @@ impl OprcCtl {
     }
 
     fn classes(&mut self) -> Result<CommandOutput, CommandError> {
-        let names: Vec<String> = self
-            .platform
-            .class_names()
-            .into_iter()
-            .map(String::from)
-            .collect();
+        let names: Vec<String> = self.platform.class_names();
         Ok(CommandOutput::with_value(
             names.join("\n"),
             Value::from(names.clone()),
@@ -453,9 +448,40 @@ impl OprcCtl {
         for (site, n) in self.platform.metrics().fault_totals() {
             faults.insert(site, n);
         }
+        // Platform-wide throughput from the lock-free cumulative
+        // counters, plus the per-shard contention picture.
+        let completed = self.platform.metrics().completed_total();
+        let errors = self.platform.metrics().errors_total();
+        let uptime_s = self.platform.now().as_secs_f64();
+        let ops_per_sec = if uptime_s > 0.0 {
+            completed as f64 / uptime_s
+        } else {
+            0.0
+        };
+        let throughput = oprc_value::vjson!({
+            "completed_total": completed,
+            "errors_total": errors,
+            "retries_total": (self.platform.metrics().retries_total()),
+            "uptime_s": uptime_s,
+            "ops_per_sec": ops_per_sec,
+        });
+        let shard_rows = self.platform.shard_stats();
+        let shards: Vec<Value> = shard_rows
+            .iter()
+            .map(|s| {
+                oprc_value::vjson!({
+                    "shard": (s.shard as u64),
+                    "objects": (s.objects as u64),
+                    "acquisitions": (s.acquisitions),
+                    "contended": (s.contended),
+                })
+            })
+            .collect();
         let value = oprc_value::vjson!({
             "functions": (Value::from(functions)),
             "faults": (faults),
+            "shards": (Value::from(shards)),
+            "throughput": (throughput),
         });
         if as_json {
             return Ok(CommandOutput::with_value(
@@ -488,6 +514,20 @@ impl OprcCtl {
                 r.p50_ms,
                 r.p99_ms
             ));
+        }
+        text.push_str(&format!(
+            "\n\ntotal: {completed} completed, {errors} errors ({ops_per_sec:.1} ops/s over {uptime_s:.1}s)"
+        ));
+        let busy: Vec<&crate::embedded::ShardStats> =
+            shard_rows.iter().filter(|s| s.acquisitions > 0).collect();
+        if !busy.is_empty() {
+            text.push_str("\nshards (busy):");
+            for s in busy {
+                text.push_str(&format!(
+                    "\n  #{:<3} objects {:>5}  lock acquisitions {:>8}  contended {:>6}",
+                    s.shard, s.objects, s.acquisitions, s.contended
+                ));
+            }
         }
         Ok(CommandOutput::with_value(text, value))
     }
@@ -983,8 +1023,10 @@ mod tests {
     }
 
     /// Pins the `metrics --json` document shape: a `functions` array
-    /// whose rows carry retry/breaker columns, plus a `faults` object of
-    /// per-site injected totals. Downstream tooling parses this.
+    /// whose rows carry retry/breaker columns, a `faults` object of
+    /// per-site injected totals, a `shards` array of per-shard lock
+    /// traffic, and a `throughput` summary. Downstream tooling parses
+    /// this.
     #[test]
     fn metrics_json_shape_is_pinned() {
         let mut ctl = ctl();
@@ -992,7 +1034,16 @@ mod tests {
         ctl.execute("invoke 0 incr").unwrap();
         let v = ctl.execute("metrics --json").unwrap().value.unwrap();
         let keys: Vec<&str> = v.as_object().unwrap().keys().map(String::as_str).collect();
-        assert_eq!(keys, vec!["faults", "functions"]);
+        assert_eq!(keys, vec!["faults", "functions", "shards", "throughput"]);
+        assert_eq!(v["throughput"]["completed_total"].as_u64(), Some(1));
+        assert!(v["throughput"]["ops_per_sec"].as_f64().is_some());
+        let shard_rows = v["shards"].as_array().unwrap();
+        assert!(!shard_rows.is_empty());
+        let occupied: u64 = shard_rows
+            .iter()
+            .map(|s| s["objects"].as_u64().unwrap())
+            .sum();
+        assert_eq!(occupied, 1);
         let row = v["functions"].as_array().unwrap()[0].as_object().unwrap();
         let cols: Vec<&str> = row.keys().map(String::as_str).collect();
         assert_eq!(

@@ -10,6 +10,7 @@
 //! for the `oprc-ctl metrics` / `top` views.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -118,10 +119,20 @@ impl Default for HubInner {
     }
 }
 
+/// Platform-wide cumulative counters, atomic so hot-path readers (ops/s
+/// gauges, the throughput bench) never take the hub mutex.
+#[derive(Debug, Default)]
+struct CumulativeTotals {
+    completed: AtomicU64,
+    errors: AtomicU64,
+    retries: AtomicU64,
+}
+
 /// Thread-safe collector of per-class runtime metrics.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsHub {
     inner: Arc<Mutex<HubInner>>,
+    totals: Arc<CumulativeTotals>,
 }
 
 impl MetricsHub {
@@ -151,6 +162,8 @@ impl MetricsHub {
         t.completed += 1;
         t.latency.record(latency);
         t.touch(now);
+        drop(inner);
+        self.totals.completed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a failed invocation of `class` at `now`.
@@ -163,6 +176,8 @@ impl MetricsHub {
         let t = inner.class_totals.entry(class.to_string()).or_default();
         t.errors += 1;
         t.touch(now);
+        drop(inner);
+        self.totals.errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records the per-function outcome of an invocation (cumulative;
@@ -197,6 +212,24 @@ impl MetricsHub {
             .entry((class.to_string(), function.to_string()))
             .or_default()
             .retries += 1;
+        drop(inner);
+        self.totals.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Platform-wide completed invocations since startup. Lock-free:
+    /// reads an atomic, never the hub mutex.
+    pub fn completed_total(&self) -> u64 {
+        self.totals.completed.load(Ordering::Relaxed)
+    }
+
+    /// Platform-wide failed invocations since startup (lock-free).
+    pub fn errors_total(&self) -> u64 {
+        self.totals.errors.load(Ordering::Relaxed)
+    }
+
+    /// Platform-wide retry attempts beyond the first (lock-free).
+    pub fn retries_total(&self) -> u64 {
+        self.totals.retries.load(Ordering::Relaxed)
     }
 
     /// Records the current circuit-breaker state of `class::function`.

@@ -8,6 +8,8 @@
 //! instance co-located with the partition's primary replica, so state
 //! access is a local read instead of a network hop.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use oprc_core::object::ObjectId;
 use oprc_store::Dht;
 
@@ -37,10 +39,21 @@ pub struct Route {
 /// `instances` are the runtime's replica ids, which double as DHT member
 /// ids (each instance hosts one DHT member — Oparaca's co-located
 /// Infinispan design).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ObjectRouter {
     locality: bool,
-    rr_next: usize,
+    /// Round-robin cursor, atomic so routing works through `&self` —
+    /// concurrent invocations share the router without a lock.
+    rr_next: AtomicUsize,
+}
+
+impl Clone for ObjectRouter {
+    fn clone(&self) -> Self {
+        ObjectRouter {
+            locality: self.locality,
+            rr_next: AtomicUsize::new(self.rr_next.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl ObjectRouter {
@@ -48,7 +61,7 @@ impl ObjectRouter {
     pub fn new(locality: bool) -> Self {
         ObjectRouter {
             locality,
-            rr_next: 0,
+            rr_next: AtomicUsize::new(0),
         }
     }
 
@@ -61,7 +74,7 @@ impl ObjectRouter {
     /// the DHT that owns the state and the list of live instances.
     ///
     /// Returns `None` when no instance is live.
-    pub fn route(&mut self, object: ObjectId, dht: &Dht, instances: &[u64]) -> Option<Route> {
+    pub fn route(&self, object: ObjectId, dht: &Dht, instances: &[u64]) -> Option<Route> {
         if instances.is_empty() {
             return None;
         }
@@ -79,8 +92,8 @@ impl ObjectRouter {
         }
         // Fallback / locality off: round-robin, state access remote
         // unless we happen to land on the owner.
-        let instance = instances[self.rr_next % instances.len()];
-        self.rr_next = (self.rr_next + 1) % instances.len();
+        let slot = self.rr_next.fetch_add(1, Ordering::Relaxed);
+        let instance = instances[slot % instances.len()];
         let kind = match owner {
             Some(o) if o == instance => RouteKind::Local,
             Some(o) => RouteKind::Remote { owner: o },
@@ -109,7 +122,7 @@ mod tests {
     #[test]
     fn locality_routes_to_owner() {
         let d = dht(4);
-        let mut r = ObjectRouter::new(true);
+        let r = ObjectRouter::new(true);
         let instances: Vec<u64> = (0..4).collect();
         for i in 0..50 {
             let obj = ObjectId(i);
@@ -126,14 +139,14 @@ mod tests {
     #[test]
     fn no_locality_round_robins() {
         let d = dht(4);
-        let mut r = ObjectRouter::new(false);
+        let r = ObjectRouter::new(false);
         let instances: Vec<u64> = (0..4).collect();
         let picks: Vec<u64> = (0..8)
             .map(|_| r.route(ObjectId(1), &d, &instances).unwrap().instance)
             .collect();
         assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
         // Most picks are remote (only 1 of 4 instances owns the object).
-        let mut r = ObjectRouter::new(false);
+        let r = ObjectRouter::new(false);
         let remote = (0..8)
             .filter(|_| {
                 matches!(
@@ -148,7 +161,7 @@ mod tests {
     #[test]
     fn owner_not_live_falls_back() {
         let d = dht(4);
-        let mut r = ObjectRouter::new(true);
+        let r = ObjectRouter::new(true);
         // Find an object owned by member 0, then exclude 0 from the
         // live set.
         let obj = (0..100)
@@ -196,7 +209,7 @@ mod tests {
     #[test]
     fn empty_instances_none() {
         let d = dht(2);
-        let mut r = ObjectRouter::new(true);
+        let r = ObjectRouter::new(true);
         assert!(r.route(ObjectId(1), &d, &[]).is_none());
     }
 }

@@ -12,6 +12,7 @@
 //! [`crate::WriteBehindBuffer`] and [`crate::PersistentDb`].
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use oprc_value::Snapshot;
 
@@ -63,7 +64,7 @@ impl Default for DhtConfig {
 /// assert_eq!(dht.get("obj-1").unwrap()["n"].as_i64(), Some(1));
 /// # Ok::<(), oprc_store::StoreError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Dht {
     cfg: DhtConfig,
     ring: HashRing,
@@ -71,9 +72,25 @@ pub struct Dht {
     /// so replicating a value to `replication` members or rebalancing a
     /// partition bumps refcounts instead of deep-cloning state.
     partitions: BTreeMap<DhtNodeId, BTreeMap<String, Snapshot>>,
-    puts: u64,
-    gets: u64,
-    moved_records: u64,
+    /// Operation counters are atomic so the read path ([`Dht::get`],
+    /// [`Dht::owners`], [`Dht::primary`], [`Dht::partition_len`]) works
+    /// through `&self` — concurrent readers never serialize on a counter.
+    puts: AtomicU64,
+    gets: AtomicU64,
+    moved_records: AtomicU64,
+}
+
+impl Clone for Dht {
+    fn clone(&self) -> Self {
+        Dht {
+            cfg: self.cfg.clone(),
+            ring: self.ring.clone(),
+            partitions: self.partitions.clone(),
+            puts: AtomicU64::new(self.puts.load(Ordering::Relaxed)),
+            gets: AtomicU64::new(self.gets.load(Ordering::Relaxed)),
+            moved_records: AtomicU64::new(self.moved_records.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Dht {
@@ -84,9 +101,9 @@ impl Dht {
             cfg,
             ring,
             partitions: BTreeMap::new(),
-            puts: 0,
-            gets: 0,
-            moved_records: 0,
+            puts: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            moved_records: AtomicU64::new(0),
         }
     }
 
@@ -102,17 +119,17 @@ impl Dht {
 
     /// Total `put` operations served.
     pub fn puts(&self) -> u64 {
-        self.puts
+        self.puts.load(Ordering::Relaxed)
     }
 
     /// Total `get` operations served.
     pub fn gets(&self) -> u64 {
-        self.gets
+        self.gets.load(Ordering::Relaxed)
     }
 
     /// Records moved by rebalances so far.
     pub fn moved_records(&self) -> u64 {
-        self.moved_records
+        self.moved_records.load(Ordering::Relaxed)
     }
 
     /// Adds a member and rebalances affected records onto it.
@@ -148,7 +165,7 @@ impl Dht {
             }
         }
         moved += self.rebalance();
-        self.moved_records += moved;
+        self.moved_records.fetch_add(moved, Ordering::Relaxed);
         moved
     }
 
@@ -183,7 +200,7 @@ impl Dht {
             return Err(StoreError::NoOwner);
         }
         self.put_internal(key, value.into());
-        self.puts += 1;
+        self.puts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -198,8 +215,11 @@ impl Dht {
 
     /// Reads `key` from its primary replica. The returned snapshot
     /// shares the partition's allocation (refcount bump, not a copy).
-    pub fn get(&mut self, key: &str) -> Option<Snapshot> {
-        self.gets += 1;
+    ///
+    /// Takes `&self`: the only mutation is the atomic `gets` counter, so
+    /// any number of readers may probe the table concurrently.
+    pub fn get(&self, key: &str) -> Option<Snapshot> {
+        self.gets.fetch_add(1, Ordering::Relaxed);
         let primary = self.ring.owner(key).map(DhtNodeId)?;
         self.partitions.get(&primary)?.get(key).cloned()
     }
@@ -266,7 +286,7 @@ impl Dht {
                 }
             }
         }
-        self.moved_records += moved;
+        self.moved_records.fetch_add(moved, Ordering::Relaxed);
         moved
     }
 }
@@ -408,6 +428,33 @@ mod tests {
             d.partition_len(DhtNodeId(9)),
             Err(StoreError::UnknownNode(9))
         );
+    }
+
+    #[test]
+    fn shared_reads_count_atomically() {
+        let mut d = dht(2, 1);
+        d.put("k", vjson!(1)).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        assert!(d.get("k").is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(d.gets(), 400);
+    }
+
+    #[test]
+    fn clone_carries_counters() {
+        let mut d = dht(2, 1);
+        d.put("k", vjson!(1)).unwrap();
+        let _ = d.get("k");
+        let c = d.clone();
+        assert_eq!(c.puts(), 1);
+        assert_eq!(c.gets(), 1);
+        assert_eq!(c.get("k").unwrap().as_i64(), Some(1));
     }
 
     #[test]

@@ -293,7 +293,7 @@ mod tests {
 
     #[test]
     fn listing1_end_to_end() {
-        let (mut p, id) = setup();
+        let (p, id) = setup();
         // Inherited method.
         let out = p
             .invoke(id, "resize", vec![vjson!({"width": 32, "height": 16})])
@@ -312,7 +312,7 @@ mod tests {
 
     #[test]
     fn change_format_rewrites_content_type() {
-        let (mut p, id) = setup();
+        let (p, id) = setup();
         p.invoke(id, "changeFormat", vec![vjson!({"format": "webp"})])
             .unwrap();
         let url = p.download_url(id, "image").unwrap();
@@ -323,7 +323,7 @@ mod tests {
 
     #[test]
     fn dataflow_pipeline_resizes_then_detects() {
-        let (mut p, id) = setup();
+        let (p, id) = setup();
         let out = p
             .invoke(id, "pipeline", vec![vjson!({"width": 16, "height": 8})])
             .unwrap();

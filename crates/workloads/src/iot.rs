@@ -209,7 +209,7 @@ mod tests {
 
     #[test]
     fn twin_lifecycle_configure_then_ack() {
-        let (mut p, d) = setup();
+        let (p, d) = setup();
         p.invoke(d, "configure", vec![vjson!({"rate_hz": 10})])
             .unwrap();
         let h = p.invoke(d, "health", vec![]).unwrap();
@@ -226,7 +226,7 @@ mod tests {
 
     #[test]
     fn configure_merges_incrementally() {
-        let (mut p, d) = setup();
+        let (p, d) = setup();
         p.invoke(d, "configure", vec![vjson!({"rate_hz": 10, "mode": "eco"})])
             .unwrap();
         let out = p
@@ -238,7 +238,7 @@ mod tests {
 
     #[test]
     fn telemetry_window_is_bounded() {
-        let (mut p, d) = setup();
+        let (p, d) = setup();
         for i in 0..40 {
             p.invoke(d, "ingest", vec![Value::from(i as f64)]).unwrap();
         }
@@ -254,7 +254,7 @@ mod tests {
 
     #[test]
     fn ingest_rejects_non_numeric() {
-        let (mut p, d) = setup();
+        let (p, d) = setup();
         assert!(p.invoke(d, "ingest", vec![vjson!("hot")]).is_err());
         assert!(p.invoke(d, "ingest", vec![]).is_err());
     }

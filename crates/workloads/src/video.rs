@@ -161,7 +161,7 @@ mod tests {
 
     #[test]
     fn publish_pipeline_sets_metadata_and_renditions() {
-        let (mut p, id) = setup();
+        let (p, id) = setup();
         let out = p
             .invoke(id, "publish", vec![vjson!({"title": "demo"})])
             .unwrap();
@@ -175,7 +175,7 @@ mod tests {
 
     #[test]
     fn transcode_is_internal_only() {
-        let (mut p, id) = setup();
+        let (p, id) = setup();
         let err = p.invoke(id, "transcode", vec![vjson!(90)]).unwrap_err();
         assert!(matches!(err, PlatformError::AccessDenied { .. }));
         // But the dataflow may use it (publish succeeded in the other
@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn watch_requires_publish_and_counts_views() {
-        let (mut p, id) = setup();
+        let (p, id) = setup();
         let err = p
             .invoke(id, "watch", vec![vjson!({"quality": 480})])
             .unwrap_err();

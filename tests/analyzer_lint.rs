@@ -87,7 +87,7 @@ fn deploy_gate_refuses_every_fixture() {
     ] {
         let pkg = package_from_yaml_lenient(&fixture(name)).unwrap();
         let classes: Vec<String> = pkg.classes.iter().map(|c| c.name.clone()).collect();
-        let mut platform = EmbeddedPlatform::new();
+        let platform = EmbeddedPlatform::new();
         let err = platform.deploy_package(pkg).unwrap_err();
         assert!(
             matches!(err, PlatformError::LintRejected(_)),

@@ -170,7 +170,7 @@ proptest! {
                     // there (a migration mid-chaos). Armed faults and
                     // breaker state do not migrate.
                     let snap = p.export_snapshot(false);
-                    let mut fresh = platform();
+                    let fresh = platform();
                     fresh.import_snapshot(&snap).unwrap();
                     p = fresh;
                 }
@@ -199,7 +199,7 @@ proptest! {
     fn retried_incr_never_double_applies(faults in prop::collection::vec(
         (any::<u8>(), any::<u8>()), 1..40,
     )) {
-        let mut p = platform();
+        let p = platform();
         let id = p.create_object("Bag", vjson!({"count": 0})).unwrap();
         let mut succeeded = 0_i64;
         for (s, k) in faults {

@@ -363,7 +363,7 @@ classes:
         "classes:\n  - name: Plain\n    functions:\n      - name: f\n        image: img/noop\n",
     )
     .unwrap();
-    assert_eq!(q.retry_policy("Plain").unwrap(), &RetryPolicy::default());
+    assert_eq!(q.retry_policy("Plain").unwrap(), RetryPolicy::default());
 }
 
 #[test]

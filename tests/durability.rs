@@ -10,7 +10,7 @@ use oprc_value::vjson;
 
 #[test]
 fn flushed_state_survives_memory_loss() {
-    let mut p = counter_platform();
+    let p = counter_platform();
     let ids: Vec<_> = (0..20)
         .map(|i| {
             p.create_object("Counter", vjson!({ "count": (i as i64) }))
@@ -33,7 +33,7 @@ fn flushed_state_survives_memory_loss() {
 
 #[test]
 fn unflushed_state_lives_in_the_memory_tier() {
-    let mut p = counter_platform();
+    let p = counter_platform();
     let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
     p.invoke(id, "incr", vec![]).unwrap();
     // Not flushed: durable tier may lag...
@@ -76,7 +76,7 @@ fn nonpersistent_template_loses_state_by_design() {
 
 #[test]
 fn consolidation_reduces_db_write_amplification() {
-    let mut p = counter_platform();
+    let p = counter_platform();
     let hot = p.create_object("Counter", vjson!({"count": 0})).unwrap();
     for _ in 0..200 {
         p.invoke(hot, "incr", vec![]).unwrap();
@@ -98,7 +98,7 @@ fn consolidation_reduces_db_write_amplification() {
 
 #[test]
 fn durable_tier_reflects_latest_write_order() {
-    let mut p = counter_platform();
+    let p = counter_platform();
     let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
     for _ in 0..5 {
         p.invoke(id, "incr", vec![]).unwrap();

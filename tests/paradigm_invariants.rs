@@ -127,7 +127,7 @@ classes:
             "function: add1\n            inputs: [\"step:a\"]",
         );
 
-    let mut p1 = build(v1);
+    let p1 = build(v1);
     let id = p1.create_object("M", vjson!({})).unwrap();
     assert_eq!(
         p1.invoke(id, "calc", vec![vjson!(10)])
@@ -136,7 +136,7 @@ classes:
             .as_i64(),
         Some(22) // (10+1)*2
     );
-    let mut p2 = build(&v2);
+    let p2 = build(&v2);
     let id = p2.create_object("M", vjson!({})).unwrap();
     assert_eq!(
         p2.invoke(id, "calc", vec![vjson!(10)])

@@ -9,7 +9,7 @@ use oprc_workloads::image;
 
 #[test]
 fn structured_state_migrates_and_keeps_working() {
-    let mut a = counter_platform();
+    let a = counter_platform();
     let ids: Vec<_> = (0..5)
         .map(|i| {
             a.create_object("Counter", vjson!({ "count": (i as i64 * 10) }))
@@ -24,7 +24,7 @@ fn structured_state_migrates_and_keeps_working() {
     // Snapshot survives JSON serialization (what a real wire would do).
     let snapshot = json::parse(&json::to_string(&snapshot)).unwrap();
 
-    let mut b = counter_platform();
+    let b = counter_platform();
     assert_eq!(b.import_snapshot(&snapshot).unwrap(), 5);
     for (i, &id) in ids.iter().enumerate() {
         assert_eq!(
@@ -91,11 +91,11 @@ fn snapshot_without_files_keeps_refs_only() {
 
 #[test]
 fn import_requires_deployed_classes() {
-    let mut a = counter_platform();
+    let a = counter_platform();
     a.create_object("Counter", vjson!({})).unwrap();
     let snapshot = a.export_snapshot(false);
     // Target platform without the application package:
-    let mut b = EmbeddedPlatform::new();
+    let b = EmbeddedPlatform::new();
     assert!(matches!(
         b.import_snapshot(&snapshot),
         Err(PlatformError::Core(_))
@@ -104,7 +104,7 @@ fn import_requires_deployed_classes() {
 
 #[test]
 fn malformed_snapshots_rejected() {
-    let mut b = counter_platform();
+    let b = counter_platform();
     assert!(b
         .import_snapshot(&vjson!({"format": "something-else"}))
         .is_err());

@@ -122,7 +122,7 @@ proptest! {
     #[test]
     fn clean_deployment_implies_no_error_diagnostics(pkg in arb_clean_package()) {
         let report = analyze(&pkg);
-        let mut platform = EmbeddedPlatform::new();
+        let platform = EmbeddedPlatform::new();
         match platform.deploy_package(pkg) {
             Ok(()) => prop_assert_eq!(
                 report.count(Severity::Error), 0, "deployed but linted: {}", report.render()

@@ -39,7 +39,7 @@ mod tests {
 
     #[test]
     fn fixture_is_usable() {
-        let mut p = counter_platform();
+        let p = counter_platform();
         let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
         assert_eq!(
             p.invoke(id, "incr", vec![]).unwrap().output.as_i64(),

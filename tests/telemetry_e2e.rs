@@ -166,7 +166,7 @@ fn same_seed_exports_byte_identical_jsonl() {
 #[test]
 fn direct_invocation_has_flat_execute_chain() {
     let p = {
-        let mut p = traced_run();
+        let p = traced_run();
         let id = p.create_object("Doc", vjson!({})).expect("creates");
         p.telemetry().clear();
         p.invoke(id, "fa", vec![vjson!(1)]).expect("invokes");

@@ -13,7 +13,7 @@ use oprc_workloads::{image, jsonrand, video};
 #[test]
 fn steps_3_to_5_function_class_object() {
     // Step 3: function; step 4: class; step 5: deploy + interact.
-    let mut p = counter_platform();
+    let p = counter_platform();
     let id = p.create_object("Counter", vjson!({"count": 40})).unwrap();
     p.invoke(id, "incr", vec![]).unwrap();
     p.invoke(id, "incr", vec![]).unwrap();
@@ -54,7 +54,7 @@ fn all_three_reference_applications_coexist() {
 
 #[test]
 fn redeploying_a_package_updates_classes() {
-    let mut p = counter_platform();
+    let p = counter_platform();
     // v2 of the package renames the readonly function.
     p.deploy_yaml(
         "
@@ -103,7 +103,7 @@ fn presigned_urls_are_the_only_path_to_files() {
 
 #[test]
 fn invalid_yaml_reports_position() {
-    let mut p = EmbeddedPlatform::new();
+    let p = EmbeddedPlatform::new();
     let err = p.deploy_yaml("classes:\n  - name: [broken\n").unwrap_err();
     let msg = err.to_string();
     assert!(
@@ -114,7 +114,7 @@ fn invalid_yaml_reports_position() {
 
 #[test]
 fn object_directory_isolates_objects() {
-    let mut p = counter_platform();
+    let p = counter_platform();
     let a = p.create_object("Counter", vjson!({"count": 0})).unwrap();
     let b = p.create_object("Counter", vjson!({"count": 100})).unwrap();
     for _ in 0..5 {
@@ -126,7 +126,7 @@ fn object_directory_isolates_objects() {
 
 #[test]
 fn metrics_observe_the_tutorial_session() {
-    let mut p = counter_platform();
+    let p = counter_platform();
     let id = p.create_object("Counter", vjson!({})).unwrap();
     for _ in 0..10 {
         p.invoke(id, "incr", vec![]).unwrap();

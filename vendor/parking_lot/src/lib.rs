@@ -41,6 +41,16 @@ impl<T: ?Sized> Mutex<T> {
         }
     }
 
+    /// Attempts to acquire the lock without blocking; `None` if held.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        use std::sync::TryLockError;
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Returns a mutable reference without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
         match self.inner.get_mut() {
