@@ -6,8 +6,8 @@ set -eu
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test -q"
 cargo test -q
@@ -20,6 +20,9 @@ cargo run -q -p oprc-bench --bin trace_smoke -- target/trace_image.json
 
 echo "==> chaos smoke (seeded fault injection over the image pipeline)"
 cargo run -q -p oprc-bench --bin chaos_smoke -- target/trace_chaos.json
+
+echo "==> flow doctor smoke (optimizer diagnostics OPRC050-053 + pinned JSON shape)"
+cargo run -q -p oprc-bench --bin flow_doctor_smoke
 
 echo "==> invoke hot-path perf gate (seeded; warm ns/op vs baseline + retry allocation budget)"
 cargo run -q --release -p oprc-bench --bin invoke_hotpath -- --quick --check

@@ -119,6 +119,20 @@ pub mod codes {
     pub const NFR_TEMPLATE_TIE: &str = "OPRC042";
     /// Availability target declared on explicitly non-persistent state.
     pub const AVAILABILITY_WITHOUT_PERSISTENCE: &str = "OPRC043";
+    /// Effect-free step never reaches the flow output; dead-stage
+    /// elimination removes it from the compiled plan.
+    pub const UNREACHABLE_STAGE: &str = "OPRC050";
+    /// Same-object linear chain fuses into one execution unit.
+    pub const FUSABLE_CHAIN: &str = "OPRC051";
+    /// Declaration-ordered steps are data-independent and run as one
+    /// parallel stage.
+    pub const PARALLELIZABLE_SIBLINGS: &str = "OPRC052";
+    /// Fusion hoists per-step presigned-URL generation to once per
+    /// chain.
+    pub const REDUNDANT_PRESIGN: &str = "OPRC053";
+    /// Step target is an inline constant that can never be an object
+    /// id.
+    pub const TARGET_TYPE_MISMATCH: &str = "OPRC054";
 }
 
 /// The full lint-code table: every stable code with its default
@@ -228,6 +242,31 @@ pub const CODES: &[CodeInfo] = &[
         code: codes::AVAILABILITY_WITHOUT_PERSISTENCE,
         severity: Severity::Error,
         summary: "availability target on explicitly non-persistent state is unsatisfiable",
+    },
+    CodeInfo {
+        code: codes::UNREACHABLE_STAGE,
+        severity: Severity::Warning,
+        summary: "effect-free step never reaches the flow output; dead-stage elimination drops it",
+    },
+    CodeInfo {
+        code: codes::FUSABLE_CHAIN,
+        severity: Severity::Info,
+        summary: "same-object linear chain fuses into one unit (one shard-lock hold, one commit)",
+    },
+    CodeInfo {
+        code: codes::PARALLELIZABLE_SIBLINGS,
+        severity: Severity::Info,
+        summary: "steps declared in sequence are data-independent and run as one parallel stage",
+    },
+    CodeInfo {
+        code: codes::REDUNDANT_PRESIGN,
+        severity: Severity::Info,
+        summary: "fusion hoists per-step presigned-URL generation to once per chain",
+    },
+    CodeInfo {
+        code: codes::TARGET_TYPE_MISMATCH,
+        severity: Severity::Warning,
+        summary: "step target is an inline constant that can never be an object id",
     },
 ];
 

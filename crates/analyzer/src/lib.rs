@@ -18,6 +18,11 @@
 //! 5. **NFR satisfiability** — every class and method-level NFR must
 //!    select a runtime template from the catalog; ambiguous ties and
 //!    contradictory requirements are linted.
+//! 6. **Flow optimization** — every dataflow is lowered into the typed
+//!    IR (`oprc_core::flow_ir`) and run through the same rewrite
+//!    passes the platform compiles at deploy time; eliminated dead
+//!    stages are reported always (`OPRC050`), and [`doctor_with`] adds
+//!    the opportunity diagnostics (`OPRC051`–`OPRC053`).
 //!
 //! The DAG pass is purely syntactic and runs even when the package does
 //! not resolve, so the analyzer degrades gracefully on broken input —
@@ -71,6 +76,34 @@ pub fn analyze_with(
     catalog: &TemplateCatalog,
     config: &LintConfig,
 ) -> AnalysisReport {
+    analyze_inner(pkg, catalog, config, false)
+}
+
+/// Flow-focused diagnosis backing `oprc-ctl flow doctor`: everything
+/// [`analyze_with`] reports about dataflows, plus the optimization
+/// *opportunity* diagnostics (`OPRC051`–`OPRC053`) describing what the
+/// IR rewrite passes do to each flow at deploy time. Non-dataflow
+/// findings (key/function/NFR lints) are filtered out; `config` applies
+/// uniformly, so per-code overrides behave exactly as they do in
+/// `lint`.
+pub fn doctor_with(
+    pkg: &OPackage,
+    catalog: &TemplateCatalog,
+    config: &LintConfig,
+) -> AnalysisReport {
+    let mut report = analyze_inner(pkg, catalog, config, true);
+    report
+        .diagnostics
+        .retain(|d| d.source.contains("> dataflow"));
+    report
+}
+
+fn analyze_inner(
+    pkg: &OPackage,
+    catalog: &TemplateCatalog,
+    config: &LintConfig,
+    opportunities: bool,
+) -> AnalysisReport {
     let mut diags = Vec::new();
     passes::dag::run(pkg, &mut diags);
     match ClassHierarchy::resolve(&pkg.classes) {
@@ -79,6 +112,7 @@ pub fn analyze_with(
             passes::liveness::run(pkg, &hierarchy, &mut diags);
             passes::encapsulation::run(pkg, &hierarchy, &mut diags);
             passes::nfr::run(&hierarchy, catalog, &mut diags);
+            passes::flowopt::run(pkg, &hierarchy, &mut diags, opportunities);
         }
         Err(err) => {
             if !covered_by_dag(&err, &diags) {

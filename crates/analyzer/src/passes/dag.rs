@@ -1,10 +1,16 @@
 //! Pass 4 — DAG hygiene (purely syntactic, runs even on unresolvable
 //! packages): structural defects, unknown step references, self-
-//! dependencies, cycles, and malformed JSON pointers.
+//! dependencies, cycles, malformed JSON pointers, and constant targets
+//! that can never be object ids.
+//!
+//! The pass is a thin rendering layer over the typed IR's defect scan
+//! ([`FlowIr::check`]): every structural condition is detected once in
+//! `oprc-core` and mapped onto the stable lint codes here, so the
+//! analyzer, `DataflowSpec::validate`, and the platform's flow
+//! compiler all agree on what "broken" means.
 
-use std::collections::{BTreeMap, BTreeSet};
-
-use oprc_core::dataflow::{DataRef, DataflowSpec};
+use oprc_core::dataflow::DataflowSpec;
+use oprc_core::flow_ir::{FlowDefect, FlowIr};
 use oprc_core::OPackage;
 
 use crate::diagnostic::{codes, Diagnostic};
@@ -20,122 +26,63 @@ pub(crate) fn run(pkg: &OPackage, out: &mut Sink) {
 }
 
 fn lint_flow(class: &str, df: &DataflowSpec, out: &mut Sink) {
-    let flow_src = src_dataflow(class, &df.name);
-    if df.name.is_empty() {
-        out.push(Diagnostic::new(
-            codes::MALFORMED_DATAFLOW,
-            flow_src.clone(),
-            "dataflow has an empty name",
-        ));
-    }
-    if df.steps.is_empty() {
-        out.push(Diagnostic::new(
-            codes::MALFORMED_DATAFLOW,
-            flow_src,
-            "dataflow has no steps",
-        ));
-        return;
-    }
-    let mut ids: BTreeSet<&str> = BTreeSet::new();
-    for step in &df.steps {
-        if step.id.is_empty() {
-            out.push(Diagnostic::new(
+    let flow_src = || src_dataflow(class, &df.name);
+    for defect in FlowIr::check(df) {
+        let step_src = |step: &str| src_step(class, &df.name, step);
+        out.push(match defect {
+            FlowDefect::EmptyName => Diagnostic::new(
                 codes::MALFORMED_DATAFLOW,
-                flow_src.clone(),
+                flow_src(),
+                "dataflow has an empty name",
+            ),
+            FlowDefect::NoSteps => Diagnostic::new(
+                codes::MALFORMED_DATAFLOW,
+                flow_src(),
+                "dataflow has no steps",
+            ),
+            FlowDefect::EmptyStepId => Diagnostic::new(
+                codes::MALFORMED_DATAFLOW,
+                flow_src(),
                 "a step has an empty id",
-            ));
-        } else if !ids.insert(step.id.as_str()) {
-            out.push(Diagnostic::new(
+            ),
+            FlowDefect::DuplicateStepId { step } => Diagnostic::new(
                 codes::MALFORMED_DATAFLOW,
-                flow_src.clone(),
-                format!("duplicate step id '{}'", step.id),
-            ));
-        }
-    }
-    for step in &df.steps {
-        let step_src = src_step(class, &df.name, &step.id);
-        for r in step.inputs.iter().chain(step.target.iter()) {
-            let DataRef::Step { step: dep, pointer } = r else {
-                continue;
-            };
-            if dep == &step.id {
-                out.push(Diagnostic::new(
-                    codes::SELF_DEPENDENCY,
-                    step_src.clone(),
-                    format!("step '{}' depends on itself", step.id),
-                ));
-            } else if !ids.contains(dep.as_str()) {
-                out.push(Diagnostic::new(
-                    codes::UNKNOWN_STEP_REF,
-                    step_src.clone(),
-                    format!("references unknown step '{dep}'"),
-                ));
-            }
-            if let Some(p) = pointer {
-                if !p.is_empty() && !p.starts_with('/') {
-                    out.push(Diagnostic::new(
-                        codes::MALFORMED_POINTER,
-                        step_src.clone(),
-                        format!("JSON pointer '{p}' does not start with '/' and always resolves to null"),
-                    ));
-                }
-            }
-        }
-    }
-    if let Some(out_id) = &df.output {
-        if !ids.contains(out_id.as_str()) {
-            out.push(Diagnostic::new(
+                flow_src(),
+                format!("duplicate step id '{step}'"),
+            ),
+            FlowDefect::SelfDependency { step } => Diagnostic::new(
+                codes::SELF_DEPENDENCY,
+                step_src(&step),
+                format!("step '{step}' depends on itself"),
+            ),
+            FlowDefect::UnknownStepRef { step, referenced } => Diagnostic::new(
+                codes::UNKNOWN_STEP_REF,
+                step_src(&step),
+                format!("references unknown step '{referenced}'"),
+            ),
+            FlowDefect::MalformedPointer { step, pointer } => Diagnostic::new(
+                codes::MALFORMED_POINTER,
+                step_src(&step),
+                format!(
+                    "JSON pointer '{pointer}' does not start with '/' and always resolves to null"
+                ),
+            ),
+            FlowDefect::UnknownOutputStep { output } => Diagnostic::new(
                 codes::UNKNOWN_OUTPUT_STEP,
-                src_dataflow(class, &df.name),
-                format!("output references unknown step '{out_id}'"),
-            ));
-        }
-    }
-    if let Some(cycle) = find_cycle(df, &ids) {
-        out.push(Diagnostic::new(
-            codes::DATAFLOW_CYCLE,
-            src_dataflow(class, &df.name),
-            format!("steps {} form a dependency cycle", cycle.join(", ")),
-        ));
-    }
-}
-
-/// Kahn's algorithm over *known* step references (unknown ids and
-/// self-references are reported separately and do not block progress
-/// here). Returns the wedged steps when no topological order exists.
-fn find_cycle(df: &DataflowSpec, ids: &BTreeSet<&str>) -> Option<Vec<String>> {
-    let deps_of = |id: &str| -> Vec<&str> {
-        df.steps
-            .iter()
-            .filter(|s| s.id == id)
-            .flat_map(|s| s.inputs.iter().chain(s.target.iter()))
-            .filter_map(|r| match r {
-                DataRef::Step { step, .. } if step != id && ids.contains(step.as_str()) => {
-                    Some(step.as_str())
-                }
-                _ => None,
-            })
-            .collect()
-    };
-    let mut remaining: BTreeMap<&str, Vec<&str>> =
-        ids.iter().map(|id| (*id, deps_of(id))).collect();
-    loop {
-        let ready: Vec<&str> = remaining
-            .iter()
-            .filter(|(_, deps)| deps.iter().all(|d| !remaining.contains_key(d)))
-            .map(|(id, _)| *id)
-            .collect();
-        if ready.is_empty() {
-            break;
-        }
-        for id in ready {
-            remaining.remove(id);
-        }
-    }
-    if remaining.is_empty() {
-        None
-    } else {
-        Some(remaining.keys().map(|s| (*s).to_string()).collect())
+                flow_src(),
+                format!("output references unknown step '{output}'"),
+            ),
+            FlowDefect::Cycle { members } => Diagnostic::new(
+                codes::DATAFLOW_CYCLE,
+                flow_src(),
+                format!("steps {} form a dependency cycle", members.join(", ")),
+            ),
+            FlowDefect::ConstTargetNotObjectId { step, value } => Diagnostic::new(
+                codes::TARGET_TYPE_MISMATCH,
+                step_src(&step),
+                format!("target constant {value} can never resolve to an object id"),
+            ),
+        });
     }
 }
 

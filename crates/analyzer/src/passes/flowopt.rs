@@ -1,0 +1,172 @@
+//! Pass 6 — flow optimization (runs on resolvable packages): lowers
+//! every dataflow into the typed IR, runs the rewrite passes the
+//! platform's flow compiler runs at deploy time, and reports what they
+//! did.
+//!
+//! `OPRC050` (dead-stage elimination removed a step) always fires; the
+//! *opportunity* diagnostics — `OPRC051` fusable chain, `OPRC052`
+//! parallelizable siblings, `OPRC053` hoisted presigns — are
+//! informational tuning hints surfaced only through `flow doctor`
+//! (`opportunities = true`), so a clean `lint` stays quiet about flows
+//! that are merely optimizable.
+
+use oprc_core::flow_ir::{FlowIr, NodeBinding, PassConfig};
+use oprc_core::hierarchy::ClassHierarchy;
+use oprc_core::{OPackage, StateType};
+
+use crate::diagnostic::{codes, Diagnostic};
+
+use super::{src_dataflow, src_step, Sink};
+
+pub(crate) fn run(pkg: &OPackage, hierarchy: &ClassHierarchy, out: &mut Sink, opportunities: bool) {
+    for class in &pkg.classes {
+        let Some(resolved) = hierarchy.class(&class.name) else {
+            continue;
+        };
+        for df in &class.dataflows {
+            let Ok(mut ir) = FlowIr::lower(df) else {
+                continue; // fatal defects already reported by the DAG pass
+            };
+            ir.bind(|n| NodeBinding {
+                class: n.target.is_none().then(|| class.name.clone()),
+                readonly: resolved.function(&n.function).is_some_and(|f| f.readonly),
+                availability: resolved.nfr.qos.availability,
+            });
+            let prog = ir.optimize(&PassConfig::default(), |n| n.binding.readonly);
+            for &i in &prog.eliminated {
+                out.push(Diagnostic::new(
+                    codes::UNREACHABLE_STAGE,
+                    src_step(&class.name, &df.name, &ir.nodes[i].id),
+                    format!(
+                        "readonly step '{}' never reaches the flow output; \
+                         dead-stage elimination drops it from the compiled plan",
+                        ir.nodes[i].id
+                    ),
+                ));
+            }
+            if !opportunities {
+                continue;
+            }
+            let has_file_keys = resolved
+                .key_specs
+                .iter()
+                .any(|k| k.state_type == StateType::File);
+            for chain in &prog.fused {
+                let ids: Vec<&str> = chain.iter().map(|&i| ir.nodes[i].id.as_str()).collect();
+                out.push(Diagnostic::new(
+                    codes::FUSABLE_CHAIN,
+                    src_dataflow(&class.name, &df.name),
+                    format!(
+                        "same-object chain {} fuses into one unit: one shard-lock hold \
+                         and one state commit instead of {}",
+                        ids.join(" → "),
+                        ids.len()
+                    ),
+                ));
+                if has_file_keys {
+                    out.push(Diagnostic::new(
+                        codes::REDUNDANT_PRESIGN,
+                        src_dataflow(&class.name, &df.name),
+                        format!(
+                            "fusion hoists presigned-URL generation for chain {}: \
+                             {} per-step presign sets collapse to 1",
+                            ids.join(" → "),
+                            ids.len()
+                        ),
+                    ));
+                }
+            }
+            for stage in prog.parallel_stages() {
+                let ids: Vec<&str> = prog.stages[stage]
+                    .iter()
+                    .flat_map(|u| u.steps.iter().map(|&i| ir.nodes[i].id.as_str()))
+                    .collect();
+                out.push(Diagnostic::new(
+                    codes::PARALLELIZABLE_SIBLINGS,
+                    src_dataflow(&class.name, &df.name),
+                    format!(
+                        "steps {} are data-independent; the compiled plan runs them \
+                         as one parallel stage",
+                        ids.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_core::dataflow::{DataflowSpec, StepSpec};
+    use oprc_core::{ClassDef, FunctionDef, KeySpec};
+
+    fn analyze(pkg: &OPackage, opportunities: bool) -> Sink {
+        let hierarchy = ClassHierarchy::resolve(&pkg.classes).expect("resolves");
+        let mut out = Vec::new();
+        run(pkg, &hierarchy, &mut out, opportunities);
+        out
+    }
+
+    fn chain_class() -> ClassDef {
+        ClassDef::new("Img")
+            .key(KeySpec::file("image"))
+            .function(FunctionDef::new("resize", "i/r"))
+            .function(FunctionDef::new("mark", "i/m"))
+            .function(FunctionDef::new("peek", "i/p").readonly())
+            .dataflow(
+                DataflowSpec::new("pipe")
+                    .step(StepSpec::new("a", "resize").from_input())
+                    .step(StepSpec::new("b", "mark").from_step("a")),
+            )
+    }
+
+    #[test]
+    fn opportunities_only_fire_in_doctor_mode() {
+        let pkg = OPackage::new("p").class(chain_class());
+        assert!(analyze(&pkg, false).is_empty());
+        let diags = analyze(&pkg, true);
+        let codes_found: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert!(codes_found.contains(&codes::FUSABLE_CHAIN));
+        assert!(codes_found.contains(&codes::REDUNDANT_PRESIGN));
+        assert!(!codes_found.contains(&codes::PARALLELIZABLE_SIBLINGS));
+    }
+
+    #[test]
+    fn dead_readonly_step_warns_even_outside_doctor_mode() {
+        let pkg = OPackage::new("p").class(
+            chain_class().dataflow(
+                DataflowSpec::new("audited")
+                    .step(StepSpec::new("a", "resize").from_input())
+                    .step(StepSpec::new("spy", "peek").from_step("a"))
+                    .step(StepSpec::new("b", "mark").from_step("a"))
+                    .output_from("b"),
+            ),
+        );
+        let diags = analyze(&pkg, false);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::UNREACHABLE_STAGE);
+        assert!(diags[0].source.ends_with("step spy"));
+    }
+
+    #[test]
+    fn parallel_siblings_reported_per_stage() {
+        let pkg = OPackage::new("p").class(
+            ClassDef::new("C")
+                .function(FunctionDef::new("f", "i/f"))
+                .dataflow(
+                    DataflowSpec::new("fanin")
+                        .step(StepSpec::new("a", "f").from_input())
+                        .step(StepSpec::new("b", "f").from_input())
+                        .step(StepSpec::new("m", "f").from_step("a").from_step("b")),
+                ),
+        );
+        let diags = analyze(&pkg, true);
+        let sibs: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.code == codes::PARALLELIZABLE_SIBLINGS)
+            .collect();
+        assert_eq!(sibs.len(), 1);
+        assert!(sibs[0].message.contains("a, b"));
+    }
+}

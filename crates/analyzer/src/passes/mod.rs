@@ -7,6 +7,7 @@
 
 pub(crate) mod dag;
 pub(crate) mod encapsulation;
+pub(crate) mod flowopt;
 pub(crate) mod liveness;
 pub(crate) mod nfr;
 pub(crate) mod resolution;

@@ -1,0 +1,130 @@
+//! Flow-doctor smoke test: deploys a package exhibiting every
+//! optimizer finding and gates CI on `flow doctor` reporting all of
+//! them with the pinned JSON shape.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p oprc-bench --bin flow_doctor_smoke
+//! ```
+//!
+//! The package's one class carries a file key and a `report` dataflow
+//! with a dead readonly step (`OPRC050`), a fusable same-object chain
+//! (`OPRC051`, whose presign hoisting is `OPRC053` because of the file
+//! key), and a second flow with data-independent siblings (`OPRC052`).
+//! Asserts, exiting non-zero on any violation so `ci.sh` can gate:
+//!
+//! - `flow doctor --json` reports OPRC050–OPRC053;
+//! - the JSON shape is pinned (reports → diagnostics with
+//!   code/message/severity/source);
+//! - the text rendering is deterministic across two runs.
+
+use oprc_core::invocation::TaskResult;
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_platform::gateway::OprcCtl;
+use oprc_value::Value;
+
+const PACKAGE: &str = "
+name: doctor-smoke
+classes:
+  - name: Doc
+    keySpecs:
+      - name: blob
+        type: file
+      - n
+    functions:
+      - name: f
+        image: img/f
+      - name: peek
+        image: img/f
+        readonly: true
+    dataflows:
+      - name: report
+        output: b
+        steps:
+          - id: a
+            function: f
+            inputs: [input]
+          - id: spy
+            function: peek
+            inputs: [\"step:a\"]
+          - id: b
+            function: f
+            inputs: [\"step:a\"]
+      - name: fanin
+        output: merge
+        steps:
+          - id: left
+            function: f
+            inputs: [input]
+          - id: right
+            function: f
+            inputs: [input]
+          - id: merge
+            function: f
+            inputs: [\"step:left\", \"step:right\"]
+";
+
+fn doctor_json() -> (String, Value) {
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/f", |_| Ok(TaskResult::output(Value::Null)));
+    let mut ctl = OprcCtl::new(p);
+    ctl.execute(&format!("deploy {PACKAGE}"))
+        .expect("smoke package deploys");
+    let text = ctl.execute("flow doctor").expect("doctor runs").text;
+    let out = ctl.execute("flow doctor --json").expect("doctor runs");
+    (text, out.value.expect("doctor --json carries a value"))
+}
+
+fn main() {
+    let (text, v) = doctor_json();
+    let mut failures: Vec<String> = Vec::new();
+
+    let reports = v["reports"].as_array();
+    match reports {
+        None => failures.push("no 'reports' array in doctor --json".into()),
+        Some(reports) => {
+            let diags: Vec<&Value> = reports
+                .iter()
+                .flat_map(|r| r["diagnostics"].as_array().into_iter().flatten())
+                .collect();
+            for code in ["OPRC050", "OPRC051", "OPRC052", "OPRC053"] {
+                if !diags.iter().any(|d| d["code"].as_str() == Some(code)) {
+                    failures.push(format!("expected finding {code} is missing"));
+                }
+            }
+            for d in &diags {
+                for key in ["code", "message", "severity", "source"] {
+                    if d.get(key).is_none() {
+                        failures.push(format!("diagnostic lacks '{key}': {d:?}"));
+                    }
+                }
+            }
+            if !diags.iter().any(|d| {
+                d["source"]
+                    .as_str()
+                    .is_some_and(|s| s.ends_with("step spy"))
+            }) {
+                failures.push("OPRC050 does not point at the dead step".into());
+            }
+        }
+    }
+    // Deterministic rendering: an identical platform reports the
+    // identical text.
+    let (text2, _) = doctor_json();
+    if text != text2 {
+        failures.push("doctor text rendering is not deterministic".into());
+    }
+    if !text.contains("OPRC051") || !text.contains("a → b") {
+        failures.push(format!("text rendering lacks the fusable chain: {text}"));
+    }
+
+    if failures.is_empty() {
+        println!("flow_doctor_smoke: ok — OPRC050-053 reported, shape pinned");
+    } else {
+        for f in &failures {
+            eprintln!("flow_doctor_smoke: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -21,7 +21,9 @@
 //!   clock, so re-shipping the task across attempts is on the measured
 //!   path;
 //! - `dataflow_8stage` — an eight-stage dataflow (two parallel steps per
-//!   stage) fanning intermediate values across scoped worker threads.
+//!   stage) fanning intermediate values across scoped worker threads;
+//! - `dataflow_fused_chain` — a three-step same-object chain the flow
+//!   compiler fuses into one unit (one shard-lock hold, one commit).
 //!
 //! All workloads are fixed-seed and the retry schedule runs on the
 //! virtual chaos clock, so the *work done* per case is deterministic;
@@ -298,6 +300,73 @@ fn run_retry_storm(ops: u64) -> CaseResult {
     })
 }
 
+/// A three-step self-bound chain on the hot counter class; with the
+/// fusion pass on (the default) the compiled plan runs it as one unit.
+fn fused_chain_platform(fuse: bool) -> EmbeddedPlatform {
+    let mut p = EmbeddedPlatform::new();
+    register_counter(&mut p);
+    p.deploy_yaml(
+        "
+classes:
+  - name: FusedDoc
+    keySpecs: [count]
+    functions:
+      - name: incr
+        image: img/hot-incr
+    dataflows:
+      - name: chain
+        output: c
+        steps:
+          - id: a
+            function: incr
+            inputs: [input]
+          - id: b
+            function: incr
+            inputs: [\"step:a\"]
+          - id: c
+            function: incr
+            inputs: [\"step:b\"]
+",
+    )
+    .expect("fused chain deploys");
+    if !fuse {
+        p.set_flow_fusion(false).expect("recompiles unfused");
+    }
+    p
+}
+
+/// Runs the fused chain and reports, alongside the timing, the exact
+/// commit and fused-unit counter deltas over the measured ops.
+fn run_dataflow_fused(ops: u64) -> (CaseResult, u64, u64) {
+    let p = fused_chain_platform(true);
+    let id = p.create_object("FusedDoc", big_state()).expect("creates");
+    for _ in 0..ops / 8 {
+        p.invoke(id, "chain", vec![]).expect("warms up");
+    }
+    let c0 = p.metrics().commits_total();
+    let f0 = p.metrics().fused_units_total();
+    let r = measure("dataflow_fused_chain", ops, || {
+        p.invoke(id, "chain", vec![]).expect("fused chain runs");
+    });
+    (
+        r,
+        p.metrics().commits_total() - c0,
+        p.metrics().fused_units_total() - f0,
+    )
+}
+
+/// Commit count for the same chain with fusion disabled (the
+/// commit-reduction gate's control).
+fn unfused_chain_commits(ops: u64) -> u64 {
+    let p = fused_chain_platform(false);
+    let id = p.create_object("FusedDoc", big_state()).expect("creates");
+    let c0 = p.metrics().commits_total();
+    for _ in 0..ops {
+        p.invoke(id, "chain", vec![]).expect("unfused chain runs");
+    }
+    p.metrics().commits_total() - c0
+}
+
 fn run_dataflow(ops: u64) -> CaseResult {
     let p = dataflow_platform();
     let id = p.create_object("Flow8", vjson!({})).expect("creates");
@@ -322,12 +391,15 @@ fn main() {
         (256, 2048, 256, 128)
     };
 
+    let (fused_case, fused_commits, fused_units) = run_dataflow_fused(df_ops);
+    let unfused_commits = unfused_chain_commits(df_ops);
     let results = vec![
         run_cold(cold_ops),
         run_warm(warm_ops),
         run_retry_single(retry_ops),
         run_retry_storm(retry_ops),
         run_dataflow(df_ops),
+        fused_case,
     ];
 
     for r in &results {
@@ -412,6 +484,7 @@ fn main() {
                 "retry_single",
                 "retry_storm",
                 "dataflow_8stage",
+                "dataflow_fused_chain",
             ] {
                 if !cases.contains(&want) {
                     failures.push(format!("case '{want}' missing from results"));
@@ -447,6 +520,22 @@ fn main() {
             "retry storm costs {extra_allocs} allocations per extra attempt \
              (budget {RETRY_EXTRA_ATTEMPT_ALLOC_BUDGET}): \
              state snapshots are being deep-cloned per attempt"
+        ));
+    }
+    // Commit-reduction gate: the fused 3-step chain commits exactly once
+    // per invocation (counter deltas are exact, machine-independent),
+    // while the fusion-disabled control pays one commit per step.
+    if fused_commits != df_ops || fused_units != df_ops {
+        failures.push(format!(
+            "fused chain: expected {df_ops} commits and {df_ops} fused units \
+             over {df_ops} ops, measured {fused_commits} and {fused_units}"
+        ));
+    }
+    if unfused_commits != 3 * df_ops {
+        failures.push(format!(
+            "unfused chain control: expected {} commits over {df_ops} ops, \
+             measured {unfused_commits}",
+            3 * df_ops
         ));
     }
 

@@ -44,7 +44,7 @@ fn main() {
     std::fs::write(&path, &chrome).expect("writes trace");
 
     // Shape-check the export: a valid JSON event array containing the
-    // root invoke span and one span per dataflow stage.
+    // root invoke span and the compiled (fused) pipeline shape.
     let doc = json::parse(&chrome).expect("chrome export parses");
     let events = doc.as_array().expect("chrome export is an array");
     let count = |name: &str| {
@@ -57,19 +57,29 @@ fn main() {
     if count("invoke") != 1 {
         failures.push(format!("expected 1 invoke span, got {}", count("invoke")));
     }
+    // The flow compiler (DESIGN.md §13) fuses the same-object
+    // resize → detectObject chain into one unit under a single stage:
+    // one shard-lock hold, one state load, one commit — but still one
+    // engine.execute per step.
     let stages = count("dataflow.stage");
-    if stages < 2 {
+    if stages != 1 {
         failures.push(format!(
-            "pipeline has 2 stages, trace shows {stages} dataflow.stage spans"
+            "fused pipeline compiles to 1 stage, trace shows {stages} dataflow.stage spans"
         ));
     }
-    for name in [
-        "dataflow.step",
-        "route",
-        "state.load",
-        "engine.execute",
-        "state.commit",
-    ] {
+    if count("dataflow.fused") != 1 {
+        failures.push(format!(
+            "expected 1 dataflow.fused span, got {}",
+            count("dataflow.fused")
+        ));
+    }
+    if count("engine.execute") != 2 {
+        failures.push(format!(
+            "fused chain has 2 steps, trace shows {} engine.execute spans",
+            count("engine.execute")
+        ));
+    }
+    for name in ["route", "state.load", "presign", "state.commit"] {
         if count(name) == 0 {
             failures.push(format!("no '{name}' spans in the trace"));
         }

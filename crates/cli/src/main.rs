@@ -89,6 +89,7 @@ fn main() {
     // REPL.
     println!("oprc-ctl — type 'help' for commands, ctrl-d to exit");
     println!("(workload images img/*, vid/* are pre-registered; their classes are deployed)");
+    println!("(after deploying flows, 'flow doctor' reports optimizer diagnostics)");
     let stdin = std::io::stdin();
     loop {
         print!("oprc> ");

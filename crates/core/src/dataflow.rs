@@ -158,51 +158,25 @@ impl DataflowSpec {
     /// Validates the DAG: unique non-empty ids, known references, an
     /// existing output step, and acyclicity.
     ///
+    /// Implemented over the typed IR's defect scan
+    /// ([`crate::flow_ir::FlowIr::check`]); the first fatal defect, in
+    /// the scan's deterministic order, becomes the error.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidDataflow`] describing the first
     /// problem found.
     pub fn validate(&self) -> Result<(), CoreError> {
-        let fail = |reason: String| {
-            Err(CoreError::InvalidDataflow {
+        match crate::flow_ir::FlowIr::check(self)
+            .into_iter()
+            .find(crate::flow_ir::FlowDefect::is_fatal)
+        {
+            None => Ok(()),
+            Some(defect) => Err(CoreError::InvalidDataflow {
                 dataflow: self.name.clone(),
-                reason,
-            })
-        };
-        if self.name.is_empty() {
-            return fail("dataflow name must not be empty".into());
+                reason: defect.to_string(),
+            }),
         }
-        if self.steps.is_empty() {
-            return fail("dataflow needs at least one step".into());
-        }
-        let mut ids = BTreeSet::new();
-        for s in &self.steps {
-            if s.id.is_empty() {
-                return fail("step id must not be empty".into());
-            }
-            if !ids.insert(s.id.as_str()) {
-                return fail(format!("duplicate step id '{}'", s.id));
-            }
-        }
-        for s in &self.steps {
-            for dep in s.dependencies() {
-                if !ids.contains(dep) {
-                    return fail(format!("step '{}' references unknown step '{dep}'", s.id));
-                }
-                if dep == s.id {
-                    return fail(format!("step '{}' depends on itself", s.id));
-                }
-            }
-        }
-        if let Some(out) = &self.output {
-            if !ids.contains(out.as_str()) {
-                return fail(format!("output references unknown step '{out}'"));
-            }
-        }
-        if self.stages_inner().is_none() {
-            return fail("dataflow contains a dependency cycle".into());
-        }
-        Ok(())
     }
 
     /// Groups steps into parallel stages: every step in stage *k* depends

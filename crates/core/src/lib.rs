@@ -25,6 +25,9 @@
 //!   storage;
 //! - [`dataflow`] — the dataflow abstraction (§II-B): execution driven by
 //!   data dependencies, with automatic parallel stages;
+//! - [`flow_ir`] — the typed dataflow IR: defect scanning, lowering,
+//!   and rewrite passes (dead-stage elimination, same-object fusion,
+//!   parallelism extraction) compiled into execution schedules;
 //! - [`template`] — class-runtime templates (§III-B, Fig. 2): matching
 //!   requirement combinations to runtime configurations by condition and
 //!   priority;
@@ -69,6 +72,7 @@ mod class;
 mod error;
 
 pub mod dataflow;
+pub mod flow_ir;
 pub mod hierarchy;
 pub mod invocation;
 pub mod nfr;

@@ -47,11 +47,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
 
-use oprc_analyzer::{analyze_with, AnalysisReport, LintConfig, Severity};
+use oprc_analyzer::{analyze_with, doctor_with, AnalysisReport, LintConfig, Severity};
 use oprc_chaos::{CircuitBreaker, FaultInjector, FaultKind, FaultPlan, InjectionSite, RetryPolicy};
-use oprc_core::dataflow::DataflowSpec;
+use oprc_core::dataflow::{DataRef, DataflowSpec, StepSpec};
+use oprc_core::flow_ir::{FlowIr, FlowProgram, NodeBinding, PassConfig};
 use oprc_core::invocation::{InvocationTask, TaskError, TaskResult};
 use oprc_core::object::{FileRef, ObjectId};
 use oprc_core::optimizer::{self, OptimizerConfig, ScalePlan};
@@ -65,6 +65,7 @@ use oprc_telemetry::{TelemetryConfig, TraceContext, TraceSink};
 use oprc_value::{merge, vjson, Snapshot, Value};
 
 use crate::deployer::{self, ClassRuntimeSpec};
+use crate::lockorder::{OrderedMutex, OrderedRwLock, Tier};
 use crate::monitoring::MetricsHub;
 use crate::registry::PackageRegistry;
 use crate::router::ObjectRouter;
@@ -110,6 +111,18 @@ struct DispatchPlan {
     breaker_key: Arc<str>,
 }
 
+/// A dataflow compiled at deploy time: the source spec plus the
+/// optimized [`FlowProgram`] the IR passes produced for it.
+///
+/// `program` is `None` only when the spec fails validation (kept so the
+/// invoke path can surface the exact `validate()` error instead of a
+/// plan-miss); every deployable flow compiles.
+#[derive(Debug)]
+struct CompiledFlow {
+    spec: Arc<DataflowSpec>,
+    program: Option<FlowProgram>,
+}
+
 /// Per-class invocation plan, built by
 /// [`EmbeddedPlatform::rebuild_dispatch_plans`] at deploy time and
 /// dropped wholesale on redeploy — the invoke hot path reads only this,
@@ -118,8 +131,8 @@ struct DispatchPlan {
 struct ClassPlan {
     /// Resolved dispatch per visible function name (inherited included).
     functions: BTreeMap<String, DispatchPlan>,
-    /// Pre-shared dataflow specs per dataflow name.
-    dataflows: BTreeMap<String, Arc<DataflowSpec>>,
+    /// Compiled dataflows per dataflow name.
+    dataflows: BTreeMap<String, Arc<CompiledFlow>>,
     /// File-typed key-spec names (presign list for task builds).
     file_keys: Arc<[String]>,
     /// The class's deploy-time retry policy.
@@ -132,6 +145,123 @@ struct ClassPlan {
 /// The full dispatch-plan table, swapped atomically at deploy.
 type PlanTable = BTreeMap<String, ClassPlan>;
 
+/// A surgical edit to one deployed dataflow, applied by
+/// [`EmbeddedPlatform::edit_flow`] as a plan → rewire → validate →
+/// atomic-swap transaction.
+#[derive(Debug, Clone)]
+pub enum FlowEdit {
+    /// Insert a step. With `before: Some(c)` the step is spliced into
+    /// the edge feeding `c`: when its `inputs` are empty it inherits
+    /// `c`'s previous inputs, and `c` is rewired to consume the new
+    /// step's output. With `before: None` the step is appended as
+    /// written (empty inputs default to the flow input).
+    AddStep {
+        /// The step to insert.
+        step: StepSpec,
+        /// The consumer to splice in front of, if any.
+        before: Option<String>,
+    },
+    /// Delete the step named `id`, splicing its consumers (and the
+    /// flow output, if it pointed here) onto its sole upstream step.
+    DeleteStep {
+        /// The step id to delete.
+        id: String,
+    },
+}
+
+/// Applies `edit` to `df` in place. Structural rewiring only — full
+/// validation happens when the edited package re-enters the deploy
+/// pipeline.
+fn apply_flow_edit(df: &mut DataflowSpec, edit: FlowEdit) -> Result<(), PlatformError> {
+    let invalid = |df: &DataflowSpec, reason: String| {
+        PlatformError::Core(oprc_core::CoreError::InvalidDataflow {
+            dataflow: df.name.clone(),
+            reason,
+        })
+    };
+    let refs_step = |s: &StepSpec, id: &str| {
+        s.inputs
+            .iter()
+            .chain(s.target.iter())
+            .any(|r| matches!(r, DataRef::Step { step, .. } if step == id))
+    };
+    match edit {
+        FlowEdit::AddStep { mut step, before } => match before {
+            Some(consumer) => {
+                let Some(pos) = df.steps.iter().position(|s| s.id == consumer) else {
+                    return Err(invalid(
+                        df,
+                        format!("no step '{consumer}' to insert before"),
+                    ));
+                };
+                if step.inputs.is_empty() {
+                    step.inputs = df.steps[pos].inputs.clone();
+                }
+                df.steps[pos].inputs = vec![DataRef::Step {
+                    step: step.id.clone(),
+                    pointer: None,
+                }];
+                df.steps.insert(pos, step);
+                Ok(())
+            }
+            None => {
+                if step.inputs.is_empty() {
+                    step.inputs = vec![DataRef::Input];
+                }
+                df.steps.push(step);
+                Ok(())
+            }
+        },
+        FlowEdit::DeleteStep { id } => {
+            let Some(pos) = df.steps.iter().position(|s| s.id == id) else {
+                return Err(invalid(df, format!("no step '{id}' to delete")));
+            };
+            let deps: BTreeSet<String> = df.steps[pos]
+                .inputs
+                .iter()
+                .filter_map(|r| match r {
+                    DataRef::Step { step, .. } => Some(step.clone()),
+                    _ => None,
+                })
+                .collect();
+            let has_consumers = df.steps.iter().any(|s| s.id != id && refs_step(s, &id));
+            let is_output = df.output.as_deref() == Some(id.as_str());
+            let splice = if has_consumers || is_output {
+                match deps.len() {
+                    1 => deps.into_iter().next(),
+                    n => {
+                        return Err(invalid(
+                            df,
+                            format!(
+                                "cannot delete '{id}': consumers need a single upstream \
+                                 step to splice onto, found {n}"
+                            ),
+                        ))
+                    }
+                }
+            } else {
+                None
+            };
+            df.steps.remove(pos);
+            if let Some(d) = splice {
+                for s in &mut df.steps {
+                    for r in s.inputs.iter_mut().chain(s.target.iter_mut()) {
+                        if let DataRef::Step { step, .. } = r {
+                            if *step == id {
+                                step.clone_from(&d);
+                            }
+                        }
+                    }
+                }
+                if is_output {
+                    df.output = Some(d);
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
 /// The in-process Oparaca platform.
 ///
 /// The platform is `Sync`: share it behind an `Arc` (or plain `&`) and
@@ -143,17 +273,17 @@ type PlanTable = BTreeMap<String, ClassPlan>;
 #[derive(Debug)]
 pub struct EmbeddedPlatform {
     // -- Control plane (locked; never touched while a shard is held) --
-    registry: RwLock<PackageRegistry>,
-    functions: RwLock<FunctionRegistry>,
-    runtimes: RwLock<BTreeMap<String, ClassRuntime>>,
+    registry: OrderedRwLock<PackageRegistry>,
+    functions: OrderedRwLock<FunctionRegistry>,
+    runtimes: OrderedRwLock<BTreeMap<String, ClassRuntime>>,
     /// Per-class dispatch plans behind an atomically-swapped `Arc`:
     /// invokes clone the `Arc` once and read a consistent snapshot;
     /// deploys build a fresh table off-lock and swap it in (see
     /// [`EmbeddedPlatform::rebuild_dispatch_plans`]).
-    plans: RwLock<Arc<PlanTable>>,
+    plans: OrderedRwLock<Arc<PlanTable>>,
     /// Serializes whole deployments (lint → registry → runtimes → plan
     /// swap) without ever blocking the invoke read path.
-    deploy_gate: Mutex<()>,
+    deploy_gate: OrderedMutex<()>,
     // -- Data plane --
     /// Sharded object state: directory entries, per-shard storage
     /// stacks, and in-flight commit records (see [`shard`]).
@@ -169,15 +299,19 @@ pub struct EmbeddedPlatform {
     chaos: FaultInjector,
     /// Images that have executed at least once (cold-start attribution
     /// on `engine.execute` spans; tracked only while telemetry is on).
-    warmed: Mutex<BTreeSet<String>>,
+    warmed: OrderedMutex<BTreeSet<String>>,
     /// Per-`class::function` circuit breakers, created lazily for
     /// functions whose retry policy arms one. Keyed by the interned
     /// breaker key so the hot path never formats a lookup string.
-    breakers: Mutex<BTreeMap<Arc<str>, CircuitBreaker>>,
+    breakers: OrderedMutex<BTreeMap<Arc<str>, CircuitBreaker>>,
     // -- Plain configuration (set before serving) --
     catalog: TemplateCatalog,
     optimizer_cfg: OptimizerConfig,
     lint_config: LintConfig,
+    /// Whether [`rebuild_dispatch_plans`](Self::rebuild_dispatch_plans)
+    /// runs the same-object fusion pass (on by default; the equivalence
+    /// tests and benches flip it off to get an interpreted baseline).
+    fuse_flows: bool,
     /// Seed for per-invocation backoff jitter streams.
     jitter_seed: u64,
     started: Instant,
@@ -230,22 +364,23 @@ impl EmbeddedPlatform {
             routing.join(DhtNodeId(m));
         }
         EmbeddedPlatform {
-            registry: RwLock::new(PackageRegistry::new()),
-            functions: RwLock::new(FunctionRegistry::new()),
-            runtimes: RwLock::new(BTreeMap::new()),
-            plans: RwLock::new(Arc::new(PlanTable::new())),
-            deploy_gate: Mutex::new(()),
+            registry: OrderedRwLock::new(Tier::Control, PackageRegistry::new()),
+            functions: OrderedRwLock::new(Tier::Control, FunctionRegistry::new()),
+            runtimes: OrderedRwLock::new(Tier::Control, BTreeMap::new()),
+            plans: OrderedRwLock::new(Tier::Control, Arc::new(PlanTable::new())),
+            deploy_gate: OrderedMutex::new(Tier::Control, ()),
             shards,
             routing,
             s3: S3Gateway::new(b"oparaca-embedded-secret".to_vec(), started),
             metrics: MetricsHub::new(),
             telemetry: TraceSink::disabled(),
             chaos: FaultInjector::disabled(),
-            warmed: Mutex::new(BTreeSet::new()),
-            breakers: Mutex::new(BTreeMap::new()),
+            warmed: OrderedMutex::new(Tier::Leaf, BTreeSet::new()),
+            breakers: OrderedMutex::new(Tier::Leaf, BTreeMap::new()),
             catalog,
             optimizer_cfg: OptimizerConfig::default(),
             lint_config: LintConfig::new(),
+            fuse_flows: true,
             jitter_seed: 0,
             started,
             next_object: AtomicU64::new(0),
@@ -413,6 +548,13 @@ impl EmbeddedPlatform {
     /// errors.
     pub fn deploy_package(&self, pkg: OPackage) -> Result<(), PlatformError> {
         let _gate = self.deploy_gate.lock();
+        self.deploy_package_locked(pkg)
+    }
+
+    /// The deploy body, run under the deploy gate (shared by
+    /// [`deploy_package`](Self::deploy_package) and
+    /// [`edit_flow`](Self::edit_flow)).
+    fn deploy_package_locked(&self, pkg: OPackage) -> Result<(), PlatformError> {
         let report = self.lint_package(&pkg);
         if report.has_errors() {
             return Err(PlatformError::LintRejected(
@@ -498,10 +640,36 @@ impl EmbeddedPlatform {
                         },
                     );
                 }
+                let cfg = if self.fuse_flows {
+                    PassConfig::default()
+                } else {
+                    PassConfig {
+                        eliminate_dead: true,
+                        fuse: false,
+                    }
+                };
                 let dataflows = resolved
                     .dataflows
                     .iter()
-                    .map(|df| (df.name.clone(), Arc::new(df.clone())))
+                    .map(|df| {
+                        let program = FlowIr::lower(df).ok().map(|mut ir| {
+                            ir.bind(|n| NodeBinding {
+                                class: n.target.is_none().then(|| class.to_string()),
+                                readonly: resolved
+                                    .function(&n.function)
+                                    .is_some_and(|f| f.readonly),
+                                availability: resolved.nfr.qos.availability,
+                            });
+                            ir.optimize(&cfg, |n| n.binding.readonly)
+                        });
+                        (
+                            df.name.clone(),
+                            Arc::new(CompiledFlow {
+                                spec: Arc::new(df.clone()),
+                                program,
+                            }),
+                        )
+                    })
                     .collect();
                 let file_keys: Arc<[String]> = resolved
                     .key_specs
@@ -523,6 +691,79 @@ impl EmbeddedPlatform {
         }
         *self.plans.write() = Arc::new(table);
         Ok(())
+    }
+
+    /// Enables or disables the same-object fusion pass and recompiles
+    /// every deployed flow under the deploy gate. Fusion is on by
+    /// default; the equivalence tests and benches flip it off to get
+    /// the step-at-a-time baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry resolution errors from the rebuild.
+    pub fn set_flow_fusion(&mut self, on: bool) -> Result<(), PlatformError> {
+        self.fuse_flows = on;
+        let _gate = self.deploy_gate.lock();
+        self.rebuild_dispatch_plans()
+    }
+
+    /// Runs the dataflow-aware analyzer (`flow doctor`) over every
+    /// deployed package, with the same template catalog and lint
+    /// configuration the deploy gate applies. One report per package,
+    /// in package-name order.
+    pub fn doctor(&self) -> Vec<AnalysisReport> {
+        self.registry
+            .read()
+            .packages()
+            .map(|pkg| doctor_with(pkg, &self.catalog, &self.lint_config))
+            .collect()
+    }
+
+    /// Applies a surgical edit to one deployed dataflow: clone the
+    /// owning package, rewire the flow, then re-run the full deploy
+    /// pipeline (lint gate → registry → recompile → atomic plan swap)
+    /// under the deploy gate. Invalid edits are rejected by the lint
+    /// gate *before* any state changes; in-flight invocations keep the
+    /// plan snapshot they already hold, so a live edit never tears a
+    /// running flow.
+    ///
+    /// # Errors
+    ///
+    /// - [`PlatformError::Core`] when `class`/`flow`/a referenced step
+    ///   does not exist or the edit leaves no valid splice;
+    /// - [`PlatformError::LintRejected`] when the rewired flow fails
+    ///   validation (the deployed flow is left untouched).
+    pub fn edit_flow(&self, class: &str, flow: &str, edit: FlowEdit) -> Result<(), PlatformError> {
+        let _gate = self.deploy_gate.lock();
+        let mut pkg = self
+            .registry
+            .read()
+            .package_of_class(class)
+            .cloned()
+            .ok_or_else(|| {
+                PlatformError::Core(oprc_core::CoreError::UnknownClass(class.to_string()))
+            })?;
+        let df = pkg
+            .classes
+            .iter_mut()
+            .find(|c| c.name == class)
+            .and_then(|c| c.dataflows.iter_mut().find(|d| d.name == flow))
+            .ok_or_else(|| {
+                PlatformError::Core(oprc_core::CoreError::UnknownFunction {
+                    class: class.to_string(),
+                    function: flow.to_string(),
+                })
+            })?;
+        apply_flow_edit(df, edit)?;
+        self.deploy_package_locked(pkg)
+    }
+
+    /// Deliberately acquires a second shard lock while one is held,
+    /// tripping the debug-build lock-order sanitizer (test hook).
+    #[doc(hidden)]
+    pub fn debug_violate_lock_order(&self) {
+        let _a = self.shards[0].lock();
+        let _b = self.shards[self.shards.len() - 1].lock();
     }
 
     /// The runtime spec chosen for `class`, if deployed.
@@ -808,9 +1049,9 @@ impl EmbeddedPlatform {
             unreachable!("deployed classes are planned")
         };
 
-        if let Some(df) = plan.dataflows.get(function) {
-            let df = Arc::clone(df);
-            let out = self.run_dataflow(id, &class, &df, args, root, &plans);
+        if let Some(flow) = plan.dataflows.get(function) {
+            let flow = Arc::clone(flow);
+            let out = self.run_dataflow(id, &class, &flow, args, root, &plans);
             self.record(&class, function, started, &out);
             return out;
         }
@@ -1416,6 +1657,7 @@ impl EmbeddedPlatform {
             }
         }
         sh.committed.insert(ikey, result.clone());
+        self.metrics.record_commit();
         if enabled {
             if torn {
                 self.telemetry.attr(commit_span, "torn", true);
@@ -1431,7 +1673,37 @@ impl EmbeddedPlatform {
         Ok(())
     }
 
+    /// Dataflow entry point: route the invocation to the engine that
+    /// fits.
+    ///
+    /// - Chaos on → the interpreted engine, which runs steps serially
+    ///   through the retry loop so fault schedules replay
+    ///   byte-identically;
+    /// - no compiled program (the spec failed validation) → the
+    ///   interpreted engine, which surfaces the exact `validate()`
+    ///   error;
+    /// - otherwise → the compiled engine over the optimized
+    ///   [`FlowProgram`].
     fn run_dataflow(
+        &self,
+        id: ObjectId,
+        class: &str,
+        flow: &CompiledFlow,
+        args: Vec<Value>,
+        root: TraceContext,
+        plans: &PlanTable,
+    ) -> Result<TaskResult, PlatformError> {
+        match &flow.program {
+            Some(program) if !self.chaos.is_enabled() => {
+                self.run_dataflow_compiled(id, class, &flow.spec, program, args, root, plans)
+            }
+            _ => self.run_dataflow_interp(id, class, &flow.spec, args, root, plans),
+        }
+    }
+
+    /// The interpreted dataflow engine: stages computed from the spec,
+    /// one task (and one state commit) per step.
+    fn run_dataflow_interp(
         &self,
         id: ObjectId,
         class: &str,
@@ -1637,6 +1909,388 @@ impl EmbeddedPlatform {
                 .remove(out_step)
                 .map_or(Value::Null, Snapshot::into_value),
         ))
+    }
+
+    /// The compiled dataflow engine: executes the optimized
+    /// [`FlowProgram`] the IR passes produced at deploy time.
+    /// Eliminated steps are never built; singleton units run exactly
+    /// like the interpreted engine (same spans, same parallel stage
+    /// execution); fused units run the whole same-object chain under
+    /// one shard-lock hold with a single state commit.
+    #[allow(clippy::too_many_arguments)]
+    fn run_dataflow_compiled(
+        &self,
+        id: ObjectId,
+        class: &str,
+        df: &DataflowSpec,
+        program: &FlowProgram,
+        args: Vec<Value>,
+        root: TraceContext,
+        plans: &PlanTable,
+    ) -> Result<TaskResult, PlatformError> {
+        let enabled = self.telemetry.is_enabled();
+        let input = Snapshot::from(args.into_iter().next().unwrap_or(Value::Null));
+        let mut outputs: BTreeMap<String, Snapshot> = BTreeMap::new();
+        for (stage_index, stage) in program.stages.iter().enumerate() {
+            let width: usize = stage.iter().map(|u| u.steps.len()).sum();
+            let stage_span = if enabled {
+                let s = self
+                    .telemetry
+                    .begin_child(root, "dataflow.stage", self.now());
+                self.telemetry.attr(s, "index", stage_index as u64);
+                self.telemetry.attr(s, "parallelism", width as u64);
+                s
+            } else {
+                TraceContext::NONE
+            };
+            let mut tasks = Vec::new();
+            let mut impls: Vec<FunctionImpl> = Vec::new();
+            let mut targets: Vec<(ObjectId, String, bool)> = Vec::new();
+            let mut step_spans: Vec<TraceContext> = Vec::new();
+            let mut step_ids: Vec<&str> = Vec::new();
+            for unit in stage {
+                if unit.is_fused() {
+                    // Fused chains execute inline, before the stage's
+                    // singleton units; no data dependency can exist
+                    // between units of one stage, so order is free.
+                    self.run_fused_unit(
+                        id,
+                        class,
+                        df,
+                        &unit.steps,
+                        &input,
+                        &mut outputs,
+                        stage_span,
+                        plans,
+                    )?;
+                    continue;
+                }
+                let step = &df.steps[unit.steps[0]];
+                // Cross-object steps (§II-B extension): dispatch is
+                // polymorphic on the *target's* class.
+                let (target_id, target_class) = match &step.target {
+                    None => (id, class.to_string()),
+                    Some(r) => {
+                        let resolved_ref = DataflowSpec::resolve_ref_shared(r, &input, &outputs);
+                        let raw = resolved_ref.as_u64().ok_or_else(|| {
+                            PlatformError::Core(oprc_core::CoreError::InvalidDataflow {
+                                dataflow: df.name.clone(),
+                                reason: format!(
+                                    "step '{}' target resolved to {resolved_ref}, not an object id",
+                                    step.id
+                                ),
+                            })
+                        })?;
+                        let tid = ObjectId(raw);
+                        let tclass = self.object_class(tid)?;
+                        (tid, tclass)
+                    }
+                };
+                let target_plan = plans.get(&target_class);
+                let dispatch = match target_plan.and_then(|p| p.functions.get(&step.function)) {
+                    Some(d) => d.clone(),
+                    None => {
+                        self.registry.read().require_class(&target_class)?;
+                        return Err(PlatformError::Core(oprc_core::CoreError::UnknownFunction {
+                            class: target_class.clone(),
+                            function: step.function.clone(),
+                        }));
+                    }
+                };
+                let target_plan = target_plan.expect("dispatch resolved through the plan");
+                let step_span = if enabled {
+                    let s = self
+                        .telemetry
+                        .begin_child(stage_span, "dataflow.step", self.now());
+                    self.telemetry.attr(s, "step", step.id.as_str());
+                    self.telemetry.attr(s, "function", step.function.as_str());
+                    self.telemetry.attr(s, "target", target_id.as_u64());
+                    s
+                } else {
+                    TraceContext::NONE
+                };
+                self.route(&target_class, target_id, step_span);
+                let inputs: Vec<Value> =
+                    DataflowSpec::resolve_inputs_shared(step, &input, &outputs)
+                        .into_iter()
+                        .map(Snapshot::into_value)
+                        .collect();
+                let f = self
+                    .functions
+                    .read()
+                    .get(&dispatch.image)
+                    .ok_or_else(|| PlatformError::UnknownImage(dispatch.image.to_string()))?;
+                let mut task = {
+                    let mut sh = self.shard(target_id).lock();
+                    self.build_task(
+                        &mut sh,
+                        target_id,
+                        &target_class,
+                        target_plan,
+                        &dispatch,
+                        inputs,
+                        step_span,
+                    )?
+                };
+                task.idempotency_key = self.next_invocation.fetch_add(1, Ordering::Relaxed);
+                tasks.push(task);
+                impls.push(f);
+                targets.push((target_id, target_class, target_plan.persists));
+                step_spans.push(step_span);
+                step_ids.push(step.id.as_str());
+            }
+            // Execute-span bookkeeping stays on the platform thread, in
+            // step order, so span ids remain deterministic regardless of
+            // worker-thread scheduling.
+            let exec_spans: Vec<TraceContext> = tasks
+                .iter()
+                .map(|t| self.begin_execute_span(t, t.trace.unwrap_or(TraceContext::NONE)))
+                .collect();
+            // Parallel execution (§II-B): safe because tasks are pure.
+            let results: Vec<Result<TaskResult, TaskError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = tasks
+                    .iter()
+                    .zip(impls.iter())
+                    .map(|(t, f)| scope.spawn(move || f(t)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("function panicked"))
+                    .collect()
+            });
+            if enabled {
+                for (span, result) in exec_spans.iter().zip(&results) {
+                    if let Err(e) = result {
+                        self.telemetry.attr(*span, "error", e.to_string());
+                    }
+                    self.telemetry.end(*span, self.now());
+                }
+            }
+            // Apply effects deterministically in step order.
+            let ikeys: Vec<u64> = tasks.iter().map(|t| t.idempotency_key).collect();
+            for ((((step_id, result), (target_id, target_class, persists)), step_span), ikey) in
+                step_ids
+                    .iter()
+                    .zip(results)
+                    .zip(targets)
+                    .zip(step_spans)
+                    .zip(ikeys)
+            {
+                let result = result?;
+                {
+                    let mut sh = self.shard(target_id).lock();
+                    self.apply_result(
+                        &mut sh,
+                        target_id,
+                        &target_class,
+                        persists,
+                        &result,
+                        step_span,
+                        ikey,
+                    )?;
+                    // The step finished — its commit record can never be
+                    // consulted again.
+                    sh.committed.remove(&ikey);
+                }
+                outputs.insert((*step_id).to_string(), Snapshot::from(result.output));
+                self.telemetry.end(step_span, self.now());
+            }
+            self.telemetry.end(stage_span, self.now());
+        }
+        let out_step = df.output_step().expect("compiled dataflow has steps");
+        Ok(TaskResult::output(
+            outputs
+                .remove(out_step)
+                .map_or(Value::Null, Snapshot::into_value),
+        ))
+    }
+
+    /// Executes one fused same-object chain: one route, one shard-lock
+    /// hold, one state load, one presign set, and a *single* state
+    /// commit after every step in the chain has run. Sound because the
+    /// fusion pass only emits chains covering the complete set of
+    /// surviving self-bound steps — no other step can observe this
+    /// object's state mid-chain.
+    #[allow(clippy::too_many_arguments)]
+    fn run_fused_unit(
+        &self,
+        id: ObjectId,
+        class: &str,
+        df: &DataflowSpec,
+        steps: &[usize],
+        input: &Snapshot,
+        outputs: &mut BTreeMap<String, Snapshot>,
+        stage_span: TraceContext,
+        plans: &PlanTable,
+    ) -> Result<(), PlatformError> {
+        let enabled = self.telemetry.is_enabled();
+        let plan = plans.get(class).expect("invoking class is planned");
+        // Resolve every dispatch and implementation up front: control
+        // locks are never taken while the shard is held.
+        let mut chain: Vec<(&StepSpec, DispatchPlan, FunctionImpl)> =
+            Vec::with_capacity(steps.len());
+        for &ix in steps {
+            let step = &df.steps[ix];
+            let Some(dispatch) = plan.functions.get(&step.function).cloned() else {
+                return Err(PlatformError::Core(oprc_core::CoreError::UnknownFunction {
+                    class: class.to_string(),
+                    function: step.function.clone(),
+                }));
+            };
+            let f = self
+                .functions
+                .read()
+                .get(&dispatch.image)
+                .ok_or_else(|| PlatformError::UnknownImage(dispatch.image.to_string()))?;
+            chain.push((step, dispatch, f));
+        }
+        let fused_span = if enabled {
+            let s = self
+                .telemetry
+                .begin_child(stage_span, "dataflow.fused", self.now());
+            let ids: Vec<&str> = steps.iter().map(|&ix| df.steps[ix].id.as_str()).collect();
+            self.telemetry.attr(s, "steps", steps.len() as u64);
+            self.telemetry.attr(s, "chain", ids.join("→"));
+            s
+        } else {
+            TraceContext::NONE
+        };
+        self.route(class, id, fused_span);
+
+        let mut sh = self.shard(id).lock();
+        let key = match sh.objects.get(&id) {
+            Some(entry) => Arc::clone(&entry.storage_key),
+            None => Arc::from(storage_key(class, id).as_str()),
+        };
+        let load_span = if enabled {
+            let s = self
+                .telemetry
+                .begin_child(fused_span, "state.load", self.now());
+            self.telemetry.attr(s, "key", &*key);
+            s
+        } else {
+            TraceContext::NONE
+        };
+        let sink = self.telemetry.clone();
+        let loaded = sh.state.load_traced(self.now(), &key, &sink, load_span);
+        if enabled {
+            self.telemetry.attr(load_span, "hit", loaded.is_some());
+            self.telemetry.end(load_span, self.now());
+        }
+        let mut state = loaded.unwrap_or_else(Snapshot::object);
+        let revision = sh.objects.get(&id).map_or(0, |e| e.revision);
+        let file_keys = &plan.file_keys;
+        let presign_span = if enabled && !file_keys.is_empty() {
+            self.telemetry
+                .begin_child(fused_span, "presign", self.now())
+        } else {
+            TraceContext::NONE
+        };
+        let mut file_urls = BTreeMap::new();
+        for fk in file_keys.iter() {
+            file_urls.insert(fk.clone(), self.presign_for(class, id, fk, Method::Get)?);
+            file_urls.insert(
+                format!("{fk}:put"),
+                self.presign_for(class, id, fk, Method::Put)?,
+            );
+        }
+        if !presign_span.is_none() {
+            self.telemetry
+                .attr(presign_span, "urls", file_urls.len() as u64);
+            self.telemetry.end(presign_span, self.now());
+        }
+
+        let mut patched = false;
+        let mut files_written: Vec<(String, String)> = Vec::new();
+        for (step, dispatch, f) in &chain {
+            let args: Vec<Value> = DataflowSpec::resolve_inputs_shared(step, input, outputs)
+                .into_iter()
+                .map(Snapshot::into_value)
+                .collect();
+            let task = InvocationTask {
+                task_id: self.next_task.fetch_add(1, Ordering::Relaxed),
+                object: id,
+                impl_class: dispatch.impl_class.to_string(),
+                function: dispatch.function.to_string(),
+                image: dispatch.image.to_string(),
+                // The chain's running state: each step observes its
+                // predecessor's patch without an intervening commit.
+                state_in: state.clone(),
+                state_revision: revision,
+                args,
+                file_urls: file_urls.clone(),
+                trace: enabled.then_some(fused_span),
+                idempotency_key: self.next_invocation.fetch_add(1, Ordering::Relaxed),
+            };
+            let exec_span = self.begin_execute_span(&task, fused_span);
+            let result = f(&task).map_err(PlatformError::from);
+            if enabled {
+                if let Err(e) = &result {
+                    self.telemetry.attr(exec_span, "error", e.to_string());
+                }
+                self.telemetry.end(exec_span, self.now());
+            }
+            let result = result?;
+            if let Some(patch) = &result.state_patch {
+                let state = state.make_mut();
+                merge::deep_merge(state, patch.clone());
+                merge::normalize(state);
+                patched = true;
+            }
+            files_written.extend(
+                result
+                    .files_written
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone())),
+            );
+            outputs.insert(step.id.clone(), Snapshot::from(result.output));
+        }
+
+        // One commit for the whole chain.
+        let now = self.now();
+        let commit_span = if enabled {
+            let s = self.telemetry.begin_child(fused_span, "state.commit", now);
+            self.telemetry.attr(s, "patched", patched);
+            self.telemetry
+                .attr(s, "files_written", files_written.len() as u64);
+            self.telemetry.attr(s, "fused", true);
+            s
+        } else {
+            TraceContext::NONE
+        };
+        if patched {
+            sh.state
+                .store_traced(now, &key, state, plan.persists, &sink, commit_span);
+            if let Some(entry) = sh.objects.get_mut(&id) {
+                entry.revision += 1;
+            }
+        }
+        if !files_written.is_empty() {
+            let bucket = bucket_name(class);
+            if let Some(entry) = sh.objects.get_mut(&id) {
+                for (file_key, etag) in &files_written {
+                    entry.files.insert(
+                        file_key.clone(),
+                        FileRef {
+                            bucket: bucket.clone(),
+                            key: format!("{id}/{file_key}"),
+                            etag: Some(etag.clone()),
+                        },
+                    );
+                }
+                entry.revision += 1;
+            }
+        }
+        if enabled {
+            self.telemetry.end(commit_span, self.now());
+        }
+        drop(sh);
+        self.metrics.record_commit();
+        self.metrics.record_fused_unit();
+        if enabled {
+            self.telemetry.end(fused_span, self.now());
+        }
+        Ok(())
     }
 
     /// Runs one maintenance tick: flushes due write-behind batches and

@@ -22,6 +22,7 @@ use oprc_core::invocation::TaskResult;
 use oprc_core::object::{FileRef, ObjectId};
 
 use super::state::StateLayer;
+use crate::lockorder::{Tier, TierToken};
 
 /// Default shard count (a modest power of two: enough to spread a
 /// multi-worker closed loop, small enough that per-shard storage stacks
@@ -60,6 +61,28 @@ pub(super) struct ShardHandle {
     contended: AtomicU64,
 }
 
+/// A locked shard. Wraps the mutex guard together with the lock-order
+/// token so the sanitizer sees the full hold duration; derefs to
+/// [`Shard`], so call sites use it exactly like the raw guard.
+#[derive(Debug)]
+pub(super) struct ShardGuard<'a> {
+    guard: MutexGuard<'a, Shard>,
+    _token: TierToken,
+}
+
+impl std::ops::Deref for ShardGuard<'_> {
+    type Target = Shard;
+    fn deref(&self) -> &Shard {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for ShardGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Shard {
+        &mut self.guard
+    }
+}
+
 /// A point-in-time view of one shard's occupancy and lock traffic
 /// (for `oprc-ctl metrics` and the throughput bench).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,14 +111,23 @@ impl ShardHandle {
     }
 
     /// Locks the shard, counting the acquisition and whether it had to
-    /// wait behind another holder.
-    pub(super) fn lock(&self) -> MutexGuard<'_, Shard> {
+    /// wait behind another holder. The returned guard carries a
+    /// [`Tier::Shard`] token, so debug builds panic if a second shard
+    /// (or a control-plane lock) is acquired while it is held.
+    pub(super) fn lock(&self) -> ShardGuard<'_> {
+        let token = TierToken::acquire(Tier::Shard);
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
         if let Some(guard) = self.slot.try_lock() {
-            return guard;
+            return ShardGuard {
+                guard,
+                _token: token,
+            };
         }
         self.contended.fetch_add(1, Ordering::Relaxed);
-        self.slot.lock()
+        ShardGuard {
+            guard: self.slot.lock(),
+            _token: token,
+        }
     }
 
     /// Lock-traffic counters: `(acquisitions, contended)`.

@@ -32,12 +32,13 @@
 //! ```
 
 use oprc_chaos::{FaultKind, FaultPlan, InjectionSite};
+use oprc_core::dataflow::{DataRef, StepSpec};
 use oprc_core::object::ObjectId;
 use oprc_simcore::SimDuration;
 use oprc_telemetry::{render_tree, to_chrome, to_jsonl, Span, TelemetryConfig, TraceSink};
 use oprc_value::{json, Value};
 
-use crate::embedded::EmbeddedPlatform;
+use crate::embedded::{EmbeddedPlatform, FlowEdit};
 use crate::PlatformError;
 
 /// Outcome of one gateway command.
@@ -168,6 +169,7 @@ impl OprcCtl {
             "metrics" => self.metrics_cmd(rest),
             "top" => self.top(),
             "chaos" => self.chaos_cmd(rest),
+            "flow" => self.flow_cmd(rest),
             "help" => Ok(CommandOutput::text(HELP.trim())),
             other => Err(CommandError::UnknownCommand(other.to_string())),
         }
@@ -673,6 +675,136 @@ impl OprcCtl {
         Ok(CommandOutput::text(text))
     }
 
+    /// `flow doctor|add-step|delete-step`: dataflow-aware analysis and
+    /// safe live edits of deployed flows.
+    fn flow_cmd(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        const USAGE: &str = "flow doctor [--json] [class [flow]] \
+             | flow add-step <class> <flow> <id> <function> [--input <ref>]... \
+             [--target <ref>] [--before <step>] \
+             | flow delete-step <class> <flow> <id>";
+        let parts = split_args(rest);
+        match parts.first().map(String::as_str) {
+            Some("doctor") => {
+                let mut as_json = false;
+                let mut scope: Vec<String> = Vec::new();
+                for p in &parts[1..] {
+                    if p == "--json" {
+                        as_json = true;
+                    } else {
+                        scope.push(p.clone());
+                    }
+                }
+                if scope.len() > 2 {
+                    return Err(CommandError::Usage(USAGE.into()));
+                }
+                let mut reports = self.platform().doctor();
+                if let Some(class) = scope.first() {
+                    let class_tag = format!("class {class} >");
+                    for r in &mut reports {
+                        r.diagnostics.retain(|d| d.source.starts_with(&class_tag));
+                    }
+                }
+                if let Some(flow) = scope.get(1) {
+                    // Sources read "class C > dataflow F [> step S]";
+                    // match F exactly up to the next segment.
+                    for r in &mut reports {
+                        r.diagnostics.retain(|d| {
+                            d.source
+                                .split("> dataflow ")
+                                .nth(1)
+                                .map(|tail| tail.split(" >").next() == Some(flow.as_str()))
+                                == Some(true)
+                        });
+                    }
+                }
+                reports.retain(|r| !r.diagnostics.is_empty());
+                let value = oprc_value::vjson!({
+                    "reports": (Value::from(
+                        reports
+                            .iter()
+                            .map(oprc_analyzer::AnalysisReport::to_value)
+                            .collect::<Vec<_>>()
+                    )),
+                });
+                if as_json {
+                    return Ok(CommandOutput::with_value(
+                        json::to_string_pretty(&value),
+                        value,
+                    ));
+                }
+                if reports.is_empty() {
+                    return Ok(CommandOutput::with_value(
+                        "flow doctor: no findings".to_string(),
+                        value,
+                    ));
+                }
+                let text = reports
+                    .iter()
+                    .map(|r| format!("package {}\n{}", r.package, r.render()))
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                Ok(CommandOutput::with_value(
+                    text.trim_end().to_string(),
+                    value,
+                ))
+            }
+            Some("add-step") => {
+                if parts.len() < 5 {
+                    return Err(CommandError::Usage(USAGE.into()));
+                }
+                let (class, flow, id, function) = (&parts[1], &parts[2], &parts[3], &parts[4]);
+                let mut step = StepSpec::new(id.clone(), function.clone());
+                let mut before: Option<String> = None;
+                let mut i = 5;
+                while i < parts.len() {
+                    match parts[i].as_str() {
+                        "--input" => {
+                            let r = parts
+                                .get(i + 1)
+                                .ok_or_else(|| CommandError::Usage(USAGE.into()))?;
+                            step.inputs.push(parse_data_ref(r));
+                            i += 2;
+                        }
+                        "--target" => {
+                            let r = parts
+                                .get(i + 1)
+                                .ok_or_else(|| CommandError::Usage(USAGE.into()))?;
+                            step.target = Some(parse_data_ref(r));
+                            i += 2;
+                        }
+                        "--before" => {
+                            before = Some(
+                                parts
+                                    .get(i + 1)
+                                    .cloned()
+                                    .ok_or_else(|| CommandError::Usage(USAGE.into()))?,
+                            );
+                            i += 2;
+                        }
+                        _ => return Err(CommandError::Usage(USAGE.into())),
+                    }
+                }
+                self.platform
+                    .edit_flow(class, flow, FlowEdit::AddStep { step, before })?;
+                Ok(CommandOutput::text(format!(
+                    "flow {class}/{flow}: added step '{id}'"
+                )))
+            }
+            Some("delete-step") => {
+                if parts.len() != 4 {
+                    return Err(CommandError::Usage(USAGE.into()));
+                }
+                let (class, flow, id) = (&parts[1], &parts[2], &parts[3]);
+                self.platform
+                    .edit_flow(class, flow, FlowEdit::DeleteStep { id: id.clone() })?;
+                Ok(CommandOutput::text(format!(
+                    "flow {class}/{flow}: deleted step '{id}'"
+                )))
+            }
+            _ => Err(CommandError::Usage(USAGE.into())),
+        }
+    }
+
     fn url(&mut self, rest: &str, put: bool) -> Result<CommandOutput, CommandError> {
         let (obj, key) = rest
             .split_once(char::is_whitespace)
@@ -710,6 +842,12 @@ chaos script <site> <error|torn|latency[:ms]>
                                   arm a fault at a site's next call
 chaos status [--json]             injector call/fault counters
 chaos off                         disable fault injection
+flow doctor [--json] [class [flow]]
+                                  dataflow diagnostics (OPRC050-054)
+flow add-step <class> <flow> <id> <fn> [--input <ref>]* [--target <ref>] [--before <step>]
+                                  splice a step into a live flow
+flow delete-step <class> <flow> <id>
+                                  remove a step, rewiring its consumers
 ";
 
 /// Keeps only the spans belonging to the newest `n` traces. Platform
@@ -752,6 +890,26 @@ fn parse_fault_kind(s: &str) -> Option<FaultKind> {
             let ms = s.strip_prefix("latency:")?.parse::<u64>().ok()?;
             Some(FaultKind::Latency(SimDuration::from_millis(ms)))
         }
+    }
+}
+
+/// Parses the CLI data-ref notation: `input`, `step:<id>`,
+/// `step:<id>#<json-pointer>`, or any other token as a constant (JSON
+/// when it parses, a bare string otherwise).
+fn parse_data_ref(s: &str) -> DataRef {
+    if s == "input" {
+        return DataRef::Input;
+    }
+    if let Some(rest) = s.strip_prefix("step:") {
+        let (step, pointer) = match rest.split_once('#') {
+            Some((st, p)) => (st.to_string(), Some(p.to_string())),
+            None => (rest.to_string(), None),
+        };
+        return DataRef::Step { step, pointer };
+    }
+    match json::parse(s) {
+        Ok(v) => DataRef::Const(v),
+        Err(_) => DataRef::Const(Value::from(s)),
     }
 }
 
@@ -917,6 +1075,97 @@ mod tests {
             panic!("expected lint failure");
         };
         assert!(report.contains("OPRC030"), "{report}");
+    }
+
+    /// A platform with a 2-step self-chain flow plus a dead readonly
+    /// step, so `flow doctor` has findings at every severity.
+    fn flow_ctl() -> OprcCtl {
+        let mut p = EmbeddedPlatform::new();
+        p.register_function("img/step", |t| {
+            let n = t.state_in["n"].as_i64().unwrap_or(0) + 1;
+            Ok(TaskResult::output(n).with_patch(vjson!({"n": n})))
+        });
+        let mut ctl = OprcCtl::new(p);
+        ctl.execute(
+            "deploy classes:\n  - name: Pipe\n    keySpecs: [n]\n    functions:\n      - name: f\n        image: img/step\n      - name: peek\n        image: img/step\n        readonly: true\n    dataflows:\n      - name: chain\n        steps:\n          - id: a\n            function: f\n            inputs: [input]\n          - id: spy\n            function: peek\n            inputs: [\"step:a\"]\n          - id: b\n            function: f\n            inputs: [\"step:a\"]\n        output: b\n",
+        )
+        .unwrap();
+        ctl
+    }
+
+    #[test]
+    fn flow_doctor_reports_and_filters() {
+        let mut ctl = flow_ctl();
+        let out = ctl.execute("flow doctor").unwrap();
+        assert!(out.text.contains("OPRC050"), "{}", out.text);
+        assert!(out.text.contains("OPRC051"), "{}", out.text);
+        assert!(out.text.contains("a → b"), "{}", out.text);
+
+        // Scope filters: wrong class or flow name finds nothing.
+        let out = ctl.execute("flow doctor Ghost").unwrap();
+        assert_eq!(out.text, "flow doctor: no findings");
+        let out = ctl.execute("flow doctor Pipe ghost").unwrap();
+        assert_eq!(out.text, "flow doctor: no findings");
+        let out = ctl.execute("flow doctor Pipe chain").unwrap();
+        assert!(out.text.contains("OPRC050"));
+    }
+
+    #[test]
+    fn flow_doctor_json_shape_is_pinned() {
+        let mut ctl = flow_ctl();
+        let out = ctl.execute("flow doctor --json").unwrap();
+        let v = out.value.unwrap();
+        let top: Vec<&str> = v.as_object().unwrap().keys().map(String::as_str).collect();
+        assert_eq!(top, vec!["reports"]);
+        let report = &v["reports"][0];
+        let keys: Vec<&str> = report
+            .as_object()
+            .unwrap()
+            .keys()
+            .map(String::as_str)
+            .collect();
+        assert_eq!(
+            keys,
+            vec!["diagnostics", "errors", "infos", "package", "warnings"]
+        );
+        let d = &report["diagnostics"][0];
+        let dkeys: Vec<&str> = d.as_object().unwrap().keys().map(String::as_str).collect();
+        assert_eq!(dkeys, vec!["code", "message", "severity", "source"]);
+    }
+
+    #[test]
+    fn flow_live_edits_apply_and_reject() {
+        let mut ctl = flow_ctl();
+        ctl.execute("create Pipe").unwrap();
+        let out = ctl.execute("invoke 0 chain").unwrap();
+        assert_eq!(out.value, Some(vjson!(2)), "a then b increments twice");
+
+        // Valid edit: splice `c` before `b` — the chain grows a stage
+        // without a redeploy.
+        ctl.execute("flow add-step Pipe chain c f --before b")
+            .unwrap();
+        ctl.execute("create Pipe").unwrap();
+        let out = ctl.execute("invoke 1 chain").unwrap();
+        assert_eq!(out.value, Some(vjson!(3)), "a, c, b increment thrice");
+
+        // Invalid edit: unknown function is rejected by the lint gate
+        // and the flow keeps working unchanged.
+        assert!(matches!(
+            ctl.execute("flow add-step Pipe chain bad ghost_fn"),
+            Err(CommandError::Platform(PlatformError::LintRejected(_)))
+        ));
+        assert!(matches!(
+            ctl.execute("flow delete-step Pipe chain nosuch"),
+            Err(CommandError::Platform(_))
+        ));
+        let out = ctl.execute("invoke 1 chain").unwrap();
+        assert_eq!(out.value, Some(vjson!(6)), "3 more increments from 3");
+
+        // Deleting the spliced step restores the original plan.
+        ctl.execute("flow delete-step Pipe chain c").unwrap();
+        ctl.execute("create Pipe").unwrap();
+        let out = ctl.execute("invoke 2 chain").unwrap();
+        assert_eq!(out.value, Some(vjson!(2)));
     }
 
     #[test]

@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod lockorder;
 
 pub mod deployer;
 pub mod embedded;

@@ -1,0 +1,253 @@
+//! Debug-build lock-order sanitizer for the invocation plane.
+//!
+//! The deadlock-freedom argument (DESIGN.md §12) rests on a strict
+//! three-tier acquisition order:
+//!
+//! 1. **Control** — control-plane maps (registry, function registry,
+//!    class runtimes, plan table, deploy gate);
+//! 2. **Shard** — at most *one* shard slot at a time;
+//! 3. **Leaf** — terminal state (circuit breakers, warm set) beyond
+//!    which nothing else is acquired.
+//!
+//! In debug builds every guarded acquisition pushes its tier onto a
+//! thread-local stack and panics when the order is violated — a tier
+//! lower than one already held, or a second shard while one is held.
+//! Release builds compile the checks away entirely: the wrappers here
+//! are zero-cost shims over `parking_lot`.
+
+use std::sync::{RwLockReadGuard, RwLockWriteGuard};
+
+use parking_lot::{Mutex, MutexGuard, RwLock};
+
+/// Lock tiers in acquisition order (`Control ≺ Shard ≺ Leaf`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Tier {
+    /// Control-plane maps: registry, functions, runtimes, plans, the
+    /// deploy gate.
+    Control,
+    /// One shard slot — holding two shards at once is always a bug.
+    Shard,
+    /// Leaf state: breakers, warm set. Nothing is acquired past it.
+    Leaf,
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    static HELD: std::cell::RefCell<Vec<Tier>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// RAII record of one guarded acquisition; popping happens on drop.
+#[derive(Debug)]
+pub(crate) struct TierToken {
+    #[cfg(debug_assertions)]
+    tier: Tier,
+}
+
+impl TierToken {
+    /// Registers an acquisition at `tier`, panicking (debug builds
+    /// only) when it violates the three-tier order.
+    pub(crate) fn acquire(tier: Tier) -> TierToken {
+        #[cfg(debug_assertions)]
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            for &h in held.iter() {
+                if tier < h {
+                    panic!(
+                        "lock-order violation: acquiring {tier:?}-tier lock \
+                         while holding a {h:?}-tier lock \
+                         (required order: Control ≺ Shard ≺ Leaf)"
+                    );
+                }
+                if tier == Tier::Shard && h == Tier::Shard {
+                    panic!(
+                        "lock-order violation: acquiring a second shard lock \
+                         while one is already held (one-shard-at-a-time rule)"
+                    );
+                }
+            }
+            held.push(tier);
+        });
+        #[cfg(not(debug_assertions))]
+        let _ = tier;
+        TierToken {
+            #[cfg(debug_assertions)]
+            tier,
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for TierToken {
+    fn drop(&mut self) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&t| t == self.tier) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// A `parking_lot::Mutex` that records its tier on every lock.
+#[derive(Debug)]
+pub(crate) struct OrderedMutex<T> {
+    inner: Mutex<T>,
+    tier: Tier,
+}
+
+/// Guard over an [`OrderedMutex`]; releases the tier record on drop.
+#[derive(Debug)]
+pub(crate) struct OrderedMutexGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    _token: TierToken,
+}
+
+impl<T> OrderedMutex<T> {
+    pub(crate) fn new(tier: Tier, value: T) -> Self {
+        OrderedMutex {
+            inner: Mutex::new(value),
+            tier,
+        }
+    }
+
+    pub(crate) fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        let token = TierToken::acquire(self.tier);
+        OrderedMutexGuard {
+            guard: self.inner.lock(),
+            _token: token,
+        }
+    }
+}
+
+impl<T> std::ops::Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// A `parking_lot::RwLock` that records its tier on every acquisition
+/// (readers too: a reader blocked behind a writer deadlocks the same
+/// way a writer does).
+#[derive(Debug)]
+pub(crate) struct OrderedRwLock<T> {
+    inner: RwLock<T>,
+    tier: Tier,
+}
+
+/// Read guard over an [`OrderedRwLock`].
+#[derive(Debug)]
+pub(crate) struct OrderedReadGuard<'a, T> {
+    guard: RwLockReadGuard<'a, T>,
+    _token: TierToken,
+}
+
+/// Write guard over an [`OrderedRwLock`].
+#[derive(Debug)]
+pub(crate) struct OrderedWriteGuard<'a, T> {
+    guard: RwLockWriteGuard<'a, T>,
+    _token: TierToken,
+}
+
+impl<T> OrderedRwLock<T> {
+    pub(crate) fn new(tier: Tier, value: T) -> Self {
+        OrderedRwLock {
+            inner: RwLock::new(value),
+            tier,
+        }
+    }
+
+    pub(crate) fn read(&self) -> OrderedReadGuard<'_, T> {
+        let token = TierToken::acquire(self.tier);
+        OrderedReadGuard {
+            guard: self.inner.read(),
+            _token: token,
+        }
+    }
+
+    pub(crate) fn write(&self) -> OrderedWriteGuard<'_, T> {
+        let token = TierToken::acquire(self.tier);
+        OrderedWriteGuard {
+            guard: self.inner.write(),
+            _token: token,
+        }
+    }
+}
+
+impl<T> std::ops::Deref for OrderedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::Deref for OrderedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for OrderedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_acquisitions_pass() {
+        let control = OrderedMutex::new(Tier::Control, 1_u32);
+        let leaf = OrderedMutex::new(Tier::Leaf, 2_u32);
+        let a = control.lock();
+        let b = leaf.lock();
+        assert_eq!(*a + *b, 3);
+        // Same tier twice is allowed (control-plane maps are taken
+        // together during deploys).
+        let control2 = OrderedRwLock::new(Tier::Control, 3_u32);
+        drop(b);
+        let c = control2.read();
+        assert_eq!(*c, 3);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn descending_tier_panics() {
+        let control = OrderedMutex::new(Tier::Control, ());
+        let leaf = OrderedMutex::new(Tier::Leaf, ());
+        let _l = leaf.lock();
+        let _c = control.lock(); // Leaf → Control: violation
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "one-shard-at-a-time")]
+    fn double_shard_panics() {
+        let s1 = OrderedMutex::new(Tier::Shard, ());
+        let s2 = OrderedMutex::new(Tier::Shard, ());
+        let _a = s1.lock();
+        let _b = s2.lock();
+    }
+
+    #[test]
+    fn tokens_release_out_of_order() {
+        let control = OrderedMutex::new(Tier::Control, ());
+        let leaf = OrderedMutex::new(Tier::Leaf, ());
+        let a = control.lock();
+        let b = leaf.lock();
+        drop(a); // release the lower tier first
+        drop(b);
+        // The stack is clean again: a fresh Control acquisition works.
+        let _c = control.lock();
+    }
+}

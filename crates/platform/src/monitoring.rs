@@ -126,6 +126,8 @@ struct CumulativeTotals {
     completed: AtomicU64,
     errors: AtomicU64,
     retries: AtomicU64,
+    commits: AtomicU64,
+    fused_units: AtomicU64,
 }
 
 /// Thread-safe collector of per-class runtime metrics.
@@ -230,6 +232,29 @@ impl MetricsHub {
     /// Platform-wide retry attempts beyond the first (lock-free).
     pub fn retries_total(&self) -> u64 {
         self.totals.retries.load(Ordering::Relaxed)
+    }
+
+    /// Records one durable state commit (a `state.commit` on the
+    /// invocation plane). Fused chains commit once per chain, so this
+    /// counter is how the fusion benefit is asserted.
+    pub fn record_commit(&self) {
+        self.totals.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Platform-wide state commits since startup (lock-free).
+    pub fn commits_total(&self) -> u64 {
+        self.totals.commits.load(Ordering::Relaxed)
+    }
+
+    /// Records the execution of one fused same-object chain (multiple
+    /// dataflow steps under a single shard-lock hold and commit).
+    pub fn record_fused_unit(&self) {
+        self.totals.fused_units.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fused chain executions since startup (lock-free).
+    pub fn fused_units_total(&self) -> u64 {
+        self.totals.fused_units.load(Ordering::Relaxed)
     }
 
     /// Records the current circuit-breaker state of `class::function`.
@@ -443,6 +468,22 @@ mod tests {
         let warnings = hub.lint_warnings();
         assert_eq!(warnings, vec!["w2", "w3", "w4"]);
         assert_eq!(hub.lint_dropped(), 2);
+    }
+
+    #[test]
+    fn commit_and_fusion_counters_are_lock_free_totals() {
+        let hub = MetricsHub::new();
+        assert_eq!(hub.commits_total(), 0);
+        assert_eq!(hub.fused_units_total(), 0);
+        hub.record_commit();
+        hub.record_commit();
+        hub.record_fused_unit();
+        assert_eq!(hub.commits_total(), 2);
+        assert_eq!(hub.fused_units_total(), 1);
+        // Clones share the totals (same platform-wide counters).
+        let h2 = hub.clone();
+        h2.record_commit();
+        assert_eq!(hub.commits_total(), 3);
     }
 
     #[test]

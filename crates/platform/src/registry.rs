@@ -82,6 +82,19 @@ impl PackageRegistry {
         self.packages.get(package).map(|(v, _, _)| *v)
     }
 
+    /// The deployed package that owns `class` (for `flow doctor` and
+    /// live flow edits, which re-lint and re-deploy the whole owning
+    /// package).
+    pub fn package_of_class(&self, class: &str) -> Option<&OPackage> {
+        let pkg = self.class_index.get(class)?;
+        self.packages.get(pkg).map(|(_, p, _)| p)
+    }
+
+    /// All deployed packages, in package-name order.
+    pub fn packages(&self) -> impl Iterator<Item = &OPackage> {
+        self.packages.values().map(|(_, p, _)| p)
+    }
+
     /// All deployed class names, in order.
     pub fn class_names(&self) -> Vec<&str> {
         self.class_index.keys().map(String::as_str).collect()
@@ -120,6 +133,10 @@ mod tests {
         assert_eq!(r.version("p1"), Some(1));
         assert_eq!(r.class_names(), vec!["A"]);
         assert!(r.require_class("B").is_err());
+        assert_eq!(r.package_of_class("A").unwrap().name, "p1");
+        assert!(r.package_of_class("B").is_none());
+        let names: Vec<&str> = r.packages().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["p1"]);
     }
 
     #[test]

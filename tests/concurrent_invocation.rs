@@ -322,3 +322,13 @@ fn single_worker_telemetry_jsonl_matches_golden() {
     );
     assert_matches_golden("seed42_telemetry.jsonl", &jsonl);
 }
+
+/// The debug-build lock-order sanitizer enforces the one-shard-at-a-time
+/// rule the deadlock-freedom argument (DESIGN.md §12) rests on: holding
+/// two shard locks at once panics instead of deadlocking silently.
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "lock-order violation")]
+fn double_shard_acquisition_trips_sanitizer() {
+    counter_platform().debug_violate_lock_order();
+}
