@@ -27,6 +27,9 @@ cargo run -q -p oprc-bench --bin flow_doctor_smoke
 echo "==> invoke hot-path perf gate (seeded; warm ns/op vs baseline + retry allocation budget)"
 cargo run -q --release -p oprc-bench --bin invoke_hotpath -- --quick --check
 
+echo "==> observability smoke (byte-stable profile/slo exports + windows overhead gate)"
+cargo run -q --release -p oprc-bench --bin obs_smoke -- --quick --check
+
 echo "==> invoke throughput gate (workers x shards sweep; core-count-aware speedup gate)"
 cargo run -q --release -p oprc-bench --bin invoke_throughput -- --quick --check
 

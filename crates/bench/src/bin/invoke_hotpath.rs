@@ -436,10 +436,14 @@ fn main() {
             })
         })
         .collect();
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let gate_mode = if cpus >= 4 { "full" } else { "no_collapse" };
     let doc = vjson!({
         "experiment": "invoke_hotpath",
         "seed": SEED,
         "quick": quick,
+        "cpus": (cpus as u64),
+        "gate_mode": gate_mode,
         "baseline": {
             "warm_ns_per_op": BASELINE_WARM_NS_PER_OP,
             "warm_allocs_per_op": BASELINE_WARM_ALLOCS_PER_OP,
@@ -467,7 +471,15 @@ fn main() {
     match emitted {
         None => failures.push("BENCH_invoke.json missing or unparsable".to_string()),
         Some(doc) => {
-            for key in ["experiment", "seed", "quick", "baseline", "results"] {
+            for key in [
+                "experiment",
+                "seed",
+                "quick",
+                "cpus",
+                "gate_mode",
+                "baseline",
+                "results",
+            ] {
                 if doc.get(key).is_none() {
                     failures.push(format!("BENCH_invoke.json lacks '{key}'"));
                 }

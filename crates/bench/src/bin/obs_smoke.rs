@@ -1,0 +1,293 @@
+//! Observability smoke: deterministic profile/SLO exports plus a warm
+//! invoke overhead gate for the always-on metrics windows.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p oprc-bench --release --bin obs_smoke [-- --quick] [--check]
+//! ```
+//!
+//! Two halves:
+//!
+//! 1. **Determinism + shape.** Runs a fixed session (seed-42 platform,
+//!    virtual clock, logical-clock telemetry) twice and requires the
+//!    `profile --json`, `profile --collapsed`, and `slo --json` exports
+//!    to be byte-identical across runs, with their top-level JSON
+//!    shapes pinned. This is what makes the flamegraph and burn-rate
+//!    surfaces scriptable: downstream tooling can diff them.
+//! 2. **Overhead gate** (`--check`). The sliding windows and SLO engine
+//!    ride the warm invoke path (one striped-buffer push per invoke).
+//!    Re-measures the warm invoke and requires it within 10% of the
+//!    `warm_invoke` ns/op recorded in `BENCH_invoke.json` by the
+//!    `invoke_hotpath` bench — run that first (ci.sh does).
+
+use std::time::Instant;
+
+use oprc_core::invocation::TaskResult;
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_platform::gateway::OprcCtl;
+use oprc_simcore::SimDuration;
+use oprc_telemetry::{ClockMode, TelemetryConfig, TelemetryLevel};
+use oprc_value::{json, vjson, Value};
+
+const SEED: u64 = 42;
+/// Warm invoke may be at most this much slower than the recorded
+/// `invoke_hotpath` baseline (which runs the same always-on windows).
+const OVERHEAD_BUDGET: f64 = 1.10;
+
+fn register_counter(p: &mut EmbeddedPlatform) {
+    p.register_function("img/obs-incr", |task| {
+        let n = task.state_in["count"].as_i64().unwrap_or(0) + 1;
+        Ok(TaskResult::output(n).with_patch(vjson!({"count": n})))
+    });
+}
+
+/// One fixed observability session: virtual clock, logical-clock
+/// telemetry, 60 warm invokes spread over 30s of virtual time, one
+/// platform tick, then the three deterministic exports.
+fn observed_session() -> (String, String, String) {
+    let mut p = EmbeddedPlatform::new();
+    p.enable_virtual_clock();
+    p.enable_telemetry(TelemetryConfig {
+        level: TelemetryLevel::Spans,
+        clock: ClockMode::Logical,
+        capacity: 4096,
+    });
+    register_counter(&mut p);
+    p.deploy_yaml(
+        "
+classes:
+  - name: Obs
+    keySpecs: [count]
+    qos:
+      availability: 0.999
+      latency: 50
+    functions:
+      - name: incr
+        image: img/obs-incr
+",
+    )
+    .expect("obs class deploys");
+    let id = p
+        .create_object("Obs", vjson!({"count": 0}))
+        .expect("creates");
+    for _ in 0..60 {
+        p.invoke(id, "incr", vec![]).expect("invokes");
+        p.advance_clock(SimDuration::from_millis(500));
+    }
+    p.tick();
+    let mut ctl = OprcCtl::new(p);
+    let profile = ctl.execute("profile --json").expect("profile runs").text;
+    let collapsed = ctl
+        .execute("profile --collapsed")
+        .expect("collapsed runs")
+        .text;
+    let slo = ctl.execute("slo --json").expect("slo runs").text;
+    (profile, collapsed, slo)
+}
+
+/// The same hot-object state `invoke_hotpath` measures against: 64
+/// nested fields plus the counter, so the numbers are comparable.
+fn big_state() -> Value {
+    let mut v = Value::object();
+    for i in 0..64 {
+        v.insert(
+            format!("field_{i:02}"),
+            vjson!({
+                "idx": i,
+                "payload": "0123456789abcdef0123456789abcdef",
+                "tags": ["hot", "bench"],
+            }),
+        );
+    }
+    v.insert("count", 0_i64);
+    v
+}
+
+/// Warm invoke ns/op with windows + SLO active (they always are), best
+/// of three batches to damp scheduler noise. Mirrors the
+/// `invoke_hotpath` warm case (same class shape, same state) so the
+/// ratio against its recorded baseline isolates observability cost.
+fn warm_ns_per_op(ops: u64) -> u64 {
+    let mut p = EmbeddedPlatform::new();
+    register_counter(&mut p);
+    p.deploy_yaml(
+        "
+classes:
+  - name: Hot
+    keySpecs: [count]
+    functions:
+      - name: incr
+        image: img/obs-incr
+",
+    )
+    .expect("hot class deploys");
+    let id = p.create_object("Hot", big_state()).expect("creates");
+    for _ in 0..ops / 8 {
+        p.invoke(id, "incr", vec![]).expect("warms up");
+    }
+    (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..ops {
+                p.invoke(id, "incr", vec![]).expect("warm invoke");
+            }
+            (t0.elapsed().as_nanos() as u64) / ops.max(1)
+        })
+        .min()
+        .unwrap_or(u64::MAX)
+}
+
+/// The `warm_invoke` ns/op recorded by the `invoke_hotpath` bench.
+fn baseline_warm_ns_per_op() -> Option<u64> {
+    let doc = json::parse(&std::fs::read_to_string("BENCH_invoke.json").ok()?).ok()?;
+    doc["results"]
+        .as_array()?
+        .iter()
+        .find(|r| r["case"].as_str() == Some("warm_invoke"))?["ns_per_op"]
+        .as_u64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let mut failures: Vec<String> = Vec::new();
+
+    // --- Determinism: two fresh sessions must export identical bytes.
+    let (profile_a, collapsed_a, slo_a) = observed_session();
+    let (profile_b, collapsed_b, slo_b) = observed_session();
+    if profile_a != profile_b {
+        failures.push("profile --json differs between identical runs".into());
+    }
+    if collapsed_a != collapsed_b {
+        failures.push("profile --collapsed differs between identical runs".into());
+    }
+    if slo_a != slo_b {
+        failures.push("slo --json differs between identical runs".into());
+    }
+
+    // --- Shape pins.
+    match json::parse(&profile_a) {
+        Err(e) => failures.push(format!("profile --json unparsable: {e}")),
+        Ok(doc) => {
+            let keys: Vec<&str> = doc
+                .as_object()
+                .map(|o| o.keys().map(String::as_str).collect())
+                .unwrap_or_default();
+            if keys != ["frames", "stacks"] {
+                failures.push(format!("profile keys {keys:?} != [frames, stacks]"));
+            }
+            let frame_names: Vec<&str> = doc["frames"]
+                .as_array()
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|f| f["name"].as_str())
+                .collect();
+            if !frame_names.contains(&"Obs::incr") {
+                failures.push(format!(
+                    "no Obs::incr root frame in profile (got {frame_names:?})"
+                ));
+            }
+            for want in ["route", "engine.execute", "state.commit"] {
+                if !frame_names.contains(&want) {
+                    failures.push(format!("no '{want}' frame in profile"));
+                }
+            }
+            for f in doc["frames"].as_array().unwrap_or(&[]) {
+                for key in ["count", "name", "self_ns", "total_ns"] {
+                    if f.get(key).is_none() {
+                        failures.push(format!("profile frame lacks '{key}'"));
+                    }
+                }
+            }
+        }
+    }
+    if !collapsed_a.lines().any(|l| l.starts_with("Obs::incr")) {
+        failures.push("collapsed stacks do not start at Obs::incr".into());
+    }
+    match json::parse(&slo_a) {
+        Err(e) => failures.push(format!("slo --json unparsable: {e}")),
+        Ok(doc) => {
+            let row = doc["classes"]
+                .as_array()
+                .unwrap_or(&[])
+                .iter()
+                .find(|r| r["class"].as_str() == Some("Obs"))
+                .cloned()
+                .unwrap_or(Value::Null);
+            let keys: Vec<&str> = row
+                .as_object()
+                .map(|o| o.keys().map(String::as_str).collect())
+                .unwrap_or_default();
+            if keys
+                != [
+                    "active",
+                    "availability",
+                    "burn_fast",
+                    "burn_slow",
+                    "class",
+                    "error_budget",
+                    "latency_ok",
+                    "max_p99_ms",
+                    "status",
+                    "window_p99_ms",
+                ]
+            {
+                failures.push(format!("slo row keys not pinned: {keys:?}"));
+            }
+            if row["status"].as_str() != Some("ok") {
+                failures.push(format!(
+                    "healthy class should be ok, got {:?}",
+                    row["status"].as_str()
+                ));
+            }
+            if row["active"].as_bool() != Some(true) {
+                failures.push("class with window traffic should be active".into());
+            }
+            if row["max_p99_ms"].as_u64() != Some(50) {
+                failures.push("declared latency objective not surfaced".into());
+            }
+        }
+    }
+
+    // --- Overhead gate: windows + SLO within budget of the recorded
+    // warm path.
+    let ops = if quick { 512 } else { 2048 };
+    let measured = warm_ns_per_op(ops);
+    match baseline_warm_ns_per_op() {
+        Some(baseline) => {
+            let ratio = measured as f64 / baseline.max(1) as f64;
+            eprintln!(
+                "  warm_invoke ns/op: measured {measured}, baseline {baseline} (x{ratio:.3})"
+            );
+            if check && ratio > OVERHEAD_BUDGET {
+                failures.push(format!(
+                    "warm invoke with windows+SLO is {measured} ns/op, more than \
+                     {OVERHEAD_BUDGET}x the {baseline} ns/op BENCH_invoke.json baseline"
+                ));
+            }
+        }
+        None => {
+            let msg = "BENCH_invoke.json missing warm_invoke — run invoke_hotpath first";
+            if check {
+                failures.push(msg.into());
+            } else {
+                eprintln!("  {msg} (overhead gate skipped)");
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "obs_smoke: ok — seed {SEED} exports byte-stable ({} profile bytes, {} slo bytes)",
+            profile_a.len(),
+            slo_a.len()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("obs_smoke: FAIL — {f}");
+        }
+        std::process::exit(1);
+    }
+}

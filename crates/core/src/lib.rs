@@ -33,7 +33,10 @@
 //!   priority;
 //! - [`optimizer`] — requirement-driven reactive optimization: compares
 //!   observed metrics against declared QoS and recommends scaling/config
-//!   changes.
+//!   changes;
+//! - [`slo`] — NFRs as monitored obligations: availability tiers mapped
+//!   to error budgets with Google-SRE multi-window burn-rate
+//!   classification.
 //!
 //! # Examples
 //!
@@ -80,6 +83,7 @@ pub mod object;
 pub mod optimizer;
 pub mod package;
 pub mod parse;
+pub mod slo;
 pub mod template;
 
 pub use class::{AccessModifier, ClassDef, FunctionDef, KeySpec, StateType};

@@ -55,6 +55,7 @@ use oprc_core::flow_ir::{FlowIr, FlowProgram, NodeBinding, PassConfig};
 use oprc_core::invocation::{InvocationTask, TaskError, TaskResult};
 use oprc_core::object::{FileRef, ObjectId};
 use oprc_core::optimizer::{self, OptimizerConfig, ScalePlan};
+use oprc_core::slo::Slo;
 use oprc_core::template::TemplateCatalog;
 use oprc_core::AccessModifier;
 use oprc_core::OPackage;
@@ -66,7 +67,7 @@ use oprc_value::{merge, vjson, Snapshot, Value};
 
 use crate::deployer::{self, ClassRuntimeSpec};
 use crate::lockorder::{OrderedMutex, OrderedRwLock, Tier};
-use crate::monitoring::MetricsHub;
+use crate::monitoring::{MetricsHub, FAST_LOOKBACK, MID_LOOKBACK, SLOW_LOOKBACK};
 use crate::registry::PackageRegistry;
 use crate::router::ObjectRouter;
 use crate::PlatformError;
@@ -140,10 +141,42 @@ struct ClassPlan {
     /// Whether the class runtime's template persists state (resolved at
     /// deploy so commits never consult the runtimes lock).
     persists: bool,
+    /// The monitored SLO derived from the class's NFRs at deploy time
+    /// (availability tier → error budget, latency QoS → p99 objective),
+    /// so burn-rate evaluation never consults the registry.
+    slo: Slo,
 }
 
 /// The full dispatch-plan table, swapped atomically at deploy.
 type PlanTable = BTreeMap<String, ClassPlan>;
+
+/// One class's live SLO posture (from [`EmbeddedPlatform::slo_report`]):
+/// the deploy-time [`Slo`] contract evaluated against the current
+/// metric windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// Class name.
+    pub class: String,
+    /// Target availability (declared, or the default tier).
+    pub availability: f64,
+    /// Error budget: tolerated failure fraction.
+    pub error_budget: f64,
+    /// Declared p99 latency objective (ms), if any.
+    pub max_p99_ms: Option<u64>,
+    /// Observed p99 (ms) over the fast window (`0.0` when idle).
+    pub window_p99_ms: f64,
+    /// Whether the slow window holds any events (idle classes report
+    /// `false` and zero burn).
+    pub active: bool,
+    /// Burn rate over the fast (10s) window.
+    pub burn_fast: f64,
+    /// Burn rate over the slow (5m) window.
+    pub burn_slow: f64,
+    /// Multi-window classification: `ok` / `slow-burn` / `fast-burn`.
+    pub status: &'static str,
+    /// Whether the observed p99 met the latency objective.
+    pub latency_ok: bool,
+}
 
 /// A surgical edit to one deployed dataflow, applied by
 /// [`EmbeddedPlatform::edit_flow`] as a plan → rewire → validate →
@@ -315,6 +348,10 @@ pub struct EmbeddedPlatform {
     /// Seed for per-invocation backoff jitter streams.
     jitter_seed: u64,
     started: Instant,
+    /// When true, [`EmbeddedPlatform::now`] reads only `clock_offset`
+    /// (advanced manually), never the wall clock — making metric
+    /// windows and SLO burn rates fully deterministic.
+    virtual_clock: bool,
     // -- Atomic counters --
     next_object: AtomicU64,
     next_task: AtomicU64,
@@ -325,6 +362,11 @@ pub struct EmbeddedPlatform {
     /// injected latency, never by wall time, so retry/breaker timing is
     /// deterministic.
     chaos_clock: AtomicU64,
+    /// Manual offset (nanos) added to [`EmbeddedPlatform::now`]; the
+    /// *whole* clock in virtual mode. Lets tests and deterministic
+    /// benches advance platform time (rotate metric windows, age SLO
+    /// burn) without sleeping.
+    clock_offset: AtomicU64,
 }
 
 impl Default for EmbeddedPlatform {
@@ -383,11 +425,13 @@ impl EmbeddedPlatform {
             fuse_flows: true,
             jitter_seed: 0,
             started,
+            virtual_clock: false,
             next_object: AtomicU64::new(0),
             next_task: AtomicU64::new(0),
             next_instance: AtomicU64::new(0),
             next_invocation: AtomicU64::new(0),
             chaos_clock: AtomicU64::new(0),
+            clock_offset: AtomicU64::new(0),
         }
     }
 
@@ -481,9 +525,33 @@ impl EmbeddedPlatform {
         self.s3.clone()
     }
 
-    /// Platform-relative time (wall clock mapped onto [`SimTime`]).
+    /// Platform-relative time: wall clock mapped onto [`SimTime`] plus
+    /// any manual [`EmbeddedPlatform::advance_clock`] offset — or the
+    /// offset alone under [`EmbeddedPlatform::enable_virtual_clock`].
     pub fn now(&self) -> SimTime {
-        SimTime::from_nanos(self.started.elapsed().as_nanos() as u64)
+        let offset = self.clock_offset.load(Ordering::Relaxed);
+        if self.virtual_clock {
+            SimTime::from_nanos(offset)
+        } else {
+            SimTime::from_nanos(self.started.elapsed().as_nanos() as u64 + offset)
+        }
+    }
+
+    /// Switches [`EmbeddedPlatform::now`] to a purely manual clock
+    /// (starting at zero, advanced only by
+    /// [`EmbeddedPlatform::advance_clock`]). With logical-clock
+    /// telemetry this makes every observability surface — metric
+    /// windows, SLO burn rates, flamegraphs — a pure function of the
+    /// call sequence. Configure before serving, like telemetry/chaos.
+    pub fn enable_virtual_clock(&mut self) {
+        self.virtual_clock = true;
+    }
+
+    /// Manually advances [`EmbeddedPlatform::now`] by `d` (tests and
+    /// deterministic benches: rotate metric windows or let SLO fast
+    /// windows clear without real time passing).
+    pub fn advance_clock(&self, d: SimDuration) {
+        self.clock_offset.fetch_add(d.as_nanos(), Ordering::Relaxed);
     }
 
     /// The metrics hub.
@@ -685,6 +753,7 @@ impl EmbeddedPlatform {
                         file_keys,
                         retry: RetryPolicy::from_nfr(&resolved.nfr),
                         persists: persists.get(class).copied().unwrap_or(true),
+                        slo: Slo::from_nfr(&resolved.nfr),
                     },
                 );
             }
@@ -1363,18 +1432,15 @@ impl EmbeddedPlatform {
         out: &Result<TaskResult, PlatformError>,
     ) {
         let now = self.now();
-        match out {
-            Ok(_) => {
-                self.metrics.record_completion(class, now, now - started);
-                self.metrics
-                    .record_function(class, function, now, now - started, true);
-            }
-            Err(_) => {
-                self.metrics.record_error(class, now);
-                self.metrics
-                    .record_function(class, function, now, SimDuration::ZERO, false);
-            }
-        }
+        let (latency, ok) = match out {
+            Ok(_) => (now - started, true),
+            Err(_) => (SimDuration::ZERO, false),
+        };
+        // One stripe-buffer acquisition covers the class and function
+        // series; samples fold into the windows on tick (or lazily on
+        // read), keeping the hot path off the hub mutex.
+        self.metrics
+            .record_invocation(class, function, now, latency, ok);
     }
 
     /// Whether the class runtime's template persists state.
@@ -2294,10 +2360,15 @@ impl EmbeddedPlatform {
     }
 
     /// Runs one maintenance tick: flushes due write-behind batches and
+    /// buffered metric samples, evaluates each class's SLO burn, and
     /// applies requirement-driven scaling per class (§III-B).
     ///
     /// Flushing is per shard — a due batch on shard A is flushed while
-    /// invokes on shard B proceed untouched.
+    /// invokes on shard B proceed untouched. The optimizer reads the
+    /// live [`MID_LOOKBACK`] metric window (non-destructive: the
+    /// pre-window design drained a reset-on-read accumulator). With
+    /// telemetry on, every class with window activity emits a
+    /// `slo.burn` instant carrying its multi-window burn rates.
     ///
     /// Returns the scaling plans that changed anything.
     pub fn tick(&self) -> Vec<(String, ScalePlan)> {
@@ -2305,6 +2376,23 @@ impl EmbeddedPlatform {
         let sink = self.telemetry.clone();
         for shard in &self.shards {
             shard.lock().state.flush_due_traced(now, &sink);
+        }
+        self.metrics.flush_samples();
+        if sink.is_enabled() {
+            for status in self.slo_report() {
+                if status.active {
+                    sink.instant(
+                        "slo.burn",
+                        vjson!({
+                            "class": (status.class.as_str()),
+                            "burn_fast": (status.burn_fast),
+                            "burn_slow": (status.burn_slow),
+                            "status": (status.status),
+                        }),
+                        now,
+                    );
+                }
+            }
         }
         let mut plans = Vec::new();
         let classes: Vec<String> = self.runtimes.read().keys().cloned().collect();
@@ -2320,7 +2408,7 @@ impl EmbeddedPlatform {
             };
             // The embedded plane has no replica occupancy signal; use a
             // neutral high utilization so declared-QoS rules can fire.
-            let Some(metrics) = self.metrics.drain_window(&class, 0.9) else {
+            let Some(metrics) = self.metrics.observe(&class, now, MID_LOOKBACK, 0.9) else {
                 continue;
             };
             let mut runtimes = self.runtimes.write();
@@ -2356,6 +2444,42 @@ impl EmbeddedPlatform {
             }
         }
         plans
+    }
+
+    /// The live SLO posture of every deployed class, sorted by class
+    /// name: error-budget burn rates over the fast ([`FAST_LOOKBACK`])
+    /// and slow ([`SLOW_LOOKBACK`]) windows, the Google-SRE
+    /// multi-window classification, and the latency objective check.
+    /// Classes with no window activity report as idle (`active` false,
+    /// burn zero).
+    pub fn slo_report(&self) -> Vec<SloStatus> {
+        let now = self.now();
+        let plans = self.plans.read().clone();
+        plans
+            .iter()
+            .map(|(class, plan)| {
+                let fast = self.metrics.class_window(class, now, FAST_LOOKBACK);
+                let slow = self.metrics.class_window(class, now, SLOW_LOOKBACK);
+                let p99_ms = fast.as_ref().map_or(0.0, |w| w.p99_ms);
+                let assessment = plan.slo.assess(
+                    fast.as_ref().map_or(0.0, |w| w.error_fraction),
+                    slow.as_ref().map_or(0.0, |w| w.error_fraction),
+                    p99_ms,
+                );
+                SloStatus {
+                    class: class.clone(),
+                    availability: plan.slo.availability,
+                    error_budget: plan.slo.error_budget,
+                    max_p99_ms: plan.slo.max_p99_ms,
+                    window_p99_ms: p99_ms,
+                    active: slow.is_some(),
+                    burn_fast: assessment.burn_fast,
+                    burn_slow: assessment.burn_slow,
+                    status: assessment.status.as_str(),
+                    latency_ok: assessment.latency_ok,
+                }
+            })
+            .collect()
     }
 
     /// Flushes all pending writes to the durable tier, across every

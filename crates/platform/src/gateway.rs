@@ -24,6 +24,9 @@
 //! trace [--last N] [--export chrome|jsonl <path>]
 //!                                     show or export the span tree
 //! metrics [--class C] [--json]        per-function latency/error stats
+//! profile [--json|--collapsed] [class]
+//!                                     span-derived flamegraph (self time)
+//! slo [--json]                        per-class error-budget burn status
 //! top                                 per-class summary table
 //! chaos on [--seed N] [--rate P] ...  enable deterministic fault injection
 //! chaos script <site> <kind>          arm a fault at a site's next call
@@ -35,7 +38,9 @@ use oprc_chaos::{FaultKind, FaultPlan, InjectionSite};
 use oprc_core::dataflow::{DataRef, StepSpec};
 use oprc_core::object::ObjectId;
 use oprc_simcore::SimDuration;
-use oprc_telemetry::{render_tree, to_chrome, to_jsonl, Span, TelemetryConfig, TraceSink};
+use oprc_telemetry::{
+    render_tree, to_chrome, to_jsonl, Flamegraph, Span, TelemetryConfig, TraceSink,
+};
 use oprc_value::{json, Value};
 
 use crate::embedded::{EmbeddedPlatform, FlowEdit};
@@ -167,6 +172,8 @@ impl OprcCtl {
             "telemetry" => self.telemetry_cmd(rest),
             "trace" => self.trace(rest),
             "metrics" => self.metrics_cmd(rest),
+            "profile" => self.profile_cmd(rest),
+            "slo" => self.slo_cmd(rest),
             "top" => self.top(),
             "chaos" => self.chaos_cmd(rest),
             "flow" => self.flow_cmd(rest),
@@ -443,6 +450,7 @@ impl OprcCtl {
                     "mean_ms": (r.mean_ms),
                     "p50_ms": (r.p50_ms),
                     "p99_ms": (r.p99_ms),
+                    "window_p99_ms": (r.window_p99_ms),
                 })
             })
             .collect();
@@ -492,7 +500,7 @@ impl OprcCtl {
             ));
         }
         let mut text = format!(
-            "{:<16} {:<16} {:>9} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9}",
+            "{:<16} {:<16} {:>9} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
             "CLASS",
             "FUNCTION",
             "COMPLETED",
@@ -501,11 +509,12 @@ impl OprcCtl {
             "BREAKER",
             "MEAN_MS",
             "P50_MS",
-            "P99_MS"
+            "P99_MS",
+            "P99_10S"
         );
         for r in &rows {
             text.push_str(&format!(
-                "\n{:<16} {:<16} {:>9} {:>7} {:>7} {:>9} {:>9.2} {:>9.2} {:>9.2}",
+                "\n{:<16} {:<16} {:>9} {:>7} {:>7} {:>9} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
                 r.class,
                 r.function,
                 r.completed,
@@ -514,7 +523,8 @@ impl OprcCtl {
                 r.breaker,
                 r.mean_ms,
                 r.p50_ms,
-                r.p99_ms
+                r.p99_ms,
+                r.window_p99_ms
             ));
         }
         text.push_str(&format!(
@@ -530,6 +540,129 @@ impl OprcCtl {
                     s.shard, s.objects, s.acquisitions, s.contended
                 ));
             }
+        }
+        Ok(CommandOutput::with_value(text, value))
+    }
+
+    /// `profile [--json|--collapsed] [class]`: fold the finished spans
+    /// into a deterministic flamegraph — self time (duration minus
+    /// children) per frame and per collapsed stack, optionally
+    /// restricted to traces rooted at one class.
+    fn profile_cmd(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        const USAGE: &str = "profile [--json|--collapsed] [class]";
+        let parts = split_args(rest);
+        let mut as_json = false;
+        let mut collapsed = false;
+        let mut class: Option<String> = None;
+        for p in &parts {
+            match p.as_str() {
+                "--json" => as_json = true,
+                "--collapsed" => collapsed = true,
+                flag if flag.starts_with("--") => return Err(CommandError::Usage(USAGE.into())),
+                c if class.is_none() => class = Some(c.to_string()),
+                _ => return Err(CommandError::Usage(USAGE.into())),
+            }
+        }
+        if as_json && collapsed {
+            return Err(CommandError::Usage(USAGE.into()));
+        }
+        let spans = self.platform.telemetry().finished();
+        let fg = Flamegraph::from_spans_filtered(&spans, class.as_deref());
+        if as_json {
+            let value = fg.to_value();
+            return Ok(CommandOutput::with_value(
+                json::to_string_pretty(&value),
+                value,
+            ));
+        }
+        if collapsed {
+            return Ok(CommandOutput::text(fg.to_collapsed().trim_end()));
+        }
+        if fg.is_empty() {
+            return Ok(CommandOutput::text(
+                "no finished spans (try `telemetry on`)",
+            ));
+        }
+        // Human view: hottest frames first (ties broken by name so the
+        // table stays deterministic).
+        let mut frames: Vec<_> = fg.frames.iter().collect();
+        frames.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.name.cmp(&b.name)));
+        let mut text = format!(
+            "{:<32} {:>7} {:>12} {:>12}",
+            "FRAME", "COUNT", "SELF_MS", "TOTAL_MS"
+        );
+        for f in frames {
+            text.push_str(&format!(
+                "\n{:<32} {:>7} {:>12.3} {:>12.3}",
+                f.name,
+                f.count,
+                f.self_ns as f64 / 1e6,
+                f.total_ns as f64 / 1e6
+            ));
+        }
+        Ok(CommandOutput::text(text))
+    }
+
+    /// `slo [--json]`: per-class SLO posture from the deploy-time plan
+    /// table — error budget, multi-window burn rates, and conformance
+    /// with the declared latency objective.
+    fn slo_cmd(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        const USAGE: &str = "slo [--json]";
+        let parts = split_args(rest);
+        for p in &parts {
+            if p != "--json" {
+                return Err(CommandError::Usage(USAGE.into()));
+            }
+        }
+        let as_json = !parts.is_empty();
+        let statuses = self.platform.slo_report();
+        let classes: Vec<Value> = statuses
+            .iter()
+            .map(|s| {
+                let mut v = Value::object();
+                v.insert("active", s.active);
+                v.insert("availability", s.availability);
+                v.insert("burn_fast", s.burn_fast);
+                v.insert("burn_slow", s.burn_slow);
+                v.insert("class", s.class.as_str());
+                v.insert("error_budget", s.error_budget);
+                v.insert("latency_ok", s.latency_ok);
+                match s.max_p99_ms {
+                    Some(ms) => v.insert("max_p99_ms", ms),
+                    None => v.insert("max_p99_ms", Value::Null),
+                };
+                v.insert("status", s.status);
+                v.insert("window_p99_ms", s.window_p99_ms);
+                v
+            })
+            .collect();
+        let mut value = Value::object();
+        value.insert("classes", classes);
+        if as_json {
+            return Ok(CommandOutput::with_value(
+                json::to_string_pretty(&value),
+                value,
+            ));
+        }
+        if statuses.is_empty() {
+            return Ok(CommandOutput::text("no deployed classes"));
+        }
+        let mut text = format!(
+            "{:<16} {:>7} {:>9} {:>9} {:>9} {:>9} {:>10} {:>4}",
+            "CLASS", "AVAIL", "BUDGET", "BURN_10S", "BURN_5M", "P99_MS", "STATUS", "LAT"
+        );
+        for s in &statuses {
+            text.push_str(&format!(
+                "\n{:<16} {:>7.4} {:>9.4} {:>9.2} {:>9.2} {:>9.2} {:>10} {:>4}",
+                s.class,
+                s.availability,
+                s.error_budget,
+                s.burn_fast,
+                s.burn_slow,
+                s.window_p99_ms,
+                if s.active { s.status } else { "idle" },
+                if s.latency_ok { "ok" } else { "MISS" },
+            ));
         }
         Ok(CommandOutput::with_value(text, value))
     }
@@ -835,6 +968,9 @@ telemetry <on|verbose|off|status> control the trace sink
 trace [--last N] [--export chrome|jsonl <path>]
                                   show or export the span tree
 metrics [--class C] [--json]      per-function latency/error/retry stats
+profile [--json|--collapsed] [class]
+                                  span-derived flamegraph (self time)
+slo [--json]                      per-class error-budget burn status
 top                               per-class summary table
 chaos on [--seed N] [--rate P] [--site <site> <rate>] [--latency-ms M] [--latency-share F]
                                   enable deterministic fault injection
@@ -1306,9 +1442,14 @@ mod tests {
                 "mean_ms",
                 "p50_ms",
                 "p99_ms",
-                "retries"
+                "retries",
+                "window_p99_ms"
             ]
         );
+        // The windowed p99 rides alongside the cumulative one and, for
+        // a class whose whole history fits in the fast window, agrees
+        // with it.
+        assert!(row["window_p99_ms"].as_f64().is_some());
         assert_eq!(row["retries"].as_u64(), Some(0));
         assert_eq!(row["breaker"].as_str(), Some("-"));
         assert!(v["faults"].as_object().unwrap().is_empty());
@@ -1323,6 +1464,81 @@ mod tests {
         let text = ctl.execute("metrics").unwrap().text;
         assert!(text.contains("RETRIES"), "{text}");
         assert!(text.contains("BREAKER"), "{text}");
+    }
+
+    #[test]
+    fn profile_and_slo_commands() {
+        let mut ctl = ctl();
+        // Profiling an idle platform with telemetry off folds nothing.
+        assert!(ctl
+            .execute("profile")
+            .unwrap()
+            .text
+            .contains("no finished spans"));
+        ctl.execute("telemetry on").unwrap();
+        ctl.execute("create Counter").unwrap();
+        ctl.execute("invoke 0 incr").unwrap();
+
+        // Table view labels invoke roots Class::function and shows the
+        // engine frame's self time.
+        let text = ctl.execute("profile").unwrap().text;
+        assert!(text.contains("Counter::incr"), "{text}");
+        assert!(text.contains("engine.execute"), "{text}");
+
+        // Collapsed-stack export starts each line at the root frame.
+        let collapsed = ctl.execute("profile --collapsed").unwrap().text;
+        assert!(
+            collapsed.lines().all(|l| l.starts_with("Counter::incr")),
+            "{collapsed}"
+        );
+
+        // JSON shape is pinned; a class filter selects trace trees.
+        let v = ctl
+            .execute("profile --json Counter")
+            .unwrap()
+            .value
+            .unwrap();
+        let keys: Vec<&str> = v.as_object().unwrap().keys().map(String::as_str).collect();
+        assert_eq!(keys, vec!["frames", "stacks"]);
+        assert!(!v["frames"].as_array().unwrap().is_empty());
+        let v = ctl.execute("profile --json Ghost").unwrap().value.unwrap();
+        assert!(v["frames"].as_array().unwrap().is_empty());
+
+        // SLO: Counter declared no NFRs → default tier, ok.
+        let v = ctl.execute("slo --json").unwrap().value.unwrap();
+        let row = v["classes"].as_array().unwrap()[0].as_object().unwrap();
+        let keys: Vec<&str> = row.keys().map(String::as_str).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "active",
+                "availability",
+                "burn_fast",
+                "burn_slow",
+                "class",
+                "error_budget",
+                "latency_ok",
+                "max_p99_ms",
+                "status",
+                "window_p99_ms"
+            ]
+        );
+        assert_eq!(row["class"].as_str(), Some("Counter"));
+        assert_eq!(row["status"].as_str(), Some("ok"));
+        assert_eq!(row["active"].as_bool(), Some(true));
+        assert!(row["max_p99_ms"].is_null());
+        let text = ctl.execute("slo").unwrap().text;
+        assert!(text.contains("CLASS"), "{text}");
+        assert!(text.contains("Counter"), "{text}");
+
+        assert!(matches!(
+            ctl.execute("slo --bogus"),
+            Err(CommandError::Usage(_))
+        ));
+        assert!(matches!(
+            ctl.execute("profile --json --collapsed"),
+            Err(CommandError::Usage(_))
+        ));
     }
 
     #[test]

@@ -2,12 +2,37 @@
 //!
 //! "Oparaca connects the runtime to the monitoring system and reacts to
 //! changes in workload or performance" (§III-B). [`MetricsHub`] collects
-//! per-class invocation metrics from the execution plane (thread-safe —
-//! the embedded engine executes dataflow stages on worker threads) and
-//! produces the [`ObservedMetrics`] windows the
-//! [`oprc_core::optimizer`] consumes. Beyond the drainable per-class
-//! windows it keeps cumulative per-class and per-function histograms
-//! for the `oprc-ctl metrics` / `top` views.
+//! per-class and per-function invocation metrics from the execution
+//! plane and answers three kinds of questions:
+//!
+//! - **cumulative** — totals since startup (`oprc-ctl metrics` / `top`),
+//! - **windowed** — `p50/p90/p99/p999`, rate, and error fraction over
+//!   sliding lookbacks ([`FAST_LOOKBACK`] 10s / [`MID_LOOKBACK`] 1m /
+//!   [`SLOW_LOOKBACK`] 5m), backed by one ring-of-buckets
+//!   [`SlidingWindow`] per series, and
+//! - **feedback** — live [`ObservedMetrics`] for the
+//!   [`oprc_core::optimizer`] and error fractions for the SLO engine.
+//!
+//! # Hot-path discipline
+//!
+//! The invoke path records through [`MetricsHub::record_invocation`],
+//! which appends one sample to a class-hashed **stripe buffer** — a
+//! single uncontended leaf-tier lock acquisition, strictly fewer than
+//! the two hub-mutex acquisitions the pre-window design took. Samples
+//! are folded into the series maps (totals + windows) on
+//! [`MetricsHub::flush_samples`] — called by the platform `tick` and
+//! lazily by every read API, so views are always coherent. A stripe
+//! that grows past [`STRIPE_SELF_FLUSH`] flushes itself, bounding
+//! memory even if no tick ever runs.
+//!
+//! # Cardinality bound
+//!
+//! The per-class and per-function maps are bounded (default
+//! [`DEFAULT_SERIES_CAPACITY`] each, mirroring the `lint_warnings`
+//! bound): past the cap, samples for *new* keys are dropped and
+//! [`MetricsHub::dropped_series`] counts them, so adversarial or
+//! generated class names cannot grow memory without limit. Platform
+//! totals (atomics) still count every event.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,22 +41,32 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use oprc_core::optimizer::ObservedMetrics;
-use oprc_simcore::metrics::Histogram;
+use oprc_simcore::metrics::{Histogram, SlidingWindow, WindowStats};
 use oprc_simcore::{SimDuration, SimTime};
 
 /// Default bound on retained lint warnings.
 pub const DEFAULT_LINT_CAPACITY: usize = 1024;
 
-#[derive(Debug, Default)]
-struct ClassWindow {
-    completed: u64,
-    errors: u64,
-    latency: Histogram,
-    window_start: Option<SimTime>,
-    last_event: Option<SimTime>,
-}
+/// Default bound on distinct per-class and per-function series.
+pub const DEFAULT_SERIES_CAPACITY: usize = 4096;
 
-/// Cumulative (never reset by `drain_window`) per-key statistics.
+/// Short lookback: "what is happening right now" (SLO fast window).
+pub const FAST_LOOKBACK: SimDuration = SimDuration::from_secs(10);
+
+/// Medium lookback for dashboards and the optimizer.
+pub const MID_LOOKBACK: SimDuration = SimDuration::from_secs(60);
+
+/// Long lookback (SLO slow window; the full ring span).
+pub const SLOW_LOOKBACK: SimDuration = SimDuration::from_secs(300);
+
+/// Number of sample-buffer stripes (class-hashed).
+const RECORD_STRIPES: usize = 8;
+
+/// A stripe that grows past this many samples flushes itself into the
+/// series maps, so buffers stay bounded without a tick.
+const STRIPE_SELF_FLUSH: usize = 1024;
+
+/// Cumulative per-key statistics (never reset).
 #[derive(Debug, Default)]
 struct Totals {
     completed: u64,
@@ -49,6 +84,27 @@ impl Totals {
     }
 }
 
+/// One monitored series: cumulative totals plus the sliding window.
+#[derive(Debug, Default)]
+struct Series {
+    totals: Totals,
+    window: SlidingWindow,
+}
+
+impl Series {
+    fn record(&mut self, at: SimTime, latency: SimDuration, ok: bool) {
+        if ok {
+            self.totals.completed += 1;
+            self.totals.latency.record(latency);
+            self.window.record_ok(at, latency);
+        } else {
+            self.totals.errors += 1;
+            self.window.record_err(at);
+        }
+        self.totals.touch(at);
+    }
+}
+
 /// Cumulative per-class statistics snapshot (for `oprc-ctl top`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClassSummary {
@@ -62,10 +118,13 @@ pub struct ClassSummary {
     pub error_rate: f64,
     /// Completions per second over the observed event span.
     pub throughput: f64,
-    /// Median end-to-end latency (ms).
+    /// Median end-to-end latency (ms), cumulative.
     pub p50_ms: f64,
-    /// 99th-percentile end-to-end latency (ms).
+    /// 99th-percentile end-to-end latency (ms), cumulative.
     pub p99_ms: f64,
+    /// 99th-percentile latency (ms) over the [`FAST_LOOKBACK`] window
+    /// around the series' most recent event.
+    pub window_p99_ms: f64,
 }
 
 /// Cumulative per-function statistics snapshot (for `oprc-ctl metrics`).
@@ -84,39 +143,130 @@ pub struct FunctionSummary {
     /// Circuit-breaker state (`closed` / `open` / `half-open`), or `-`
     /// when the function's retry policy arms no breaker.
     pub breaker: String,
-    /// Mean latency (ms).
+    /// Mean latency (ms), cumulative.
     pub mean_ms: f64,
+    /// Median latency (ms), cumulative.
+    pub p50_ms: f64,
+    /// 99th-percentile latency (ms), cumulative.
+    pub p99_ms: f64,
+    /// 99th-percentile latency (ms) over the [`FAST_LOOKBACK`] window
+    /// around the series' most recent event.
+    pub window_p99_ms: f64,
+}
+
+/// Windowed view of one series over a lookback: quantiles, rate, and
+/// error fraction — everything the SLO engine and dashboards read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// Successful events inside the lookback.
+    pub completed: u64,
+    /// Failed events inside the lookback.
+    pub errors: u64,
+    /// Completions per second over the effective span (lookback, or
+    /// the series' observed lifetime when younger).
+    pub rate: f64,
+    /// `errors / (completed + errors)` inside the lookback.
+    pub error_fraction: f64,
     /// Median latency (ms).
     pub p50_ms: f64,
+    /// 90th-percentile latency (ms).
+    pub p90_ms: f64,
     /// 99th-percentile latency (ms).
     pub p99_ms: f64,
+    /// 99.9th-percentile latency (ms).
+    pub p999_ms: f64,
+}
+
+impl WindowSnapshot {
+    /// Total events (completed + errors) inside the lookback.
+    pub fn total(&self) -> u64 {
+        self.completed + self.errors
+    }
+}
+
+/// One buffered hot-path sample, folded into the series maps on flush.
+#[derive(Debug)]
+struct Sample {
+    /// Global record order: flush sorts drained samples by this, so
+    /// folding is insertion-ordered even across stripes (the
+    /// cardinality bound's drop-new choice stays deterministic).
+    seq: u64,
+    class: String,
+    /// `Some` to record the `(class, function)` series.
+    function: Option<String>,
+    /// Whether to record the per-class series (the per-function-only
+    /// wrapper [`MetricsHub::record_function`] sets this false).
+    class_series: bool,
+    at: SimTime,
+    latency: SimDuration,
+    ok: bool,
 }
 
 #[derive(Debug)]
 struct HubInner {
-    windows: BTreeMap<String, ClassWindow>,
-    class_totals: BTreeMap<String, Totals>,
-    function_totals: BTreeMap<(String, String), Totals>,
+    class_series: BTreeMap<String, Series>,
+    function_series: BTreeMap<(String, String), Series>,
     breaker_states: BTreeMap<(String, String), &'static str>,
     fault_totals: BTreeMap<String, u64>,
     lint_warnings: VecDeque<String>,
     lint_capacity: usize,
     lint_dropped: u64,
+    series_capacity: usize,
+    dropped_series: u64,
 }
 
 impl Default for HubInner {
     fn default() -> Self {
         HubInner {
-            windows: BTreeMap::new(),
-            class_totals: BTreeMap::new(),
-            function_totals: BTreeMap::new(),
+            class_series: BTreeMap::new(),
+            function_series: BTreeMap::new(),
             breaker_states: BTreeMap::new(),
             fault_totals: BTreeMap::new(),
             lint_warnings: VecDeque::new(),
             lint_capacity: DEFAULT_LINT_CAPACITY,
             lint_dropped: 0,
+            series_capacity: DEFAULT_SERIES_CAPACITY,
+            dropped_series: 0,
         }
     }
+}
+
+impl HubInner {
+    fn apply(&mut self, sample: Sample) {
+        if sample.class_series {
+            match bounded_entry(
+                &mut self.class_series,
+                sample.class.clone(),
+                self.series_capacity,
+            ) {
+                Some(series) => series.record(sample.at, sample.latency, sample.ok),
+                None => self.dropped_series += 1,
+            }
+        }
+        if let Some(function) = sample.function {
+            match bounded_entry(
+                &mut self.function_series,
+                (sample.class, function),
+                self.series_capacity,
+            ) {
+                Some(series) => series.record(sample.at, sample.latency, sample.ok),
+                None => self.dropped_series += 1,
+            }
+        }
+    }
+}
+
+/// `map.entry(key).or_default()` with a drop-new cardinality bound:
+/// `None` when `key` is absent and the map is at capacity.
+fn bounded_entry<K: Ord>(
+    map: &mut BTreeMap<K, Series>,
+    key: K,
+    capacity: usize,
+) -> Option<&mut Series> {
+    if !map.contains_key(&key) && map.len() >= capacity {
+        return None;
+    }
+    Some(map.entry(key).or_default())
 }
 
 /// Platform-wide cumulative counters, atomic so hot-path readers (ops/s
@@ -128,17 +278,42 @@ struct CumulativeTotals {
     retries: AtomicU64,
     commits: AtomicU64,
     fused_units: AtomicU64,
+    /// Next sample sequence number (see [`Sample::seq`]).
+    sample_seq: AtomicU64,
 }
 
 /// Thread-safe collector of per-class runtime metrics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MetricsHub {
     inner: Arc<Mutex<HubInner>>,
     totals: Arc<CumulativeTotals>,
+    /// Class-hashed hot-path sample buffers (leaf tier, uncontended in
+    /// the common case; see the module docs).
+    stripes: Arc<[Mutex<Vec<Sample>>; RECORD_STRIPES]>,
+}
+
+impl Default for MetricsHub {
+    fn default() -> Self {
+        MetricsHub {
+            inner: Arc::default(),
+            totals: Arc::default(),
+            stripes: Arc::new(std::array::from_fn(|_| Mutex::new(Vec::new()))),
+        }
+    }
+}
+
+fn stripe_of(class: &str) -> usize {
+    // FNV-1a over the class name; stripes are a power of two.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in class.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h as usize) & (RECORD_STRIPES - 1)
 }
 
 impl MetricsHub {
-    /// Creates an empty hub with the default lint-warning capacity.
+    /// Creates an empty hub with default capacities.
     pub fn new() -> Self {
         MetricsHub::default()
     }
@@ -151,39 +326,108 @@ impl MetricsHub {
         hub
     }
 
+    /// Creates an empty hub tracking at most `series_capacity` distinct
+    /// classes (and as many functions). Past the cap, new series are
+    /// dropped and counted (a minimum of 1 is enforced).
+    pub fn with_series_capacity(series_capacity: usize) -> Self {
+        let hub = MetricsHub::default();
+        hub.inner.lock().series_capacity = series_capacity.max(1);
+        hub
+    }
+
+    fn buffer(&self, mut sample: Sample) {
+        sample.seq = self.totals.sample_seq.fetch_add(1, Ordering::Relaxed);
+        let stripe = &self.stripes[stripe_of(&sample.class)];
+        let mut buf = stripe.lock();
+        buf.push(sample);
+        let full = buf.len() >= STRIPE_SELF_FLUSH;
+        drop(buf);
+        if full {
+            self.flush_samples();
+        }
+    }
+
+    /// Folds every buffered hot-path sample into the series maps, in
+    /// global record order. Called by the platform tick; read APIs also
+    /// call it, so views never lag the buffers.
+    pub fn flush_samples(&self) {
+        let mut drained = Vec::new();
+        for stripe in self.stripes.iter() {
+            let mut buf = stripe.lock();
+            if !buf.is_empty() {
+                drained.append(&mut buf);
+            }
+        }
+        if drained.is_empty() {
+            return;
+        }
+        drained.sort_unstable_by_key(|s| s.seq);
+        let mut inner = self.inner.lock();
+        for s in drained {
+            inner.apply(s);
+        }
+    }
+
+    /// Records the full outcome of one invocation — class series,
+    /// `(class, function)` series, and platform totals — with a single
+    /// stripe-buffer lock acquisition. This is the hot-path entry.
+    pub fn record_invocation(
+        &self,
+        class: &str,
+        function: &str,
+        now: SimTime,
+        latency: SimDuration,
+        ok: bool,
+    ) {
+        if ok {
+            self.totals.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.totals.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.buffer(Sample {
+            seq: 0,
+            class: class.to_string(),
+            function: Some(function.to_string()),
+            class_series: true,
+            at: now,
+            latency,
+            ok,
+        });
+    }
+
     /// Records a completed invocation of `class` at `now` with the given
-    /// end-to-end latency.
+    /// end-to-end latency (class series only — the invoke path uses
+    /// [`MetricsHub::record_invocation`]).
     pub fn record_completion(&self, class: &str, now: SimTime, latency: SimDuration) {
-        let mut inner = self.inner.lock();
-        let w = inner.windows.entry(class.to_string()).or_default();
-        w.completed += 1;
-        w.latency.record(latency);
-        w.window_start.get_or_insert(now);
-        w.last_event = Some(w.last_event.map_or(now, |t| t.max(now)));
-        let t = inner.class_totals.entry(class.to_string()).or_default();
-        t.completed += 1;
-        t.latency.record(latency);
-        t.touch(now);
-        drop(inner);
         self.totals.completed.fetch_add(1, Ordering::Relaxed);
+        self.buffer(Sample {
+            seq: 0,
+            class: class.to_string(),
+            function: None,
+            class_series: true,
+            at: now,
+            latency,
+            ok: true,
+        });
     }
 
-    /// Records a failed invocation of `class` at `now`.
+    /// Records a failed invocation of `class` at `now` (class series
+    /// only).
     pub fn record_error(&self, class: &str, now: SimTime) {
-        let mut inner = self.inner.lock();
-        let w = inner.windows.entry(class.to_string()).or_default();
-        w.errors += 1;
-        w.window_start.get_or_insert(now);
-        w.last_event = Some(w.last_event.map_or(now, |t| t.max(now)));
-        let t = inner.class_totals.entry(class.to_string()).or_default();
-        t.errors += 1;
-        t.touch(now);
-        drop(inner);
         self.totals.errors.fetch_add(1, Ordering::Relaxed);
+        self.buffer(Sample {
+            seq: 0,
+            class: class.to_string(),
+            function: None,
+            class_series: true,
+            at: now,
+            latency: SimDuration::ZERO,
+            ok: false,
+        });
     }
 
-    /// Records the per-function outcome of an invocation (cumulative;
-    /// feeds [`MetricsHub::function_summaries`]).
+    /// Records the per-function outcome of an invocation (function
+    /// series only; feeds [`MetricsHub::function_summaries`]).
     pub fn record_function(
         &self,
         class: &str,
@@ -192,28 +436,29 @@ impl MetricsHub {
         latency: SimDuration,
         ok: bool,
     ) {
-        let mut inner = self.inner.lock();
-        let t = inner
-            .function_totals
-            .entry((class.to_string(), function.to_string()))
-            .or_default();
-        if ok {
-            t.completed += 1;
-            t.latency.record(latency);
-        } else {
-            t.errors += 1;
-        }
-        t.touch(now);
+        self.buffer(Sample {
+            seq: 0,
+            class: class.to_string(),
+            function: Some(function.to_string()),
+            class_series: false,
+            at: now,
+            latency,
+            ok,
+        });
     }
 
     /// Records a retry (an attempt beyond the first) of `class::function`.
     pub fn record_retry(&self, class: &str, function: &str) {
         let mut inner = self.inner.lock();
-        inner
-            .function_totals
-            .entry((class.to_string(), function.to_string()))
-            .or_default()
-            .retries += 1;
+        let capacity = inner.series_capacity;
+        match bounded_entry(
+            &mut inner.function_series,
+            (class.to_string(), function.to_string()),
+            capacity,
+        ) {
+            Some(series) => series.totals.retries += 1,
+            None => inner.dropped_series += 1,
+        }
         drop(inner);
         self.totals.retries.fetch_add(1, Ordering::Relaxed);
     }
@@ -310,27 +555,37 @@ impl MetricsHub {
         self.inner.lock().lint_dropped
     }
 
-    /// Completed-invocation count for `class` in the current window.
+    /// Count of samples dropped by the series-cardinality bound.
+    pub fn dropped_series(&self) -> u64 {
+        self.flush_samples();
+        self.inner.lock().dropped_series
+    }
+
+    /// Cumulative completed-invocation count for `class`.
     pub fn completed(&self, class: &str) -> u64 {
+        self.flush_samples();
         self.inner
             .lock()
-            .windows
+            .class_series
             .get(class)
-            .map_or(0, |w| w.completed)
+            .map_or(0, |s| s.totals.completed)
     }
 
     /// Cumulative per-class statistics, sorted by class name.
     pub fn class_summaries(&self) -> Vec<ClassSummary> {
+        self.flush_samples();
         let inner = self.inner.lock();
         inner
-            .class_totals
+            .class_series
             .iter()
-            .map(|(class, t)| {
+            .map(|(class, s)| {
+                let t = &s.totals;
                 let total = t.completed + t.errors;
                 let span = match (t.first_event, t.last_event) {
                     (Some(a), Some(b)) => (b - a).as_secs_f64().max(1e-3),
                     _ => 1e-3,
                 };
+                let at = t.last_event.unwrap_or(SimTime::ZERO);
                 ClassSummary {
                     class: class.clone(),
                     completed: t.completed,
@@ -343,6 +598,11 @@ impl MetricsHub {
                     throughput: t.completed as f64 / span,
                     p50_ms: t.latency.quantile(0.5).as_millis_f64(),
                     p99_ms: t.latency.quantile(0.99).as_millis_f64(),
+                    window_p99_ms: s
+                        .window
+                        .stats(at, FAST_LOOKBACK)
+                        .quantile(0.99)
+                        .as_millis_f64(),
                 }
             })
             .collect()
@@ -350,58 +610,124 @@ impl MetricsHub {
 
     /// Cumulative per-function statistics, sorted by (class, function).
     pub fn function_summaries(&self) -> Vec<FunctionSummary> {
+        self.flush_samples();
         let inner = self.inner.lock();
         inner
-            .function_totals
+            .function_series
             .iter()
-            .map(|((class, function), t)| FunctionSummary {
-                class: class.clone(),
-                function: function.clone(),
-                completed: t.completed,
-                errors: t.errors,
-                retries: t.retries,
-                breaker: inner
-                    .breaker_states
-                    .get(&(class.clone(), function.clone()))
-                    .unwrap_or(&"-")
-                    .to_string(),
-                mean_ms: t.latency.mean().as_millis_f64(),
-                p50_ms: t.latency.quantile(0.5).as_millis_f64(),
-                p99_ms: t.latency.quantile(0.99).as_millis_f64(),
+            .map(|((class, function), s)| {
+                let t = &s.totals;
+                let at = t.last_event.unwrap_or(SimTime::ZERO);
+                FunctionSummary {
+                    class: class.clone(),
+                    function: function.clone(),
+                    completed: t.completed,
+                    errors: t.errors,
+                    retries: t.retries,
+                    breaker: inner
+                        .breaker_states
+                        .get(&(class.clone(), function.clone()))
+                        .unwrap_or(&"-")
+                        .to_string(),
+                    mean_ms: t.latency.mean().as_millis_f64(),
+                    p50_ms: t.latency.quantile(0.5).as_millis_f64(),
+                    p99_ms: t.latency.quantile(0.99).as_millis_f64(),
+                    window_p99_ms: s
+                        .window
+                        .stats(at, FAST_LOOKBACK)
+                        .quantile(0.99)
+                        .as_millis_f64(),
+                }
             })
             .collect()
     }
 
-    /// Produces the observation window for `class` and resets it.
-    ///
-    /// `replicas_busy_fraction` is supplied by the execution plane (the
-    /// hub cannot observe replica occupancy itself). `error_rate` is the
-    /// *fraction* of the window's requests that failed —
-    /// `errors / (completed + errors)` — matching
-    /// [`ObservedMetrics::error_rate`]. Returns `None` when nothing was
-    /// recorded.
-    pub fn drain_window(
+    fn snapshot(stats: &WindowStats, span: f64) -> WindowSnapshot {
+        WindowSnapshot {
+            completed: stats.completed,
+            errors: stats.errors,
+            rate: stats.completed as f64 / span,
+            error_fraction: stats.error_fraction(),
+            p50_ms: stats.quantile(0.5).as_millis_f64(),
+            p90_ms: stats.quantile(0.9).as_millis_f64(),
+            p99_ms: stats.quantile(0.99).as_millis_f64(),
+            p999_ms: stats.quantile(0.999).as_millis_f64(),
+        }
+    }
+
+    /// The effective rate denominator: the lookback, shortened to the
+    /// series' observed lifetime while it is younger than the lookback
+    /// (so a fresh platform doesn't under-report its rate).
+    fn effective_span(first_event: Option<SimTime>, now: SimTime, lookback: SimDuration) -> f64 {
+        let lifetime = first_event.map_or(0.0, |t| (now.max(t) - t).as_secs_f64());
+        lifetime.min(lookback.as_secs_f64()).max(1e-3)
+    }
+
+    /// Windowed statistics for `class` over `[now - lookback, now]`,
+    /// or `None` when the window holds no events.
+    pub fn class_window(
         &self,
         class: &str,
+        now: SimTime,
+        lookback: SimDuration,
+    ) -> Option<WindowSnapshot> {
+        self.flush_samples();
+        let inner = self.inner.lock();
+        let s = inner.class_series.get(class)?;
+        let stats = s.window.stats(now, lookback);
+        if stats.total() == 0 {
+            return None;
+        }
+        let span = Self::effective_span(s.totals.first_event, now, lookback);
+        Some(Self::snapshot(&stats, span))
+    }
+
+    /// Windowed statistics for `class::function`, or `None` when the
+    /// window holds no events.
+    pub fn function_window(
+        &self,
+        class: &str,
+        function: &str,
+        now: SimTime,
+        lookback: SimDuration,
+    ) -> Option<WindowSnapshot> {
+        self.flush_samples();
+        let inner = self.inner.lock();
+        let s = inner
+            .function_series
+            .get(&(class.to_string(), function.to_string()))?;
+        let stats = s.window.stats(now, lookback);
+        if stats.total() == 0 {
+            return None;
+        }
+        let span = Self::effective_span(s.totals.first_event, now, lookback);
+        Some(Self::snapshot(&stats, span))
+    }
+
+    /// The live observation window the optimizer consumes: windowed
+    /// rate, p99, and error fraction for `class` over `lookback`.
+    /// Non-destructive (the pre-window design drained and reset the
+    /// observation state; the sliding window just rotates).
+    ///
+    /// `replicas_busy_fraction` is supplied by the execution plane (the
+    /// hub cannot observe replica occupancy itself). `error_rate` is
+    /// the *fraction* of the window's requests that failed, matching
+    /// [`ObservedMetrics::error_rate`]. Returns `None` when the window
+    /// holds no events.
+    pub fn observe(
+        &self,
+        class: &str,
+        now: SimTime,
+        lookback: SimDuration,
         replicas_busy_fraction: f64,
     ) -> Option<ObservedMetrics> {
-        let mut inner = self.inner.lock();
-        let w = inner.windows.get_mut(class)?;
-        let (start, end) = (w.window_start?, w.last_event?);
-        let span = (end - start).as_secs_f64().max(1e-3);
-        let total = w.completed + w.errors;
-        let metrics = ObservedMetrics {
-            throughput: w.completed as f64 / span,
-            p99_latency_ms: w.latency.quantile(0.99).as_millis_f64(),
+        let w = self.class_window(class, now, lookback)?;
+        Some(ObservedMetrics {
+            throughput: w.rate,
+            p99_latency_ms: w.p99_ms,
             utilization: replicas_busy_fraction,
-            error_rate: if total == 0 {
-                0.0
-            } else {
-                w.errors as f64 / total as f64
-            },
-        };
-        *w = ClassWindow::default();
-        Some(metrics)
+            error_rate: w.error_fraction,
+        })
     }
 }
 
@@ -410,7 +736,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn window_aggregation_and_reset() {
+    fn windows_aggregate_without_reset() {
         let hub = MetricsHub::new();
         for i in 0..100u64 {
             hub.record_completion(
@@ -421,8 +747,9 @@ mod tests {
         }
         hub.record_error("C", SimTime::from_millis(500));
         assert_eq!(hub.completed("C"), 100);
-        let m = hub.drain_window("C", 0.8).unwrap();
-        // 100 completions over 0.99s ≈ 101/s.
+        let now = SimTime::from_millis(990);
+        let m = hub.observe("C", now, FAST_LOOKBACK, 0.8).unwrap();
+        // 100 completions over the ~0.99s observed lifetime ≈ 101/s.
         assert!((m.throughput - 101.0).abs() < 2.0, "{}", m.throughput);
         assert!(m.p99_latency_ms >= 5.0);
         // error_rate is a fraction of requests: 1 error out of 101.
@@ -432,9 +759,9 @@ mod tests {
             m.error_rate
         );
         assert_eq!(m.utilization, 0.8);
-        // Window reset.
-        assert_eq!(hub.completed("C"), 0);
-        assert!(hub.drain_window("C", 0.0).is_none());
+        // Observation does NOT reset: a second query sees the same data.
+        assert!(hub.observe("C", now, FAST_LOOKBACK, 0.8).is_some());
+        assert_eq!(hub.completed("C"), 100);
     }
 
     #[test]
@@ -442,9 +769,32 @@ mod tests {
         let hub = MetricsHub::new();
         hub.record_error("C", SimTime::from_millis(1));
         hub.record_error("C", SimTime::from_millis(2));
-        let m = hub.drain_window("C", 0.0).unwrap();
+        let m = hub
+            .observe("C", SimTime::from_millis(2), FAST_LOOKBACK, 0.0)
+            .unwrap();
         assert_eq!(m.error_rate, 1.0);
         assert_eq!(m.throughput, 0.0);
+    }
+
+    #[test]
+    fn window_rotates_old_events_out() {
+        let hub = MetricsHub::new();
+        hub.record_error("C", SimTime::from_secs(1));
+        hub.record_completion("C", SimTime::from_secs(1), SimDuration::from_millis(1));
+        // Shortly after: both visible in the fast window.
+        let w = hub
+            .class_window("C", SimTime::from_secs(2), FAST_LOOKBACK)
+            .unwrap();
+        assert_eq!((w.completed, w.errors), (1, 1));
+        assert!((w.error_fraction - 0.5).abs() < 1e-12);
+        // 30s later the fast window is clear but the slow window still
+        // holds the events (multi-window SLO recovery shape).
+        let later = SimTime::from_secs(31);
+        assert!(hub.class_window("C", later, FAST_LOOKBACK).is_none());
+        let slow = hub.class_window("C", later, SLOW_LOOKBACK).unwrap();
+        assert_eq!(slow.total(), 2);
+        // Cumulative summaries keep everything.
+        assert_eq!(hub.class_summaries()[0].completed, 1);
     }
 
     #[test]
@@ -471,6 +821,33 @@ mod tests {
     }
 
     #[test]
+    fn series_cardinality_is_bounded_drop_new() {
+        let hub = MetricsHub::with_series_capacity(2);
+        hub.record_completion("A", SimTime::ZERO, SimDuration::from_millis(1));
+        hub.record_completion("B", SimTime::ZERO, SimDuration::from_millis(1));
+        hub.record_completion("C", SimTime::ZERO, SimDuration::from_millis(1));
+        hub.record_completion("A", SimTime::ZERO, SimDuration::from_millis(1));
+        // Existing series keep recording; the new one is dropped.
+        assert_eq!(hub.completed("A"), 2);
+        assert_eq!(hub.completed("B"), 1);
+        assert_eq!(hub.completed("C"), 0);
+        assert_eq!(hub.dropped_series(), 1);
+        assert_eq!(hub.class_summaries().len(), 2);
+        // Platform totals still count every event.
+        assert_eq!(hub.completed_total(), 4);
+        // Function series are bounded by the same capacity.
+        for f in ["f1", "f2", "f3"] {
+            hub.record_function("A", f, SimTime::ZERO, SimDuration::ZERO, true);
+        }
+        assert_eq!(hub.function_summaries().len(), 2);
+        assert_eq!(hub.dropped_series(), 2);
+        // record_retry respects the bound too (no resurrection).
+        hub.record_retry("A", "f3");
+        assert_eq!(hub.function_summaries().len(), 2);
+        assert_eq!(hub.dropped_series(), 3);
+    }
+
+    #[test]
     fn commit_and_fusion_counters_are_lock_free_totals() {
         let hub = MetricsHub::new();
         assert_eq!(hub.commits_total(), 0);
@@ -489,7 +866,15 @@ mod tests {
     #[test]
     fn unknown_class_is_none() {
         let hub = MetricsHub::new();
-        assert!(hub.drain_window("nope", 0.5).is_none());
+        assert!(hub
+            .observe("nope", SimTime::ZERO, FAST_LOOKBACK, 0.5)
+            .is_none());
+        assert!(hub
+            .class_window("nope", SimTime::ZERO, FAST_LOOKBACK)
+            .is_none());
+        assert!(hub
+            .function_window("nope", "f", SimTime::ZERO, FAST_LOOKBACK)
+            .is_none());
         assert_eq!(hub.completed("nope"), 0);
     }
 
@@ -502,6 +887,7 @@ mod tests {
         })
         .join()
         .unwrap();
+        // Clones share the stripe buffers: the sample is visible here.
         assert_eq!(hub.completed("C"), 1);
     }
 
@@ -509,33 +895,51 @@ mod tests {
     fn single_event_window_uses_min_span() {
         let hub = MetricsHub::new();
         hub.record_completion("C", SimTime::from_secs(1), SimDuration::from_millis(2));
-        let m = hub.drain_window("C", 0.1).unwrap();
+        let m = hub
+            .observe("C", SimTime::from_secs(1), FAST_LOOKBACK, 0.1)
+            .unwrap();
         // One event over the 1ms minimum span → finite, large number.
         assert!(m.throughput > 0.0);
         assert!(m.throughput.is_finite());
     }
 
     #[test]
-    fn class_summaries_survive_window_drain() {
+    fn record_invocation_feeds_both_series_at_once() {
         let hub = MetricsHub::new();
-        for i in 0..10u64 {
-            hub.record_completion(
-                "C",
-                SimTime::from_millis(i * 100),
-                SimDuration::from_millis(4),
-            );
+        hub.record_invocation(
+            "C",
+            "f",
+            SimTime::from_secs(1),
+            SimDuration::from_millis(3),
+            true,
+        );
+        hub.record_invocation("C", "f", SimTime::from_secs(1), SimDuration::ZERO, false);
+        assert_eq!(hub.completed_total(), 1);
+        assert_eq!(hub.errors_total(), 1);
+        let classes = hub.class_summaries();
+        assert_eq!((classes[0].completed, classes[0].errors), (1, 1));
+        let functions = hub.function_summaries();
+        assert_eq!((functions[0].completed, functions[0].errors), (1, 1));
+        assert!(functions[0].window_p99_ms >= 3.0 * 0.9);
+        let w = hub
+            .function_window("C", "f", SimTime::from_secs(1), FAST_LOOKBACK)
+            .unwrap();
+        assert_eq!(w.total(), 2);
+    }
+
+    #[test]
+    fn quantile_ladder_is_monotone_in_snapshots() {
+        let hub = MetricsHub::new();
+        for i in 1..=200u64 {
+            hub.record_completion("C", SimTime::from_secs(1), SimDuration::from_micros(i * 50));
         }
-        hub.record_error("C", SimTime::from_secs(1));
-        hub.drain_window("C", 0.5);
-        let summaries = hub.class_summaries();
-        assert_eq!(summaries.len(), 1);
-        let s = &summaries[0];
-        assert_eq!(s.class, "C");
-        assert_eq!(s.completed, 10);
-        assert_eq!(s.errors, 1);
-        assert!((s.error_rate - 1.0 / 11.0).abs() < 1e-9);
-        assert!(s.p50_ms >= 4.0);
-        assert!(s.throughput > 0.0);
+        let w = hub
+            .class_window("C", SimTime::from_secs(1), FAST_LOOKBACK)
+            .unwrap();
+        assert!(w.p50_ms <= w.p90_ms);
+        assert!(w.p90_ms <= w.p99_ms);
+        assert!(w.p99_ms <= w.p999_ms);
+        assert!(w.rate > 0.0);
     }
 
     #[test]

@@ -73,10 +73,12 @@ const HIST_BASE_NS: f64 = 1_000.0; // 1µs
 const HIST_GROWTH: f64 = 1.085;
 
 impl Histogram {
-    /// Creates an empty histogram.
+    /// Creates an empty histogram. The bucket array is allocated lazily
+    /// on the first record, so large pools of idle histograms (e.g. the
+    /// slots of a [`SlidingWindow`]) cost a few words each.
     pub fn new() -> Self {
         Histogram {
-            buckets: vec![0; HIST_BUCKETS],
+            buckets: Vec::new(),
             count: 0,
             sum: SimDuration::ZERO,
             min: SimDuration::from_nanos(u64::MAX),
@@ -99,6 +101,9 @@ impl Histogram {
 
     /// Records one observation.
     pub fn record(&mut self, d: SimDuration) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; HIST_BUCKETS];
+        }
         self.buckets[Self::bucket_index(d)] += 1;
         self.count += 1;
         self.sum += d;
@@ -160,15 +165,19 @@ impl Histogram {
 
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; HIST_BUCKETS];
+        }
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
         self.count += other.count;
         self.sum += other.sum;
-        if other.count > 0 {
-            self.min = self.min.min(other.min);
-            self.max = self.max.max(other.max);
-        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -189,6 +198,203 @@ impl fmt::Display for Histogram {
             self.quantile(0.99),
             self.max()
         )
+    }
+}
+
+/// Default slot width of a [`SlidingWindow`] (5 seconds).
+pub const DEFAULT_WINDOW_SLOT_WIDTH: SimDuration = SimDuration::from_secs(5);
+/// Default slot count of a [`SlidingWindow`] (60 slots × 5s = 5 minutes).
+pub const DEFAULT_WINDOW_SLOTS: usize = 60;
+
+/// One time-bucket of a [`SlidingWindow`]: outcome counts plus a
+/// mergeable latency histogram for events whose timestamp fell inside
+/// the slot's epoch.
+#[derive(Debug, Clone, Default)]
+struct WindowSlot {
+    /// Which epoch (`time / slot_width`) this slot currently holds.
+    /// Ring position `epoch % slots.len()` is only valid when it
+    /// matches the epoch being read.
+    epoch: u64,
+    completed: u64,
+    errors: u64,
+    latency: Histogram,
+}
+
+impl WindowSlot {
+    fn reset(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.completed = 0;
+        self.errors = 0;
+        self.latency = Histogram::new();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.completed == 0 && self.errors == 0
+    }
+}
+
+/// Aggregated view over the slots a lookback covered.
+///
+/// Quantiles come from the merged per-slot histograms (same ~5% bucket
+/// error as [`Histogram`]); `error_fraction` is
+/// `errors / (completed + errors)`.
+#[derive(Debug, Clone, Default)]
+pub struct WindowStats {
+    /// Successful events inside the lookback.
+    pub completed: u64,
+    /// Failed events inside the lookback.
+    pub errors: u64,
+    /// Merged latency histogram of the successful events.
+    pub latency: Histogram,
+}
+
+impl WindowStats {
+    /// Total events (completed + errors) inside the lookback.
+    pub fn total(&self) -> u64 {
+        self.completed + self.errors
+    }
+
+    /// Fraction of events that failed, `0.0` when the window is empty.
+    pub fn error_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.errors as f64 / total as f64
+        }
+    }
+
+    /// `q`-quantile of the merged latency histogram.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        self.latency.quantile(q)
+    }
+}
+
+/// A sliding window over event outcomes: a ring of fixed-width time
+/// slots (epoch = `time / slot_width`), each holding counts plus a
+/// mergeable [`Histogram`]. Recording is O(1); querying merges the
+/// slots a lookback covers, so one ring answers "p99 / rate / error
+/// fraction over the last 10s, 1m, and 5m" without per-lookback state.
+///
+/// Old slots are reclaimed lazily as the ring wraps — no timer needed.
+/// Events older than the ring span are dropped on record (stale data
+/// never pollutes a newer slot).
+///
+/// # Examples
+///
+/// ```
+/// use oprc_simcore::{metrics::SlidingWindow, SimDuration, SimTime};
+///
+/// let mut w = SlidingWindow::new();
+/// w.record_ok(SimTime::from_secs(1), SimDuration::from_millis(5));
+/// w.record_err(SimTime::from_secs(2));
+/// let s = w.stats(SimTime::from_secs(3), SimDuration::from_secs(10));
+/// assert_eq!(s.completed, 1);
+/// assert!((s.error_fraction() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    slot_width: SimDuration,
+    slots: Vec<WindowSlot>,
+    /// Epoch of the newest slot ever written (ring head).
+    head_epoch: u64,
+}
+
+impl SlidingWindow {
+    /// Creates a window with the default geometry
+    /// ([`DEFAULT_WINDOW_SLOT_WIDTH`] × [`DEFAULT_WINDOW_SLOTS`]).
+    pub fn new() -> Self {
+        Self::with_geometry(DEFAULT_WINDOW_SLOT_WIDTH, DEFAULT_WINDOW_SLOTS)
+    }
+
+    /// Creates a window of `slots` ring slots, each `slot_width` wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_width` is zero or `slots` is zero.
+    pub fn with_geometry(slot_width: SimDuration, slots: usize) -> Self {
+        assert!(slot_width > SimDuration::ZERO, "zero window slot width");
+        assert!(slots > 0, "zero window slot count");
+        SlidingWindow {
+            slot_width,
+            slots: vec![WindowSlot::default(); slots],
+            head_epoch: 0,
+        }
+    }
+
+    /// Total time span the ring can hold.
+    pub fn span(&self) -> SimDuration {
+        SimDuration::from_nanos(self.slot_width.as_nanos() * self.slots.len() as u64)
+    }
+
+    fn epoch_of(&self, t: SimTime) -> u64 {
+        t.as_nanos() / self.slot_width.as_nanos()
+    }
+
+    /// Rotates the ring forward to `epoch`, resetting every slot the
+    /// head passes over, and returns the slot for `epoch` — or `None`
+    /// when `epoch` has already fallen off the back of the ring.
+    fn slot_mut(&mut self, epoch: u64) -> Option<&mut WindowSlot> {
+        let len = self.slots.len() as u64;
+        if epoch > self.head_epoch {
+            // Cap the walk at one full ring: a long idle gap resets
+            // every slot exactly once instead of iterating per epoch.
+            let from = (self.head_epoch + 1).max(epoch.saturating_sub(len - 1));
+            for e in from..=epoch {
+                self.slots[(e % len) as usize].reset(e);
+            }
+            self.head_epoch = epoch;
+        } else if self.head_epoch - epoch >= len {
+            return None; // Older than the ring span.
+        }
+        let slot = &mut self.slots[(epoch % len) as usize];
+        if slot.epoch != epoch {
+            // The position still holds pre-rotation data from a past
+            // epoch (possible only before the ring first wraps).
+            slot.reset(epoch);
+        }
+        Some(slot)
+    }
+
+    /// Records a successful event at `t` with the given latency.
+    pub fn record_ok(&mut self, t: SimTime, latency: SimDuration) {
+        if let Some(slot) = self.slot_mut(self.epoch_of(t)) {
+            slot.completed += 1;
+            slot.latency.record(latency);
+        }
+    }
+
+    /// Records a failed event at `t`.
+    pub fn record_err(&mut self, t: SimTime) {
+        if let Some(slot) = self.slot_mut(self.epoch_of(t)) {
+            slot.errors += 1;
+        }
+    }
+
+    /// Merges the slots covering `[now - lookback, now]` into one
+    /// [`WindowStats`]. Lookbacks longer than the ring span are clamped
+    /// to it; the query never mutates the ring.
+    pub fn stats(&self, now: SimTime, lookback: SimDuration) -> WindowStats {
+        let len = self.slots.len() as u64;
+        let now_epoch = self.epoch_of(now);
+        let width = self.slot_width.as_nanos();
+        let n = lookback.as_nanos().div_ceil(width).clamp(1, len);
+        let from = now_epoch.saturating_sub(n - 1);
+        let mut out = WindowStats::default();
+        for slot in &self.slots {
+            if slot.epoch >= from && slot.epoch <= now_epoch && !slot.is_empty() {
+                out.completed += slot.completed;
+                out.errors += slot.errors;
+                out.latency.merge(&slot.latency);
+            }
+        }
+        out
+    }
+}
+
+impl Default for SlidingWindow {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -364,6 +570,92 @@ mod tests {
         h.record(SimDuration::from_secs(10_000));
         assert_eq!(h.count(), 2);
         assert!(h.quantile(0.9) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn histogram_single_sample_quantiles_are_the_sample() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_millis(7));
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), SimDuration::from_millis(7), "q={q}");
+        }
+        assert_eq!(h.min(), SimDuration::from_millis(7));
+        assert_eq!(h.max(), SimDuration::from_millis(7));
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(SimDuration::from_millis(3));
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.quantile(0.5), before.quantile(0.5));
+        let mut empty = Histogram::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.quantile(1.0), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn sliding_window_rotates_out_old_slots() {
+        let mut w = SlidingWindow::with_geometry(SimDuration::from_secs(1), 10);
+        w.record_ok(SimTime::from_secs(0), SimDuration::from_millis(1));
+        w.record_err(SimTime::from_secs(1));
+        // Both visible over a 10s lookback from t=2.
+        let s = w.stats(SimTime::from_secs(2), SimDuration::from_secs(10));
+        assert_eq!((s.completed, s.errors), (1, 1));
+        // A 1s lookback from t=5 sees nothing.
+        let s = w.stats(SimTime::from_secs(5), SimDuration::from_secs(1));
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.error_fraction(), 0.0);
+        // Advancing the head 10+ slots reclaims the old epochs.
+        w.record_ok(SimTime::from_secs(30), SimDuration::from_millis(2));
+        let s = w.stats(SimTime::from_secs(30), SimDuration::from_secs(60));
+        assert_eq!((s.completed, s.errors), (1, 0));
+        assert_eq!(s.quantile(1.0), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn sliding_window_drops_events_older_than_span() {
+        let mut w = SlidingWindow::with_geometry(SimDuration::from_secs(1), 4);
+        w.record_ok(SimTime::from_secs(100), SimDuration::from_millis(1));
+        // t=50 is far behind the head: dropped, not recorded into a
+        // live slot.
+        w.record_ok(SimTime::from_secs(50), SimDuration::from_millis(9));
+        let s = w.stats(SimTime::from_secs(100), SimDuration::from_secs(4));
+        assert_eq!(s.completed, 1);
+        // Slightly-behind events still land (same ring span).
+        w.record_ok(SimTime::from_secs(99), SimDuration::from_millis(3));
+        let s = w.stats(SimTime::from_secs(100), SimDuration::from_secs(4));
+        assert_eq!(s.completed, 2);
+    }
+
+    #[test]
+    fn sliding_window_long_idle_gap_is_one_ring_walk() {
+        let mut w = SlidingWindow::with_geometry(SimDuration::from_secs(1), 8);
+        w.record_ok(SimTime::from_secs(1), SimDuration::from_millis(1));
+        // An hour-long gap must not iterate 3600 epochs (capped walk)
+        // and must fully clear the ring.
+        w.record_ok(SimTime::from_secs(3600), SimDuration::from_millis(2));
+        let s = w.stats(SimTime::from_secs(3600), SimDuration::from_secs(3600));
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.quantile(1.0), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn sliding_window_lookbacks_nest() {
+        let mut w = SlidingWindow::new(); // 5s × 60
+        for i in 0..12u64 {
+            w.record_ok(SimTime::from_secs(i * 10), SimDuration::from_millis(i + 1));
+        }
+        let now = SimTime::from_secs(110);
+        let fast = w.stats(now, SimDuration::from_secs(10));
+        let mid = w.stats(now, SimDuration::from_secs(60));
+        let slow = w.stats(now, SimDuration::from_secs(300));
+        assert!(fast.completed <= mid.completed);
+        assert!(mid.completed <= slow.completed);
+        assert_eq!(slow.completed, 12);
     }
 
     #[test]

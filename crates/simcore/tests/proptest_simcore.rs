@@ -1,8 +1,18 @@
-//! Property-based tests for the DES kernel and queueing models.
+//! Property-based tests for the DES kernel, queueing models, and
+//! measurement instruments.
 
+use oprc_simcore::metrics::{Histogram, SlidingWindow};
 use oprc_simcore::queueing::{MultiServerQueue, TokenBucket};
 use oprc_simcore::{Scheduler, SimDuration, SimTime, SimWorld, Simulation};
 use proptest::prelude::*;
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &us in samples {
+        h.record(SimDuration::from_micros(us));
+    }
+    h
+}
 
 /// A world that records its dispatch order.
 struct Recorder {
@@ -101,6 +111,113 @@ proptest! {
         // (total - burst)/rate.
         let min = (total_cost - burst) / rate;
         prop_assert!(last >= min - 1e-9, "last grant {last} beats rate bound {min}");
+    }
+
+    /// Quantiles are monotone in q: q1 ≤ q2 ⇒ quantile(q1) ≤
+    /// quantile(q2), for any sample set (empty included) and any pair
+    /// of probes.
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        samples in prop::collection::vec(0u64..10_000_000, 0..200),
+        mut probes in prop::collection::vec(0.0f64..1.0, 2..8),
+    ) {
+        let h = hist_of(&samples);
+        probes.push(1.0);
+        probes.sort_by(f64::total_cmp);
+        for w in probes.windows(2) {
+            prop_assert!(
+                h.quantile(w[0]) <= h.quantile(w[1]),
+                "quantile({}) > quantile({})",
+                w[0],
+                w[1]
+            );
+        }
+        // Empty histogram: every quantile is zero.
+        let empty = Histogram::new();
+        for &q in &probes {
+            prop_assert_eq!(empty.quantile(q), SimDuration::ZERO);
+        }
+    }
+
+    /// A single-sample histogram answers every quantile with that
+    /// sample, and the sample bounds hold: min ≤ quantile(q) ≤ max.
+    #[test]
+    fn histogram_single_sample_and_bounds(
+        sample in 0u64..10_000_000,
+        samples in prop::collection::vec(1u64..10_000_000, 1..100),
+        q in 0.0f64..1.0,
+    ) {
+        let one = hist_of(&[sample]);
+        prop_assert_eq!(one.quantile(q), SimDuration::from_micros(sample));
+        let h = hist_of(&samples);
+        prop_assert!(h.quantile(q) >= h.min());
+        prop_assert!(h.quantile(q) <= h.max());
+    }
+
+    /// merge is associative and order-independent: (a∪b)∪c ≡ a∪(b∪c)
+    /// for counts, sums, and every quantile.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in prop::collection::vec(0u64..10_000_000, 0..60),
+        b in prop::collection::vec(0u64..10_000_000, 0..60),
+        c in prop::collection::vec(0u64..10_000_000, 0..60),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.mean(), right.mean());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(left.quantile(q), right.quantile(q), "q={}", q);
+        }
+        // Merging everything equals recording everything.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        let direct = hist_of(&all);
+        prop_assert_eq!(left.count(), direct.count());
+        for q in [0.5, 0.99] {
+            prop_assert_eq!(left.quantile(q), direct.quantile(q), "q={}", q);
+        }
+    }
+
+    /// Sliding-window stats over the full ring span equal the direct
+    /// aggregate of every in-span event, for any event schedule.
+    #[test]
+    fn sliding_window_matches_direct_aggregate(
+        events in prop::collection::vec((0u64..280, 1u64..50_000, 0u32..2), 1..120),
+    ) {
+        let mut w = SlidingWindow::new(); // 5s × 60 = 300s span
+        let now = SimTime::from_secs(280);
+        let mut direct = Histogram::new();
+        let (mut ok, mut err) = (0u64, 0u64);
+        for &(at, us, flag) in &events {
+            let t = SimTime::from_secs(at);
+            if flag == 0 {
+                w.record_ok(t, SimDuration::from_micros(us));
+                direct.record(SimDuration::from_micros(us));
+                ok += 1;
+            } else {
+                w.record_err(t);
+                err += 1;
+            }
+        }
+        let s = w.stats(now, SimDuration::from_secs(300));
+        prop_assert_eq!(s.completed, ok);
+        prop_assert_eq!(s.errors, err);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            prop_assert_eq!(s.quantile(q), direct.quantile(q), "q={}", q);
+        }
+        // Narrower lookbacks are subsets.
+        let fast = w.stats(now, SimDuration::from_secs(10));
+        prop_assert!(fast.total() <= s.total());
     }
 
     /// run_until never dispatches events beyond the bound, and resuming

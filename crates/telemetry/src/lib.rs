@@ -21,13 +21,17 @@
 //!
 //! Exporters: Chrome `chrome://tracing` JSON arrays
 //! ([`TraceSink::export_chrome`]) and compact JSONL
-//! ([`TraceSink::export_jsonl`]).
+//! ([`TraceSink::export_jsonl`]). [`Flamegraph`] folds finished span
+//! trees into a deterministic self-time profile (collapsed-stack text
+//! or JSON) for `oprc-ctl profile`.
 
 mod export;
+mod profile;
 mod sink;
 mod span;
 
 pub use export::{render_tree, to_chrome, to_jsonl};
+pub use profile::{Flamegraph, FrameStat, StackStat};
 pub use sink::{ClockMode, TelemetryConfig, TelemetryLevel, TraceSink};
 pub use span::{Span, SpanEvent, TraceContext};
 

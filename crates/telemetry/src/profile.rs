@@ -1,0 +1,312 @@
+//! Span-derived continuous profiling: folds finished span trees into a
+//! deterministic flamegraph.
+//!
+//! Every finished trace is a tree (parent links inside the ring). The
+//! fold walks each tree root-down, attributing to every span its
+//! **self time** — duration minus the duration of its children — under
+//! a stack path of span names. Invoke roots are labelled
+//! `Class::function` from their span attributes, so the classic
+//! `route → state.load → engine.execute → state.commit` cost breakdown
+//! is visible per deployed function without external tooling.
+//!
+//! Output is deterministic for a given span set: frames and stacks are
+//! BTreeMap-aggregated (name order), so two identical runs under a
+//! logical clock export byte-identical collapsed text and JSON.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use oprc_value::Value;
+
+use crate::span::Span;
+
+/// Per-frame (span name) aggregate across all stacks it appears in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameStat {
+    /// Frame label: the span name, or `Class::function` for roots that
+    /// carry class/function attributes.
+    pub name: String,
+    /// How many spans folded into this frame.
+    pub count: u64,
+    /// Nanoseconds spent in this frame excluding its children.
+    pub self_ns: u64,
+    /// Nanoseconds spent in this frame including its children.
+    pub total_ns: u64,
+}
+
+/// One collapsed stack: a `;`-joined root-to-leaf path with the self
+/// time accumulated at its leaf frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackStat {
+    /// `root;child;...;leaf` path of frame labels.
+    pub stack: String,
+    /// Spans that folded into this exact path.
+    pub count: u64,
+    /// Self nanoseconds accumulated at the path's leaf.
+    pub self_ns: u64,
+}
+
+/// A folded flamegraph: frame and stack aggregates in deterministic
+/// (lexicographic) order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Flamegraph {
+    /// Per-frame aggregates, sorted by frame name.
+    pub frames: Vec<FrameStat>,
+    /// Collapsed stacks, sorted by path.
+    pub stacks: Vec<StackStat>,
+}
+
+fn root_label(span: &Span) -> String {
+    match (
+        span.attrs["class"].as_str(),
+        span.attrs["function"].as_str(),
+    ) {
+        (Some(class), Some(function)) => format!("{class}::{function}"),
+        _ => span.name.clone(),
+    }
+}
+
+impl Flamegraph {
+    /// Folds every trace tree in `spans`.
+    pub fn from_spans(spans: &[Span]) -> Flamegraph {
+        Self::from_spans_filtered(spans, None)
+    }
+
+    /// Folds only the trace trees whose root span carries
+    /// `attrs.class == class` (all trees when `class` is `None`).
+    /// Orphan spans whose parent was evicted from the ring are treated
+    /// as roots of their remaining subtree.
+    pub fn from_spans_filtered(spans: &[Span], class: Option<&str>) -> Flamegraph {
+        let mut sorted: Vec<&Span> = spans.iter().collect();
+        sorted.sort_by_key(|s| s.id);
+        let present: BTreeMap<u64, &Span> = sorted.iter().map(|s| (s.id, *s)).collect();
+        let mut children: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        let mut roots = Vec::new();
+        for span in &sorted {
+            match span.parent.filter(|p| present.contains_key(p)) {
+                Some(p) => children.entry(p).or_default().push(span.id),
+                None => roots.push(span.id),
+            }
+        }
+        let mut frames: BTreeMap<String, (u64, u64, u64)> = BTreeMap::new();
+        let mut stacks: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for root in roots {
+            if let Some(want) = class {
+                if present[&root].attrs["class"].as_str() != Some(want) {
+                    continue;
+                }
+            }
+            // Walk the tree with an explicit stack of (span, path).
+            let mut walk: Vec<(u64, String)> = vec![(root, root_label(present[&root]))];
+            while let Some((id, path)) = walk.pop() {
+                let span = present[&id];
+                let total = span.duration_ns();
+                let kids = children.get(&id);
+                let child_ns: u64 =
+                    kids.map_or(0, |ks| ks.iter().map(|k| present[k].duration_ns()).sum());
+                let self_ns = total.saturating_sub(child_ns);
+                let label = if id == root {
+                    path.clone()
+                } else {
+                    span.name.clone()
+                };
+                let f = frames.entry(label).or_default();
+                f.0 += 1;
+                f.1 += self_ns;
+                f.2 += total;
+                let s = stacks.entry(path.clone()).or_default();
+                s.0 += 1;
+                s.1 += self_ns;
+                if let Some(ks) = kids {
+                    for k in ks {
+                        walk.push((*k, format!("{path};{}", present[k].name)));
+                    }
+                }
+            }
+        }
+        Flamegraph {
+            frames: frames
+                .into_iter()
+                .map(|(name, (count, self_ns, total_ns))| FrameStat {
+                    name,
+                    count,
+                    self_ns,
+                    total_ns,
+                })
+                .collect(),
+            stacks: stacks
+                .into_iter()
+                .map(|(stack, (count, self_ns))| StackStat {
+                    stack,
+                    count,
+                    self_ns,
+                })
+                .collect(),
+        }
+    }
+
+    /// True when no spans folded in.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Collapsed-stack text (`path weight` per line, weight = self
+    /// nanoseconds) — the format `flamegraph.pl` / speedscope ingest.
+    pub fn to_collapsed(&self) -> String {
+        let mut out = String::new();
+        for s in &self.stacks {
+            let _ = writeln!(out, "{} {}", s.stack, s.self_ns);
+        }
+        out
+    }
+
+    /// JSON form: `{"frames": [...], "stacks": [...]}` with
+    /// BTreeMap-ordered keys — byte-stable for a given span set.
+    pub fn to_value(&self) -> Value {
+        let frames: Vec<Value> = self
+            .frames
+            .iter()
+            .map(|f| {
+                let mut v = Value::object();
+                v.insert("count", f.count);
+                v.insert("name", f.name.as_str());
+                v.insert("self_ns", f.self_ns);
+                v.insert("total_ns", f.total_ns);
+                v
+            })
+            .collect();
+        let stacks: Vec<Value> = self
+            .stacks
+            .iter()
+            .map(|s| {
+                let mut v = Value::object();
+                v.insert("count", s.count);
+                v.insert("self_ns", s.self_ns);
+                v.insert("stack", s.stack.as_str());
+                v
+            })
+            .collect();
+        let mut v = Value::object();
+        v.insert("frames", frames);
+        v.insert("stacks", stacks);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use oprc_simcore::SimTime;
+
+    use super::*;
+    use crate::sink::{ClockMode, TelemetryConfig, TelemetryLevel, TraceSink};
+
+    fn sink() -> TraceSink {
+        TraceSink::new(TelemetryConfig {
+            level: TelemetryLevel::Spans,
+            clock: ClockMode::External,
+            capacity: 1024,
+        })
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        let s = sink();
+        let root = s.begin_root("invoke", SimTime::from_micros(0));
+        s.attr(root, "class", "Counter");
+        s.attr(root, "function", "incr");
+        let route = s.begin_child(root, "route", SimTime::from_micros(10));
+        s.end(route, SimTime::from_micros(20));
+        let exec = s.begin_child(root, "engine.execute", SimTime::from_micros(20));
+        s.end(exec, SimTime::from_micros(90));
+        s.end(root, SimTime::from_micros(100));
+        let fg = Flamegraph::from_spans(&s.finished());
+        let by_name: std::collections::BTreeMap<&str, &FrameStat> =
+            fg.frames.iter().map(|f| (f.name.as_str(), f)).collect();
+        // Root total 100µs, children 10+70 → self 20µs; labelled by
+        // class::function.
+        let root = by_name["Counter::incr"];
+        assert_eq!(root.total_ns, 100_000);
+        assert_eq!(root.self_ns, 20_000);
+        assert_eq!(by_name["engine.execute"].self_ns, 70_000);
+        assert_eq!(by_name["route"].self_ns, 10_000);
+        // Stacks carry root-to-leaf paths.
+        let paths: Vec<&str> = fg.stacks.iter().map(|s| s.stack.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "Counter::incr",
+                "Counter::incr;engine.execute",
+                "Counter::incr;route"
+            ]
+        );
+    }
+
+    #[test]
+    fn class_filter_selects_trace_trees() {
+        let s = sink();
+        for class in ["A", "B", "A"] {
+            let root = s.begin_root("invoke", SimTime::ZERO);
+            s.attr(root, "class", class);
+            s.attr(root, "function", "f");
+            s.end(root, SimTime::from_micros(10));
+        }
+        let all = Flamegraph::from_spans(&s.finished());
+        assert_eq!(all.frames.len(), 2);
+        let only_a = Flamegraph::from_spans_filtered(&s.finished(), Some("A"));
+        assert_eq!(only_a.frames.len(), 1);
+        assert_eq!(only_a.frames[0].name, "A::f");
+        assert_eq!(only_a.frames[0].count, 2);
+        assert!(Flamegraph::from_spans_filtered(&s.finished(), Some("C")).is_empty());
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let run = || {
+            let s = sink();
+            let root = s.begin_root("invoke", SimTime::ZERO);
+            s.attr(root, "class", "C");
+            s.attr(root, "function", "f");
+            let child = s.begin_child(root, "state.load", SimTime::from_micros(1));
+            s.end(child, SimTime::from_micros(3));
+            s.end(root, SimTime::from_micros(5));
+            let fg = Flamegraph::from_spans(&s.finished());
+            (
+                fg.to_collapsed(),
+                oprc_value::json::to_string(&fg.to_value()),
+            )
+        };
+        let (c1, j1) = run();
+        let (c2, j2) = run();
+        assert_eq!(c1, c2);
+        assert_eq!(j1, j2);
+        assert!(c1.contains("C::f;state.load 2000"));
+        let doc = oprc_value::json::parse(&j1).unwrap();
+        assert_eq!(doc["frames"][0]["name"].as_str(), Some("C::f"));
+        assert_eq!(doc["stacks"][1]["self_ns"].as_u64(), Some(2_000));
+    }
+
+    #[test]
+    fn orphans_fold_as_roots() {
+        let s = sink();
+        // A child whose parent never finishes (still active) folds as
+        // a root of its own.
+        let root = s.begin_root("invoke", SimTime::ZERO);
+        let child = s.begin_child(root, "route", SimTime::ZERO);
+        s.end(child, SimTime::from_micros(4));
+        let fg = Flamegraph::from_spans(&s.finished());
+        assert_eq!(fg.frames.len(), 1);
+        assert_eq!(fg.frames[0].name, "route");
+        assert_eq!(fg.frames[0].self_ns, 4_000);
+    }
+
+    #[test]
+    fn empty_input_folds_empty() {
+        let fg = Flamegraph::from_spans(&[]);
+        assert!(fg.is_empty());
+        assert_eq!(fg.to_collapsed(), "");
+        assert_eq!(
+            oprc_value::json::to_string(&fg.to_value()),
+            r#"{"frames":[],"stacks":[]}"#
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Integration: the SLO engine's multi-window burn-rate alerts through
+//! a full incident lifecycle — healthy baseline, chaos error storm
+//! driving the class into fast-burn, and recovery once the storm stops.
+//!
+//! Uses the platform's virtual clock so window rotation is driven
+//! explicitly: no sleeps, deterministic on any machine.
+
+use oprc_chaos::{FaultPlan, InjectionSite};
+use oprc_core::invocation::TaskResult;
+use oprc_core::slo::{FAST_BURN_THRESHOLD, SLOW_BURN_THRESHOLD};
+use oprc_platform::embedded::{EmbeddedPlatform, SloStatus};
+use oprc_simcore::SimDuration;
+use oprc_telemetry::TelemetryConfig;
+use oprc_value::vjson;
+
+/// A virtual-clock platform with one class on the 0.999 availability
+/// tier (error budget 0.001 — a handful of window errors is already
+/// many multiples of budget).
+fn slo_platform() -> EmbeddedPlatform {
+    let mut p = EmbeddedPlatform::new();
+    p.enable_virtual_clock();
+    p.register_function("img/pay", |task| {
+        let n = task.state_in["count"].as_i64().unwrap_or(0) + 1;
+        Ok(TaskResult::output(n).with_patch(vjson!({"count": n})))
+    });
+    p.deploy_yaml(
+        "
+classes:
+  - name: Pay
+    keySpecs: [count]
+    qos:
+      availability: 0.999
+    functions:
+      - name: charge
+        image: img/pay
+",
+    )
+    .expect("pay class deploys");
+    p
+}
+
+fn status_of(p: &EmbeddedPlatform, class: &str) -> SloStatus {
+    p.slo_report()
+        .into_iter()
+        .find(|s| s.class == class)
+        .expect("class has an SLO entry")
+}
+
+#[test]
+fn error_storm_burns_fast_and_recovers_after_chaos_off() {
+    let mut p = slo_platform();
+    p.enable_telemetry(TelemetryConfig::default());
+    let id = p
+        .create_object("Pay", vjson!({"count": 0}))
+        .expect("creates");
+
+    // Healthy baseline: 60 successes over 30s of virtual time.
+    for _ in 0..60 {
+        p.invoke(id, "charge", vec![]).expect("baseline invoke");
+        p.advance_clock(SimDuration::from_millis(500));
+    }
+    let s = status_of(&p, "Pay");
+    assert!(s.active, "slow window has traffic");
+    assert_eq!(s.status, "ok");
+    assert!(s.burn_fast < FAST_BURN_THRESHOLD);
+
+    // Error storm: every engine execution faults. The 0.999 tier's
+    // retries all fail, so each invoke lands as a window error.
+    p.enable_chaos(FaultPlan::new(7).rate(InjectionSite::EngineExecute, 1.0));
+    let mut storm_errors = 0;
+    for _ in 0..20 {
+        if p.invoke(id, "charge", vec![]).is_err() {
+            storm_errors += 1;
+        }
+        p.advance_clock(SimDuration::from_millis(200));
+        p.advance_chaos_clock(SimDuration::from_millis(200));
+    }
+    assert!(storm_errors > 0, "the storm produced failures");
+    p.tick();
+
+    // Mid-incident: both the 10s and 5m windows see error fractions at
+    // many multiples of the 0.001 budget — paging-speed burn.
+    let s = status_of(&p, "Pay");
+    assert_eq!(
+        s.status, "fast-burn",
+        "burn {} / {}",
+        s.burn_fast, s.burn_slow
+    );
+    assert!(s.burn_fast >= FAST_BURN_THRESHOLD);
+    assert!(s.burn_slow >= FAST_BURN_THRESHOLD);
+
+    // The tick emitted a burn-rate instant on the trace stream.
+    let spans = p.telemetry().finished();
+    let burn = spans
+        .iter()
+        .find(|sp| sp.name == "slo.burn")
+        .expect("tick emits slo.burn instants");
+    assert_eq!(burn.attrs["class"].as_str(), Some("Pay"));
+    assert_eq!(burn.attrs["status"].as_str(), Some("fast-burn"));
+
+    // Storm ends. Let the fast window rotate past the incident and the
+    // breaker cool down, then resume successful traffic.
+    p.disable_chaos();
+    p.advance_clock(SimDuration::from_secs(15));
+    p.advance_chaos_clock(SimDuration::from_secs(120));
+    for _ in 0..20 {
+        p.invoke(id, "charge", vec![]).expect("recovery invoke");
+        p.advance_clock(SimDuration::from_millis(100));
+    }
+    p.tick();
+
+    // Fast window is clean again so paging stops, but the 5m window
+    // still remembers the incident: slow burn, not fast.
+    let s = status_of(&p, "Pay");
+    assert_ne!(s.status, "fast-burn", "paging must stop after recovery");
+    assert!(s.burn_fast < FAST_BURN_THRESHOLD, "fast window is clean");
+    assert_eq!(s.status, "slow-burn", "budget damage is still visible");
+    assert!(s.burn_slow >= SLOW_BURN_THRESHOLD);
+
+    // Once the incident ages out of the slow window entirely, the
+    // class returns to ok.
+    p.advance_clock(SimDuration::from_secs(301));
+    for _ in 0..10 {
+        p.invoke(id, "charge", vec![]).expect("steady invoke");
+        p.advance_clock(SimDuration::from_millis(100));
+    }
+    let s = status_of(&p, "Pay");
+    assert_eq!(s.status, "ok");
+    assert!(s.burn_slow < SLOW_BURN_THRESHOLD);
+}
+
+#[test]
+fn slo_entries_ride_the_plan_table() {
+    let p = slo_platform();
+    // The SLO is derived at deploy time: it is visible before any
+    // traffic, inactive until the slow window sees an event.
+    let s = status_of(&p, "Pay");
+    assert!(!s.active);
+    assert!((s.availability - 0.999).abs() < 1e-9);
+    assert!((s.error_budget - 0.001).abs() < 1e-9);
+    assert_eq!(s.max_p99_ms, None);
+    assert_eq!(s.status, "ok");
+    assert!(s.latency_ok);
+}

@@ -5,6 +5,7 @@
 
 use bytes::Bytes;
 use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_platform::monitoring::MID_LOOKBACK;
 use oprc_platform::PlatformError;
 use oprc_tests::counter_platform;
 use oprc_value::vjson;
@@ -132,7 +133,22 @@ fn metrics_observe_the_tutorial_session() {
         p.invoke(id, "incr", vec![]).unwrap();
     }
     assert_eq!(p.metrics().completed("Counter"), 10);
-    let m = p.metrics().drain_window("Counter", 0.5).unwrap();
+    let m = p
+        .metrics()
+        .observe("Counter", p.now(), MID_LOOKBACK, 0.5)
+        .unwrap();
     assert!(m.throughput > 0.0);
     assert_eq!(m.error_rate, 0.0);
+    // Windows are non-destructive: a second observation sees the same
+    // completions, and the sliding-window view agrees.
+    assert!(p
+        .metrics()
+        .observe("Counter", p.now(), MID_LOOKBACK, 0.5)
+        .is_some());
+    let w = p
+        .metrics()
+        .class_window("Counter", p.now(), MID_LOOKBACK)
+        .unwrap();
+    assert_eq!(w.completed, 10);
+    assert_eq!(w.error_fraction, 0.0);
 }
