@@ -33,4 +33,7 @@ cargo run -q --release -p oprc-bench --bin obs_smoke -- --quick --check
 echo "==> invoke throughput gate (workers x shards sweep; core-count-aware speedup gate)"
 cargo run -q --release -p oprc-bench --bin invoke_throughput -- --quick --check
 
+echo "==> scenario soak gate (Zipf/flash-crowd/multi-tenant invariants + fairness comparisons)"
+cargo run -q --release -p oprc-bench --bin scenario_soak -- --quick --check
+
 echo "==> CI green"

@@ -15,6 +15,8 @@ use std::io::{BufRead, Write};
 
 use oprc_platform::embedded::EmbeddedPlatform;
 use oprc_platform::gateway::OprcCtl;
+use oprc_value::json;
+use oprc_workloads::scenario::{builtin_scenarios, find_scenario, run_scenario};
 
 fn build_ctl() -> OprcCtl {
     let mut platform = EmbeddedPlatform::new();
@@ -26,7 +28,129 @@ fn build_ctl() -> OprcCtl {
     OprcCtl::new(platform)
 }
 
+/// `scenarios list | scenarios run <name> [--seed N] [--json]`.
+///
+/// Scenarios live in the workloads crate (which depends on the
+/// platform, not the other way around), so the command is dispatched
+/// here rather than in the gateway. Each run builds its own
+/// virtual-clock platform; the REPL's platform is untouched.
+fn scenarios_cmd(rest: &str) -> bool {
+    const USAGE: &str = "scenarios list | scenarios run <name> [--seed N] [--json]";
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    match parts.first().copied() {
+        None | Some("list") => {
+            println!(
+                "{:<20} {:<12} {:>8} {:>8}  TENANTS",
+                "NAME", "CURVE", "SEED", "CHAOS"
+            );
+            for spec in builtin_scenarios() {
+                let curve = match spec.curve {
+                    oprc_workloads::scenario::RateCurve::Constant { .. } => "constant",
+                    oprc_workloads::scenario::RateCurve::Diurnal { .. } => "diurnal",
+                    oprc_workloads::scenario::RateCurve::FlashCrowd { .. } => "flash",
+                };
+                println!(
+                    "{:<20} {:<12} {:>8} {:>8.2}  {}",
+                    spec.name,
+                    curve,
+                    spec.seed,
+                    spec.chaos_rate,
+                    spec.tenants
+                        .iter()
+                        .map(|t| t.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+            }
+            true
+        }
+        Some("run") => {
+            let Some(name) = parts.get(1).filter(|n| !n.starts_with("--")) else {
+                eprintln!("usage: {USAGE}");
+                return false;
+            };
+            let Some(mut spec) = find_scenario(name) else {
+                eprintln!("error: unknown scenario '{name}' (see 'scenarios list')");
+                return false;
+            };
+            let mut as_json = false;
+            let mut i = 2;
+            while i < parts.len() {
+                match parts[i] {
+                    "--json" => {
+                        as_json = true;
+                        i += 1;
+                    }
+                    "--seed" if i + 1 < parts.len() => {
+                        match parts[i + 1].parse::<u64>() {
+                            Ok(s) => spec.seed = s,
+                            Err(_) => {
+                                eprintln!("usage: {USAGE}");
+                                return false;
+                            }
+                        }
+                        i += 2;
+                    }
+                    _ => {
+                        eprintln!("usage: {USAGE}");
+                        return false;
+                    }
+                }
+            }
+            let report = run_scenario(&spec);
+            if as_json {
+                println!("{}", json::to_string_pretty(&report.to_value()));
+            } else {
+                println!(
+                    "{}: seed {} — {} arrivals, {} completed, {} errors, {} rejected",
+                    report.name,
+                    report.seed,
+                    report.invocations,
+                    report.completed,
+                    report.errors,
+                    report.rejected
+                );
+                println!(
+                    "  p50 {:.2}ms  p99 {:.2}ms  throughput {:.1}/s  fairness {:.3}  hot-shard share {:.3}",
+                    report.p50_ms,
+                    report.p99_ms,
+                    report.throughput,
+                    report.fairness,
+                    report.shard_max_share
+                );
+                for (tenant, n) in &report.tenant_completed {
+                    println!("  tenant {tenant}: {n} completed");
+                }
+                if report.passed() {
+                    println!(
+                        "  invariants: all held (telemetry digest {:016x})",
+                        report.telemetry_digest
+                    );
+                } else {
+                    for f in &report.invariant_failures {
+                        println!("  INVARIANT VIOLATED: {f}");
+                    }
+                }
+            }
+            report.passed()
+        }
+        _ => {
+            eprintln!("usage: {USAGE}");
+            false
+        }
+    }
+}
+
 fn run_line(ctl: &mut OprcCtl, line: &str) -> bool {
+    // `scenarios` is a CLI-level command (the scenario suite drives its
+    // own platform), not a gateway command.
+    let trimmed = line.trim();
+    if trimmed == "scenarios" {
+        return scenarios_cmd("");
+    }
+    if let Some(rest) = trimmed.strip_prefix("scenarios ") {
+        return scenarios_cmd(rest.trim());
+    }
     match ctl.execute(line) {
         Ok(out) => {
             if !out.text.is_empty() {

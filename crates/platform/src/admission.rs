@@ -1,0 +1,262 @@
+//! Per-tenant admission control: a token bucket at the gateway edge.
+//!
+//! Multi-tenant fairness needs an enforcement point *before* the
+//! invocation plane: a tenant flooding one hot shard must burn its own
+//! request budget, not everyone else's. [`AdmissionControl`] keeps one
+//! [token bucket] per tenant — `rate` tokens/second of platform time
+//! ([`crate::embedded::EmbeddedPlatform::now`], so refill is fully
+//! deterministic under the virtual clock) up to a `burst` cap — and
+//! [`EmbeddedPlatform::invoke_as`](crate::embedded::EmbeddedPlatform::invoke_as)
+//! charges one token per *logical* invocation. A dataflow admitted at
+//! the edge runs all its steps even if the bucket empties mid-flight:
+//! admission is an edge decision, never an execution-plane one.
+//!
+//! [token bucket]: https://en.wikipedia.org/wiki/Token_bucket
+
+use std::collections::BTreeMap;
+
+use oprc_simcore::SimTime;
+
+use crate::lockorder::{OrderedMutex, Tier};
+
+/// Configuration for [`AdmissionControl`]: the default per-tenant
+/// budget plus per-tenant overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionConfig {
+    /// Tokens per second of platform time granted to each tenant.
+    pub default_rate: f64,
+    /// Bucket capacity: the largest burst a tenant can spend at once.
+    pub default_burst: f64,
+    /// `(tenant, rate, burst)` overrides applied before the defaults.
+    pub tenant_overrides: Vec<(String, f64, f64)>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            default_rate: 100.0,
+            default_burst: 20.0,
+            tenant_overrides: Vec::new(),
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// A config with the given default rate/burst and no overrides.
+    pub fn new(default_rate: f64, default_burst: f64) -> Self {
+        AdmissionConfig {
+            default_rate,
+            default_burst,
+            tenant_overrides: Vec::new(),
+        }
+    }
+
+    /// Adds a per-tenant `(rate, burst)` override (builder style).
+    #[must_use]
+    pub fn tenant(mut self, name: impl Into<String>, rate: f64, burst: f64) -> Self {
+        self.tenant_overrides.push((name.into(), rate, burst));
+        self
+    }
+
+    fn limits_for(&self, tenant: &str) -> (f64, f64) {
+        self.tenant_overrides
+            .iter()
+            .find(|(t, _, _)| t == tenant)
+            .map_or((self.default_rate, self.default_burst), |(_, r, b)| {
+                (*r, *b)
+            })
+    }
+}
+
+/// One tenant's bucket: tokens refill at `rate`/s up to `burst`.
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    rate: f64,
+    burst: f64,
+    last_refill: SimTime,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl Bucket {
+    fn refill(&mut self, now: SimTime) {
+        if now > self.last_refill {
+            let dt = (now - self.last_refill).as_secs_f64();
+            self.tokens = (self.tokens + self.rate * dt).min(self.burst);
+        }
+        // Never rewind: a stale `now` (clock races in wall mode) must
+        // not drain the refill anchor forward of real progress.
+        self.last_refill = self.last_refill.max(now);
+    }
+}
+
+/// Point-in-time view of one tenant's bucket (for `admission status`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantAdmissionStats {
+    /// Tenant name.
+    pub tenant: String,
+    /// Requests admitted since the bucket was created.
+    pub admitted: u64,
+    /// Requests rejected since the bucket was created.
+    pub rejected: u64,
+    /// Tokens currently available (after the last refill).
+    pub tokens: f64,
+    /// Refill rate (tokens per second).
+    pub rate: f64,
+    /// Bucket capacity.
+    pub burst: f64,
+}
+
+/// The per-tenant token-bucket admission controller.
+///
+/// Buckets are created lazily on a tenant's first request, pre-filled
+/// to their burst capacity (a fresh tenant can immediately spend its
+/// full burst). All state lives behind one leaf-tier lock: admission is
+/// checked before any control-plane or shard lock is taken, and the
+/// lock is released before the invocation proceeds.
+#[derive(Debug)]
+pub struct AdmissionControl {
+    config: AdmissionConfig,
+    buckets: OrderedMutex<BTreeMap<String, Bucket>>,
+}
+
+impl AdmissionControl {
+    /// Creates a controller from `config`.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionControl {
+            config,
+            buckets: OrderedMutex::new(Tier::Leaf, BTreeMap::new()),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Attempts to admit one request from `tenant` at platform time
+    /// `now`. Refills the tenant's bucket from elapsed time, then
+    /// consumes one token; returns `false` (and counts the rejection)
+    /// when no token is available.
+    pub fn admit(&self, tenant: &str, now: SimTime) -> bool {
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.entry(tenant.to_string()).or_insert_with(|| {
+            let (rate, burst) = self.config.limits_for(tenant);
+            Bucket {
+                tokens: burst,
+                rate,
+                burst,
+                last_refill: now,
+                admitted: 0,
+                rejected: 0,
+            }
+        });
+        bucket.refill(now);
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            bucket.admitted += 1;
+            true
+        } else {
+            bucket.rejected += 1;
+            false
+        }
+    }
+
+    /// Tokens currently available for `tenant` after refilling at
+    /// `now`, or `None` if the tenant has never sent a request.
+    pub fn tokens(&self, tenant: &str, now: SimTime) -> Option<f64> {
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.get_mut(tenant)?;
+        bucket.refill(now);
+        Some(bucket.tokens)
+    }
+
+    /// Per-tenant bucket statistics, sorted by tenant name. Buckets are
+    /// refilled to `now` first so `tokens` reflects the present.
+    pub fn stats(&self, now: SimTime) -> Vec<TenantAdmissionStats> {
+        let mut buckets = self.buckets.lock();
+        buckets
+            .iter_mut()
+            .map(|(tenant, b)| {
+                b.refill(now);
+                TenantAdmissionStats {
+                    tenant: tenant.clone(),
+                    admitted: b.admitted,
+                    rejected: b.rejected,
+                    tokens: b.tokens,
+                    rate: b.rate,
+                    burst: b.burst,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oprc_simcore::SimDuration;
+
+    #[test]
+    fn burst_then_rejection_then_refill() {
+        let ctl = AdmissionControl::new(AdmissionConfig::new(2.0, 3.0));
+        let t0 = SimTime::from_secs(1);
+        // A fresh bucket holds its full burst.
+        assert!(ctl.admit("a", t0));
+        assert!(ctl.admit("a", t0));
+        assert!(ctl.admit("a", t0));
+        assert!(!ctl.admit("a", t0), "burst spent, same-instant reject");
+        // 1 second at 2 tokens/s refills 2 tokens.
+        let t1 = t0 + SimDuration::from_secs(1);
+        assert!(ctl.admit("a", t1));
+        assert!(ctl.admit("a", t1));
+        assert!(!ctl.admit("a", t1));
+        let s = &ctl.stats(t1)[0];
+        assert_eq!((s.admitted, s.rejected), (5, 2));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let ctl = AdmissionControl::new(AdmissionConfig::new(100.0, 2.0));
+        let t0 = SimTime::from_secs(1);
+        assert!(ctl.admit("a", t0));
+        // A long idle period must not accumulate past the burst cap.
+        let later = t0 + SimDuration::from_secs(3600);
+        assert_eq!(ctl.tokens("a", later), Some(2.0));
+    }
+
+    #[test]
+    fn tenants_are_isolated_and_overridable() {
+        let cfg = AdmissionConfig::new(10.0, 1.0).tenant("vip", 10.0, 5.0);
+        let ctl = AdmissionControl::new(cfg);
+        let t0 = SimTime::ZERO;
+        assert!(ctl.admit("small", t0));
+        assert!(!ctl.admit("small", t0), "default burst of 1 is spent");
+        for _ in 0..5 {
+            assert!(ctl.admit("vip", t0), "override burst of 5");
+        }
+        assert!(!ctl.admit("vip", t0));
+        // One tenant's exhaustion never touches another's bucket.
+        let stats = ctl.stats(t0);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].tenant, "small");
+        assert_eq!(stats[1].tenant, "vip");
+    }
+
+    #[test]
+    fn clock_rewind_is_harmless() {
+        let ctl = AdmissionControl::new(AdmissionConfig::new(1.0, 1.0));
+        assert!(ctl.admit("a", SimTime::from_secs(10)));
+        // An earlier timestamp neither refills nor panics.
+        assert!(!ctl.admit("a", SimTime::from_secs(5)));
+        assert!(ctl.admit("a", SimTime::from_secs(11)));
+    }
+
+    #[test]
+    fn unknown_tenant_has_no_tokens_view() {
+        let ctl = AdmissionControl::new(AdmissionConfig::default());
+        assert_eq!(ctl.tokens("ghost", SimTime::ZERO), None);
+        assert!(ctl.stats(SimTime::ZERO).is_empty());
+    }
+}

@@ -65,6 +65,7 @@ use oprc_store::{Dht, DhtConfig, DhtNodeId, ObjectMeta, StoredObject};
 use oprc_telemetry::{TelemetryConfig, TraceContext, TraceSink};
 use oprc_value::{merge, vjson, Snapshot, Value};
 
+use crate::admission::{AdmissionConfig, AdmissionControl};
 use crate::deployer::{self, ClassRuntimeSpec};
 use crate::lockorder::{OrderedMutex, OrderedRwLock, Tier};
 use crate::monitoring::{MetricsHub, FAST_LOOKBACK, MID_LOOKBACK, SLOW_LOOKBACK};
@@ -330,6 +331,10 @@ pub struct EmbeddedPlatform {
     telemetry: TraceSink,
     /// Fault injector (disabled unless a chaos plan is enabled).
     chaos: FaultInjector,
+    /// Per-tenant admission control (off unless enabled): the token
+    /// buckets [`EmbeddedPlatform::invoke_as`] charges before touching
+    /// any control-plane or shard lock.
+    admission: Option<AdmissionControl>,
     /// Images that have executed at least once (cold-start attribution
     /// on `engine.execute` spans; tracked only while telemetry is on).
     warmed: OrderedMutex<BTreeSet<String>>,
@@ -365,8 +370,30 @@ pub struct EmbeddedPlatform {
     /// Manual offset (nanos) added to [`EmbeddedPlatform::now`]; the
     /// *whole* clock in virtual mode. Lets tests and deterministic
     /// benches advance platform time (rotate metric windows, age SLO
-    /// burn) without sleeping.
-    clock_offset: AtomicU64,
+    /// burn) without sleeping. Behind an `Arc` so
+    /// [`EmbeddedPlatform::clock_handle`] can hand function
+    /// implementations a way to model service time.
+    clock_offset: Arc<AtomicU64>,
+}
+
+/// A cloneable handle onto the platform's manual clock offset.
+///
+/// Function implementations cannot borrow the platform (the platform
+/// owns them), but a deterministic service-time model needs to advance
+/// platform time from *inside* an invocation so latencies are non-zero
+/// under [`EmbeddedPlatform::enable_virtual_clock`]. Capture a handle
+/// in the closure and call [`ClockHandle::advance`] per call.
+#[derive(Debug, Clone)]
+pub struct ClockHandle {
+    offset: Arc<AtomicU64>,
+}
+
+impl ClockHandle {
+    /// Advances the platform clock by `d` (identical in effect to
+    /// [`EmbeddedPlatform::advance_clock`]).
+    pub fn advance(&self, d: SimDuration) {
+        self.offset.fetch_add(d.as_nanos(), Ordering::Relaxed);
+    }
 }
 
 impl Default for EmbeddedPlatform {
@@ -417,6 +444,7 @@ impl EmbeddedPlatform {
             metrics: MetricsHub::new(),
             telemetry: TraceSink::disabled(),
             chaos: FaultInjector::disabled(),
+            admission: None,
             warmed: OrderedMutex::new(Tier::Leaf, BTreeSet::new()),
             breakers: OrderedMutex::new(Tier::Leaf, BTreeMap::new()),
             catalog,
@@ -431,7 +459,7 @@ impl EmbeddedPlatform {
             next_instance: AtomicU64::new(0),
             next_invocation: AtomicU64::new(0),
             chaos_clock: AtomicU64::new(0),
-            clock_offset: AtomicU64::new(0),
+            clock_offset: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -489,6 +517,25 @@ impl EmbeddedPlatform {
     /// The active fault injector (shared handle; disabled by default).
     pub fn chaos(&self) -> &FaultInjector {
         &self.chaos
+    }
+
+    /// Arms per-tenant admission control with `config`. Subsequent
+    /// [`EmbeddedPlatform::invoke_as`] calls charge the caller's token
+    /// bucket; plain [`EmbeddedPlatform::invoke`] stays un-gated
+    /// (platform-internal traffic has no tenant). Configure before
+    /// serving, like telemetry/chaos.
+    pub fn enable_admission(&mut self, config: AdmissionConfig) {
+        self.admission = Some(AdmissionControl::new(config));
+    }
+
+    /// Disarms admission control (tenant metrics keep accumulating).
+    pub fn disable_admission(&mut self) {
+        self.admission = None;
+    }
+
+    /// The active admission controller, if enabled.
+    pub fn admission(&self) -> Option<&AdmissionControl> {
+        self.admission.as_ref()
     }
 
     /// The virtual chaos clock: advanced by backoff sleeps and injected
@@ -552,6 +599,15 @@ impl EmbeddedPlatform {
     /// windows clear without real time passing).
     pub fn advance_clock(&self, d: SimDuration) {
         self.clock_offset.fetch_add(d.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// A cloneable handle that advances this platform's clock — what a
+    /// registered function captures to model deterministic service time
+    /// under the virtual clock (see [`ClockHandle`]).
+    pub fn clock_handle(&self) -> ClockHandle {
+        ClockHandle {
+            offset: Arc::clone(&self.clock_offset),
+        }
     }
 
     /// The metrics hub.
@@ -1091,6 +1147,50 @@ impl EmbeddedPlatform {
             }
             self.telemetry.end(root, self.now());
         }
+        out
+    }
+
+    /// Invokes `function` on object `id` on behalf of `tenant`: the
+    /// multi-tenant entry point.
+    ///
+    /// When admission control is enabled
+    /// ([`EmbeddedPlatform::enable_admission`]), one token is charged
+    /// from the tenant's bucket *before* any control-plane or shard
+    /// lock is taken; an empty bucket rejects the call with
+    /// [`PlatformError::AdmissionRejected`] without touching the
+    /// invocation plane. Admission is per logical invocation — a
+    /// dataflow admitted here runs all of its steps even if the bucket
+    /// empties mid-flight. Outcomes of admitted calls feed the
+    /// per-tenant [`MetricsHub`] series that
+    /// [`MetricsHub::tenant_fairness`] reads.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::AdmissionRejected`] on an empty bucket, plus
+    /// everything [`EmbeddedPlatform::invoke`] can return.
+    pub fn invoke_as(
+        &self,
+        tenant: &str,
+        id: ObjectId,
+        function: &str,
+        args: Vec<Value>,
+    ) -> Result<TaskResult, PlatformError> {
+        let started = self.now();
+        if let Some(admission) = &self.admission {
+            if !admission.admit(tenant, started) {
+                self.metrics.record_tenant_rejection(tenant);
+                return Err(PlatformError::AdmissionRejected {
+                    tenant: tenant.to_string(),
+                });
+            }
+        }
+        let out = self.invoke(id, function, args);
+        let now = self.now();
+        let (latency, ok) = match &out {
+            Ok(_) => (now - started, true),
+            Err(_) => (SimDuration::ZERO, false),
+        };
+        self.metrics.record_tenant(tenant, now, latency, ok);
         out
     }
 

@@ -55,6 +55,13 @@ pub enum PlatformError {
         /// Function name.
         function: String,
     },
+    /// The tenant's admission token bucket is empty; the call was
+    /// rejected at the gateway edge before touching the invocation
+    /// plane.
+    AdmissionRejected {
+        /// The tenant whose budget is exhausted.
+        tenant: String,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -99,6 +106,12 @@ impl fmt::Display for PlatformError {
             }
             PlatformError::CircuitOpen { class, function } => {
                 write!(f, "circuit breaker open for '{class}::{function}'")
+            }
+            PlatformError::AdmissionRejected { tenant } => {
+                write!(
+                    f,
+                    "admission rejected for tenant '{tenant}': token bucket empty"
+                )
             }
         }
     }

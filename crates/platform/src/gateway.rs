@@ -32,6 +32,12 @@
 //! chaos script <site> <kind>          arm a fault at a site's next call
 //! chaos status [--json]               injector call/fault counters
 //! chaos off                           disable fault injection
+//! admission on [--rate R] [--burst B] [--tenant <name> <rate> <burst>]...
+//!                                     arm per-tenant token-bucket admission
+//! admission status [--json]           bucket levels, tenant stats, fairness
+//! admission off                       disable admission control
+//! invoke-as <tenant> <obj-id> <fn> [json-arg]*
+//!                                     invoke charged to a tenant's budget
 //! ```
 
 use oprc_chaos::{FaultKind, FaultPlan, InjectionSite};
@@ -43,7 +49,9 @@ use oprc_telemetry::{
 };
 use oprc_value::{json, Value};
 
+use crate::admission::AdmissionConfig;
 use crate::embedded::{EmbeddedPlatform, FlowEdit};
+use crate::monitoring::MID_LOOKBACK;
 use crate::PlatformError;
 
 /// Outcome of one gateway command.
@@ -176,6 +184,8 @@ impl OprcCtl {
             "slo" => self.slo_cmd(rest),
             "top" => self.top(),
             "chaos" => self.chaos_cmd(rest),
+            "admission" => self.admission_cmd(rest),
+            "invoke-as" => self.invoke_as_cmd(rest),
             "flow" => self.flow_cmd(rest),
             "help" => Ok(CommandOutput::text(HELP.trim())),
             other => Err(CommandError::UnknownCommand(other.to_string())),
@@ -785,6 +795,153 @@ impl OprcCtl {
         }
     }
 
+    /// `admission on|status|off`: per-tenant token-bucket admission
+    /// control at the gateway edge. `status` reports bucket levels,
+    /// per-tenant completion/rejection counters, and the windowed Jain
+    /// fairness index over tenant completions.
+    fn admission_cmd(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        const USAGE: &str = "admission on [--rate R] [--burst B] \
+             [--tenant <name> <rate> <burst>]... | admission status [--json] | admission off";
+        let parts = split_args(rest);
+        match parts.first().map(String::as_str) {
+            Some("on") => {
+                let mut config = AdmissionConfig::default();
+                let mut i = 1;
+                while i < parts.len() {
+                    match parts[i].as_str() {
+                        "--rate" => {
+                            config.default_rate = parse_flag::<f64>(&parts, i, USAGE)?;
+                            i += 2;
+                        }
+                        "--burst" => {
+                            config.default_burst = parse_flag::<f64>(&parts, i, USAGE)?;
+                            i += 2;
+                        }
+                        "--tenant" => {
+                            let name = parts
+                                .get(i + 1)
+                                .cloned()
+                                .ok_or_else(|| CommandError::Usage(USAGE.into()))?;
+                            let rate = parts
+                                .get(i + 2)
+                                .and_then(|s| s.parse::<f64>().ok())
+                                .ok_or_else(|| CommandError::Usage(USAGE.into()))?;
+                            let burst = parts
+                                .get(i + 3)
+                                .and_then(|s| s.parse::<f64>().ok())
+                                .ok_or_else(|| CommandError::Usage(USAGE.into()))?;
+                            config = config.tenant(name, rate, burst);
+                            i += 4;
+                        }
+                        _ => return Err(CommandError::Usage(USAGE.into())),
+                    }
+                }
+                let (rate, burst) = (config.default_rate, config.default_burst);
+                self.platform.enable_admission(config);
+                Ok(CommandOutput::text(format!(
+                    "admission: on (default {rate}/s, burst {burst})"
+                )))
+            }
+            Some("status") | None => {
+                let as_json = parts.get(1).is_some_and(|s| s == "--json");
+                let now = self.platform.now();
+                let enabled = self.platform.admission().is_some();
+                let mut buckets = Vec::new();
+                if let Some(ctl) = self.platform.admission() {
+                    for s in ctl.stats(now) {
+                        buckets.push(oprc_value::vjson!({
+                            "tenant": (s.tenant.as_str()),
+                            "admitted": (s.admitted),
+                            "rejected": (s.rejected),
+                            "tokens": (s.tokens),
+                            "rate": (s.rate),
+                            "burst": (s.burst),
+                        }));
+                    }
+                }
+                let tenants: Vec<Value> = self
+                    .platform
+                    .metrics()
+                    .tenant_summaries()
+                    .iter()
+                    .map(|t| {
+                        oprc_value::vjson!({
+                            "tenant": (t.tenant.as_str()),
+                            "completed": (t.completed),
+                            "errors": (t.errors),
+                            "rejected": (t.rejected),
+                            "p99_ms": (t.p99_ms),
+                        })
+                    })
+                    .collect();
+                let fairness = self
+                    .platform
+                    .metrics()
+                    .tenant_fairness(now, MID_LOOKBACK)
+                    .unwrap_or(1.0);
+                let value = oprc_value::vjson!({
+                    "enabled": (enabled),
+                    "buckets": (Value::from(buckets)),
+                    "tenants": (Value::from(tenants)),
+                    "fairness": (fairness),
+                });
+                if as_json {
+                    return Ok(CommandOutput::with_value(
+                        json::to_string_pretty(&value),
+                        value,
+                    ));
+                }
+                let mut text = if enabled {
+                    "admission: on".to_string()
+                } else {
+                    "admission: off".to_string()
+                };
+                if let Some(ctl) = self.platform.admission() {
+                    for s in ctl.stats(now) {
+                        text.push_str(&format!(
+                            "\n  {}: {:.1}/{} tokens ({}/s), {} admitted, {} rejected",
+                            s.tenant, s.tokens, s.burst, s.rate, s.admitted, s.rejected
+                        ));
+                    }
+                }
+                text.push_str(&format!("\nfairness (60s window): {fairness:.3}"));
+                Ok(CommandOutput::with_value(text, value))
+            }
+            Some("off") => {
+                self.platform.disable_admission();
+                Ok(CommandOutput::text("admission: off"))
+            }
+            _ => Err(CommandError::Usage(USAGE.into())),
+        }
+    }
+
+    /// `invoke-as <tenant> <obj-id> <fn> [json-arg]*`: like `invoke`,
+    /// but charged to the tenant's admission budget and recorded in the
+    /// per-tenant metric series.
+    fn invoke_as_cmd(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        let mut parts = split_args(rest);
+        if parts.len() < 3 {
+            return Err(CommandError::Usage(
+                "invoke-as <tenant> <obj-id> <function> [json-arg]*".into(),
+            ));
+        }
+        let tenant = parts.remove(0);
+        let id = parse_object(&parts.remove(0))?;
+        let function = parts.remove(0);
+        let mut args = Vec::new();
+        for a in parts {
+            args.push(
+                json::parse(&a)
+                    .map_err(|e| CommandError::Usage(format!("bad argument JSON '{a}': {e}")))?,
+            );
+        }
+        let result = self.platform.invoke_as(&tenant, id, &function, args)?;
+        Ok(CommandOutput::with_value(
+            json::to_string(&result.output),
+            result.output,
+        ))
+    }
+
     /// `top`: one-line-per-class health table (completions, error
     /// fraction, throughput, latency percentiles).
     fn top(&mut self) -> Result<CommandOutput, CommandError> {
@@ -978,6 +1135,12 @@ chaos script <site> <error|torn|latency[:ms]>
                                   arm a fault at a site's next call
 chaos status [--json]             injector call/fault counters
 chaos off                         disable fault injection
+admission on [--rate R] [--burst B] [--tenant <name> <rate> <burst>]...
+                                  arm per-tenant token-bucket admission
+admission status [--json]         bucket levels, tenant stats, fairness
+admission off                     disable admission control
+invoke-as <tenant> <obj-id> <fn> [json-arg]*
+                                  invoke charged to a tenant's budget
 flow doctor [--json] [class [flow]]
                                   dataflow diagnostics (OPRC050-054)
 flow add-step <class> <flow> <id> <fn> [--input <ref>]* [--target <ref>] [--before <step>]
@@ -1168,6 +1331,63 @@ mod tests {
         ));
         assert!(matches!(
             ctl.execute("deploy @/no/such/file.yaml"),
+            Err(CommandError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn admission_commands_gate_tenants() {
+        let mut ctl = ctl();
+        ctl.execute("create Counter").unwrap();
+        // Off by default: invoke-as records tenant metrics, never blocks.
+        ctl.execute("invoke-as acme 0 incr").unwrap();
+        // Tiny refill rate so wall-clock time cannot top the bucket up
+        // mid-test; burst 2 admits exactly two.
+        ctl.execute("admission on --rate 0.001 --burst 2 --tenant vip 100 50")
+            .unwrap();
+        ctl.execute("invoke-as acme 0 incr").unwrap();
+        ctl.execute("invoke-as acme 0 incr").unwrap();
+        assert!(matches!(
+            ctl.execute("invoke-as acme 0 incr"),
+            Err(CommandError::Platform(PlatformError::AdmissionRejected { tenant })) if tenant == "acme"
+        ));
+        // The override tenant has its own, larger budget.
+        for _ in 0..10 {
+            ctl.execute("invoke-as vip 0 incr").unwrap();
+        }
+
+        let v = ctl
+            .execute("admission status --json")
+            .unwrap()
+            .value
+            .unwrap();
+        let keys: Vec<&str> = v.as_object().unwrap().keys().map(String::as_str).collect();
+        assert_eq!(keys, ["buckets", "enabled", "fairness", "tenants"]);
+        assert_eq!(v["enabled"].as_bool(), Some(true));
+        let buckets = v["buckets"].as_array().unwrap();
+        assert_eq!(buckets.len(), 2, "acme and vip have buckets");
+        assert_eq!(buckets[0]["tenant"].as_str(), Some("acme"));
+        assert_eq!(buckets[0]["rejected"].as_u64(), Some(1));
+        assert_eq!(buckets[1]["burst"].as_f64(), Some(50.0));
+        let tenants = v["tenants"].as_array().unwrap();
+        assert_eq!(tenants.len(), 2);
+        assert!(v["fairness"].as_f64().unwrap() > 0.0);
+
+        ctl.execute("admission off").unwrap();
+        ctl.execute("invoke-as acme 0 incr").unwrap();
+        let v = ctl
+            .execute("admission status --json")
+            .unwrap()
+            .value
+            .unwrap();
+        assert_eq!(v["enabled"].as_bool(), Some(false));
+
+        assert!(matches!(
+            ctl.execute("admission bogus"),
+            Err(CommandError::Usage(_))
+        ));
+        assert!(matches!(
+            ctl.execute("invoke-as acme 0"),
             Err(CommandError::Usage(_))
         ));
     }

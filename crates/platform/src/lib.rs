@@ -58,6 +58,7 @@
 mod error;
 mod lockorder;
 
+pub mod admission;
 pub mod deployer;
 pub mod embedded;
 pub mod gateway;

@@ -154,6 +154,21 @@ pub struct FunctionSummary {
     pub window_p99_ms: f64,
 }
 
+/// Cumulative per-tenant statistics snapshot (for `admission status`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant name.
+    pub tenant: String,
+    /// Admitted invocations that completed successfully.
+    pub completed: u64,
+    /// Admitted invocations that failed in the execution plane.
+    pub errors: u64,
+    /// Requests refused at the admission edge.
+    pub rejected: u64,
+    /// 99th-percentile end-to-end latency (ms), cumulative.
+    pub p99_ms: f64,
+}
+
 /// Windowed view of one series over a lookback: quantiles, rate, and
 /// error fraction — everything the SLO engine and dashboards read.
 #[derive(Debug, Clone, PartialEq)]
@@ -206,6 +221,13 @@ struct Sample {
 struct HubInner {
     class_series: BTreeMap<String, Series>,
     function_series: BTreeMap<(String, String), Series>,
+    /// Per-tenant series fed by `invoke_as`: completed/error outcomes
+    /// of *admitted* requests, windowed like every other series so the
+    /// fairness index reads from the same sliding-window machinery.
+    tenant_series: BTreeMap<String, Series>,
+    /// Requests refused at the admission edge, per tenant (rejections
+    /// never enter a series — they were not executed).
+    tenant_rejections: BTreeMap<String, u64>,
     breaker_states: BTreeMap<(String, String), &'static str>,
     fault_totals: BTreeMap<String, u64>,
     lint_warnings: VecDeque<String>,
@@ -220,6 +242,8 @@ impl Default for HubInner {
         HubInner {
             class_series: BTreeMap::new(),
             function_series: BTreeMap::new(),
+            tenant_series: BTreeMap::new(),
+            tenant_rejections: BTreeMap::new(),
             breaker_states: BTreeMap::new(),
             fault_totals: BTreeMap::new(),
             lint_warnings: VecDeque::new(),
@@ -461,6 +485,111 @@ impl MetricsHub {
         }
         drop(inner);
         self.totals.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the outcome of one *admitted* tenant invocation. Off the
+    /// per-invoke fast path (`invoke_as` only), so it takes the hub
+    /// mutex directly like [`MetricsHub::record_retry`].
+    pub fn record_tenant(&self, tenant: &str, now: SimTime, latency: SimDuration, ok: bool) {
+        let mut inner = self.inner.lock();
+        let capacity = inner.series_capacity;
+        match bounded_entry(&mut inner.tenant_series, tenant.to_string(), capacity) {
+            Some(series) => series.record(now, latency, ok),
+            None => inner.dropped_series += 1,
+        }
+    }
+
+    /// Records one request refused at the admission edge for `tenant`.
+    pub fn record_tenant_rejection(&self, tenant: &str) {
+        *self
+            .inner
+            .lock()
+            .tenant_rejections
+            .entry(tenant.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Cumulative per-tenant statistics, sorted by tenant name. Tenants
+    /// that were only ever rejected (no admitted request) still appear.
+    pub fn tenant_summaries(&self) -> Vec<TenantSummary> {
+        let inner = self.inner.lock();
+        let mut names: Vec<&String> = inner
+            .tenant_series
+            .keys()
+            .chain(inner.tenant_rejections.keys())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+            .into_iter()
+            .map(|tenant| {
+                let (completed, errors, p99_ms) =
+                    inner.tenant_series.get(tenant).map_or((0, 0, 0.0), |s| {
+                        (
+                            s.totals.completed,
+                            s.totals.errors,
+                            s.totals.latency.quantile(0.99).as_millis_f64(),
+                        )
+                    });
+                TenantSummary {
+                    tenant: tenant.clone(),
+                    completed,
+                    errors,
+                    rejected: inner.tenant_rejections.get(tenant).copied().unwrap_or(0),
+                    p99_ms,
+                }
+            })
+            .collect()
+    }
+
+    /// Windowed statistics for `tenant` over `[now - lookback, now]`,
+    /// or `None` when the window holds no events.
+    pub fn tenant_window(
+        &self,
+        tenant: &str,
+        now: SimTime,
+        lookback: SimDuration,
+    ) -> Option<WindowSnapshot> {
+        let inner = self.inner.lock();
+        let s = inner.tenant_series.get(tenant)?;
+        let stats = s.window.stats(now, lookback);
+        if stats.total() == 0 {
+            return None;
+        }
+        let span = Self::effective_span(s.totals.first_event, now, lookback);
+        Some(Self::snapshot(&stats, span))
+    }
+
+    /// Jain's fairness index over every known tenant's *completed*
+    /// count inside the sliding window `[now - lookback, now]`.
+    ///
+    /// Tenants that completed nothing in the window — including
+    /// tenants only ever seen at the admission edge — contribute a
+    /// zero allocation, so a starved tenant *lowers* the index instead
+    /// of silently vanishing from it. Returns `None` while no tenant
+    /// has ever been observed (the index would be vacuous).
+    pub fn tenant_fairness(&self, now: SimTime, lookback: SimDuration) -> Option<f64> {
+        let inner = self.inner.lock();
+        let mut names: Vec<&String> = inner
+            .tenant_series
+            .keys()
+            .chain(inner.tenant_rejections.keys())
+            .collect();
+        names.sort();
+        names.dedup();
+        if names.is_empty() {
+            return None;
+        }
+        let shares: Vec<f64> = names
+            .iter()
+            .map(|tenant| {
+                inner
+                    .tenant_series
+                    .get(tenant.as_str())
+                    .map_or(0.0, |s| s.window.stats(now, lookback).completed as f64)
+            })
+            .collect();
+        Some(oprc_simcore::metrics::jain_fairness(&shares))
     }
 
     /// Platform-wide completed invocations since startup. Lock-free:
@@ -965,6 +1094,45 @@ mod tests {
         let summaries = hub.function_summaries();
         assert_eq!(summaries[1].breaker, "-");
         assert_eq!(summaries[1].retries, 0);
+    }
+
+    #[test]
+    fn tenant_series_feed_summaries_and_fairness() {
+        let hub = MetricsHub::new();
+        assert!(hub.tenant_fairness(SimTime::ZERO, FAST_LOOKBACK).is_none());
+        let t = SimTime::from_secs(1);
+        for _ in 0..10 {
+            hub.record_tenant("a", t, SimDuration::from_millis(2), true);
+            hub.record_tenant("b", t, SimDuration::from_millis(2), true);
+        }
+        // Equal completed shares → perfectly fair.
+        let f = hub.tenant_fairness(t, FAST_LOOKBACK).unwrap();
+        assert!((f - 1.0).abs() < 1e-12, "{f}");
+        // A rejected-only tenant appears with a zero share and drags
+        // the index down.
+        hub.record_tenant_rejection("starved");
+        let f = hub.tenant_fairness(t, FAST_LOOKBACK).unwrap();
+        assert!((f - 2.0 / 3.0).abs() < 1e-12, "{f}");
+        let sums = hub.tenant_summaries();
+        assert_eq!(sums.len(), 3);
+        assert_eq!(sums[0].tenant, "a");
+        assert_eq!((sums[0].completed, sums[0].rejected), (10, 0));
+        assert_eq!(sums[2].tenant, "starved");
+        assert_eq!((sums[2].completed, sums[2].rejected), (0, 1));
+        // Windowed view rotates out like every other series.
+        assert!(hub.tenant_window("a", t, FAST_LOOKBACK).is_some());
+        assert!(hub
+            .tenant_window("a", t + SimDuration::from_secs(600), FAST_LOOKBACK)
+            .is_none());
+    }
+
+    #[test]
+    fn tenant_series_respect_cardinality_bound() {
+        let hub = MetricsHub::with_series_capacity(1);
+        hub.record_tenant("a", SimTime::ZERO, SimDuration::ZERO, true);
+        hub.record_tenant("b", SimTime::ZERO, SimDuration::ZERO, true);
+        assert_eq!(hub.tenant_summaries().len(), 1);
+        assert_eq!(hub.dropped_series(), 1);
     }
 
     #[test]

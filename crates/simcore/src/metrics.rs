@@ -270,6 +270,36 @@ impl WindowStats {
     }
 }
 
+/// Jain's fairness index over a set of per-entity allocations:
+/// `(Σx)² / (n · Σx²)`.
+///
+/// The index is `1.0` when every entity receives the same share and
+/// approaches `1/n` as one entity monopolizes the resource — the
+/// standard measure for "is any tenant starved while another floods".
+/// Negative allocations are clamped to zero (an allocation cannot be
+/// negative; clamping keeps the index in `[1/n, 1]`). An empty or
+/// all-zero slice is perfectly fair by convention (`1.0`): nobody got
+/// anything, nobody was favored.
+///
+/// # Examples
+///
+/// ```
+/// use oprc_simcore::metrics::jain_fairness;
+///
+/// assert_eq!(jain_fairness(&[5.0, 5.0, 5.0]), 1.0);
+/// assert!((jain_fairness(&[10.0, 0.0]) - 0.5).abs() < 1e-12);
+/// assert_eq!(jain_fairness(&[]), 1.0);
+/// ```
+pub fn jain_fairness(allocations: &[f64]) -> f64 {
+    let xs: Vec<f64> = allocations.iter().map(|x| x.max(0.0)).collect();
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sum_sq)
+}
+
 /// A sliding window over event outcomes: a ring of fixed-width time
 /// slots (epoch = `time / slot_width`), each holding counts plus a
 /// mergeable [`Histogram`]. Recording is O(1); querying merges the
@@ -690,5 +720,32 @@ mod tests {
     #[should_panic(expected = "empty measurement window")]
     fn throughput_meter_rejects_empty_window() {
         let _ = ThroughputMeter::new(SimTime::from_secs(1), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn jain_fairness_bounds_and_shapes() {
+        // Equal shares → 1.0 exactly, regardless of scale.
+        assert_eq!(jain_fairness(&[1.0]), 1.0);
+        assert!((jain_fairness(&[7.5, 7.5, 7.5, 7.5]) - 1.0).abs() < 1e-12);
+        // Total monopoly by 1 of n → 1/n.
+        assert!((jain_fairness(&[9.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        // A skewed-but-not-starved mix lands strictly between.
+        let f = jain_fairness(&[100.0, 60.0, 40.0]);
+        assert!(f > 1.0 / 3.0 && f < 1.0, "{f}");
+        // Degenerate inputs are fair by convention.
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+        // Negative allocations clamp to zero rather than inflating the
+        // index past 1 or crashing.
+        assert!((jain_fairness(&[5.0, -1.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_fairness_monotone_under_rebalancing() {
+        // Moving allocation from the rich to the poor must not lower
+        // the index (transfer principle).
+        let before = jain_fairness(&[90.0, 10.0]);
+        let after = jain_fairness(&[70.0, 30.0]);
+        assert!(after > before, "{after} vs {before}");
     }
 }

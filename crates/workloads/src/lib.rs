@@ -17,7 +17,10 @@
 //!   twins, telemetry windows, fleet rollups).
 //!
 //! [`loadgen`] provides open-loop (Poisson) and closed-loop load shapes
-//! plus key-popularity models for driving experiments.
+//! plus key-popularity models for driving experiments. [`scenario`]
+//! composes them into a seeded scenario suite (Zipf hot keys, flash
+//! crowds, multi-tenant floods) with invariant checks and replayable
+//! reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,4 +29,5 @@ pub mod image;
 pub mod iot;
 pub mod jsonrand;
 pub mod loadgen;
+pub mod scenario;
 pub mod video;

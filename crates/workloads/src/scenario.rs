@@ -1,0 +1,1014 @@
+//! Seeded scenario suite: realistic traffic shapes over the embedded
+//! platform, with invariants a soak harness can gate on.
+//!
+//! The paper's evaluation drives a uniform synthetic mix; real cloud
+//! traffic is anything but. This module provides the generators and a
+//! deterministic runner:
+//!
+//! - [`ZipfSampler`] — object popularity with a tunable `s` parameter
+//!   (precomputed CDF + binary search; rank 0 hottest), the hot-key
+//!   skew that concentrates load onto few shards;
+//! - [`RateCurve`] — time-varying arrival rate (constant, diurnal,
+//!   flash crowd) sampled by Poisson thinning on the virtual clock;
+//! - [`TenantSpec`] / [`ScenarioSpec`] — multi-tenant mixes with
+//!   per-tenant admission budgets, serializable to JSON so a failing
+//!   seed becomes a checked-in regression case;
+//! - [`run_scenario`] — replays a spec on a virtual-clock
+//!   [`EmbeddedPlatform`] with chaos armed, asserting linearizable
+//!   per-object counters, exactly-once commits, and the fairness floor,
+//!   and reporting p50/p99/throughput/fairness plus a telemetry digest
+//!   for byte-identical replay checks.
+//!
+//! Every random draw descends from the spec's single seed via
+//! [`SimRng::split`], so a scenario is a pure function of its spec.
+
+use std::sync::Mutex;
+
+use oprc_chaos::FaultPlan;
+use oprc_core::invocation::TaskResult;
+use oprc_core::object::ObjectId;
+use oprc_platform::admission::AdmissionConfig;
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_platform::monitoring::SLOW_LOOKBACK;
+use oprc_platform::PlatformError;
+use oprc_simcore::metrics::jain_fairness;
+use oprc_simcore::{SimDuration, SimRng, SimTime};
+use oprc_telemetry::{to_jsonl, TelemetryConfig};
+use oprc_value::{vjson, Value};
+
+/// A Zipf sampler over ranks `[0, n)` with skew `s` (rank 0 hottest).
+///
+/// Unlike [`SimRng::zipf`] (O(n) per draw), the CDF is precomputed once
+/// and each draw is one uniform variate plus a binary search — the
+/// right trade for scenario runs drawing tens of thousands of keys.
+/// One draw consumes exactly one `f64` from the RNG, so sequences are
+/// byte-identical for a given seed regardless of `n` or `s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    skew: f64,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks with skew `s` (`s = 0` is
+    /// uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over empty domain");
+        let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut acc = 0.0;
+        let cdf = (1..=n)
+            .map(|k| {
+                acc += 1.0 / (k as f64).powf(s) / norm;
+                acc
+            })
+            .collect();
+        ZipfSampler { cdf, skew: s }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the domain is empty (never true: `new` rejects `n = 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The skew parameter `s`.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Theoretical probability of `rank` (what the empirical
+    /// rank-frequency of many draws must converge to).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn theoretical_pmf(&self, rank: usize) -> f64 {
+        assert!(rank < self.cdf.len(), "rank out of range");
+        let prev = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - prev
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+/// A time-varying arrival rate over a scenario's duration.
+///
+/// `t` below is the offset from the scenario start.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RateCurve {
+    /// Flat `rate` arrivals/second.
+    Constant {
+        /// Arrivals per second.
+        rate: f64,
+    },
+    /// A day-shaped swell: `base` at the trough, `base + amplitude` at
+    /// the peak, one full cycle per `period`.
+    Diurnal {
+        /// Trough rate (arrivals per second).
+        base: f64,
+        /// Peak-minus-trough rate delta.
+        amplitude: f64,
+        /// Cycle length.
+        period: SimDuration,
+    },
+    /// Steady `base` with a step to `spike_rate` inside
+    /// `[spike_start, spike_start + spike_duration)` — the flash crowd.
+    FlashCrowd {
+        /// Steady-state rate (arrivals per second).
+        base: f64,
+        /// Rate during the spike.
+        spike_rate: f64,
+        /// When the spike begins (offset from scenario start).
+        spike_start: SimDuration,
+        /// How long the spike lasts.
+        spike_duration: SimDuration,
+    },
+}
+
+impl RateCurve {
+    /// The instantaneous rate at offset `t` from the scenario start.
+    pub fn rate_at(&self, t: SimDuration) -> f64 {
+        match self {
+            RateCurve::Constant { rate } => *rate,
+            RateCurve::Diurnal {
+                base,
+                amplitude,
+                period,
+            } => {
+                let phase = t.as_secs_f64() / period.as_secs_f64().max(1e-9);
+                base + amplitude * 0.5 * (1.0 - (std::f64::consts::TAU * phase).cos())
+            }
+            RateCurve::FlashCrowd {
+                base,
+                spike_rate,
+                spike_start,
+                spike_duration,
+            } => {
+                if t >= *spike_start && t < *spike_start + *spike_duration {
+                    *spike_rate
+                } else {
+                    *base
+                }
+            }
+        }
+    }
+
+    /// The supremum of [`RateCurve::rate_at`] (the thinning envelope).
+    pub fn max_rate(&self) -> f64 {
+        match self {
+            RateCurve::Constant { rate } => *rate,
+            RateCurve::Diurnal {
+                base, amplitude, ..
+            } => base + amplitude,
+            RateCurve::FlashCrowd {
+                base, spike_rate, ..
+            } => base.max(*spike_rate),
+        }
+    }
+
+    /// Generates arrival instants in `[start, start + duration)` via
+    /// Poisson thinning: candidates are drawn homogeneously at
+    /// [`RateCurve::max_rate`] and kept with probability
+    /// `rate_at(t) / max_rate` — an exact sampler for the
+    /// inhomogeneous process. Each candidate consumes exactly two
+    /// variates, so the output is byte-identical for a given seed.
+    pub fn arrivals(
+        &self,
+        start: SimTime,
+        duration: SimDuration,
+        rng: &mut SimRng,
+    ) -> Vec<SimTime> {
+        let envelope = self.max_rate().max(1e-9);
+        let end = start + duration;
+        let mut out = Vec::new();
+        let mut t = start;
+        loop {
+            let gap = SimDuration::from_secs_f64(rng.exp(1.0 / envelope));
+            t += gap.max(SimDuration::from_nanos(1));
+            let keep = rng.f64();
+            if t >= end {
+                return out;
+            }
+            if keep < self.rate_at(t - start) / envelope {
+                out.push(t);
+            }
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            RateCurve::Constant { rate } => vjson!({"kind": "constant", "rate": (*rate)}),
+            RateCurve::Diurnal {
+                base,
+                amplitude,
+                period,
+            } => vjson!({
+                "kind": "diurnal",
+                "base": (*base),
+                "amplitude": (*amplitude),
+                "period_s": (period.as_secs_f64()),
+            }),
+            RateCurve::FlashCrowd {
+                base,
+                spike_rate,
+                spike_start,
+                spike_duration,
+            } => vjson!({
+                "kind": "flash_crowd",
+                "base": (*base),
+                "spike_rate": (*spike_rate),
+                "spike_start_s": (spike_start.as_secs_f64()),
+                "spike_duration_s": (spike_duration.as_secs_f64()),
+            }),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or("curve lacks 'kind'")?;
+        let f = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("curve '{kind}' lacks numeric '{key}'"))
+        };
+        match kind {
+            "constant" => Ok(RateCurve::Constant { rate: f("rate")? }),
+            "diurnal" => Ok(RateCurve::Diurnal {
+                base: f("base")?,
+                amplitude: f("amplitude")?,
+                period: SimDuration::from_secs_f64(f("period_s")?),
+            }),
+            "flash_crowd" => Ok(RateCurve::FlashCrowd {
+                base: f("base")?,
+                spike_rate: f("spike_rate")?,
+                spike_start: SimDuration::from_secs_f64(f("spike_start_s")?),
+                spike_duration: SimDuration::from_secs_f64(f("spike_duration_s")?),
+            }),
+            other => Err(format!("unknown curve kind '{other}'")),
+        }
+    }
+}
+
+/// One tenant in a scenario mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant name (the admission-control key).
+    pub name: String,
+    /// Relative share of the arrival stream this tenant generates.
+    pub weight: f64,
+    /// Object-popularity skew for this tenant's requests: `0` uniform
+    /// over the shared pool, `> 0` Zipf (rank 0 hottest).
+    pub skew: f64,
+}
+
+impl TenantSpec {
+    /// A tenant with the given traffic weight and popularity skew.
+    pub fn new(name: impl Into<String>, weight: f64, skew: f64) -> Self {
+        TenantSpec {
+            name: name.into(),
+            weight,
+            skew,
+        }
+    }
+}
+
+/// Admission-control settings carried by a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionSpec {
+    /// Whether the platform's token-bucket admission control is armed.
+    pub enabled: bool,
+    /// Default per-tenant refill rate (tokens per second).
+    pub rate: f64,
+    /// Default per-tenant burst capacity.
+    pub burst: f64,
+}
+
+impl AdmissionSpec {
+    /// Admission off (every request reaches the invocation plane).
+    pub fn off() -> Self {
+        AdmissionSpec {
+            enabled: false,
+            rate: 0.0,
+            burst: 0.0,
+        }
+    }
+
+    /// Admission on with the given default rate/burst.
+    pub fn on(rate: f64, burst: f64) -> Self {
+        AdmissionSpec {
+            enabled: true,
+            rate,
+            burst,
+        }
+    }
+}
+
+/// A complete, serializable scenario description.
+///
+/// The JSON round-trip ([`ScenarioSpec::to_value`] /
+/// [`ScenarioSpec::from_value`]) is what the seed corpus under
+/// `tests/seeds/` stores: a failing soak seed is minimized, written
+/// out, and replayed forever after as a regression test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (unique within the builtin catalog).
+    pub name: String,
+    /// Root seed: every random draw in the run derives from it.
+    pub seed: u64,
+    /// Size of the shared object pool.
+    pub objects: usize,
+    /// Virtual-time horizon arrivals are generated over. Keep at or
+    /// under the metric ring span (300s) so the fairness window covers
+    /// the whole run.
+    pub duration: SimDuration,
+    /// The arrival-rate curve.
+    pub curve: RateCurve,
+    /// The tenant mix (must be non-empty; weights need not sum to 1).
+    pub tenants: Vec<TenantSpec>,
+    /// Admission-control settings.
+    pub admission: AdmissionSpec,
+    /// Probability of an injected fault per chaos site call (0 = off).
+    pub chaos_rate: f64,
+    /// Invariant: windowed Jain fairness must be at least this at the
+    /// end of the run (`0` disables the check — e.g. for scenarios
+    /// that *demonstrate* unfairness).
+    pub fairness_floor: f64,
+}
+
+impl ScenarioSpec {
+    /// Serializes the spec (inverse of [`ScenarioSpec::from_value`]).
+    pub fn to_value(&self) -> Value {
+        let tenants: Vec<Value> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                vjson!({
+                    "name": (t.name.as_str()),
+                    "weight": (t.weight),
+                    "skew": (t.skew),
+                })
+            })
+            .collect();
+        vjson!({
+            "name": (self.name.as_str()),
+            "seed": (self.seed),
+            "objects": (self.objects as u64),
+            "duration_s": (self.duration.as_secs_f64()),
+            "curve": (self.curve.to_value()),
+            "tenants": (Value::from(tenants)),
+            "admission": (vjson!({
+                "enabled": (self.admission.enabled),
+                "rate": (self.admission.rate),
+                "burst": (self.admission.burst),
+            })),
+            "chaos_rate": (self.chaos_rate),
+            "fairness_floor": (self.fairness_floor),
+        })
+    }
+
+    /// Parses a spec from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the missing or
+    /// malformed field.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("spec lacks 'name'")?
+            .to_string();
+        let seed = v
+            .get("seed")
+            .and_then(Value::as_u64)
+            .ok_or("spec lacks 'seed'")?;
+        let objects = v
+            .get("objects")
+            .and_then(Value::as_u64)
+            .ok_or("spec lacks 'objects'")? as usize;
+        let duration_s = v
+            .get("duration_s")
+            .and_then(Value::as_f64)
+            .ok_or("spec lacks 'duration_s'")?;
+        let curve = RateCurve::from_value(v.get("curve").ok_or("spec lacks 'curve'")?)?;
+        let mut tenants = Vec::new();
+        for t in v
+            .get("tenants")
+            .and_then(Value::as_array)
+            .ok_or("spec lacks 'tenants'")?
+        {
+            tenants.push(TenantSpec {
+                name: t
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("tenant lacks 'name'")?
+                    .to_string(),
+                weight: t
+                    .get("weight")
+                    .and_then(Value::as_f64)
+                    .ok_or("tenant lacks 'weight'")?,
+                skew: t
+                    .get("skew")
+                    .and_then(Value::as_f64)
+                    .ok_or("tenant lacks 'skew'")?,
+            });
+        }
+        if tenants.is_empty() {
+            return Err("spec has no tenants".into());
+        }
+        let adm = v.get("admission").ok_or("spec lacks 'admission'")?;
+        let admission = AdmissionSpec {
+            enabled: adm
+                .get("enabled")
+                .and_then(Value::as_bool)
+                .ok_or("admission lacks 'enabled'")?,
+            rate: adm
+                .get("rate")
+                .and_then(Value::as_f64)
+                .ok_or("admission lacks 'rate'")?,
+            burst: adm
+                .get("burst")
+                .and_then(Value::as_f64)
+                .ok_or("admission lacks 'burst'")?,
+        };
+        Ok(ScenarioSpec {
+            name,
+            seed,
+            objects,
+            duration: SimDuration::from_secs_f64(duration_s),
+            curve,
+            tenants,
+            admission,
+            chaos_rate: v
+                .get("chaos_rate")
+                .and_then(Value::as_f64)
+                .ok_or("spec lacks 'chaos_rate'")?,
+            fairness_floor: v
+                .get("fairness_floor")
+                .and_then(Value::as_f64)
+                .ok_or("spec lacks 'fairness_floor'")?,
+        })
+    }
+
+    /// A cheaper variant for CI smoke runs: a quarter of the duration
+    /// (arrival count scales with it), same seed and shape.
+    #[must_use]
+    pub fn quick(mut self) -> Self {
+        self.duration = SimDuration::from_secs_f64(self.duration.as_secs_f64() / 4.0);
+        self
+    }
+}
+
+/// The outcome of one scenario run: traffic stats, fairness, shard
+/// skew, invariant verdicts, and a replay digest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// The seed the run used.
+    pub seed: u64,
+    /// Arrivals generated (attempted invocations, admitted or not).
+    pub invocations: u64,
+    /// Invocations that completed successfully.
+    pub completed: u64,
+    /// Invocations that failed in the execution plane (chaos etc.).
+    pub errors: u64,
+    /// Requests refused at the admission edge.
+    pub rejected: u64,
+    /// Median end-to-end latency (ms) over the class series.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency (ms).
+    pub p99_ms: f64,
+    /// Completions per second of virtual time.
+    pub throughput: f64,
+    /// Jain fairness over per-tenant windowed completions.
+    pub fairness: f64,
+    /// Completed invocations per tenant, sorted by name.
+    pub tenant_completed: Vec<(String, u64)>,
+    /// Largest single shard's share of all shard-lock acquisitions
+    /// (1/shards ≈ even spread; →1.0 under hot-key skew).
+    pub shard_max_share: f64,
+    /// FNV-1a 64 digest of the JSONL telemetry export (logical clock,
+    /// so byte-identical for a given spec).
+    pub telemetry_digest: u64,
+    /// Violated invariants (empty = the scenario passed).
+    pub invariant_failures: Vec<String>,
+}
+
+impl ScenarioReport {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.invariant_failures.is_empty()
+    }
+
+    /// Serializes the report (stable key order; deterministic for a
+    /// given spec, which is what the seed replay test pins).
+    pub fn to_value(&self) -> Value {
+        let tenants: Vec<Value> = self
+            .tenant_completed
+            .iter()
+            .map(|(name, n)| vjson!({"name": (name.as_str()), "completed": (*n)}))
+            .collect();
+        let failures: Vec<Value> = self
+            .invariant_failures
+            .iter()
+            .map(|f| Value::from(f.as_str()))
+            .collect();
+        vjson!({
+            "name": (self.name.as_str()),
+            "seed": (self.seed),
+            "invocations": (self.invocations),
+            "completed": (self.completed),
+            "errors": (self.errors),
+            "rejected": (self.rejected),
+            "p50_ms": (self.p50_ms),
+            "p99_ms": (self.p99_ms),
+            "throughput": (self.throughput),
+            "fairness": (self.fairness),
+            "tenant_completed": (Value::from(tenants)),
+            "shard_max_share": (self.shard_max_share),
+            // Hex string: a u64 digest would lose precision through the
+            // JSON layer's f64 numbers.
+            "telemetry_digest": (format!("{:016x}", self.telemetry_digest)),
+            "invariant_failures": (Value::from(failures)),
+            "passed": (self.passed()),
+        })
+    }
+}
+
+/// FNV-1a 64 over arbitrary bytes (the replay digest).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Mean service time of the synthetic account function (the virtual
+/// clock advances by a seeded draw around this per execution, so
+/// latencies are non-zero and deterministic).
+const SERVICE_BASE: SimDuration = SimDuration::from_micros(200);
+const SERVICE_MEAN_EXTRA_US: f64 = 300.0;
+
+/// Runs `spec` on a fresh virtual-clock platform and reports.
+///
+/// The run is single-threaded and fully deterministic: arrivals come
+/// from the curve, tenants are drawn by weight, objects by the
+/// tenant's popularity model, and every invocation goes through
+/// [`EmbeddedPlatform::invoke_as`]. Chaos (when armed) exercises the
+/// retry/breaker/exactly-once machinery; the invariants assert that
+/// machinery held:
+///
+/// 1. **linearizable counters** — each object's final `count` equals
+///    its number of *successful* increments (exactly-once commits:
+///    no lost or doubled update, even under torn-commit faults);
+/// 2. **fairness floor** — when the spec arms one, the windowed Jain
+///    index over tenant completions is at least `fairness_floor`, and
+///    no tenant is fully starved.
+///
+/// # Panics
+///
+/// Panics if the spec has no tenants or zero objects (malformed specs
+/// are rejected by [`ScenarioSpec::from_value`] instead).
+pub fn run_scenario(spec: &ScenarioSpec) -> ScenarioReport {
+    assert!(
+        !spec.tenants.is_empty(),
+        "scenario needs at least one tenant"
+    );
+    assert!(spec.objects > 0, "scenario needs at least one object");
+
+    let mut platform = EmbeddedPlatform::new();
+    platform.enable_virtual_clock();
+    platform.enable_telemetry(TelemetryConfig::default());
+
+    // Deterministic service time: the function advances the virtual
+    // clock itself (see `ClockHandle`), so latency percentiles are
+    // meaningful and reproducible. The availability tier arms retries
+    // (3 attempts), giving chaos something real to push against.
+    let clock = platform.clock_handle();
+    let service_rng = Mutex::new(SimRng::seed_from_u64(spec.seed ^ 0x5e71_1ce0_0a55_e77e));
+    platform.register_function("scn/incr", move |task| {
+        let extra = service_rng
+            .lock()
+            .expect("service rng lock")
+            .exp(SERVICE_MEAN_EXTRA_US);
+        clock.advance(SERVICE_BASE + SimDuration::from_nanos((extra * 1_000.0) as u64));
+        let n = task.state_in["count"].as_i64().unwrap_or(0) + 1;
+        Ok(TaskResult::output(n).with_patch(vjson!({"count": n})))
+    });
+    platform
+        .deploy_yaml(
+            "
+classes:
+  - name: Account
+    qos:
+      availability: 0.99
+    constraint:
+      persistent: true
+    keySpecs: [count]
+    functions:
+      - name: incr
+        image: scn/incr
+",
+        )
+        .expect("scenario class deploys");
+
+    if spec.chaos_rate > 0.0 {
+        platform.enable_chaos(
+            FaultPlan::new(spec.seed)
+                .rate_all(spec.chaos_rate)
+                .latency_share(0.3),
+        );
+    }
+    if spec.admission.enabled {
+        platform.enable_admission(AdmissionConfig::new(
+            spec.admission.rate,
+            spec.admission.burst,
+        ));
+    }
+
+    let objects: Vec<ObjectId> = (0..spec.objects)
+        .map(|_| {
+            platform
+                .create_object("Account", vjson!({"count": 0}))
+                .expect("object creates")
+        })
+        .collect();
+
+    // Independent streams per concern: adding draws to one never
+    // perturbs the others.
+    let mut root = SimRng::seed_from_u64(spec.seed);
+    let mut arrival_rng = root.split();
+    let mut tenant_rng = root.split();
+    let mut key_rng = root.split();
+
+    let samplers: Vec<Option<ZipfSampler>> = spec
+        .tenants
+        .iter()
+        .map(|t| (t.skew > 0.0).then(|| ZipfSampler::new(spec.objects, t.skew)))
+        .collect();
+    let total_weight: f64 = spec.tenants.iter().map(|t| t.weight.max(0.0)).sum();
+    let arrivals = spec
+        .curve
+        .arrivals(SimTime::ZERO, spec.duration, &mut arrival_rng);
+
+    let mut expected = vec![0_i64; spec.objects];
+    let (mut completed, mut errors, mut rejected) = (0_u64, 0_u64, 0_u64);
+    for &at in &arrivals {
+        // Catch the clock up to the arrival instant; service time may
+        // already have pushed it past (open-loop backlog executes
+        // immediately).
+        let now = platform.now();
+        if at > now {
+            platform.advance_clock(at - now);
+        }
+        // Tenant by weight, object by the tenant's popularity model.
+        let mut pick = tenant_rng.f64() * total_weight;
+        let mut tenant_idx = 0;
+        for (i, t) in spec.tenants.iter().enumerate() {
+            pick -= t.weight.max(0.0);
+            if pick <= 0.0 {
+                tenant_idx = i;
+                break;
+            }
+        }
+        let obj_idx = match &samplers[tenant_idx] {
+            Some(z) => z.sample(&mut key_rng),
+            None => key_rng.range(0, spec.objects as u64) as usize,
+        };
+        match platform.invoke_as(
+            &spec.tenants[tenant_idx].name,
+            objects[obj_idx],
+            "incr",
+            vec![],
+        ) {
+            Ok(_) => {
+                completed += 1;
+                expected[obj_idx] += 1;
+            }
+            Err(PlatformError::AdmissionRejected { .. }) => rejected += 1,
+            Err(_) => errors += 1,
+        }
+    }
+    // Land the clock on the horizon so windowed reads cover exactly
+    // the run.
+    let now = platform.now();
+    let horizon = SimTime::ZERO + spec.duration;
+    if horizon > now {
+        platform.advance_clock(horizon - now);
+    }
+
+    let mut failures = Vec::new();
+    // Invariant 1: linearizable, exactly-once per-object counters.
+    for (i, &id) in objects.iter().enumerate() {
+        let got = platform.get_state(id).expect("object state readable")["count"]
+            .as_i64()
+            .unwrap_or(-1);
+        if got != expected[i] {
+            failures.push(format!(
+                "object {i}: count {got} != {} successful increments",
+                expected[i]
+            ));
+        }
+    }
+
+    // Fairness over the sliding-window tenant series (the whole run
+    // fits the 300s ring by construction).
+    let fairness = platform
+        .metrics()
+        .tenant_fairness(platform.now(), SLOW_LOOKBACK)
+        .unwrap_or(1.0);
+    let summaries = platform.metrics().tenant_summaries();
+    let tenant_completed: Vec<(String, u64)> = summaries
+        .iter()
+        .map(|s| (s.tenant.clone(), s.completed))
+        .collect();
+    // Invariant 2: the fairness floor, when armed.
+    if spec.fairness_floor > 0.0 {
+        if fairness < spec.fairness_floor {
+            failures.push(format!(
+                "fairness {fairness:.3} below floor {:.3}",
+                spec.fairness_floor
+            ));
+        }
+        for (tenant, n) in &tenant_completed {
+            if *n == 0 {
+                failures.push(format!("tenant '{tenant}' fully starved"));
+            }
+        }
+    }
+
+    // Shard skew: the hottest shard's share of all lock acquisitions.
+    let stats = platform.shard_stats();
+    let total_acq: u64 = stats.iter().map(|s| s.acquisitions).sum();
+    let shard_max_share = if total_acq == 0 {
+        0.0
+    } else {
+        stats.iter().map(|s| s.acquisitions).max().unwrap_or(0) as f64 / total_acq as f64
+    };
+
+    let window = platform
+        .metrics()
+        .class_window("Account", platform.now(), SLOW_LOOKBACK);
+    let (p50_ms, p99_ms) = window.map_or((0.0, 0.0), |w| (w.p50_ms, w.p99_ms));
+    let digest = fnv1a(to_jsonl(&platform.telemetry().finished()).as_bytes());
+
+    // Consistency cross-check: counters vs the metrics plane (sanity
+    // on the harness itself, not the platform).
+    debug_assert_eq!(completed, platform.metrics().completed_total());
+    let _ = jain_fairness(&[]); // keep the simcore metric linked in docs builds
+
+    ScenarioReport {
+        name: spec.name.clone(),
+        seed: spec.seed,
+        invocations: arrivals.len() as u64,
+        completed,
+        errors,
+        rejected,
+        p50_ms,
+        p99_ms,
+        throughput: completed as f64 / spec.duration.as_secs_f64().max(1e-9),
+        fairness,
+        tenant_completed,
+        shard_max_share,
+        telemetry_digest: digest,
+        invariant_failures: failures,
+    }
+}
+
+/// The builtin catalog the soak harness and `oprc-ctl scenarios` run.
+///
+/// Shapes:
+/// - `uniform_baseline` — one tenant, uniform popularity, constant
+///   rate: the control every skewed scenario is compared against;
+/// - `zipf_hot_key` — heavy Zipf skew (`s = 1.2`): a handful of hot
+///   objects concentrate shard-lock traffic;
+/// - `flash_crowd_chaos` — a 6× arrival spike with chaos armed:
+///   retries, breakers, and exactly-once commits under pressure;
+/// - `diurnal` — a day-shaped swell (compressed to 2 min of virtual
+///   time) over a Zipf-ish mix;
+/// - `multi_tenant_fair` — a flooding tenant (10× weight) against two
+///   normal tenants *with* admission on: the fairness floor must hold;
+/// - `tenant_flood` — the same mix with admission *off*: demonstrates
+///   the unfairness the token buckets exist to prevent (no floor
+///   armed; the soak gate compares its index against the fair run's).
+pub fn builtin_scenarios() -> Vec<ScenarioSpec> {
+    let flooded_tenants = vec![
+        TenantSpec::new("flooder", 10.0, 1.1),
+        TenantSpec::new("tenant-a", 1.0, 0.0),
+        TenantSpec::new("tenant-b", 1.0, 0.0),
+    ];
+    vec![
+        ScenarioSpec {
+            name: "uniform_baseline".into(),
+            seed: 42,
+            objects: 128,
+            duration: SimDuration::from_secs(60),
+            curve: RateCurve::Constant { rate: 60.0 },
+            tenants: vec![TenantSpec::new("solo", 1.0, 0.0)],
+            admission: AdmissionSpec::off(),
+            chaos_rate: 0.0,
+            fairness_floor: 0.0,
+        },
+        ScenarioSpec {
+            name: "zipf_hot_key".into(),
+            seed: 42,
+            objects: 128,
+            duration: SimDuration::from_secs(60),
+            curve: RateCurve::Constant { rate: 60.0 },
+            tenants: vec![TenantSpec::new("solo", 1.0, 1.2)],
+            admission: AdmissionSpec::off(),
+            chaos_rate: 0.0,
+            fairness_floor: 0.0,
+        },
+        ScenarioSpec {
+            name: "flash_crowd_chaos".into(),
+            seed: 7,
+            objects: 96,
+            duration: SimDuration::from_secs(90),
+            curve: RateCurve::FlashCrowd {
+                base: 30.0,
+                spike_rate: 180.0,
+                spike_start: SimDuration::from_secs(30),
+                spike_duration: SimDuration::from_secs(15),
+            },
+            tenants: vec![TenantSpec::new("crowd", 1.0, 0.8)],
+            admission: AdmissionSpec::off(),
+            chaos_rate: 0.08,
+            fairness_floor: 0.0,
+        },
+        ScenarioSpec {
+            name: "diurnal".into(),
+            seed: 11,
+            objects: 128,
+            duration: SimDuration::from_secs(120),
+            curve: RateCurve::Diurnal {
+                base: 20.0,
+                amplitude: 80.0,
+                period: SimDuration::from_secs(60),
+            },
+            tenants: vec![
+                TenantSpec::new("day", 2.0, 0.6),
+                TenantSpec::new("night", 1.0, 0.0),
+            ],
+            admission: AdmissionSpec::off(),
+            chaos_rate: 0.0,
+            fairness_floor: 0.0,
+        },
+        ScenarioSpec {
+            name: "multi_tenant_fair".into(),
+            seed: 42,
+            objects: 128,
+            duration: SimDuration::from_secs(60),
+            curve: RateCurve::Constant { rate: 120.0 },
+            tenants: flooded_tenants.clone(),
+            admission: AdmissionSpec::on(12.0, 24.0),
+            chaos_rate: 0.0,
+            fairness_floor: 0.8,
+        },
+        ScenarioSpec {
+            name: "tenant_flood".into(),
+            seed: 42,
+            objects: 128,
+            duration: SimDuration::from_secs(60),
+            curve: RateCurve::Constant { rate: 120.0 },
+            tenants: flooded_tenants,
+            admission: AdmissionSpec::off(),
+            chaos_rate: 0.0,
+            fairness_floor: 0.0,
+        },
+    ]
+}
+
+/// Looks up a builtin scenario by name.
+pub fn find_scenario(name: &str) -> Option<ScenarioSpec> {
+    builtin_scenarios().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_sampler_matches_slow_reference_distribution() {
+        // The CDF sampler and SimRng::zipf implement the same law;
+        // their empirical hot-rank shares must agree.
+        let z = ZipfSampler::new(50, 1.2);
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut hot = 0;
+        for _ in 0..4000 {
+            if z.sample(&mut rng) == 0 {
+                hot += 1;
+            }
+        }
+        let share = f64::from(hot) / 4000.0;
+        let want = z.theoretical_pmf(0);
+        assert!((share - want).abs() < 0.03, "share {share} vs pmf {want}");
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_decreases() {
+        let z = ZipfSampler::new(20, 0.9);
+        let sum: f64 = (0..20).map(|r| z.theoretical_pmf(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for r in 1..20 {
+            assert!(z.theoretical_pmf(r) <= z.theoretical_pmf(r - 1));
+        }
+        assert_eq!(z.len(), 20);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn rate_curves_shape_arrivals() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let crowd = RateCurve::FlashCrowd {
+            base: 20.0,
+            spike_rate: 200.0,
+            spike_start: SimDuration::from_secs(10),
+            spike_duration: SimDuration::from_secs(5),
+        };
+        let arr = crowd.arrivals(SimTime::ZERO, SimDuration::from_secs(20), &mut rng);
+        let in_spike = arr
+            .iter()
+            .filter(|t| t.as_secs_f64() >= 10.0 && t.as_secs_f64() < 15.0)
+            .count();
+        let outside = arr.len() - in_spike;
+        // 5s at 200/s ≈ 1000 inside; 15s at 20/s ≈ 300 outside.
+        assert!(in_spike > 800, "{in_spike}");
+        assert!(outside < 450, "{outside}");
+        assert!(arr.windows(2).all(|w| w[0] < w[1]), "sorted");
+
+        let diurnal = RateCurve::Diurnal {
+            base: 10.0,
+            amplitude: 90.0,
+            period: SimDuration::from_secs(60),
+        };
+        assert!((diurnal.rate_at(SimDuration::ZERO) - 10.0).abs() < 1e-9);
+        assert!((diurnal.rate_at(SimDuration::from_secs(30)) - 100.0).abs() < 1e-9);
+        assert_eq!(diurnal.max_rate(), 100.0);
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        for spec in builtin_scenarios() {
+            let v = spec.to_value();
+            let back = ScenarioSpec::from_value(&v).expect("round trip parses");
+            assert_eq!(spec, back, "{}", spec.name);
+        }
+        assert!(ScenarioSpec::from_value(&vjson!({"name": "x"})).is_err());
+    }
+
+    #[test]
+    fn same_seed_reports_are_identical() {
+        let spec = find_scenario("uniform_baseline").unwrap().quick();
+        let a = run_scenario(&spec);
+        let b = run_scenario(&spec);
+        assert_eq!(a, b, "same spec must replay identically");
+        assert!(a.passed(), "{:?}", a.invariant_failures);
+        assert!(a.completed > 0);
+    }
+
+    #[test]
+    fn zipf_concentrates_shard_traffic_vs_uniform() {
+        let uniform = run_scenario(&find_scenario("uniform_baseline").unwrap().quick());
+        let zipf = run_scenario(&find_scenario("zipf_hot_key").unwrap().quick());
+        assert!(
+            zipf.shard_max_share > uniform.shard_max_share,
+            "zipf {} vs uniform {}",
+            zipf.shard_max_share,
+            uniform.shard_max_share
+        );
+    }
+
+    #[test]
+    fn admission_restores_fairness_under_flood() {
+        let fair = run_scenario(&find_scenario("multi_tenant_fair").unwrap().quick());
+        let flood = run_scenario(&find_scenario("tenant_flood").unwrap().quick());
+        assert!(fair.passed(), "{:?}", fair.invariant_failures);
+        assert!(
+            fair.fairness > flood.fairness,
+            "fair {} vs flood {}",
+            fair.fairness,
+            flood.fairness
+        );
+        assert!(fair.rejected > 0, "the flooder must hit the bucket");
+    }
+}

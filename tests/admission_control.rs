@@ -1,0 +1,234 @@
+//! Admission-control edge cases across the platform (ISSUE PR 8
+//! satellite): token buckets at the gateway edge interacting with
+//! dataflows, the virtual clock, metric-window rotation, chaos, and
+//! the circuit breaker.
+
+use oprc_chaos::{FaultPlan, InjectionSite};
+use oprc_core::invocation::TaskResult;
+use oprc_platform::admission::AdmissionConfig;
+use oprc_platform::embedded::EmbeddedPlatform;
+use oprc_platform::monitoring::FAST_LOOKBACK;
+use oprc_platform::PlatformError;
+use oprc_simcore::SimDuration;
+use oprc_value::vjson;
+
+/// A virtual-clock platform with a counter method and a two-step
+/// dataflow, availability tier 0.99 (3 attempts, breaker armed).
+fn platform() -> EmbeddedPlatform {
+    let mut p = EmbeddedPlatform::new();
+    p.enable_virtual_clock();
+    p.register_function("img/incr", |t| {
+        let n = t.state_in["count"].as_i64().unwrap_or(0) + 1;
+        Ok(TaskResult::output(n).with_patch(vjson!({"count": n})))
+    });
+    p.register_function("img/double", |t| {
+        let x = t
+            .args
+            .first()
+            .and_then(oprc_value::Value::as_i64)
+            .unwrap_or(0);
+        Ok(TaskResult::output(x * 2))
+    });
+    p.deploy_yaml(
+        "
+classes:
+  - name: Counter
+    qos:
+      availability: 0.99
+    constraint:
+      persistent: true
+    keySpecs: [count]
+    functions:
+      - name: incr
+        image: img/incr
+      - name: double
+        image: img/double
+    dataflows:
+      - name: pipeline
+        steps:
+          - id: a
+            function: incr
+          - id: b
+            function: double
+            inputs: [\"step:a\"]
+",
+    )
+    .unwrap();
+    p
+}
+
+#[test]
+fn dataflow_admitted_at_edge_runs_all_steps_despite_empty_bucket() {
+    // Admission charges one token per *logical* invocation: a dataflow
+    // admitted with the last token still runs every step; only the
+    // next edge request is refused.
+    let mut p = platform();
+    p.enable_admission(AdmissionConfig::new(0.0, 1.0)); // 1 token, no refill
+    let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+
+    let out = p.invoke_as("acme", id, "pipeline", vec![]).unwrap();
+    assert_eq!(out.output.as_i64(), Some(2), "both steps ran");
+    assert_eq!(p.get_state(id).unwrap()["count"].as_i64(), Some(1));
+
+    // The bucket is now empty: method and dataflow alike are refused
+    // at the edge, and the rejection never touches object state.
+    for function in ["incr", "pipeline"] {
+        match p.invoke_as("acme", id, function, vec![]) {
+            Err(PlatformError::AdmissionRejected { tenant }) => assert_eq!(tenant, "acme"),
+            other => panic!("expected edge rejection for {function}, got {other:?}"),
+        }
+    }
+    assert_eq!(p.get_state(id).unwrap()["count"].as_i64(), Some(1));
+
+    // The rejections were counted against the tenant, not the class.
+    let stats = p.admission().unwrap().stats(p.now());
+    assert_eq!((stats[0].admitted, stats[0].rejected), (1, 2));
+}
+
+#[test]
+fn burst_refill_spans_metric_window_rotation() {
+    // Exhaust the bucket, then advance the virtual clock far enough to
+    // rotate the 5s-bucket sliding window several times. Refill must
+    // track the clock exactly (rate × Δt, capped at burst), and the
+    // tenant's windowed completion counts must rotate out while the
+    // bucket refills — two different time-keepers staying consistent.
+    let mut p = platform();
+    p.enable_admission(AdmissionConfig::new(0.5, 2.0)); // 1 token / 2s
+    let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+
+    assert!(p.invoke_as("t", id, "incr", vec![]).is_ok());
+    assert!(p.invoke_as("t", id, "incr", vec![]).is_ok());
+    assert!(matches!(
+        p.invoke_as("t", id, "incr", vec![]),
+        Err(PlatformError::AdmissionRejected { .. })
+    ));
+    let window = p
+        .metrics()
+        .tenant_window("t", p.now(), FAST_LOOKBACK)
+        .unwrap();
+    assert_eq!(window.completed, 2);
+
+    // +6s: three window buckets rotate; refill grants 0.5 × 6 = 3,
+    // capped at burst 2.
+    p.advance_clock(SimDuration::from_secs(6));
+    assert_eq!(p.admission().unwrap().tokens("t", p.now()), Some(2.0));
+    assert!(p.invoke_as("t", id, "incr", vec![]).is_ok());
+    assert!(p.invoke_as("t", id, "incr", vec![]).is_ok());
+    assert!(matches!(
+        p.invoke_as("t", id, "incr", vec![]),
+        Err(PlatformError::AdmissionRejected { .. })
+    ));
+
+    // +12s: the first two completions have left the 10s fast window;
+    // only the recent pair remains. Totals keep everything.
+    p.advance_clock(SimDuration::from_secs(6));
+    let w = p
+        .metrics()
+        .tenant_window("t", p.now(), FAST_LOOKBACK)
+        .unwrap();
+    assert_eq!(w.completed, 2);
+    let summary = p
+        .metrics()
+        .tenant_summaries()
+        .into_iter()
+        .find(|t| t.tenant == "t")
+        .unwrap();
+    assert_eq!(summary.completed, 4);
+    assert_eq!(summary.rejected, 2);
+
+    // The refill anchor is the last bucket touch (t=6s): the six
+    // seconds since have banked the full burst again. Drain it.
+    assert!(p.invoke_as("t", id, "incr", vec![]).is_ok());
+    assert!(p.invoke_as("t", id, "incr", vec![]).is_ok());
+    assert!(matches!(
+        p.invoke_as("t", id, "incr", vec![]),
+        Err(PlatformError::AdmissionRejected { .. })
+    ));
+
+    // Fractional refill: +1s at 0.5/s is not yet a whole token.
+    p.advance_clock(SimDuration::from_secs(1));
+    assert!(matches!(
+        p.invoke_as("t", id, "incr", vec![]),
+        Err(PlatformError::AdmissionRejected { .. })
+    ));
+    p.advance_clock(SimDuration::from_secs(1));
+    assert!(p.invoke_as("t", id, "incr", vec![]).is_ok());
+}
+
+#[test]
+fn admission_is_checked_before_the_breaker_and_after_it_opens() {
+    // Order of the edge checks: an empty bucket rejects with
+    // AdmissionRejected *before* the breaker is consulted; an admitted
+    // request can still be refused by an open breaker (CircuitOpen).
+    // Chaos drives the breaker open; admission stays orthogonal.
+    let mut p = platform();
+    p.enable_chaos(FaultPlan::new(0).rate(InjectionSite::EngineExecute, 1.0));
+    p.enable_admission(AdmissionConfig::new(1.0, 50.0));
+    let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+    let threshold = p.retry_policy("Counter").unwrap().breaker_threshold;
+
+    // Burn settled failures until the breaker opens; every attempt was
+    // admitted (tokens spent), none committed state.
+    let mut opened = false;
+    for _ in 0..(threshold + 3) {
+        match p.invoke_as("acme", id, "incr", vec![]) {
+            Err(PlatformError::CircuitOpen { .. }) => {
+                opened = true;
+                break;
+            }
+            Err(_) => {}
+            Ok(_) => panic!("all engine calls are faulted"),
+        }
+    }
+    assert!(opened, "breaker never opened under total engine failure");
+    assert_eq!(p.breaker_state("Counter", "incr"), Some("open"));
+    let spent = p.admission().unwrap().stats(p.now())[0].admitted;
+    assert!(
+        spent >= u64::from(threshold),
+        "every attempt burned a token"
+    );
+
+    // Drain the remaining budget against the open breaker, then verify
+    // the empty bucket short-circuits first: the rejection is
+    // AdmissionRejected even though the breaker is still open.
+    loop {
+        match p.invoke_as("acme", id, "incr", vec![]) {
+            Err(PlatformError::CircuitOpen { .. }) => {}
+            Err(PlatformError::AdmissionRejected { tenant }) => {
+                assert_eq!(tenant, "acme");
+                break;
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    assert_eq!(p.breaker_state("Counter", "incr"), Some("open"));
+
+    // Tokens refill with virtual time while the breaker cools down;
+    // with chaos calmed, the first admitted probe closes the breaker
+    // and state advances exactly once.
+    p.disable_chaos();
+    p.enable_chaos(FaultPlan::new(0));
+    let cooldown = p.retry_policy("Counter").unwrap().breaker_cooldown;
+    p.advance_clock(cooldown + SimDuration::from_secs(5));
+    p.advance_chaos_clock(cooldown + SimDuration::from_millis(1));
+    let out = p.invoke_as("acme", id, "incr", vec![]).unwrap();
+    assert_eq!(out.output.as_i64(), Some(1));
+    assert_eq!(p.breaker_state("Counter", "incr"), Some("closed"));
+    assert_eq!(p.get_state(id).unwrap()["count"].as_i64(), Some(1));
+}
+
+#[test]
+fn plain_invoke_bypasses_admission_and_tenant_metrics() {
+    // The untenanted hot path (`invoke`) is untouched by admission:
+    // no token charged, no tenant series written.
+    let mut p = platform();
+    p.enable_admission(AdmissionConfig::new(0.0, 1.0));
+    let id = p.create_object("Counter", vjson!({"count": 0})).unwrap();
+    for _ in 0..5 {
+        p.invoke(id, "incr", vec![]).unwrap();
+    }
+    assert!(p.metrics().tenant_summaries().is_empty());
+    assert!(p.admission().unwrap().stats(p.now()).is_empty());
+    // The single token is still there for the first tenant request.
+    assert!(p.invoke_as("acme", id, "incr", vec![]).is_ok());
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the scenario-suite generators (ISSUE PR 8
+//! satellite): the Zipf sampler's empirical rank-frequency matches the
+//! theoretical law, and both samplers and arrival curves are
+//! byte-deterministic under a fixed seed.
+
+use oprc_simcore::{SimDuration, SimRng, SimTime};
+use oprc_workloads::scenario::{RateCurve, ZipfSampler};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Empirical rank frequencies of 10k draws converge on the
+    /// precomputed PMF for any domain size and skew, and every
+    /// theoretical PMF is a proper, monotone distribution.
+    #[test]
+    fn zipf_empirical_matches_theoretical(
+        seed in any::<u64>(),
+        n in 2usize..64,
+        s in 0.0f64..2.0,
+    ) {
+        let z = ZipfSampler::new(n, s);
+        let mut pmf_sum = 0.0;
+        for rank in 0..n {
+            let p = z.theoretical_pmf(rank);
+            prop_assert!(p > 0.0);
+            if rank > 0 {
+                prop_assert!(p <= z.theoretical_pmf(rank - 1) + 1e-12);
+            }
+            pmf_sum += p;
+        }
+        prop_assert!((pmf_sum - 1.0).abs() < 1e-9);
+
+        let mut rng = SimRng::seed_from_u64(seed);
+        const DRAWS: usize = 10_000;
+        let mut counts = vec![0u32; n];
+        for _ in 0..DRAWS {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Tolerance ~4σ of a binomial proportion at 10k draws: tight
+        // enough to catch an off-by-one in the CDF search, loose enough
+        // to never flake across the seed space.
+        for (rank, &count) in counts.iter().enumerate() {
+            let p = z.theoretical_pmf(rank);
+            let sigma = (p * (1.0 - p) / DRAWS as f64).sqrt();
+            let got = f64::from(count) / DRAWS as f64;
+            prop_assert!(
+                (got - p).abs() <= 4.0 * sigma + 1e-3,
+                "rank {} of {n} (s={s:.2}): empirical {got:.4} vs pmf {p:.4}",
+                rank
+            );
+        }
+    }
+
+    /// Same seed ⇒ byte-identical draw sequence; and each draw consumes
+    /// exactly one variate, so prefixes agree too.
+    #[test]
+    fn zipf_same_seed_is_byte_identical(
+        seed in any::<u64>(),
+        n in 1usize..64,
+        s in 0.0f64..2.0,
+    ) {
+        let z = ZipfSampler::new(n, s);
+        let draw = |count: usize| -> Vec<usize> {
+            let mut rng = SimRng::seed_from_u64(seed);
+            (0..count).map(|_| z.sample(&mut rng)).collect()
+        };
+        let a = draw(256);
+        let b = draw(256);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a[..64], &draw(64)[..]);
+        for &rank in &a {
+            prop_assert!(rank < n);
+        }
+    }
+
+    /// Arrival generation: sorted, strictly inside the horizon,
+    /// deterministic, and with a count consistent with the curve's
+    /// integrated rate (loose Poisson bound).
+    #[test]
+    fn arrivals_are_sorted_bounded_and_deterministic(
+        seed in any::<u64>(),
+        rate in 1.0f64..60.0,
+        spike in 1.0f64..200.0,
+        secs in 2u64..20,
+    ) {
+        let duration = SimDuration::from_secs(secs);
+        let curve = RateCurve::FlashCrowd {
+            base: rate,
+            spike_rate: spike,
+            spike_start: SimDuration::from_secs(secs / 2),
+            spike_duration: SimDuration::from_secs(1),
+        };
+        let gen = || {
+            let mut rng = SimRng::seed_from_u64(seed);
+            curve.arrivals(SimTime::ZERO, duration, &mut rng)
+        };
+        let a = gen();
+        prop_assert_eq!(&a, &gen());
+        for w in a.windows(2) {
+            prop_assert!(w[0] < w[1], "arrivals must be strictly increasing");
+        }
+        if let (Some(first), Some(last)) = (a.first(), a.last()) {
+            prop_assert!(*first > SimTime::ZERO);
+            prop_assert!(*last < SimTime::ZERO + duration);
+        }
+        // Expected count = ∫rate dt; allow 6σ plus slack for tiny means.
+        let expected = rate * (secs as f64 - 1.0) + spike;
+        let sigma = expected.sqrt();
+        prop_assert!(
+            (a.len() as f64 - expected).abs() <= 6.0 * sigma + 10.0,
+            "got {} arrivals, expected ~{expected:.0}",
+            a.len()
+        );
+    }
+
+    /// The diurnal curve stays within [base, base+amplitude] and its
+    /// envelope really is the supremum the thinning sampler assumes.
+    #[test]
+    fn diurnal_rate_respects_its_envelope(
+        base in 0.0f64..50.0,
+        amplitude in 0.0f64..100.0,
+        period_s in 1u64..300,
+        t_ns in any::<u32>(),
+    ) {
+        let curve = RateCurve::Diurnal {
+            base,
+            amplitude,
+            period: SimDuration::from_secs(period_s),
+        };
+        let t = SimDuration::from_nanos(u64::from(t_ns) * 1_000);
+        let r = curve.rate_at(t);
+        prop_assert!(r >= base - 1e-9);
+        prop_assert!(r <= curve.max_rate() + 1e-9);
+    }
+}

@@ -1,0 +1,181 @@
+//! Seed-corpus regression replays (ISSUE PR 8).
+//!
+//! Every JSON file under `tests/seeds/` is one scenario spec plus the
+//! pinned outcome of its original run. The soak harness
+//! (`scenario_soak --soak N`) writes a file here whenever a derived
+//! seed violates an invariant, after minimizing it; this test replays
+//! the whole corpus on every tier-1 run, so a bug found once by the
+//! soak can never silently return.
+//!
+//! Replays are exact: the scenario runner is virtual-time and
+//! single-threaded, so `invocations`, `completed`, and the FNV-1a
+//! digest of the JSONL telemetry export must match byte-for-byte,
+//! on any host, forever.
+//!
+//! To regenerate the starter corpus after an intentional platform
+//! change (new spans, changed retry schedule, ...):
+//!
+//! ```text
+//! cargo test -p oprc-tests --test scenario_seeds -- --ignored regen
+//! ```
+
+use std::path::PathBuf;
+
+use oprc_simcore::SimDuration;
+use oprc_value::{json, vjson};
+use oprc_workloads::scenario::{run_scenario, AdmissionSpec, RateCurve, ScenarioSpec, TenantSpec};
+
+fn seeds_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("seeds")
+}
+
+fn corpus() -> Vec<(PathBuf, oprc_value::Value)> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(seeds_dir())
+        .expect("tests/seeds/ exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(&p).expect("seed file readable");
+            let doc =
+                json::parse(&text).unwrap_or_else(|e| panic!("{}: bad JSON: {e}", p.display()));
+            (p, doc)
+        })
+        .collect()
+}
+
+/// The starter corpus: the three traffic shapes the issue calls out.
+/// Short durations keep the tier-1 replay fast; the shapes still hit
+/// the interesting machinery (hot shard, chaos retries, admission).
+fn starter_specs() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec {
+            name: "hot_key_storm".into(),
+            seed: 31,
+            objects: 64,
+            duration: SimDuration::from_secs(15),
+            curve: RateCurve::Constant { rate: 80.0 },
+            tenants: vec![TenantSpec::new("storm", 1.0, 1.5)],
+            admission: AdmissionSpec::off(),
+            chaos_rate: 0.0,
+            fairness_floor: 0.0,
+        },
+        ScenarioSpec {
+            name: "flash_crowd_chaos".into(),
+            seed: 7,
+            objects: 48,
+            duration: SimDuration::from_secs(20),
+            curve: RateCurve::FlashCrowd {
+                base: 20.0,
+                spike_rate: 150.0,
+                spike_start: SimDuration::from_secs(8),
+                spike_duration: SimDuration::from_secs(4),
+            },
+            tenants: vec![TenantSpec::new("crowd", 1.0, 0.8)],
+            admission: AdmissionSpec::off(),
+            chaos_rate: 0.1,
+            fairness_floor: 0.0,
+        },
+        ScenarioSpec {
+            name: "tenant_flood".into(),
+            seed: 13,
+            objects: 64,
+            duration: SimDuration::from_secs(15),
+            curve: RateCurve::Constant { rate: 100.0 },
+            tenants: vec![
+                TenantSpec::new("flooder", 10.0, 1.1),
+                TenantSpec::new("tenant-a", 1.0, 0.0),
+                TenantSpec::new("tenant-b", 1.0, 0.0),
+            ],
+            admission: AdmissionSpec::on(10.0, 20.0),
+            chaos_rate: 0.0,
+            fairness_floor: 0.8,
+        },
+    ]
+}
+
+#[test]
+fn seed_corpus_replays_deterministically() {
+    let corpus = corpus();
+    assert!(
+        corpus.len() >= 3,
+        "seed corpus must hold at least the three starter seeds, found {}",
+        corpus.len()
+    );
+    for (path, doc) in corpus {
+        let name = path.display();
+        let spec = ScenarioSpec::from_value(
+            doc.get("spec")
+                .unwrap_or_else(|| panic!("{name}: seed file lacks 'spec'")),
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let expect = doc
+            .get("expect")
+            .unwrap_or_else(|| panic!("{name}: seed file lacks 'expect'"));
+
+        let first = run_scenario(&spec);
+        let second = run_scenario(&spec);
+        assert_eq!(
+            first, second,
+            "{name}: same spec must replay identically within a build"
+        );
+
+        // The pinned outcome: byte-identical telemetry (FNV digest) and
+        // exact traffic counts, across hosts and over time.
+        assert_eq!(
+            Some(first.invocations),
+            expect["invocations"].as_u64(),
+            "{name}: arrival count drifted"
+        );
+        assert_eq!(
+            Some(first.completed),
+            expect["completed"].as_u64(),
+            "{name}: completion count drifted"
+        );
+        assert_eq!(
+            Some(format!("{:016x}", first.telemetry_digest).as_str()),
+            expect["telemetry_digest"].as_str(),
+            "{name}: telemetry no longer byte-identical to the recorded run"
+        );
+        assert_eq!(
+            Some(first.invariant_failures.len() as u64),
+            expect["invariant_failures"].as_u64(),
+            "{name}: invariant verdict changed: {:?}",
+            first.invariant_failures
+        );
+    }
+}
+
+/// Regenerates the starter seed files from the current platform
+/// behaviour. Run explicitly (`-- --ignored regen`) after a deliberate
+/// telemetry/scheduling change; never runs in tier-1.
+#[test]
+#[ignore = "regenerates tests/seeds/ — run only after intentional behaviour changes"]
+fn regen_starter_seeds() {
+    std::fs::create_dir_all(seeds_dir()).expect("seeds dir creatable");
+    for spec in starter_specs() {
+        let report = run_scenario(&spec);
+        assert!(
+            report.passed(),
+            "{}: starter seed must pass, got {:?}",
+            spec.name,
+            report.invariant_failures
+        );
+        let doc = vjson!({
+            "spec": (spec.to_value()),
+            "expect": (vjson!({
+                "invocations": (report.invocations),
+                "completed": (report.completed),
+                "telemetry_digest": (format!("{:016x}", report.telemetry_digest)),
+                "invariant_failures": ((report.invariant_failures.len()) as u64),
+            })),
+        });
+        let path = seeds_dir().join(format!("{}_{}.json", spec.name, spec.seed));
+        std::fs::write(&path, json::to_string_pretty(&doc)).expect("seed file writable");
+        eprintln!("wrote {}", path.display());
+    }
+}
