@@ -24,7 +24,7 @@ cargo run -q -p oprc-bench --bin chaos_smoke -- target/trace_chaos.json
 echo "==> flow doctor smoke (optimizer diagnostics OPRC050-053 + pinned JSON shape)"
 cargo run -q -p oprc-bench --bin flow_doctor_smoke
 
-echo "==> invoke hot-path perf gate (seeded; warm ns/op vs baseline + retry allocation budget)"
+echo "==> invoke hot-path perf gate (seeded; warm ns/op vs baseline + retry allocation budget + warm_batch sweep: batch=64 per-op vs batch=1 and batch-path allocs/op)"
 cargo run -q --release -p oprc-bench --bin invoke_hotpath -- --quick --check
 
 echo "==> observability smoke (byte-stable profile/slo exports + windows overhead gate)"

@@ -7,8 +7,8 @@
 //! ```
 //!
 //! Sweeps the invoke → route → build-task → execute → commit path over
-//! five seeded scenarios and emits `BENCH_invoke.json` with ns/op and
-//! allocation counts per case:
+//! a fixed set of seeded scenarios and emits `BENCH_invoke.json` with
+//! ns/op and allocation counts per case:
 //!
 //! - `cold_invoke` — first read after an in-memory-tier wipe (DHT miss,
 //!   DB fallback, re-warm);
@@ -23,7 +23,11 @@
 //! - `dataflow_8stage` — an eight-stage dataflow (two parallel steps per
 //!   stage) fanning intermediate values across scoped worker threads;
 //! - `dataflow_fused_chain` — a three-step same-object chain the flow
-//!   compiler fuses into one unit (one shard-lock hold, one commit).
+//!   compiler fuses into one unit (one shard-lock hold, one commit);
+//! - `warm_batch_{1,4,16,64}` — the `invoke_batch` sweep on the hot
+//!   object: one shard group per batch, a single lock hold and merged
+//!   commit amortized over the batch. Metrics are normalized per
+//!   *item* so the cases compare directly with `warm_invoke`.
 //!
 //! All workloads are fixed-seed and the retry schedule runs on the
 //! virtual chaos clock, so the *work done* per case is deterministic;
@@ -37,7 +41,10 @@
 //!   pre-optimisation baseline below;
 //! - the retry storm is no longer O(attempts) in state-snapshot deep
 //!   clones: allocations per extra attempt (vs the single-attempt
-//!   control) must stay within `RETRY_EXTRA_ATTEMPT_ALLOC_BUDGET`.
+//!   control) must stay within `RETRY_EXTRA_ATTEMPT_ALLOC_BUDGET`;
+//! - the batch path amortizes: warm batch=64 per-item time must be at
+//!   least `BATCH_SPEEDUP_FLOOR`× better than batch=1, and batch=64
+//!   per-item allocations must stay within `BATCH64_ALLOC_BUDGET`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -100,6 +107,17 @@ const BASELINE_RETRY_STORM_ALLOCS_PER_OP: u64 = 5_935;
 /// refcount-bump re-shipping costs a few dozen. Allocation counts are
 /// exact for a fixed seed, so this gate is machine-independent.
 const RETRY_EXTRA_ATTEMPT_ALLOC_BUDGET: u64 = 160;
+
+/// `--check`: warm batch=64 per-item time must beat batch=1 by at
+/// least this factor — the single lock hold, merged commit, and
+/// arena-amortized state clone have to actually amortize.
+const BATCH_SPEEDUP_FLOOR: u64 = 3;
+
+/// `--check`: per-item allocations at batch=64. The sequential warm
+/// path costs ~600 allocs/op (dominated by the copy-on-write state
+/// clone); the batch path pays that once per group and runs items out
+/// of the scratch arena, so per-item counts must stay in the tens.
+const BATCH64_ALLOC_BUDGET: u64 = 32;
 
 #[derive(Debug, Clone)]
 struct CaseResult {
@@ -367,6 +385,43 @@ fn unfused_chain_commits(ops: u64) -> u64 {
     p.metrics().commits_total() - c0
 }
 
+/// The `invoke_batch` sweep case: `total_items` invocations on one hot
+/// object submitted in batches of `size`. Reported metrics are
+/// normalized per *item* (one item ≡ one `warm_invoke` op), so the
+/// sweep reads as "per-op cost at this batch size".
+fn run_warm_batch(total_items: u64, size: u64) -> CaseResult {
+    use oprc_platform::embedded::BatchItem;
+    let case = match size {
+        1 => "warm_batch_1",
+        4 => "warm_batch_4",
+        16 => "warm_batch_16",
+        64 => "warm_batch_64",
+        _ => unreachable!("sweep sizes are pinned"),
+    };
+    let p = hot_platform();
+    let id = p.create_object("Hot", big_state()).expect("creates");
+    let batch =
+        |n: u64| -> Vec<BatchItem> { (0..n).map(|_| BatchItem::new(id, "incr", vec![])).collect() };
+    for _ in 0..8 {
+        for r in p.invoke_batch(batch(size)) {
+            r.expect("warms up");
+        }
+    }
+    let batches = (total_items / size).max(1);
+    let raw = measure(case, batches, || {
+        for r in p.invoke_batch(batch(size)) {
+            r.expect("batch item succeeds");
+        }
+    });
+    CaseResult {
+        case,
+        ops: batches * size,
+        ns_per_op: raw.ns_per_op / size,
+        allocs_per_op: raw.allocs_per_op / size,
+        bytes_per_op: raw.bytes_per_op / size,
+    }
+}
+
 fn run_dataflow(ops: u64) -> CaseResult {
     let p = dataflow_platform();
     let id = p.create_object("Flow8", vjson!({})).expect("creates");
@@ -393,7 +448,7 @@ fn main() {
 
     let (fused_case, fused_commits, fused_units) = run_dataflow_fused(df_ops);
     let unfused_commits = unfused_chain_commits(df_ops);
-    let results = vec![
+    let mut results = vec![
         run_cold(cold_ops),
         run_warm(warm_ops),
         run_retry_single(retry_ops),
@@ -401,6 +456,9 @@ fn main() {
         run_dataflow(df_ops),
         fused_case,
     ];
+    for size in [1, 4, 16, 64] {
+        results.push(run_warm_batch(warm_ops, size));
+    }
 
     for r in &results {
         eprintln!(
@@ -418,8 +476,15 @@ fn main() {
     let warm = by_case("warm_invoke");
     let storm = by_case("retry_storm");
     let single = by_case("retry_single");
+    let batch1 = by_case("warm_batch_1");
+    let batch64 = by_case("warm_batch_64");
     let warm_speedup = if warm.ns_per_op > 0 {
         BASELINE_WARM_NS_PER_OP as f64 / warm.ns_per_op as f64
+    } else {
+        f64::INFINITY
+    };
+    let batch_speedup = if batch64.ns_per_op > 0 {
+        batch1.ns_per_op as f64 / batch64.ns_per_op as f64
     } else {
         f64::INFINITY
     };
@@ -451,6 +516,7 @@ fn main() {
             "retry_storm_allocs_per_op": BASELINE_RETRY_STORM_ALLOCS_PER_OP,
         },
         "warm_speedup_vs_baseline": warm_speedup,
+        "batch_speedup_64v1": batch_speedup,
         "results": (Value::from(json_results)),
     });
     match std::fs::write("BENCH_invoke.json", json::to_string_pretty(&doc)) {
@@ -497,6 +563,10 @@ fn main() {
                 "retry_storm",
                 "dataflow_8stage",
                 "dataflow_fused_chain",
+                "warm_batch_1",
+                "warm_batch_4",
+                "warm_batch_16",
+                "warm_batch_64",
             ] {
                 if !cases.contains(&want) {
                     failures.push(format!("case '{want}' missing from results"));
@@ -550,16 +620,37 @@ fn main() {
             3 * df_ops
         ));
     }
+    // Batch amortization gate: batch=64 must spread the lock hold,
+    // state clone, and commit widely enough to beat batch=1 per item.
+    if batch64.ns_per_op * BATCH_SPEEDUP_FLOOR > batch1.ns_per_op {
+        failures.push(format!(
+            "warm batch=64 at {} ns/item is not {BATCH_SPEEDUP_FLOOR}x \
+             faster than batch=1 at {} ns/item",
+            batch64.ns_per_op, batch1.ns_per_op
+        ));
+    }
+    // Batch allocation gate: items run out of the per-batch scratch
+    // arena, so per-item counts stay in the tens, not the hundreds.
+    if batch64.allocs_per_op > BATCH64_ALLOC_BUDGET {
+        failures.push(format!(
+            "warm batch=64 costs {} allocs/item (budget {BATCH64_ALLOC_BUDGET}): \
+             the batch path is allocating per item instead of per group",
+            batch64.allocs_per_op
+        ));
+    }
 
     if failures.is_empty() {
         println!(
             "invoke_hotpath: ok — warm {} ns/op ({warm_speedup:.2}x vs baseline), \
-             {} allocs per extra retry attempt",
+             {} allocs per extra retry attempt, \
+             batch64 {} ns/item ({batch_speedup:.2}x vs batch=1, {} allocs/item)",
             warm.ns_per_op,
             storm
                 .allocs_per_op
                 .saturating_sub(single.allocs_per_op)
-                .div_ceil(STORM_ATTEMPTS - 1)
+                .div_ceil(STORM_ATTEMPTS - 1),
+            batch64.ns_per_op,
+            batch64.allocs_per_op
         );
     } else {
         for f in &failures {

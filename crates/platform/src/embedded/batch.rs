@@ -1,0 +1,687 @@
+//! The batched invocation path: shard-grouped `invoke_batch`
+//! (DESIGN.md §16).
+//!
+//! The paper's DHT layer exists to *consolidate batch write operations*
+//! (§IV, Fig. 3); this module is the invocation-plane substrate that
+//! claim rests on. A batch is grouped by state shard, each group runs
+//! its whole load→execute→commit loop under a **single** shard-lock
+//! hold, and every object a group touches is committed **once** — so a
+//! write-behind flush window sees one entry per object per group
+//! instead of one per invocation. A per-batch scratch arena (the
+//! running snapshots plus one reusable task shell, reset between
+//! groups) keeps the steady-state per-item allocation count in the
+//! single digits for batch ≥ 16.
+//!
+//! Lock-order interaction with the §12 tiers (Control ≺ Shard ≺ Leaf):
+//! classes are read in a short per-group directory peek, all
+//! control-plane resolution (plans, function registry, routing) happens
+//! strictly *before* the group's execution hold, and only leaf locks
+//! (breakers, metric stripes) are taken under it. Groups execute one
+//! shard at a time, honouring the one-shard-at-a-time rule.
+//!
+//! Pinned chaos behavior: with fault injection armed — or when any item
+//! names a dataflow — the whole batch degrades to sequential
+//! [`EmbeddedPlatform::invoke`] calls in submission order. Fault
+//! schedules are consumed in per-site program order, so the grouped
+//! path's reordering would change replay; degrading keeps a seeded
+//! chaos run byte-identical to the sequential plane and makes
+//! batch ≡ sequential equivalence exact by construction.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use oprc_core::invocation::{InvocationTask, TaskResult};
+use oprc_core::object::{FileRef, ObjectId};
+use oprc_store::presign::Method;
+use oprc_telemetry::TraceContext;
+use oprc_value::{merge, vjson, Snapshot, Value};
+
+use crate::PlatformError;
+
+use super::shard::{shard_index, Shard};
+use super::{
+    bucket_name, is_retryable, storage_key, DispatchPlan, EmbeddedPlatform, FunctionImpl, PlanTable,
+};
+
+/// One invocation in an [`EmbeddedPlatform::invoke_batch`] call.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// Target object.
+    pub id: ObjectId,
+    /// Function to invoke. An item naming a dataflow sends the whole
+    /// batch down the sequential path (a flow may span shards, which
+    /// must never happen under a held shard lock).
+    pub function: String,
+    /// Invocation arguments.
+    pub args: Vec<Value>,
+}
+
+impl BatchItem {
+    /// Convenience constructor.
+    pub fn new(id: ObjectId, function: impl Into<String>, args: Vec<Value>) -> Self {
+        BatchItem {
+            id,
+            function: function.into(),
+            args,
+        }
+    }
+}
+
+/// A batch item resolved against one consistent plan snapshot:
+/// everything the group runner needs without touching a control lock.
+struct ResolvedItem<'a> {
+    id: ObjectId,
+    class: String,
+    dispatch: &'a DispatchPlan,
+    plan: &'a super::ClassPlan,
+    f: FunctionImpl,
+}
+
+/// Per-batch scratch: the group runner's working set. Reset between
+/// groups with capacity retained, so steady-state items allocate close
+/// to nothing.
+struct BatchArena {
+    /// Running state per object touched by the current group, in
+    /// first-touch order. Groups are small: linear scans beat maps.
+    objects: Vec<GroupObject>,
+    /// The reusable task shell, rebuilt in place per item: dispatch
+    /// strings keep their capacity across items, so a homogeneous
+    /// group re-allocates none of them.
+    task: Option<InvocationTask>,
+    /// A shared empty snapshot used to release the task shell's ref on
+    /// a running state before merging into it (a refcount bump, never
+    /// an allocation).
+    empty: Snapshot,
+}
+
+impl BatchArena {
+    fn new() -> Self {
+        BatchArena {
+            objects: Vec::new(),
+            task: None,
+            empty: Snapshot::object(),
+        }
+    }
+}
+
+/// One object's running state within a shard group: loaded on first
+/// touch, patched in place by each item targeting it, stored once at
+/// group commit.
+struct GroupObject {
+    id: ObjectId,
+    key: Arc<str>,
+    class: String,
+    state: Snapshot,
+    /// Directory revision when loaded.
+    revision: u64,
+    /// Revision bumps accumulated by this group's items (mirrors the
+    /// sequential path: +1 per patch, +1 per file-writing result).
+    bumps: u64,
+    /// Whether any item patched the state (the store trigger).
+    dirty: bool,
+    persists: bool,
+    files_written: Vec<(String, String)>,
+    /// Presigned file URLs, built once per object per group.
+    file_urls: BTreeMap<String, String>,
+}
+
+impl EmbeddedPlatform {
+    /// Invokes a batch of methods, grouped by state shard (DESIGN.md
+    /// §16; the §IV batch-consolidation claim).
+    ///
+    /// Items are grouped by their target's shard; each group's
+    /// load→execute→commit loop runs under a single shard-lock hold,
+    /// and every object the group touched is committed once — later
+    /// items targeting the same object observe their predecessors'
+    /// patches, and items on the same object execute in submission
+    /// order. Results come back in submission order, one slot per item.
+    ///
+    /// Pinned behavior: with chaos armed, or when any item names a
+    /// dataflow, the whole batch degrades to sequential
+    /// [`EmbeddedPlatform::invoke`] calls in submission order (see the
+    /// module docs for why).
+    pub fn invoke_batch(&self, items: Vec<BatchItem>) -> Vec<Result<TaskResult, PlatformError>> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let started = self.now();
+        if self.chaos.is_enabled() {
+            return self.invoke_batch_sequential(items);
+        }
+        // Group slots by shard in first-touch order; slots stay in
+        // submission order inside each group.
+        let shard_count = self.shards.len();
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (slot, item) in items.iter().enumerate() {
+            let sx = shard_index(item.id, shard_count);
+            match groups.iter_mut().find(|(s, _)| *s == sx) {
+                Some((_, slots)) => slots.push(slot),
+                None => groups.push((sx, vec![slot])),
+            }
+        }
+        // Directory peek: one short lock acquisition per group to read
+        // target classes. Never overlaps another shard hold (§12's
+        // one-shard-at-a-time rule), and never overlaps a control lock.
+        let mut classes: Vec<Option<String>> = vec![None; items.len()];
+        for (sx, slots) in &groups {
+            let sh = self.shards[*sx].lock();
+            for &slot in slots {
+                classes[slot] = sh.objects.get(&items[slot].id).map(|e| e.class.clone());
+            }
+        }
+        // Off-lock resolution against one consistent plan snapshot.
+        let plans: Arc<PlanTable> = Arc::clone(&self.plans.read());
+        for (slot, item) in items.iter().enumerate() {
+            if let Some(class) = &classes[slot] {
+                if plans
+                    .get(class)
+                    .is_some_and(|p| p.dataflows.contains_key(&item.function))
+                {
+                    return self.invoke_batch_sequential(items);
+                }
+            }
+        }
+        let mut results: Vec<Option<Result<TaskResult, PlatformError>>> =
+            items.iter().map(|_| None).collect();
+        let mut resolved: Vec<Option<ResolvedItem<'_>>> = Vec::with_capacity(items.len());
+        {
+            let functions = self.functions.read();
+            for (slot, item) in items.iter().enumerate() {
+                resolved.push(self.resolve_item(
+                    item,
+                    classes[slot].as_deref(),
+                    &plans,
+                    &functions,
+                    started,
+                    &mut results[slot],
+                ));
+            }
+        }
+        let enabled = self.telemetry.is_enabled();
+        let root = if enabled {
+            let root = self.telemetry.begin_root("invoke.batch", started);
+            self.telemetry.attr(root, "size", items.len() as u64);
+            self.telemetry.attr(root, "shards", groups.len() as u64);
+            self.telemetry.attr(root, "groups", groups.len() as u64);
+            root
+        } else {
+            TraceContext::NONE
+        };
+        let mut items = items;
+        let mut arena = BatchArena::new();
+        for (sx, slots) in &groups {
+            let group_span = if enabled {
+                let s = self
+                    .telemetry
+                    .begin_child(root, "invoke.batch.group", self.now());
+                self.telemetry.attr(s, "shard", *sx as u64);
+                self.telemetry.attr(s, "items", slots.len() as u64);
+                s
+            } else {
+                TraceContext::NONE
+            };
+            // Routing consults the control-plane runtimes lock, so it
+            // runs per item *before* the group's shard hold.
+            for &slot in slots {
+                if let Some(r) = &resolved[slot] {
+                    self.route(&r.class, r.id, group_span);
+                }
+            }
+            let mut sh = self.shards[*sx].lock();
+            for &slot in slots {
+                let Some(r) = resolved[slot].as_ref() else {
+                    continue;
+                };
+                let args = std::mem::take(&mut items[slot].args);
+                let item_started = self.now();
+                // Each item is a child span of its group: under a
+                // single worker the child ids are allocated in
+                // submission order, so per-item ids are deterministic.
+                let item_span = if enabled {
+                    let s =
+                        self.telemetry
+                            .begin_child(group_span, "invoke.batch.item", item_started);
+                    self.telemetry.attr(s, "object", r.id.as_u64());
+                    self.telemetry.attr(s, "function", &*r.dispatch.function);
+                    s
+                } else {
+                    TraceContext::NONE
+                };
+                let out = self.run_batch_item(&mut sh, &mut arena, r, args, item_span);
+                if enabled {
+                    match &out {
+                        Ok(_) => self.telemetry.attr(item_span, "outcome", "ok"),
+                        Err(e) => self
+                            .telemetry
+                            .attr(item_span, "outcome", format!("error: {e}")),
+                    }
+                    self.telemetry.end(item_span, self.now());
+                }
+                self.record(&r.class, &r.dispatch.function, item_started, &out);
+                results[slot] = Some(out);
+            }
+            // Merged commit: each object this group touched is stored
+            // once, no matter how many items patched it.
+            self.commit_group(&mut sh, &mut arena, group_span);
+            drop(sh);
+            if enabled {
+                self.telemetry.end(group_span, self.now());
+            }
+        }
+        self.metrics
+            .record_batch(items.len() as u64, groups.len() as u64);
+        if enabled {
+            self.telemetry.end(root, self.now());
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot resolved or executed"))
+            .collect()
+    }
+
+    /// The multi-tenant batch entry point: charges one admission token
+    /// per item *before* any control-plane or shard lock is taken.
+    /// Rejected items fail with [`PlatformError::AdmissionRejected`] in
+    /// their slot; admitted items proceed through
+    /// [`EmbeddedPlatform::invoke_batch`]. Each admitted item's outcome
+    /// feeds the per-tenant metric series (latency attributed as the
+    /// whole batch's elapsed time — the batch is the unit the tenant
+    /// waited on).
+    pub fn invoke_batch_as(
+        &self,
+        tenant: &str,
+        items: Vec<BatchItem>,
+    ) -> Vec<Result<TaskResult, PlatformError>> {
+        let started = self.now();
+        let mut results: Vec<Option<Result<TaskResult, PlatformError>>> =
+            items.iter().map(|_| None).collect();
+        let mut admitted: Vec<BatchItem> = Vec::with_capacity(items.len());
+        let mut admitted_slots: Vec<usize> = Vec::with_capacity(items.len());
+        for (slot, item) in items.into_iter().enumerate() {
+            let ok = self
+                .admission
+                .as_ref()
+                .is_none_or(|a| a.admit(tenant, started));
+            if ok {
+                admitted_slots.push(slot);
+                admitted.push(item);
+            } else {
+                self.metrics.record_tenant_rejection(tenant);
+                results[slot] = Some(Err(PlatformError::AdmissionRejected {
+                    tenant: tenant.to_string(),
+                }));
+            }
+        }
+        let outs = self.invoke_batch(admitted);
+        let now = self.now();
+        let latency = now - started;
+        for (slot, out) in admitted_slots.into_iter().zip(outs) {
+            self.metrics
+                .record_tenant(tenant, now, latency, out.is_ok());
+            results[slot] = Some(out);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("admitted or rejected"))
+            .collect()
+    }
+
+    /// The pinned degraded mode: every item through the sequential
+    /// plane, in submission order.
+    fn invoke_batch_sequential(
+        &self,
+        items: Vec<BatchItem>,
+    ) -> Vec<Result<TaskResult, PlatformError>> {
+        items
+            .into_iter()
+            .map(|it| self.invoke(it.id, &it.function, it.args))
+            .collect()
+    }
+
+    /// Resolves one item against the plan snapshot, mirroring
+    /// [`EmbeddedPlatform::invoke_routed`]'s error chain. Items that
+    /// cannot execute get their error slotted here; only an unknown
+    /// image is recorded into the metric windows (sequential parity —
+    /// earlier resolution misses never reach `record` there either).
+    fn resolve_item<'a>(
+        &self,
+        item: &BatchItem,
+        class: Option<&str>,
+        plans: &'a PlanTable,
+        functions: &super::FunctionRegistry,
+        started: oprc_simcore::SimTime,
+        slot: &mut Option<Result<TaskResult, PlatformError>>,
+    ) -> Option<ResolvedItem<'a>> {
+        let Some(class) = class else {
+            *slot = Some(Err(PlatformError::UnknownObject(item.id.as_u64())));
+            return None;
+        };
+        let Some(plan) = plans.get(class) else {
+            // Plans cover every registered class, so a missing plan
+            // means an undeployed class — surface the registry's error.
+            let err = match self.registry.read().require_class(class) {
+                Err(e) => e.into(),
+                Ok(_) => unreachable!("deployed classes are planned"),
+            };
+            *slot = Some(Err(err));
+            return None;
+        };
+        let Some(dispatch) = plan.functions.get(&item.function) else {
+            *slot = Some(Err(PlatformError::Core(
+                oprc_core::CoreError::UnknownFunction {
+                    class: class.to_string(),
+                    function: item.function.clone(),
+                },
+            )));
+            return None;
+        };
+        if dispatch.internal {
+            *slot = Some(Err(PlatformError::AccessDenied {
+                class: class.to_string(),
+                function: item.function.clone(),
+            }));
+            return None;
+        }
+        let Some(f) = functions.get(&dispatch.image) else {
+            let err = Err(PlatformError::UnknownImage(dispatch.image.to_string()));
+            self.record(class, &item.function, started, &err);
+            *slot = Some(err);
+            return None;
+        };
+        Some(ResolvedItem {
+            id: item.id,
+            class: class.to_string(),
+            dispatch,
+            plan,
+            f,
+        })
+    }
+
+    /// Runs one item under the group's held shard lock, mirroring
+    /// [`EmbeddedPlatform::invoke_with_retry`]'s policy semantics:
+    /// breaker gate, bounded attempts with the same seeded backoff
+    /// stream, per-invocation deadline. State effects go to the arena's
+    /// running snapshot — the store is deferred to the group commit.
+    /// The committed-map/torn-ack machinery is not needed here: torn
+    /// outcomes only exist under chaos, and chaos pins the batch to the
+    /// sequential path.
+    fn run_batch_item(
+        &self,
+        sh: &mut Shard,
+        arena: &mut BatchArena,
+        r: &ResolvedItem<'_>,
+        args: Vec<Value>,
+        parent: TraceContext,
+    ) -> Result<TaskResult, PlatformError> {
+        let policy = &r.plan.retry;
+        let function: &str = &r.dispatch.function;
+        // Breakers are leaf-tier: taking them under the shard hold is
+        // the sanctioned §12 order (Control ≺ Shard ≺ Leaf).
+        self.breaker_admit(&r.class, function, &r.dispatch.breaker_key, policy)?;
+        let ikey = self.next_invocation.fetch_add(1, Ordering::Relaxed);
+        let ox = self.group_object(sh, arena, r, parent)?;
+        let enabled = self.telemetry.is_enabled();
+        self.shape_task(arena, ox, r, args, ikey, parent, enabled);
+        let mut backoffs =
+            policy.backoff_seq(self.jitter_seed ^ ikey.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let attempt_started = self.chaos_now();
+        let mut last_err = None;
+        let max_attempts = policy.max_attempts.max(1);
+        for attempt in 1..=max_attempts {
+            let task = arena.task.as_ref().expect("shaped above");
+            let exec_span = self.begin_execute_span(task, parent);
+            let result = (r.f)(task).map_err(PlatformError::from);
+            if enabled {
+                if let Err(e) = &result {
+                    self.telemetry.attr(exec_span, "error", e.to_string());
+                }
+                self.telemetry.end(exec_span, self.now());
+            }
+            match result {
+                Ok(out) => {
+                    // Release the task shell's ref on the running
+                    // snapshot so the merge mutates it in place
+                    // instead of deep-cloning.
+                    let empty = arena.empty.clone();
+                    if let Some(task) = arena.task.as_mut() {
+                        task.state_in = empty;
+                    }
+                    apply_to_group(&mut arena.objects[ox], &out);
+                    self.breaker_settle(&r.class, function, &r.dispatch.breaker_key, true);
+                    return Ok(out);
+                }
+                Err(e) if is_retryable(&e) && attempt < max_attempts => {
+                    let delay = backoffs.next().expect("backoff sequence is infinite");
+                    let elapsed = self.chaos_now() - attempt_started;
+                    if elapsed + delay > policy.deadline {
+                        last_err = Some(PlatformError::DeadlineExceeded {
+                            function: function.to_string(),
+                            deadline_ms: policy.deadline.as_millis_f64() as u64,
+                        });
+                        break;
+                    }
+                    self.chaos_clock
+                        .fetch_add(delay.as_nanos(), Ordering::Relaxed);
+                    self.metrics.record_retry(&r.class, function);
+                    if enabled {
+                        self.telemetry.instant_under(
+                            parent,
+                            "retry.backoff",
+                            vjson!({
+                                "attempt": (u64::from(attempt)),
+                                "delay_ms": (delay.as_millis_f64()),
+                                "error": (e.to_string()),
+                            }),
+                            self.now(),
+                        );
+                    }
+                    last_err = Some(e);
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    break;
+                }
+            }
+        }
+        self.breaker_settle(&r.class, function, &r.dispatch.breaker_key, false);
+        Err(last_err.expect("loop ran at least one attempt"))
+    }
+
+    /// Finds or creates the group's running state for `r`'s object:
+    /// first touch loads from the shard's storage stack (and presigns
+    /// file URLs once); later items reuse the in-arena snapshot.
+    fn group_object(
+        &self,
+        sh: &mut Shard,
+        arena: &mut BatchArena,
+        r: &ResolvedItem<'_>,
+        parent: TraceContext,
+    ) -> Result<usize, PlatformError> {
+        if let Some(ix) = arena.objects.iter().position(|o| o.id == r.id) {
+            return Ok(ix);
+        }
+        let key = match sh.objects.get(&r.id) {
+            Some(entry) => Arc::clone(&entry.storage_key),
+            None => Arc::from(storage_key(&r.class, r.id).as_str()),
+        };
+        let enabled = self.telemetry.is_enabled();
+        let load_span = if enabled {
+            let s = self.telemetry.begin_child(parent, "state.load", self.now());
+            self.telemetry.attr(s, "key", &*key);
+            s
+        } else {
+            TraceContext::NONE
+        };
+        let sink = self.telemetry.clone();
+        let loaded = sh.state.load_traced(self.now(), &key, &sink, load_span);
+        if enabled {
+            self.telemetry.attr(load_span, "hit", loaded.is_some());
+            self.telemetry.end(load_span, self.now());
+        }
+        let state = loaded.unwrap_or_else(Snapshot::object);
+        let revision = sh.objects.get(&r.id).map_or(0, |e| e.revision);
+        let mut file_urls = BTreeMap::new();
+        for fk in r.plan.file_keys.iter() {
+            file_urls.insert(
+                fk.clone(),
+                self.presign_for(&r.class, r.id, fk, Method::Get)?,
+            );
+            file_urls.insert(
+                format!("{fk}:put"),
+                self.presign_for(&r.class, r.id, fk, Method::Put)?,
+            );
+        }
+        arena.objects.push(GroupObject {
+            id: r.id,
+            key,
+            class: r.class.clone(),
+            state,
+            revision,
+            bumps: 0,
+            dirty: false,
+            persists: r.plan.persists,
+            files_written: Vec::new(),
+            file_urls,
+        });
+        Ok(arena.objects.len() - 1)
+    }
+
+    /// (Re)shapes the arena's reusable task shell for one item. The
+    /// dispatch strings are rewritten only when they changed, so a
+    /// homogeneous group allocates none of them after the first item.
+    #[allow(clippy::too_many_arguments)]
+    fn shape_task(
+        &self,
+        arena: &mut BatchArena,
+        ox: usize,
+        r: &ResolvedItem<'_>,
+        args: Vec<Value>,
+        ikey: u64,
+        parent: TraceContext,
+        enabled: bool,
+    ) {
+        let obj = &arena.objects[ox];
+        let task_id = self.next_task.fetch_add(1, Ordering::Relaxed);
+        match &mut arena.task {
+            Some(task) => {
+                task.task_id = task_id;
+                task.object = r.id;
+                set_str(&mut task.impl_class, &r.dispatch.impl_class);
+                set_str(&mut task.function, &r.dispatch.function);
+                set_str(&mut task.image, &r.dispatch.image);
+                task.state_in = obj.state.clone();
+                task.state_revision = obj.revision + obj.bumps;
+                task.args = args;
+                task.file_urls.clear();
+                task.file_urls
+                    .extend(obj.file_urls.iter().map(|(k, v)| (k.clone(), v.clone())));
+                task.trace = enabled.then_some(parent);
+                task.idempotency_key = ikey;
+            }
+            None => {
+                arena.task = Some(InvocationTask {
+                    task_id,
+                    object: r.id,
+                    impl_class: r.dispatch.impl_class.to_string(),
+                    function: r.dispatch.function.to_string(),
+                    image: r.dispatch.image.to_string(),
+                    state_in: obj.state.clone(),
+                    state_revision: obj.revision + obj.bumps,
+                    args,
+                    file_urls: obj.file_urls.clone(),
+                    trace: enabled.then_some(parent),
+                    idempotency_key: ikey,
+                });
+            }
+        }
+    }
+
+    /// The merged group commit: every touched object stored once (when
+    /// dirty), file refs and revision bumps applied, and the arena
+    /// drained for the next group (capacity retained).
+    fn commit_group(&self, sh: &mut Shard, arena: &mut BatchArena, group_span: TraceContext) {
+        let enabled = self.telemetry.is_enabled();
+        let now = self.now();
+        let dirty = arena
+            .objects
+            .iter()
+            .filter(|o| o.dirty || !o.files_written.is_empty())
+            .count();
+        let commit_span = if enabled && dirty > 0 {
+            let s = self.telemetry.begin_child(group_span, "state.commit", now);
+            self.telemetry.attr(s, "objects", dirty as u64);
+            self.telemetry.attr(s, "merged", true);
+            s
+        } else {
+            TraceContext::NONE
+        };
+        let sink = self.telemetry.clone();
+        for obj in arena.objects.drain(..) {
+            if obj.dirty {
+                sh.state
+                    .store_traced(now, &obj.key, obj.state, obj.persists, &sink, commit_span);
+                self.metrics.record_commit();
+            }
+            if !obj.files_written.is_empty() {
+                let bucket = bucket_name(&obj.class);
+                if let Some(entry) = sh.objects.get_mut(&obj.id) {
+                    for (file_key, etag) in &obj.files_written {
+                        entry.files.insert(
+                            file_key.clone(),
+                            FileRef {
+                                bucket: bucket.clone(),
+                                key: format!("{}/{file_key}", obj.id),
+                                etag: Some(etag.clone()),
+                            },
+                        );
+                    }
+                }
+            }
+            if obj.bumps > 0 {
+                if let Some(entry) = sh.objects.get_mut(&obj.id) {
+                    entry.revision += obj.bumps;
+                }
+            }
+        }
+        if !commit_span.is_none() {
+            self.telemetry.end(commit_span, self.now());
+        }
+        // The task shell survives for the next group, but must not pin
+        // snapshots or arguments across it.
+        let empty = arena.empty.clone();
+        if let Some(task) = arena.task.as_mut() {
+            task.state_in = empty;
+            task.args.clear();
+            task.file_urls.clear();
+        }
+    }
+}
+
+/// Applies one successful result to the group's running object state
+/// (the deferred-store half of the sequential `apply_result`).
+fn apply_to_group(obj: &mut GroupObject, out: &TaskResult) {
+    if let Some(patch) = &out.state_patch {
+        let state = obj.state.make_mut();
+        merge::deep_merge(state, patch.clone());
+        merge::normalize(state);
+        obj.dirty = true;
+        obj.bumps += 1;
+    }
+    if !out.files_written.is_empty() {
+        obj.files_written.extend(
+            out.files_written
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone())),
+        );
+        obj.bumps += 1;
+    }
+}
+
+/// Overwrites `dst` with `src` in place, reusing capacity.
+fn set_str(dst: &mut String, src: &str) {
+    if dst != src {
+        dst.clear();
+        dst.push_str(src);
+    }
+}

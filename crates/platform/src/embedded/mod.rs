@@ -31,11 +31,13 @@
 //! chaos replay (fixed seed) and logical-clock telemetry exports stay
 //! byte-identical.
 
+mod batch;
 mod functions;
 mod s3;
 mod shard;
 mod state;
 
+pub use batch::BatchItem;
 pub use functions::{FunctionImpl, FunctionRegistry};
 pub use s3::S3Gateway;
 pub use shard::{ShardStats, DEFAULT_SHARD_COUNT};
@@ -1186,11 +1188,12 @@ impl EmbeddedPlatform {
         }
         let out = self.invoke(id, function, args);
         let now = self.now();
-        let (latency, ok) = match &out {
-            Ok(_) => (now - started, true),
-            Err(_) => (SimDuration::ZERO, false),
-        };
-        self.metrics.record_tenant(tenant, now, latency, ok);
+        // Errors carry their real elapsed time too: a failed call
+        // occupied the tenant for as long as it ran, and a zero
+        // latency would skew the tenant windows toward zero.
+        let latency = now - started;
+        self.metrics
+            .record_tenant(tenant, now, latency, out.is_ok());
         out
     }
 
@@ -1237,12 +1240,13 @@ impl EmbeddedPlatform {
                 function: function.to_string(),
             });
         }
-        let dispatch = dispatch.clone();
+        // The dispatch stays borrowed from the plan snapshot: `plans`
+        // outlives the whole call, so no per-invoke clone is needed.
         self.route(&class, id, root);
         // Prefetch the implementation so the shard lock is never held
         // while consulting the function registry.
         let out = match self.functions.read().get(&dispatch.image) {
-            Some(f) => self.invoke_with_retry(id, &class, plan, &dispatch, &f, args, root),
+            Some(f) => self.invoke_with_retry(id, &class, plan, dispatch, &f, args, root),
             None => Err(PlatformError::UnknownImage(dispatch.image.to_string())),
         };
         self.record(&class, function, started, &out);

@@ -38,6 +38,8 @@
 //! admission off                       disable admission control
 //! invoke-as <tenant> <obj-id> <fn> [json-arg]*
 //!                                     invoke charged to a tenant's budget
+//! invoke-batch <obj-id> <fn> [json-arg]* [ ; ... ]*
+//!                                     batch-invoke methods, grouped by shard
 //! ```
 
 use oprc_chaos::{FaultKind, FaultPlan, InjectionSite};
@@ -50,7 +52,7 @@ use oprc_telemetry::{
 use oprc_value::{json, Value};
 
 use crate::admission::AdmissionConfig;
-use crate::embedded::{EmbeddedPlatform, FlowEdit};
+use crate::embedded::{BatchItem, EmbeddedPlatform, FlowEdit};
 use crate::monitoring::MID_LOOKBACK;
 use crate::PlatformError;
 
@@ -186,6 +188,7 @@ impl OprcCtl {
             "chaos" => self.chaos_cmd(rest),
             "admission" => self.admission_cmd(rest),
             "invoke-as" => self.invoke_as_cmd(rest),
+            "invoke-batch" => self.invoke_batch_cmd(rest),
             "flow" => self.flow_cmd(rest),
             "help" => Ok(CommandOutput::text(HELP.trim())),
             other => Err(CommandError::UnknownCommand(other.to_string())),
@@ -482,6 +485,8 @@ impl OprcCtl {
             "completed_total": completed,
             "errors_total": errors,
             "retries_total": (self.platform.metrics().retries_total()),
+            "batched_ops_total": (self.platform.metrics().batched_ops_total()),
+            "batch_groups_total": (self.platform.metrics().batch_groups_total()),
             "uptime_s": uptime_s,
             "ops_per_sec": ops_per_sec,
         });
@@ -540,6 +545,13 @@ impl OprcCtl {
         text.push_str(&format!(
             "\n\ntotal: {completed} completed, {errors} errors ({ops_per_sec:.1} ops/s over {uptime_s:.1}s)"
         ));
+        let batched = self.platform.metrics().batched_ops_total();
+        if batched > 0 {
+            text.push_str(&format!(
+                "\nbatched: {batched} ops in {} shard groups",
+                self.platform.metrics().batch_groups_total()
+            ));
+        }
         let busy: Vec<&crate::embedded::ShardStats> =
             shard_rows.iter().filter(|s| s.acquisitions > 0).collect();
         if !busy.is_empty() {
@@ -942,6 +954,60 @@ impl OprcCtl {
         ))
     }
 
+    /// `invoke-batch <obj-id> <fn> [json-arg]* [ ; <obj-id> <fn> [json-arg]* ]*`:
+    /// submits all items as one [`EmbeddedPlatform::invoke_batch`] call
+    /// — grouped by shard, one lock hold and one merged commit per
+    /// group. Items are separated by a standalone `;` token. The output
+    /// is one line per item (in submission order) and a JSON array
+    /// carrying each item's output or `{"error": ...}`.
+    fn invoke_batch_cmd(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        const USAGE: &str =
+            "invoke-batch <obj-id> <fn> [json-arg]* [ ; <obj-id> <fn> [json-arg]* ]*";
+        let parts = split_args(rest);
+        let mut items = Vec::new();
+        for raw in parts.split(|p| p == ";") {
+            if raw.is_empty() {
+                continue;
+            }
+            if raw.len() < 2 {
+                return Err(CommandError::Usage(USAGE.into()));
+            }
+            let id = parse_object(&raw[0])?;
+            let function = raw[1].clone();
+            let mut args = Vec::new();
+            for a in &raw[2..] {
+                args.push(
+                    json::parse(a).map_err(|e| {
+                        CommandError::Usage(format!("bad argument JSON '{a}': {e}"))
+                    })?,
+                );
+            }
+            items.push(BatchItem::new(id, function, args));
+        }
+        if items.is_empty() {
+            return Err(CommandError::Usage(USAGE.into()));
+        }
+        let outs = self.platform.invoke_batch(items);
+        let mut text = String::new();
+        let mut values = Vec::with_capacity(outs.len());
+        for (i, out) in outs.into_iter().enumerate() {
+            if i > 0 {
+                text.push('\n');
+            }
+            match out {
+                Ok(result) => {
+                    text.push_str(&format!("[{i}] {}", json::to_string(&result.output)));
+                    values.push(result.output);
+                }
+                Err(e) => {
+                    text.push_str(&format!("[{i}] error: {e}"));
+                    values.push(oprc_value::vjson!({"error": (e.to_string())}));
+                }
+            }
+        }
+        Ok(CommandOutput::with_value(text, Value::Array(values)))
+    }
+
     /// `top`: one-line-per-class health table (completions, error
     /// fraction, throughput, latency percentiles).
     fn top(&mut self) -> Result<CommandOutput, CommandError> {
@@ -1141,6 +1207,8 @@ admission status [--json]         bucket levels, tenant stats, fairness
 admission off                     disable admission control
 invoke-as <tenant> <obj-id> <fn> [json-arg]*
                                   invoke charged to a tenant's budget
+invoke-batch <obj-id> <fn> [json-arg]* [ ; <obj-id> <fn> [json-arg]* ]*
+                                  invoke many methods in one shard-grouped batch
 flow doctor [--json] [class [flow]]
                                   dataflow diagnostics (OPRC050-054)
 flow add-step <class> <flow> <id> <fn> [--input <ref>]* [--target <ref>] [--before <step>]
@@ -1331,6 +1399,38 @@ mod tests {
         ));
         assert!(matches!(
             ctl.execute("deploy @/no/such/file.yaml"),
+            Err(CommandError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn invoke_batch_command_runs_items_in_order() {
+        let mut ctl = ctl();
+        ctl.execute("create Counter").unwrap();
+        ctl.execute("create Counter").unwrap();
+        // Two items on obj-0 serialize in submission order; the add on
+        // obj-1 rides the same batch. A missing function errors in its
+        // slot without failing the command.
+        let out = ctl
+            .execute("invoke-batch obj-0 incr ; obj-1 add 2 3 ; obj-0 incr ; obj-0 nope")
+            .unwrap();
+        let values = match out.value.unwrap() {
+            Value::Array(v) => v,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(values[0].as_i64(), Some(1));
+        assert_eq!(values[1].as_i64(), Some(5));
+        assert_eq!(values[2].as_i64(), Some(2));
+        assert!(values[3]["error"].as_str().unwrap().contains("nope"));
+        assert!(out.text.contains("[3] error:"));
+        let state = ctl.execute("state obj-0").unwrap().value.unwrap();
+        assert_eq!(state["count"].as_i64(), Some(2));
+        assert!(matches!(
+            ctl.execute("invoke-batch"),
+            Err(CommandError::Usage(_))
+        ));
+        assert!(matches!(
+            ctl.execute("invoke-batch obj-0"),
             Err(CommandError::Usage(_))
         ));
     }

@@ -302,6 +302,11 @@ struct CumulativeTotals {
     retries: AtomicU64,
     commits: AtomicU64,
     fused_units: AtomicU64,
+    /// Items that went through the grouped `invoke_batch` fast path.
+    batched_ops: AtomicU64,
+    /// Shard groups executed by `invoke_batch` (one single-hold
+    /// load→execute→commit loop each).
+    batch_groups: AtomicU64,
     /// Next sample sequence number (see [`Sample::seq`]).
     sample_seq: AtomicU64,
 }
@@ -629,6 +634,29 @@ impl MetricsHub {
     /// Fused chain executions since startup (lock-free).
     pub fn fused_units_total(&self) -> u64 {
         self.totals.fused_units.load(Ordering::Relaxed)
+    }
+
+    /// Records one grouped `invoke_batch` execution: `items` items
+    /// across `groups` single-hold shard groups. Per-item outcomes go
+    /// through [`MetricsHub::record_invocation`] as usual — these
+    /// counters measure how much work the batch plane amortized.
+    pub fn record_batch(&self, items: u64, groups: u64) {
+        self.totals.batched_ops.fetch_add(items, Ordering::Relaxed);
+        self.totals
+            .batch_groups
+            .fetch_add(groups, Ordering::Relaxed);
+    }
+
+    /// Items executed through the grouped batch path since startup
+    /// (lock-free).
+    pub fn batched_ops_total(&self) -> u64 {
+        self.totals.batched_ops.load(Ordering::Relaxed)
+    }
+
+    /// Shard groups executed by the batch path since startup
+    /// (lock-free).
+    pub fn batch_groups_total(&self) -> u64 {
+        self.totals.batch_groups.load(Ordering::Relaxed)
     }
 
     /// Records the current circuit-breaker state of `class::function`.

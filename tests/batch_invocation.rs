@@ -1,0 +1,335 @@
+//! Integration: the shard-grouped batch invocation path.
+//!
+//! `invoke_batch` must be observationally equivalent to invoking each
+//! item sequentially — per-slot results and final object state — while
+//! acquiring each touched shard's lock a bounded number of times and
+//! committing each dirty object once per group. Under chaos the batch
+//! path pins itself to the sequential fallback, so seeded replays stay
+//! byte-identical with or without batching.
+
+use oprc_chaos::{FaultPlan, InjectionSite};
+use oprc_core::invocation::{TaskError, TaskResult};
+use oprc_platform::admission::AdmissionConfig;
+use oprc_platform::embedded::{BatchItem, EmbeddedPlatform};
+use oprc_platform::PlatformError;
+use oprc_value::vjson;
+use proptest::prelude::*;
+
+/// A platform with one Counter class: a state-mutating `incr`, a pure
+/// `add`, and an always-failing `boom`.
+///
+/// `armed` adds an availability tier (retries + a class-wide circuit
+/// breaker). The strict batch≡sequential proptest runs *unarmed*: the
+/// breaker is keyed per class-function and shared across objects, and
+/// the batch path executes in shard-group order, so a shared breaker's
+/// trip points can legitimately differ from submission order — exactly
+/// as they would for concurrent callers. Per-object semantics are
+/// unaffected. The chaos suite runs armed: chaos pins the sequential
+/// fallback, so the breaker evolves identically there.
+fn platform(armed: bool) -> EmbeddedPlatform {
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/incr", |task| {
+        let n = task.state_in["count"].as_i64().unwrap_or(0) + 1;
+        Ok(TaskResult::output(n).with_patch(vjson!({ "count": n })))
+    });
+    p.register_function("img/add", |task| {
+        let sum: i64 = task.args.iter().filter_map(oprc_value::Value::as_i64).sum();
+        Ok(TaskResult::output(sum))
+    });
+    p.register_function("img/boom", |_| Err(TaskError::Application("boom".into())));
+    let qos = if armed {
+        "    qos:\n      availability: 0.99\n"
+    } else {
+        ""
+    };
+    p.deploy_yaml(&format!(
+        "
+classes:
+  - name: Counter
+{qos}    keySpecs: [count]
+    functions:
+      - name: incr
+        image: img/incr
+      - name: add
+        image: img/add
+      - name: boom
+        image: img/boom
+",
+    ))
+    .unwrap();
+    p
+}
+
+fn batch_platform() -> EmbeddedPlatform {
+    platform(false)
+}
+
+/// The three op kinds the equivalence suites mix together.
+fn op_call(choice: u8) -> (&'static str, Vec<oprc_value::Value>) {
+    match choice % 3 {
+        0 => ("incr", vec![]),
+        1 => ("add", vec![vjson!(2), vjson!(3)]),
+        _ => ("boom", vec![]),
+    }
+}
+
+proptest! {
+    /// Batch ≡ sequential: over an arbitrary mix of objects and
+    /// functions (including failures), `invoke_batch` on one platform
+    /// produces slot-for-slot the same results and the same final
+    /// object states as per-item `invoke` on an identically prepared
+    /// platform.
+    #[test]
+    fn batch_equals_sequential(
+        ops in prop::collection::vec((0usize..6, 0u8..3), 0..24),
+    ) {
+        let a = batch_platform();
+        let b = batch_platform();
+        let ids_a: Vec<_> = (0..6)
+            .map(|_| a.create_object("Counter", vjson!({ "count": 0 })).unwrap())
+            .collect();
+        let ids_b: Vec<_> = (0..6)
+            .map(|_| b.create_object("Counter", vjson!({ "count": 0 })).unwrap())
+            .collect();
+        prop_assert_eq!(&ids_a, &ids_b, "fresh platforms must mint identical ids");
+
+        let items = ops
+            .iter()
+            .map(|&(ox, fx)| {
+                let (f, args) = op_call(fx);
+                BatchItem::new(ids_a[ox], f, args)
+            })
+            .collect();
+        let batched = a.invoke_batch(items);
+        let sequential: Vec<_> = ops
+            .iter()
+            .map(|&(ox, fx)| {
+                let (f, args) = op_call(fx);
+                b.invoke(ids_b[ox], f, args)
+            })
+            .collect();
+        prop_assert_eq!(batched, sequential);
+        for (ia, ib) in ids_a.iter().zip(&ids_b) {
+            prop_assert_eq!(a.get_state(*ia).unwrap(), b.get_state(*ib).unwrap());
+        }
+    }
+}
+
+/// Under chaos the batch path degrades to the exact sequential fallback,
+/// so a seeded run replays byte-identically whether the caller batched
+/// or not: same per-slot outcomes, same final state.
+#[test]
+fn batch_equals_sequential_under_chaos() {
+    for seed in 0..8u64 {
+        let mut a = platform(true);
+        let mut b = platform(true);
+        for p in [&mut a, &mut b] {
+            p.enable_chaos(FaultPlan::new(seed).rate_all(0.3).latency_share(0.2));
+        }
+        let ids_a: Vec<_> = (0..4)
+            .map(|_| a.create_object("Counter", vjson!({ "count": 0 })).unwrap())
+            .collect();
+        let ids_b: Vec<_> = (0..4)
+            .map(|_| b.create_object("Counter", vjson!({ "count": 0 })).unwrap())
+            .collect();
+        let ops: Vec<(usize, u8)> = (0..20).map(|i| (i % 4, (i % 3) as u8)).collect();
+        let items = ops
+            .iter()
+            .map(|&(ox, fx)| {
+                let (f, args) = op_call(fx);
+                BatchItem::new(ids_a[ox], f, args)
+            })
+            .collect();
+        let batched = a.invoke_batch(items);
+        let sequential: Vec<_> = ops
+            .iter()
+            .map(|&(ox, fx)| {
+                let (f, args) = op_call(fx);
+                b.invoke(ids_b[ox], f, args)
+            })
+            .collect();
+        assert_eq!(batched, sequential, "seed {seed} diverged under chaos");
+        for (ia, ib) in ids_a.iter().zip(&ids_b) {
+            assert_eq!(
+                a.get_state(*ia).unwrap(),
+                b.get_state(*ib).unwrap(),
+                "seed {seed} left divergent state"
+            );
+        }
+    }
+}
+
+/// Items naming the same object execute in submission order: each
+/// `incr` observes every earlier item's committed patch even though the
+/// group commits to the store only once.
+#[test]
+fn same_object_items_run_in_submission_order() {
+    let p = batch_platform();
+    let id = p.create_object("Counter", vjson!({ "count": 0 })).unwrap();
+    let items = (0..5).map(|_| BatchItem::new(id, "incr", vec![])).collect();
+    let outs = p.invoke_batch(items);
+    for (i, out) in outs.iter().enumerate() {
+        assert_eq!(
+            out.as_ref().unwrap().output.as_i64(),
+            Some(i as i64 + 1),
+            "item {i} did not see its predecessors' writes"
+        );
+    }
+    assert_eq!(p.get_state(id).unwrap()["count"].as_i64(), Some(5));
+}
+
+/// The grouped path takes each touched shard's lock exactly twice (one
+/// directory peek, one execution hold), no matter how many items land
+/// on the shard; untouched shards are never locked.
+#[test]
+fn batch_locks_each_touched_shard_twice() {
+    let p = batch_platform();
+    let ids: Vec<_> = (0..8)
+        .map(|_| p.create_object("Counter", vjson!({ "count": 0 })).unwrap())
+        .collect();
+    let before: Vec<u64> = p.shard_stats().iter().map(|s| s.acquisitions).collect();
+    // Three items per object stresses the "once per group, not per
+    // item" claim.
+    let items = ids
+        .iter()
+        .flat_map(|id| (0..3).map(|_| BatchItem::new(*id, "incr", vec![])))
+        .collect();
+    for out in p.invoke_batch(items) {
+        out.unwrap();
+    }
+    let groups = p.metrics().batch_groups_total();
+    assert!(groups >= 2, "8 objects should span at least two shards");
+    let mut touched = 0;
+    for (s, prev) in p.shard_stats().iter().zip(&before) {
+        let delta = s.acquisitions - prev;
+        assert!(
+            delta == 0 || delta == 2,
+            "shard {} locked {delta} times during one batch",
+            s.shard
+        );
+        touched += u64::from(delta == 2);
+    }
+    assert_eq!(touched, groups, "every group locks exactly one shard");
+}
+
+/// `invoke_batch_as` charges one admission token per item before any
+/// lock: with two tokens and no refill, a three-item batch admits the
+/// first two slots and rejects the third in place.
+#[test]
+fn batch_admission_charges_one_token_per_item() {
+    let mut p = batch_platform();
+    p.enable_admission(AdmissionConfig::new(0.0, 2.0));
+    let id = p.create_object("Counter", vjson!({ "count": 0 })).unwrap();
+    let items = (0..3).map(|_| BatchItem::new(id, "incr", vec![])).collect();
+    let outs = p.invoke_batch_as("acme", items);
+    assert_eq!(outs[0].as_ref().unwrap().output.as_i64(), Some(1));
+    assert_eq!(outs[1].as_ref().unwrap().output.as_i64(), Some(2));
+    match &outs[2] {
+        Err(PlatformError::AdmissionRejected { tenant }) => assert_eq!(tenant, "acme"),
+        other => panic!("expected admission rejection, got {other:?}"),
+    }
+    assert_eq!(p.get_state(id).unwrap()["count"].as_i64(), Some(2));
+}
+
+/// The grouped path feeds the batch counters; the sequential fallbacks
+/// (chaos, dataflow items) do not, so the counters measure how much
+/// traffic actually amortized.
+#[test]
+fn batch_counters_track_grouped_path_only() {
+    let mut p = batch_platform();
+    let id = p.create_object("Counter", vjson!({ "count": 0 })).unwrap();
+    let items = (0..4).map(|_| BatchItem::new(id, "incr", vec![])).collect();
+    for out in p.invoke_batch(items) {
+        out.unwrap();
+    }
+    assert_eq!(p.metrics().batched_ops_total(), 4);
+    assert_eq!(p.metrics().batch_groups_total(), 1);
+    // Chaos pins the fallback: counters must not move.
+    p.enable_chaos(FaultPlan::new(1).rate(InjectionSite::EngineExecute, 0.0));
+    let items = (0..4).map(|_| BatchItem::new(id, "incr", vec![])).collect();
+    for out in p.invoke_batch(items) {
+        out.unwrap();
+    }
+    assert_eq!(p.metrics().batched_ops_total(), 4);
+    assert_eq!(p.metrics().batch_groups_total(), 1);
+}
+
+/// A batch containing a dataflow item falls back to the sequential
+/// path for the whole batch — every slot still gets its right answer.
+#[test]
+fn dataflow_items_fall_back_to_sequential() {
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/incr", |task| {
+        let n = task.state_in["count"].as_i64().unwrap_or(0) + 1;
+        Ok(TaskResult::output(n).with_patch(vjson!({ "count": n })))
+    });
+    p.register_function("img/add1", |t| {
+        Ok(TaskResult::output(t.args[0].as_i64().unwrap_or(0) + 1))
+    });
+    p.register_function("img/double", |t| {
+        Ok(TaskResult::output(t.args[0].as_i64().unwrap_or(0) * 2))
+    });
+    p.deploy_yaml(
+        "
+classes:
+  - name: M
+    keySpecs: [count]
+    functions:
+      - name: incr
+        image: img/incr
+      - name: add1
+        image: img/add1
+      - name: double
+        image: img/double
+    dataflows:
+      - name: calc
+        steps:
+          - id: a
+            function: add1
+            inputs: [input]
+          - id: b
+            function: double
+            inputs: [\"step:a\"]
+",
+    )
+    .unwrap();
+    let id = p.create_object("M", vjson!({ "count": 0 })).unwrap();
+    let outs = p.invoke_batch(vec![
+        BatchItem::new(id, "incr", vec![]),
+        BatchItem::new(id, "calc", vec![vjson!(10)]),
+        BatchItem::new(id, "incr", vec![]),
+    ]);
+    assert_eq!(outs[0].as_ref().unwrap().output.as_i64(), Some(1));
+    // (10 + 1) * 2 — the flow ran even though it arrived in a batch.
+    assert_eq!(outs[1].as_ref().unwrap().output.as_i64(), Some(22));
+    assert_eq!(outs[2].as_ref().unwrap().output.as_i64(), Some(2));
+    assert_eq!(
+        p.metrics().batched_ops_total(),
+        0,
+        "fallback must not count as batched"
+    );
+}
+
+/// The degenerate cases: an empty batch returns an empty vec, and a
+/// batch naming an unknown object fails only in that slot.
+#[test]
+fn empty_and_partially_invalid_batches() {
+    let p = batch_platform();
+    assert!(p.invoke_batch(Vec::new()).is_empty());
+    let id = p.create_object("Counter", vjson!({ "count": 0 })).unwrap();
+    let bogus = oprc_core::object::ObjectId(9_999);
+    let outs = p.invoke_batch(vec![
+        BatchItem::new(id, "incr", vec![]),
+        BatchItem::new(bogus, "incr", vec![]),
+        BatchItem::new(id, "nope", vec![]),
+    ]);
+    assert_eq!(outs[0].as_ref().unwrap().output.as_i64(), Some(1));
+    assert!(matches!(outs[1], Err(PlatformError::UnknownObject(_))));
+    assert!(matches!(
+        outs[2],
+        Err(PlatformError::Core(
+            oprc_core::CoreError::UnknownFunction { .. }
+        ))
+    ));
+    assert_eq!(p.get_state(id).unwrap()["count"].as_i64(), Some(1));
+}
