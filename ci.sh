@@ -30,7 +30,7 @@ cargo run -q --release -p oprc-bench --bin invoke_hotpath -- --quick --check
 echo "==> observability smoke (byte-stable profile/slo exports + windows overhead gate)"
 cargo run -q --release -p oprc-bench --bin obs_smoke -- --quick --check
 
-echo "==> invoke throughput gate (workers x shards sweep; core-count-aware speedup gate)"
+echo "==> invoke throughput gate (workers x shards sweep + 1/2/4/8-node locality sweep; core-count-aware speedup and locality-gain gates)"
 cargo run -q --release -p oprc-bench --bin invoke_throughput -- --quick --check
 
 echo "==> scenario soak gate (Zipf/flash-crowd/multi-tenant invariants + fairness comparisons)"

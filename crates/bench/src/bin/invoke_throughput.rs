@@ -32,6 +32,19 @@
 //!   aggregate ops/s must stay ≥ 0.5× 1-worker — concurrency overhead
 //!   must not collapse throughput even when it cannot improve it.
 //!
+//! The run also sweeps the *node dimension*: 1/2/4/8-node partition
+//! planes (grown via live `node_join` migrations) × locality routing
+//! on/off × two placement mixes (`distinct` — objects spread over
+//! partitions; `same_partition` — every object in one partition).
+//! With locality off, execution round-robins across nodes and each
+//! off-owner invoke ships the object's state through the owner's
+//! transport (a deep copy under a per-node mutex) — the Fig. 3 gap
+//! from the paper: the locality-on/locality-off throughput ratio
+//! should widen as nodes are added. `--check` gates that ratio at
+//! 4 nodes: ≥ 1.5× on hosts with ≥ 4 CPUs, and a ≥ 0.5× no-collapse
+//! floor on smaller hosts (where shipping costs still bite but
+//! parallelism cannot express the full gap).
+//!
 //! The gate mode and detected CPU count are recorded in the JSON so a
 //! checked-in artifact states which gate it passed.
 
@@ -39,6 +52,7 @@ use std::time::Instant;
 
 use oprc_core::invocation::TaskResult;
 use oprc_core::object::ObjectId;
+use oprc_core::template::{ClassRuntimeTemplate, RuntimeConfig, TemplateCatalog};
 use oprc_platform::embedded::EmbeddedPlatform;
 use oprc_value::{json, vjson, Value};
 
@@ -52,6 +66,20 @@ const REQUIRED_SPEEDUP: f64 = 1.8;
 /// `--check` fallback on small hosts: 4 workers must retain at least
 /// this fraction of 1-worker throughput.
 const NO_COLLAPSE_FLOOR: f64 = 0.5;
+/// Node sweep: plane sizes to grow through (each step is a live
+/// `node_join` migration).
+const NODE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Node sweep: closed-loop workers per case.
+const NODE_WORKERS: usize = 4;
+/// `--check`: required locality-on vs locality-off throughput ratio at
+/// 4 nodes on hosts with ≥ 4 CPUs.
+const REQUIRED_LOCALITY_GAIN: f64 = 1.5;
+/// `--check` fallback on small hosts: locality-on must retain at least
+/// this fraction of locality-off throughput at 4 nodes.
+const LOCALITY_NO_COLLAPSE_FLOOR: f64 = 0.5;
+/// Payload words carried by every node-sweep object, so off-owner
+/// state shipping (a deep copy) has a real cost to pay.
+const PAYLOAD_WORDS: u64 = 256;
 
 #[derive(Debug, Clone)]
 struct CaseResult {
@@ -173,6 +201,126 @@ fn sweep(shards: usize, worker_counts: &[usize], ops_per_worker: u64) -> Vec<Cas
     results
 }
 
+#[derive(Debug, Clone)]
+struct NodeCaseResult {
+    mix: &'static str,
+    nodes: usize,
+    locality: bool,
+    workers: usize,
+    ops: u64,
+    ops_per_sec: f64,
+    remote_invokes: u64,
+}
+
+/// Builds a platform whose single class template pins locality routing
+/// on or off, with every object carrying a payload that makes
+/// off-owner state shipping cost something.
+fn node_platform(locality: bool) -> EmbeddedPlatform {
+    let mut catalog = TemplateCatalog::new();
+    catalog.add(ClassRuntimeTemplate::new(
+        "default",
+        0,
+        RuntimeConfig {
+            locality_routing: locality,
+            ..RuntimeConfig::default()
+        },
+    ));
+    let mut p = EmbeddedPlatform::with_catalog(catalog);
+    p.register_function("img/hot-incr", |task| {
+        let n = task.state_in["count"].as_i64().unwrap_or(0) + 1;
+        Ok(TaskResult::output(n).with_patch(vjson!({"count": n})))
+    });
+    p.deploy_yaml(
+        "
+classes:
+  - name: Hot
+    keySpecs: [count, payload]
+    functions:
+      - name: incr
+        image: img/hot-incr
+",
+    )
+    .expect("hot class deploys");
+    p
+}
+
+/// One node-sweep case: grow the plane to `nodes` via live joins, pick
+/// object pools for the mix, then drive `NODE_WORKERS` closed loops.
+fn run_node_case(
+    mix: &'static str,
+    nodes: usize,
+    locality: bool,
+    ops_per_worker: u64,
+) -> NodeCaseResult {
+    let p = node_platform(locality);
+    for _ in 1..nodes {
+        p.node_join().expect("node joins");
+    }
+    let payload: Value = (0..PAYLOAD_WORDS)
+        .map(Value::from)
+        .collect::<Vec<Value>>()
+        .into();
+    let all: Vec<ObjectId> = (0..256)
+        .map(|_| {
+            p.create_object("Hot", vjson!({"count": 0, "payload": (payload.clone())}))
+                .expect("creates")
+        })
+        .collect();
+    let pools: Vec<Vec<ObjectId>> = match mix {
+        // Each worker drives its own pool, spread over partitions the
+        // way creation ordered them.
+        "distinct" => (0..NODE_WORKERS)
+            .map(|w| all[w * OBJECTS_PER_WORKER..(w + 1) * OBJECTS_PER_WORKER].to_vec())
+            .collect(),
+        // Every worker hammers the partition holding the most objects:
+        // one owner node serves (or ships) all the state.
+        _ => {
+            let mut by_partition: std::collections::BTreeMap<usize, Vec<ObjectId>> =
+                std::collections::BTreeMap::new();
+            for &id in &all {
+                by_partition
+                    .entry(p.object_placement(id).partition)
+                    .or_default()
+                    .push(id);
+            }
+            let pool = by_partition
+                .into_values()
+                .max_by_key(Vec::len)
+                .expect("objects exist");
+            (0..NODE_WORKERS).map(|_| pool.clone()).collect()
+        }
+    };
+    for pool in &pools {
+        for &id in pool {
+            p.invoke(id, "incr", vec![]).expect("warms up");
+        }
+    }
+    let remote_before: u64 = p.node_stats().iter().map(|n| n.remote_invokes).sum();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for pool in &pools {
+            scope.spawn(|| {
+                for i in 0..ops_per_worker {
+                    let id = pool[(i as usize) % pool.len()];
+                    p.invoke(id, "incr", vec![]).expect("invoke succeeds");
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let ops = ops_per_worker * NODE_WORKERS as u64;
+    let remote_after: u64 = p.node_stats().iter().map(|n| n.remote_invokes).sum();
+    NodeCaseResult {
+        mix,
+        nodes,
+        locality,
+        workers: NODE_WORKERS,
+        ops,
+        ops_per_sec: ops as f64 / elapsed.max(f64::EPSILON),
+        remote_invokes: remote_after - remote_before,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -201,6 +349,47 @@ fn main() {
         );
     }
 
+    // Node sweep: 1/2/4/8-node planes × locality on/off × two
+    // placement mixes, all at NODE_WORKERS closed loops.
+    let node_ops_per_worker: u64 = if quick { 1_000 } else { 5_000 };
+    let mut node_results = Vec::new();
+    for &nodes in &NODE_COUNTS {
+        for &locality in &[true, false] {
+            for mix in ["distinct", "same_partition"] {
+                node_results.push(run_node_case(mix, nodes, locality, node_ops_per_worker));
+            }
+        }
+    }
+    for r in &node_results {
+        eprintln!(
+            "  {:<14} nodes={} locality={:<5} workers={} ops={:<6} ops/s={:>10.0} remote={:>6}",
+            r.mix, r.nodes, r.locality, r.workers, r.ops, r.ops_per_sec, r.remote_invokes
+        );
+    }
+
+    // The Fig. 3 gap: locality-on / locality-off throughput on the
+    // distinct mix, per node count.
+    let node_by = |mix: &str, nodes: usize, locality: bool| {
+        node_results
+            .iter()
+            .find(|r| r.mix == mix && r.nodes == nodes && r.locality == locality)
+            .expect("all node cases ran")
+    };
+    let locality_gain = |nodes: usize| {
+        let off = node_by("distinct", nodes, false).ops_per_sec;
+        let on = node_by("distinct", nodes, true).ops_per_sec;
+        if off > 0.0 {
+            on / off
+        } else {
+            0.0
+        }
+    };
+    let mut gains = Value::object();
+    for &nodes in &NODE_COUNTS {
+        gains.insert(format!("{nodes}"), locality_gain(nodes));
+    }
+    let gain_at_4 = locality_gain(4);
+
     let by = |mix: &str, shards: usize, workers: usize| {
         results
             .iter()
@@ -225,6 +414,20 @@ fn main() {
             })
         })
         .collect();
+    let json_node_results: Vec<Value> = node_results
+        .iter()
+        .map(|r| {
+            vjson!({
+                "mix": (r.mix),
+                "nodes": (r.nodes as u64),
+                "locality": (r.locality),
+                "workers": (r.workers as u64),
+                "ops": (r.ops),
+                "ops_per_sec": (r.ops_per_sec),
+                "remote_invokes": (r.remote_invokes),
+            })
+        })
+        .collect();
     let doc = vjson!({
         "experiment": "invoke_throughput",
         "seed": SEED,
@@ -235,6 +438,10 @@ fn main() {
         "no_collapse_floor": NO_COLLAPSE_FLOOR,
         "distinct_speedup_4w_vs_1w": speedup,
         "results": (Value::from(json_results)),
+        "required_locality_gain": REQUIRED_LOCALITY_GAIN,
+        "locality_no_collapse_floor": LOCALITY_NO_COLLAPSE_FLOOR,
+        "locality_gain_by_nodes": (gains),
+        "node_results": (Value::from(json_node_results)),
     });
     match std::fs::write("BENCH_throughput.json", json::to_string_pretty(&doc)) {
         Ok(()) => eprintln!("  wrote BENCH_throughput.json"),
@@ -261,6 +468,8 @@ fn main() {
                 "gate_mode",
                 "distinct_speedup_4w_vs_1w",
                 "results",
+                "locality_gain_by_nodes",
+                "node_results",
             ] {
                 if doc.get(key).is_none() {
                     failures.push(format!("BENCH_throughput.json lacks '{key}'"));
@@ -282,6 +491,26 @@ fn main() {
                 ] {
                     if r.get(key).is_none() {
                         failures.push(format!("result lacks '{key}'"));
+                    }
+                }
+            }
+            let rows = doc["node_results"].as_array().unwrap_or(&[]).len();
+            let want = NODE_COUNTS.len() * 2 * 2;
+            if rows != want {
+                failures.push(format!("expected {want} node result rows, found {rows}"));
+            }
+            for r in doc["node_results"].as_array().unwrap_or(&[]) {
+                for key in [
+                    "mix",
+                    "nodes",
+                    "locality",
+                    "workers",
+                    "ops",
+                    "ops_per_sec",
+                    "remote_invokes",
+                ] {
+                    if r.get(key).is_none() {
+                        failures.push(format!("node result lacks '{key}'"));
                     }
                 }
             }
@@ -307,10 +536,43 @@ fn main() {
     if same4 <= 0.0 {
         failures.push("same-object mix made no progress under 4 workers".to_string());
     }
+    // Locality gate at 4 nodes, core-count-aware like the worker gate:
+    // on scaling hosts locality routing must beat shipping; on small
+    // hosts it must at least not collapse below it.
+    if scaling_host {
+        if gain_at_4 < REQUIRED_LOCALITY_GAIN {
+            failures.push(format!(
+                "4-node locality-on ops/s is {gain_at_4:.2}x locality-off \
+                 (required {REQUIRED_LOCALITY_GAIN}x on a {cpus}-CPU host)"
+            ));
+        }
+    } else if gain_at_4 < LOCALITY_NO_COLLAPSE_FLOOR {
+        failures.push(format!(
+            "4-node locality-on ops/s collapsed to {gain_at_4:.2}x locality-off \
+             (floor {LOCALITY_NO_COLLAPSE_FLOOR}x on a {cpus}-CPU host)"
+        ));
+    }
+    // Locality routing must keep execution at the owner: the distinct
+    // locality-on cases may not ship state at any plane size.
+    for &nodes in &NODE_COUNTS {
+        let r = node_by("distinct", nodes, true);
+        if r.remote_invokes > 0 {
+            failures.push(format!(
+                "{}-node locality-on case shipped state {} times",
+                nodes, r.remote_invokes
+            ));
+        }
+    }
+    // Sanity: the biggest locality-off plane still makes progress
+    // (shipping serializes on transports, it must not deadlock).
+    if node_by("same_partition", 8, false).ops_per_sec <= 0.0 {
+        failures.push("8-node locality-off same-partition mix made no progress".to_string());
+    }
 
     if failures.is_empty() {
         println!(
-            "invoke_throughput: ok — distinct 4w/1w speedup {speedup:.2}x \
+            "invoke_throughput: ok — distinct 4w/1w speedup {speedup:.2}x, \
+             4-node locality gain {gain_at_4:.2}x \
              ({gate_mode} gate on {cpus} CPUs), 1w {base:.0} ops/s, 4w {four:.0} ops/s"
         );
     } else {

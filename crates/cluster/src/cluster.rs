@@ -62,6 +62,36 @@ pub enum ClusterChange {
     },
 }
 
+/// A node lifecycle transition, recorded in order for observers that
+/// react to topology — the platform's partition plane rebuilds its
+/// ownership map from these.
+///
+/// The model stays passive: events accumulate inside the cluster and
+/// are drained with [`Cluster::take_node_events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// A node was added via [`Cluster::add_node`].
+    Joined(NodeId),
+    /// A `Ready` node was cordoned (no new pods, existing ones stay).
+    Cordoned(NodeId),
+    /// A node went down; its pods were evicted.
+    Down(NodeId),
+    /// A previously cordoned or down node returned to `Ready`.
+    Restored(NodeId),
+}
+
+impl NodeEvent {
+    /// The node this event concerns.
+    pub fn node(self) -> NodeId {
+        match self {
+            NodeEvent::Joined(id)
+            | NodeEvent::Cordoned(id)
+            | NodeEvent::Down(id)
+            | NodeEvent::Restored(id) => id,
+        }
+    }
+}
+
 /// An in-memory model of a container-orchestration cluster.
 ///
 /// See the [crate docs](crate) for the overall role. All operations are
@@ -74,6 +104,7 @@ pub struct Cluster {
     strategy: Strategy,
     next_node: u64,
     next_pod: u64,
+    node_events: Vec<NodeEvent>,
 }
 
 impl Cluster {
@@ -87,12 +118,20 @@ impl Cluster {
         self.strategy = strategy;
     }
 
-    /// Adds a node, returning its id.
+    /// Adds a node, returning its id and recording a
+    /// [`NodeEvent::Joined`].
     pub fn add_node(&mut self, spec: NodeSpec) -> NodeId {
         let id = NodeId(self.next_node);
         self.next_node += 1;
         self.nodes.insert(id, Node::new(id, spec));
+        self.node_events.push(NodeEvent::Joined(id));
         id
+    }
+
+    /// Drains the node lifecycle events recorded since the last call,
+    /// oldest first.
+    pub fn take_node_events(&mut self) -> Vec<NodeEvent> {
+        std::mem::take(&mut self.node_events)
     }
 
     /// All nodes in id order.
@@ -219,7 +258,16 @@ impl Cluster {
             .nodes
             .get_mut(&id)
             .ok_or(ClusterError::UnknownNode(id))?;
+        let previous = node.status();
         node.set_status(status);
+        if previous != status {
+            let event = match status {
+                NodeStatus::Ready => NodeEvent::Restored(id),
+                NodeStatus::Cordoned => NodeEvent::Cordoned(id),
+                NodeStatus::Down => NodeEvent::Down(id),
+            };
+            self.node_events.push(event);
+        }
         let mut changes = Vec::new();
         if status == NodeStatus::Down {
             for pod_id in node.drain() {
@@ -689,6 +737,31 @@ mod tests {
         for p in c.deployment("d").unwrap().pod_ids() {
             assert_eq!(c.pod(*p).unwrap().revision(), 2);
         }
+    }
+
+    #[test]
+    fn node_lifecycle_events_record_and_drain() {
+        let mut c = Cluster::new();
+        let a = c.add_node(NodeSpec::with_capacity(ResourceSpec::new(1000, 1000)));
+        let b = c.add_node(NodeSpec::with_capacity(ResourceSpec::new(1000, 1000)));
+        c.set_node_status(a, NodeStatus::Down).unwrap();
+        c.set_node_status(a, NodeStatus::Down).unwrap(); // no-op transition
+        c.set_node_status(a, NodeStatus::Ready).unwrap();
+        c.set_node_status(b, NodeStatus::Cordoned).unwrap();
+        let events = c.take_node_events();
+        assert_eq!(
+            events,
+            vec![
+                NodeEvent::Joined(a),
+                NodeEvent::Joined(b),
+                NodeEvent::Down(a),
+                NodeEvent::Restored(a),
+                NodeEvent::Cordoned(b),
+            ]
+        );
+        assert_eq!(events[2].node(), a);
+        // Drained: a second take returns nothing.
+        assert!(c.take_node_events().is_empty());
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod scheduler;
 pub mod service;
 pub mod topology;
 
-pub use cluster::{Cluster, ClusterChange, ClusterError};
+pub use cluster::{Cluster, ClusterChange, ClusterError, NodeEvent};
 pub use deployment::{Deployment, DeploymentSpec, RolloutConfig};
 pub use node::{Node, NodeId, NodeSpec, NodeStatus};
 pub use pod::{Pod, PodId, PodPhase, PodSpec};

@@ -3,14 +3,21 @@
 //!
 //! The paper's DHT layer exists to *consolidate batch write operations*
 //! (§IV, Fig. 3); this module is the invocation-plane substrate that
-//! claim rests on. A batch is grouped by state shard, each group runs
-//! its whole load→execute→commit loop under a **single** shard-lock
-//! hold, and every object a group touches is committed **once** — so a
-//! write-behind flush window sees one entry per object per group
-//! instead of one per invocation. A per-batch scratch arena (the
-//! running snapshots plus one reusable task shell, reset between
-//! groups) keeps the steady-state per-item allocation count in the
-//! single digits for batch ≥ 16.
+//! claim rests on. A batch is grouped by **(owner node, state shard)**:
+//! each group runs its whole load→execute→commit loop under a
+//! **single** shard-lock hold, and every object a group touches is
+//! committed **once** — so a write-behind flush window sees one entry
+//! per object per group instead of one per invocation. On a single-node
+//! plane the node key is constant and grouping degenerates to the
+//! per-shard layout: one directory peek plus one execution hold per
+//! shard (exactly two lock acquisitions). On a multi-node plane each
+//! (node, shard) pair is its own group — the logical node-local shard —
+//! and a group executing away from its partition owner takes the
+//! owner's transport once around the whole hold, amortizing the
+//! state-shipping channel across the group's items. A per-batch scratch
+//! arena (the running snapshots plus one reusable task shell, reset
+//! between groups) keeps the steady-state per-item allocation count in
+//! the single digits for batch ≥ 16.
 //!
 //! Lock-order interaction with the §12 tiers (Control ≺ Shard ≺ Leaf):
 //! classes are read in a short per-group directory peek, all
@@ -149,25 +156,44 @@ impl EmbeddedPlatform {
         if self.chaos.is_enabled() {
             return self.invoke_batch_sequential(items);
         }
-        // Group slots by shard in first-touch order; slots stay in
-        // submission order inside each group.
+        // Group slots by (owner node, shard) in first-touch order;
+        // slots stay in submission order inside each group. The node
+        // key comes from one partition-map snapshot for the whole
+        // batch, so a concurrent migration never tears the grouping.
         let shard_count = self.shards.len();
-        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        let table = Arc::clone(&self.nodes.read());
+        let mut groups: Vec<((u64, usize), Vec<usize>)> = Vec::new();
         for (slot, item) in items.iter().enumerate() {
-            let sx = shard_index(item.id, shard_count);
-            match groups.iter_mut().find(|(s, _)| *s == sx) {
+            let gx = (
+                table.map.owner_of_object(item.id.as_u64()),
+                shard_index(item.id, shard_count),
+            );
+            match groups.iter_mut().find(|(g, _)| *g == gx) {
                 Some((_, slots)) => slots.push(slot),
-                None => groups.push((sx, vec![slot])),
+                None => groups.push((gx, vec![slot])),
             }
         }
-        // Directory peek: one short lock acquisition per group to read
-        // target classes. Never overlaps another shard hold (§12's
-        // one-shard-at-a-time rule), and never overlaps a control lock.
+        // Directory peek: one short lock acquisition per distinct shard
+        // to read target classes (groups on different nodes may share a
+        // physical shard in this shared-address model). Never overlaps
+        // another shard hold (§12's one-shard-at-a-time rule), and
+        // never overlaps a control lock.
+        let mut shards_touched: Vec<usize> = Vec::new();
+        for ((_, sx), _) in &groups {
+            if !shards_touched.contains(sx) {
+                shards_touched.push(*sx);
+            }
+        }
         let mut classes: Vec<Option<String>> = vec![None; items.len()];
-        for (sx, slots) in &groups {
-            let sh = self.shards[*sx].lock();
-            for &slot in slots {
-                classes[slot] = sh.objects.get(&items[slot].id).map(|e| e.class.clone());
+        for &sx in &shards_touched {
+            let sh = self.shards[sx].lock();
+            for ((_, gsx), slots) in &groups {
+                if *gsx != sx {
+                    continue;
+                }
+                for &slot in slots {
+                    classes[slot] = sh.objects.get(&items[slot].id).map(|e| e.class.clone());
+                }
             }
         }
         // Off-lock resolution against one consistent plan snapshot.
@@ -202,7 +228,8 @@ impl EmbeddedPlatform {
         let root = if enabled {
             let root = self.telemetry.begin_root("invoke.batch", started);
             self.telemetry.attr(root, "size", items.len() as u64);
-            self.telemetry.attr(root, "shards", groups.len() as u64);
+            self.telemetry
+                .attr(root, "shards", shards_touched.len() as u64);
             self.telemetry.attr(root, "groups", groups.len() as u64);
             root
         } else {
@@ -210,7 +237,7 @@ impl EmbeddedPlatform {
         };
         let mut items = items;
         let mut arena = BatchArena::new();
-        for (sx, slots) in &groups {
+        for ((_, sx), slots) in &groups {
             let group_span = if enabled {
                 let s = self
                     .telemetry
@@ -222,17 +249,44 @@ impl EmbeddedPlatform {
                 TraceContext::NONE
             };
             // Routing consults the control-plane runtimes lock, so it
-            // runs per item *before* the group's shard hold.
+            // runs per item *before* the group's shard hold. The node
+            // hop is decided once per group, from the first resolved
+            // item's locality flag: every item in the group shares the
+            // same owner node by construction.
+            let mut hop = None;
             for &slot in slots {
                 if let Some(r) = &resolved[slot] {
-                    self.route(&r.class, r.id, group_span);
+                    let locality = self.route(&r.class, r.id, group_span);
+                    if hop.is_none() {
+                        hop = Some(self.node_hop(r.id, locality));
+                    }
                 }
             }
+            let hop = match hop {
+                Some(h) => h,
+                // No item in this group resolved; the hop is never
+                // consulted past the commit no-op below.
+                None => self.node_hop(items[slots[0]].id, true),
+            };
+            if enabled && hop.multi {
+                self.telemetry.attr(group_span, "node", hop.executing);
+                self.telemetry.attr(
+                    group_span,
+                    "node_kind",
+                    if hop.remote { "remote" } else { "local" },
+                );
+            }
             let mut sh = self.shards[*sx].lock();
+            // A group executing away from its owner holds the owner's
+            // transport channel (Leaf, under the shard hold) across the
+            // whole group: one shipping round-trip amortized over the
+            // group's items.
+            let _transport = hop.remote.then(|| hop.owner_state.transport.lock());
             for &slot in slots {
                 let Some(r) = resolved[slot].as_ref() else {
                     continue;
                 };
+                hop.count();
                 let args = std::mem::take(&mut items[slot].args);
                 let item_started = self.now();
                 // Each item is a child span of its group: under a
@@ -248,7 +302,7 @@ impl EmbeddedPlatform {
                 } else {
                     TraceContext::NONE
                 };
-                let out = self.run_batch_item(&mut sh, &mut arena, r, args, item_span);
+                let out = self.run_batch_item(&mut sh, &mut arena, r, args, item_span, hop.remote);
                 if enabled {
                     match &out {
                         Ok(_) => self.telemetry.attr(item_span, "outcome", "ok"),
@@ -406,6 +460,7 @@ impl EmbeddedPlatform {
     /// The committed-map/torn-ack machinery is not needed here: torn
     /// outcomes only exist under chaos, and chaos pins the batch to the
     /// sequential path.
+    #[allow(clippy::too_many_arguments)]
     fn run_batch_item(
         &self,
         sh: &mut Shard,
@@ -413,6 +468,7 @@ impl EmbeddedPlatform {
         r: &ResolvedItem<'_>,
         args: Vec<Value>,
         parent: TraceContext,
+        remote: bool,
     ) -> Result<TaskResult, PlatformError> {
         let policy = &r.plan.retry;
         let function: &str = &r.dispatch.function;
@@ -420,7 +476,7 @@ impl EmbeddedPlatform {
         // the sanctioned §12 order (Control ≺ Shard ≺ Leaf).
         self.breaker_admit(&r.class, function, &r.dispatch.breaker_key, policy)?;
         let ikey = self.next_invocation.fetch_add(1, Ordering::Relaxed);
-        let ox = self.group_object(sh, arena, r, parent)?;
+        let ox = self.group_object(sh, arena, r, parent, remote)?;
         let enabled = self.telemetry.is_enabled();
         self.shape_task(arena, ox, r, args, ikey, parent, enabled);
         let mut backoffs =
@@ -490,13 +546,17 @@ impl EmbeddedPlatform {
 
     /// Finds or creates the group's running state for `r`'s object:
     /// first touch loads from the shard's storage stack (and presigns
-    /// file URLs once); later items reuse the in-arena snapshot.
+    /// file URLs once); later items reuse the in-arena snapshot. For a
+    /// `remote` group the first touch also ships the state across the
+    /// node boundary — the executing node materializes its own deep
+    /// copy, once per object per group.
     fn group_object(
         &self,
         sh: &mut Shard,
         arena: &mut BatchArena,
         r: &ResolvedItem<'_>,
         parent: TraceContext,
+        remote: bool,
     ) -> Result<usize, PlatformError> {
         if let Some(ix) = arena.objects.iter().position(|o| o.id == r.id) {
             return Ok(ix);
@@ -520,6 +580,13 @@ impl EmbeddedPlatform {
             self.telemetry.end(load_span, self.now());
         }
         let state = loaded.unwrap_or_else(Snapshot::object);
+        let state = if remote {
+            // Function shipping: copy the owner's state onto the
+            // executing node (under the group's transport hold).
+            Snapshot::from(state.value().clone())
+        } else {
+            state
+        };
         let revision = sh.objects.get(&r.id).map_or(0, |e| e.revision);
         let mut file_urls = BTreeMap::new();
         for fk in r.plan.file_keys.iter() {

@@ -33,18 +33,20 @@
 
 mod batch;
 mod functions;
+mod nodes;
 mod s3;
 mod shard;
 mod state;
 
 pub use batch::BatchItem;
 pub use functions::{FunctionImpl, FunctionRegistry};
+pub use nodes::{MigrationReport, NodeStats, ObjectPlacement, PartitionSummary};
 pub use s3::S3Gateway;
 pub use shard::{ShardStats, DEFAULT_SHARD_COUNT};
 pub use state::StateLayer;
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -52,6 +54,7 @@ use bytes::Bytes;
 
 use oprc_analyzer::{analyze_with, doctor_with, AnalysisReport, LintConfig, Severity};
 use oprc_chaos::{CircuitBreaker, FaultInjector, FaultKind, FaultPlan, InjectionSite, RetryPolicy};
+use oprc_cluster::Cluster;
 use oprc_core::dataflow::{DataRef, DataflowSpec, StepSpec};
 use oprc_core::flow_ir::{FlowIr, FlowProgram, NodeBinding, PassConfig};
 use oprc_core::invocation::{InvocationTask, TaskError, TaskResult};
@@ -75,6 +78,7 @@ use crate::registry::PackageRegistry;
 use crate::router::ObjectRouter;
 use crate::PlatformError;
 
+use nodes::{NodeHop, NodeTable};
 use shard::{shard_index, ObjectEntry, Shard, ShardHandle};
 
 /// Presigned URLs issued by the embedded platform live this long.
@@ -320,6 +324,14 @@ pub struct EmbeddedPlatform {
     /// Serializes whole deployments (lint → registry → runtimes → plan
     /// swap) without ever blocking the invoke read path.
     deploy_gate: OrderedMutex<()>,
+    /// The simulated worker-node cluster backing the partition plane
+    /// (topology changes run under the deploy gate).
+    cluster: OrderedMutex<Cluster>,
+    /// The node-level partition plane behind an atomically-swapped
+    /// `Arc`, same discipline as `plans`: invokes read one consistent
+    /// epoch; `node_join`/`node_leave` build the next table off-lock
+    /// and swap it in (see [`nodes`]).
+    nodes: OrderedRwLock<Arc<NodeTable>>,
     // -- Data plane --
     /// Sharded object state: directory entries, per-shard storage
     /// stacks, and in-flight commit records (see [`shard`]).
@@ -365,6 +377,10 @@ pub struct EmbeddedPlatform {
     next_instance: AtomicU64,
     /// Next idempotency key (one per logical invocation / dataflow step).
     next_invocation: AtomicU64,
+    /// Records re-homed by partition migrations (all epochs).
+    moved_records: AtomicU64,
+    /// Round-robin cursor over ready nodes (locality-off node picks).
+    node_rr: AtomicUsize,
     /// Virtual chaos clock (nanos): advanced by backoff sleeps and
     /// injected latency, never by wall time, so retry/breaker timing is
     /// deterministic.
@@ -434,12 +450,15 @@ impl EmbeddedPlatform {
         for m in 0..ROUTING_MEMBERS {
             routing.join(DhtNodeId(m));
         }
+        let (cluster, node_table) = Self::boot_node_plane();
         EmbeddedPlatform {
             registry: OrderedRwLock::new(Tier::Control, PackageRegistry::new()),
             functions: OrderedRwLock::new(Tier::Control, FunctionRegistry::new()),
             runtimes: OrderedRwLock::new(Tier::Control, BTreeMap::new()),
             plans: OrderedRwLock::new(Tier::Control, Arc::new(PlanTable::new())),
             deploy_gate: OrderedMutex::new(Tier::Control, ()),
+            cluster: OrderedMutex::new(Tier::Control, cluster),
+            nodes: OrderedRwLock::new(Tier::Control, Arc::new(node_table)),
             shards,
             routing,
             s3: S3Gateway::new(b"oparaca-embedded-secret".to_vec(), started),
@@ -460,6 +479,8 @@ impl EmbeddedPlatform {
             next_task: AtomicU64::new(0),
             next_instance: AtomicU64::new(0),
             next_invocation: AtomicU64::new(0),
+            moved_records: AtomicU64::new(0),
+            node_rr: AtomicUsize::new(0),
             chaos_clock: AtomicU64::new(0),
             clock_offset: Arc::new(AtomicU64::new(0)),
         }
@@ -1242,15 +1263,38 @@ impl EmbeddedPlatform {
         }
         // The dispatch stays borrowed from the plan snapshot: `plans`
         // outlives the whole call, so no per-invoke clone is needed.
-        self.route(&class, id, root);
+        let locality = self.route(&class, id, root);
+        let hop = self.node_hop(id, locality);
+        hop.count();
+        self.emit_node_hop(&hop, root);
         // Prefetch the implementation so the shard lock is never held
         // while consulting the function registry.
         let out = match self.functions.read().get(&dispatch.image) {
-            Some(f) => self.invoke_with_retry(id, &class, plan, dispatch, &f, args, root),
+            Some(f) => self.invoke_with_retry(id, &class, plan, dispatch, &f, args, root, &hop),
             None => Err(PlatformError::UnknownImage(dispatch.image.to_string())),
         };
         self.record(&class, function, started, &out);
         out
+    }
+
+    /// Records the node-level hop on the trace — only on a multi-node
+    /// plane, so single-node telemetry (and seeded chaos replays) stay
+    /// byte-identical.
+    fn emit_node_hop(&self, hop: &NodeHop, parent: TraceContext) {
+        if !hop.multi || !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.instant_under(
+            parent,
+            "node.route",
+            vjson!({
+                "partition": (hop.partition as u64),
+                "owner": (hop.owner),
+                "node": (hop.executing),
+                "kind": (if hop.remote { "remote" } else { "local" }),
+            }),
+            self.now(),
+        );
     }
 
     /// Runs one function invocation under its retry policy: breaker
@@ -1274,6 +1318,7 @@ impl EmbeddedPlatform {
         f: &FunctionImpl,
         args: Vec<Value>,
         parent: TraceContext,
+        hop: &NodeHop,
     ) -> Result<TaskResult, PlatformError> {
         let policy = &plan.retry;
         let function: &str = &dispatch.function;
@@ -1300,7 +1345,7 @@ impl EmbeddedPlatform {
             };
             let last = attempt == policy.max_attempts.max(1);
             let result = self.run_attempt(
-                &mut sh, id, class, plan, dispatch, f, &args, parent, ikey, &mut task, last,
+                &mut sh, id, class, plan, dispatch, f, &args, parent, ikey, &mut task, last, hop,
             );
             if !attempt_span.is_none() {
                 if let Err(e) = &result {
@@ -1389,6 +1434,7 @@ impl EmbeddedPlatform {
         ikey: u64,
         task: &mut Option<InvocationTask>,
         last: bool,
+        hop: &NodeHop,
     ) -> Result<TaskResult, PlatformError> {
         if task.is_none() {
             let mut built =
@@ -1399,7 +1445,7 @@ impl EmbeddedPlatform {
         // The final permitted attempt ships the task by value — nothing
         // can re-ship it afterwards, so a clone would be dropped unused.
         let task = if last { task.take() } else { task.clone() }.expect("just built");
-        self.execute_and_apply(sh, id, class, plan.persists, f, task)
+        self.execute_and_apply(sh, id, class, plan.persists, f, task, hop)
     }
 
     /// Admits or rejects an invocation through the function's breaker.
@@ -1555,32 +1601,41 @@ impl EmbeddedPlatform {
             .is_none_or(|r| r.spec.config.persistent)
     }
 
-    fn route(&self, class: &str, id: ObjectId, parent: TraceContext) {
+    /// Instance-level routing: picks the runtime instance, accounts the
+    /// local/remote split, and emits the `route` span. Returns the
+    /// class's locality-routing flag (`true` when the class has no
+    /// runtime) for the node-level hop decision.
+    fn route(&self, class: &str, id: ObjectId, parent: TraceContext) -> bool {
         let now = self.now();
         let runtimes = self.runtimes.read();
-        if let Some(rt) = runtimes.get(class) {
-            if let Some(route) = rt.router.route(id, &self.routing, &rt.instances) {
-                let kind = match route.kind {
-                    crate::router::RouteKind::Local => {
-                        rt.routed_local.fetch_add(1, Ordering::Relaxed);
-                        "local"
-                    }
-                    crate::router::RouteKind::Remote { .. } => {
-                        rt.routed_remote.fetch_add(1, Ordering::Relaxed);
-                        "remote"
-                    }
-                };
-                if self.telemetry.is_enabled() {
-                    let span = self.telemetry.begin_child(parent, "route", now);
-                    self.telemetry.attr(span, "kind", kind);
-                    self.telemetry.attr(span, "instance", route.instance);
-                    if let crate::router::RouteKind::Remote { owner } = route.kind {
-                        self.telemetry.attr(span, "owner", owner);
-                    }
-                    self.telemetry.end(span, self.now());
+        let Some(rt) = runtimes.get(class) else {
+            return true;
+        };
+        let locality = rt.router.locality();
+        if let Some(route) = rt.router.route(id, &self.routing, &rt.instances) {
+            let kind = match route.kind {
+                crate::router::RouteKind::Local => {
+                    rt.routed_local.fetch_add(1, Ordering::Relaxed);
+                    "local"
                 }
+                // Round-robin picks never computed the owner; the
+                // platform accounts them as remote state access.
+                crate::router::RouteKind::Remote { .. } | crate::router::RouteKind::RoundRobin => {
+                    rt.routed_remote.fetch_add(1, Ordering::Relaxed);
+                    "remote"
+                }
+            };
+            if self.telemetry.is_enabled() {
+                let span = self.telemetry.begin_child(parent, "route", now);
+                self.telemetry.attr(span, "kind", kind);
+                self.telemetry.attr(span, "instance", route.instance);
+                if let crate::router::RouteKind::Remote { owner } = route.kind {
+                    self.telemetry.attr(span, "owner", owner);
+                }
+                self.telemetry.end(span, self.now());
             }
         }
+        locality
     }
 
     /// Builds the self-contained task for one attempt, reading state
@@ -1674,6 +1729,7 @@ impl EmbeddedPlatform {
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn execute_and_apply(
         &self,
         sh: &mut Shard,
@@ -1681,7 +1737,8 @@ impl EmbeddedPlatform {
         class: &str,
         persists: bool,
         f: &FunctionImpl,
-        task: InvocationTask,
+        mut task: InvocationTask,
+        hop: &NodeHop,
     ) -> Result<TaskResult, PlatformError> {
         let parent = task.trace.unwrap_or(TraceContext::NONE);
         // Crossing the offload RPC boundary: an error fault loses the
@@ -1692,7 +1749,22 @@ impl EmbeddedPlatform {
             .is_some();
         let exec_span = self.begin_execute_span(&task, parent);
         let result = match self.chaos_gate(InjectionSite::EngineExecute, exec_span) {
-            Ok(()) => f(&task).map_err(PlatformError::from),
+            Ok(()) => {
+                if hop.remote {
+                    // Function shipping across the node boundary: the
+                    // executing node materializes its own copy of the
+                    // object state, serialized on the owner's transport
+                    // channel — all remote traffic into one owner
+                    // contends here (the Fig. 3 mechanism). Patches
+                    // ship back inside the result; `apply_result`'s
+                    // patch clone is that return copy.
+                    let _transport = hop.owner_state.transport.lock();
+                    task.state_in = Snapshot::from(task.state_in.value().clone());
+                    f(&task).map_err(PlatformError::from)
+                } else {
+                    f(&task).map_err(PlatformError::from)
+                }
+            }
             Err(e) => Err(e),
         };
         if self.telemetry.is_enabled() {
@@ -1982,6 +2054,11 @@ impl EmbeddedPlatform {
                     // retry loop: parallel workers racing to the shared
                     // injector would make the fault schedule depend on
                     // thread scheduling, breaking reproducibility.
+                    // Dataflow steps execute at the target's partition
+                    // owner (locality semantics): the coordinating node
+                    // never ships state for its own steps.
+                    let hop = self.node_hop(target_id, true);
+                    hop.count();
                     let out = self.invoke_with_retry(
                         target_id,
                         &target_class,
@@ -1990,6 +2067,7 @@ impl EmbeddedPlatform {
                         &f,
                         inputs,
                         step_span,
+                        &hop,
                     )?;
                     outputs.insert(step_id.clone(), Snapshot::from(out.output));
                     self.telemetry.end(step_span, self.now());

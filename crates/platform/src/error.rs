@@ -62,6 +62,9 @@ pub enum PlatformError {
         /// The tenant whose budget is exhausted.
         tenant: String,
     },
+    /// A node-topology change was rejected (e.g. removing the last
+    /// ready node, or an unknown node id).
+    ClusterTopology(String),
 }
 
 impl fmt::Display for PlatformError {
@@ -112,6 +115,9 @@ impl fmt::Display for PlatformError {
                     f,
                     "admission rejected for tenant '{tenant}': token bucket empty"
                 )
+            }
+            PlatformError::ClusterTopology(why) => {
+                write!(f, "cluster topology change rejected: {why}")
             }
         }
     }

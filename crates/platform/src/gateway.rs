@@ -189,6 +189,8 @@ impl OprcCtl {
             "admission" => self.admission_cmd(rest),
             "invoke-as" => self.invoke_as_cmd(rest),
             "invoke-batch" => self.invoke_batch_cmd(rest),
+            "cluster" => self.cluster_cmd(rest),
+            "partitions" => self.partitions_cmd(rest),
             "flow" => self.flow_cmd(rest),
             "help" => Ok(CommandOutput::text(HELP.trim())),
             other => Err(CommandError::UnknownCommand(other.to_string())),
@@ -502,10 +504,36 @@ impl OprcCtl {
                 })
             })
             .collect();
+        let node_rows = self.platform.node_stats();
+        let nodes: Vec<Value> = node_rows
+            .iter()
+            .map(|n| {
+                oprc_value::vjson!({
+                    "node": (n.node),
+                    "status": (n.status),
+                    "primary_partitions": (n.primary_partitions as u64),
+                    "replica_partitions": (n.replica_partitions as u64),
+                    "local_invokes": (n.local_invokes),
+                    "remote_invokes": (n.remote_invokes),
+                    "migrated_in": (n.migrated_in),
+                    "migrated_out": (n.migrated_out),
+                })
+            })
+            .collect();
+        let summary = self.platform.partition_summary();
+        let partitions = oprc_value::vjson!({
+            "epoch": (summary.epoch),
+            "partitions": (summary.partitions as u64),
+            "nodes": (summary.nodes as u64),
+            "moved_records": (summary.moved_records),
+            "dht_moved_records": (summary.dht_moved_records),
+        });
         let value = oprc_value::vjson!({
             "functions": (Value::from(functions)),
             "faults": (faults),
             "shards": (Value::from(shards)),
+            "nodes": (Value::from(nodes)),
+            "partitions": (partitions),
             "throughput": (throughput),
         });
         if as_json {
@@ -560,6 +588,27 @@ impl OprcCtl {
                 text.push_str(&format!(
                     "\n  #{:<3} objects {:>5}  lock acquisitions {:>8}  contended {:>6}",
                     s.shard, s.objects, s.acquisitions, s.contended
+                ));
+            }
+        }
+        // A boot plane is one node at epoch 0; only the multi-node (or
+        // post-migration) picture is worth a section in text mode.
+        if node_rows.len() > 1 || summary.epoch > 0 {
+            text.push_str(&format!(
+                "\nnodes (epoch {}, {} records migrated):",
+                summary.epoch, summary.moved_records
+            ));
+            for n in &node_rows {
+                text.push_str(&format!(
+                    "\n  node-{:<3} {:<8} primaries {:>3}  replicas {:>3}  local {:>7}  remote {:>7}  in {:>6}  out {:>6}",
+                    n.node,
+                    n.status,
+                    n.primary_partitions,
+                    n.replica_partitions,
+                    n.local_invokes,
+                    n.remote_invokes,
+                    n.migrated_in,
+                    n.migrated_out
                 ));
             }
         }
@@ -1031,6 +1080,157 @@ impl OprcCtl {
         Ok(CommandOutput::text(text))
     }
 
+    /// `cluster join|leave|status`: node lifecycle for the partition
+    /// plane. `join` adds a worker node and live-migrates partition
+    /// ownership onto it; `leave <node>` fails a node and migrates its
+    /// partitions away; `status` lists every node the plane has seen.
+    fn cluster_cmd(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        const USAGE: &str = "cluster <join | leave <node> | status [--json]>";
+        let parts = split_args(rest);
+        match parts.first().map(String::as_str) {
+            Some("join") => {
+                let r = self.platform.node_join()?;
+                Ok(CommandOutput::with_value(
+                    format!(
+                        "node-{} joined: epoch {}, {} partitions re-homed, {} records migrated",
+                        r.node, r.epoch, r.partitions_moved, r.records_moved
+                    ),
+                    migration_value(&r),
+                ))
+            }
+            Some("leave") => {
+                let node = parts
+                    .get(1)
+                    .map(|s| s.strip_prefix("node-").unwrap_or(s))
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| CommandError::Usage(USAGE.into()))?;
+                let r = self.platform.node_leave(node)?;
+                Ok(CommandOutput::with_value(
+                    format!(
+                        "node-{} left: epoch {}, {} partitions re-homed, {} records migrated",
+                        r.node, r.epoch, r.partitions_moved, r.records_moved
+                    ),
+                    migration_value(&r),
+                ))
+            }
+            Some("status") => {
+                let as_json = parts.get(1).map(String::as_str) == Some("--json");
+                let rows = self.platform.node_stats();
+                let value: Value = rows
+                    .iter()
+                    .map(|n| {
+                        oprc_value::vjson!({
+                            "node": (n.node),
+                            "status": (n.status),
+                            "primary_partitions": (n.primary_partitions as u64),
+                            "replica_partitions": (n.replica_partitions as u64),
+                            "local_invokes": (n.local_invokes),
+                            "remote_invokes": (n.remote_invokes),
+                            "migrated_in": (n.migrated_in),
+                            "migrated_out": (n.migrated_out),
+                        })
+                    })
+                    .collect::<Vec<Value>>()
+                    .into();
+                if as_json {
+                    return Ok(CommandOutput::with_value(
+                        json::to_string_pretty(&value),
+                        value,
+                    ));
+                }
+                let mut text = format!(
+                    "{:<10} {:<10} {:>9} {:>8} {:>7} {:>7} {:>7} {:>7}",
+                    "NODE", "STATUS", "PRIMARIES", "REPLICAS", "LOCAL", "REMOTE", "IN", "OUT"
+                );
+                for n in &rows {
+                    text.push_str(&format!(
+                        "\n{:<10} {:<10} {:>9} {:>8} {:>7} {:>7} {:>7} {:>7}",
+                        format!("node-{}", n.node),
+                        n.status,
+                        n.primary_partitions,
+                        n.replica_partitions,
+                        n.local_invokes,
+                        n.remote_invokes,
+                        n.migrated_in,
+                        n.migrated_out
+                    ));
+                }
+                Ok(CommandOutput::with_value(text, value))
+            }
+            _ => Err(CommandError::Usage(USAGE.into())),
+        }
+    }
+
+    /// `partitions [--json] [obj-id]`: the partition map's posture, or
+    /// — given an object id — that object's placement under the
+    /// current epoch.
+    fn partitions_cmd(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
+        const USAGE: &str = "partitions [--json] [obj-id]";
+        let parts = split_args(rest);
+        let mut as_json = false;
+        let mut object: Option<ObjectId> = None;
+        for p in &parts {
+            if p == "--json" {
+                as_json = true;
+            } else if object.is_none() {
+                object = Some(parse_object(p)?);
+            } else {
+                return Err(CommandError::Usage(USAGE.into()));
+            }
+        }
+        if let Some(id) = object {
+            let placement = self.platform.object_placement(id);
+            let value = oprc_value::vjson!({
+                "object": (id.as_u64()),
+                "partition": (placement.partition as u64),
+                "primary": (placement.primary),
+                "replica": (match placement.replica {
+                    Some(r) => Value::from(r),
+                    None => Value::Null,
+                }),
+            });
+            if as_json {
+                return Ok(CommandOutput::with_value(
+                    json::to_string_pretty(&value),
+                    value,
+                ));
+            }
+            let replica = placement
+                .replica
+                .map_or("none".to_string(), |r| format!("node-{r}"));
+            return Ok(CommandOutput::with_value(
+                format!(
+                    "obj-{} -> partition {} (primary node-{}, replica {replica})",
+                    id.as_u64(),
+                    placement.partition,
+                    placement.primary
+                ),
+                value,
+            ));
+        }
+        let s = self.platform.partition_summary();
+        let value = oprc_value::vjson!({
+            "epoch": (s.epoch),
+            "partitions": (s.partitions as u64),
+            "nodes": (s.nodes as u64),
+            "moved_records": (s.moved_records),
+            "dht_moved_records": (s.dht_moved_records),
+        });
+        if as_json {
+            return Ok(CommandOutput::with_value(
+                json::to_string_pretty(&value),
+                value,
+            ));
+        }
+        Ok(CommandOutput::with_value(
+            format!(
+                "epoch {}: {} partitions over {} nodes, {} records migrated ({} dht-level)",
+                s.epoch, s.partitions, s.nodes, s.moved_records, s.dht_moved_records
+            ),
+            value,
+        ))
+    }
+
     /// `flow doctor|add-step|delete-step`: dataflow-aware analysis and
     /// safe live edits of deployed flows.
     fn flow_cmd(&mut self, rest: &str) -> Result<CommandOutput, CommandError> {
@@ -1209,6 +1409,10 @@ invoke-as <tenant> <obj-id> <fn> [json-arg]*
                                   invoke charged to a tenant's budget
 invoke-batch <obj-id> <fn> [json-arg]* [ ; <obj-id> <fn> [json-arg]* ]*
                                   invoke many methods in one shard-grouped batch
+cluster join                      add a worker node (live-migrates partitions)
+cluster leave <node>              fail a node, migrating its partitions away
+cluster status [--json]           per-node partition/ownership counters
+partitions [--json] [obj-id]      partition-map posture, or one object's placement
 flow doctor [--json] [class [flow]]
                                   dataflow diagnostics (OPRC050-054)
 flow add-step <class> <flow> <id> <fn> [--input <ref>]* [--target <ref>] [--before <step>]
@@ -1278,6 +1482,16 @@ fn parse_data_ref(s: &str) -> DataRef {
         Ok(v) => DataRef::Const(v),
         Err(_) => DataRef::Const(Value::from(s)),
     }
+}
+
+/// Renders a [`crate::embedded::MigrationReport`] as a JSON value.
+fn migration_value(r: &crate::embedded::MigrationReport) -> Value {
+    oprc_value::vjson!({
+        "epoch": (r.epoch),
+        "node": (r.node),
+        "partitions_moved": (r.partitions_moved as u64),
+        "records_moved": (r.records_moved),
+    })
 }
 
 fn parse_object(s: &str) -> Result<ObjectId, CommandError> {
@@ -1730,8 +1944,9 @@ mod tests {
     /// Pins the `metrics --json` document shape: a `functions` array
     /// whose rows carry retry/breaker columns, a `faults` object of
     /// per-site injected totals, a `shards` array of per-shard lock
-    /// traffic, and a `throughput` summary. Downstream tooling parses
-    /// this.
+    /// traffic, a `nodes` array of per-node partition/ownership
+    /// counters, a `partitions` map summary, and a `throughput`
+    /// summary. Downstream tooling parses this.
     #[test]
     fn metrics_json_shape_is_pinned() {
         let mut ctl = ctl();
@@ -1739,9 +1954,45 @@ mod tests {
         ctl.execute("invoke 0 incr").unwrap();
         let v = ctl.execute("metrics --json").unwrap().value.unwrap();
         let keys: Vec<&str> = v.as_object().unwrap().keys().map(String::as_str).collect();
-        assert_eq!(keys, vec!["faults", "functions", "shards", "throughput"]);
+        assert_eq!(
+            keys,
+            vec![
+                "faults",
+                "functions",
+                "nodes",
+                "partitions",
+                "shards",
+                "throughput"
+            ]
+        );
         assert_eq!(v["throughput"]["completed_total"].as_u64(), Some(1));
         assert!(v["throughput"]["ops_per_sec"].as_f64().is_some());
+        let node_rows = v["nodes"].as_array().unwrap();
+        assert_eq!(node_rows.len(), 1, "boot plane is a single node");
+        let node_cols: Vec<&str> = node_rows[0]
+            .as_object()
+            .unwrap()
+            .keys()
+            .map(String::as_str)
+            .collect();
+        assert_eq!(
+            node_cols,
+            vec![
+                "local_invokes",
+                "migrated_in",
+                "migrated_out",
+                "node",
+                "primary_partitions",
+                "remote_invokes",
+                "replica_partitions",
+                "status"
+            ]
+        );
+        assert_eq!(node_rows[0]["status"].as_str(), Some("ready"));
+        assert_eq!(node_rows[0]["local_invokes"].as_u64(), Some(1));
+        assert_eq!(v["partitions"]["epoch"].as_u64(), Some(0));
+        assert_eq!(v["partitions"]["nodes"].as_u64(), Some(1));
+        assert_eq!(v["partitions"]["moved_records"].as_u64(), Some(0));
         let shard_rows = v["shards"].as_array().unwrap();
         assert!(!shard_rows.is_empty());
         let occupied: u64 = shard_rows
@@ -1784,6 +2035,62 @@ mod tests {
         let text = ctl.execute("metrics").unwrap().text;
         assert!(text.contains("RETRIES"), "{text}");
         assert!(text.contains("BREAKER"), "{text}");
+    }
+
+    /// The cluster/partitions commands drive node lifecycle end to end:
+    /// join publishes a new epoch and re-homes partitions, status lists
+    /// every node, placement names the object's primary/replica, and
+    /// degenerate leaves are refused with typed errors.
+    #[test]
+    fn cluster_and_partition_commands() {
+        let mut ctl = ctl();
+        ctl.execute("create Counter").unwrap();
+        ctl.execute("invoke 0 incr").unwrap();
+
+        // Boot posture: epoch 0, a single node owning everything.
+        let v = ctl.execute("partitions --json").unwrap().value.unwrap();
+        assert_eq!(v["epoch"].as_u64(), Some(0));
+        assert_eq!(v["nodes"].as_u64(), Some(1));
+
+        // A join publishes epoch 1 and re-homes some partitions.
+        let out = ctl.execute("cluster join").unwrap();
+        assert!(out.text.contains("node-1 joined"), "{}", out.text);
+        let v = out.value.unwrap();
+        assert_eq!(v["epoch"].as_u64(), Some(1));
+        assert!(v["partitions_moved"].as_u64().unwrap() > 0);
+
+        // Status shows both nodes; the object's placement names a
+        // primary and (with two nodes) a replica.
+        let status = ctl.execute("cluster status --json").unwrap().value.unwrap();
+        assert_eq!(status.as_array().unwrap().len(), 2);
+        let placement = ctl
+            .execute("partitions --json obj-0")
+            .unwrap()
+            .value
+            .unwrap();
+        assert!(placement["primary"].as_u64().unwrap() <= 1);
+        assert!(placement["replica"].as_u64().is_some());
+        let text = ctl.execute("partitions obj-0").unwrap().text;
+        assert!(text.contains("partition"), "{text}");
+
+        // The new node leaves again; the last ready node cannot, and a
+        // malformed id is a usage error.
+        let out = ctl.execute("cluster leave node-1").unwrap();
+        assert!(out.text.contains("node-1 left"), "{}", out.text);
+        assert!(matches!(
+            ctl.execute("cluster leave 0"),
+            Err(CommandError::Platform(PlatformError::ClusterTopology(_)))
+        ));
+        assert!(matches!(
+            ctl.execute("cluster leave bogus"),
+            Err(CommandError::Usage(_))
+        ));
+        let text = ctl.execute("cluster status").unwrap().text;
+        assert!(text.contains("down"), "{text}");
+
+        // Post-migration, the metrics text view grows a nodes section.
+        let text = ctl.execute("metrics").unwrap().text;
+        assert!(text.contains("nodes (epoch 2"), "{text}");
     }
 
     #[test]

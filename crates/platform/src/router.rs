@@ -23,6 +23,10 @@ pub enum RouteKind {
         /// The instance holding the primary replica.
         owner: u64,
     },
+    /// Locality routing is off: the instance was picked round-robin and
+    /// the state owner was never computed. State access may or may not
+    /// be local; the platform accounts it as remote.
+    RoundRobin,
 }
 
 /// A routing decision.
@@ -78,20 +82,28 @@ impl ObjectRouter {
         if instances.is_empty() {
             return None;
         }
+        if !self.locality {
+            // Locality off: nothing downstream reads the owner, so skip
+            // the key formatting and ring walk entirely — round-robin is
+            // the whole decision.
+            let slot = self.rr_next.fetch_add(1, Ordering::Relaxed);
+            return Some(Route {
+                instance: instances[slot % instances.len()],
+                kind: RouteKind::RoundRobin,
+            });
+        }
         let key = object.to_string();
         let owner = dht.primary(&key).ok().map(|n| n.0);
-        if self.locality {
-            if let Some(owner) = owner {
-                if instances.contains(&owner) {
-                    return Some(Route {
-                        instance: owner,
-                        kind: RouteKind::Local,
-                    });
-                }
+        if let Some(owner) = owner {
+            if instances.contains(&owner) {
+                return Some(Route {
+                    instance: owner,
+                    kind: RouteKind::Local,
+                });
             }
         }
-        // Fallback / locality off: round-robin, state access remote
-        // unless we happen to land on the owner.
+        // Fallback: the owner is not a live instance; round-robin and
+        // reach the state remotely.
         let slot = self.rr_next.fetch_add(1, Ordering::Relaxed);
         let instance = instances[slot % instances.len()];
         let kind = match owner {
@@ -145,17 +157,15 @@ mod tests {
             .map(|_| r.route(ObjectId(1), &d, &instances).unwrap().instance)
             .collect();
         assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
-        // Most picks are remote (only 1 of 4 instances owns the object).
+        // With locality off the owner is never computed: every pick is
+        // RoundRobin, even when it happens to land on the owner.
         let r = ObjectRouter::new(false);
-        let remote = (0..8)
-            .filter(|_| {
-                matches!(
-                    r.route(ObjectId(1), &d, &instances).unwrap().kind,
-                    RouteKind::Remote { .. }
-                )
-            })
-            .count();
-        assert_eq!(remote, 6);
+        for _ in 0..8 {
+            assert_eq!(
+                r.route(ObjectId(1), &d, &instances).unwrap().kind,
+                RouteKind::RoundRobin
+            );
+        }
     }
 
     #[test]
@@ -184,7 +194,7 @@ mod tests {
             for i in 0..64 {
                 match r.route(ObjectId(i), d, &instances).unwrap().kind {
                     RouteKind::Local => local += 1,
-                    RouteKind::Remote { .. } => remote += 1,
+                    RouteKind::Remote { .. } | RouteKind::RoundRobin => remote += 1,
                 }
             }
             (local, remote)

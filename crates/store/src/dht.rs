@@ -22,12 +22,99 @@ use crate::{HashRing, StoreError};
 ///
 /// In the platform, each class-runtime instance (or each worker VM)
 /// hosts one member.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DhtNodeId(pub u64);
 
 impl std::fmt::Display for DhtNodeId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "dht-{}", self.0)
+    }
+}
+
+/// Replica sets up to this size live entirely on the stack.
+pub const MAX_INLINE_OWNERS: usize = 8;
+
+/// The replica set of one key, primary first — allocation-free for the
+/// common case.
+///
+/// [`Dht::owners`] sits on the invoke hot path (every state read and
+/// write resolves its replica set), so the set is an inline array up to
+/// [`MAX_INLINE_OWNERS`] members and only spills to the heap for
+/// replication factors larger than that. Dereferences to a slice of
+/// [`DhtNodeId`], so slice idioms (`len`, indexing, `contains`) work
+/// unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct OwnerSet {
+    len: usize,
+    inline: [DhtNodeId; MAX_INLINE_OWNERS],
+    /// Used only when the set outgrows the inline buffer; an empty `Vec`
+    /// never allocates.
+    spill: Vec<DhtNodeId>,
+}
+
+impl OwnerSet {
+    fn new() -> Self {
+        OwnerSet::default()
+    }
+
+    fn push(&mut self, id: DhtNodeId) {
+        if self.spill.is_empty() && self.len < MAX_INLINE_OWNERS {
+            self.inline[self.len] = id;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.extend_from_slice(&self.inline[..self.len]);
+            }
+            self.spill.push(id);
+        }
+        self.len += 1;
+    }
+
+    /// The owners as a slice, primary first.
+    pub fn as_slice(&self) -> &[DhtNodeId] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl std::ops::Deref for OwnerSet {
+    type Target = [DhtNodeId];
+    fn deref(&self) -> &[DhtNodeId] {
+        self.as_slice()
+    }
+}
+
+/// Consuming iterator over an [`OwnerSet`].
+#[derive(Debug)]
+pub struct OwnerSetIter {
+    set: OwnerSet,
+    pos: usize,
+}
+
+impl Iterator for OwnerSetIter {
+    type Item = DhtNodeId;
+    fn next(&mut self) -> Option<DhtNodeId> {
+        let id = self.set.as_slice().get(self.pos).copied()?;
+        self.pos += 1;
+        Some(id)
+    }
+}
+
+impl IntoIterator for OwnerSet {
+    type Item = DhtNodeId;
+    type IntoIter = OwnerSetIter;
+    fn into_iter(self) -> OwnerSetIter {
+        OwnerSetIter { set: self, pos: 0 }
+    }
+}
+
+impl<'a> IntoIterator for &'a OwnerSet {
+    type Item = &'a DhtNodeId;
+    type IntoIter = std::slice::Iter<'a, DhtNodeId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
     }
 }
 
@@ -170,12 +257,26 @@ impl Dht {
     }
 
     /// The members holding replicas of `key`, primary first.
-    pub fn owners(&self, key: &str) -> Vec<DhtNodeId> {
-        self.ring
-            .replicas(key, self.cfg.replication)
-            .into_iter()
-            .map(DhtNodeId)
-            .collect()
+    ///
+    /// Allocation-free for replication factors up to
+    /// [`MAX_INLINE_OWNERS`]: the distinct-member walk dedups into the
+    /// returned set's inline buffer instead of a heap vector.
+    pub fn owners(&self, key: &str) -> OwnerSet {
+        let mut out = OwnerSet::new();
+        let want = self.cfg.replication.min(self.ring.len());
+        if want == 0 {
+            return out;
+        }
+        for member in self.ring.walk(key) {
+            let id = DhtNodeId(member);
+            if !out.as_slice().contains(&id) {
+                out.push(id);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
     }
 
     /// The primary owner of `key`.
@@ -396,7 +497,7 @@ mod tests {
                 .filter(|(_, p)| p.contains_key(&k))
                 .map(|(&n, _)| n)
                 .collect();
-            assert_eq!(holders, owners, "key {k}");
+            assert_eq!(holders, owners.as_slice(), "key {k}");
         }
     }
 
@@ -462,5 +563,34 @@ mod tests {
         let mut d = dht(2, 3);
         d.put("k", vjson!(1)).unwrap();
         assert_eq!(d.owners("k").len(), 2);
+    }
+
+    #[test]
+    fn owner_set_matches_ring_replicas() {
+        let d = dht(5, 3);
+        for i in 0..100 {
+            let k = format!("key-{i}");
+            let owners = d.owners(&k);
+            assert_eq!(owners.len(), 3);
+            assert_eq!(owners[0], d.primary(&k).unwrap());
+            let mut dedup: Vec<DhtNodeId> = owners.to_vec();
+            dedup.dedup();
+            assert_eq!(dedup.len(), owners.len(), "owners must be distinct");
+        }
+    }
+
+    #[test]
+    fn owner_set_spills_past_inline_capacity() {
+        let mut d = dht(12, 12);
+        d.put("wide", vjson!(1)).unwrap();
+        let owners = d.owners("wide");
+        assert_eq!(owners.len(), 12, "spill path must keep all members");
+        let mut seen: Vec<DhtNodeId> = owners.as_slice().to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 12);
+        for o in &owners {
+            assert!(d.partitions[o].contains_key("wide"));
+        }
     }
 }

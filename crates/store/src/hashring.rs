@@ -88,20 +88,38 @@ impl HashRing {
     }
 
     /// The member owning `key`, or `None` on an empty ring.
+    ///
+    /// Allocation-free: reads the first ring point clockwise from the
+    /// key's position directly, so read paths can call it per lookup.
     pub fn owner(&self, key: &str) -> Option<u64> {
-        self.replicas(key, 1).first().copied()
+        self.walk(key).next()
+    }
+
+    /// Ring points clockwise from `key`'s position, **with duplicate
+    /// members** — one item per virtual node, not per member.
+    ///
+    /// Callers wanting distinct members must dedup themselves (see
+    /// [`HashRing::replicas`]); the point of this shape is that dedup
+    /// can happen in a caller-owned fixed buffer without allocating.
+    pub fn walk(&self, key: &str) -> impl Iterator<Item = u64> + '_ {
+        let h = key_hash(key);
+        self.points
+            .range(h..)
+            .chain(self.points.range(..h))
+            .map(|(_, &member)| member)
     }
 
     /// The first `n` distinct members clockwise from `key`'s position.
     ///
-    /// Returns fewer than `n` if the ring has fewer members.
+    /// Returns fewer than `n` if the ring has fewer members. Allocates
+    /// the result vector; hot paths should prefer [`HashRing::walk`]
+    /// with inline dedup (see `Dht::owners`).
     pub fn replicas(&self, key: &str, n: usize) -> Vec<u64> {
         if self.points.is_empty() || n == 0 {
             return Vec::new();
         }
-        let h = key_hash(key);
         let mut out = Vec::with_capacity(n);
-        for (_, &member) in self.points.range(h..).chain(self.points.range(..h)) {
+        for member in self.walk(key) {
             if !out.contains(&member) {
                 out.push(member);
                 if out.len() == n || out.len() == self.members.len() {
@@ -217,6 +235,26 @@ mod tests {
         r.remove(0);
         r.remove(1);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn walk_matches_replicas_after_dedup() {
+        let r = ring(4);
+        for i in 0..64 {
+            let k = format!("key-{i}");
+            let reps = r.replicas(&k, 3);
+            let mut walked: Vec<u64> = Vec::new();
+            for m in r.walk(&k) {
+                if !walked.contains(&m) {
+                    walked.push(m);
+                    if walked.len() == 3 {
+                        break;
+                    }
+                }
+            }
+            assert_eq!(walked, reps, "key {k}");
+            assert_eq!(r.owner(&k), reps.first().copied());
+        }
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! - [`HashRing`] — consistent hashing with virtual nodes;
 //! - [`Dht`] — a partitioned, replicated in-memory hash table
 //!   (Oparaca's Infinispan stand-in) with deterministic rebalancing;
+//! - [`PartitionMap`] — epoch-stamped assignment of object partitions
+//!   to cluster nodes, with [`MigrationPlan`] diffs driving live
+//!   object migration on node join/leave;
 //! - [`WriteBehindBuffer`] — per-key-deduplicating write-behind buffer
 //!   that turns N object updates into ⌈N/B⌉ batched database writes;
 //! - [`ObjectStore`] — S3-like bucket/key storage over [`bytes::Bytes`]
@@ -41,6 +44,7 @@ mod error;
 mod hashring;
 mod kv;
 mod objectstore;
+mod partition;
 mod persistent;
 mod writebehind;
 
@@ -48,10 +52,14 @@ pub mod multipart;
 pub mod presign;
 pub mod sha;
 
-pub use dht::{Dht, DhtConfig, DhtNodeId};
+pub use dht::{Dht, DhtConfig, DhtNodeId, OwnerSet, MAX_INLINE_OWNERS};
 pub use error::StoreError;
 pub use hashring::HashRing;
 pub use kv::{KvStore, MemStore};
 pub use objectstore::{ObjectMeta, ObjectStore, StoredObject};
+pub use partition::{
+    partition_of, MigrationPlan, PartitionAssignment, PartitionMap, PartitionMove,
+    DEFAULT_PARTITION_COUNT,
+};
 pub use persistent::{DbStats, PersistentDb, PersistentDbConfig};
 pub use writebehind::{FlushBatch, WriteBehindBuffer, WriteBehindConfig};

@@ -1,0 +1,381 @@
+//! Node-level partition plane: key-range ownership and migration plans.
+//!
+//! The paper's cluster-scaling result (Fig. 3, §V) rests on keeping an
+//! object's state on the node that invokes it. This module provides the
+//! bookkeeping half of that story: the object-id space is folded into a
+//! fixed number of **partitions**, and a [`PartitionMap`] assigns every
+//! partition a primary (and, when the cluster is large enough, one
+//! replica) node via the same consistent-hash ring the DHT uses — so a
+//! node join or leave moves only the partitions adjacent to the new
+//! node's ring points.
+//!
+//! The map itself is immutable; topology changes build a *new* map at
+//! `epoch + 1` and publish it with an atomic `Arc` swap (the `PlanTable`
+//! trick). [`MigrationPlan::diff`] computes which partitions changed
+//! primary between two epochs — the unit of work for live object
+//! migration.
+
+use crate::HashRing;
+
+/// Default number of partitions the object-id space folds into.
+///
+/// 64 partitions over at most a handful of simulated nodes keeps every
+/// node's share large enough to matter and rebalancing granular enough
+/// to stay cheap.
+pub const DEFAULT_PARTITION_COUNT: usize = 64;
+
+/// Virtual nodes per member when placing partitions on the ring.
+const PARTITION_VNODES: u32 = 64;
+
+/// Folds an object id into a partition index in `0..count`.
+///
+/// Fibonacci multiplicative hash with a pre-xor so partition placement
+/// decorrelates from the platform's shard placement (which multiplies
+/// the raw id by the same constant).
+///
+/// # Panics
+///
+/// Panics if `count` is zero.
+pub fn partition_of(object: u64, count: usize) -> usize {
+    assert!(count > 0, "partition count must be positive");
+    let mixed = (object ^ 0xA076_1D64_78BD_642F).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((mixed >> 32) % count as u64) as usize
+}
+
+/// Ownership of one partition: a primary node and an optional replica.
+///
+/// The replica serves reads (function-shipping reads can land on either
+/// copy); all writes go through the primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionAssignment {
+    /// Node owning the partition's writes.
+    pub primary: u64,
+    /// Node holding a read replica, when the cluster has ≥ 2 nodes.
+    pub replica: Option<u64>,
+}
+
+/// An immutable epoch-stamped assignment of partitions to nodes.
+///
+/// # Examples
+///
+/// ```
+/// use oprc_store::PartitionMap;
+///
+/// let map = PartitionMap::assign(1, &[10, 11, 12]);
+/// let p = map.partition_of_object(42);
+/// let owner = map.primary_of(p);
+/// assert!([10, 11, 12].contains(&owner));
+/// assert_ne!(map.replica_of(p), Some(owner));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionMap {
+    epoch: u64,
+    nodes: Vec<u64>,
+    assignments: Vec<PartitionAssignment>,
+}
+
+impl PartitionMap {
+    /// Builds the trivial map: every partition owned by `node`, epoch 0.
+    ///
+    /// This is the single-node boot state; it involves no ring and is
+    /// byte-for-byte deterministic.
+    pub fn single(node: u64) -> Self {
+        PartitionMap {
+            epoch: 0,
+            nodes: vec![node],
+            assignments: vec![
+                PartitionAssignment {
+                    primary: node,
+                    replica: None,
+                };
+                DEFAULT_PARTITION_COUNT
+            ],
+        }
+    }
+
+    /// Assigns [`DEFAULT_PARTITION_COUNT`] partitions across `nodes`
+    /// via a consistent-hash ring, stamped with `epoch`.
+    ///
+    /// Each partition's primary is the ring owner of the key
+    /// `"partition-<index>"`; the replica is the next distinct member,
+    /// if any. Because placement is ring-based, adding or removing one
+    /// node re-homes only the partitions adjacent to its ring points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty — a cluster always has at least the
+    /// boot node.
+    pub fn assign(epoch: u64, nodes: &[u64]) -> Self {
+        assert!(!nodes.is_empty(), "partition map needs at least one node");
+        let mut ring = HashRing::new(PARTITION_VNODES);
+        for &n in nodes {
+            ring.add(n);
+        }
+        let mut sorted: Vec<u64> = nodes.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let assignments = (0..DEFAULT_PARTITION_COUNT)
+            .map(|p| {
+                let key = format!("partition-{p}");
+                let reps = ring.replicas(&key, 2);
+                PartitionAssignment {
+                    primary: reps[0],
+                    replica: reps.get(1).copied(),
+                }
+            })
+            .collect();
+        PartitionMap {
+            epoch,
+            nodes: sorted,
+            assignments,
+        }
+    }
+
+    /// The epoch this map was published at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of partitions (always [`DEFAULT_PARTITION_COUNT`]).
+    pub fn partition_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Member node ids, sorted.
+    pub fn nodes(&self) -> &[u64] {
+        &self.nodes
+    }
+
+    /// Folds an object id into this map's partition space.
+    pub fn partition_of_object(&self, object: u64) -> usize {
+        partition_of(object, self.assignments.len())
+    }
+
+    /// Primary node of partition `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn primary_of(&self, p: usize) -> u64 {
+        self.assignments[p].primary
+    }
+
+    /// Replica node of partition `p`, if the cluster has one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn replica_of(&self, p: usize) -> Option<u64> {
+        self.assignments[p].replica
+    }
+
+    /// The node owning writes for `object`.
+    pub fn owner_of_object(&self, object: u64) -> u64 {
+        self.primary_of(self.partition_of_object(object))
+    }
+
+    /// True when `node` holds `object`'s partition as primary or replica.
+    pub fn serves_object(&self, node: u64, object: u64) -> bool {
+        let a = self.assignments[self.partition_of_object(object)];
+        a.primary == node || a.replica == Some(node)
+    }
+
+    /// Number of partitions whose primary is `node`.
+    pub fn primaries_of(&self, node: u64) -> usize {
+        self.assignments
+            .iter()
+            .filter(|a| a.primary == node)
+            .count()
+    }
+
+    /// Number of partitions whose replica is `node`.
+    pub fn replicas_of(&self, node: u64) -> usize {
+        self.assignments
+            .iter()
+            .filter(|a| a.replica == Some(node))
+            .count()
+    }
+}
+
+/// One partition changing primary between two epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionMove {
+    /// Partition index.
+    pub partition: usize,
+    /// Primary before the change.
+    pub from: u64,
+    /// Primary after the change.
+    pub to: u64,
+}
+
+/// The set of primary handoffs between two partition maps.
+///
+/// This is the unit of live migration: each move names a partition
+/// whose in-flight invokes must drain before its records are counted
+/// as re-homed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// Epoch of the map being retired.
+    pub from_epoch: u64,
+    /// Epoch of the map taking over.
+    pub to_epoch: u64,
+    /// Primary handoffs, in partition order.
+    pub moves: Vec<PartitionMove>,
+}
+
+impl MigrationPlan {
+    /// Diffs two maps, listing every partition whose primary changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the maps disagree on partition count.
+    pub fn diff(old: &PartitionMap, new: &PartitionMap) -> MigrationPlan {
+        assert_eq!(
+            old.partition_count(),
+            new.partition_count(),
+            "partition count is fixed across epochs"
+        );
+        let moves = (0..old.partition_count())
+            .filter_map(|p| {
+                let (from, to) = (old.primary_of(p), new.primary_of(p));
+                (from != to).then_some(PartitionMove {
+                    partition: p,
+                    from,
+                    to,
+                })
+            })
+            .collect();
+        MigrationPlan {
+            from_epoch: old.epoch(),
+            to_epoch: new.epoch(),
+            moves,
+        }
+    }
+
+    /// True when no partition changes primary.
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// The move affecting partition `p`, if any.
+    pub fn move_for(&self, p: usize) -> Option<&PartitionMove> {
+        self.moves.iter().find(|m| m.partition == p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_map_owns_everything() {
+        let m = PartitionMap::single(7);
+        assert_eq!(m.epoch(), 0);
+        assert_eq!(m.nodes(), &[7]);
+        for p in 0..m.partition_count() {
+            assert_eq!(m.primary_of(p), 7);
+            assert_eq!(m.replica_of(p), None);
+        }
+        assert_eq!(m.primaries_of(7), DEFAULT_PARTITION_COUNT);
+    }
+
+    #[test]
+    fn partition_of_is_stable_and_in_range() {
+        for id in 0..1000 {
+            let p = partition_of(id, DEFAULT_PARTITION_COUNT);
+            assert!(p < DEFAULT_PARTITION_COUNT);
+            assert_eq!(p, partition_of(id, DEFAULT_PARTITION_COUNT));
+        }
+    }
+
+    #[test]
+    fn partitions_spread_over_partition_space() {
+        let mut hit = [false; DEFAULT_PARTITION_COUNT];
+        for id in 0..4096 {
+            hit[partition_of(id, DEFAULT_PARTITION_COUNT)] = true;
+        }
+        assert!(
+            hit.iter().filter(|&&h| h).count() >= DEFAULT_PARTITION_COUNT / 2,
+            "ids should touch most partitions"
+        );
+    }
+
+    #[test]
+    fn assignment_covers_all_nodes_roughly_evenly() {
+        let m = PartitionMap::assign(3, &[0, 1, 2, 3]);
+        for &n in m.nodes() {
+            let own = m.primaries_of(n);
+            assert!(
+                (4..=32).contains(&own),
+                "node {n} owns {own} of {DEFAULT_PARTITION_COUNT}"
+            );
+        }
+        let total: usize = m.nodes().iter().map(|&n| m.primaries_of(n)).sum();
+        assert_eq!(total, DEFAULT_PARTITION_COUNT);
+    }
+
+    #[test]
+    fn replica_is_distinct_from_primary() {
+        let m = PartitionMap::assign(1, &[10, 20, 30]);
+        for p in 0..m.partition_count() {
+            let rep = m.replica_of(p).expect("3 nodes → replica exists");
+            assert_ne!(rep, m.primary_of(p));
+        }
+        let solo = PartitionMap::assign(1, &[10]);
+        for p in 0..solo.partition_count() {
+            assert_eq!(solo.replica_of(p), None);
+        }
+    }
+
+    #[test]
+    fn join_moves_only_partitions_toward_the_new_node() {
+        let old = PartitionMap::assign(1, &[0, 1, 2]);
+        let new = PartitionMap::assign(2, &[0, 1, 2, 3]);
+        let plan = MigrationPlan::diff(&old, &new);
+        assert!(!plan.is_empty(), "a join must re-home some partitions");
+        for mv in &plan.moves {
+            assert_eq!(mv.to, 3, "only the joiner gains primaries");
+        }
+        assert!(
+            plan.moves.len() < DEFAULT_PARTITION_COUNT / 2,
+            "ring placement keeps moves minimal: {}",
+            plan.moves.len()
+        );
+        assert_eq!(plan.from_epoch, 1);
+        assert_eq!(plan.to_epoch, 2);
+    }
+
+    #[test]
+    fn leave_moves_only_the_leavers_partitions() {
+        let old = PartitionMap::assign(5, &[0, 1, 2, 3]);
+        let new = PartitionMap::assign(6, &[0, 1, 3]);
+        let plan = MigrationPlan::diff(&old, &new);
+        assert!(!plan.is_empty());
+        for mv in &plan.moves {
+            assert_eq!(mv.from, 2, "only the leaver's partitions move");
+            assert_ne!(mv.to, 2);
+        }
+    }
+
+    #[test]
+    fn serves_object_includes_replica() {
+        let m = PartitionMap::assign(1, &[0, 1]);
+        for id in 0..100 {
+            let p = m.partition_of_object(id);
+            assert!(m.serves_object(m.primary_of(p), id));
+            if let Some(rep) = m.replica_of(p) {
+                assert!(m.serves_object(rep, id));
+            }
+        }
+    }
+
+    #[test]
+    fn move_for_finds_affected_partition() {
+        let old = PartitionMap::assign(1, &[0, 1]);
+        let new = PartitionMap::assign(2, &[0, 1, 2]);
+        let plan = MigrationPlan::diff(&old, &new);
+        let mv = plan.moves[0];
+        assert_eq!(plan.move_for(mv.partition), Some(&mv));
+        assert_eq!(plan.move_for(DEFAULT_PARTITION_COUNT), None);
+    }
+}

@@ -1,0 +1,222 @@
+//! Live object migration under load.
+//!
+//! The partition plane's handoff contract (DESIGN.md §17): a node
+//! join or leave re-homes partition ownership *while invocations are
+//! in flight*, and no invoke is dropped, torn, or double-applied —
+//! the map swap publishes the new epoch, then draining each shard
+//! lock waits out every in-flight invoke before its records are
+//! accounted as moved. These tests race topology changes against
+//! invoke storms (direct and batched, locality on and off) and prove
+//! the counters stay linearizable, then pin that a join+leave cycle
+//! leaves single-node behaviour — seeded chaos replay included —
+//! byte-identical to a plane that never changed topology.
+
+use oprc_chaos::FaultPlan;
+use oprc_core::invocation::TaskResult;
+use oprc_core::template::{ClassRuntimeTemplate, RuntimeConfig, TemplateCatalog};
+use oprc_platform::embedded::{BatchItem, EmbeddedPlatform};
+use oprc_value::vjson;
+
+/// A counter platform whose single class template pins locality
+/// routing on or off.
+fn counter_platform(locality: bool) -> EmbeddedPlatform {
+    let mut catalog = TemplateCatalog::new();
+    catalog.add(ClassRuntimeTemplate::new(
+        "default",
+        0,
+        RuntimeConfig {
+            locality_routing: locality,
+            ..RuntimeConfig::default()
+        },
+    ));
+    let mut p = EmbeddedPlatform::with_catalog(catalog);
+    p.register_function("img/incr", |task| {
+        let n = task.state_in["count"].as_i64().unwrap_or(0) + 1;
+        Ok(TaskResult::output(n).with_patch(vjson!({"count": n})))
+    });
+    p.deploy_yaml(
+        "
+classes:
+  - name: Counter
+    keySpecs: [count]
+    functions:
+      - name: incr
+        image: img/incr
+",
+    )
+    .expect("counter deploys");
+    p
+}
+
+const WORKERS: usize = 4;
+const OPS_PER_WORKER: usize = 500;
+const OBJECTS: usize = 16;
+
+/// Drives `WORKERS` closed invoke loops over `OBJECTS` shared counters
+/// while the main thread cycles the topology: grow the plane to four
+/// nodes, then fail the joiners one by one back down to the boot node.
+/// Every invoke must succeed, and the final counts must sum exactly to
+/// the ops issued — a dropped invoke would under-count, a torn or
+/// double-applied commit would over-count.
+fn storm_through_topology_cycle(locality: bool) {
+    let p = counter_platform(locality);
+    let ids: Vec<_> = (0..OBJECTS)
+        .map(|_| p.create_object("Counter", vjson!({"count": 0})).unwrap())
+        .collect();
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let p = &p;
+            let ids = &ids;
+            s.spawn(move || {
+                for i in 0..OPS_PER_WORKER {
+                    let id = ids[(w + i) % ids.len()];
+                    p.invoke(id, "incr", vec![])
+                        .expect("invoke survives handoff");
+                }
+            });
+        }
+        // Join three nodes mid-storm, then fail each one, yielding
+        // between changes so the storm lands invokes inside every
+        // migration window.
+        let mut joined = Vec::new();
+        for _ in 0..3 {
+            joined.push(p.node_join().expect("join migrates").node);
+            std::thread::yield_now();
+        }
+        for node in joined {
+            p.node_leave(node).expect("leave migrates");
+            std::thread::yield_now();
+        }
+    });
+    let total: i64 = ids
+        .iter()
+        .map(|&id| p.get_state(id).unwrap()["count"].as_i64().unwrap())
+        .sum();
+    assert_eq!(
+        total,
+        (WORKERS * OPS_PER_WORKER) as i64,
+        "handoff dropped or double-applied an invoke (locality={locality})"
+    );
+    // Six topology changes published six epochs; the storm's records
+    // were live through them, so migrations moved real records.
+    let summary = p.partition_summary();
+    assert_eq!(summary.epoch, 6);
+    assert_eq!(summary.nodes, 1, "plane cycled back to one ready node");
+    assert!(
+        summary.moved_records > 0,
+        "migrations re-homed live records"
+    );
+}
+
+#[test]
+fn invoke_storm_survives_join_leave_cycle_with_locality() {
+    storm_through_topology_cycle(true);
+}
+
+/// With locality off every off-owner invoke ships state through the
+/// owner's transport — the handoff must also drain those.
+#[test]
+fn invoke_storm_survives_join_leave_cycle_without_locality() {
+    storm_through_topology_cycle(false);
+}
+
+/// The batch path takes its (node, shard) grouping from one map
+/// snapshot; a migration racing the batch must drain whole groups, not
+/// tear them.
+#[test]
+fn batch_storm_survives_migration() {
+    let p = counter_platform(true);
+    let ids: Vec<_> = (0..OBJECTS)
+        .map(|_| p.create_object("Counter", vjson!({"count": 0})).unwrap())
+        .collect();
+    const BATCHES: usize = 100;
+    std::thread::scope(|s| {
+        for w in 0..2 {
+            let p = &p;
+            let ids = &ids;
+            s.spawn(move || {
+                for i in 0..BATCHES {
+                    let items = (0..ids.len())
+                        .map(|k| BatchItem::new(ids[(w + i + k) % ids.len()], "incr", vec![]))
+                        .collect();
+                    for out in p.invoke_batch(items) {
+                        out.expect("batched invoke survives handoff");
+                    }
+                }
+            });
+        }
+        let node = p.node_join().expect("join migrates").node;
+        std::thread::yield_now();
+        p.node_leave(node).expect("leave migrates");
+    });
+    let total: i64 = ids
+        .iter()
+        .map(|&id| p.get_state(id).unwrap()["count"].as_i64().unwrap())
+        .sum();
+    assert_eq!(total, (2 * BATCHES * OBJECTS) as i64);
+}
+
+/// A seeded chaos run over one flaky counter: retries, torn commits,
+/// latency — everything the virtual clock and injector decide.
+/// Single-worker, so the transcript is a pure function of the seed.
+fn chaos_transcript(p: &mut EmbeddedPlatform) -> String {
+    p.enable_chaos(FaultPlan::new(42).rate_all(0.15));
+    let id = p
+        .create_object("Flaky", vjson!({"count": 0}))
+        .expect("creates");
+    let mut lines = Vec::new();
+    for i in 0..40 {
+        let line = match p.invoke(id, "incr", vec![]) {
+            Ok(out) => format!("{i} ok {}", out.output),
+            Err(e) => format!("{i} err {e}"),
+        };
+        lines.push(line);
+    }
+    lines.push(format!("state {}", p.get_state(id).unwrap()["count"]));
+    lines.push(format!("clock_ns {}", p.chaos_clock().as_nanos()));
+    lines.join("\n") + "\n"
+}
+
+fn flaky_platform() -> EmbeddedPlatform {
+    let mut p = EmbeddedPlatform::new();
+    p.register_function("img/incr", |task| {
+        let n = task.state_in["count"].as_i64().unwrap_or(0) + 1;
+        Ok(TaskResult::output(n).with_patch(vjson!({"count": n})))
+    });
+    p.deploy_yaml(
+        "
+classes:
+  - name: Flaky
+    keySpecs: [count]
+    qos:
+      availability: 0.99
+    functions:
+      - name: incr
+        image: img/incr
+",
+    )
+    .expect("deploys");
+    p
+}
+
+/// Once a plane has cycled back to a single ready node, the partition
+/// layer must be invisible again: the seed-42 chaos replay on a plane
+/// that did a join+leave is byte-identical to one that never changed
+/// topology. (The single-node goldens in `concurrent_invocation.rs`
+/// pin the transcript itself; this pins that migration leaves no
+/// residue in the deterministic machinery.)
+#[test]
+fn post_cycle_single_node_chaos_replay_is_byte_identical() {
+    let mut pristine = flaky_platform();
+    let baseline = chaos_transcript(&mut pristine);
+
+    let mut cycled = flaky_platform();
+    let node = cycled.node_join().expect("join migrates").node;
+    cycled.node_leave(node).expect("leave migrates");
+    assert_eq!(cycled.node_count(), 1);
+    assert_eq!(
+        chaos_transcript(&mut cycled),
+        baseline,
+        "a join+leave cycle leaked nondeterminism into single-node replay"
+    );
+}
